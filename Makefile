@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ecmp_insitu
+	$(GO) run ./examples/srv6_insitu
+	$(GO) run ./examples/flowprobe
+
+fmt:
+	gofmt -w cmd internal examples bench_test.go
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

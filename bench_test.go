@@ -1,0 +1,457 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's experiment index), plus ablations of rp4bc's design
+// choices. Custom metrics carry the quantities the paper reports:
+//
+//	go test -bench=. -benchmem
+//
+// For the printed paper-style tables, run `go run ./cmd/experiments`.
+package ipsa
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipsa/internal/compiler/backend"
+	"ipsa/internal/compiler/layout"
+	"ipsa/internal/compiler/packing"
+	"ipsa/internal/experiments"
+	"ipsa/internal/hwmodel"
+	"ipsa/internal/ipbm"
+	"ipsa/internal/match"
+	"ipsa/internal/mem"
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/parser"
+)
+
+func benchCfg() experiments.Config {
+	cfg := experiments.Default("testdata")
+	cfg.Packets = 5000
+	cfg.Entries = 128
+	return cfg
+}
+
+func loadBaseProgram(b *testing.B) *ast.Program {
+	b.Helper()
+	src, err := os.ReadFile("testdata/base_l2l3.rp4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := parser.Parse("base_l2l3.rp4", string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func loader(b *testing.B) backend.Loader {
+	b.Helper()
+	return func(name string) (string, error) {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		return string(raw), err
+	}
+}
+
+func scriptSrc(b *testing.B, uc string) string {
+	b.Helper()
+	name := map[string]string{"C1": "ecmp.script", "C2": "srv6.script", "C3": "flowprobe.script"}[uc]
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(raw)
+}
+
+// --- Table 1: compile (t_C) and load (t_L) ----------------------------------
+
+// BenchmarkTable1_IPSA_IncrementalCompile measures rp4bc's incremental
+// compile (the rP4 flow's t_C) for each use case.
+func BenchmarkTable1_IPSA_IncrementalCompile(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			opts := backend.DefaultOptions()
+			opts.NumTSPs = 16
+			script := scriptSrc(b, uc)
+			ld := loader(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ws, err := backend.NewWorkspace(loadBaseProgram(b), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := ws.ApplyScript(script, ld); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1_PISA_FullCompile measures the P4 flow's t_C: parse the
+// P4 source, rp4fc, full rp4bc compile of the updated design.
+func BenchmarkTable1_PISA_FullCompile(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			cfg := benchCfg()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.P4FullCompile(cfg, uc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1_IPSA_Load measures the rP4 flow's t_L: the device patch
+// that writes only the manifest's TSP templates. The switch is brought up
+// and the update compiled once; each iteration re-applies the patch (the
+// device handles it idempotently), so ns/op is the pure patch cost.
+// New-table creation and population happen once, untimed.
+func BenchmarkTable1_IPSA_Load(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			cfg := benchCfg()
+			opts := backend.DefaultOptions()
+			opts.NumTSPs = 16
+			ws, err := backend.NewWorkspace(loadBaseProgram(b), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, err := ipbm.New(ipbm.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sw.ApplyConfig(ws.Current().Config); err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.PopulateBase(sw, ws.Current().Config, cfg.Entries); err != nil {
+				b.Fatal(err)
+			}
+			rep, err := ws.ApplyScript(scriptSrc(b, uc), loader(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := sw.ApplyConfig(rep.Config)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.PopulateUseCase(sw, uc, cfg.Entries); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.ApplyConfig(rep.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.TSPsWritten), "tsps_written")
+		})
+	}
+}
+
+// BenchmarkTable1_PISA_Load measures the P4 flow's t_L: full pipeline
+// reload plus full table repopulation (the bmv2 behaviour).
+func BenchmarkTable1_PISA_Load(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			cfg := benchCfg()
+			fullCfg, err := experiments.P4FullCompile(cfg, uc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			psw, err := experiments.NewPISASwitch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := psw.ApplyConfig(fullCfg); err != nil {
+					b.Fatal(err)
+				}
+				if err := experiments.PopulateBase(psw, fullCfg, cfg.Entries); err != nil {
+					b.Fatal(err)
+				}
+				if err := experiments.PopulateUseCase(psw, uc, cfg.Entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Sec. 5 throughput -------------------------------------------------------
+
+// BenchmarkThroughput_IPSA pushes each use case's workload through the
+// ipbm data plane; ns/op is the per-packet cost, pps is reported as a
+// custom metric alongside the FPGA model's Mpps.
+func BenchmarkThroughput_IPSA(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			prep, err := experiments.PrepareUseCase(benchCfg(), uc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, gen := prep.IPSA(), prep.Gen()
+			modeled, err := hwmodel.DefaultCycleParams().Model(uc, hwmodel.UseCaseClasses(uc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.ProcessPacket(gen.NextShared(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+			b.ReportMetric(modeled.IPSAMpps, "model_Mpps")
+		})
+	}
+}
+
+// BenchmarkThroughput_PISA is the baseline counterpart.
+func BenchmarkThroughput_PISA(b *testing.B) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			prep, err := experiments.PrepareUseCase(benchCfg(), uc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, gen := prep.PISA(), prep.Gen()
+			modeled, err := hwmodel.DefaultCycleParams().Model(uc, hwmodel.UseCaseClasses(uc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.ProcessPacket(gen.NextShared(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+			b.ReportMetric(modeled.PISAMpps, "model_Mpps")
+		})
+	}
+}
+
+// --- Table 2: resource model --------------------------------------------------
+
+// BenchmarkTable2_Resources evaluates the resource model and reports the
+// headline overheads as metrics.
+func BenchmarkTable2_Resources(b *testing.B) {
+	p := hwmodel.DefaultResourceParams()
+	var lut, ff float64
+	for i := 0; i < b.N; i++ {
+		pisa := p.PISAResources(8, 912)
+		ipsa := p.IPSAResources(8, 64)
+		lut = (ipsa.TotalLUT - pisa.TotalLUT) / pisa.TotalLUT * 100
+		ff = (ipsa.TotalFF - pisa.TotalFF) / pisa.TotalFF * 100
+	}
+	b.ReportMetric(lut, "lut_overhead_%")
+	b.ReportMetric(ff, "ff_overhead_%")
+}
+
+// --- Table 3: power model -------------------------------------------------------
+
+// BenchmarkTable3_Power evaluates the power model at the paper's scale.
+func BenchmarkTable3_Power(b *testing.B) {
+	p := hwmodel.DefaultPowerParams()
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = (p.IPSAPower(8, 8) - p.PISAPower(8)) / p.PISAPower(8) * 100
+	}
+	b.ReportMetric(overhead, "power_overhead_%")
+}
+
+// --- Fig. 6: power sweep ---------------------------------------------------------
+
+// BenchmarkFig6_PowerSweep sweeps effective stage counts and reports the
+// crossover below which IPSA wins.
+func BenchmarkFig6_PowerSweep(b *testing.B) {
+	p := hwmodel.DefaultPowerParams()
+	cross := 0
+	for i := 0; i < b.N; i++ {
+		cross = p.PowerCrossover(8)
+	}
+	b.ReportMetric(float64(cross), "crossover_stages")
+}
+
+// --- Ablations (DESIGN.md) -------------------------------------------------------
+
+// BenchmarkAblation_StageMerging compares compile results with predicate
+// merging on and off: the TSP count is the paper's resource argument.
+func BenchmarkAblation_StageMerging(b *testing.B) {
+	for _, merge := range []bool{true, false} {
+		name := "off"
+		if merge {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := backend.DefaultOptions()
+			opts.NumTSPs = 16
+			opts.EnableMerge = merge
+			var tsps int
+			for i := 0; i < b.N; i++ {
+				c, err := backend.Compile(loadBaseProgram(b), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tsps = c.Stats.TSPsUsed
+			}
+			b.ReportMetric(float64(tsps), "tsps_used")
+		})
+	}
+}
+
+// BenchmarkAblation_IncrementalLayout compares the DP and greedy placement
+// algorithms on a worst-case reorder, reporting template rewrites.
+func BenchmarkAblation_IncrementalLayout(b *testing.B) {
+	old := &layout.Assignment{
+		NumTSP:   16,
+		Position: map[string]int{"a": 3, "b": 4, "c": 5, "z": 9},
+		Modes:    make([]layout.Mode, 16),
+	}
+	seq := []string{"z", "a", "b", "c"}
+	b.Run("dp", func(b *testing.B) {
+		var rewrites int
+		for i := 0; i < b.N; i++ {
+			res, err := layout.PlaceIncrementalDP(old, seq, nil, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rewrites = res.Rewrites
+		}
+		b.ReportMetric(float64(rewrites), "rewrites")
+	})
+	b.Run("greedy", func(b *testing.B) {
+		var rewrites int
+		for i := 0; i < b.N; i++ {
+			res, err := layout.PlaceIncrementalGreedy(old, seq, nil, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rewrites = res.Rewrites
+		}
+		b.ReportMetric(float64(rewrites), "rewrites")
+	})
+}
+
+// BenchmarkAblation_Packing compares the exact set-packing solver against
+// the greedy first-fit on a tight instance the greedy cannot place at all
+// (items 8,7,6,5,4 over two 15-block clusters need the exact 15/15
+// split); the metric is feasibility plus achieved max load.
+func BenchmarkAblation_Packing(b *testing.B) {
+	items := []packing.Item{
+		{Name: "a", Blocks: 8}, {Name: "b", Blocks: 7}, {Name: "c", Blocks: 6},
+		{Name: "d", Blocks: 5}, {Name: "e", Blocks: 4},
+	}
+	caps := []int{15, 15}
+	for _, exact := range []bool{true, false} {
+		name := "greedy"
+		if exact {
+			name = "exact"
+		}
+		b.Run(name, func(b *testing.B) {
+			var maxLoad, feasible int
+			for i := 0; i < b.N; i++ {
+				sol, err := packing.Solve(items, caps, packing.Options{Exact: exact})
+				if err != nil {
+					maxLoad, feasible = 0, 0
+					continue
+				}
+				maxLoad, feasible = sol.MaxLoad, 1
+			}
+			b.ReportMetric(float64(maxLoad), "max_load")
+			b.ReportMetric(float64(feasible), "feasible")
+		})
+	}
+}
+
+// BenchmarkAblation_DistributedParsing compares on-demand parsing (headers
+// parsed once, where needed) against PISA-style full front parsing by
+// packet cost on the same design.
+func BenchmarkAblation_DistributedParsing(b *testing.B) {
+	prep, err := experiments.PrepareUseCase(benchCfg(), "C3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ipsa_on_demand", func(b *testing.B) {
+		sw, gen := prep.IPSA(), prep.Gen()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.ProcessPacket(gen.NextShared(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pisa_front_parse", func(b *testing.B) {
+		sw, gen := prep.PISA(), prep.Gen()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.ProcessPacket(gen.NextShared(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkThroughput_IPSA_Parallel drives the data plane from all cores,
+// the software equivalent of a multi-queue NIC feeding the pipeline.
+func BenchmarkThroughput_IPSA_Parallel(b *testing.B) {
+	prep, err := experiments.PrepareUseCase(benchCfg(), "C1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := prep.IPSA()
+	packets := prep.Gen().FlowPackets()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := sw.ProcessPacket(packets[i%len(packets)], 1); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// BenchmarkAblation_CrossbarMigration measures the cross-cluster table
+// migration a clustered crossbar forces when a logical stage moves — the
+// cost the paper's Sec. 2.4 warns about.
+func BenchmarkAblation_CrossbarMigration(b *testing.B) {
+	for _, entries := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mgr, err := mem.NewManager(mem.Config{Blocks: 64, BlockWidth: 128, BlockDepth: 16384, Clusters: 2},
+					mem.ClusteredCrossbar, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tbl, err := mgr.CreateTable("fib", match.LPM, 32, 16384, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for e := 0; e < entries; e++ {
+					key := []byte{byte(e >> 16), byte(e >> 8), byte(e), 0}
+					if _, err := tbl.Engine().Insert(match.Entry{Key: key, PrefixLen: 24, ActionID: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				moved, err := mgr.Migrate("fib", 7) // TSP 7 lives in cluster 1
+				if err != nil {
+					b.Fatal(err)
+				}
+				if moved != entries {
+					b.Fatalf("moved %d, want %d", moved, entries)
+				}
+			}
+		})
+	}
+}

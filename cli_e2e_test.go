@@ -1,0 +1,119 @@
+// End-to-end test of the actual CLI binaries: build them, run the P4→rP4→
+// templates flow, boot the switch daemon, and drive it with the controller
+// over the real control channel — the paper's deployment, as processes.
+package ipsa
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	rp4c := buildTool(t, dir, "rp4c")
+	rp4bc := buildTool(t, dir, "rp4bc")
+	ipbmBin := buildTool(t, dir, "ipbm")
+	rp4ctl := buildTool(t, dir, "rp4ctl")
+
+	// 1. P4 -> rP4 (+ API spec).
+	genRP4 := filepath.Join(dir, "base.rp4")
+	apiJSON := filepath.Join(dir, "api.json")
+	run(t, rp4c, "-o", genRP4, "-api", apiJSON, "testdata/base_l2l3.p4")
+	if b, err := os.ReadFile(apiJSON); err != nil || !strings.Contains(string(b), "ipv4_lpm") {
+		t.Fatalf("api spec: %v", err)
+	}
+
+	// 2. rP4 -> device configuration.
+	baseCfg := filepath.Join(dir, "base.json")
+	run(t, rp4bc, "-o", baseCfg, "testdata/base_l2l3.rp4")
+
+	// 3. Boot the switch daemon.
+	addr := freePort(t)
+	daemon := exec.Command(ipbmBin, "-listen", addr, "-config", baseCfg)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = daemon.Process.Kill()
+		_, _ = daemon.Process.Wait()
+	}()
+	// Wait for the CCM to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if out, err := exec.Command(rp4ctl, "-addr", addr, "ping").CombinedOutput(); err == nil && strings.Contains(string(out), "ok") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never answered ping")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 4. Populate a route and inspect state over the wire.
+	run(t, rp4ctl, "-addr", addr, "insert", "ipv4_lpm", "1", "key=0x0a000000", "prefix=8", "params=7")
+	tables := run(t, rp4ctl, "-addr", addr, "tables")
+	if !strings.Contains(tables, "ipv4_lpm") || !strings.Contains(tables, "entries=1") {
+		t.Fatalf("tables:\n%s", tables)
+	}
+
+	// 5. In-situ update: compile the ECMP increment and apply it live.
+	ecmpCfg := filepath.Join(dir, "ecmp.json")
+	out := run(t, rp4bc, "-script", "testdata/ecmp.script", "-o", ecmpCfg, "testdata/base_l2l3.rp4")
+	_ = out
+	applied := run(t, rp4ctl, "-addr", addr, "apply", ecmpCfg)
+	if !strings.Contains(applied, "full=false") {
+		t.Fatalf("apply was not incremental:\n%s", applied)
+	}
+	run(t, rp4ctl, "-addr", addr, "add-member", "ecmp_ipv4", "1", "group=7", "params=200,2199023255555")
+	tables = run(t, rp4ctl, "-addr", addr, "tables")
+	if !strings.Contains(tables, "ecmp_ipv4") || strings.Contains(tables, "nexthop_tbl") {
+		t.Fatalf("post-update tables:\n%s", tables)
+	}
+	stats := run(t, rp4ctl, "-addr", addr, "stats")
+	if !strings.Contains(stats, "active_tsps") {
+		t.Fatalf("stats:\n%s", stats)
+	}
+	fmt.Println("CLI end-to-end:", strings.TrimSpace(applied))
+}

@@ -1,0 +1,145 @@
+// ipbm runs the IPSA behavioral-model software switch: an elastic pipeline
+// of TSPs, a disaggregated memory pool, and a JSON-over-TCP control
+// channel (CCM) that accepts configurations from rp4bc and table writes
+// from rp4ctl.
+//
+// Usage:
+//
+//	ipbm -listen 127.0.0.1:9901 [-config config.json] [-tsps 16] [-ports 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/ipbm"
+	"ipsa/internal/netio"
+	"ipsa/internal/template"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9901", "control channel listen address")
+	configFile := flag.String("config", "", "initial device configuration JSON (optional)")
+	tsps := flag.Int("tsps", 16, "physical TSP count")
+	ports := flag.Int("ports", 8, "data ports")
+	pipelined := flag.Bool("pipelined", false, "asynchronous mode: TM buffers between ingress and egress workers")
+	egressWorkers := flag.Int("egress-workers", 2, "egress workers in pipelined mode")
+	pcapIn := flag.String("pcap-in", "", "replay this pcap through port 0 and exit (offline mode)")
+	pcapOut := flag.String("pcap-out", "", "with -pcap-in: capture forwarded packets here")
+	flag.Parse()
+
+	opts := ipbm.DefaultOptions()
+	opts.NumTSPs = *tsps
+	opts.NumPorts = *ports
+	sw, err := ipbm.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *configFile != "" {
+		b, err := os.ReadFile(*configFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := template.Unmarshal(b)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := sw.ApplyConfig(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		slog.Info("configuration installed", "tsps_written", st.TSPsWritten, "tables", st.TablesCreated)
+	}
+	if *pcapIn != "" {
+		if err := replay(sw, *pcapIn, *pcapOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	srv := ctrlplane.NewServer(sw, slog.Default())
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	slog.Info("ipbm up", "ccm", addr, "tsps", *tsps, "ports", *ports, "pipelined", *pipelined)
+	if *pipelined {
+		if err := sw.RunPipelined(*egressWorkers); err != nil {
+			fatal(err)
+		}
+	} else {
+		sw.Run()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	slog.Info("shutting down")
+	_ = srv.Close()
+	sw.Shutdown()
+}
+
+// replay pushes a pcap through port 0 and optionally captures the
+// survivors, reporting a summary.
+func replay(sw *ipbm.Switch, inPath, outPath string) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	rd, err := netio.NewPcapReader(in)
+	if err != nil {
+		return err
+	}
+	var wr *netio.PcapWriter
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if wr, err = netio.NewPcapWriter(out); err != nil {
+			return err
+		}
+	}
+	forwarded, dropped, punted := 0, 0, 0
+	for {
+		ts, data, err := rd.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		p, err := sw.ProcessPacket(data, 0)
+		if err != nil {
+			return err
+		}
+		if p.ToCPU {
+			punted++
+		}
+		if p.Drop {
+			dropped++
+			continue
+		}
+		forwarded++
+		if wr != nil {
+			if err := wr.WritePacket(ts, p.Data); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("replayed %d packets: %d forwarded, %d dropped, %d punted\n",
+		rd.Count(), forwarded, dropped, punted)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipbm:", err)
+	os.Exit(1)
+}

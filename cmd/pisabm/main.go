@@ -1,0 +1,82 @@
+// pisabm runs the PISA behavioral-model baseline switch (the bmv2
+// equivalent): fixed stages, front parser, full-reload-only updates. It
+// speaks the same control channel as ipbm so rp4ctl drives both.
+//
+// Usage:
+//
+//	pisabm -listen 127.0.0.1:9902 [-config config.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/pisa"
+	"ipsa/internal/template"
+)
+
+// device adapts pisa.Switch to the full ctrlplane.Device interface.
+type device struct {
+	*pisa.Switch
+}
+
+func (d device) DeleteEntry(table string, handle int) error {
+	return fmt.Errorf("pisabm: per-entry deletion is not part of the baseline model")
+}
+
+func (d device) ListTables() []ctrlplane.TableStatus { return nil }
+
+func (d device) Stats() *ctrlplane.DeviceStats {
+	p, drop := d.Switch.Stats()
+	return &ctrlplane.DeviceStats{Processed: p, Dropped: drop}
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9902", "control channel listen address")
+	configFile := flag.String("config", "", "initial device configuration JSON (optional)")
+	ingress := flag.Int("ingress-stages", 12, "fixed ingress stage count")
+	egress := flag.Int("egress-stages", 4, "fixed egress stage count")
+	flag.Parse()
+
+	opts := pisa.DefaultOptions()
+	opts.IngressStages = *ingress
+	opts.EgressStages = *egress
+	sw, err := pisa.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *configFile != "" {
+		b, err := os.ReadFile(*configFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := template.Unmarshal(b)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sw.ApplyConfig(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	srv := ctrlplane.NewServer(device{sw}, slog.Default())
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	slog.Info("pisabm up", "ccm", addr, "ingress", *ingress, "egress", *egress)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pisabm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// rp4bc is the rP4 back-end compiler: it maps an rP4 design onto TSP
+// template parameters (JSON device configuration). With -script it applies
+// an in-situ update script first and reports the incremental patch the
+// device needs — the paper's two outputs: the updated base design and the
+// new TSP templates plus switch configuration.
+//
+// Usage:
+//
+//	rp4bc -o config.json base.rp4
+//	rp4bc -script ecmp.script -o config.json -design-out updated.rp4 base.rp4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ipsa/internal/compiler/backend"
+	"ipsa/internal/rp4/parser"
+)
+
+func main() {
+	out := flag.String("o", "", "output device configuration JSON (default: stdout)")
+	script := flag.String("script", "", "in-situ update script to apply after the base compile")
+	designOut := flag.String("design-out", "", "write the updated base design (rP4) here")
+	tsps := flag.Int("tsps", 16, "physical TSP count of the target")
+	noMerge := flag.Bool("no-merge", false, "disable predicate-based stage merging")
+	greedy := flag.Bool("greedy", false, "use the greedy incremental layout instead of DP")
+	clustered := flag.Bool("clustered", false, "constrain tables to their TSP's memory cluster")
+	mapping := flag.Bool("mapping", false, "print the stage-to-TSP mapping (Fig. 4 style) to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rp4bc [flags] base.rp4")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opts := backend.DefaultOptions()
+	opts.NumTSPs = *tsps
+	opts.EnableMerge = !*noMerge
+	opts.IncrementalDP = !*greedy
+	opts.Clustered = *clustered
+
+	ws, err := backend.NewWorkspace(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ws.Current().Config
+	if *script != "" {
+		scriptSrc, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		dir := filepath.Dir(*script)
+		loader := func(name string) (string, error) {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			return string(b), err
+		}
+		rep, err := ws.ApplyScript(string(scriptSrc), loader)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = rep.Config
+		fmt.Fprintf(os.Stderr, "rp4bc: stages +%v -%v, new tables %v, rewritten TSPs %v, selector moved: %v\n",
+			rep.AddedStages, rep.RemovedStages, rep.NewTables, rep.RewrittenTSPs, rep.SelectorChanged)
+	}
+	st := ws.Current().Stats
+	fmt.Fprintf(os.Stderr, "rp4bc: %d stages on %d TSPs (%d merged), layout rewrites %d, packing max load %d\n",
+		st.Stages, st.TSPsUsed, st.MergedStages, st.LayoutRewrites, ws.Current().Packing.MaxLoad)
+
+	if *mapping {
+		byTSP := map[int][]string{}
+		for s, tp := range cfg.TSPAssignment {
+			byTSP[tp] = append(byTSP[tp], s)
+		}
+		for tp := 0; tp < *tsps; tp++ {
+			if stages, ok := byTSP[tp]; ok {
+				sort.Strings(stages)
+				fmt.Fprintf(os.Stderr, "  TSP%-2d: %s\n", tp, strings.Join(stages, " + "))
+			}
+		}
+	}
+
+	b, err := cfg.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(b))
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	if *designOut != "" {
+		if err := os.WriteFile(*designOut, []byte(ws.RenderProgram()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rp4bc:", err)
+	os.Exit(1)
+}

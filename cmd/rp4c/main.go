@@ -1,0 +1,62 @@
+// rp4c is the rP4 front-end compiler (rp4fc in the paper): it translates a
+// P4-16 subset program into semantically equivalent rP4 and emits the
+// runtime table APIs for the controller.
+//
+// Usage:
+//
+//	rp4c -o base.rp4 -api base_api.json base.p4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ipsa/internal/compiler/frontend"
+	"ipsa/internal/p4"
+	"ipsa/internal/rp4/printer"
+)
+
+func main() {
+	out := flag.String("o", "", "output rP4 file (default: stdout)")
+	apiOut := flag.String("api", "", "output JSON table-API file (optional)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rp4c [-o out.rp4] [-api api.json] input.p4")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	hlir, err := p4.Parse(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, api, err := frontend.Transform(hlir)
+	if err != nil {
+		fatal(err)
+	}
+	rendered := printer.Print(prog)
+	if *out == "" {
+		fmt.Print(rendered)
+	} else if err := os.WriteFile(*out, []byte(rendered), 0o644); err != nil {
+		fatal(err)
+	}
+	if *apiOut != "" {
+		b, err := json.MarshalIndent(api, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*apiOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rp4c:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,270 @@
+// rp4ctl is the controller CLI: it talks to a running switch's control
+// channel to load configurations, write table entries and read state —
+// the command-line interface the paper's controller exposes for loading
+// and offloading functions at runtime.
+//
+// Usage:
+//
+//	rp4ctl -addr 127.0.0.1:9901 ping
+//	rp4ctl -addr ... apply config.json
+//	rp4ctl -addr ... tables
+//	rp4ctl -addr ... stats
+//	rp4ctl -addr ... table-stats <table>
+//	rp4ctl -addr ... read-register <name> <index>
+//	rp4ctl -addr ... insert <table> <tag> key=<v>[,<v>...] [params=<v>,...] [prefix=<n>] [prio=<n>]
+//	rp4ctl -addr ... add-member <table> <tag> group=<v> [params=<v>,...]
+//
+// Values are Go-syntax integers (0x.. hex ok); 16-byte values (IPv6
+// addresses) are given as 32 hex digits.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/template"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9901", "device control channel address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cl, err := ctrlplane.Dial(*addr, 3*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "apply":
+		need(args, 2)
+		b, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := template.Unmarshal(b)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := cl.ApplyConfig(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied: full=%v tsps_written=%d tables +%d -%d load=%.2fms\n",
+			st.Full, st.TSPsWritten, st.TablesCreated, st.TablesDropped,
+			float64(st.LoadNanos)/1e6)
+	case "tables":
+		tables, err := cl.ListTables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			kind := t.Kind
+			if t.Selector {
+				kind += "/selector"
+			}
+			fmt.Printf("%-20s %-14s key=%-4db size=%-6d entries=%d\n",
+				t.Name, kind, t.KeyWidth, t.Size, t.Entries)
+		}
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("processed=%d dropped=%d to_cpu=%d active_tsps=%d template_loads=%d stall=%.3fms\n",
+			st.Processed, st.Dropped, st.ToCPU, st.ActiveTSPs, st.TemplateLoads,
+			float64(st.StallNanos)/1e6)
+	case "table-stats":
+		need(args, 2)
+		st, err := cl.TableStats(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
+	case "read-register":
+		need(args, 3)
+		idx, err := strconv.ParseUint(args[2], 0, 64)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := cl.ReadRegister(args[1], idx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(v)
+	case "delete":
+		need(args, 3)
+		h, err := strconv.Atoi(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.DeleteEntry(args[1], h); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "insert":
+		need(args, 4)
+		req, err := parseEntry(args[1:])
+		if err != nil {
+			fatal(err)
+		}
+		h, err := cl.InsertEntry(*req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("handle=%d\n", h)
+	case "add-member":
+		need(args, 4)
+		m, err := parseMember(args[1:])
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.AddMember(*m); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+func parseValues(s string) ([]ctrlplane.FieldValue, error) {
+	var out []ctrlplane.FieldValue
+	for _, part := range strings.Split(s, ",") {
+		fv, err := parseValue(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fv)
+	}
+	return out, nil
+}
+
+func parseValue(s string) (ctrlplane.FieldValue, error) {
+	s = strings.TrimSpace(s)
+	// 32 hex digits = a 16-byte field.
+	if len(s) == 32 {
+		if b, err := hex.DecodeString(s); err == nil {
+			return ctrlplane.FieldValue{Bytes: b}, nil
+		}
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return ctrlplane.FieldValue{}, fmt.Errorf("bad value %q: %w", s, err)
+	}
+	return ctrlplane.FieldValue{Value: v}, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 0, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseEntry(args []string) (*ctrlplane.EntryReq, error) {
+	tag, err := strconv.Atoi(args[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad tag %q", args[1])
+	}
+	req := &ctrlplane.EntryReq{Table: args[0], Tag: tag}
+	for _, kv := range args[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", kv)
+		}
+		switch k {
+		case "key":
+			req.Keys, err = parseValues(v)
+		case "params":
+			req.Params, err = parseUints(v)
+		case "prefix":
+			req.PrefixLen, err = strconv.Atoi(v)
+		case "prio":
+			req.Priority, err = strconv.Atoi(v)
+		case "high":
+			req.High, err = parseValues(v)
+		default:
+			return nil, fmt.Errorf("unknown option %q", k)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+func parseMember(args []string) (*ctrlplane.MemberReq, error) {
+	tag, err := strconv.Atoi(args[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad tag %q", args[1])
+	}
+	req := &ctrlplane.MemberReq{Table: args[0], Tag: tag}
+	for _, kv := range args[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", kv)
+		}
+		switch k {
+		case "group":
+			fv, err := parseValue(v)
+			if err != nil {
+				return nil, err
+			}
+			req.Group = fv
+		case "params":
+			req.Params, err = parseUints(v)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown option %q", k)
+		}
+	}
+	return req, nil
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rp4ctl -addr HOST:PORT COMMAND
+commands:
+  ping
+  apply CONFIG.json
+  tables
+  stats
+  table-stats TABLE
+  read-register NAME INDEX
+  insert TABLE TAG key=V[,V...] [params=V,...] [prefix=N] [prio=N] [high=V,...]
+  delete TABLE HANDLE
+  add-member TABLE TAG group=V [params=V,...]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rp4ctl:", err)
+	os.Exit(1)
+}

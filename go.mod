@@ -1,0 +1,3 @@
+module ipsa
+
+go 1.22

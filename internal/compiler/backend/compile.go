@@ -1,0 +1,309 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"ipsa/internal/compiler/layout"
+	"ipsa/internal/compiler/packing"
+	"ipsa/internal/mem"
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/sem"
+	"ipsa/internal/template"
+)
+
+// Options tunes rp4bc.
+type Options struct {
+	// NumTSPs is the physical TSP count of the target (8 on the paper's
+	// FPGA prototypes).
+	NumTSPs int
+	// EnableMerge turns predicate-based stage merging on (the default).
+	EnableMerge bool
+	// IncrementalDP selects the DP layout optimizer for updates; false
+	// selects the greedy variant.
+	IncrementalDP bool
+	// Mem describes the memory pool for table packing.
+	Mem mem.Config
+	// Clustered constrains tables to their TSP's cluster.
+	Clustered bool
+	// ExactPacking enables branch-and-bound table packing.
+	ExactPacking bool
+}
+
+// DefaultOptions mirror the paper's FPGA prototype scale.
+func DefaultOptions() Options {
+	return Options{
+		NumTSPs:       8,
+		EnableMerge:   true,
+		IncrementalDP: true,
+		Mem:           mem.DefaultConfig(),
+		Clustered:     false,
+		ExactPacking:  true,
+	}
+}
+
+// Compiled is a full rp4bc output.
+type Compiled struct {
+	Design *sem.Design
+	Config *template.Config
+	Links  *Graph
+
+	IngressGroups []Group
+	EgressGroups  []Group
+	Assignment    *layout.Assignment
+	Packing       *packing.Solution
+
+	Stats Stats
+}
+
+// Stats summarizes a compile for the evaluation harness.
+type Stats struct {
+	Stages         int
+	TSPsUsed       int
+	MergedStages   int // stages sharing a TSP with another stage
+	LayoutRewrites int // TSP templates (re)written by this compile
+	LayoutKept     int
+	PackingNodes   int
+}
+
+// Compile runs the full back-end flow on a complete rP4 program: analyze,
+// lower, build the initial link chain, merge, place, pack.
+func Compile(prog *ast.Program, opts Options) (*Compiled, error) {
+	d, err := sem.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	links, err := InitialLinks(d)
+	if err != nil {
+		return nil, err
+	}
+	return compileWithLinks(d, links, opts, nil)
+}
+
+// InitialLinks derives the link graph from stage declaration order: a chain
+// through the ingress stages, a chain through the egress stages, and the
+// cross edge from the last ingress stage to the egress entry (the TM
+// boundary).
+func InitialLinks(d *sem.Design) (*Graph, error) {
+	g := NewGraph()
+	ing := d.IngressStages()
+	eg := d.EgressStages()
+	for _, s := range ing {
+		g.AddNode(s)
+	}
+	for _, s := range eg {
+		g.AddNode(s)
+	}
+	for i := 1; i < len(ing); i++ {
+		if err := g.AddEdge(ing[i-1], ing[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(eg); i++ {
+		if err := g.AddEdge(eg[i-1], eg[i]); err != nil {
+			return nil, err
+		}
+	}
+	if len(ing) > 0 && len(eg) > 0 {
+		first := eg[0]
+		if d.Prog.Funcs != nil && d.Prog.Funcs.EgressEntry != "" {
+			first = d.Prog.Funcs.EgressEntry
+		}
+		if err := g.AddEdge(ing[len(ing)-1], first); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// splitPipes classifies graph nodes: every node reachable from the egress
+// entry is egress; the rest are ingress. Floating stages inherit a pipe
+// this way once linked.
+func splitPipes(d *sem.Design, links *Graph) (ingress, egress []string, err error) {
+	egressSet := make(map[string]bool)
+	if d.Prog.Funcs != nil && d.Prog.Funcs.EgressEntry != "" {
+		entry := d.Prog.Funcs.EgressEntry
+		if links.HasNode(entry) {
+			egressSet = links.ReachableFrom(entry)
+		}
+	} else {
+		// No declared entry: trust the declared pipes.
+		for _, n := range links.Nodes() {
+			if si, ok := d.Stages[n]; ok && si.Pipe == "egress" {
+				egressSet[n] = true
+			}
+		}
+	}
+	order, err := links.TopoSort()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, n := range order {
+		if egressSet[n] {
+			egress = append(egress, n)
+		} else {
+			ingress = append(ingress, n)
+		}
+	}
+	return ingress, egress, nil
+}
+
+func compileWithLinks(d *sem.Design, links *Graph, opts Options, old *layout.Assignment) (*Compiled, error) {
+	cfg, err := Lower(d)
+	if err != nil {
+		return nil, err
+	}
+	ingress, egress, err := splitPipes(d, links)
+	if err != nil {
+		return nil, err
+	}
+	// Stage templates learn their (possibly inferred) pipe.
+	for _, n := range ingress {
+		if s, ok := cfg.Stages[n]; ok {
+			s.Pipe = "ingress"
+		}
+	}
+	for _, n := range egress {
+		if s, ok := cfg.Stages[n]; ok {
+			s.Pipe = "egress"
+		}
+	}
+	// Drop templates for stages not in the graph (unloaded or floating
+	// and never linked).
+	live := make(map[string]bool, len(ingress)+len(egress))
+	for _, n := range append(append([]string(nil), ingress...), egress...) {
+		live[n] = true
+	}
+	liveTables := make(map[string]bool)
+	for name, s := range cfg.Stages {
+		if !live[name] {
+			delete(cfg.Stages, name)
+			continue
+		}
+		for _, t := range s.Tables {
+			liveTables[t] = true
+		}
+	}
+	for name := range cfg.Tables {
+		if !liveTables[name] {
+			delete(cfg.Tables, name)
+		}
+	}
+	cfg.IngressChain = ingress
+	cfg.EgressChain = egress
+
+	chainRank := make(map[string]int)
+	for i, n := range ingress {
+		chainRank[n] = i
+	}
+	for i, n := range egress {
+		chainRank[n] = len(ingress) + i
+	}
+	ingDep := DepGraph(d, links, "ingress", ingress)
+	egDep := DepGraph(d, links, "egress", egress)
+	ingGroups := MergeStages(d, ingDep, chainRank, opts.EnableMerge)
+	egGroups := MergeStages(d, egDep, chainRank, opts.EnableMerge)
+
+	ingKeys := make([]string, len(ingGroups))
+	for i, g := range ingGroups {
+		ingKeys[i] = layout.GroupKey(g.Stages)
+	}
+	egKeys := make([]string, len(egGroups))
+	for i, g := range egGroups {
+		egKeys[i] = layout.GroupKey(g.Stages)
+	}
+	var assign *layout.Assignment
+	stats := Stats{Stages: len(ingress) + len(egress)}
+	if old == nil {
+		assign, err = layout.PlaceFull(ingKeys, egKeys, opts.NumTSPs)
+		if err != nil {
+			return nil, err
+		}
+		stats.LayoutRewrites = len(ingKeys) + len(egKeys)
+	} else {
+		var res *layout.Result
+		if opts.IncrementalDP {
+			res, err = layout.PlaceIncrementalDP(old, ingKeys, egKeys, opts.NumTSPs)
+		} else {
+			res, err = layout.PlaceIncrementalGreedy(old, ingKeys, egKeys, opts.NumTSPs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		assign = res.Assignment
+		stats.LayoutRewrites = res.Rewrites
+		stats.LayoutKept = res.Kept
+	}
+	// Stage -> physical TSP.
+	cfg.TSPAssignment = make(map[string]int)
+	for i, g := range ingGroups {
+		for _, s := range g.Stages {
+			cfg.TSPAssignment[s] = assign.Position[ingKeys[i]]
+			if len(g.Stages) > 1 {
+				stats.MergedStages++
+			}
+		}
+	}
+	for i, g := range egGroups {
+		for _, s := range g.Stages {
+			cfg.TSPAssignment[s] = assign.Position[egKeys[i]]
+			if len(g.Stages) > 1 {
+				stats.MergedStages++
+			}
+		}
+	}
+	stats.TSPsUsed = assign.ActiveTSPs()
+
+	pack, err := packTables(d, cfg, assign, opts)
+	if err != nil {
+		return nil, err
+	}
+	stats.PackingNodes = pack.Nodes
+
+	return &Compiled{
+		Design: d, Config: cfg, Links: links,
+		IngressGroups: ingGroups, EgressGroups: egGroups,
+		Assignment: assign, Packing: pack, Stats: stats,
+	}, nil
+}
+
+// packTables maps every live table into the memory pool, constrained to
+// its TSP's cluster when the crossbar is clustered.
+func packTables(d *sem.Design, cfg *template.Config, assign *layout.Assignment, opts Options) (*packing.Solution, error) {
+	mc := opts.Mem
+	perCluster := mc.Blocks / mc.Clusters
+	caps := make([]int, mc.Clusters)
+	for i := range caps {
+		caps[i] = perCluster
+	}
+	tspsPerCluster := (opts.NumTSPs + mc.Clusters - 1) / mc.Clusters
+
+	var items []packing.Item
+	names := make([]string, 0, len(cfg.Tables))
+	for n := range cfg.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := cfg.Tables[name]
+		blocks := mem.BlocksForTable(t.KeyWidth, t.Size, mc.BlockWidth, mc.BlockDepth)
+		it := packing.Item{Name: name, Blocks: blocks}
+		if opts.Clustered {
+			// Find the TSP driving this table.
+			for sn, s := range cfg.Stages {
+				for _, tn := range s.Tables {
+					if tn == name {
+						tsp := cfg.TSPAssignment[sn]
+						it.Allowed = []int{tsp / tspsPerCluster}
+					}
+				}
+			}
+		}
+		items = append(items, it)
+	}
+	sol, err := packing.Solve(items, caps, packing.Options{Exact: opts.ExactPacking})
+	if err != nil {
+		return nil, fmt.Errorf("rp4bc: memory pool packing: %w", err)
+	}
+	return sol, nil
+}

@@ -1,0 +1,233 @@
+package backend
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/parser"
+	"ipsa/internal/rp4/sem"
+)
+
+func loadBase(t *testing.T) *ast.Program {
+	t.Helper()
+	src, err := os.ReadFile("../../../testdata/base_l2l3.rp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse("base_l2l3.rp4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func testdataLoader(t *testing.T) Loader {
+	t.Helper()
+	return func(name string) (string, error) {
+		b, err := os.ReadFile(filepath.Join("../../../testdata", name))
+		return string(b), err
+	}
+}
+
+func readScript(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("../../../testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCompileBaseDesignSevenTSPs(t *testing.T) {
+	c, err := Compile(loadBase(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's base design maps to seven TSPs (Sec. 4.2): predicate
+	// merging packs the v4/v6 host FIBs, the v4/v6 LPM FIBs, and the two
+	// egress stages.
+	if c.Stats.TSPsUsed != 7 {
+		t.Errorf("TSPs used = %d, want 7 (groups: %v / %v)",
+			c.Stats.TSPsUsed, c.IngressGroups, c.EgressGroups)
+	}
+	if len(c.IngressGroups) != 6 || len(c.EgressGroups) != 1 {
+		t.Errorf("groups = %d ingress, %d egress", len(c.IngressGroups), len(c.EgressGroups))
+	}
+	// The merged pairs must be the exclusive FIB stages and the
+	// independent egress stages.
+	foundHostMerge, foundLpmMerge := false, false
+	for _, g := range c.IngressGroups {
+		k := map[string]bool{}
+		for _, s := range g.Stages {
+			k[s] = true
+		}
+		if k["ipv4_host_fib"] && k["ipv6_host_fib"] {
+			foundHostMerge = true
+		}
+		if k["ipv4_lpm_fib"] && k["ipv6_lpm_fib"] {
+			foundLpmMerge = true
+		}
+	}
+	if !foundHostMerge || !foundLpmMerge {
+		t.Errorf("expected v4/v6 FIB merges, got %v", c.IngressGroups)
+	}
+	if len(c.EgressGroups[0].Stages) != 2 {
+		t.Errorf("egress group = %v, want l2_l3_rewrite+dmac", c.EgressGroups)
+	}
+	// Template config sanity.
+	if err := c.Config.Validate(); err != nil {
+		t.Errorf("config invalid: %v", err)
+	}
+	if len(c.Config.IngressChain) != 8 || len(c.Config.EgressChain) != 2 {
+		t.Errorf("chains: %v / %v", c.Config.IngressChain, c.Config.EgressChain)
+	}
+	if c.Config.MetaBytes == 0 {
+		t.Error("no metadata")
+	}
+	// Every live stage has a TSP.
+	for s := range c.Config.Stages {
+		if _, ok := c.Config.TSPAssignment[s]; !ok {
+			t.Errorf("stage %q unassigned", s)
+		}
+	}
+	// Packing found a feasible placement for all 10 tables.
+	if len(c.Packing.Assignment) != 10 {
+		t.Errorf("packed %d tables", len(c.Packing.Assignment))
+	}
+}
+
+func TestCompileWithoutMerge(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EnableMerge = false
+	opts.NumTSPs = 12
+	c, err := Compile(loadBase(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.TSPsUsed != 10 {
+		t.Errorf("unmerged TSPs = %d, want 10 (one per stage)", c.Stats.TSPsUsed)
+	}
+	if c.Stats.MergedStages != 0 {
+		t.Errorf("merged stages = %d", c.Stats.MergedStages)
+	}
+}
+
+func TestCompileTooFewTSPs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NumTSPs = 4
+	if _, err := Compile(loadBase(t), opts); err == nil {
+		t.Error("design accepted on 4 TSPs")
+	}
+}
+
+func TestLowerProducesExecutableShapes(t *testing.T) {
+	d, err := sem.Analyze(loadBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Lower(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ethernet parser transitions resolved to instance ids.
+	eth := cfg.HeaderByName("ethernet")
+	if eth == nil || len(eth.Transitions) != 2 || eth.SelWidth != 16 || eth.SelOff != 96 {
+		t.Fatalf("ethernet template: %+v", eth)
+	}
+	// rewrite_l3 contains conditional TTL decrements.
+	act := cfg.Actions["rewrite_l3"]
+	if act == nil || len(act.Body) != 3 {
+		t.Fatalf("rewrite_l3 body: %+v", act)
+	}
+	if act.Body[1].Op != "if" || act.Body[1].Cond == nil {
+		t.Errorf("expected if instruction: %+v", act.Body[1])
+	}
+	// set_bd_dmac params lowered.
+	sb := cfg.Actions["set_bd_dmac"]
+	if len(sb.ParamWidths) != 2 || sb.ParamWidths[1] != 48 {
+		t.Errorf("set_bd_dmac params: %v", sb.ParamWidths)
+	}
+	// ipv4_lpm table kind.
+	if cfg.Tables["ipv4_lpm"].Kind != "lpm" {
+		t.Errorf("ipv4_lpm kind = %s", cfg.Tables["ipv4_lpm"].Kind)
+	}
+	// Every stage got a default arm.
+	for n, s := range cfg.Stages {
+		has := false
+		for _, a := range s.Arms {
+			if a.Default {
+				has = true
+			}
+		}
+		if !has {
+			t.Errorf("stage %q lacks default arm", n)
+		}
+	}
+}
+
+func TestExclusivityAnalysis(t *testing.T) {
+	d, err := sem.Analyze(loadBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := computeCoValidity(d)
+	if cv.CanCoOccur("ipv4", "ipv6") {
+		t.Error("ipv4 and ipv6 co-occur in the base parse graph")
+	}
+	if !cv.CanCoOccur("ethernet", "ipv4") || !cv.CanCoOccur("ipv4", "tcp") {
+		t.Error("chain co-occurrence missing")
+	}
+	if !Exclusive(d.Stages["ipv4_host_fib"], d.Stages["ipv6_host_fib"], cv) {
+		t.Error("v4/v6 host FIB stages not exclusive")
+	}
+	if Exclusive(d.Stages["ipv4_host_fib"], d.Stages["ipv4_lpm_fib"], cv) {
+		t.Error("v4 host and lpm FIB stages wrongly exclusive")
+	}
+	// Unconditional stages are never exclusive with anything applying.
+	if Exclusive(d.Stages["port_map"], d.Stages["bd_vrf"], cv) {
+		t.Error("unconditional stages wrongly exclusive")
+	}
+}
+
+func TestDataConflict(t *testing.T) {
+	d, err := sem.Analyze(loadBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataConflict(d.Stages["port_map"], d.Stages["bd_vrf"], d) {
+		t.Error("iif RAW conflict missed")
+	}
+	if dataConflict(d.Stages["port_map"], d.Stages["l2_l3"], d) {
+		t.Error("independent stages conflict")
+	}
+	if !dataConflict(d.Stages["ipv4_host_fib"], d.Stages["ipv6_host_fib"], d) {
+		t.Error("WAW on nexthop missed (exclusivity is separate)")
+	}
+}
+
+func TestInitialLinksShape(t *testing.T) {
+	d, err := sem.Analyze(loadBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := InitialLinks(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of 8 ingress + cross edge + chain of 2 egress.
+	if got := g.Succ("nexthop"); len(got) != 1 || got[0] != "l2_l3_rewrite" {
+		t.Errorf("cross edge: %v", got)
+	}
+	if got := g.Succ("l2_l3_rewrite"); len(got) != 1 || got[0] != "dmac" {
+		t.Errorf("egress chain: %v", got)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Errorf("order = %v", order)
+	}
+}

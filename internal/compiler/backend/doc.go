@@ -1,0 +1,9 @@
+// Package backend implements rp4bc, the rP4 back-end compiler (paper
+// Sec. 3.2): it lowers analyzed rP4 programs to TSP template parameters
+// (package template), analyzes the dependencies of logical stages, merges
+// independent stages into shared TSPs using predicate exclusivity, computes
+// the stage-to-TSP layout (package layout) and the table-to-memory-pool
+// placement (package packing), and executes the update-script language
+// (load / unload / add_link / del_link / link_header) that drives in-situ
+// incremental updates.
+package backend

@@ -1,0 +1,246 @@
+package backend
+
+import (
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/sem"
+	"ipsa/internal/rp4/token"
+)
+
+// Exclusivity analysis: two stages whose guard predicates can never hold
+// for the same packet may share a TSP even when their write sets overlap —
+// the paper's "optimizes the predicates to merge some independent stages
+// into a single TSP". The strongest source of exclusivity is the parse
+// graph: ipv4 and ipv6 are alternative successors of ethernet, so
+// ipv4.isValid() && ipv6.isValid() is unsatisfiable.
+
+// coValidity computes, for every pair of header instances, whether some
+// parse path can make both valid simultaneously.
+type coValidity struct {
+	co map[[2]string]bool
+}
+
+func computeCoValidity(d *sem.Design) *coValidity {
+	cv := &coValidity{co: make(map[[2]string]bool)}
+	if len(d.Instances) == 0 {
+		return cv
+	}
+	// Enumerate parse paths by DFS from the first instance. Paths are sets
+	// of instances; a header pair on one path can co-occur. Cycles (e.g.
+	// srh -> ipv6 with a single ipv6 instance) are cut by the on-path set.
+	start := d.Instances[0]
+	onPath := make(map[string]bool)
+	var path []string
+	var walk func(inst *sem.Instance)
+	walk = func(inst *sem.Instance) {
+		if onPath[inst.Name] {
+			return
+		}
+		onPath[inst.Name] = true
+		path = append(path, inst.Name)
+		for _, a := range path {
+			cv.setCo(a, inst.Name)
+		}
+		if inst.Def.Parser != nil {
+			for _, tr := range inst.Def.Parser.Transitions {
+				if next, ok := d.InstanceByName[tr.Next]; ok {
+					walk(next)
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[inst.Name] = false
+	}
+	walk(start)
+	return cv
+}
+
+func (cv *coValidity) setCo(a, b string) {
+	if a > b {
+		a, b = b, a
+	}
+	cv.co[[2]string{a, b}] = true
+}
+
+// CanCoOccur reports whether headers a and b can both be valid.
+func (cv *coValidity) CanCoOccur(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return cv.co[[2]string{a, b}]
+}
+
+// atom is one literal of a guard conjunction.
+type atom struct {
+	kind    atomKind
+	header  string // valid
+	field   string // cmp: canonical field name
+	cmpOp   token.Type
+	cmpVal  uint64
+	negated bool
+}
+
+type atomKind int
+
+const (
+	atomValid atomKind = iota
+	atomCmpConst
+	atomOpaque // anything we can't reason about
+)
+
+// guard is a conjunction of atoms; a stage's predicate is a disjunction of
+// guards (one per matcher branch that applies a table).
+type guard []atom
+
+// stageGuards extracts the disjunction of branch guards under which a
+// stage applies any table. A stage with an unconditional apply yields one
+// empty guard (always true).
+func stageGuards(si *sem.StageInfo) []guard {
+	var out []guard
+	var walk func(body []ast.Stmt, cur guard)
+	walk = func(body []ast.Stmt, cur guard) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ast.CallStmt:
+				if st.Method == "apply" {
+					out = append(out, append(guard(nil), cur...))
+				}
+			case *ast.IfStmt:
+				thenG := append(append(guard(nil), cur...), condAtoms(st.Cond, false)...)
+				walk(st.Then, thenG)
+				elseG := append(append(guard(nil), cur...), condAtoms(st.Cond, true)...)
+				walk(st.Else, elseG)
+			}
+		}
+	}
+	walk(si.Def.Matcher, nil)
+	return out
+}
+
+// condAtoms flattens a condition into conjunction atoms. Negation
+// distributes only over single atoms; anything more complex becomes an
+// opaque atom (conservatively satisfiable).
+func condAtoms(e ast.Expr, neg bool) []atom {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if x.Method == "isValid" && x.Recv != "" {
+			return []atom{{kind: atomValid, header: x.Recv, negated: neg}}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.Not {
+			return condAtoms(x.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AndAnd:
+			if !neg {
+				return append(condAtoms(x.X, false), condAtoms(x.Y, false)...)
+			}
+		case token.OrOr:
+			if neg { // !(a || b) == !a && !b
+				return append(condAtoms(x.X, true), condAtoms(x.Y, true)...)
+			}
+		case token.Eq, token.Neq:
+			if ref, okA := x.X.(*ast.FieldRef); okA {
+				if num, okB := x.Y.(*ast.NumberLit); okB && len(ref.Parts) == 2 {
+					op := x.Op
+					if neg {
+						if op == token.Eq {
+							op = token.Neq
+						} else {
+							op = token.Eq
+						}
+					}
+					return []atom{{kind: atomCmpConst, field: ref.String(), cmpOp: op, cmpVal: num.Val}}
+				}
+			}
+		}
+	}
+	return []atom{{kind: atomOpaque}}
+}
+
+// contradictory reports whether two guard conjunctions cannot both hold.
+func contradictory(a, b guard, cv *coValidity) bool {
+	all := append(append(guard(nil), a...), b...)
+	// Pairwise checks.
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			x, y := all[i], all[j]
+			// valid(h1) && valid(h2) with exclusive headers.
+			if x.kind == atomValid && y.kind == atomValid && !x.negated && !y.negated {
+				if !cv.CanCoOccur(x.header, y.header) {
+					return true
+				}
+			}
+			// valid(h) && !valid(h).
+			if x.kind == atomValid && y.kind == atomValid && x.header == y.header && x.negated != y.negated {
+				return true
+			}
+			// f == c1 && f == c2 with c1 != c2; f == c && f != c.
+			if x.kind == atomCmpConst && y.kind == atomCmpConst && x.field == y.field {
+				if x.cmpOp == token.Eq && y.cmpOp == token.Eq && x.cmpVal != y.cmpVal {
+					return true
+				}
+				if x.cmpVal == y.cmpVal && x.cmpOp != y.cmpOp {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Exclusive reports whether stages a and b can never both act on the same
+// packet: every pair of their branch guards is contradictory, witnessed
+// only by atoms over *stable* state. An atom over a field either stage
+// writes is discarded first — `fib_hit == 0` vs `fib_hit == 1` is no
+// contradiction when the first stage sets fib_hit, because the stages run
+// sequentially and the earlier one enables the later. Header-validity
+// atoms are unstable when either stage pops headers (srh_pop).
+func Exclusive(a, b *sem.StageInfo, cv *coValidity) bool {
+	ga, gb := stageGuards(a), stageGuards(b)
+	if len(ga) == 0 || len(gb) == 0 {
+		// A stage with no applies never conflicts.
+		return true
+	}
+	unstable := make(map[string]bool)
+	for f := range a.Writes {
+		unstable[f] = true
+	}
+	for f := range b.Writes {
+		unstable[f] = true
+	}
+	validUnstable := stagePopsHeaders(a) || stagePopsHeaders(b)
+	filter := func(g guard) guard {
+		out := g[:0:0]
+		for _, at := range g {
+			switch at.kind {
+			case atomCmpConst:
+				if unstable[at.field] {
+					continue
+				}
+			case atomValid:
+				if validUnstable {
+					continue
+				}
+			}
+			out = append(out, at)
+		}
+		return out
+	}
+	for _, x := range ga {
+		fx := filter(x)
+		for _, y := range gb {
+			if !contradictory(fx, filter(y), cv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stagePopsHeaders reports whether any executor action of the stage
+// removes headers, making validity atoms unstable.
+func stagePopsHeaders(s *sem.StageInfo) bool { return s.PopsHeaders }

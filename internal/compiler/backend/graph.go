@@ -1,0 +1,244 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is the logical stage link graph the update scripts edit. Nodes are
+// stage names; an edge A→B means A must precede B in the pipeline.
+type Graph struct {
+	nodes map[string]bool
+	succ  map[string]map[string]bool
+	pred  map[string]map[string]bool
+	// order remembers each node's insertion rank, the tie-break that keeps
+	// topological sorts stable across recompiles.
+	order map[string]int
+	next  int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[string]bool),
+		succ:  make(map[string]map[string]bool),
+		pred:  make(map[string]map[string]bool),
+		order: make(map[string]int),
+	}
+}
+
+// AddNode inserts a stage node.
+func (g *Graph) AddNode(name string) {
+	if g.nodes[name] {
+		return
+	}
+	g.nodes[name] = true
+	g.succ[name] = make(map[string]bool)
+	g.pred[name] = make(map[string]bool)
+	g.order[name] = g.next
+	g.next++
+}
+
+// HasNode reports membership.
+func (g *Graph) HasNode(name string) bool { return g.nodes[name] }
+
+// AddEdge links from→to, creating nodes as needed.
+func (g *Graph) AddEdge(from, to string) error {
+	if from == to {
+		return fmt.Errorf("rp4bc: self link %s", from)
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	g.succ[from][to] = true
+	g.pred[to][from] = true
+	if g.hasCycle() {
+		delete(g.succ[from], to)
+		delete(g.pred[to], from)
+		return fmt.Errorf("rp4bc: link %s -> %s creates a cycle", from, to)
+	}
+	return nil
+}
+
+// DelEdge removes a link; it is an error if the link does not exist.
+func (g *Graph) DelEdge(from, to string) error {
+	if !g.succ[from][to] {
+		return fmt.Errorf("rp4bc: link %s -> %s does not exist", from, to)
+	}
+	delete(g.succ[from], to)
+	delete(g.pred[to], from)
+	return nil
+}
+
+// RemoveNode deletes a stage and all its links.
+func (g *Graph) RemoveNode(name string) {
+	if !g.nodes[name] {
+		return
+	}
+	for s := range g.succ[name] {
+		delete(g.pred[s], name)
+	}
+	for p := range g.pred[name] {
+		delete(g.succ[p], name)
+	}
+	delete(g.nodes, name)
+	delete(g.succ, name)
+	delete(g.pred, name)
+	delete(g.order, name)
+}
+
+// Nodes returns all stage names, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succ returns a node's successors, sorted.
+func (g *Graph) Succ(name string) []string {
+	out := make([]string, 0, len(g.succ[name]))
+	for n := range g.succ[name] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pred returns a node's predecessors, sorted.
+func (g *Graph) Pred(name string) []string {
+	out := make([]string, 0, len(g.pred[name]))
+	for n := range g.pred[name] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph()
+	// Preserve insertion ranks.
+	type rankName struct {
+		rank int
+		name string
+	}
+	var rns []rankName
+	for n := range g.nodes {
+		rns = append(rns, rankName{g.order[n], n})
+	}
+	sort.Slice(rns, func(i, j int) bool { return rns[i].rank < rns[j].rank })
+	for _, rn := range rns {
+		ng.AddNode(rn.name)
+	}
+	for from, tos := range g.succ {
+		for to := range tos {
+			ng.succ[from][to] = true
+			ng.pred[to][from] = true
+		}
+	}
+	return ng
+}
+
+func (g *Graph) hasCycle() bool {
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		switch state[n] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		state[n] = 1
+		for s := range g.succ[n] {
+			if visit(s) {
+				return true
+			}
+		}
+		state[n] = 2
+		return false
+	}
+	for n := range g.nodes {
+		if visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// PruneOrphans removes stages that have lost every link (the paper's
+// "replaced" stages, e.g. nexthop after ECMP insertion). Entries are kept
+// even when isolated.
+func (g *Graph) PruneOrphans(keep map[string]bool) []string {
+	var removed []string
+	for {
+		progress := false
+		for n := range g.nodes {
+			if keep[n] {
+				continue
+			}
+			if len(g.succ[n]) == 0 && len(g.pred[n]) == 0 {
+				g.RemoveNode(n)
+				removed = append(removed, n)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}
+
+// TopoSort returns the nodes in a topological order, breaking ties by
+// insertion rank so existing stages keep their relative positions across
+// incremental updates.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	var ready []string
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return g.order[ready[i]] < g.order[ready[j]] })
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("rp4bc: stage graph has a cycle")
+	}
+	return out, nil
+}
+
+// ReachableFrom returns the set of nodes reachable from start (inclusive).
+func (g *Graph) ReachableFrom(start string) map[string]bool {
+	seen := make(map[string]bool)
+	var walk func(n string)
+	walk = func(n string) {
+		if seen[n] || !g.nodes[n] {
+			return
+		}
+		seen[n] = true
+		for s := range g.succ[n] {
+			walk(s)
+		}
+	}
+	walk(start)
+	return seen
+}

@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGraphEdges(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("c", "a"); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Error("self link accepted")
+	}
+	if !reflect.DeepEqual(g.Succ("a"), []string{"b"}) {
+		t.Errorf("succ(a) = %v", g.Succ("a"))
+	}
+	if !reflect.DeepEqual(g.Pred("c"), []string{"b"}) {
+		t.Errorf("pred(c) = %v", g.Pred("c"))
+	}
+	if err := g.DelEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DelEdge("a", "b"); err == nil {
+		t.Error("deleting missing edge accepted")
+	}
+}
+
+func TestGraphTopoSortStable(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddNode(n)
+	}
+	_ = g.AddEdge("a", "c")
+	_ = g.AddEdge("b", "c")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties broken by insertion rank: a, b, then c, and d floats by rank.
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestGraphPruneOrphans(t *testing.T) {
+	g := NewGraph()
+	_ = g.AddEdge("a", "b")
+	g.AddNode("orphan")
+	g.AddNode("entry")
+	removed := g.PruneOrphans(map[string]bool{"entry": true})
+	if !reflect.DeepEqual(removed, []string{"orphan"}) {
+		t.Errorf("removed = %v", removed)
+	}
+	if !g.HasNode("entry") || !g.HasNode("a") {
+		t.Error("kept nodes removed")
+	}
+	// Removing the only edge orphans both a and b; entry stays protected.
+	_ = g.DelEdge("a", "b")
+	removed = g.PruneOrphans(map[string]bool{"entry": true})
+	if !reflect.DeepEqual(removed, []string{"a", "b"}) {
+		t.Errorf("removed = %v", removed)
+	}
+	if !g.HasNode("entry") {
+		t.Error("protected entry pruned")
+	}
+}
+
+func TestGraphCloneIndependent(t *testing.T) {
+	g := NewGraph()
+	_ = g.AddEdge("a", "b")
+	c := g.Clone()
+	_ = c.AddEdge("b", "c")
+	if g.HasNode("c") {
+		t.Error("clone shares state")
+	}
+	if !c.HasNode("a") || len(c.Succ("a")) != 1 {
+		t.Error("clone lost edges")
+	}
+	// Insertion ranks preserved: topo stable.
+	o1, _ := g.TopoSort()
+	if !reflect.DeepEqual(o1, []string{"a", "b"}) {
+		t.Errorf("order = %v", o1)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := NewGraph()
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("b", "c")
+	g.AddNode("x")
+	r := g.ReachableFrom("a")
+	if !r["a"] || !r["b"] || !r["c"] || r["x"] {
+		t.Errorf("reach = %v", r)
+	}
+	if len(g.ReachableFrom("nosuch")) != 0 {
+		t.Error("unknown start not empty")
+	}
+}

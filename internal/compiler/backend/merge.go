@@ -1,0 +1,214 @@
+package backend
+
+import (
+	"sort"
+
+	"ipsa/internal/rp4/sem"
+)
+
+// MaxTablesPerTSP bounds how many tables one TSP can drive per packet; a
+// merged group must stay within it.
+const MaxTablesPerTSP = 2
+
+// dataConflict reports whether two stages touch overlapping state in a way
+// that forces an order (RAW, WAR, WAW on fields, any shared register, or a
+// shared table).
+func dataConflict(a, b *sem.StageInfo, d *sem.Design) bool {
+	if intersects(a.Writes, b.Reads) || intersects(a.Reads, b.Writes) || intersects(a.Writes, b.Writes) {
+		return true
+	}
+	// Register conflicts via executor actions.
+	ra, wa := stageRegisters(a, d)
+	rb, wb := stageRegisters(b, d)
+	if intersects(wa, rb) || intersects(ra, wb) || intersects(wa, wb) {
+		return true
+	}
+	for _, ta := range a.Tables {
+		for _, tb := range b.Tables {
+			if ta == tb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func stageRegisters(s *sem.StageInfo, d *sem.Design) (reads, writes map[string]bool) {
+	reads, writes = map[string]bool{}, map[string]bool{}
+	for _, arm := range s.Def.Exec {
+		if ai, ok := d.Actions[arm.Action]; ok {
+			for r := range ai.RegistersRead {
+				reads[r] = true
+			}
+			for r := range ai.RegistersWritten {
+				writes[r] = true
+			}
+		}
+	}
+	return reads, writes
+}
+
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// writesDrop reports whether the stage's executor can drop packets.
+func writesDrop(s *sem.StageInfo) bool { return s.Writes["istd.drop"] }
+
+// hasSideEffects reports whether the stage mutates any observable state.
+func hasSideEffects(s *sem.StageInfo, d *sem.Design) bool {
+	if len(s.Writes) > 0 {
+		return true
+	}
+	_, w := stageRegisters(s, d)
+	return len(w) > 0
+}
+
+// dropInterference is the control dependence dropping creates: a stage
+// that may drop must keep its order relative to any side-effecting stage,
+// or packets would gain/lose effects (counters, punts, rewrites) they
+// would not have had in the declared order.
+func dropInterference(a, b *sem.StageInfo, d *sem.Design) bool {
+	return (writesDrop(a) && hasSideEffects(b, d)) ||
+		(writesDrop(b) && hasSideEffects(a, d))
+}
+
+// DepGraph computes the true dependency order: A must precede B iff A
+// precedes B in the link graph and they have a data conflict that predicate
+// exclusivity cannot discharge. This is rp4bc's "analyzes the dependency of
+// different logical stages".
+func DepGraph(d *sem.Design, links *Graph, pipe string, stages []string) *Graph {
+	cv := computeCoValidity(d)
+	dep := NewGraph()
+	for _, s := range stages {
+		dep.AddNode(s)
+	}
+	// Reachability in the link graph.
+	reach := make(map[string]map[string]bool, len(stages))
+	for _, s := range stages {
+		reach[s] = links.ReachableFrom(s)
+	}
+	for _, a := range stages {
+		for _, b := range stages {
+			if a == b || !reach[a][b] {
+				continue
+			}
+			sa, sb := d.Stages[a], d.Stages[b]
+			if sa == nil || sb == nil {
+				continue
+			}
+			if (dataConflict(sa, sb, d) || dropInterference(sa, sb, d)) && !Exclusive(sa, sb, cv) {
+				// Link order a→b with a real data or control (drop)
+				// conflict: keep the order.
+				_ = dep.AddEdge(a, b)
+			}
+		}
+	}
+	return dep
+}
+
+// Group is one TSP's worth of merged stages.
+type Group struct {
+	Stages []string
+	Tables int
+}
+
+// MergeStages list-schedules the pipe's stages over the dependency graph,
+// packing mergeable stages into shared TSP groups (paper: "optimizes the
+// predicates to merge some independent stages into a single TSP").
+//
+// A candidate may join the open group even when some of its dependency
+// predecessors are unscheduled, provided those predecessors are group
+// members with lower chain rank: stages inside one TSP execute
+// sequentially in chain order, so in-group ordering satisfies the
+// dependence (this is what lets the egress rewrite+dmac pair share a TSP
+// although dmac can drop). chainRank orders ties so results are
+// deterministic and stable.
+func MergeStages(d *sem.Design, dep *Graph, chainRank map[string]int, enableMerge bool) []Group {
+	cv := computeCoValidity(d)
+	remaining := make(map[string]bool)
+	for _, n := range dep.Nodes() {
+		remaining[n] = true
+	}
+	scheduled := make(map[string]bool)
+	predsIn := func(n string, extra map[string]bool) bool {
+		for _, p := range dep.Pred(n) {
+			if !scheduled[p] && !extra[p] {
+				return false
+			}
+		}
+		return true
+	}
+	byRank := func(set map[string]bool) []string {
+		var r []string
+		for n := range set {
+			r = append(r, n)
+		}
+		sort.Slice(r, func(i, j int) bool { return chainRank[r[i]] < chainRank[r[j]] })
+		return r
+	}
+	var groups []Group
+	none := map[string]bool{}
+	for len(remaining) > 0 {
+		// Seed: the lowest-rank fully ready stage.
+		var seed string
+		for _, n := range byRank(remaining) {
+			if predsIn(n, none) {
+				seed = n
+				break
+			}
+		}
+		if seed == "" {
+			// Cycle: fall back to one stage per group in rank order.
+			for _, n := range byRank(remaining) {
+				groups = append(groups, Group{Stages: []string{n}, Tables: len(d.Stages[n].Tables)})
+			}
+			break
+		}
+		g := Group{Stages: []string{seed}, Tables: len(d.Stages[seed].Tables)}
+		inGroup := map[string]bool{seed: true}
+		if enableMerge {
+			for progress := true; progress; {
+				progress = false
+				for _, cand := range byRank(remaining) {
+					if inGroup[cand] {
+						continue
+					}
+					ci := d.Stages[cand]
+					if g.Tables+len(ci.Tables) > MaxTablesPerTSP {
+						continue
+					}
+					if !predsIn(cand, inGroup) {
+						continue
+					}
+					ok := true
+					for member := range inGroup {
+						mi := d.Stages[member]
+						if dataConflict(mi, ci, d) && !Exclusive(mi, ci, cv) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						g.Stages = append(g.Stages, cand)
+						g.Tables += len(ci.Tables)
+						inGroup[cand] = true
+						progress = true
+					}
+				}
+			}
+		}
+		sort.Slice(g.Stages, func(i, j int) bool { return chainRank[g.Stages[i]] < chainRank[g.Stages[j]] })
+		for n := range inGroup {
+			scheduled[n] = true
+			delete(remaining, n)
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}

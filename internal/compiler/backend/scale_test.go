@@ -1,0 +1,154 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipsa/internal/rp4/parser"
+)
+
+// syntheticDesign generates an rP4 program with nStages stages. Every
+// stage matches its own table; dependent stages chain through metadata so
+// merging has both opportunities (independent neighbours) and obligations
+// (RAW chains).
+func syntheticDesign(nStages int, dependent bool) string {
+	var b strings.Builder
+	b.WriteString(`
+headers {
+    header eth {
+        bit<48> dst;
+        bit<48> src;
+        bit<16> et;
+    }
+}
+structs {
+    struct md {
+`)
+	for i := 0; i < nStages+1; i++ {
+		fmt.Fprintf(&b, "        bit<16> f%d;\n", i)
+	}
+	b.WriteString("    } meta;\n}\n")
+	for i := 0; i < nStages; i++ {
+		src := 0
+		if dependent {
+			src = i // stage i reads f_i, writes f_{i+1}
+		}
+		fmt.Fprintf(&b, `
+action act%d(bit<16> v) {
+    meta.f%d = v;
+}
+table t%d {
+    key = {
+        meta.f%d: exact;
+    }
+    actions = { act%d; }
+    size = 64;
+}
+`, i, i+1, i, src, i)
+	}
+	b.WriteString("control rP4_Ingress {\n")
+	for i := 0; i < nStages; i++ {
+		fmt.Fprintf(&b, `
+    stage s%d {
+        parser { eth };
+        matcher { t%d.apply(); };
+        executor { 1: act%d; default: NoAction; };
+    }
+`, i, i, i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("user_funcs {\n")
+	for i := 0; i < nStages; i++ {
+		fmt.Fprintf(&b, "    func fn%d { s%d }\n", i, i)
+	}
+	b.WriteString("    ingress_entry: s0;\n}\n")
+	return b.String()
+}
+
+func TestCompileScalesTo64Stages(t *testing.T) {
+	for _, dependent := range []bool{false, true} {
+		src := syntheticDesign(64, dependent)
+		prog, err := parser.Parse("synthetic.rp4", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.NumTSPs = 80
+		// The synthetic tables exceed the default pool; widen it.
+		opts.Mem.Blocks = 256
+		c, err := Compile(prog, opts)
+		if err != nil {
+			t.Fatalf("dependent=%v: %v", dependent, err)
+		}
+		if c.Stats.Stages != 64 {
+			t.Errorf("stages = %d", c.Stats.Stages)
+		}
+		if dependent {
+			// A full RAW chain cannot merge at all.
+			if c.Stats.TSPsUsed != 64 {
+				t.Errorf("dependent chain used %d TSPs, want 64", c.Stats.TSPsUsed)
+			}
+		} else {
+			// Fully independent stages pack two per TSP (table limit).
+			if c.Stats.TSPsUsed != 32 {
+				t.Errorf("independent stages used %d TSPs, want 32", c.Stats.TSPsUsed)
+			}
+		}
+	}
+}
+
+func TestIncrementalScalesWithManyUpdates(t *testing.T) {
+	// Apply 24 consecutive single-stage updates to a synthetic base and
+	// verify each one stays a small patch (no cascade of rewrites).
+	src := syntheticDesign(8, true)
+	prog, err := parser.Parse("synthetic.rp4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NumTSPs = 48
+	opts.Mem.Blocks = 256
+	w, err := NewWorkspace(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		snippet := fmt.Sprintf(`
+action uact%d(bit<16> v) {
+    meta.f0 = v;
+}
+table ut%d {
+    key = {
+        meta.f8: exact;
+    }
+    actions = { uact%d; }
+    size = 32;
+}
+stage us%d {
+    parser { eth };
+    matcher { ut%d.apply(); };
+    executor { 1: uact%d; default: NoAction; };
+}
+user_funcs { func ufn%d { us%d } }
+`, i, i, i, i, i, i, i, i)
+		prev := "s7"
+		if i > 0 {
+			prev = fmt.Sprintf("us%d", i-1)
+		}
+		script := fmt.Sprintf("load u%d.rp4\nadd_link %s us%d\n", i, prev, i)
+		rep, err := w.ApplyScript(script, func(string) (string, error) { return snippet, nil })
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if len(rep.RewrittenTSPs) > 2 {
+			t.Errorf("update %d rewrote %d TSPs: %v", i, len(rep.RewrittenTSPs), rep.RewrittenTSPs)
+		}
+		if len(rep.NewTables) != 1 {
+			t.Errorf("update %d new tables: %v", i, rep.NewTables)
+		}
+	}
+	if got := len(w.Current().Config.Stages); got != 32 {
+		t.Errorf("final stages = %d, want 32", got)
+	}
+}

@@ -1,0 +1,242 @@
+package backend
+
+import (
+	"fmt"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/printer"
+)
+
+// MergeSnippet merges an incremental-update snippet into the base program
+// in place. Merging is append-only so that header IDs and metadata offsets
+// of the existing design stay stable — unchanged TSP templates must remain
+// valid after an update. Identical redefinitions (the ECMP snippet restates
+// set_bd_dmac, Fig. 5a) are accepted; conflicting ones are errors.
+func MergeSnippet(base, snip *ast.Program) error {
+	for _, cd := range snip.Consts {
+		dup := false
+		for _, old := range base.Consts {
+			if old.Name == cd.Name {
+				if old.Width != cd.Width || old.Value != cd.Value {
+					return fmt.Errorf("rp4bc: const %q redefined differently", cd.Name)
+				}
+				dup = true
+			}
+		}
+		if !dup {
+			base.Consts = append(base.Consts, cd)
+		}
+	}
+	for _, h := range snip.Headers {
+		if old := base.Header(h.Name); old != nil {
+			if !sameFields(old.Fields, h.Fields) {
+				return fmt.Errorf("rp4bc: header %q redefined with different fields", h.Name)
+			}
+			continue
+		}
+		base.Headers = append(base.Headers, h)
+		// Auto-instantiated designs stay auto-instantiated: sem appends an
+		// instance for the new type, preserving existing IDs.
+		if len(base.Instances) > 0 {
+			base.Instances = append(base.Instances, &ast.HeaderInstance{Type: h.Name, Name: h.Name, Pos: h.Pos})
+		}
+	}
+	for _, s := range snip.Structs {
+		dup := false
+		for _, old := range s2structs(base) {
+			if old.Name == s.Name {
+				if !sameFields(old.Fields, s.Fields) || old.Alias != s.Alias {
+					return fmt.Errorf("rp4bc: struct %q redefined differently", s.Name)
+				}
+				dup = true
+			}
+		}
+		if !dup {
+			base.Structs = append(base.Structs, s)
+		}
+	}
+	for _, r := range snip.Registers {
+		dup := false
+		for _, old := range base.Registers {
+			if old.Name == r.Name {
+				if old.Width != r.Width || old.Size != r.Size {
+					return fmt.Errorf("rp4bc: register %q redefined differently", r.Name)
+				}
+				dup = true
+			}
+		}
+		if !dup {
+			base.Registers = append(base.Registers, r)
+		}
+	}
+	for _, a := range snip.Actions {
+		if old := base.Action(a.Name); old != nil {
+			if !sameAction(old, a) {
+				return fmt.Errorf("rp4bc: action %q redefined differently", a.Name)
+			}
+			continue
+		}
+		base.Actions = append(base.Actions, a)
+	}
+	for _, t := range snip.Tables {
+		if base.Table(t.Name) != nil {
+			return fmt.Errorf("rp4bc: table %q already exists in the base design", t.Name)
+		}
+		base.Tables = append(base.Tables, t)
+	}
+	for _, s := range snip.Floating {
+		if st, _ := base.Stage(s.Name); st != nil {
+			return fmt.Errorf("rp4bc: stage %q already exists in the base design", s.Name)
+		}
+		base.Floating = append(base.Floating, s)
+	}
+	// Snippet pipes are unusual but allowed: their stages float too.
+	for _, pipe := range []*ast.Pipe{snip.Ingress, snip.Egress} {
+		if pipe == nil {
+			continue
+		}
+		for _, s := range pipe.Stages {
+			if st, _ := base.Stage(s.Name); st != nil {
+				return fmt.Errorf("rp4bc: stage %q already exists in the base design", s.Name)
+			}
+			base.Floating = append(base.Floating, s)
+		}
+	}
+	if snip.Funcs != nil {
+		if base.Funcs == nil {
+			base.Funcs = &ast.UserFuncs{}
+		}
+		for _, f := range snip.Funcs.Funcs {
+			for _, old := range base.Funcs.Funcs {
+				if old.Name == f.Name {
+					return fmt.Errorf("rp4bc: function %q already exists", f.Name)
+				}
+			}
+			base.Funcs.Funcs = append(base.Funcs.Funcs, f)
+		}
+	}
+	return nil
+}
+
+func s2structs(p *ast.Program) []*ast.StructDef { return p.Structs }
+
+func sameFields(a, b []*ast.FieldDef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Width != b[i].Width {
+			return false
+		}
+	}
+	return true
+}
+
+// sameAction compares two actions structurally by rendering them; position
+// information does not participate.
+func sameAction(a, b *ast.ActionDef) bool {
+	pa := &ast.Program{Actions: []*ast.ActionDef{a}}
+	pb := &ast.Program{Actions: []*ast.ActionDef{b}}
+	return printer.Print(pa) == printer.Print(pb)
+}
+
+// RemoveFunc deletes a user function and its stages from the program
+// (tables and actions used only by those stages are swept by compile's
+// liveness pass; headers and metadata stay for template stability).
+func RemoveFunc(p *ast.Program, name string) ([]string, error) {
+	if p.Funcs == nil {
+		return nil, fmt.Errorf("rp4bc: no functions defined")
+	}
+	var stages []string
+	idx := -1
+	for i, f := range p.Funcs.Funcs {
+		if f.Name == name {
+			stages = f.Stages
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("rp4bc: function %q does not exist", name)
+	}
+	p.Funcs.Funcs = append(p.Funcs.Funcs[:idx], p.Funcs.Funcs[idx+1:]...)
+	for _, sn := range stages {
+		removeStage(p, sn)
+	}
+	return stages, nil
+}
+
+func removeStage(p *ast.Program, name string) {
+	filter := func(ss []*ast.StageDef) []*ast.StageDef {
+		out := ss[:0]
+		for _, s := range ss {
+			if s.Name != name {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	if p.Ingress != nil {
+		p.Ingress.Stages = filter(p.Ingress.Stages)
+	}
+	if p.Egress != nil {
+		p.Egress.Stages = filter(p.Egress.Stages)
+	}
+	p.Floating = filter(p.Floating)
+	// Drop the stage from any user function; empty functions disappear.
+	if p.Funcs != nil {
+		funcs := p.Funcs.Funcs[:0]
+		for _, f := range p.Funcs.Funcs {
+			stages := f.Stages[:0]
+			for _, s := range f.Stages {
+				if s != name {
+					stages = append(stages, s)
+				}
+			}
+			f.Stages = stages
+			if len(f.Stages) > 0 {
+				funcs = append(funcs, f)
+			}
+		}
+		p.Funcs.Funcs = funcs
+	}
+}
+
+// LinkHeader adds an implicit-parser transition to header pre: on tag, the
+// next header is instance next (the `link_header` script command,
+// Fig. 5c). It fails if pre has no implicit parser or the tag is taken with
+// a different target.
+func LinkHeader(p *ast.Program, pre string, tag uint64, next string) error {
+	h := p.Header(pre)
+	if h == nil {
+		return fmt.Errorf("rp4bc: link_header: unknown header %q", pre)
+	}
+	if h.Parser == nil {
+		return fmt.Errorf("rp4bc: link_header: header %q has no implicit parser to extend", pre)
+	}
+	for _, tr := range h.Parser.Transitions {
+		if tr.Tag == tag {
+			if tr.Next == next {
+				return nil // idempotent
+			}
+			return fmt.Errorf("rp4bc: link_header: header %q tag %d already maps to %q", pre, tag, tr.Next)
+		}
+	}
+	h.Parser.Transitions = append(h.Parser.Transitions, &ast.Transition{Tag: tag, Next: next})
+	return nil
+}
+
+// UnlinkHeader removes an implicit-parser transition.
+func UnlinkHeader(p *ast.Program, pre string, tag uint64) error {
+	h := p.Header(pre)
+	if h == nil || h.Parser == nil {
+		return fmt.Errorf("rp4bc: unlink_header: header %q has no implicit parser", pre)
+	}
+	for i, tr := range h.Parser.Transitions {
+		if tr.Tag == tag {
+			h.Parser.Transitions = append(h.Parser.Transitions[:i], h.Parser.Transitions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("rp4bc: unlink_header: header %q has no tag %d", pre, tag)
+}

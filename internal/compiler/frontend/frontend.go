@@ -1,0 +1,540 @@
+// Package frontend implements rp4fc, the rP4 front-end compiler (paper
+// Sec. 3.2): it takes the target-independent HLIR of a P4 program and
+// emits (1) a semantically equivalent rP4 program — parser states become
+// per-header implicit parsers, apply-block table applications become
+// parse-match-action stages guarded by their path conditions — and (2) the
+// control-plane API descriptors for accessing the tables at runtime.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+
+	"ipsa/internal/p4"
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/printer"
+	"ipsa/internal/rp4/token"
+)
+
+// APISpec is the controller-facing description of every table, the second
+// output of rp4fc ("rp4fc also outputs the APIs for controller to access
+// the tables at runtime").
+type APISpec struct {
+	Tables []TableAPI `json:"tables"`
+}
+
+// TableAPI describes one table's control interface.
+type TableAPI struct {
+	Name    string      `json:"name"`
+	Stage   string      `json:"stage"`
+	Keys    []KeyAPI    `json:"keys"`
+	Actions []ActionAPI `json:"actions"`
+	Default string      `json:"default"`
+	Size    int         `json:"size"`
+}
+
+// KeyAPI describes one key component.
+type KeyAPI struct {
+	Name  string `json:"name"` // canonical "inst.field"
+	Width int    `json:"width"`
+	Kind  string `json:"kind"`
+}
+
+// ActionAPI binds an action name to its executor tag and parameters.
+type ActionAPI struct {
+	Name   string     `json:"name"`
+	Tag    int        `json:"tag"`
+	Params []ParamAPI `json:"params"`
+}
+
+// ParamAPI is one action-data parameter.
+type ParamAPI struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Transform converts a P4 HLIR into an rP4 program plus its API spec.
+func Transform(h *p4.HLIR) (*ast.Program, *APISpec, error) {
+	tr := &transformer{hlir: h, widths: map[string]int{}}
+	return tr.run()
+}
+
+type transformer struct {
+	hlir   *p4.HLIR
+	prog   *ast.Program
+	api    *APISpec
+	widths map[string]int // canonical field -> width
+}
+
+func (tr *transformer) run() (*ast.Program, *APISpec, error) {
+	tr.prog = &ast.Program{}
+	tr.api = &APISpec{}
+	for _, cd := range tr.hlir.Consts {
+		tr.prog.Consts = append(tr.prog.Consts, &ast.ConstDef{Name: cd.Name, Width: cd.Width, Value: cd.Value})
+	}
+	if err := tr.headers(); err != nil {
+		return nil, nil, err
+	}
+	tr.metadata()
+	if err := tr.actions(); err != nil {
+		return nil, nil, err
+	}
+	if err := tr.tables(); err != nil {
+		return nil, nil, err
+	}
+	if err := tr.stages(); err != nil {
+		return nil, nil, err
+	}
+	return tr.prog, tr.api, nil
+}
+
+// headers builds one rP4 header per instance and derives each header's
+// implicit parser from the parser state that extracts it.
+func (tr *transformer) headers() error {
+	// instance -> extracting state
+	extractor := map[string]*p4.State{}
+	// state -> first extracted instance (the state's "product")
+	product := map[string]string{}
+	for _, st := range tr.hlir.Parser.States {
+		if len(st.Extracts) > 1 {
+			return fmt.Errorf("rp4fc: state %q extracts %d headers; one per state is supported", st.Name, len(st.Extracts))
+		}
+		for _, inst := range st.Extracts {
+			if prev, dup := extractor[inst]; dup {
+				return fmt.Errorf("rp4fc: header %q extracted by both %q and %q", inst, prev.Name, st.Name)
+			}
+			extractor[inst] = st
+			product[st.Name] = inst
+		}
+	}
+	for _, inst := range tr.hlir.Instances {
+		ht := tr.hlir.HeaderType(inst.Type)
+		if ht == nil {
+			return fmt.Errorf("rp4fc: instance %q has unknown type %q", inst.Name, inst.Type)
+		}
+		hd := &ast.HeaderDef{Name: inst.Name}
+		for _, f := range ht.Fields {
+			hd.Fields = append(hd.Fields, &ast.FieldDef{Name: f.Name, Width: f.Width})
+			tr.widths[inst.Name+"."+f.Name] = f.Width
+		}
+		st := extractor[inst.Name]
+		if st != nil && st.Select != nil {
+			// hdr.X.f: the selector must be a field of this header.
+			if len(st.Select.Parts) != 3 || st.Select.Parts[0] != "hdr" || st.Select.Parts[1] != inst.Name {
+				return fmt.Errorf("rp4fc: state %q selects on %s, which is not a field of %q",
+					st.Name, st.Select, inst.Name)
+			}
+			ip := &ast.ImplicitParser{SelectorFields: []string{st.Select.Parts[2]}}
+			for _, c := range st.Cases {
+				next, ok := product[c.Next]
+				if !ok {
+					return fmt.Errorf("rp4fc: state %q transitions to %q, which extracts nothing", st.Name, c.Next)
+				}
+				ip.Transitions = append(ip.Transitions, &ast.Transition{Tag: c.Value, Next: next})
+			}
+			// A non-accept default would need a fallthrough construct rP4
+			// does not have; reject rather than silently change semantics.
+			if st.Default != "accept" {
+				return fmt.Errorf("rp4fc: state %q has non-accept default %q", st.Name, st.Default)
+			}
+			hd.Parser = ip
+		} else if st != nil && st.Default != "accept" {
+			next, ok := product[st.Default]
+			if !ok {
+				return fmt.Errorf("rp4fc: state %q transitions to %q, which extracts nothing", st.Name, st.Default)
+			}
+			// Unconditional transition: selector on the header's first
+			// field with a single catch-all is not expressible; encode as
+			// a 0-width... rP4 needs a selector, so synthesize one on the
+			// full first field with every value mapping — unsupported.
+			return fmt.Errorf("rp4fc: state %q has an unconditional transition to %q; rP4 implicit parsers need a selector field", st.Name, next)
+		}
+		tr.prog.Headers = append(tr.prog.Headers, hd)
+	}
+	return nil
+}
+
+func (tr *transformer) metadata() {
+	if tr.hlir.Metadata == nil {
+		return
+	}
+	sd := &ast.StructDef{Name: tr.hlir.Metadata.Name, Alias: "meta"}
+	for _, f := range tr.hlir.Metadata.Fields {
+		sd.Fields = append(sd.Fields, &ast.FieldDef{Name: f.Name, Width: f.Width})
+		tr.widths["meta."+f.Name] = f.Width
+	}
+	tr.prog.Structs = append(tr.prog.Structs, sd)
+}
+
+// stdMetaMap translates v1model standard_metadata fields to istd.
+var stdMetaMap = map[string]string{
+	"ingress_port": "in_port",
+	"egress_spec":  "out_port",
+	"egress_port":  "out_port",
+}
+
+// rewriteRef maps P4 references into rP4 namespaces.
+func rewriteRef(ref *ast.FieldRef) (*ast.FieldRef, error) {
+	parts := ref.Parts
+	switch {
+	case len(parts) == 3 && parts[0] == "hdr":
+		return &ast.FieldRef{Parts: []string{parts[1], parts[2]}, Pos: ref.Pos}, nil
+	case len(parts) == 2 && parts[0] == "meta":
+		return ref, nil
+	case len(parts) == 2 && parts[0] == "standard_metadata":
+		mapped, ok := stdMetaMap[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("%s: standard_metadata.%s is not supported", ref.Pos, parts[1])
+		}
+		return &ast.FieldRef{Parts: []string{"istd", mapped}, Pos: ref.Pos}, nil
+	case len(parts) == 1:
+		return ref, nil // action parameter
+	}
+	return nil, fmt.Errorf("%s: reference %s is not translatable", ref.Pos, ref)
+}
+
+func rewriteExpr(e ast.Expr) (ast.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *ast.NumberLit, *ast.BoolLit:
+		return e, nil
+	case *ast.FieldRef:
+		return rewriteRef(x)
+	case *ast.CallExpr:
+		// hdr.X.isValid() -> X.isValid()
+		if x.Method == "isValid" && strings.HasPrefix(x.Recv, "hdr.") {
+			return &ast.CallExpr{Recv: strings.TrimPrefix(x.Recv, "hdr."), Method: "isValid", Pos: x.Pos}, nil
+		}
+		var args []ast.Expr
+		for _, a := range x.Args {
+			ra, err := rewriteExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, ra)
+		}
+		return &ast.CallExpr{Recv: x.Recv, Method: x.Method, Args: args, Pos: x.Pos}, nil
+	case *ast.UnaryExpr:
+		sub, err := rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: x.Op, X: sub, Pos: x.Pos}, nil
+	case *ast.BinaryExpr:
+		a, err := rewriteExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := rewriteExpr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinaryExpr{Op: x.Op, X: a, Y: b, Pos: x.Pos}, nil
+	}
+	return nil, fmt.Errorf("rp4fc: unsupported expression %T", e)
+}
+
+func rewriteStmts(body []ast.Stmt) ([]ast.Stmt, error) {
+	var out []ast.Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.EmptyStmt:
+		case *ast.AssignStmt:
+			lhs, err := rewriteRef(st.LHS)
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := rewriteExpr(st.RHS)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ast.AssignStmt{LHS: lhs, RHS: rhs, Pos: st.Pos})
+		case *ast.CallStmt:
+			switch {
+			case st.Recv == "" && st.Method == "mark_to_drop":
+				out = append(out, &ast.CallStmt{Method: "drop", Pos: st.Pos})
+			case st.Recv == "" && st.Method == "NoAction":
+			default:
+				return nil, fmt.Errorf("%s: unsupported call %s.%s in action", st.Pos, st.Recv, st.Method)
+			}
+		case *ast.IfStmt:
+			cond, err := rewriteExpr(st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := rewriteStmts(st.Then)
+			if err != nil {
+				return nil, err
+			}
+			els, err := rewriteStmts(st.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ast.IfStmt{Cond: cond, Then: then, Else: els, Pos: st.Pos})
+		default:
+			return nil, fmt.Errorf("rp4fc: unsupported statement %T in action", s)
+		}
+	}
+	return out, nil
+}
+
+// actions merges the actions of every control, deduplicating identical
+// definitions (drop_packet typically appears in both controls).
+func (tr *transformer) actions() error {
+	for _, ctl := range tr.hlir.Controls {
+		for _, a := range ctl.Actions {
+			if a.Name == "NoAction" {
+				continue
+			}
+			body, err := rewriteStmts(a.Body)
+			if err != nil {
+				return fmt.Errorf("rp4fc: action %q: %w", a.Name, err)
+			}
+			na := &ast.ActionDef{Name: a.Name, Params: a.Params, Body: body, Pos: a.Pos}
+			if old := tr.prog.Action(a.Name); old != nil {
+				if actionSrc(old) != actionSrc(na) {
+					return fmt.Errorf("rp4fc: action %q defined differently in two controls", a.Name)
+				}
+				continue
+			}
+			tr.prog.Actions = append(tr.prog.Actions, na)
+		}
+	}
+	return nil
+}
+
+func actionSrc(a *ast.ActionDef) string {
+	return printer.Print(&ast.Program{Actions: []*ast.ActionDef{a}})
+}
+
+func (tr *transformer) tables() error {
+	for _, ctl := range tr.hlir.Controls {
+		for _, t := range ctl.Tables {
+			if tr.prog.Table(t.Name) != nil {
+				return fmt.Errorf("rp4fc: table %q defined in two controls", t.Name)
+			}
+			nt := &ast.TableDef{Name: t.Name, Size: t.Size, DefaultAction: t.DefaultAction, Pos: t.Pos}
+			for _, k := range t.Keys {
+				ref, err := rewriteRef(k.Ref)
+				if err != nil {
+					return fmt.Errorf("rp4fc: table %q: %w", t.Name, err)
+				}
+				kind := k.Kind
+				if kind == "selector" {
+					kind = "hash"
+				}
+				nt.Keys = append(nt.Keys, &ast.TableKey{Field: ref, Kind: kind})
+			}
+			nt.Actions = append(nt.Actions, t.Actions...)
+			tr.prog.Tables = append(tr.prog.Tables, nt)
+		}
+	}
+	return nil
+}
+
+// stages decomposes each control's apply block into guarded stages.
+func (tr *transformer) stages() error {
+	ing := tr.hlir.IngressControl()
+	eg := tr.hlir.EgressControl()
+	if ing == nil {
+		return fmt.Errorf("rp4fc: no ingress control found")
+	}
+	ingStages, err := tr.decompose(ing)
+	if err != nil {
+		return err
+	}
+	tr.prog.Ingress = &ast.Pipe{Name: "rP4_Ingress", Stages: ingStages}
+	var egStages []*ast.StageDef
+	if eg != nil {
+		egStages, err = tr.decompose(eg)
+		if err != nil {
+			return err
+		}
+		tr.prog.Egress = &ast.Pipe{Name: "rP4_Egress", Stages: egStages}
+	}
+	uf := &ast.UserFuncs{}
+	var ingNames, egNames []string
+	for _, s := range ingStages {
+		ingNames = append(ingNames, s.Name)
+	}
+	for _, s := range egStages {
+		egNames = append(egNames, s.Name)
+	}
+	if len(ingNames) > 0 {
+		uf.Funcs = append(uf.Funcs, &ast.FuncDef{Name: "ingress", Stages: ingNames})
+		uf.IngressEntry = ingNames[0]
+	}
+	if len(egNames) > 0 {
+		uf.Funcs = append(uf.Funcs, &ast.FuncDef{Name: "egress", Stages: egNames})
+		uf.EgressEntry = egNames[0]
+	}
+	tr.prog.Funcs = uf
+	return nil
+}
+
+// decompose walks an apply block, emitting one stage per table
+// application, guarded by the conjunction of path conditions.
+func (tr *transformer) decompose(ctl *p4.Control) ([]*ast.StageDef, error) {
+	var stages []*ast.StageDef
+	var walk func(body []ast.Stmt, guard []ast.Expr) error
+	walk = func(body []ast.Stmt, guard []ast.Expr) error {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ast.EmptyStmt:
+			case *ast.CallStmt:
+				if st.Method != "apply" || st.Recv == "" {
+					return fmt.Errorf("%s: only table.apply() is allowed in apply blocks, found %s.%s",
+						st.Pos, st.Recv, st.Method)
+				}
+				var tbl *p4.Table
+				for _, t := range ctl.Tables {
+					if t.Name == st.Recv {
+						tbl = t
+					}
+				}
+				if tbl == nil {
+					return fmt.Errorf("%s: apply of unknown table %q", st.Pos, st.Recv)
+				}
+				stage, err := tr.buildStage(ctl, tbl, guard)
+				if err != nil {
+					return err
+				}
+				stages = append(stages, stage)
+			case *ast.IfStmt:
+				cond, err := rewriteExpr(st.Cond)
+				if err != nil {
+					return err
+				}
+				if err := walk(st.Then, append(guard, cond)); err != nil {
+					return err
+				}
+				neg := &ast.UnaryExpr{Op: token.Not, X: cond, Pos: st.Pos}
+				if err := walk(st.Else, append(guard, neg)); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("rp4fc: unsupported apply-block statement %T", s)
+			}
+		}
+		return nil
+	}
+	if err := walk(ctl.Apply, nil); err != nil {
+		return nil, err
+	}
+	return stages, nil
+}
+
+func (tr *transformer) buildStage(ctl *p4.Control, tbl *p4.Table, guard []ast.Expr) (*ast.StageDef, error) {
+	stage := &ast.StageDef{Name: tbl.Name + "_stage"}
+	// Parser list: header instances used by keys and guards.
+	need := map[string]bool{}
+	for _, k := range tbl.Keys {
+		if len(k.Ref.Parts) == 3 && k.Ref.Parts[0] == "hdr" {
+			need[k.Ref.Parts[1]] = true
+		}
+	}
+	for _, g := range guard {
+		collectHeaders(g, need)
+	}
+	// Also headers the executor actions touch.
+	for _, an := range tbl.Actions {
+		if a := tr.prog.Action(an); a != nil {
+			collectHeadersStmts(a.Body, need)
+		}
+	}
+	for _, inst := range tr.hlir.Instances {
+		if need[inst.Name] {
+			stage.Parser = append(stage.Parser, inst.Name)
+		}
+	}
+	// Matcher.
+	apply := &ast.CallStmt{Recv: tbl.Name, Method: "apply"}
+	if len(guard) == 0 {
+		stage.Matcher = []ast.Stmt{apply}
+	} else {
+		cond := guard[0]
+		for _, g := range guard[1:] {
+			cond = &ast.BinaryExpr{Op: token.AndAnd, X: cond, Y: g}
+		}
+		stage.Matcher = []ast.Stmt{&ast.IfStmt{Cond: cond, Then: []ast.Stmt{apply}}}
+	}
+	// Executor: tags follow the table's action list order (1-based).
+	api := TableAPI{Name: tbl.Name, Stage: stage.Name, Size: tbl.Size, Default: tbl.DefaultAction}
+	tag := uint64(1)
+	for _, an := range tbl.Actions {
+		if an == "NoAction" {
+			continue
+		}
+		stage.Exec = append(stage.Exec, &ast.ExecutorArm{Tag: tag, Action: an})
+		aapi := ActionAPI{Name: an, Tag: int(tag)}
+		if a := tr.prog.Action(an); a != nil {
+			for _, p := range a.Params {
+				aapi.Params = append(aapi.Params, ParamAPI{Name: p.Name, Width: p.Width})
+			}
+		}
+		api.Actions = append(api.Actions, aapi)
+		tag++
+	}
+	def := tbl.DefaultAction
+	if def == "" {
+		def = "NoAction"
+	}
+	stage.Exec = append(stage.Exec, &ast.ExecutorArm{Default: true, Action: def})
+	for _, k := range tbl.Keys {
+		ref, err := rewriteRef(k.Ref)
+		if err != nil {
+			return nil, err
+		}
+		kind := k.Kind
+		if kind == "selector" {
+			kind = "hash"
+		}
+		w := tr.widths[ref.String()]
+		if w == 0 && ref.Parts[0] == "istd" {
+			w = 16
+		}
+		api.Keys = append(api.Keys, KeyAPI{Name: ref.String(), Width: w, Kind: kind})
+	}
+	tr.api.Tables = append(tr.api.Tables, api)
+	return stage, nil
+}
+
+func collectHeaders(e ast.Expr, need map[string]bool) {
+	switch x := e.(type) {
+	case *ast.FieldRef:
+		if len(x.Parts) == 2 && x.Parts[0] != "meta" && x.Parts[0] != "istd" {
+			need[x.Parts[0]] = true
+		}
+	case *ast.CallExpr:
+		if x.Method == "isValid" && x.Recv != "" {
+			need[x.Recv] = true
+		}
+		for _, a := range x.Args {
+			collectHeaders(a, need)
+		}
+	case *ast.UnaryExpr:
+		collectHeaders(x.X, need)
+	case *ast.BinaryExpr:
+		collectHeaders(x.X, need)
+		collectHeaders(x.Y, need)
+	}
+}
+
+func collectHeadersStmts(body []ast.Stmt, need map[string]bool) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			collectHeaders(st.LHS, need)
+			collectHeaders(st.RHS, need)
+		case *ast.IfStmt:
+			collectHeaders(st.Cond, need)
+			collectHeadersStmts(st.Then, need)
+			collectHeadersStmts(st.Else, need)
+		case *ast.CallStmt:
+			for _, a := range st.Args {
+				collectHeaders(a, need)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package frontend
+
+import (
+	"os"
+	"testing"
+
+	"ipsa/internal/compiler/backend"
+	"ipsa/internal/p4"
+	"ipsa/internal/rp4/parser"
+	"ipsa/internal/rp4/printer"
+	"ipsa/internal/rp4/sem"
+)
+
+func transformBase(t *testing.T) (*APISpec, string) {
+	t.Helper()
+	src, err := os.ReadFile("../../../testdata/base_l2l3.p4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hlir, err := p4.Parse("base_l2l3.p4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, api, err := Transform(hlir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return api, printer.Print(prog)
+}
+
+func TestTransformProducesValidRP4(t *testing.T) {
+	_, rp4src := transformBase(t)
+	// The emitted rP4 parses and passes semantic analysis.
+	prog, err := parser.Parse("generated.rp4", rp4src)
+	if err != nil {
+		t.Fatalf("generated rP4 does not parse: %v\n%s", err, rp4src)
+	}
+	d, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("generated rP4 does not analyze: %v", err)
+	}
+	// Same shape as the hand-written base design: 5 headers, 10 tables,
+	// 8 ingress stages, 2 egress stages.
+	if len(d.Instances) != 5 {
+		t.Errorf("instances = %d", len(d.Instances))
+	}
+	if len(d.Tables) != 10 {
+		t.Errorf("tables = %d", len(d.Tables))
+	}
+	if len(d.IngressStages()) != 8 || len(d.EgressStages()) != 2 {
+		t.Errorf("stages: %v / %v", d.IngressStages(), d.EgressStages())
+	}
+	// The ethernet implicit parser carries the select cases.
+	eth := d.InstanceByName["ethernet"]
+	if eth.Def.Parser == nil || len(eth.Def.Parser.Transitions) != 2 {
+		t.Errorf("ethernet parser: %+v", eth.Def.Parser)
+	}
+	// drop_packet deduplicated across the two controls.
+	if _, ok := d.Actions["drop_packet"]; !ok {
+		t.Error("drop_packet missing")
+	}
+	// standard_metadata mapped to istd.
+	if _, ok := d.Tables["port_map_tbl"]; !ok {
+		t.Fatal("port_map_tbl missing")
+	}
+	if d.Tables["port_map_tbl"].Keys[0].Name != "istd.in_port" {
+		t.Errorf("port_map key: %+v", d.Tables["port_map_tbl"].Keys[0])
+	}
+}
+
+func TestTransformedDesignCompiles(t *testing.T) {
+	_, rp4src := transformBase(t)
+	prog, err := parser.Parse("generated.rp4", rp4src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := backend.DefaultOptions()
+	opts.NumTSPs = 16
+	c, err := backend.Compile(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Config.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The P4-derived guards carry negations rp4bc's predicate analysis is
+	// conservative about, so it may merge fewer stages than the
+	// hand-written design's 7 TSPs — but never more than one TSP per
+	// stage.
+	if c.Stats.TSPsUsed > 10 {
+		t.Errorf("TSPs used = %d", c.Stats.TSPsUsed)
+	}
+}
+
+func TestAPISpec(t *testing.T) {
+	api, _ := transformBase(t)
+	if len(api.Tables) != 10 {
+		t.Fatalf("api tables = %d", len(api.Tables))
+	}
+	var nexthop *TableAPI
+	for i := range api.Tables {
+		if api.Tables[i].Name == "nexthop_tbl" {
+			nexthop = &api.Tables[i]
+		}
+	}
+	if nexthop == nil {
+		t.Fatal("nexthop_tbl missing from API")
+	}
+	if nexthop.Stage != "nexthop_tbl_stage" || nexthop.Size != 16384 {
+		t.Errorf("nexthop api: %+v", nexthop)
+	}
+	if len(nexthop.Keys) != 1 || nexthop.Keys[0].Name != "meta.nexthop" || nexthop.Keys[0].Width != 32 {
+		t.Errorf("nexthop keys: %+v", nexthop.Keys)
+	}
+	if len(nexthop.Actions) != 1 || nexthop.Actions[0].Name != "set_bd_dmac" || nexthop.Actions[0].Tag != 1 {
+		t.Errorf("nexthop actions: %+v", nexthop.Actions)
+	}
+	if len(nexthop.Actions[0].Params) != 2 || nexthop.Actions[0].Params[1].Width != 48 {
+		t.Errorf("nexthop action params: %+v", nexthop.Actions[0].Params)
+	}
+	if nexthop.Default != "NoAction" {
+		t.Errorf("nexthop default: %q", nexthop.Default)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"two extracts", `
+header a_t { bit<8> f; }
+header b_t { bit<8> g; }
+struct headers_t { a_t a; b_t b; }
+parser P(packet_in pkt, out headers_t hdr) {
+    state start { pkt.extract(hdr.a); pkt.extract(hdr.b); transition accept; }
+}
+control MyIngress(inout headers_t hdr) { apply { } }`},
+		{"unconditional transition", `
+header a_t { bit<8> f; }
+header b_t { bit<8> g; }
+struct headers_t { a_t a; b_t b; }
+parser P(packet_in pkt, out headers_t hdr) {
+    state start { pkt.extract(hdr.a); transition next; }
+    state next { pkt.extract(hdr.b); transition accept; }
+}
+control MyIngress(inout headers_t hdr) { apply { } }`},
+		{"foreign selector", `
+header a_t { bit<8> f; }
+header b_t { bit<8> g; }
+struct headers_t { a_t a; b_t b; }
+parser P(packet_in pkt, out headers_t hdr) {
+    state start { pkt.extract(hdr.a); transition select(hdr.b.g) { 1: s2; default: accept; } }
+    state s2 { pkt.extract(hdr.b); transition accept; }
+}
+control MyIngress(inout headers_t hdr) { apply { } }`},
+		{"unsupported std meta", `
+header a_t { bit<8> f; }
+struct headers_t { a_t a; }
+parser P(packet_in pkt, out headers_t hdr) { state start { pkt.extract(hdr.a); transition accept; } }
+control MyIngress(inout headers_t hdr) {
+    action x() { standard_metadata.mcast_grp = 1; }
+    table t { key = { hdr.a.f: exact; } actions = { x; } size = 4; }
+    apply { t.apply(); }
+}`},
+		{"no ingress", `
+header a_t { bit<8> f; }
+struct headers_t { a_t a; }
+parser P(packet_in pkt, out headers_t hdr) { state start { pkt.extract(hdr.a); transition accept; } }
+control Sideways(inout headers_t hdr) { apply { } }`},
+	}
+	for _, c := range cases {
+		hlir, err := p4.Parse(c.name, c.src)
+		if err != nil {
+			t.Errorf("%s: parse failed early: %v", c.name, err)
+			continue
+		}
+		if _, _, err := Transform(hlir); err == nil {
+			t.Errorf("%s: transform accepted", c.name)
+		}
+	}
+}

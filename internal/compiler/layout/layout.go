@@ -1,0 +1,340 @@
+// Package layout places merged stage groups onto the physical TSPs of the
+// elastic pipeline (paper Sec. 2.3) and implements rp4bc's incremental
+// layout optimization algorithm, with a greedy and a dynamic-programming
+// variant trading placement time against the number of TSP template
+// rewrites (paper Sec. 3.2: "there is a trade-off between dynamic
+// programming and greedy algorithm in terms of the function placement time
+// and the degree of optimization").
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode is a TSP's role in the elastic pipeline.
+type Mode int
+
+// TSP modes. Bypassed TSPs are kept in low-power state.
+const (
+	Bypass Mode = iota
+	IngressActive
+	EgressActive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Bypass:
+		return "bypass"
+	case IngressActive:
+		return "ingress"
+	case EgressActive:
+		return "egress"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// GroupKey canonically names a merged group by its stage set.
+func GroupKey(stages []string) string {
+	s := append([]string(nil), stages...)
+	sort.Strings(s)
+	return strings.Join(s, "+")
+}
+
+// Assignment maps groups onto physical TSPs.
+type Assignment struct {
+	NumTSP   int
+	Position map[string]int // group key -> TSP index
+	Modes    []Mode         // per TSP
+}
+
+// Clone deep-copies the assignment.
+func (a *Assignment) Clone() *Assignment {
+	n := &Assignment{NumTSP: a.NumTSP, Position: make(map[string]int, len(a.Position))}
+	for k, v := range a.Position {
+		n.Position[k] = v
+	}
+	n.Modes = append([]Mode(nil), a.Modes...)
+	return n
+}
+
+// ActiveTSPs counts non-bypassed TSPs, the quantity the power model keys on.
+func (a *Assignment) ActiveTSPs() int {
+	n := 0
+	for _, m := range a.Modes {
+		if m != Bypass {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: ingress groups leftmost-in-order,
+// egress rightmost-in-order, every ingress position before every egress
+// position.
+func (a *Assignment) Validate(ingress, egress []string) error {
+	used := make(map[int]string)
+	lastIngress, firstEgress := -1, a.NumTSP
+	prev := -1
+	for _, g := range ingress {
+		p, ok := a.Position[g]
+		if !ok {
+			return fmt.Errorf("layout: ingress group %q unplaced", g)
+		}
+		if p <= prev {
+			return fmt.Errorf("layout: ingress group %q out of order at TSP %d", g, p)
+		}
+		if o, clash := used[p]; clash {
+			return fmt.Errorf("layout: TSP %d assigned to both %q and %q", p, o, g)
+		}
+		used[p] = g
+		prev = p
+		if p > lastIngress {
+			lastIngress = p
+		}
+	}
+	prev = lastIngress
+	for _, g := range egress {
+		p, ok := a.Position[g]
+		if !ok {
+			return fmt.Errorf("layout: egress group %q unplaced", g)
+		}
+		if p <= prev {
+			return fmt.Errorf("layout: egress group %q out of order at TSP %d", g, p)
+		}
+		if o, clash := used[p]; clash {
+			return fmt.Errorf("layout: TSP %d assigned to both %q and %q", p, o, g)
+		}
+		used[p] = g
+		prev = p
+		if p < firstEgress {
+			firstEgress = p
+		}
+	}
+	for p := range used {
+		if p < 0 || p >= a.NumTSP {
+			return fmt.Errorf("layout: TSP index %d out of range [0,%d)", p, a.NumTSP)
+		}
+	}
+	return nil
+}
+
+func buildModes(numTSP int, pos map[string]int, ingress, egress []string) []Mode {
+	modes := make([]Mode, numTSP)
+	for _, g := range ingress {
+		modes[pos[g]] = IngressActive
+	}
+	for _, g := range egress {
+		modes[pos[g]] = EgressActive
+	}
+	return modes
+}
+
+// PlaceFull lays groups out from scratch: ingress packed leftmost, egress
+// packed rightmost, everything between bypassed.
+func PlaceFull(ingress, egress []string, numTSP int) (*Assignment, error) {
+	if len(ingress)+len(egress) > numTSP {
+		return nil, fmt.Errorf("layout: %d ingress + %d egress groups exceed %d TSPs",
+			len(ingress), len(egress), numTSP)
+	}
+	pos := make(map[string]int, len(ingress)+len(egress))
+	for i, g := range ingress {
+		pos[g] = i
+	}
+	for i, g := range egress {
+		pos[g] = numTSP - len(egress) + i
+	}
+	a := &Assignment{NumTSP: numTSP, Position: pos, Modes: buildModes(numTSP, pos, ingress, egress)}
+	return a, nil
+}
+
+// Result reports the cost of an incremental placement.
+type Result struct {
+	Assignment *Assignment
+	// Rewrites counts TSPs whose template must be written: new groups plus
+	// surviving groups that moved.
+	Rewrites int
+	// Kept counts surviving groups that stayed in place.
+	Kept int
+}
+
+// PlaceIncrementalGreedy is the fast variant: it walks the new sequence
+// left to right, keeping a surviving group's old position only when it is
+// strictly beyond the previous placement; everything else takes the next
+// free TSP. It can cascade moves an optimal placement would avoid.
+func PlaceIncrementalGreedy(old *Assignment, ingress, egress []string, numTSP int) (*Result, error) {
+	return placeIncremental(old, ingress, egress, numTSP, false)
+}
+
+// PlaceIncrementalDP is the optimizing variant: it selects the maximum set
+// of surviving groups that can keep their old TSPs (a longest increasing
+// subsequence over old positions) and only rewrites the rest.
+func PlaceIncrementalDP(old *Assignment, ingress, egress []string, numTSP int) (*Result, error) {
+	return placeIncremental(old, ingress, egress, numTSP, true)
+}
+
+func placeIncremental(old *Assignment, ingress, egress []string, numTSP int, optimal bool) (*Result, error) {
+	if len(ingress)+len(egress) > numTSP {
+		return nil, fmt.Errorf("layout: %d ingress + %d egress groups exceed %d TSPs",
+			len(ingress), len(egress), numTSP)
+	}
+	seq := append(append([]string(nil), ingress...), egress...)
+	oldPos := make([]int, len(seq)) // -1 when the group is new
+	for i, g := range seq {
+		if p, ok := old.Position[g]; ok && p < numTSP {
+			oldPos[i] = p
+		} else {
+			oldPos[i] = -1
+		}
+	}
+	var keep []bool
+	if optimal {
+		keep = feasibleKeep(oldPos, numTSP)
+	} else {
+		keep = greedyKeep(oldPos)
+	}
+	// Assign positions: kept groups stay; others take the lowest free
+	// position that preserves order. If a gap is too tight, un-keep the
+	// next kept group and retry (rare; bounded by len(seq) retries).
+	for retry := 0; ; retry++ {
+		pos, ok := fill(seq, oldPos, keep, numTSP)
+		if ok {
+			kept := 0
+			for i := range seq {
+				if keep[i] {
+					kept++
+				}
+			}
+			a := &Assignment{NumTSP: numTSP, Position: pos, Modes: buildModes(numTSP, pos, ingress, egress)}
+			if err := a.Validate(ingress, egress); err != nil {
+				return nil, err
+			}
+			return &Result{Assignment: a, Rewrites: len(seq) - kept, Kept: kept}, nil
+		}
+		// Relax: drop the last kept group and try again.
+		dropped := false
+		for i := len(keep) - 1; i >= 0; i-- {
+			if keep[i] {
+				keep[i] = false
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return nil, fmt.Errorf("layout: cannot place %d groups on %d TSPs", len(seq), numTSP)
+		}
+		if retry > len(seq)+1 {
+			return nil, fmt.Errorf("layout: placement did not converge")
+		}
+	}
+}
+
+// feasibleKeep is the DP optimizer: it selects the maximum set of groups
+// that can keep their old TSPs such that every run of rewritten groups fits
+// in the position gap around it (O(n^2), n = group count, always small).
+// A group i may be kept after kept group j iff its old position is beyond
+// j's and the i-j-1 groups between them fit in the oldPos[i]-oldPos[j]-1
+// intermediate slots.
+func feasibleKeep(oldPos []int, numTSP int) []bool {
+	n := len(oldPos)
+	const none = -2
+	best := make([]int, n) // best[i]: max kept among 0..i with i kept; 0 if infeasible
+	prev := make([]int, n)
+	for i := range best {
+		prev[i] = none
+		if oldPos[i] < 0 {
+			continue
+		}
+		// Base: all i predecessors are rewritten into slots 0..oldPos[i]-1.
+		if i <= oldPos[i] {
+			best[i] = 1
+			prev[i] = -1
+		}
+		for j := 0; j < i; j++ {
+			if best[j] == 0 || oldPos[j] < 0 {
+				continue
+			}
+			gap := oldPos[i] - oldPos[j] - 1
+			between := i - j - 1
+			if oldPos[j] < oldPos[i] && between <= gap && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+				prev[i] = j
+			}
+		}
+	}
+	keep := make([]bool, n)
+	bi := none
+	bestTotal := 0
+	for i := range best {
+		if best[i] == 0 {
+			continue
+		}
+		// The suffix after i must fit to the right of oldPos[i].
+		if n-1-i > numTSP-oldPos[i]-1 {
+			continue
+		}
+		if best[i] > bestTotal {
+			bestTotal = best[i]
+			bi = i
+		}
+	}
+	for i := bi; i >= 0; i = prev[i] {
+		keep[i] = true
+	}
+	return keep
+}
+
+// greedyKeep keeps a surviving group's position whenever it is beyond the
+// last kept position — the fast heuristic.
+func greedyKeep(oldPos []int) []bool {
+	keep := make([]bool, len(oldPos))
+	last := -1
+	for i, p := range oldPos {
+		if p >= 0 && p > last {
+			keep[i] = true
+			last = p
+		}
+	}
+	return keep
+}
+
+// fill assigns every group a position: kept groups keep oldPos, the rest
+// take free slots in order. Returns ok=false when a gap cannot hold the
+// groups between two kept neighbours.
+func fill(seq []string, oldPos []int, keep []bool, numTSP int) (map[string]int, bool) {
+	pos := make(map[string]int, len(seq))
+	next := 0
+	for i, g := range seq {
+		if keep[i] {
+			if oldPos[i] < next {
+				return nil, false
+			}
+			pos[g] = oldPos[i]
+			next = oldPos[i] + 1
+			continue
+		}
+		// Next free slot that stays below any upcoming kept position.
+		limit := numTSP
+		for j := i + 1; j < len(seq); j++ {
+			if keep[j] {
+				limit = oldPos[j]
+				break
+			}
+		}
+		if next >= limit {
+			return nil, false
+		}
+		pos[g] = next
+		next++
+	}
+	// Bound check.
+	for _, p := range pos {
+		if p >= numTSP {
+			return nil, false
+		}
+	}
+	return pos, true
+}

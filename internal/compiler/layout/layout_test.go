@@ -1,0 +1,174 @@
+package layout
+
+import (
+	"testing"
+)
+
+func TestPlaceFull(t *testing.T) {
+	a, err := PlaceFull([]string{"i1", "i2", "i3"}, []string{"e1", "e2"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Position["i1"] != 0 || a.Position["i3"] != 2 {
+		t.Errorf("ingress positions: %v", a.Position)
+	}
+	if a.Position["e1"] != 6 || a.Position["e2"] != 7 {
+		t.Errorf("egress positions: %v", a.Position)
+	}
+	if a.ActiveTSPs() != 5 {
+		t.Errorf("active = %d", a.ActiveTSPs())
+	}
+	if a.Modes[3] != Bypass || a.Modes[0] != IngressActive || a.Modes[7] != EgressActive {
+		t.Errorf("modes = %v", a.Modes)
+	}
+	if err := a.Validate([]string{"i1", "i2", "i3"}, []string{"e1", "e2"}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	if _, err := PlaceFull(make([]string, 6), make([]string, 3), 8); err == nil {
+		t.Error("overfull placement accepted")
+	}
+}
+
+func TestIncrementalInsertMiddle(t *testing.T) {
+	old, _ := PlaceFull([]string{"a", "b", "c"}, []string{"z"}, 8)
+	// Insert "new" between b and c.
+	res, err := PlaceIncrementalDP(old, []string{"a", "b", "new", "c"}, []string{"z"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old positions a0 b1 c2 z7. "new" needs a slot between b(1) and c(2):
+	// none exists, so the optimum keeps {a,b,z} and rewrites new + c.
+	if res.Rewrites != 2 {
+		t.Errorf("rewrites = %d (kept %d)", res.Rewrites, res.Kept)
+	}
+	if err := res.Assignment.Validate([]string{"a", "b", "new", "c"}, []string{"z"}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestIncrementalReplaceFreesSlot(t *testing.T) {
+	old, _ := PlaceFull([]string{"a", "b", "c"}, []string{"z"}, 8)
+	// Replace b with "r": slot 1 frees up, r should take it; 1 rewrite.
+	for _, variant := range []func(*Assignment, []string, []string, int) (*Result, error){
+		PlaceIncrementalDP, PlaceIncrementalGreedy,
+	} {
+		res, err := variant(old, []string{"a", "r", "c"}, []string{"z"}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rewrites != 1 {
+			t.Errorf("rewrites = %d, want 1", res.Rewrites)
+		}
+		if res.Assignment.Position["r"] != 1 {
+			t.Errorf("r placed at %d", res.Assignment.Position["r"])
+		}
+	}
+}
+
+func TestDPBeatsGreedyOnReorder(t *testing.T) {
+	// A reordering update: the group at old position 7 moves to the head
+	// of the new sequence. Greedy locks onto it (first increasing run) and
+	// then has no room for the rest; DP sacrifices it and keeps a suffix.
+	old := &Assignment{
+		NumTSP:   8,
+		Position: map[string]int{"a": 0, "b": 1, "c": 2, "z": 7},
+		Modes:    make([]Mode, 8),
+	}
+	newSeq := []string{"z", "a", "b", "c"}
+	g, err := PlaceIncrementalGreedy(old, newSeq, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := PlaceIncrementalDP(old, newSeq, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Rewrites > g.Rewrites {
+		t.Errorf("DP rewrites %d > greedy %d", dp.Rewrites, g.Rewrites)
+	}
+	// Greedy keeps only z@7 and must then relax it away: 4 rewrites. DP
+	// keeps c@2 (z,a,b fit in slots 0 and 1? no — 3 groups, 2 slots), so
+	// DP keeps b@1? prefix z,a needs 2 slots below 1: no. DP keeps c@2:
+	// prefix z,a,b needs 3 slots below 2: no... DP keeps nothing either
+	// here unless slots free up; use a wider machine for the DP win.
+	_ = dp
+	old16 := &Assignment{
+		NumTSP:   16,
+		Position: map[string]int{"a": 3, "b": 4, "c": 5, "z": 9},
+		Modes:    make([]Mode, 16),
+	}
+	g2, err := PlaceIncrementalGreedy(old16, newSeq, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp2, err := PlaceIncrementalDP(old16, newSeq, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP keeps a,b,c (z takes a free low slot): 1 rewrite. Greedy keeps z
+	// first and cascades.
+	if dp2.Rewrites != 1 {
+		t.Errorf("dp rewrites = %d, want 1", dp2.Rewrites)
+	}
+	if g2.Rewrites <= dp2.Rewrites {
+		t.Errorf("greedy rewrites = %d, expected worse than DP's %d", g2.Rewrites, dp2.Rewrites)
+	}
+}
+
+func TestIncrementalWithNewGroupAtEnd(t *testing.T) {
+	old, _ := PlaceFull([]string{"a", "b"}, []string{"z"}, 8)
+	res, err := PlaceIncrementalDP(old, []string{"a", "b", "tail"}, []string{"z"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites != 1 || res.Assignment.Position["tail"] != 2 {
+		t.Errorf("rewrites %d, tail at %d", res.Rewrites, res.Assignment.Position["tail"])
+	}
+}
+
+func TestIncrementalOverflow(t *testing.T) {
+	old, _ := PlaceFull([]string{"a"}, nil, 2)
+	if _, err := PlaceIncrementalDP(old, []string{"a", "b", "c"}, nil, 2); err == nil {
+		t.Error("overfull incremental accepted")
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	a := &Assignment{NumTSP: 4, Position: map[string]int{"x": 2, "y": 1}, Modes: make([]Mode, 4)}
+	if err := a.Validate([]string{"x", "y"}, nil); err == nil {
+		t.Error("out-of-order ingress accepted")
+	}
+	b := &Assignment{NumTSP: 4, Position: map[string]int{"x": 1, "y": 1}, Modes: make([]Mode, 4)}
+	if err := b.Validate([]string{"x"}, []string{"y"}); err == nil {
+		t.Error("position collision accepted")
+	}
+	c := &Assignment{NumTSP: 4, Position: map[string]int{"x": 0}, Modes: make([]Mode, 4)}
+	if err := c.Validate([]string{"x", "missing"}, nil); err == nil {
+		t.Error("unplaced group accepted")
+	}
+}
+
+func TestGroupKeyCanonical(t *testing.T) {
+	if GroupKey([]string{"b", "a"}) != GroupKey([]string{"a", "b"}) {
+		t.Error("group key not order independent")
+	}
+	if GroupKey([]string{"a"}) == GroupKey([]string{"a", "b"}) {
+		t.Error("distinct groups share a key")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Bypass.String() != "bypass" || IngressActive.String() != "ingress" || EgressActive.String() != "egress" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := PlaceFull([]string{"x"}, nil, 4)
+	b := a.Clone()
+	b.Position["x"] = 3
+	b.Modes[0] = Bypass
+	if a.Position["x"] != 0 || a.Modes[0] != IngressActive {
+		t.Error("clone shares storage")
+	}
+}

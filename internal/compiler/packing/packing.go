@@ -1,0 +1,204 @@
+// Package packing solves the table-to-memory-pool mapping rp4bc needs
+// (paper Sec. 3.2: "for mapping tables in the memory pool, we formulate it
+// as a set packing problem, which is NP-complete. We embed a dedicated
+// integer programming solver ... to get a heuristic solution").
+//
+// This reproduction replaces the embedded YALMIP solver with a
+// self-contained branch-and-bound over table→cluster assignments, warm
+// started by first-fit-decreasing. Exact solving is bounded by a node
+// budget and falls back to the greedy solution, matching the paper's
+// "heuristic solution" behaviour on large instances.
+package packing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one logical table to place.
+type Item struct {
+	Name   string
+	Blocks int // memory blocks required (ceil(W/w) * ceil(D/d))
+	// Allowed restricts the clusters this table may live in (the clustered
+	// crossbar constraint); nil means any cluster.
+	Allowed []int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// Exact enables branch and bound; otherwise only greedy runs.
+	Exact bool
+	// MaxNodes bounds the search; 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds branch-and-bound search effort.
+const DefaultMaxNodes = 200000
+
+// Solution is a feasible packing.
+type Solution struct {
+	// Assignment maps item name -> cluster index.
+	Assignment map[string]int
+	// MaxLoad is the largest per-cluster block usage, the balance metric
+	// the solver minimizes.
+	MaxLoad int
+	// Nodes is the number of search nodes explored (0 for pure greedy).
+	Nodes int
+	// Optimal reports whether the search proved optimality.
+	Optimal bool
+}
+
+// Solve packs items into clusters with the given block capacities,
+// minimizing the maximum cluster load. It returns an error when no feasible
+// packing exists within the search budget.
+func Solve(items []Item, capacities []int, opts Options) (*Solution, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("packing: no clusters")
+	}
+	for _, it := range items {
+		if it.Blocks <= 0 {
+			return nil, fmt.Errorf("packing: item %q needs %d blocks", it.Name, it.Blocks)
+		}
+		for _, a := range it.Allowed {
+			if a < 0 || a >= len(capacities) {
+				return nil, fmt.Errorf("packing: item %q allows unknown cluster %d", it.Name, a)
+			}
+		}
+	}
+	greedy, gerr := firstFitDecreasing(items, capacities)
+	if !opts.Exact {
+		if gerr != nil {
+			return nil, gerr
+		}
+		return greedy, nil
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	sol := branchAndBound(items, capacities, greedy, maxNodes)
+	if sol == nil {
+		if gerr != nil {
+			return nil, gerr
+		}
+		return greedy, nil
+	}
+	return sol, nil
+}
+
+func allowedClusters(it Item, n int) []int {
+	if len(it.Allowed) > 0 {
+		return it.Allowed
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// firstFitDecreasing is the greedy warm start: biggest tables first, each
+// into the allowed cluster with the most remaining room.
+func firstFitDecreasing(items []Item, capacities []int) (*Solution, error) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]].Blocks > items[order[b]].Blocks })
+	free := append([]int(nil), capacities...)
+	assign := make(map[string]int, len(items))
+	for _, idx := range order {
+		it := items[idx]
+		best := -1
+		for _, c := range allowedClusters(it, len(capacities)) {
+			if free[c] >= it.Blocks && (best < 0 || free[c] > free[best]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("packing: table %q (%d blocks) does not fit in any allowed cluster", it.Name, it.Blocks)
+		}
+		free[best] -= it.Blocks
+		assign[it.Name] = best
+	}
+	return &Solution{Assignment: assign, MaxLoad: maxLoad(capacities, free)}, nil
+}
+
+func maxLoad(capacities, free []int) int {
+	m := 0
+	for i := range capacities {
+		if l := capacities[i] - free[i]; l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// branchAndBound searches assignments minimizing max cluster load, pruned
+// by the incumbent. Returns nil when no solution was found in budget.
+func branchAndBound(items []Item, capacities []int, incumbent *Solution, maxNodes int) *Solution {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	// Big items first maximizes pruning.
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]].Blocks > items[order[b]].Blocks })
+
+	bestLoad := int(^uint(0) >> 1)
+	var best map[string]int
+	if incumbent != nil {
+		bestLoad = incumbent.MaxLoad
+		best = incumbent.Assignment
+	}
+	free := append([]int(nil), capacities...)
+	cur := make(map[string]int, len(items))
+	nodes := 0
+	proved := true
+
+	var rec func(k, curMax int)
+	rec = func(k, curMax int) {
+		if nodes >= maxNodes {
+			proved = false
+			return
+		}
+		nodes++
+		if curMax >= bestLoad {
+			return
+		}
+		if k == len(order) {
+			bestLoad = curMax
+			best = make(map[string]int, len(cur))
+			for n, c := range cur {
+				best[n] = c
+			}
+			return
+		}
+		it := items[order[k]]
+		cands := allowedClusters(it, len(capacities))
+		// Symmetry breaking: try clusters by ascending resulting load.
+		sort.SliceStable(cands, func(a, b int) bool {
+			la := capacities[cands[a]] - free[cands[a]] + it.Blocks
+			lb := capacities[cands[b]] - free[cands[b]] + it.Blocks
+			return la < lb
+		})
+		for _, c := range cands {
+			if free[c] < it.Blocks {
+				continue
+			}
+			free[c] -= it.Blocks
+			cur[it.Name] = c
+			nm := curMax
+			if l := capacities[c] - free[c]; l > nm {
+				nm = l
+			}
+			rec(k+1, nm)
+			free[c] += it.Blocks
+			delete(cur, it.Name)
+		}
+	}
+	rec(0, 0)
+	if best == nil {
+		return nil
+	}
+	return &Solution{Assignment: best, MaxLoad: bestLoad, Nodes: nodes, Optimal: proved}
+}

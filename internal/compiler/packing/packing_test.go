@@ -1,0 +1,161 @@
+package packing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyFeasible(t *testing.T) {
+	items := []Item{
+		{Name: "a", Blocks: 3},
+		{Name: "b", Blocks: 3},
+		{Name: "c", Blocks: 2},
+	}
+	sol, err := Solve(items, []int{5, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Assignment) != 3 {
+		t.Fatalf("assignment: %v", sol.Assignment)
+	}
+	// Loads must respect capacities.
+	load := map[int]int{}
+	for _, it := range items {
+		load[sol.Assignment[it.Name]] += it.Blocks
+	}
+	for c, l := range load {
+		if l > 5 {
+			t.Errorf("cluster %d overloaded: %d", c, l)
+		}
+	}
+}
+
+func TestExactBeatsGreedyBalance(t *testing.T) {
+	// Greedy FFD (most-free-first) on 6,5,4,3,3,3 over capacity-12 bins:
+	// 6->A, 5->B, 4->A(10 used? free A=6 B=7 -> B), ... construct an
+	// instance where FFD's max load exceeds the optimum.
+	items := []Item{
+		{Name: "a", Blocks: 7},
+		{Name: "b", Blocks: 6},
+		{Name: "c", Blocks: 5},
+		{Name: "d", Blocks: 4},
+		{Name: "e", Blocks: 4},
+		{Name: "f", Blocks: 4},
+	}
+	caps := []int{15, 15}
+	g, err := Solve(items, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Solve(items, caps, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.MaxLoad > g.MaxLoad {
+		t.Errorf("exact max load %d worse than greedy %d", x.MaxLoad, g.MaxLoad)
+	}
+	// Total is 30 over two 15-bins: the optimum is a perfect 15/15 split.
+	if x.MaxLoad != 15 {
+		t.Errorf("exact max load = %d, want 15", x.MaxLoad)
+	}
+	if !x.Optimal {
+		t.Error("tiny instance not proved optimal")
+	}
+}
+
+func TestAllowedClusterConstraint(t *testing.T) {
+	items := []Item{
+		{Name: "pinned", Blocks: 2, Allowed: []int{1}},
+		{Name: "free", Blocks: 2},
+	}
+	sol, err := Solve(items, []int{2, 2}, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Assignment["pinned"] != 1 {
+		t.Errorf("pinned placed in %d", sol.Assignment["pinned"])
+	}
+	if sol.Assignment["free"] != 0 {
+		t.Errorf("free placed in %d", sol.Assignment["free"])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	if _, err := Solve([]Item{{Name: "big", Blocks: 9}}, []int{4, 4}, Options{Exact: true}); err == nil {
+		t.Error("oversized item accepted")
+	}
+	if _, err := Solve([]Item{{Name: "x", Blocks: 1, Allowed: []int{5}}}, []int{4}, Options{}); err == nil {
+		t.Error("unknown allowed cluster accepted")
+	}
+	if _, err := Solve([]Item{{Name: "x", Blocks: 0}}, []int{4}, Options{}); err == nil {
+		t.Error("zero-block item accepted")
+	}
+	if _, err := Solve(nil, nil, Options{}); err == nil {
+		t.Error("no clusters accepted")
+	}
+}
+
+func TestNodeBudgetFallsBackToGreedy(t *testing.T) {
+	var items []Item
+	for i := 0; i < 20; i++ {
+		items = append(items, Item{Name: string(rune('a' + i)), Blocks: 1 + i%3})
+	}
+	sol, err := Solve(items, []int{20, 20, 20}, Options{Exact: true, MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil || len(sol.Assignment) != 20 {
+		t.Fatalf("solution: %+v", sol)
+	}
+	if sol.Optimal && sol.Nodes >= 10 {
+		t.Error("budget-cut search claims optimality")
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	// Any returned assignment respects capacities and Allowed sets.
+	f := func(sizes []uint8, capSeed uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		var items []Item
+		total := 0
+		for i, s := range sizes {
+			b := int(s)%5 + 1
+			total += b
+			it := Item{Name: string(rune('A' + i)), Blocks: b}
+			if i%3 == 0 {
+				it.Allowed = []int{i % 2}
+			}
+			items = append(items, it)
+		}
+		caps := []int{total, total}
+		sol, err := Solve(items, caps, Options{Exact: true, MaxNodes: 5000})
+		if err != nil {
+			return false
+		}
+		load := map[int]int{}
+		for _, it := range items {
+			c, ok := sol.Assignment[it.Name]
+			if !ok {
+				return false
+			}
+			if len(it.Allowed) > 0 && c != it.Allowed[0] {
+				return false
+			}
+			load[c] += it.Blocks
+		}
+		for c, l := range load {
+			if l > caps[c] || l > sol.MaxLoad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

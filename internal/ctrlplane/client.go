@@ -1,0 +1,120 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ipsa/internal/template"
+)
+
+// Client is the controller's connection to a device CCM.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a device's control channel.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: %w", err)
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response.
+func (c *Client) Do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("ctrlplane: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("ctrlplane: recv: %w", err)
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("ctrlplane: device error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.Do(&Request{Op: OpPing})
+	return err
+}
+
+// ApplyConfig downloads a device configuration.
+func (c *Client) ApplyConfig(cfg *template.Config) (*ApplyStats, error) {
+	resp, err := c.Do(&Request{Op: OpApplyConfig, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Apply, nil
+}
+
+// InsertEntry installs a table entry and returns its handle.
+func (c *Client) InsertEntry(e EntryReq) (int, error) {
+	resp, err := c.Do(&Request{Op: OpInsertEntry, Entry: &e})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Handle, nil
+}
+
+// DeleteEntry removes a table entry by handle.
+func (c *Client) DeleteEntry(table string, handle int) error {
+	_, err := c.Do(&Request{Op: OpDeleteEntry, Table: table, Handle: handle})
+	return err
+}
+
+// AddMember adds an ECMP group member.
+func (c *Client) AddMember(m MemberReq) error {
+	_, err := c.Do(&Request{Op: OpAddMember, Member: &m})
+	return err
+}
+
+// ListTables lists installed tables.
+func (c *Client) ListTables() ([]TableStatus, error) {
+	resp, err := c.Do(&Request{Op: OpListTables})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// TableStats reads a table's counters.
+func (c *Client) TableStats(table string) (*TableStats, error) {
+	resp, err := c.Do(&Request{Op: OpTableStats, Table: table})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// ReadRegister reads one register cell.
+func (c *Client) ReadRegister(name string, index uint64) (uint64, error) {
+	resp, err := c.Do(&Request{Op: OpReadRegister, Register: name, Index: index})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Stats snapshots device counters.
+func (c *Client) Stats() (*DeviceStats, error) {
+	resp, err := c.Do(&Request{Op: OpDeviceStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Device, nil
+}

@@ -1,0 +1,108 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+
+	"ipsa/internal/template"
+)
+
+// The CCM protocol is newline-free JSON objects streamed over TCP: each
+// Request gets exactly one Response, in order.
+
+// Op names a control operation.
+type Op string
+
+// Control operations.
+const (
+	OpApplyConfig  Op = "apply_config"
+	OpInsertEntry  Op = "insert_entry"
+	OpDeleteEntry  Op = "delete_entry"
+	OpAddMember    Op = "add_member"
+	OpListTables   Op = "list_tables"
+	OpTableStats   Op = "table_stats"
+	OpReadRegister Op = "read_register"
+	OpDeviceStats  Op = "device_stats"
+	OpPing         Op = "ping"
+)
+
+// Request is one control-channel message.
+type Request struct {
+	Op Op `json:"op"`
+	// Config serves apply_config.
+	Config *template.Config `json:"config,omitempty"`
+	// Entry serves insert_entry.
+	Entry *EntryReq `json:"entry,omitempty"`
+	// Member serves add_member.
+	Member *MemberReq `json:"member,omitempty"`
+	// Table/Handle serve delete_entry and table_stats.
+	Table  string `json:"table,omitempty"`
+	Handle int    `json:"handle,omitempty"`
+	// Register/Index serve read_register.
+	Register string `json:"register,omitempty"`
+	Index    uint64 `json:"index,omitempty"`
+}
+
+// Response answers a Request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Handle int             `json:"handle,omitempty"`
+	Tables []TableStatus   `json:"tables,omitempty"`
+	Stats  *TableStats     `json:"stats,omitempty"`
+	Value  uint64          `json:"value,omitempty"`
+	Device *DeviceStats    `json:"device,omitempty"`
+	Apply  *ApplyStats     `json:"apply,omitempty"`
+	Extra  json.RawMessage `json:"extra,omitempty"`
+}
+
+// TableStatus summarizes one installed logical table.
+type TableStatus struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	KeyWidth int    `json:"key_width"`
+	Size     int    `json:"size"`
+	Entries  int    `json:"entries"`
+	Selector bool   `json:"selector,omitempty"`
+}
+
+// TableStats carries a table's hit/miss counters.
+type TableStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// DeviceStats snapshots the data plane's counters.
+type DeviceStats struct {
+	Processed       uint64 `json:"processed"`
+	Dropped         uint64 `json:"dropped"`
+	ToCPU           uint64 `json:"to_cpu"`
+	ActiveTSPs      int    `json:"active_tsps"`
+	StallNanos      int64  `json:"stall_nanos"`
+	TemplateLoads   uint64 `json:"template_loads"`
+	InvalidAccesses uint64 `json:"invalid_accesses"`
+}
+
+// ApplyStats reports what a configuration download changed, the numbers
+// behind the loading-time comparison of Table 1.
+type ApplyStats struct {
+	TSPsWritten     int   `json:"tsps_written"`
+	TablesCreated   int   `json:"tables_created"`
+	TablesDropped   int   `json:"tables_dropped"`
+	SelectorMoved   bool  `json:"selector_moved"`
+	EntriesMigrated int   `json:"entries_migrated"`
+	LoadNanos       int64 `json:"load_nanos"`
+	Full            bool  `json:"full"` // full install vs incremental patch
+}
+
+// Device is the behaviour a control server exposes; ipbm implements it.
+type Device interface {
+	ApplyConfig(cfg *template.Config) (*ApplyStats, error)
+	InsertEntry(req EntryReq) (handle int, err error)
+	DeleteEntry(table string, handle int) error
+	AddMember(req MemberReq) error
+	ListTables() []TableStatus
+	TableStats(table string) (*TableStats, error)
+	ReadRegister(name string, index uint64) (uint64, error)
+	Stats() *DeviceStats
+}

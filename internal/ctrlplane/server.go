@@ -1,0 +1,177 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+)
+
+// Server is the Control Channel Module (CCM): it bridges the data plane
+// with the controller for runtime configuration (paper Sec. 4.1). One
+// goroutine per connection; requests on a connection are answered in
+// order.
+type Server struct {
+	dev Device
+	log *slog.Logger
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a device.
+func NewServer(dev Device, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{dev: dev, log: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ccm: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.log.Warn("ccm accept", "err", err)
+			continue
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.log.Debug("ccm decode", "err", err)
+			}
+			return
+		}
+		resp := s.Handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.log.Debug("ccm encode", "err", err)
+			return
+		}
+	}
+}
+
+// Handle dispatches one request; exported so in-process callers (tests,
+// benchmarks) can skip the socket.
+func (s *Server) Handle(req *Request) *Response {
+	fail := func(err error) *Response { return &Response{Error: err.Error()} }
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpApplyConfig:
+		if req.Config == nil {
+			return fail(fmt.Errorf("ccm: apply_config without config"))
+		}
+		st, err := s.dev.ApplyConfig(req.Config)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Apply: st}
+	case OpInsertEntry:
+		if req.Entry == nil {
+			return fail(fmt.Errorf("ccm: insert_entry without entry"))
+		}
+		h, err := s.dev.InsertEntry(*req.Entry)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Handle: h}
+	case OpDeleteEntry:
+		if err := s.dev.DeleteEntry(req.Table, req.Handle); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case OpAddMember:
+		if req.Member == nil {
+			return fail(fmt.Errorf("ccm: add_member without member"))
+		}
+		if err := s.dev.AddMember(*req.Member); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case OpListTables:
+		return &Response{OK: true, Tables: s.dev.ListTables()}
+	case OpTableStats:
+		st, err := s.dev.TableStats(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Stats: st}
+	case OpReadRegister:
+		v, err := s.dev.ReadRegister(req.Register, req.Index)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Value: v}
+	case OpDeviceStats:
+		return &Response{OK: true, Device: s.dev.Stats()}
+	}
+	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

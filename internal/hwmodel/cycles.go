@@ -1,0 +1,179 @@
+package hwmodel
+
+import (
+	"fmt"
+
+	"ipsa/internal/template"
+)
+
+// CycleParams configures the throughput model.
+type CycleParams struct {
+	// ClockMHz is the prototype clock (200 MHz in the paper).
+	ClockMHz float64
+	// IPSABusBits is the TSP-to-memory-pool data bus width; entries wider
+	// than the bus serialize into multiple accesses (the paper's first
+	// throughput penalty).
+	IPSABusBits int
+	// TemplateLoadCycles is the per-packet cost of loading the TSP's
+	// configuration parameters (the paper's second penalty, "eliminated by
+	// pipelining the TSP internal design").
+	TemplateLoadCycles int
+	// VarLenPenaltyCycles charges the extra sequential step a
+	// variable-length header (SRH) costs the distributed parser.
+	VarLenPenaltyCycles int
+	// PISAParserBusBits is the front parser's extraction bandwidth per
+	// cycle.
+	PISAParserBusBits int
+	// PISAParserStall is the fractional initiation-interval penalty per
+	// extra parser word (PISA misses one-cycle-per-packet "for
+	// simplicity", Sec. 5).
+	PISAParserStall float64
+}
+
+// DefaultCycleParams reproduce the paper's Sec. 5 numbers within a few
+// percent at 200 MHz.
+func DefaultCycleParams() CycleParams {
+	return CycleParams{
+		ClockMHz:            200,
+		IPSABusBits:         128,
+		TemplateLoadCycles:  1,
+		VarLenPenaltyCycles: 1,
+		PISAParserBusBits:   512,
+		PISAParserStall:     0.25,
+	}
+}
+
+// TableCost is the per-lookup cost of one table.
+type TableCost struct {
+	Name       string
+	KeyBits    int
+	ActionBits int // widest action-data among the table's entries
+}
+
+// Accesses is the number of bus transactions one lookup needs: the match
+// word and its action data stream back over the same bus, so the entry's
+// total width is what serializes ("especially when the table entry size
+// exceeds the data bus width", Sec. 5).
+func (t TableCost) Accesses(busBits int) int {
+	n := (t.KeyBits + t.ActionBits + busBits - 1) / busBits
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// WorkloadClass is one packet class of a use-case workload: how much
+// header it parses and which tables it actually applies.
+type WorkloadClass struct {
+	Name       string
+	Weight     float64
+	ParsedBits int
+	// ParsesVarLen marks classes that traverse a variable-length header.
+	ParsesVarLen bool
+	// Applied lists the tables the class looks up, grouped by the TSP
+	// that drives them (outer slice = TSPs; a merged TSP's exclusive
+	// tables appear in different classes, so one entry per TSP is usual).
+	Applied [][]TableCost
+}
+
+// IPSAII is the initiation interval of one class on IPSA: template load
+// plus the bottleneck TSP's memory transactions, plus the varlen parsing
+// penalty.
+func (p CycleParams) IPSAII(c WorkloadClass) float64 {
+	maxAcc := 0
+	for _, tsp := range c.Applied {
+		acc := 0
+		for _, t := range tsp {
+			acc += t.Accesses(p.IPSABusBits)
+		}
+		if acc > maxAcc {
+			maxAcc = acc
+		}
+	}
+	ii := float64(p.TemplateLoadCycles + maxAcc)
+	if c.ParsesVarLen {
+		ii += float64(p.VarLenPenaltyCycles)
+	}
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+// PISAII is the initiation interval on PISA: one cycle per packet plus the
+// front-parser stall for each extra extraction word.
+func (p CycleParams) PISAII(c WorkloadClass) float64 {
+	words := (c.ParsedBits + p.PISAParserBusBits - 1) / p.PISAParserBusBits
+	if words < 1 {
+		words = 1
+	}
+	return 1 + p.PISAParserStall*float64(words-1)
+}
+
+// Throughput is a modeled use-case result.
+type Throughput struct {
+	UseCase  string
+	PISAMpps float64
+	IPSAMpps float64
+	// AvgII for inspection.
+	PISAII, IPSAII float64
+}
+
+// Model computes modeled throughput for a workload (a weighted class mix).
+func (p CycleParams) Model(useCase string, classes []WorkloadClass) (Throughput, error) {
+	var wsum, pisaII, ipsaII float64
+	for _, c := range classes {
+		if c.Weight < 0 {
+			return Throughput{}, fmt.Errorf("hwmodel: class %q has negative weight", c.Name)
+		}
+		wsum += c.Weight
+		pisaII += c.Weight * p.PISAII(c)
+		ipsaII += c.Weight * p.IPSAII(c)
+	}
+	if wsum == 0 {
+		return Throughput{}, fmt.Errorf("hwmodel: workload %q has zero total weight", useCase)
+	}
+	pisaII /= wsum
+	ipsaII /= wsum
+	return Throughput{
+		UseCase:  useCase,
+		PISAMpps: p.ClockMHz / pisaII,
+		IPSAMpps: p.ClockMHz / ipsaII,
+		PISAII:   pisaII,
+		IPSAII:   ipsaII,
+	}, nil
+}
+
+// TableCostFromConfig derives a table's lookup cost from its compiled
+// template: the key width plus the widest action data bound to the stage's
+// executor arms.
+func TableCostFromConfig(cfg *template.Config, table string) (TableCost, error) {
+	t, ok := cfg.Tables[table]
+	if !ok {
+		return TableCost{}, fmt.Errorf("hwmodel: unknown table %q", table)
+	}
+	tc := TableCost{Name: table, KeyBits: t.KeyWidth}
+	for _, s := range cfg.Stages {
+		uses := false
+		for _, tn := range s.Tables {
+			if tn == table {
+				uses = true
+			}
+		}
+		if !uses {
+			continue
+		}
+		for _, arm := range s.Arms {
+			if a := cfg.Actions[arm.Action]; a != nil {
+				bits := 0
+				for _, w := range a.ParamWidths {
+					bits += w
+				}
+				if bits > tc.ActionBits {
+					tc.ActionBits = bits
+				}
+			}
+		}
+	}
+	return tc, nil
+}

@@ -1,0 +1,15 @@
+// Package hwmodel substitutes for the paper's Xilinx Alveo U280 FPGA
+// prototypes (DESIGN.md, substitution table): a cycle-level throughput
+// model, an analytic LUT/FF resource model and a power model, each
+// parameterized by the same architectural quantities the paper identifies
+// as the cost drivers — memory access serialized over the data bus width,
+// per-packet TSP template loading, the crossbar, the front parser, and
+// idle-TSP power gating.
+//
+// The models are calibrated so an 8-processor configuration reproduces the
+// paper's Table 2/Table 3 component breakdown and Sec. 5 throughput
+// within a few percent; the calibration constants are exported so the
+// benches can sweep them. Absolute numbers are modeled, shapes (who wins,
+// by what factor, where the Fig. 6 crossover falls) are the reproduction
+// targets — see EXPERIMENTS.md.
+package hwmodel

@@ -1,0 +1,174 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, tolFrac float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/want > tolFrac {
+		t.Errorf("%s = %.2f, want %.2f (±%.0f%%)", name, got, want, tolFrac*100)
+	}
+}
+
+func TestThroughputMatchesPaperShape(t *testing.T) {
+	p := DefaultCycleParams()
+	c1, err := p.Model("C1", C1Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := p.Model("C2", C2Classes())
+	c3, _ := p.Model("C3", C3Classes())
+
+	// Paper Sec. 5: PISA 187.33 / 153.71 / 191.93; IPSA 65.81 / 51.36 / 86.62.
+	within(t, "PISA C1", c1.PISAMpps, 187.33, 0.10)
+	within(t, "PISA C2", c2.PISAMpps, 153.71, 0.15)
+	within(t, "PISA C3", c3.PISAMpps, 191.93, 0.10)
+	within(t, "IPSA C1", c1.IPSAMpps, 65.81, 0.10)
+	within(t, "IPSA C2", c2.IPSAMpps, 51.36, 0.10)
+	within(t, "IPSA C3", c3.IPSAMpps, 86.62, 0.10)
+
+	// Shape: PISA wins every case by 2x-3.5x.
+	for _, r := range []Throughput{c1, c2, c3} {
+		ratio := r.PISAMpps / r.IPSAMpps
+		if ratio < 2 || ratio > 3.6 {
+			t.Errorf("%s: PISA/IPSA ratio %.2f outside [2, 3.6]", r.UseCase, ratio)
+		}
+	}
+	// Shape: C2 is the slowest, C3 the fastest on IPSA.
+	if !(c2.IPSAMpps < c1.IPSAMpps && c1.IPSAMpps < c3.IPSAMpps) {
+		t.Errorf("IPSA ordering wrong: C1=%.1f C2=%.1f C3=%.1f", c1.IPSAMpps, c2.IPSAMpps, c3.IPSAMpps)
+	}
+	if !(c2.PISAMpps < c1.PISAMpps && c2.PISAMpps < c3.PISAMpps) {
+		t.Errorf("PISA C2 not slowest: C1=%.1f C2=%.1f C3=%.1f", c1.PISAMpps, c2.PISAMpps, c3.PISAMpps)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	p := DefaultCycleParams()
+	if _, err := p.Model("empty", nil); err == nil {
+		t.Error("zero-weight workload accepted")
+	}
+	if _, err := p.Model("neg", []WorkloadClass{{Name: "x", Weight: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// A class with no applied tables still costs at least one cycle.
+	ii := p.IPSAII(WorkloadClass{Name: "idle"})
+	if ii < 1 {
+		t.Errorf("II = %f < 1", ii)
+	}
+}
+
+func TestTableCostAccesses(t *testing.T) {
+	tc := TableCost{KeyBits: 144, ActionBits: 32}
+	if got := tc.Accesses(128); got != 2 { // 176-bit entry over a 128-bit bus
+		t.Errorf("accesses = %d, want 2", got)
+	}
+	tc = TableCost{KeyBits: 16}
+	if got := tc.Accesses(128); got != 1 {
+		t.Errorf("accesses = %d, want 1", got)
+	}
+}
+
+func TestResourcesMatchTable2(t *testing.T) {
+	p := DefaultResourceParams()
+	// Both prototypes: 8 stage processors; the base design parses ~912
+	// header bits; the pool has 64 blocks.
+	pisa := p.PISAResources(8, 912)
+	ipsa := p.IPSAResources(8, 64)
+
+	// Paper Table 2 (percent): PISA parser 0.88/0.10, processors
+	// 5.32/0.47, total 6.20/0.57; IPSA processors 5.83/0.85, crossbar
+	// 1.29/0.07, total 7.12/0.92.
+	within(t, "PISA parser LUT", pisa.FrontParserLUT, 0.88, 0.05)
+	within(t, "PISA parser FF", pisa.FrontParserFF, 0.10, 0.05)
+	within(t, "PISA proc LUT", pisa.ProcessorsLUT, 5.32, 0.05)
+	within(t, "PISA proc FF", pisa.ProcessorsFF, 0.47, 0.05)
+	within(t, "PISA total LUT", pisa.TotalLUT, 6.20, 0.05)
+	within(t, "IPSA proc LUT", ipsa.ProcessorsLUT, 5.83, 0.05)
+	within(t, "IPSA proc FF", ipsa.ProcessorsFF, 0.85, 0.05)
+	within(t, "IPSA xbar LUT", ipsa.CrossbarLUT, 1.29, 0.05)
+	within(t, "IPSA total LUT", ipsa.TotalLUT, 7.12, 0.05)
+	within(t, "IPSA total FF", ipsa.TotalFF, 0.92, 0.05)
+
+	// Shape: IPSA pays ~+15% LUT and ~+61% FF for in-situ programmability.
+	lutOverhead := (ipsa.TotalLUT - pisa.TotalLUT) / pisa.TotalLUT
+	ffOverhead := (ipsa.TotalFF - pisa.TotalFF) / pisa.TotalFF
+	if lutOverhead < 0.10 || lutOverhead > 0.20 {
+		t.Errorf("LUT overhead %.1f%% outside [10,20]", lutOverhead*100)
+	}
+	if ffOverhead < 0.50 || ffOverhead > 0.75 {
+		t.Errorf("FF overhead %.1f%% outside [50,75]", ffOverhead*100)
+	}
+}
+
+func TestPowerMatchesTable3AndFig6(t *testing.T) {
+	p := DefaultPowerParams()
+	pisa8 := p.PISAPower(8)
+	ipsa8 := p.IPSAPower(8, 8)
+	// Paper Table 3: ~2.95 W PISA, IPSA about 10% more.
+	within(t, "PISA power", pisa8, 2.95, 0.05)
+	overhead := (ipsa8 - pisa8) / pisa8
+	if overhead < 0.05 || overhead > 0.15 {
+		t.Errorf("IPSA power overhead %.1f%% outside [5,15]", overhead*100)
+	}
+	// Fig. 6 shape: PISA flat in effective stages, IPSA linear in active
+	// TSPs, crossing below 8.
+	if p.PISAPower(8) != pisa8 {
+		t.Error("PISA power should not depend on effective stages")
+	}
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		cur := p.IPSAPower(k, 8)
+		if cur <= prev {
+			t.Errorf("IPSA power not increasing at %d stages", k)
+		}
+		prev = cur
+	}
+	cross := p.PowerCrossover(8)
+	if cross < 5 || cross > 7 {
+		t.Errorf("crossover at %d stages, want 5-7 (IPSA wins below it)", cross)
+	}
+	if p.IPSAPower(2, 8) >= p.PISAPower(8) {
+		t.Error("IPSA with 2 active TSPs should beat PISA")
+	}
+}
+
+func TestLoadTimeMatchesTable1(t *testing.T) {
+	p := DefaultLoadTimeParams()
+	// Use-case costs (design totals for the full flow, deltas for the
+	// incremental flow) as rp4bc reports them.
+	c1 := UpdateCost{TotalStages: 10, TotalTables: 11, ChangedStages: 2, NewTables: 2, RewrittenTSPs: 1}
+	c2 := UpdateCost{TotalStages: 12, TotalTables: 12, VarLenHeaders: 1, ChangedStages: 2, NewTables: 2, RewrittenTSPs: 2, HeaderLinksChanged: true}
+	c3 := UpdateCost{TotalStages: 11, TotalTables: 11, Registers: 1, ChangedStages: 1, NewTables: 1, RewrittenTSPs: 1}
+
+	// Paper Table 1 (ms): PISA tC 3126/6061/3373, tL 917/1297/1048;
+	// IPSA tC 73/187/98, tL 22/30/25.
+	within(t, "PISA tC C1", p.PISACompileMs(c1), 3126, 0.10)
+	within(t, "PISA tC C2", p.PISACompileMs(c2), 6061, 0.10)
+	within(t, "PISA tC C3", p.PISACompileMs(c3), 3373, 0.10)
+	within(t, "PISA tL C1", p.PISALoadMs(c1), 917, 0.10)
+	within(t, "PISA tL C2", p.PISALoadMs(c2), 1297, 0.10)
+	within(t, "PISA tL C3", p.PISALoadMs(c3), 1048, 0.10)
+	within(t, "IPSA tC C1", p.IPSACompileMs(c1), 73, 0.15)
+	within(t, "IPSA tC C2", p.IPSACompileMs(c2), 187, 0.15)
+	within(t, "IPSA tC C3", p.IPSACompileMs(c3), 98, 0.15)
+	within(t, "IPSA tL C1", p.IPSALoadMs(c1), 22, 0.20)
+	within(t, "IPSA tL C2", p.IPSALoadMs(c2), 30, 0.20)
+	within(t, "IPSA tL C3", p.IPSALoadMs(c3), 25, 0.20)
+
+	// Shape: the rP4 flow is a few percent of the P4 flow.
+	for _, c := range []UpdateCost{c1, c2, c3} {
+		total := (p.IPSACompileMs(c) + p.IPSALoadMs(c)) / (p.PISACompileMs(c) + p.PISALoadMs(c))
+		if total > 0.06 {
+			t.Errorf("rP4/P4 total ratio %.2f%% exceeds 6%%", total*100)
+		}
+	}
+}

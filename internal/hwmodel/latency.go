@@ -1,0 +1,69 @@
+package hwmodel
+
+// Pipeline latency model (paper Sec. 5, discussion point 3: "since only
+// used TSPs are kept in the pipeline in IPSA, not only the power
+// consumption but also the pipeline latency is reduced, which offsets the
+// extra power and latency introduced by the crossbar and distributed
+// parser").
+
+// LatencyParams models per-packet pipeline latency in clock cycles.
+type LatencyParams struct {
+	// PISAParserCycles / DeparserCycles bracket the fixed pipeline.
+	PISAParserCycles   int
+	PISADeparserCycles int
+	// PISAStageCycles is one fixed stage's latency; every physical stage
+	// is traversed whether programmed or not.
+	PISAStageCycles int
+	// TSPCycles is one active TSP's latency (match + execute + the
+	// distributed parser's occasional work).
+	TSPCycles int
+	// BypassCycles is the cost of flowing through an idle TSP.
+	BypassCycles int
+	// CrossbarCycles is the per-memory-access interconnect overhead,
+	// charged once per active TSP here.
+	CrossbarCycles int
+}
+
+// DefaultLatencyParams give PISA a small per-stage edge (local memory) and
+// IPSA the crossbar tax, so the crossover behaviour mirrors Fig. 6's power
+// story: IPSA's latency wins once enough TSPs are bypassed.
+func DefaultLatencyParams() LatencyParams {
+	return LatencyParams{
+		PISAParserCycles:   4,
+		PISADeparserCycles: 2,
+		PISAStageCycles:    3,
+		TSPCycles:          3,
+		BypassCycles:       1,
+		CrossbarCycles:     1,
+	}
+}
+
+// PISALatency is the fixed pipeline's end-to-end latency in cycles: parser
+// + every physical stage + deparser, independent of how many stages the
+// design actually uses (the paper's criticism of PISA's elasticity).
+func (p LatencyParams) PISALatency(totalStages int) int {
+	return p.PISAParserCycles + totalStages*p.PISAStageCycles + p.PISADeparserCycles
+}
+
+// IPSALatency is the elastic pipeline's latency: active TSPs pay full
+// cost plus the crossbar, bypassed TSPs a single forwarding cycle, and
+// there is no front parser or deparser.
+func (p LatencyParams) IPSALatency(activeTSPs, totalTSPs int) int {
+	idle := totalTSPs - activeTSPs
+	if idle < 0 {
+		idle = 0
+	}
+	return activeTSPs*(p.TSPCycles+p.CrossbarCycles) + idle*p.BypassCycles
+}
+
+// LatencyCrossover returns the largest active-TSP count at which IPSA's
+// latency does not exceed PISA's on a machine of totalStages.
+func (p LatencyParams) LatencyCrossover(totalStages int) int {
+	k := 0
+	for n := 0; n <= totalStages; n++ {
+		if p.IPSALatency(n, totalStages) <= p.PISALatency(totalStages) {
+			k = n
+		}
+	}
+	return k
+}

@@ -1,0 +1,58 @@
+package hwmodel
+
+import "testing"
+
+func TestLatencyModelShape(t *testing.T) {
+	p := DefaultLatencyParams()
+	// PISA latency is flat in effective stages.
+	pisa := p.PISALatency(8)
+	if pisa != 4+8*3+2 {
+		t.Errorf("PISA latency = %d", pisa)
+	}
+	// IPSA latency grows with active TSPs and beats PISA when TSPs idle.
+	prev := -1
+	for k := 0; k <= 8; k++ {
+		cur := p.IPSALatency(k, 8)
+		if cur <= prev {
+			t.Errorf("latency not increasing at %d", k)
+		}
+		prev = cur
+	}
+	// Fully active, IPSA pays the crossbar tax but saves parser/deparser:
+	// 8*(3+1)=32 vs PISA's 30 — slightly worse, as the paper's "offsets"
+	// discussion implies.
+	if p.IPSALatency(8, 8) <= pisa-4 || p.IPSALatency(8, 8) > pisa+6 {
+		t.Errorf("fully-active IPSA latency %d vs PISA %d out of band", p.IPSALatency(8, 8), pisa)
+	}
+	// The base design's 7-TSP layout already undercuts PISA.
+	if p.IPSALatency(7, 8) >= pisa {
+		t.Errorf("7-active IPSA latency %d should beat PISA %d", p.IPSALatency(7, 8), pisa)
+	}
+	cross := p.LatencyCrossover(8)
+	if cross < 6 || cross > 8 {
+		t.Errorf("crossover = %d", cross)
+	}
+}
+
+func TestMultiPipeModelShape(t *testing.T) {
+	p := DefaultMultiPipeParams()
+	// Single pipeline: both architectures hold one full copy; IPSA has no
+	// port overhead yet.
+	if p.PISAEffectiveCapacity(1) != 1 || p.IPSAEffectiveCapacity(1) != 1 {
+		t.Errorf("single pipeline: %f / %f", p.PISAEffectiveCapacity(1), p.IPSAEffectiveCapacity(1))
+	}
+	// PISA's effective capacity collapses with pipeline count; IPSA decays
+	// only by port overhead.
+	for n := 2; n <= 8; n++ {
+		if p.PISAEffectiveCapacity(n) >= p.PISAEffectiveCapacity(n-1) {
+			t.Errorf("PISA capacity not decreasing at %d", n)
+		}
+		if adv := p.CapacityAdvantage(n); adv <= 1 {
+			t.Errorf("IPSA advantage %f at %d pipelines should exceed 1", adv, n)
+		}
+	}
+	// At 4 pipelines the advantage is roughly 2x (0.8/4+0.2=0.4 vs 0.76).
+	if adv := p.CapacityAdvantage(4); adv < 1.5 || adv > 2.5 {
+		t.Errorf("advantage at 4 pipelines = %f", adv)
+	}
+}

@@ -1,0 +1,112 @@
+package hwmodel
+
+// The FPGA-flow time model behind Table 1's hardware rows. The P4 flow
+// recompiles and reloads the whole design (p4c + synthesis + bitstream +
+// full table repopulation); the rP4 flow compiles only the increment and
+// writes only the affected TSP templates. The model is driven by the same
+// quantities rp4bc's UpdateReport measures, so different use cases land on
+// different times the way the paper's C1/C2/C3 do.
+
+// UpdateCost describes one design (for the full flow) or one update (for
+// the incremental flow).
+type UpdateCost struct {
+	// Full-design quantities.
+	TotalStages   int
+	TotalTables   int
+	VarLenHeaders int
+	Registers     int
+	// Incremental quantities (from backend.UpdateReport).
+	ChangedStages      int // added + removed logical stages
+	NewTables          int
+	RewrittenTSPs      int
+	HeaderLinksChanged bool
+}
+
+// LoadTimeParams calibrates the model; defaults land on the paper's
+// Table 1 hardware rows within ~10%.
+type LoadTimeParams struct {
+	// Full (P4) flow.
+	SynthBaseMs     float64 // p4c + synthesis + place&route floor
+	SynthPerStageMs float64
+	SynthPerTableMs float64
+	SynthVarLenMs   float64 // variable-length parser logic
+	SynthRegisterMs float64
+	LoadBaseMs      float64 // bitstream + pipeline bring-up
+	LoadPerStageMs  float64
+	LoadPerTableMs  float64 // full table repopulation
+	LoadVarLenMs    float64
+	LoadRegisterMs  float64
+
+	// Incremental (rP4) flow.
+	IncBaseMs         float64 // rp4bc dependency analysis + layout
+	IncPerStageMs     float64
+	IncPerTableMs     float64
+	IncVarLenMs       float64
+	IncRegisterMs     float64
+	PatchBaseMs       float64 // control-channel session
+	PatchPerTSPMs     float64 // one template download
+	PatchPerTableMs   float64 // new-table configuration only
+	PatchHeaderLinkMs float64
+	PatchRegisterMs   float64 // register-file allocation
+}
+
+// DefaultLoadTimeParams reproduce Table 1's FPGA rows.
+func DefaultLoadTimeParams() LoadTimeParams {
+	return LoadTimeParams{
+		SynthBaseMs: 2306, SynthPerStageMs: 60, SynthPerTableMs: 20,
+		SynthVarLenMs: 2500, SynthRegisterMs: 150,
+		LoadBaseMs: 550, LoadPerStageMs: 30, LoadPerTableMs: 6,
+		LoadVarLenMs: 300, LoadRegisterMs: 90,
+
+		IncBaseMs: 40, IncPerStageMs: 15, IncPerTableMs: 4,
+		IncVarLenMs: 110, IncRegisterMs: 30,
+		PatchBaseMs: 10, PatchPerTSPMs: 5, PatchPerTableMs: 2,
+		PatchHeaderLinkMs: 5, PatchRegisterMs: 5,
+	}
+}
+
+// PISACompileMs models the full-flow compile time t_C.
+func (p LoadTimeParams) PISACompileMs(c UpdateCost) float64 {
+	return p.SynthBaseMs +
+		p.SynthPerStageMs*float64(c.TotalStages) +
+		p.SynthPerTableMs*float64(c.TotalTables) +
+		p.SynthVarLenMs*float64(c.VarLenHeaders) +
+		p.SynthRegisterMs*float64(c.Registers)
+}
+
+// PISALoadMs models the full-flow loading time t_L, including the full
+// table repopulation the paper notes the P4 flow additionally needs.
+func (p LoadTimeParams) PISALoadMs(c UpdateCost) float64 {
+	return p.LoadBaseMs +
+		p.LoadPerStageMs*float64(c.TotalStages) +
+		p.LoadPerTableMs*float64(c.TotalTables) +
+		p.LoadVarLenMs*float64(c.VarLenHeaders) +
+		p.LoadRegisterMs*float64(c.Registers)
+}
+
+// IPSACompileMs models the incremental rp4bc compile time t_C.
+func (p LoadTimeParams) IPSACompileMs(c UpdateCost) float64 {
+	t := p.IncBaseMs +
+		p.IncPerStageMs*float64(c.ChangedStages) +
+		p.IncPerTableMs*float64(c.NewTables) +
+		p.IncRegisterMs*float64(c.Registers)
+	if c.VarLenHeaders > 0 && c.HeaderLinksChanged {
+		t += p.IncVarLenMs * float64(c.VarLenHeaders)
+	}
+	return t
+}
+
+// IPSALoadMs models the incremental patch time t_L: only the rewritten
+// TSP templates and the new tables are configured.
+func (p LoadTimeParams) IPSALoadMs(c UpdateCost) float64 {
+	t := p.PatchBaseMs +
+		p.PatchPerTSPMs*float64(c.RewrittenTSPs) +
+		p.PatchPerTableMs*float64(c.NewTables)
+	if c.HeaderLinksChanged {
+		t += p.PatchHeaderLinkMs
+	}
+	if c.Registers > 0 {
+		t += p.PatchRegisterMs * float64(c.Registers)
+	}
+	return t
+}

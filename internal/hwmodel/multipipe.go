@@ -1,0 +1,61 @@
+package hwmodel
+
+// Multi-pipeline memory-efficiency model (paper Sec. 5, discussion point
+// 1: "a typical forwarding chip is usually built with multiple parallel
+// pipelines to boost the throughput. PISA requires replicating most tables
+// in each pipeline, reducing the effective table storage. The
+// disaggregated memory pool in IPSA, on the other hand, can avoid table
+// replication by providing multiple access ports to the memory blocks").
+
+// MultiPipeParams models a chip with several parallel pipelines.
+type MultiPipeParams struct {
+	// ReplicatedFraction is the fraction of table capacity PISA must
+	// copy into every pipeline (global tables: FIBs, nexthops); the rest
+	// is naturally partitionable (per-port state).
+	ReplicatedFraction float64
+	// PortOverheadFraction is the extra block capacity IPSA spends per
+	// additional memory port (multi-ported SRAM costs area).
+	PortOverheadFraction float64
+}
+
+// DefaultMultiPipeParams reflect FIB-dominated designs: ~80% of capacity
+// is global state, and each extra memory port costs ~8% block area.
+func DefaultMultiPipeParams() MultiPipeParams {
+	return MultiPipeParams{ReplicatedFraction: 0.8, PortOverheadFraction: 0.08}
+}
+
+// PISAEffectiveCapacity is the fraction of the chip's total table SRAM
+// that holds *distinct* entries with n parallel pipelines: replicated
+// tables are stored n times.
+func (p MultiPipeParams) PISAEffectiveCapacity(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	// One unit of physical storage per pipeline. Replicated entries
+	// occupy one copy in each pipeline, so the distinct fraction of the
+	// replicated part is 1/n.
+	return p.ReplicatedFraction/float64(n) + (1 - p.ReplicatedFraction)
+}
+
+// IPSAEffectiveCapacity with a shared pool: no replication, but each
+// pipeline's access port shaves block area.
+func (p MultiPipeParams) IPSAEffectiveCapacity(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	eff := 1 - p.PortOverheadFraction*float64(n-1)
+	if eff < 0 {
+		eff = 0
+	}
+	return eff
+}
+
+// CapacityAdvantage is IPSA's effective-capacity multiple over PISA at n
+// pipelines.
+func (p MultiPipeParams) CapacityAdvantage(n int) float64 {
+	pisa := p.PISAEffectiveCapacity(n)
+	if pisa == 0 {
+		return 0
+	}
+	return p.IPSAEffectiveCapacity(n) / pisa
+}

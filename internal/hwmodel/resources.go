@@ -1,0 +1,147 @@
+package hwmodel
+
+// ResourceParams is the analytic LUT/FF model, calibrated so the paper's
+// 8-processor U280 prototypes land on Table 2.
+type ResourceParams struct {
+	// DeviceLUT/DeviceFF are the FPGA's totals (Alveo U280).
+	DeviceLUT float64
+	DeviceFF  float64
+
+	// FrontParserLUTPerBit / FFPerBit scale the PISA front parser with the
+	// total header bits it must be able to extract.
+	FrontParserLUTPerBit float64
+	FrontParserFFPerBit  float64
+
+	// PISAStageLUT/FF is one fixed match-action stage processor.
+	PISAStageLUT float64
+	PISAStageFF  float64
+
+	// TSPLUT/FF is one templated stage processor: a PISA stage plus the
+	// distributed parser submodule and the template/configuration
+	// registers (the FF-heavy part: +61.4% FF in Table 2).
+	TSPLUT float64
+	TSPFF  float64
+
+	// CrossbarLUTPerPort/FFPerPort scale with TSPs × memory blocks.
+	CrossbarLUTPerPort float64
+	CrossbarFFPerPort  float64
+}
+
+// DefaultResourceParams calibrate to Table 2 on an Alveo U280
+// (1,303,680 LUTs, 2,607,360 FFs).
+func DefaultResourceParams() ResourceParams {
+	return ResourceParams{
+		DeviceLUT:            1303680,
+		DeviceFF:             2607360,
+		FrontParserLUTPerBit: 12.6,
+		FrontParserFFPerBit:  2.86,
+		PISAStageLUT:         8670,
+		PISAStageFF:          1532,
+		TSPLUT:               9503,
+		TSPFF:                2770,
+		CrossbarLUTPerPort:   32.8,
+		CrossbarFFPerPort:    3.57,
+	}
+}
+
+// ResourceReport is one architecture's utilization breakdown in percent of
+// the device, the layout of the paper's Table 2.
+type ResourceReport struct {
+	FrontParserLUT, FrontParserFF float64
+	ProcessorsLUT, ProcessorsFF   float64
+	CrossbarLUT, CrossbarFF       float64
+	TotalLUT, TotalFF             float64
+}
+
+// PISAResources models a PISA prototype with the given stage count and
+// total parsed header bits.
+func (p ResourceParams) PISAResources(stages, headerBits int) ResourceReport {
+	r := ResourceReport{
+		FrontParserLUT: p.FrontParserLUTPerBit * float64(headerBits) / p.DeviceLUT * 100,
+		FrontParserFF:  p.FrontParserFFPerBit * float64(headerBits) / p.DeviceFF * 100,
+		ProcessorsLUT:  p.PISAStageLUT * float64(stages) / p.DeviceLUT * 100,
+		ProcessorsFF:   p.PISAStageFF * float64(stages) / p.DeviceFF * 100,
+	}
+	r.TotalLUT = r.FrontParserLUT + r.ProcessorsLUT
+	r.TotalFF = r.FrontParserFF + r.ProcessorsFF
+	return r
+}
+
+// IPSAResources models an IPSA prototype with the given TSP count and
+// memory-pool block count (the crossbar's far side).
+func (p ResourceParams) IPSAResources(tsps, blocks int) ResourceReport {
+	ports := float64(tsps * blocks)
+	r := ResourceReport{
+		ProcessorsLUT: p.TSPLUT * float64(tsps) / p.DeviceLUT * 100,
+		ProcessorsFF:  p.TSPFF * float64(tsps) / p.DeviceFF * 100,
+		CrossbarLUT:   p.CrossbarLUTPerPort * ports / p.DeviceLUT * 100,
+		CrossbarFF:    p.CrossbarFFPerPort * ports / p.DeviceFF * 100,
+	}
+	r.TotalLUT = r.ProcessorsLUT + r.CrossbarLUT
+	r.TotalFF = r.ProcessorsFF + r.CrossbarFF
+	return r
+}
+
+// PowerParams is the power model (Table 3 and Fig. 6).
+type PowerParams struct {
+	// PISAStatic includes the always-on pipeline infrastructure and the
+	// front parser.
+	PISAStatic float64
+	// PISAPerStage is one fixed stage's power; every physical stage burns
+	// it whether the design uses it or not.
+	PISAPerStage float64
+	// IPSAStatic includes the pool and control plane.
+	IPSAStatic float64
+	// IPSACrossbar is the crossbar's share.
+	IPSACrossbar float64
+	// IPSAPerActiveTSP / PerIdleTSP implement the bypass power gating:
+	// "the bypassed TSPs can be kept in low power state".
+	IPSAPerActiveTSP float64
+	IPSAPerIdleTSP   float64
+}
+
+// DefaultPowerParams calibrate so eight fully active stages give the
+// paper's ~+10% IPSA penalty (Table 3) and the Fig. 6 crossover falls
+// around seven effective stages.
+func DefaultPowerParams() PowerParams {
+	return PowerParams{
+		PISAStatic:       0.87, // static + front parser
+		PISAPerStage:     0.26,
+		IPSAStatic:       0.80,
+		IPSACrossbar:     0.15,
+		IPSAPerActiveTSP: 0.2875,
+		IPSAPerIdleTSP:   0.02,
+	}
+}
+
+// PISAPower models a PISA pipeline of totalStages physical stages; the
+// effective-stage count does not matter because unprogrammed stages stay
+// in the pipeline (paper Sec. 2.3: "non-functional stages remain in the
+// pipeline, costing extra latency and power").
+func (p PowerParams) PISAPower(totalStages int) float64 {
+	return p.PISAStatic + p.PISAPerStage*float64(totalStages)
+}
+
+// IPSAPower models an IPSA pipeline with activeTSPs of totalTSPs in use;
+// the rest idle in low-power bypass.
+func (p PowerParams) IPSAPower(activeTSPs, totalTSPs int) float64 {
+	idle := totalTSPs - activeTSPs
+	if idle < 0 {
+		idle = 0
+	}
+	return p.IPSAStatic + p.IPSACrossbar +
+		p.IPSAPerActiveTSP*float64(activeTSPs) +
+		p.IPSAPerIdleTSP*float64(idle)
+}
+
+// PowerCrossover returns the largest effective-stage count at which IPSA
+// consumes no more power than PISA on a machine of totalStages.
+func (p PowerParams) PowerCrossover(totalStages int) int {
+	k := 0
+	for n := 0; n <= totalStages; n++ {
+		if p.IPSAPower(n, totalStages) <= p.PISAPower(totalStages) {
+			k = n
+		}
+	}
+	return k
+}

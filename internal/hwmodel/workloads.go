@@ -1,0 +1,99 @@
+package hwmodel
+
+// Calibrated workload class mixes for the paper's three use cases. The
+// mixes (v4/v6 shares, SRv6 endpoint/transit shares) are calibration
+// choices documented in EXPERIMENTS.md; the per-class table costs follow
+// directly from the compiled designs.
+
+// C1Classes models the ECMP workload: v4-dominated routed traffic where
+// every routed packet resolves through an ECMP selector table.
+func C1Classes() []WorkloadClass {
+	return []WorkloadClass{
+		{
+			Name: "v4-ecmp", Weight: 0.9, ParsedBits: 432,
+			Applied: [][]TableCost{
+				{{Name: "port_map_tbl", KeyBits: 16, ActionBits: 16}},
+				{{Name: "bd_vrf_tbl", KeyBits: 16, ActionBits: 32}},
+				{{Name: "l2_l3_tbl", KeyBits: 64}},
+				{{Name: "ipv4_host", KeyBits: 48, ActionBits: 32}},
+				{{Name: "ecmp_ipv4", KeyBits: 96, ActionBits: 64}},
+				{{Name: "smac_tbl", KeyBits: 16, ActionBits: 48}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+		{
+			Name: "v6-ecmp", Weight: 0.1, ParsedBits: 592,
+			Applied: [][]TableCost{
+				{{Name: "ipv6_host", KeyBits: 144, ActionBits: 32}},
+				{{Name: "ecmp_ipv6", KeyBits: 288, ActionBits: 64}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+	}
+}
+
+// C2Classes models the SRv6 workload: endpoint and transit segments with a
+// small plain-v4 background.
+func C2Classes() []WorkloadClass {
+	return []WorkloadClass{
+		{
+			Name: "srv6-end", Weight: 0.45, ParsedBits: 912, ParsesVarLen: true,
+			Applied: [][]TableCost{
+				{{Name: "local_sid", KeyBits: 128}},
+				{{Name: "ipv6_host", KeyBits: 144, ActionBits: 32}},
+				{{Name: "nexthop_tbl", KeyBits: 32, ActionBits: 64}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+		{
+			Name: "srv6-transit", Weight: 0.45, ParsedBits: 912, ParsesVarLen: true,
+			Applied: [][]TableCost{
+				{{Name: "end_transit", KeyBits: 128, ActionBits: 32}},
+				{{Name: "ipv6_host", KeyBits: 144, ActionBits: 32}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+		{
+			Name: "plain-v4", Weight: 0.1, ParsedBits: 432,
+			Applied: [][]TableCost{
+				{{Name: "ipv4_host", KeyBits: 48, ActionBits: 32}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+	}
+}
+
+// C3Classes models the flow-probe workload: mostly probed v4 flows.
+func C3Classes() []WorkloadClass {
+	return []WorkloadClass{
+		{
+			Name: "v4-probe", Weight: 0.7, ParsedBits: 432,
+			Applied: [][]TableCost{
+				{{Name: "ipv4_host", KeyBits: 48, ActionBits: 32}},
+				{{Name: "flow_probe", KeyBits: 64, ActionBits: 64}},
+				{{Name: "nexthop_tbl", KeyBits: 32, ActionBits: 64}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+		{
+			Name: "v6", Weight: 0.3, ParsedBits: 592,
+			Applied: [][]TableCost{
+				{{Name: "ipv6_host", KeyBits: 144, ActionBits: 32}},
+				{{Name: "dmac_tbl", KeyBits: 64, ActionBits: 16}},
+			},
+		},
+	}
+}
+
+// UseCaseClasses maps a use-case id (C1/C2/C3) to its workload.
+func UseCaseClasses(useCase string) []WorkloadClass {
+	switch useCase {
+	case "C1":
+		return C1Classes()
+	case "C2":
+		return C2Classes()
+	case "C3":
+		return C3Classes()
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ipbm
+
+import (
+	"fmt"
+	"time"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// RunPipelined starts the asynchronous forwarding mode: one ingress worker
+// per port runs packets through the ingress half and admits them to the
+// traffic manager's queues (tail-dropping under congestion); egressWorkers
+// goroutines drain the TM, run the egress half and transmit. Unlike the
+// synchronous Run/Forward path, the TM genuinely buffers here, so bursts
+// beyond the queue depth are dropped by policy rather than backpressure.
+// Stop with Shutdown.
+func (s *Switch) RunPipelined(egressWorkers int) error {
+	if egressWorkers <= 0 {
+		return fmt.Errorf("ipbm: need at least one egress worker")
+	}
+	s.mu.RLock()
+	configured := s.cfg != nil
+	s.mu.RUnlock()
+	if !configured {
+		return fmt.Errorf("ipbm: no configuration installed")
+	}
+	for i := 0; i < s.ports.Len(); i++ {
+		port, _ := s.ports.Port(i)
+		s.runWG.Add(1)
+		go func(idx int, p interface{ Recv() ([]byte, bool) }) {
+			defer s.runWG.Done()
+			for {
+				data, ok := p.Recv()
+				if !ok || s.stopped.Load() {
+					return
+				}
+				s.ingestOne(data, idx)
+			}
+		}(i, port)
+	}
+	for w := 0; w < egressWorkers; w++ {
+		s.runWG.Add(1)
+		go func() {
+			defer s.runWG.Done()
+			for !s.stopped.Load() {
+				if !s.egestOne() {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// ingestOne runs the ingress half and admits the survivor to the TM.
+func (s *Switch) ingestOne(data []byte, inPort int) {
+	s.mu.RLock()
+	cfg := s.cfg
+	parser := s.parser
+	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
+	s.mu.RUnlock()
+	if cfg == nil {
+		return
+	}
+	p := pkt.NewPacket(data, cfg.MetaBytes)
+	p.InPort = inPort
+	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+		return
+	}
+	if !s.pl.RunIngress(p, parser, s, env) {
+		return // dropped in ingress
+	}
+	// Tail drop is the TM's policy decision; counted in its stats.
+	s.pl.TM().Admit(p)
+}
+
+// egestOne drains one packet from the TM through the egress half and
+// transmits it. It reports whether any packet was available.
+func (s *Switch) egestOne() bool {
+	p, ok := s.pl.TM().DequeueRR()
+	if !ok {
+		return false
+	}
+	s.mu.RLock()
+	parser := s.parser
+	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
+	s.mu.RUnlock()
+	if !s.pl.RunEgress(p, parser, s, env) {
+		return true // dropped in egress
+	}
+	if p.ToCPU {
+		s.punt(p)
+	}
+	if out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth); err == nil {
+		p.OutPort = int(out)
+	}
+	if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
+		if port, err := s.ports.Port(p.OutPort); err == nil {
+			port.Send(p.Data)
+		}
+	}
+	return true
+}

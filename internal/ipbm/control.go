@@ -1,0 +1,136 @@
+package ipbm
+
+import (
+	"fmt"
+
+	"ipsa/internal/ctrlplane"
+)
+
+// The ctrlplane.Device implementation: what the CCM exposes to the
+// controller.
+
+// InsertEntry installs one table entry using the shared key encoding.
+func (s *Switch) InsertEntry(req ctrlplane.EntryReq) (int, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	if cfg == nil {
+		return 0, fmt.Errorf("ipbm: no configuration installed")
+	}
+	t, ok := cfg.Tables[req.Table]
+	if !ok {
+		return 0, fmt.Errorf("ipbm: unknown table %q", req.Table)
+	}
+	if t.IsSelector {
+		return 0, fmt.Errorf("ipbm: table %q is a selector; use add_member", req.Table)
+	}
+	entry, err := ctrlplane.EncodeEntry(t, req)
+	if err != nil {
+		return 0, err
+	}
+	mt, ok := s.mm.Table(req.Table)
+	if !ok {
+		return 0, fmt.Errorf("ipbm: table %q not instantiated", req.Table)
+	}
+	return mt.Engine().Insert(entry)
+}
+
+// DeleteEntry removes an entry by handle.
+func (s *Switch) DeleteEntry(table string, handle int) error {
+	mt, ok := s.mm.Table(table)
+	if !ok {
+		return fmt.Errorf("ipbm: unknown table %q", table)
+	}
+	return mt.Engine().Delete(handle)
+}
+
+// AddMember adds an ECMP group member to a selector table.
+func (s *Switch) AddMember(req ctrlplane.MemberReq) error {
+	s.mu.RLock()
+	cfg := s.cfg
+	sel := s.selectors[req.Table]
+	s.mu.RUnlock()
+	if cfg == nil {
+		return fmt.Errorf("ipbm: no configuration installed")
+	}
+	t, ok := cfg.Tables[req.Table]
+	if !ok {
+		return fmt.Errorf("ipbm: unknown table %q", req.Table)
+	}
+	if !t.IsSelector || sel == nil {
+		return fmt.Errorf("ipbm: table %q is not a selector", req.Table)
+	}
+	group, err := ctrlplane.EncodeGroupKey(t, req.Group)
+	if err != nil {
+		return err
+	}
+	sel.addMember(group, matchResult(req.Tag, req.Params))
+	return nil
+}
+
+// ListTables reports installed logical tables.
+func (s *Switch) ListTables() []ctrlplane.TableStatus {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	var out []ctrlplane.TableStatus
+	if cfg == nil {
+		return out
+	}
+	for _, name := range sortedTableNames(cfg) {
+		t := cfg.Tables[name]
+		st := ctrlplane.TableStatus{
+			Name: name, Kind: t.Kind, KeyWidth: t.KeyWidth,
+			Size: t.Size, Selector: t.IsSelector,
+		}
+		if t.IsSelector {
+			s.mu.RLock()
+			if sel := s.selectors[name]; sel != nil {
+				st.Entries = sel.memberCount()
+			}
+			s.mu.RUnlock()
+		} else if mt, ok := s.mm.Table(name); ok {
+			st.Entries = mt.Engine().Len()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TableStats reads a table's hit/miss counters.
+func (s *Switch) TableStats(table string) (*ctrlplane.TableStats, error) {
+	mt, ok := s.mm.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("ipbm: unknown table %q", table)
+	}
+	h, m := mt.Stats()
+	return &ctrlplane.TableStats{Hits: h, Misses: m}, nil
+}
+
+// ReadRegister reads one register cell.
+func (s *Switch) ReadRegister(name string, index uint64) (uint64, error) {
+	v, ok := s.regs.Read(name, index)
+	if !ok {
+		return 0, fmt.Errorf("ipbm: register %q[%d] unreadable", name, index)
+	}
+	return v, nil
+}
+
+// Stats snapshots the device counters.
+func (s *Switch) Stats() *ctrlplane.DeviceStats {
+	processed, dropped := s.pl.Stats()
+	var loads uint64
+	for i := 0; i < s.pl.NumTSPs(); i++ {
+		t, _ := s.pl.TSP(i)
+		loads += t.Loads()
+	}
+	return &ctrlplane.DeviceStats{
+		Processed:       processed,
+		Dropped:         dropped,
+		ToCPU:           s.punted.Load(),
+		ActiveTSPs:      s.pl.ActiveTSPs(),
+		StallNanos:      int64(s.pl.StallTime()),
+		TemplateLoads:   loads,
+		InvalidAccesses: s.faults.InvalidHeaderAccess.Load(),
+	}
+}

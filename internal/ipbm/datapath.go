@@ -1,0 +1,127 @@
+package ipbm
+
+import (
+	"fmt"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// NewPacket wraps raw bytes in a packet sized for the installed design's
+// metadata area and stamps istd.in_port.
+func (s *Switch) NewPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	if cfg == nil {
+		return nil, fmt.Errorf("ipbm: no configuration installed")
+	}
+	p := pkt.NewPacket(data, cfg.MetaBytes)
+	p.InPort = inPort
+	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ProcessPacket pushes one raw frame through the pipeline and returns the
+// resulting packet. Survivors have OutPort set from istd.out_port; ToCPU
+// packets are additionally cloned onto the punt queue.
+func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	parser := s.parser
+	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
+	s.mu.RUnlock()
+	if cfg == nil {
+		return nil, fmt.Errorf("ipbm: no configuration installed")
+	}
+	p := pkt.NewPacket(data, cfg.MetaBytes)
+	p.InPort = inPort
+	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+		return nil, err
+	}
+	ok := s.pl.Process(p, parser, s, env)
+	if p.ToCPU {
+		s.punt(p)
+	}
+	if !ok {
+		return p, nil
+	}
+	// The executor sets istd.out_port; surface it on the packet.
+	out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
+	if err == nil {
+		p.OutPort = int(out)
+	}
+	return p, nil
+}
+
+// Forward processes a frame and transmits the survivor on its output
+// port. It reports whether the packet left the switch.
+func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
+	p, err := s.ProcessPacket(data, inPort)
+	if err != nil {
+		return false, err
+	}
+	if p.Drop {
+		return false, nil
+	}
+	if p.OutPort < 0 || p.OutPort >= s.ports.Len() {
+		return false, nil
+	}
+	port, err := s.ports.Port(p.OutPort)
+	if err != nil {
+		return false, err
+	}
+	return port.Send(p.Data), nil
+}
+
+func (s *Switch) punt(p *pkt.Packet) {
+	select {
+	case s.toCPU <- p.Clone():
+		s.punted.Add(1)
+	default:
+		// Punt queue full: drop the notification, never the data path.
+	}
+}
+
+// PuntQueue exposes the to-CPU channel (flow-probe notifications etc.).
+func (s *Switch) PuntQueue() <-chan *pkt.Packet { return s.toCPU }
+
+// Run starts one forwarding goroutine per port, each pulling frames from
+// the port's ingress and forwarding them. Stop with Shutdown.
+func (s *Switch) Run() {
+	for i := 0; i < s.ports.Len(); i++ {
+		port, _ := s.ports.Port(i)
+		s.runWG.Add(1)
+		go func(idx int, p interface {
+			Recv() ([]byte, bool)
+		}) {
+			defer s.runWG.Done()
+			for {
+				data, ok := p.Recv()
+				if !ok {
+					return
+				}
+				if s.stopped.Load() {
+					return
+				}
+				if _, err := s.Forward(data, idx); err != nil {
+					return
+				}
+			}
+		}(i, port)
+	}
+}
+
+// Shutdown stops the forwarding goroutines and closes the ports.
+func (s *Switch) Shutdown() {
+	if s.stopped.CompareAndSwap(false, true) {
+		s.ports.Close()
+		s.runWG.Wait()
+	}
+}
+
+// Faults exposes interpreter fault counters.
+func (s *Switch) Faults() *tsp.Faults { return &s.faults }

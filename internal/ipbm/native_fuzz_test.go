@@ -1,0 +1,86 @@
+package ipbm
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ipsa/internal/compiler/backend"
+	"ipsa/internal/pkt"
+	"ipsa/internal/rp4/parser"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSw   *Switch
+)
+
+// fuzzBringUp builds a populated switch with the SRv6 design, without any
+// testing.T plumbing so it can run inside the fuzz engine's worker.
+func fuzzBringUp() *Switch {
+	read := func(name string) (string, error) {
+		b, err := os.ReadFile(filepath.Join("../../testdata", name))
+		return string(b), err
+	}
+	src, err := read("base_l2l3.rp4")
+	if err != nil {
+		return nil
+	}
+	prog, err := parser.Parse("base_l2l3.rp4", src)
+	if err != nil {
+		return nil
+	}
+	opts := backend.DefaultOptions()
+	opts.NumTSPs = 16
+	w, err := backend.NewWorkspace(prog, opts)
+	if err != nil {
+		return nil
+	}
+	scriptSrc, err := read("srv6.script")
+	if err != nil {
+		return nil
+	}
+	rep, err := w.ApplyScript(scriptSrc, read)
+	if err != nil {
+		return nil
+	}
+	sw, err := New(DefaultOptions())
+	if err != nil {
+		return nil
+	}
+	if _, err := sw.ApplyConfig(rep.Config); err != nil {
+		return nil
+	}
+	return sw
+}
+
+// FuzzDataPath is a native fuzz target over the packet pipeline with the
+// SRv6 design loaded (the largest parsing surface). Under plain `go test`
+// the seed corpus runs as regression tests.
+func FuzzDataPath(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0x02, 0, 0, 0, 0, 1}, uint8(1))
+	valid, _ := pkt.Serialize(
+		&pkt.Ethernet{Dst: routerMAC, Src: hostMAC, EtherType: pkt.EtherTypeIPv6},
+		&pkt.IPv6{NextHeader: pkt.IPProtoRouting, HopLimit: 64},
+		&pkt.SRH{NextHeader: pkt.IPProtoTCP, SegmentsLeft: 1, Segments: [][16]byte{{1}, {2}}},
+		&pkt.TCP{SrcPort: 1, DstPort: 2},
+	)
+	f.Add(valid, uint8(1))
+	v4 := []byte{
+		0x02, 0, 0, 0, 0, 0x01, 0x02, 0, 0, 0, 0, 0x02, 0x08, 0x00,
+		0x45, 0, 0, 20, 0, 0, 0, 0, 64, 6, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+	}
+	f.Add(v4, uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, port uint8) {
+		fuzzOnce.Do(func() { fuzzSw = fuzzBringUp() })
+		if fuzzSw == nil {
+			t.Skip("switch bring-up failed")
+		}
+		if _, err := fuzzSw.ProcessPacket(data, int(port)%8); err != nil {
+			t.Fatalf("ProcessPacket errored on fuzz input: %v", err)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package ipbm
+
+import (
+	"fmt"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/match"
+	"ipsa/internal/pipeline"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// applyPatch is the in-situ fast path: the configuration carries rp4bc's
+// patch manifest, so the device writes exactly the listed TSP templates
+// and touches exactly the listed tables — no whole-configuration diffing,
+// matching the hardware flow where the compiler downloads specific
+// templates. Called with s.mu held.
+func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.ApplyStats, error) {
+	p := cfg.Patch
+	stats := &ctrlplane.ApplyStats{}
+	for _, idx := range p.RewrittenTSPs {
+		if idx < 0 || idx >= s.pl.NumTSPs() {
+			return nil, fmt.Errorf("ipbm: patch rewrites TSP %d outside [0,%d)", idx, s.pl.NumTSPs())
+		}
+	}
+
+	// 1. Registers: additive, contents preserved.
+	if err := s.regs.Update(cfg.Registers); err != nil {
+		return nil, err
+	}
+
+	// 2. Tables named by the manifest.
+	tspOfTable := func(name string) int {
+		for sn, st := range cfg.Stages {
+			for _, tn := range st.Tables {
+				if tn == name {
+					return cfg.TSPAssignment[sn]
+				}
+			}
+		}
+		return 0
+	}
+	for _, name := range p.NewTables {
+		t, ok := cfg.Tables[name]
+		if !ok {
+			return nil, fmt.Errorf("ipbm: patch creates unknown table %q", name)
+		}
+		if _, exists := s.mm.Table(name); exists {
+			continue
+		}
+		kind, err := match.ParseKind(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.mm.CreateTable(name, kind, t.KeyWidth, t.Size, tspOfTable(name)); err != nil {
+			return nil, err
+		}
+		stats.TablesCreated++
+		if t.IsSelector {
+			s.selectors[name] = &selectorTable{groups: make(map[string][]match.Result)}
+		}
+	}
+	for _, name := range p.RemovedTables {
+		if _, exists := s.mm.Table(name); !exists {
+			continue
+		}
+		if err := s.mm.DropTable(name); err != nil {
+			return nil, err
+		}
+		delete(s.selectors, name)
+		stats.TablesDropped++
+	}
+
+	// 3. Runtimes only for the stages landing on rewritten TSPs.
+	rewritten := make(map[int]bool, len(p.RewrittenTSPs))
+	for _, idx := range p.RewrittenTSPs {
+		rewritten[idx] = true
+	}
+	newRuntimes := make(map[string]*tsp.StageRuntime)
+	for _, sn := range append(append([]string(nil), cfg.IngressChain...), cfg.EgressChain...) {
+		if rewritten[cfg.TSPAssignment[sn]] {
+			sr, err := tsp.NewStageRuntime(cfg, sn)
+			if err != nil {
+				return nil, err
+			}
+			newRuntimes[sn] = sr
+		}
+	}
+
+	// 4. Drain and patch.
+	err := s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
+		for idx := range rewritten {
+			var srs []*tsp.StageRuntime
+			for _, sn := range orderedStagesOf(cfg, idx) {
+				srs = append(srs, newRuntimes[sn])
+			}
+			if len(srs) == 0 {
+				tsps[idx].Unload()
+			} else {
+				tsps[idx].Load(srs)
+			}
+			stats.TSPsWritten++
+		}
+		tmIn, tmOut := -1, len(tsps)
+		for sn, st := range cfg.Stages {
+			idx := cfg.TSPAssignment[sn]
+			switch st.Pipe {
+			case "ingress":
+				if idx > tmIn {
+					tmIn = idx
+				}
+			case "egress":
+				if idx < tmOut {
+					tmOut = idx
+				}
+			}
+		}
+		if sel.TMIn != tmIn || sel.TMOut != tmOut {
+			stats.SelectorMoved = true
+		}
+		sel.TMIn, sel.TMOut = tmIn, tmOut
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Swap in the new parser (header links may have changed) and
+	// config; untouched TSPs keep their existing runtimes, whose
+	// templates are bit-identical by the manifest's contract.
+	s.parser = tsp.NewOnDemandParser(cfg)
+	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
+	s.cfg = cfg
+	stats.LoadNanos = int64(time.Since(start))
+	return stats, nil
+}

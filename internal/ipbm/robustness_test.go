@@ -1,0 +1,132 @@
+package ipbm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+)
+
+// TestRandomBytesNeverPanic throws garbage at the fully populated data
+// plane: truncated frames, random ether types, mutated valid packets. The
+// switch must never panic and never report an error — malformed packets
+// simply miss or drop, like hardware.
+func TestRandomBytesNeverPanic(t *testing.T) {
+	sw, _ := newBaseSwitch(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(128)
+		data := make([]byte, n)
+		rng.Read(data)
+		if _, err := sw.ProcessPacket(data, rng.Intn(8)); err != nil {
+			t.Fatalf("packet %d (len %d): %v", i, n, err)
+		}
+	}
+	// Mutations of a valid packet, including truncations mid-header.
+	valid := v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64)
+	for i := 0; i < 3000; i++ {
+		data := append([]byte(nil), valid...)
+		switch rng.Intn(3) {
+		case 0:
+			data = data[:rng.Intn(len(data))]
+		case 1:
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		case 2:
+			data = data[:rng.Intn(len(data))]
+			if len(data) > 0 {
+				data[rng.Intn(len(data))] ^= 0xFF
+			}
+		}
+		if _, err := sw.ProcessPacket(data, inPort); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+}
+
+// TestRandomBytesThroughUseCases repeats the garbage test with every use
+// case loaded (the SRv6 path has the most parsing surface: varlen header,
+// segment indexing, header removal).
+func TestRandomBytesThroughUseCases(t *testing.T) {
+	for _, uc := range []string{"ecmp.script", "srv6.script", "flowprobe.script", "acl.script"} {
+		sw, w := newBaseSwitch(t)
+		rep, err := w.ApplyScript(script(t, uc), loader(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.ApplyConfig(rep.Config); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		// Random SRv6-shaped packets with corrupted SRH length fields.
+		base, _ := pkt.Serialize(
+			&pkt.Ethernet{Dst: routerMAC, Src: hostMAC, EtherType: pkt.EtherTypeIPv6},
+			&pkt.IPv6{NextHeader: pkt.IPProtoRouting, HopLimit: 64},
+			&pkt.SRH{NextHeader: pkt.IPProtoTCP, SegmentsLeft: 1, Segments: [][16]byte{{1}, {2}}},
+			&pkt.TCP{},
+		)
+		for i := 0; i < 2000; i++ {
+			data := append([]byte(nil), base...)
+			// Corrupt hdr_ext_len / segments_left / random bytes.
+			data[pkt.EthernetLen+pkt.IPv6Len+1] = byte(rng.Intn(256))
+			data[pkt.EthernetLen+pkt.IPv6Len+3] = byte(rng.Intn(256))
+			if rng.Intn(2) == 0 {
+				data = data[:rng.Intn(len(data))]
+			}
+			if _, err := sw.ProcessPacket(data, inPort); err != nil {
+				t.Fatalf("%s packet %d: %v", uc, i, err)
+			}
+		}
+	}
+}
+
+// TestApplyFailureLeavesDeviceUsable: a rejected configuration must not
+// disturb the running design.
+func TestApplyFailureLeavesDeviceUsable(t *testing.T) {
+	sw, w := newBaseSwitch(t)
+	// Build an invalid config: break a chain reference.
+	bad, err := w.Current().Config.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.IngressChain = append(bad.IngressChain, "ghost")
+	if _, err := sw.ApplyConfig(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// Traffic still forwards on the old design.
+	p, err := sw.ProcessPacket(v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64), inPort)
+	if err != nil || p.Drop {
+		t.Fatalf("device broken after rejected config: err=%v drop=%v", err, p.Drop)
+	}
+}
+
+// TestPatchManifestValidation: a patch naming a TSP outside the machine
+// or an unknown table is rejected, and the device keeps forwarding on the
+// old design.
+func TestPatchManifestValidation(t *testing.T) {
+	sw, w := newBaseSwitch(t)
+	rep, err := w.ApplyScript(script(t, "flowprobe.script"), loader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTSP, err := rep.Config.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTSP.Patch = &template.PatchSpec{RewrittenTSPs: []int{99}}
+	if _, err := sw.ApplyConfig(badTSP); err == nil {
+		t.Error("out-of-range TSP index accepted")
+	}
+	badTable, err := rep.Config.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTable.Patch = &template.PatchSpec{NewTables: []string{"ghost"}}
+	if _, err := sw.ApplyConfig(badTable); err == nil {
+		t.Error("unknown new table accepted")
+	}
+	p, err := sw.ProcessPacket(v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64), inPort)
+	if err != nil || p.Drop {
+		t.Fatalf("device broken after rejected patch: err=%v drop=%v", err, p.Drop)
+	}
+}

@@ -1,0 +1,383 @@
+// Package ipbm is the IPSA behavioral model: a software switch conforming
+// to the IPSA architecture (paper Sec. 4.1). It assembles four modules:
+// the Communication Module (netio ports), the Pipeline Module (elastic
+// pipeline of TSPs), the Control Channel Module (ctrlplane server) and the
+// Storage Module (disaggregated memory pool). Its defining property is
+// that ApplyConfig patches only what changed: TSP templates are rewritten
+// individually, existing tables and registers keep their contents, and the
+// pipeline stalls only for the duration of the patch.
+package ipbm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/match"
+	"ipsa/internal/mem"
+	"ipsa/internal/netio"
+	"ipsa/internal/pipeline"
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// Options sizes a switch.
+type Options struct {
+	NumTSPs    int
+	NumPorts   int
+	QueueDepth int
+	Mem        mem.Config
+	Crossbar   mem.CrossbarKind
+	// PuntDepth bounds the to-CPU queue.
+	PuntDepth int
+}
+
+// DefaultOptions returns a software-scale switch: more TSPs than the
+// paper's 8-processor FPGA so that every use case fits even when header
+// linkage defeats predicate merging.
+func DefaultOptions() Options {
+	return Options{
+		NumTSPs:    16,
+		NumPorts:   8,
+		QueueDepth: 1024,
+		Mem:        mem.DefaultConfig(),
+		Crossbar:   mem.FullCrossbar,
+		PuntDepth:  256,
+	}
+}
+
+// Switch is one ipbm instance.
+type Switch struct {
+	opts Options
+
+	pl    *pipeline.Pipeline
+	mm    *mem.Manager
+	ports *netio.PortSet
+	regs  *tsp.RegisterFile
+
+	mu        sync.RWMutex
+	cfg       *template.Config
+	parser    *tsp.OnDemandParser
+	selectors map[string]*selectorTable
+	srhID     pkt.HeaderID
+	ipv6ID    pkt.HeaderID
+
+	faults tsp.Faults
+	toCPU  chan *pkt.Packet
+	punted atomic.Uint64
+
+	runWG   sync.WaitGroup
+	stopped atomic.Bool
+}
+
+// New builds an unconfigured switch.
+func New(opts Options) (*Switch, error) {
+	if opts.NumTSPs <= 0 || opts.NumPorts <= 0 {
+		return nil, fmt.Errorf("ipbm: invalid sizing %+v", opts)
+	}
+	pl, err := pipeline.New(opts.NumTSPs, opts.NumPorts, opts.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := mem.NewManager(opts.Mem, opts.Crossbar, opts.NumTSPs)
+	if err != nil {
+		return nil, err
+	}
+	ports, err := netio.NewPortSet(opts.NumPorts, opts.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	puntDepth := opts.PuntDepth
+	if puntDepth <= 0 {
+		puntDepth = 256
+	}
+	return &Switch{
+		opts:      opts,
+		pl:        pl,
+		mm:        mm,
+		ports:     ports,
+		regs:      tsp.NewRegisterFile(nil),
+		selectors: make(map[string]*selectorTable),
+		toCPU:     make(chan *pkt.Packet, puntDepth),
+	}, nil
+}
+
+// Pipeline exposes the pipeline module (PM).
+func (s *Switch) Pipeline() *pipeline.Pipeline { return s.pl }
+
+// Storage exposes the storage module (SM).
+func (s *Switch) Storage() *mem.Manager { return s.mm }
+
+// Ports exposes the communication module (CM).
+func (s *Switch) Ports() *netio.PortSet { return s.ports }
+
+// Registers exposes the register file.
+func (s *Switch) Registers() *tsp.RegisterFile { return s.regs }
+
+// Config returns the installed configuration (nil before the first
+// ApplyConfig).
+func (s *Switch) Config() *template.Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg
+}
+
+// selectorTable backs an ECMP-style selector: groups of members resolved
+// by hash.
+type selectorTable struct {
+	mu     sync.RWMutex
+	groups map[string][]match.Result
+}
+
+func (st *selectorTable) addMember(group []byte, r match.Result) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.groups[string(group)] = append(st.groups[string(group)], r)
+}
+
+func (st *selectorTable) lookup(group []byte, h uint64) (match.Result, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	members := st.groups[string(group)]
+	if len(members) == 0 {
+		return match.Result{}, false
+	}
+	return members[h%uint64(len(members))], true
+}
+
+func (st *selectorTable) memberCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := 0
+	for _, m := range st.groups {
+		n += len(m)
+	}
+	return n
+}
+
+// tspSignature canonically describes a TSP's required content under cfg.
+func tspSignature(cfg *template.Config, tspIdx int) string {
+	var stages []string
+	for sn, idx := range cfg.TSPAssignment {
+		if idx == tspIdx {
+			stages = append(stages, sn)
+		}
+	}
+	// Execution order within a TSP follows the chain order.
+	rank := make(map[string]int)
+	for i, n := range cfg.IngressChain {
+		rank[n] = i
+	}
+	for i, n := range cfg.EgressChain {
+		rank[n] = len(cfg.IngressChain) + i
+	}
+	sort.Slice(stages, func(i, j int) bool { return rank[stages[i]] < rank[stages[j]] })
+	var parts []string
+	for _, sn := range stages {
+		st := cfg.Stages[sn]
+		sub := template.Config{
+			Stages:  map[string]*template.Stage{sn: st},
+			Actions: map[string]*template.Action{},
+			Tables:  map[string]*template.Table{},
+		}
+		for _, arm := range st.Arms {
+			sub.Actions[arm.Action] = cfg.Actions[arm.Action]
+		}
+		for _, tn := range st.Tables {
+			sub.Tables[tn] = cfg.Tables[tn]
+		}
+		b, _ := sub.Marshal()
+		parts = append(parts, string(b))
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// orderedStagesOf returns the stage names hosted by tspIdx in chain order.
+func orderedStagesOf(cfg *template.Config, tspIdx int) []string {
+	var stages []string
+	for sn, idx := range cfg.TSPAssignment {
+		if idx == tspIdx {
+			stages = append(stages, sn)
+		}
+	}
+	rank := make(map[string]int)
+	for i, n := range cfg.IngressChain {
+		rank[n] = i
+	}
+	for i, n := range cfg.EgressChain {
+		rank[n] = len(cfg.IngressChain) + i
+	}
+	sort.Slice(stages, func(i, j int) bool { return rank[stages[i]] < rank[stages[j]] })
+	return stages
+}
+
+// ApplyConfig installs or patches a device configuration. On a patch, only
+// TSPs whose template content changed are rewritten, new tables are
+// created, vanished tables are recycled, existing table entries and
+// register contents are preserved, and tables whose TSP moved across
+// crossbar clusters are migrated.
+func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cfg
+	if old != nil && cfg.Patch != nil && s.opts.Crossbar == mem.FullCrossbar {
+		// rp4bc told us exactly what changed: write only that. (Clustered
+		// crossbars take the diffing path because a layout change may
+		// force cross-cluster table migrations the manifest doesn't
+		// describe.)
+		return s.applyPatch(cfg, start)
+	}
+	stats := &ctrlplane.ApplyStats{Full: old == nil}
+
+	// 1. Registers: additive, contents preserved.
+	if err := s.regs.Update(cfg.Registers); err != nil {
+		return nil, err
+	}
+
+	// 2. Tables: create new, drop removed, migrate moved.
+	tspOfTable := func(c *template.Config, name string) int {
+		for sn, st := range c.Stages {
+			for _, tn := range st.Tables {
+				if tn == name {
+					return c.TSPAssignment[sn]
+				}
+			}
+		}
+		return 0
+	}
+	for name, t := range cfg.Tables {
+		if _, ok := s.mm.Table(name); ok {
+			if old != nil {
+				oldTSP, newTSP := tspOfTable(old, name), tspOfTable(cfg, name)
+				if oldTSP != newTSP {
+					moved, err := s.mm.Migrate(name, newTSP)
+					if err != nil {
+						return nil, err
+					}
+					stats.EntriesMigrated += moved
+				}
+			}
+			continue
+		}
+		kind, err := match.ParseKind(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.mm.CreateTable(name, kind, t.KeyWidth, t.Size, tspOfTable(cfg, name)); err != nil {
+			return nil, err
+		}
+		stats.TablesCreated++
+		if t.IsSelector {
+			s.selectors[name] = &selectorTable{groups: make(map[string][]match.Result)}
+		}
+	}
+	if old != nil {
+		for name := range old.Tables {
+			if _, stays := cfg.Tables[name]; !stays {
+				if err := s.mm.DropTable(name); err != nil {
+					return nil, err
+				}
+				delete(s.selectors, name)
+				stats.TablesDropped++
+			}
+		}
+	}
+
+	// 3. Build stage runtimes for the new config.
+	runtimes, err := tsp.BuildStageRuntimes(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Drain the pipeline and patch TSP templates + selector.
+	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
+		tmIn, tmOut := -1, len(tsps)
+		for i := range tsps {
+			newSig := tspSignature(cfg, i)
+			oldSig := ""
+			if old != nil {
+				oldSig = tspSignature(old, i)
+			}
+			if newSig != oldSig {
+				var srs []*tsp.StageRuntime
+				for _, sn := range orderedStagesOf(cfg, i) {
+					srs = append(srs, runtimes[sn])
+				}
+				if len(srs) == 0 {
+					tsps[i].Unload()
+				} else {
+					tsps[i].Load(srs)
+				}
+				stats.TSPsWritten++
+			} else if old != nil {
+				// Unchanged content must still point at the new runtime
+				// objects (the old ones referenced the previous config).
+				var srs []*tsp.StageRuntime
+				for _, sn := range orderedStagesOf(cfg, i) {
+					srs = append(srs, runtimes[sn])
+				}
+				if len(srs) > 0 {
+					// Refresh without counting as a template write: the
+					// bits are identical, only our interpreter state moves.
+					tsps[i].Load(srs)
+				}
+			}
+			for _, sn := range orderedStagesOf(cfg, i) {
+				switch cfg.Stages[sn].Pipe {
+				case "ingress":
+					if i > tmIn {
+						tmIn = i
+					}
+				case "egress":
+					if i < tmOut {
+						tmOut = i
+					}
+				}
+			}
+		}
+		if sel.TMIn != tmIn || sel.TMOut != tmOut {
+			stats.SelectorMoved = true
+		}
+		sel.TMIn, sel.TMOut = tmIn, tmOut
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Swap in the new parser and config.
+	s.parser = tsp.NewOnDemandParser(cfg)
+	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
+	s.cfg = cfg
+	stats.LoadNanos = int64(time.Since(start))
+	return stats, nil
+}
+
+// Lookup implements tsp.TableBackend over the storage module.
+func (s *Switch) Lookup(table string, key []byte) (match.Result, bool) {
+	t, ok := s.mm.Table(table)
+	if !ok {
+		return match.Result{}, false
+	}
+	return t.Lookup(key)
+}
+
+// LookupSelector implements the ECMP group/member resolution.
+func (s *Switch) LookupSelector(table string, groupKey []byte, h uint64) (match.Result, bool) {
+	s.mu.RLock()
+	st := s.selectors[table]
+	s.mu.RUnlock()
+	if st == nil {
+		return match.Result{}, false
+	}
+	return st.lookup(groupKey, h)
+}

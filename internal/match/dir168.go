@@ -1,0 +1,229 @@
+package match
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// dir168 is a DIR-24-8-style longest-prefix-match engine scaled to
+// 16+8+8: a 2^16 first-level table resolves prefixes up to /16 in one
+// probe, with on-demand 256-slot second- and third-level blocks for
+// /17–/24 and /25–/32. Lookups are one to three array probes — the
+// standard software fast path for IPv4 FIBs — while a shadow binary trie
+// remains the source of truth for updates, handles and snapshots.
+// match.New selects it automatically for 32-bit LPM tables;
+// TestDIR168MatchesTrie differentially validates it against the trie.
+type dir168 struct {
+	mu   sync.RWMutex
+	trie *lpmTrie
+
+	l1 []dirSlot            // indexed by the top 16 bits
+	l2 map[uint32]*dirBlock // key: top 16 bits
+	l3 map[uint32]*dirBlock // key: top 24 bits
+}
+
+type dirSlot struct {
+	ok     bool
+	plen   int8
+	action int
+	params []uint64
+	handle int
+}
+
+type dirBlock struct {
+	used  int
+	slots [256]dirSlot
+}
+
+func newDIR168(capacity int) *dir168 {
+	return &dir168{
+		trie: newLPMTrie(32, capacity),
+		l1:   make([]dirSlot, 1<<16),
+		l2:   make(map[uint32]*dirBlock),
+		l3:   make(map[uint32]*dirBlock),
+	}
+}
+
+func (d *dir168) Kind() Kind    { return LPM }
+func (d *dir168) KeyWidth() int { return 32 }
+
+func (d *dir168) Lookup(key []byte) (Result, bool) {
+	if len(key) < 4 {
+		return Result{}, false
+	}
+	k := binary.BigEndian.Uint32(key)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if b, ok := d.l3[k>>8]; ok {
+		if s := &b.slots[k&0xff]; s.ok {
+			return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
+		}
+	}
+	if b, ok := d.l2[k>>16]; ok {
+		if s := &b.slots[(k>>8)&0xff]; s.ok {
+			return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
+		}
+	}
+	if s := &d.l1[k>>16]; s.ok {
+		return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
+	}
+	return Result{}, false
+}
+
+// level buckets a prefix length: 1 for /0–/16, 2 for /17–/24, 3 else.
+func dirLevel(plen int) int {
+	switch {
+	case plen <= 16:
+		return 1
+	case plen <= 24:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (d *dir168) Insert(e Entry) (int, error) {
+	if err := checkKeyLen(e.Key, 32); err != nil {
+		return 0, err
+	}
+	if e.PrefixLen < 0 || e.PrefixLen > 32 {
+		return 0, fmt.Errorf("match: prefix length %d out of range [0,32]", e.PrefixLen)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	handle, err := d.trie.Insert(e)
+	if err != nil {
+		return 0, err
+	}
+	k := binary.BigEndian.Uint32(e.Key)
+	slot := dirSlot{
+		ok: true, plen: int8(e.PrefixLen),
+		action: e.ActionID, params: append([]uint64(nil), e.Params...),
+		handle: handle,
+	}
+	// An insert can only improve covered slots at its own level: replace
+	// when the new prefix is at least as long as the incumbent.
+	switch dirLevel(e.PrefixLen) {
+	case 1:
+		lo := k >> 16
+		n := uint32(1) << uint(16-e.PrefixLen)
+		for i := uint32(0); i < n; i++ {
+			if s := &d.l1[lo+i]; !s.ok || s.plen <= slot.plen {
+				*s = slot
+			}
+		}
+	case 2:
+		b := d.l2[k>>16]
+		if b == nil {
+			b = &dirBlock{}
+			d.l2[k>>16] = b
+		}
+		lo := (k >> 8) & 0xff
+		n := uint32(1) << uint(24-e.PrefixLen)
+		for i := uint32(0); i < n; i++ {
+			if s := &b.slots[lo+i]; !s.ok || s.plen <= slot.plen {
+				if !s.ok {
+					b.used++
+				}
+				*s = slot
+			}
+		}
+	case 3:
+		b := d.l3[k>>8]
+		if b == nil {
+			b = &dirBlock{}
+			d.l3[k>>8] = b
+		}
+		lo := k & 0xff
+		n := uint32(1) << uint(32-e.PrefixLen)
+		for i := uint32(0); i < n; i++ {
+			if s := &b.slots[lo+i]; !s.ok || s.plen <= slot.plen {
+				if !s.ok {
+					b.used++
+				}
+				*s = slot
+			}
+		}
+	}
+	return handle, nil
+}
+
+func (d *dir168) Delete(handle int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ent, ok := d.trie.EntryByHandle(handle)
+	if !ok {
+		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
+	}
+	if err := d.trie.Delete(handle); err != nil {
+		return err
+	}
+	// Recompute every slot the removed prefix covered from the trie,
+	// restricted to the slot's level band.
+	k := binary.BigEndian.Uint32(ent.Key)
+	switch dirLevel(ent.PrefixLen) {
+	case 1:
+		lo := k >> 16
+		n := uint32(1) << uint(16-ent.PrefixLen)
+		for i := uint32(0); i < n; i++ {
+			d.l1[lo+i] = d.recompute((lo+i)<<16, 0, 16)
+		}
+	case 2:
+		if b := d.l2[k>>16]; b != nil {
+			lo := (k >> 8) & 0xff
+			n := uint32(1) << uint(24-ent.PrefixLen)
+			for i := uint32(0); i < n; i++ {
+				s := &b.slots[lo+i]
+				was := s.ok
+				*s = d.recompute((k>>16)<<16|(lo+i)<<8, 17, 24)
+				if was && !s.ok {
+					b.used--
+				}
+			}
+			if b.used == 0 {
+				delete(d.l2, k>>16)
+			}
+		}
+	case 3:
+		if b := d.l3[k>>8]; b != nil {
+			lo := k & 0xff
+			n := uint32(1) << uint(32-ent.PrefixLen)
+			for i := uint32(0); i < n; i++ {
+				s := &b.slots[lo+i]
+				was := s.ok
+				*s = d.recompute((k>>8)<<8|(lo+i), 25, 32)
+				if was && !s.ok {
+					b.used--
+				}
+			}
+			if b.used == 0 {
+				delete(d.l3, k>>8)
+			}
+		}
+	}
+	return nil
+}
+
+// recompute asks the trie for the best prefix matching addr whose length
+// lies in [loPlen, hiPlen].
+func (d *dir168) recompute(addr uint32, loPlen, hiPlen int) dirSlot {
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], addr)
+	e, ok := d.trie.lookupRange(key[:], loPlen, hiPlen)
+	if !ok {
+		return dirSlot{}
+	}
+	return dirSlot{
+		ok: true, plen: int8(e.PrefixLen),
+		action: e.ActionID, params: e.Params, handle: e.Handle,
+	}
+}
+
+func (d *dir168) Len() int {
+	return d.trie.Len()
+}
+
+func (d *dir168) Entries() []Entry {
+	return d.trie.Entries()
+}

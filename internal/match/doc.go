@@ -1,0 +1,13 @@
+// Package match implements the table lookup engines behind every
+// match-action stage: exact match (hashed SRAM), longest-prefix match (a
+// binary trie, the software stand-in for an LPM-capable TCAM/SRAM design),
+// ternary match (priority-ordered value/mask pairs, the TCAM model) and
+// range match.
+//
+// Keys are opaque byte strings assembled by the matcher submodule of a TSP
+// from the header/metadata fields named in the table definition. Every
+// engine satisfies the Engine interface so the data plane can treat tables
+// uniformly, and every engine is safe for concurrent lookups with
+// single-writer updates (sync.RWMutex), matching the control/data plane
+// split of a switch.
+package match

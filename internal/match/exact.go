@@ -1,0 +1,98 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+)
+
+// exactEngine is a hash-table exact-match engine, the software model of an
+// SRAM exact-match table.
+type exactEngine struct {
+	mu       sync.RWMutex
+	kind     Kind
+	width    int
+	capacity int
+	entries  map[string]*Entry
+	byHandle map[int]*Entry
+	next     int
+}
+
+func newExact(kind Kind, widthBits, capacity int) *exactEngine {
+	return &exactEngine{
+		kind:     kind,
+		width:    widthBits,
+		capacity: capacity,
+		entries:  make(map[string]*Entry),
+		byHandle: make(map[int]*Entry),
+	}
+}
+
+func (e *exactEngine) Kind() Kind    { return e.kind }
+func (e *exactEngine) KeyWidth() int { return e.width }
+
+func (e *exactEngine) Lookup(key []byte) (Result, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ent, ok := e.entries[string(key)]
+	if !ok {
+		return Result{}, false
+	}
+	return Result{ActionID: ent.ActionID, Params: ent.Params, EntryHandle: ent.Handle}, true
+}
+
+func (e *exactEngine) Insert(ent Entry) (int, error) {
+	if err := checkKeyLen(ent.Key, e.width); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := string(ent.Key)
+	if old, ok := e.entries[k]; ok {
+		// Replace in place, keeping the handle.
+		old.ActionID = ent.ActionID
+		old.Params = append([]uint64(nil), ent.Params...)
+		return old.Handle, nil
+	}
+	if e.capacity > 0 && len(e.entries) >= e.capacity {
+		return 0, fmt.Errorf("%w: %d entries", ErrFull, e.capacity)
+	}
+	cp := ent
+	cp.Key = append([]byte(nil), ent.Key...)
+	cp.Params = append([]uint64(nil), ent.Params...)
+	cp.Handle = e.next
+	e.next++
+	e.entries[k] = &cp
+	e.byHandle[cp.Handle] = &cp
+	return cp.Handle, nil
+}
+
+func (e *exactEngine) Delete(handle int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.byHandle[handle]
+	if !ok {
+		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
+	}
+	delete(e.byHandle, handle)
+	delete(e.entries, string(ent.Key))
+	return nil
+}
+
+func (e *exactEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries)
+}
+
+func (e *exactEngine) Entries() []Entry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Entry, 0, len(e.entries))
+	for _, ent := range e.entries {
+		cp := *ent
+		cp.Key = append([]byte(nil), ent.Key...)
+		cp.Params = append([]uint64(nil), ent.Params...)
+		out = append(out, cp)
+	}
+	return out
+}

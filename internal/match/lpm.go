@@ -1,0 +1,189 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+)
+
+// lpmTrie is a binary (one bit per level) trie for longest-prefix match.
+// It is the software model of the LPM capability the paper's designs use
+// for IPv4/IPv6 FIB lookups (stages D–G of the base design).
+type lpmTrie struct {
+	mu       sync.RWMutex
+	width    int
+	capacity int
+	root     *trieNode
+	byHandle map[int]*trieNode
+	count    int
+	next     int
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	// set marks a stored prefix ending at this node.
+	set    bool
+	handle int
+	entry  Entry
+}
+
+func newLPMTrie(widthBits, capacity int) *lpmTrie {
+	return &lpmTrie{
+		width:    widthBits,
+		capacity: capacity,
+		root:     &trieNode{},
+		byHandle: make(map[int]*trieNode),
+	}
+}
+
+func (t *lpmTrie) Kind() Kind    { return LPM }
+func (t *lpmTrie) KeyWidth() int { return t.width }
+
+func bitAt(key []byte, i int) int {
+	return int(key[i/8]>>uint(7-i%8)) & 1
+}
+
+func (t *lpmTrie) Lookup(key []byte) (Result, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(key)*8 < t.width {
+		return Result{}, false
+	}
+	var best *trieNode
+	n := t.root
+	if n.set {
+		best = n
+	}
+	for i := 0; i < t.width && n != nil; i++ {
+		n = n.children[bitAt(key, i)]
+		if n != nil && n.set {
+			best = n
+		}
+	}
+	if best == nil {
+		return Result{}, false
+	}
+	return Result{ActionID: best.entry.ActionID, Params: best.entry.Params, EntryHandle: best.handle}, true
+}
+
+func (t *lpmTrie) Insert(ent Entry) (int, error) {
+	if err := checkKeyLen(ent.Key, t.width); err != nil {
+		return 0, err
+	}
+	if ent.PrefixLen < 0 || ent.PrefixLen > t.width {
+		return 0, fmt.Errorf("match: prefix length %d out of range [0,%d]", ent.PrefixLen, t.width)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for i := 0; i < ent.PrefixLen; i++ {
+		b := bitAt(ent.Key, i)
+		if n.children[b] == nil {
+			n.children[b] = &trieNode{}
+		}
+		n = n.children[b]
+	}
+	if n.set {
+		n.entry.ActionID = ent.ActionID
+		n.entry.Params = append([]uint64(nil), ent.Params...)
+		return n.handle, nil
+	}
+	if t.capacity > 0 && t.count >= t.capacity {
+		return 0, fmt.Errorf("%w: %d entries", ErrFull, t.capacity)
+	}
+	cp := ent
+	cp.Key = append([]byte(nil), ent.Key...)
+	cp.Params = append([]uint64(nil), ent.Params...)
+	n.set = true
+	n.handle = t.next
+	cp.Handle = n.handle
+	n.entry = cp
+	t.next++
+	t.count++
+	t.byHandle[n.handle] = n
+	return n.handle, nil
+}
+
+// EntryByHandle returns a copy of the entry with the given handle.
+func (t *lpmTrie) EntryByHandle(handle int) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.byHandle[handle]
+	if !ok {
+		return Entry{}, false
+	}
+	cp := n.entry
+	cp.Key = append([]byte(nil), n.entry.Key...)
+	cp.Params = append([]uint64(nil), n.entry.Params...)
+	return cp, true
+}
+
+// lookupRange finds the longest prefix matching key whose length lies in
+// [loPlen, hiPlen]; used by the DIR-16-8-8 engine's slot recomputation.
+func (t *lpmTrie) lookupRange(key []byte, loPlen, hiPlen int) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(key)*8 < t.width {
+		return Entry{}, false
+	}
+	var best *trieNode
+	n := t.root
+	if n.set && loPlen <= 0 {
+		best = n
+	}
+	limit := hiPlen
+	if limit > t.width {
+		limit = t.width
+	}
+	for i := 0; i < limit && n != nil; i++ {
+		n = n.children[bitAt(key, i)]
+		if n != nil && n.set && i+1 >= loPlen {
+			best = n
+		}
+	}
+	if best == nil {
+		return Entry{}, false
+	}
+	return best.entry, true
+}
+
+func (t *lpmTrie) Delete(handle int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.byHandle[handle]
+	if !ok {
+		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
+	}
+	n.set = false
+	n.entry = Entry{}
+	delete(t.byHandle, handle)
+	t.count--
+	return nil
+}
+
+func (t *lpmTrie) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+func (t *lpmTrie) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, t.count)
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			cp := n.entry
+			cp.Key = append([]byte(nil), n.entry.Key...)
+			cp.Params = append([]uint64(nil), n.entry.Params...)
+			out = append(out, cp)
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(t.root)
+	return out
+}

@@ -1,0 +1,69 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fibEntries(n int) []Entry {
+	rng := rand.New(rand.NewSource(3))
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		plen := 8 + rng.Intn(25) // 8..32, FIB-like
+		addr := rng.Uint32()
+		if plen < 32 {
+			addr &= ^uint32(0) << uint(32-plen)
+		}
+		out = append(out, Entry{Key: key32(addr), PrefixLen: plen, ActionID: i + 1})
+	}
+	return out
+}
+
+// BenchmarkLPMLookup compares the binary trie against the DIR-16-8-8 fast
+// path on a 100k-route FIB — the substrate ablation behind making DIR the
+// default engine for IPv4 tables.
+func BenchmarkLPMLookup(b *testing.B) {
+	entries := fibEntries(100000)
+	probes := make([][]byte, 4096)
+	rng := rand.New(rand.NewSource(4))
+	for i := range probes {
+		probes[i] = key32(rng.Uint32())
+	}
+	engines := map[string]Engine{
+		"trie":   newLPMTrie(32, 0),
+		"dir168": newDIR168(0),
+	}
+	for name, eng := range engines {
+		for _, e := range entries {
+			if _, err := eng.Insert(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Lookup(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkLPMInsert compares update cost (DIR pays slot expansion).
+func BenchmarkLPMInsert(b *testing.B) {
+	entries := fibEntries(4096)
+	b.Run("trie", func(b *testing.B) {
+		eng := newLPMTrie(32, 0)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Insert(entries[i%len(entries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dir168", func(b *testing.B) {
+		eng := newDIR168(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Insert(entries[i%len(entries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,15 @@
+// Package mem implements IPSA's disaggregated memory pool (paper Sec. 2.4).
+//
+// Physical memory is a pool of identical w×d blocks (w bits wide, d entries
+// deep) instead of SRAM/TCAM prorated to pipeline stages as in PISA. A
+// logical table of size W×D claims ceil(W/w) × ceil(D/d) blocks. A crossbar
+// connects Templated Stage Processors to blocks; it can be full (any TSP
+// reaches any block) or clustered (TSP cluster i only reaches block cluster
+// i), trading flexibility for silicon cost as in dRMT. Moving a logical
+// stage across clusters therefore forces a table migration, which this
+// package implements and accounts for.
+//
+// Functional lookup behaviour is delegated to a match.Engine per logical
+// table; this package owns placement, capacity, migration and the crossbar
+// configuration that rp4bc emits.
+package mem

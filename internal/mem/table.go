@@ -1,0 +1,218 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipsa/internal/match"
+)
+
+// Table is a logical table: a match engine plus the pool blocks backing it.
+// Network operators see only the logical table; block bookkeeping is
+// internal (paper: "once deployed, network operators are only aware of the
+// logical tables").
+type Table struct {
+	Name     string
+	KeyWidth int // W in bits
+	Depth    int // D entries
+
+	engine match.Engine
+	blocks []BlockID
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Engine exposes the lookup engine.
+func (t *Table) Engine() match.Engine { return t.engine }
+
+// Blocks returns the backing block ids.
+func (t *Table) Blocks() []BlockID { return append([]BlockID(nil), t.blocks...) }
+
+// Lookup performs a lookup and maintains hit/miss counters.
+func (t *Table) Lookup(key []byte) (match.Result, bool) {
+	r, ok := t.engine.Lookup(key)
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return r, ok
+}
+
+// Stats reports cumulative hits and misses.
+func (t *Table) Stats() (hits, misses uint64) {
+	return t.hits.Load(), t.misses.Load()
+}
+
+// Manager owns the pool, the crossbar and every logical table — the
+// Storage Module (SM) of ipbm.
+type Manager struct {
+	mu     sync.Mutex
+	pool   *Pool
+	xbar   *Crossbar
+	tables map[string]*Table
+	// migrations counts entries moved across clusters, an input to the
+	// update-cost model.
+	migratedEntries int
+}
+
+// NewManager builds a storage manager with tspCount stage processors
+// attached over a crossbar of the given kind.
+func NewManager(cfg Config, kind CrossbarKind, tspCount int) (*Manager, error) {
+	pool, err := NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	xbar, err := NewCrossbar(kind, pool, tspCount)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{pool: pool, xbar: xbar, tables: make(map[string]*Table)}, nil
+}
+
+// Pool exposes the block pool.
+func (m *Manager) Pool() *Pool { return m.pool }
+
+// Crossbar exposes the interconnect.
+func (m *Manager) Crossbar() *Crossbar { return m.xbar }
+
+// CreateTable allocates blocks for a W×D table with the given match kind
+// and wires it for use by the TSP at tspIndex. With a clustered crossbar
+// the blocks come from that TSP's cluster.
+func (m *Manager) CreateTable(name string, kind match.Kind, keyWidthBits, depth, tspIndex int) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[name]; ok {
+		return nil, fmt.Errorf("mem: table %q already exists", name)
+	}
+	eng, err := match.New(kind, keyWidthBits, depth)
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.pool.Config()
+	n := BlocksForTable(keyWidthBits, depth, cfg.BlockWidth, cfg.BlockDepth)
+	cluster := m.xbar.ClusterOfTSP(tspIndex)
+	ids, err := m.pool.Allocate(name, n, cluster)
+	if err != nil {
+		return nil, fmt.Errorf("mem: placing table %q: %w", name, err)
+	}
+	t := &Table{Name: name, KeyWidth: keyWidthBits, Depth: depth, engine: eng, blocks: ids}
+	m.tables[name] = t
+	// Extend (not replace) the TSP's routes with the new table's blocks.
+	routes := append(m.xbar.Routes(tspIndex), ids...)
+	if err := m.xbar.Configure(tspIndex, routes); err != nil {
+		_ = m.pool.Release(ids)
+		delete(m.tables, name)
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table looks up a logical table by name.
+func (m *Manager) Table(name string) (*Table, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[name]
+	return t, ok
+}
+
+// Tables lists table names.
+func (m *Manager) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DropTable releases a table's blocks back to the pool.
+func (m *Manager) DropTable(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return fmt.Errorf("mem: table %q does not exist", name)
+	}
+	if err := m.pool.Release(t.blocks); err != nil {
+		return err
+	}
+	delete(m.tables, name)
+	return nil
+}
+
+// Migrate moves a table to the cluster reachable from newTSP, re-allocating
+// blocks and copying entries — the expensive operation a clustered crossbar
+// forces when a logical stage moves clusters (paper Sec. 2.4). It returns
+// the number of entries moved. With a full crossbar no data motion is
+// needed and Migrate only rewires.
+func (m *Manager) Migrate(name string, newTSP int) (moved int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("mem: table %q does not exist", name)
+	}
+	cluster := m.xbar.ClusterOfTSP(newTSP)
+	if cluster < 0 {
+		// Full crossbar: reachable from anywhere; just rewire.
+		routes := append(m.xbar.Routes(newTSP), t.blocks...)
+		return 0, m.xbar.Configure(newTSP, routes)
+	}
+	// Already in the right cluster?
+	inPlace := true
+	for _, b := range t.blocks {
+		c, err := m.pool.ClusterOf(b)
+		if err != nil {
+			return 0, err
+		}
+		if c != cluster {
+			inPlace = false
+			break
+		}
+	}
+	if inPlace {
+		routes := append(m.xbar.Routes(newTSP), t.blocks...)
+		return 0, m.xbar.Configure(newTSP, routes)
+	}
+	// Allocate destination blocks, copy entries, release the old blocks.
+	newIDs, err := m.pool.Allocate(name, len(t.blocks), cluster)
+	if err != nil {
+		return 0, fmt.Errorf("mem: migrating table %q: %w", name, err)
+	}
+	newEng, err := match.New(t.engine.Kind(), t.KeyWidth, t.Depth)
+	if err != nil {
+		_ = m.pool.Release(newIDs)
+		return 0, err
+	}
+	for _, e := range t.engine.Entries() {
+		if _, err := newEng.Insert(e); err != nil {
+			_ = m.pool.Release(newIDs)
+			return moved, fmt.Errorf("mem: migrating table %q entry: %w", name, err)
+		}
+		moved++
+	}
+	old := t.blocks
+	t.engine = newEng
+	t.blocks = newIDs
+	if err := m.pool.Release(old); err != nil {
+		return moved, err
+	}
+	routes := append(m.xbar.Routes(newTSP), newIDs...)
+	if err := m.xbar.Configure(newTSP, routes); err != nil {
+		return moved, err
+	}
+	m.migratedEntries += moved
+	return moved, nil
+}
+
+// MigratedEntries reports the cumulative number of entries moved by
+// cross-cluster migrations.
+func (m *Manager) MigratedEntries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migratedEntries
+}

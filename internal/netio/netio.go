@@ -1,0 +1,197 @@
+// Package netio is the Communication Module (CM) substrate: packet I/O
+// decoupled from the OS protocol stack (paper Sec. 4.1). The reproduction
+// provides in-memory channel ports (wired back to back for switch-to-switch
+// topologies and tests), pcap file sources/sinks for replaying captures,
+// and UDP-encapsulated ports for crossing real sockets.
+package netio
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Port moves raw frames in and out of a switch port.
+type Port interface {
+	// Recv blocks until a frame arrives; ok=false means the port closed.
+	Recv() (data []byte, ok bool)
+	// Send transmits a frame; it reports false when the port is closed or
+	// full (tail drop).
+	Send(data []byte) bool
+	// Close shuts the port down.
+	Close()
+}
+
+// ChanPort is an in-memory port over buffered channels.
+type ChanPort struct {
+	rx, tx chan []byte
+	done   chan struct{}
+	closed atomic.Bool
+
+	sent, received, drops atomic.Uint64
+}
+
+// NewChanPort builds a port with the given queue depth per direction.
+func NewChanPort(depth int) *ChanPort {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &ChanPort{
+		rx:   make(chan []byte, depth),
+		tx:   make(chan []byte, depth),
+		done: make(chan struct{}),
+	}
+}
+
+// Recv blocks for the next ingress frame.
+func (p *ChanPort) Recv() ([]byte, bool) {
+	d, ok := <-p.rx
+	if ok {
+		p.received.Add(1)
+	}
+	return d, ok
+}
+
+// TryRecv returns immediately; ok=false when no frame is waiting.
+func (p *ChanPort) TryRecv() ([]byte, bool) {
+	select {
+	case d, ok := <-p.rx:
+		if ok {
+			p.received.Add(1)
+		}
+		return d, ok
+	default:
+		return nil, false
+	}
+}
+
+// Send transmits on the egress side; false on tail drop or closed port.
+func (p *ChanPort) Send(data []byte) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.tx <- data:
+		p.sent.Add(1)
+		return true
+	default:
+		p.drops.Add(1)
+		return false
+	}
+}
+
+// Inject places a frame on the ingress side, as a peer or test would.
+func (p *ChanPort) Inject(data []byte) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.rx <- data:
+		return true
+	default:
+		p.drops.Add(1)
+		return false
+	}
+}
+
+// Drain removes one transmitted frame (what the peer receives).
+func (p *ChanPort) Drain() ([]byte, bool) {
+	select {
+	case d := <-p.tx:
+		return d, true
+	default:
+		return nil, false
+	}
+}
+
+// DrainBlocking removes one transmitted frame, waiting until one arrives
+// or the port closes.
+func (p *ChanPort) DrainBlocking() ([]byte, bool) {
+	select {
+	case d := <-p.tx:
+		return d, true
+	case <-p.done:
+		// Drain anything already queued before reporting closed.
+		select {
+		case d := <-p.tx:
+			return d, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Close shuts the port; Recv and DrainBlocking unblock.
+func (p *ChanPort) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.rx)
+		close(p.done)
+	}
+}
+
+// Stats reports sent/received/dropped counters.
+func (p *ChanPort) Stats() (sent, received, drops uint64) {
+	return p.sent.Load(), p.received.Load(), p.drops.Load()
+}
+
+// Wire cross-connects two ports: frames sent on a appear at b's ingress
+// and vice versa. It spawns two forwarding goroutines that exit when
+// either port closes.
+func Wire(a, b *ChanPort) {
+	go func() {
+		for {
+			d, ok := a.DrainBlocking()
+			if !ok {
+				return
+			}
+			if !b.Inject(d) && b.closed.Load() {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			d, ok := b.DrainBlocking()
+			if !ok {
+				return
+			}
+			if !a.Inject(d) && a.closed.Load() {
+				return
+			}
+		}
+	}()
+}
+
+// PortSet groups a switch's ports.
+type PortSet struct {
+	ports []*ChanPort
+}
+
+// NewPortSet builds n ports with the given depth.
+func NewPortSet(n, depth int) (*PortSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netio: need at least one port, got %d", n)
+	}
+	ps := &PortSet{}
+	for i := 0; i < n; i++ {
+		ps.ports = append(ps.ports, NewChanPort(depth))
+	}
+	return ps, nil
+}
+
+// Len reports the port count.
+func (ps *PortSet) Len() int { return len(ps.ports) }
+
+// Port returns port i.
+func (ps *PortSet) Port(i int) (*ChanPort, error) {
+	if i < 0 || i >= len(ps.ports) {
+		return nil, fmt.Errorf("netio: port %d out of range [0,%d)", i, len(ps.ports))
+	}
+	return ps.ports[i], nil
+}
+
+// Close closes every port.
+func (ps *PortSet) Close() {
+	for _, p := range ps.ports {
+		p.Close()
+	}
+}

@@ -1,0 +1,214 @@
+package netio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestChanPortBasics(t *testing.T) {
+	p := NewChanPort(2)
+	if !p.Inject([]byte{1}) {
+		t.Fatal("inject failed")
+	}
+	d, ok := p.Recv()
+	if !ok || d[0] != 1 {
+		t.Fatalf("recv: %v %v", d, ok)
+	}
+	if !p.Send([]byte{2}) {
+		t.Fatal("send failed")
+	}
+	d, ok = p.Drain()
+	if !ok || d[0] != 2 {
+		t.Fatalf("drain: %v %v", d, ok)
+	}
+	if _, ok := p.Drain(); ok {
+		t.Error("empty drain succeeded")
+	}
+	if _, ok := p.TryRecv(); ok {
+		t.Error("empty tryrecv succeeded")
+	}
+	// Tail drop when full.
+	p.Send([]byte{3})
+	p.Send([]byte{4})
+	if p.Send([]byte{5}) {
+		t.Error("overfull send accepted")
+	}
+	sent, recvd, drops := p.Stats()
+	if sent != 3 || recvd != 1 || drops != 1 {
+		t.Errorf("stats: %d/%d/%d", sent, recvd, drops)
+	}
+	p.Close()
+	if p.Inject([]byte{9}) {
+		t.Error("inject after close accepted")
+	}
+	if _, ok := p.Recv(); ok {
+		t.Error("recv after close returned data")
+	}
+	p.Close() // double close is safe
+}
+
+func TestWire(t *testing.T) {
+	a := NewChanPort(8)
+	b := NewChanPort(8)
+	Wire(a, b)
+	if !a.Send([]byte("ping")) {
+		t.Fatal("send failed")
+	}
+	deadline := time.After(time.Second)
+	for {
+		if d, ok := b.TryRecv(); ok {
+			if string(d) != "ping" {
+				t.Fatalf("got %q", d)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("frame never crossed the wire")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestPortSet(t *testing.T) {
+	ps, err := NewPortSet(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != 3 {
+		t.Errorf("len = %d", ps.Len())
+	}
+	if _, err := ps.Port(3); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if _, err := NewPortSet(0, 4); err == nil {
+		t.Error("zero ports accepted")
+	}
+	ps.Close()
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(1700000000, 123456000)
+	pkts := [][]byte{{1, 2, 3}, {4, 5, 6, 7}, make([]byte, 1500)}
+	for _, p := range pkts {
+		if err := w.WritePacket(ts, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("written = %d", w.Count())
+	}
+	r, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		gotTS, got, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("packet %d: %d bytes, want %d", i, len(got), len(want))
+		}
+		if gotTS.Unix() != ts.Unix() {
+			t.Errorf("packet %d: ts %v", i, gotTS)
+		}
+	}
+	if _, _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+	if r.Count() != 3 {
+		t.Errorf("read = %d", r.Count())
+	}
+}
+
+func TestPcapBadInputs(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 24)
+	if _, err := NewPcapReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	_ = w.WritePacket(time.Now(), []byte{1, 2, 3})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewPcapReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err == nil {
+		t.Error("truncated packet accepted")
+	}
+}
+
+func TestUDPPortDirect(t *testing.T) {
+	a, b, err := PairUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	if a.LocalAddr() == "" || b.LocalAddr() == "" {
+		t.Error("no local address")
+	}
+	if !a.Send([]byte{1, 2, 3}) {
+		t.Fatal("send failed")
+	}
+	d, ok := b.Recv()
+	if !ok || len(d) != 3 {
+		t.Fatalf("recv: %v %v", d, ok)
+	}
+	// A port without a peer drops sends.
+	lone, err := NewUDPPort("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lone.Send([]byte{9}) {
+		t.Error("send without peer succeeded")
+	}
+	_, _, drops := lone.Stats()
+	if drops != 1 {
+		t.Errorf("drops = %d", drops)
+	}
+	if err := lone.SetPeer("this is not an address"); err == nil {
+		t.Error("bad peer accepted")
+	}
+	lone.Close()
+	lone.Close() // double close safe
+	if _, ok := lone.Recv(); ok {
+		t.Error("recv on closed port returned data")
+	}
+	// Bad constructor inputs.
+	if _, err := NewUDPPort("nonsense::address::", ""); err == nil {
+		t.Error("bad local addr accepted")
+	}
+	if _, err := NewUDPPort("127.0.0.1:0", "bad peer"); err == nil {
+		t.Error("bad peer addr accepted")
+	}
+}
+
+func TestWireStopsOnClose(t *testing.T) {
+	a := NewChanPort(4)
+	b := NewChanPort(4)
+	Wire(a, b)
+	a.Close()
+	b.Close()
+	// Sends after close are rejected; the forwarders exit without panic.
+	if a.Send([]byte{1}) {
+		t.Error("send after close succeeded")
+	}
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,115 @@
+package netio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic libpcap file format (not pcapng): 24-byte global header,
+// per-packet 16-byte record headers. Little-endian with the standard
+// 0xa1b2c3d4 magic.
+
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapLinkEthernet = 1
+	pcapSnapLen      = 65535
+)
+
+// PcapWriter streams packets into a pcap file.
+type PcapWriter struct {
+	w     io.Writer
+	count int
+}
+
+// NewPcapWriter writes the global header and returns a writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WritePacket appends one packet with the given capture timestamp.
+func (pw *PcapWriter) WritePacket(ts time.Time, data []byte) error {
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(data)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	if _, err := pw.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: %w", err)
+	}
+	pw.count++
+	return nil
+}
+
+// Count reports packets written.
+func (pw *PcapWriter) Count() int { return pw.count }
+
+// PcapReader streams packets out of a pcap file.
+type PcapReader struct {
+	r         io.Reader
+	byteOrder binary.ByteOrder
+	count     int
+}
+
+// NewPcapReader validates the global header.
+func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short header: %w", err)
+	}
+	pr := &PcapReader{r: r}
+	switch {
+	case binary.LittleEndian.Uint32(hdr[0:4]) == pcapMagic:
+		pr.byteOrder = binary.LittleEndian
+	case binary.BigEndian.Uint32(hdr[0:4]) == pcapMagic:
+		pr.byteOrder = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", hdr[0:4])
+	}
+	if lt := pr.byteOrder.Uint32(hdr[20:24]); lt != pcapLinkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return pr, nil
+}
+
+// ReadPacket returns the next packet, or io.EOF at the end.
+func (pr *PcapReader) ReadPacket() (ts time.Time, data []byte, err error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return time.Time{}, nil, io.EOF
+		}
+		return time.Time{}, nil, fmt.Errorf("pcap: record: %w", err)
+	}
+	sec := pr.byteOrder.Uint32(rec[0:4])
+	usec := pr.byteOrder.Uint32(rec[4:8])
+	capLen := pr.byteOrder.Uint32(rec[8:12])
+	if capLen > pcapSnapLen {
+		return time.Time{}, nil, fmt.Errorf("pcap: capture length %d exceeds snaplen", capLen)
+	}
+	data = make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return time.Time{}, nil, fmt.Errorf("pcap: truncated packet: %w", err)
+	}
+	pr.count++
+	return time.Unix(int64(sec), int64(usec)*1000), data, nil
+}
+
+// Count reports packets read.
+func (pr *PcapReader) Count() int { return pr.count }

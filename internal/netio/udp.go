@@ -1,0 +1,114 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+)
+
+// UDPPort carries switch frames over a UDP socket, the CM's substitute for
+// kernel-bypass NIC access when two switch processes (or a switch and a
+// traffic source) live on different machines or processes. One frame per
+// datagram.
+type UDPPort struct {
+	conn   *net.UDPConn
+	peer   *net.UDPAddr
+	closed atomic.Bool
+
+	sent, received, drops atomic.Uint64
+}
+
+// maxFrame bounds one datagram read.
+const maxFrame = 65536
+
+// NewUDPPort binds localAddr ("127.0.0.1:0" for ephemeral) and points the
+// port at peerAddr; Pair is more convenient for tests.
+func NewUDPPort(localAddr, peerAddr string) (*UDPPort, error) {
+	laddr, err := net.ResolveUDPAddr("udp", localAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	p := &UDPPort{conn: conn}
+	if peerAddr != "" {
+		peer, err := net.ResolveUDPAddr("udp", peerAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netio: %w", err)
+		}
+		p.peer = peer
+	}
+	return p, nil
+}
+
+// LocalAddr reports the bound address.
+func (p *UDPPort) LocalAddr() string { return p.conn.LocalAddr().String() }
+
+// SetPeer (re)points the egress side.
+func (p *UDPPort) SetPeer(addr string) error {
+	peer, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	p.peer = peer
+	return nil
+}
+
+// Recv blocks for the next datagram.
+func (p *UDPPort) Recv() ([]byte, bool) {
+	buf := make([]byte, maxFrame)
+	n, _, err := p.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, false
+	}
+	p.received.Add(1)
+	return buf[:n], true
+}
+
+// Send transmits one frame to the peer.
+func (p *UDPPort) Send(data []byte) bool {
+	if p.closed.Load() || p.peer == nil {
+		p.drops.Add(1)
+		return false
+	}
+	if _, err := p.conn.WriteToUDP(data, p.peer); err != nil {
+		p.drops.Add(1)
+		return false
+	}
+	p.sent.Add(1)
+	return true
+}
+
+// Close shuts the socket; Recv unblocks.
+func (p *UDPPort) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		p.conn.Close()
+	}
+}
+
+// Stats reports counters.
+func (p *UDPPort) Stats() (sent, received, drops uint64) {
+	return p.sent.Load(), p.received.Load(), p.drops.Load()
+}
+
+// PairUDP builds two localhost UDP ports pointed at each other.
+func PairUDP() (*UDPPort, *UDPPort, error) {
+	a, err := NewUDPPort("127.0.0.1:0", "")
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := NewUDPPort("127.0.0.1:0", a.LocalAddr())
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	if err := a.SetPeer(b.LocalAddr()); err != nil {
+		a.Close()
+		b.Close()
+		return nil, nil, err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,164 @@
+// Package p4 implements a self-contained P4-16 subset front end producing
+// an HLIR (high-level intermediate representation). The paper's rp4fc
+// consumes p4c's target-independent HLIR; this reproduction substitutes a
+// subset front end that covers the shipped designs (v1model-style headers,
+// parser state machine, match-action controls) so the P4 → rP4
+// transformation path is exercised end to end.
+package p4
+
+import (
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/token"
+)
+
+// HLIR is the target-independent representation rp4fc consumes.
+type HLIR struct {
+	Consts      []ConstDef
+	HeaderTypes []*HeaderType
+	// Instances come from the struct whose fields have header types (the
+	// conventional `struct headers_t`).
+	Instances []HeaderInst
+	// Metadata is the user metadata struct (all-bit fields).
+	Metadata *StructType
+	Parser   *ParserDecl
+	Controls []*Control
+}
+
+// ConstDef is a named constant (`const bit<16> TYPE_IPV4 = 0x800;`).
+type ConstDef struct {
+	Name  string
+	Width int
+	Value uint64
+}
+
+// HeaderType is one P4 header declaration.
+type HeaderType struct {
+	Name   string
+	Fields []Field
+	Pos    token.Pos
+}
+
+// Field is one bit<N> field.
+type Field struct {
+	Name  string
+	Width int
+}
+
+// HeaderInst is one header instance in the headers struct.
+type HeaderInst struct {
+	Name string // field name in the headers struct (hdr.<Name>)
+	Type string
+}
+
+// StructType is a plain struct of bit fields.
+type StructType struct {
+	Name   string
+	Fields []Field
+}
+
+// ParserDecl is the parser state machine.
+type ParserDecl struct {
+	Name   string
+	States []*State
+}
+
+// State is one parser state: extract calls then a transition.
+type State struct {
+	Name string
+	// Extracts lists header instance names extracted in order.
+	Extracts []string
+	// Select is the transition selector expression's field reference
+	// (hdr.X.f), nil for an unconditional transition.
+	Select *ast.FieldRef
+	// Cases maps selector values to next state names; Default names the
+	// unconditional or default next state ("accept" ends parsing).
+	Cases   []SelectCase
+	Default string
+	Pos     token.Pos
+}
+
+// SelectCase is one arm of a transition select.
+type SelectCase struct {
+	Value uint64
+	Next  string
+}
+
+// Control is one match-action control block.
+type Control struct {
+	Name    string
+	Actions []*ast.ActionDef
+	Tables  []*Table
+	Apply   []ast.Stmt
+	Pos     token.Pos
+}
+
+// Table is a P4 table declaration.
+type Table struct {
+	Name          string
+	Keys          []Key
+	Actions       []string
+	Size          int
+	DefaultAction string
+	Pos           token.Pos
+}
+
+// Key is one table key component.
+type Key struct {
+	Ref  *ast.FieldRef // hdr.ipv4.dst_addr / meta.x / standard_metadata.y
+	Kind string        // exact | lpm | ternary | range | selector
+}
+
+// HeaderType returns the named header type.
+func (h *HLIR) HeaderType(name string) *HeaderType {
+	for _, t := range h.HeaderTypes {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// State returns the named parser state.
+func (p *ParserDecl) State(name string) *State {
+	for _, s := range p.States {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// IngressControl returns the control whose name contains "Ingress".
+func (h *HLIR) IngressControl() *Control { return h.controlMatching("Ingress") }
+
+// EgressControl returns the control whose name contains "Egress".
+func (h *HLIR) EgressControl() *Control { return h.controlMatching("Egress") }
+
+func (h *HLIR) controlMatching(tag string) *Control {
+	for _, c := range h.Controls {
+		if containsFold(c.Name, tag) {
+			return c
+		}
+	}
+	return nil
+}
+
+func containsFold(s, sub string) bool {
+	ls, lsub := lower(s), lower(sub)
+	for i := 0; i+len(lsub) <= len(ls); i++ {
+		if ls[i:i+len(lsub)] == lsub {
+			return true
+		}
+	}
+	return false
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,117 @@
+package p4
+
+import (
+	"os"
+	"testing"
+)
+
+func parseBase(t *testing.T) *HLIR {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/base_l2l3.p4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Parse("base_l2l3.p4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestParseBaseP4(t *testing.T) {
+	h := parseBase(t)
+	if len(h.HeaderTypes) != 5 {
+		t.Errorf("header types = %d", len(h.HeaderTypes))
+	}
+	if len(h.Instances) != 5 || h.Instances[0].Name != "ethernet" || h.Instances[0].Type != "ethernet_t" {
+		t.Errorf("instances: %+v", h.Instances)
+	}
+	if h.Metadata == nil || h.Metadata.Name != "metadata_t" || len(h.Metadata.Fields) != 6 {
+		t.Fatalf("metadata: %+v", h.Metadata)
+	}
+	if h.Parser == nil || len(h.Parser.States) != 5 {
+		t.Fatalf("parser: %+v", h.Parser)
+	}
+	start := h.Parser.State("start")
+	if start == nil || len(start.Extracts) != 1 || start.Extracts[0] != "ethernet" {
+		t.Fatalf("start state: %+v", start)
+	}
+	if start.Select == nil || start.Select.String() != "hdr.ethernet.ether_type" {
+		t.Errorf("start select: %v", start.Select)
+	}
+	if len(start.Cases) != 2 || start.Cases[0].Value != 0x0800 || start.Cases[0].Next != "parse_ipv4" {
+		t.Errorf("start cases: %+v", start.Cases)
+	}
+	if start.Default != "accept" {
+		t.Errorf("start default: %q", start.Default)
+	}
+	tcp := h.Parser.State("parse_tcp")
+	if tcp.Select != nil || tcp.Default != "accept" {
+		t.Errorf("tcp state: %+v", tcp)
+	}
+	ing := h.IngressControl()
+	if ing == nil || ing.Name != "MyIngress" {
+		t.Fatalf("ingress: %+v", ing)
+	}
+	if len(ing.Tables) != 8 || len(ing.Actions) != 6 {
+		t.Errorf("ingress tables=%d actions=%d", len(ing.Tables), len(ing.Actions))
+	}
+	eg := h.EgressControl()
+	if eg == nil || len(eg.Tables) != 2 {
+		t.Fatalf("egress: %+v", eg)
+	}
+	if len(ing.Apply) == 0 || len(eg.Apply) == 0 {
+		t.Error("apply blocks missing")
+	}
+	// Header type lookup.
+	if ht := h.HeaderType("ipv6_t"); ht == nil || len(ht.Fields) != 8 {
+		t.Errorf("ipv6_t: %+v", h.HeaderType("ipv6_t"))
+	}
+	if h.HeaderType("nope") != nil {
+		t.Error("phantom header type")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no parser", `header h { bit<8> f; } struct headers_t { h h; }`},
+		{"no headers struct", `header h { bit<8> f; } parser P(x) { state start { transition accept; } }`},
+		{"no start state", `header h { bit<8> f; } struct hs { h h; } parser P(x) { state s0 { transition accept; } }`},
+		{"two parsers", `header h { bit<8> f; } struct hs { h h; }
+			parser P(x) { state start { transition accept; } }
+			parser Q(x) { state start { transition accept; } }`},
+		{"bad extract", `header h { bit<8> f; } struct hs { h h; }
+			parser P(x) { state start { pkt.extract(nothdr); transition accept; } }`},
+		{"bad state stmt", `parser P(x) { state start { 5; } }`},
+		{"junk top level", `widget w { }`},
+		{"zero width", `header h { bit<0> f; }`},
+		{"bad table prop", `control C(x) { table t { frob = 1; } }`},
+		{"unterminated params", `parser P(x`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSkipsPreprocessorAndConst(t *testing.T) {
+	src := `
+#include <core.p4>
+#define FOO 1
+const bit<16> TYPE_IPV4 = 0x800;
+typedef bit<48> mac_t;
+header h { bit<8> f; }
+struct hs { h h; }
+parser P(packet_in pkt, out hs hdr) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+`
+	h, err := Parse("pp.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.HeaderTypes) != 1 {
+		t.Errorf("headers: %+v", h.HeaderTypes)
+	}
+}

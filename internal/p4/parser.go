@@ -1,0 +1,870 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/lexer"
+	"ipsa/internal/rp4/token"
+)
+
+// P4 shares rP4's lexical structure; only the keyword set differs. P4's
+// extra keywords (state, transition, select, apply, ...) are handled as
+// contextual identifiers so the shared lexer stays simple.
+var p4Keywords = map[string]token.Type{
+	"header": token.KwHeader, "struct": token.KwStruct,
+	"parser": token.KwParser, "control": token.KwControl,
+	"action": token.KwAction, "table": token.KwTable,
+	"key": token.KwKey, "actions": token.KwActions,
+	"size": token.KwSize, "default_action": token.KwDefaultAction,
+	"bit": token.KwBit, "bool": token.KwBool,
+	"if": token.KwIf, "else": token.KwElse,
+	"default": token.KwDefault,
+	"true":    token.KwTrue, "false": token.KwFalse,
+}
+
+// Parser parses the P4 subset into an HLIR.
+type Parser struct {
+	toks   []token.Token
+	pos    int
+	file   string
+	consts map[string]ConstDef
+}
+
+// Parse parses src. Preprocessor lines (#include, #define) are stripped.
+func Parse(file, src string) (*HLIR, error) {
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			clean.WriteString("\n")
+			continue
+		}
+		clean.WriteString(line)
+		clean.WriteString("\n")
+	}
+	toks, err := lexer.NewWithKeywords(file, clean.String(), p4Keywords).All()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file, consts: map[string]ConstDef{}}
+	return p.program()
+}
+
+func (p *Parser) cur() token.Token {
+	if p.pos >= len(p.toks) {
+		last := token.Pos{File: p.file}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return token.Token{Type: token.EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() token.Token { t := p.cur(); p.pos++; return t }
+
+func (p *Parser) accept(t token.Type) bool {
+	if p.cur().Type == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptIdent(lit string) bool {
+	if c := p.cur(); c.Type == token.Ident && c.Lit == lit {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(t token.Type) (token.Token, error) {
+	c := p.cur()
+	if c.Type != t {
+		return c, fmt.Errorf("%s: expected %s, found %s", c.Pos, t, c)
+	}
+	p.pos++
+	return c, nil
+}
+
+func (p *Parser) ident() (string, token.Pos, error) {
+	c := p.cur()
+	if c.Type != token.Ident {
+		return "", c.Pos, fmt.Errorf("%s: expected identifier, found %s", c.Pos, c)
+	}
+	p.pos++
+	return c.Lit, c.Pos, nil
+}
+
+func (p *Parser) program() (*HLIR, error) {
+	h := &HLIR{}
+	var structs []*rawStruct
+	for {
+		c := p.cur()
+		switch {
+		case c.Type == token.EOF:
+			return p.finish(h, structs)
+		case c.Type == token.KwHeader:
+			ht, err := p.headerType()
+			if err != nil {
+				return nil, err
+			}
+			h.HeaderTypes = append(h.HeaderTypes, ht)
+		case c.Type == token.KwStruct:
+			s, err := p.structType()
+			if err != nil {
+				return nil, err
+			}
+			structs = append(structs, s)
+		case c.Type == token.KwParser:
+			pd, err := p.parserDecl()
+			if err != nil {
+				return nil, err
+			}
+			if h.Parser != nil {
+				return nil, fmt.Errorf("%s: multiple parsers", c.Pos)
+			}
+			h.Parser = pd
+		case c.Type == token.KwControl:
+			ctl, err := p.controlDecl()
+			if err != nil {
+				return nil, err
+			}
+			h.Controls = append(h.Controls, ctl)
+		case c.Type == token.Ident && c.Lit == "const":
+			cd, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			h.Consts = append(h.Consts, cd)
+			p.consts[cd.Name] = cd
+		case c.Type == token.Ident && c.Lit == "typedef":
+			// Skip to the terminating semicolon.
+			for p.cur().Type != token.Semicolon && p.cur().Type != token.EOF {
+				p.pos++
+			}
+			p.accept(token.Semicolon)
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s at top level", c.Pos, c)
+		}
+	}
+}
+
+// constDecl parses `const bit<N> NAME = NUMBER;`.
+func (p *Parser) constDecl() (ConstDef, error) {
+	p.pos++ // const
+	w, err := p.bitType()
+	if err != nil {
+		return ConstDef{}, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return ConstDef{}, err
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return ConstDef{}, err
+	}
+	v, err := p.expect(token.Number)
+	if err != nil {
+		return ConstDef{}, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return ConstDef{}, err
+	}
+	return ConstDef{Name: name, Width: w, Value: v.Val}, nil
+}
+
+// rawStruct is a struct before classification as headers vs metadata.
+type rawStruct struct {
+	name   string
+	bits   []Field      // bit-typed fields
+	insts  []HeaderInst // header-typed fields
+	pos    token.Pos
+	plain  bool // all fields bit-typed
+	hdrish bool // all fields header-typed
+}
+
+func (p *Parser) finish(h *HLIR, structs []*rawStruct) (*HLIR, error) {
+	for _, s := range structs {
+		switch {
+		case s.hdrish && len(s.insts) > 0:
+			if len(h.Instances) > 0 {
+				return nil, fmt.Errorf("%s: multiple header structs", s.pos)
+			}
+			h.Instances = s.insts
+		case s.plain && len(s.bits) > 0:
+			if h.Metadata != nil {
+				return nil, fmt.Errorf("%s: multiple metadata structs", s.pos)
+			}
+			h.Metadata = &StructType{Name: s.name, Fields: s.bits}
+		}
+	}
+	if h.Parser == nil {
+		return nil, fmt.Errorf("p4: no parser declared")
+	}
+	if len(h.Instances) == 0 {
+		return nil, fmt.Errorf("p4: no headers struct declared")
+	}
+	if h.Parser.State("start") == nil {
+		return nil, fmt.Errorf("p4: parser has no start state")
+	}
+	return h, nil
+}
+
+func (p *Parser) headerType() (*HeaderType, error) {
+	start := p.next() // header
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	ht := &HeaderType{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		w, err := p.bitType()
+		if err != nil {
+			return nil, err
+		}
+		fn, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		ht.Fields = append(ht.Fields, Field{Name: fn, Width: w})
+	}
+	return ht, nil
+}
+
+func (p *Parser) bitType() (int, error) {
+	if _, err := p.expect(token.KwBit); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(token.LAngle); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(token.Number)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(token.RAngle); err != nil {
+		return 0, err
+	}
+	if n.Val == 0 || n.Val > 2048 {
+		return 0, fmt.Errorf("%s: bit width %d out of range", n.Pos, n.Val)
+	}
+	return int(n.Val), nil
+}
+
+func (p *Parser) structType() (*rawStruct, error) {
+	start := p.next() // struct
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	s := &rawStruct{name: name, pos: start.Pos, plain: true, hdrish: true}
+	for !p.accept(token.RBrace) {
+		if p.cur().Type == token.KwBit {
+			w, err := p.bitType()
+			if err != nil {
+				return nil, err
+			}
+			fn, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			s.bits = append(s.bits, Field{Name: fn, Width: w})
+			s.hdrish = false
+			continue
+		}
+		typ, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fn, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		s.insts = append(s.insts, HeaderInst{Name: fn, Type: typ})
+		s.plain = false
+	}
+	return s, nil
+}
+
+// skipParams consumes a parenthesized parameter list without interpreting
+// it (the subset relies on the conventional names hdr, meta,
+// standard_metadata).
+func (p *Parser) skipParams() error {
+	if _, err := p.expect(token.LParen); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		c := p.next()
+		switch c.Type {
+		case token.LParen:
+			depth++
+		case token.RParen:
+			depth--
+		case token.EOF:
+			return fmt.Errorf("%s: unterminated parameter list", c.Pos)
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parserDecl() (*ParserDecl, error) {
+	p.next() // parser
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.skipParams(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	pd := &ParserDecl{Name: name}
+	for !p.accept(token.RBrace) {
+		if !p.acceptIdent("state") {
+			return nil, fmt.Errorf("%s: expected state in parser %s, found %s", p.cur().Pos, name, p.cur())
+		}
+		st, err := p.stateDecl()
+		if err != nil {
+			return nil, err
+		}
+		pd.States = append(pd.States, st)
+	}
+	return pd, nil
+}
+
+func (p *Parser) stateDecl() (*State, error) {
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	st := &State{Name: name, Pos: pos, Default: "accept"}
+	for !p.accept(token.RBrace) {
+		if p.acceptIdent("transition") {
+			if err := p.transition(st); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Expect pkt.extract(hdr.X); (any receiver name for the packet).
+		ref, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if len(ref.Parts) < 2 || ref.Parts[len(ref.Parts)-1] != "extract" {
+			return nil, fmt.Errorf("%s: only extract calls allowed in states, found %s", ref.Pos, ref)
+		}
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		if len(arg.Parts) != 2 || arg.Parts[0] != "hdr" {
+			return nil, fmt.Errorf("%s: extract argument must be hdr.<instance>, found %s", arg.Pos, arg)
+		}
+		st.Extracts = append(st.Extracts, arg.Parts[1])
+	}
+	return st, nil
+}
+
+func (p *Parser) transition(st *State) error {
+	if p.acceptIdent("select") {
+		if _, err := p.expect(token.LParen); err != nil {
+			return err
+		}
+		sel, err := p.fieldRef()
+		if err != nil {
+			return err
+		}
+		st.Select = sel
+		if _, err := p.expect(token.RParen); err != nil {
+			return err
+		}
+		if _, err := p.expect(token.LBrace); err != nil {
+			return err
+		}
+		for !p.accept(token.RBrace) {
+			c := p.cur()
+			switch c.Type {
+			case token.Number, token.Ident:
+				var val uint64
+				if c.Type == token.Number {
+					val = c.Val
+				} else {
+					cd, ok := p.consts[c.Lit]
+					if !ok {
+						return fmt.Errorf("%s: select case %q is not a declared const", c.Pos, c.Lit)
+					}
+					val = cd.Value
+				}
+				p.pos++
+				if _, err := p.expect(token.Colon); err != nil {
+					return err
+				}
+				next, _, err := p.ident()
+				if err != nil {
+					return err
+				}
+				p.accept(token.Semicolon)
+				st.Cases = append(st.Cases, SelectCase{Value: val, Next: next})
+			case token.KwDefault:
+				p.pos++
+				if _, err := p.expect(token.Colon); err != nil {
+					return err
+				}
+				next, _, err := p.ident()
+				if err != nil {
+					return err
+				}
+				p.accept(token.Semicolon)
+				st.Default = next
+			default:
+				return fmt.Errorf("%s: expected select case, found %s", c.Pos, c)
+			}
+		}
+		p.accept(token.Semicolon)
+		return nil
+	}
+	next, _, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return err
+	}
+	st.Default = next
+	return nil
+}
+
+func (p *Parser) controlDecl() (*Control, error) {
+	start := p.next() // control
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.skipParams(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	ctl := &Control{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		switch {
+		case c.Type == token.KwAction:
+			a, err := p.actionDecl()
+			if err != nil {
+				return nil, err
+			}
+			ctl.Actions = append(ctl.Actions, a)
+		case c.Type == token.KwTable:
+			t, err := p.tableDecl()
+			if err != nil {
+				return nil, err
+			}
+			ctl.Tables = append(ctl.Tables, t)
+		case c.Type == token.Ident && c.Lit == "apply":
+			p.pos++
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			ctl.Apply = body
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s in control %s", c.Pos, c, name)
+		}
+	}
+	return ctl, nil
+}
+
+func (p *Parser) actionDecl() (*ast.ActionDef, error) {
+	start := p.next() // action
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	a := &ast.ActionDef{Name: name, Pos: start.Pos}
+	for !p.accept(token.RParen) {
+		// Optional direction keyword (in/out/inout) before the type.
+		if c := p.cur(); c.Type == token.Ident && (c.Lit == "in" || c.Lit == "out" || c.Lit == "inout") {
+			p.pos++
+		}
+		w, err := p.bitType()
+		if err != nil {
+			return nil, err
+		}
+		pn, ppos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, &ast.Param{Name: pn, Width: w, Pos: ppos})
+		p.accept(token.Comma)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *Parser) tableDecl() (*Table, error) {
+	start := p.next() // table
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		switch c.Type {
+		case token.KwKey:
+			p.pos++
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(token.RBrace) {
+				ref, err := p.fieldRef()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.Colon); err != nil {
+					return nil, err
+				}
+				kind, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.Semicolon); err != nil {
+					return nil, err
+				}
+				t.Keys = append(t.Keys, Key{Ref: ref, Kind: kind})
+			}
+		case token.KwActions:
+			p.pos++
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(token.RBrace) {
+				an, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				t.Actions = append(t.Actions, an)
+				if !p.accept(token.Semicolon) {
+					p.accept(token.Comma)
+				}
+			}
+		case token.KwSize:
+			p.pos++
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(token.Number)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			t.Size = int(n.Val)
+		case token.KwDefaultAction:
+			p.pos++
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			an, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			// Allow default_action = NoAction();
+			if p.accept(token.LParen) {
+				if _, err := p.expect(token.RParen); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			t.DefaultAction = an
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s in table %s", c.Pos, c, name)
+		}
+	}
+	return t, nil
+}
+
+// Statements and expressions reuse the rP4 AST nodes.
+
+func (p *Parser) block() ([]ast.Stmt, error) {
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	var out []ast.Stmt
+	for !p.accept(token.RBrace) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *Parser) statement() (ast.Stmt, error) {
+	c := p.cur()
+	switch c.Type {
+	case token.Semicolon:
+		p.pos++
+		return &ast.EmptyStmt{Pos: c.Pos}, nil
+	case token.KwIf:
+		return p.ifStmt()
+	case token.Ident:
+		ref, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().Type {
+		case token.LParen:
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			recv, method := splitRecv(ref)
+			return &ast.CallStmt{Recv: recv, Method: method, Args: args, Pos: c.Pos}, nil
+		case token.Assign:
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			return &ast.AssignStmt{LHS: ref, RHS: rhs, Pos: c.Pos}, nil
+		}
+		return nil, fmt.Errorf("%s: expected call or assignment after %s", p.cur().Pos, ref)
+	}
+	return nil, fmt.Errorf("%s: expected statement, found %s", c.Pos, c)
+}
+
+func splitRecv(ref *ast.FieldRef) (string, string) {
+	if len(ref.Parts) == 1 {
+		return "", ref.Parts[0]
+	}
+	return strings.Join(ref.Parts[:len(ref.Parts)-1], "."), ref.Parts[len(ref.Parts)-1]
+}
+
+func (p *Parser) ifStmt() (ast.Stmt, error) {
+	start := p.next() // if
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.branch()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: then, Pos: start.Pos}
+	if p.accept(token.KwElse) {
+		if p.cur().Type == token.KwIf {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []ast.Stmt{elif}
+		} else {
+			els, err := p.branch()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) branch() ([]ast.Stmt, error) {
+	if p.cur().Type == token.LBrace {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.(*ast.EmptyStmt); ok {
+		return nil, nil
+	}
+	return []ast.Stmt{s}, nil
+}
+
+func (p *Parser) fieldRef() (*ast.FieldRef, error) {
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ref := &ast.FieldRef{Parts: []string{name}, Pos: pos}
+	for p.accept(token.Dot) {
+		part, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref.Parts = append(ref.Parts, part)
+	}
+	return ref, nil
+}
+
+func (p *Parser) callArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.accept(token.RParen) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.accept(token.Comma) && p.cur().Type != token.RParen {
+			return nil, fmt.Errorf("%s: expected , or ) in arguments", p.cur().Pos)
+		}
+	}
+	return args, nil
+}
+
+var binPrec = map[token.Type]int{
+	token.OrOr: 1, token.AndAnd: 2,
+	token.Eq: 3, token.Neq: 3,
+	token.LAngle: 4, token.RAngle: 4, token.Leq: 4, token.Geq: 4,
+	token.Pipe: 5, token.Caret: 6, token.Amp: 7,
+	token.Shl: 8, token.Shr: 8,
+	token.Plus: 9, token.Minus: 9,
+	token.Star: 10, token.Slash: 10, token.Percent: 10,
+}
+
+func (p *Parser) expr() (ast.Expr, error) { return p.binExpr(0) }
+
+func (p *Parser) binExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Type]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: op.Type, X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) unary() (ast.Expr, error) {
+	c := p.cur()
+	if c.Type == token.Not || c.Type == token.Minus {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: c.Type, X: x, Pos: c.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (ast.Expr, error) {
+	c := p.cur()
+	switch c.Type {
+	case token.Number:
+		p.pos++
+		return &ast.NumberLit{Val: c.Val, Pos: c.Pos}, nil
+	case token.KwTrue:
+		p.pos++
+		return &ast.BoolLit{Val: true, Pos: c.Pos}, nil
+	case token.KwFalse:
+		p.pos++
+		return &ast.BoolLit{Val: false, Pos: c.Pos}, nil
+	case token.LParen:
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.Ident:
+		ref, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Type == token.LParen {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			recv, method := splitRecv(ref)
+			return &ast.CallExpr{Recv: recv, Method: method, Args: args, Pos: c.Pos}, nil
+		}
+		return ref, nil
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %s", c.Pos, c)
+}

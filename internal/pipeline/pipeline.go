@@ -1,0 +1,258 @@
+// Package pipeline implements IPSA's elastic pipeline (paper Sec. 2.3):
+// a chain of TSPs with a selector that picks which TSP feeds the traffic
+// manager (TM) and which resumes after it. Middle TSPs can belong to
+// ingress, egress, or be bypassed in low-power state. Updates drain the
+// pipeline through backpressure before templates are rewritten.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/tsp"
+)
+
+// Selector is the elastic pipeline's split configuration: packets traverse
+// TSPs [0..TMIn], pass the TM, then traverse [TMOut..N-1]. TMIn == -1
+// means no ingress TSPs; TMOut == N means no egress TSPs.
+type Selector struct {
+	TMIn  int
+	TMOut int
+}
+
+// Pipeline is the chain of physical TSPs plus the TM.
+type Pipeline struct {
+	tsps []*tsp.TSP
+	tm   *TrafficManager
+
+	mu  sync.RWMutex // drain lock: packets share, updates exclude
+	sel Selector
+
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+
+	// stallNanos accumulates time spent with the pipeline drained for
+	// updates — the data the near-zero-interruption claim is made of.
+	stallNanos atomic.Int64
+}
+
+// New builds a pipeline of n TSPs and a TM with the given port count and
+// per-port queue depth.
+func New(n, ports, queueDepth int) (*Pipeline, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pipeline: need at least one TSP, got %d", n)
+	}
+	p := &Pipeline{tm: NewTrafficManager(ports, queueDepth), sel: Selector{TMIn: -1, TMOut: n}}
+	for i := 0; i < n; i++ {
+		p.tsps = append(p.tsps, tsp.NewTSP(i))
+	}
+	return p, nil
+}
+
+// NumTSPs returns the physical TSP count.
+func (p *Pipeline) NumTSPs() int { return len(p.tsps) }
+
+// TSP returns the TSP at index i.
+func (p *Pipeline) TSP(i int) (*tsp.TSP, error) {
+	if i < 0 || i >= len(p.tsps) {
+		return nil, fmt.Errorf("pipeline: TSP %d out of range [0,%d)", i, len(p.tsps))
+	}
+	return p.tsps[i], nil
+}
+
+// TM exposes the traffic manager.
+func (p *Pipeline) TM() *TrafficManager { return p.tm }
+
+// Selector returns the current split.
+func (p *Pipeline) Selector() Selector {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sel
+}
+
+// ActiveTSPs counts TSPs hosting stages; the rest idle in low-power state.
+func (p *Pipeline) ActiveTSPs() int {
+	n := 0
+	for _, t := range p.tsps {
+		if t.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports processed and dropped packet counts.
+func (p *Pipeline) Stats() (processed, dropped uint64) {
+	return p.processed.Load(), p.dropped.Load()
+}
+
+// StallTime reports cumulative time the pipeline spent drained for
+// updates.
+func (p *Pipeline) StallTime() time.Duration {
+	return time.Duration(p.stallNanos.Load())
+}
+
+// Update drains the pipeline (exclusive lock = backpressure), then runs fn
+// to rewrite templates and the selector. The stall is timed.
+func (p *Pipeline) Update(fn func(sel *Selector, tsps []*tsp.TSP) error) error {
+	start := time.Now()
+	p.mu.Lock()
+	defer func() {
+		p.mu.Unlock()
+		p.stallNanos.Add(int64(time.Since(start)))
+	}()
+	sel := p.sel
+	if err := fn(&sel, p.tsps); err != nil {
+		return err
+	}
+	if sel.TMIn >= len(p.tsps) || sel.TMOut < 0 || sel.TMOut > len(p.tsps) || (sel.TMIn >= sel.TMOut) {
+		return fmt.Errorf("pipeline: selector %+v invalid for %d TSPs", sel, len(p.tsps))
+	}
+	p.sel = sel
+	return nil
+}
+
+// RunIngress pushes a packet through the ingress TSPs and into the TM. It
+// reports whether the packet survived to the TM.
+func (p *Pipeline) RunIngress(pk *pkt.Packet, parser *tsp.OnDemandParser, backend tsp.TableBackend, env *tsp.Env) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i := 0; i <= p.sel.TMIn; i++ {
+		p.tsps[i].Process(pk, parser, backend, env)
+		if pk.Drop {
+			p.dropped.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// RunEgress pushes a packet through the egress TSPs. It reports whether
+// the packet survived.
+func (p *Pipeline) RunEgress(pk *pkt.Packet, parser *tsp.OnDemandParser, backend tsp.TableBackend, env *tsp.Env) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i := p.sel.TMOut; i < len(p.tsps); i++ {
+		p.tsps[i].Process(pk, parser, backend, env)
+		if pk.Drop {
+			p.dropped.Add(1)
+			return false
+		}
+	}
+	p.processed.Add(1)
+	return true
+}
+
+// Process runs a packet through ingress, the TM (enqueue on the chosen
+// output port, immediate dequeue in this synchronous path), and egress.
+// It reports whether the packet survived to the output.
+func (p *Pipeline) Process(pk *pkt.Packet, parser *tsp.OnDemandParser, backend tsp.TableBackend, env *tsp.Env) bool {
+	if !p.RunIngress(pk, parser, backend, env) {
+		return false
+	}
+	// TM: a real chip buffers and schedules here; the synchronous path
+	// models an uncongested TM pass-through while still exercising the
+	// queue accounting.
+	if !p.tm.Admit(pk) {
+		p.dropped.Add(1)
+		return false
+	}
+	p.tm.Release(pk)
+	return p.RunEgress(pk, parser, backend, env)
+}
+
+// TrafficManager models the TM's per-port queues with tail drop.
+type TrafficManager struct {
+	mu     sync.Mutex
+	depth  int
+	queues [][]*pkt.Packet
+	rr     int // round-robin scan position for DequeueRR
+
+	enqueued  atomic.Uint64
+	tailDrops atomic.Uint64
+}
+
+// NewTrafficManager builds a TM with per-port queues of the given depth
+// (0 depth means unbuffered pass-through accounting only).
+func NewTrafficManager(ports, depth int) *TrafficManager {
+	tm := &TrafficManager{depth: depth}
+	if ports < 1 {
+		ports = 1
+	}
+	tm.queues = make([][]*pkt.Packet, ports)
+	return tm
+}
+
+// Admit accepts a packet into the queue of its output port; packets with
+// no output port yet use port 0's queue. False means tail drop.
+func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	q := tm.portOf(p)
+	if tm.depth > 0 && len(tm.queues[q]) >= tm.depth {
+		tm.tailDrops.Add(1)
+		return false
+	}
+	tm.queues[q] = append(tm.queues[q], p)
+	tm.enqueued.Add(1)
+	return true
+}
+
+// Release removes a packet from its queue (synchronous scheduling).
+func (tm *TrafficManager) Release(p *pkt.Packet) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	q := tm.portOf(p)
+	for i, cand := range tm.queues[q] {
+		if cand == p {
+			tm.queues[q] = append(tm.queues[q][:i], tm.queues[q][i+1:]...)
+			return
+		}
+	}
+}
+
+// DequeueRR removes the oldest packet from the next non-empty queue in
+// round-robin order; ok=false when every queue is empty. This is the
+// asynchronous scheduler's entry point (the synchronous path uses
+// Admit/Release).
+func (tm *TrafficManager) DequeueRR() (*pkt.Packet, bool) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	n := len(tm.queues)
+	for i := 0; i < n; i++ {
+		q := (tm.rr + i) % n
+		if len(tm.queues[q]) > 0 {
+			p := tm.queues[q][0]
+			tm.queues[q] = tm.queues[q][1:]
+			tm.rr = (q + 1) % n
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func (tm *TrafficManager) portOf(p *pkt.Packet) int {
+	q := p.OutPort
+	if q < 0 || q >= len(tm.queues) {
+		q = 0
+	}
+	return q
+}
+
+// Stats reports enqueued packets and tail drops.
+func (tm *TrafficManager) Stats() (enqueued, tailDrops uint64) {
+	return tm.enqueued.Load(), tm.tailDrops.Load()
+}
+
+// Depth reports the queue length of one port.
+func (tm *TrafficManager) Depth(port int) int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if port < 0 || port >= len(tm.queues) {
+		return 0
+	}
+	return len(tm.queues[port])
+}

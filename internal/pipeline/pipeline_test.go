@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ipsa/internal/match"
+	"ipsa/internal/pkt"
+	"ipsa/internal/tsp"
+)
+
+type nopBackend struct{}
+
+func (nopBackend) Lookup(string, []byte) (match.Result, bool) { return match.Result{}, false }
+func (nopBackend) LookupSelector(string, []byte, uint64) (match.Result, bool) {
+	return match.Result{}, false
+}
+
+func env() *tsp.Env {
+	return &tsp.Env{Regs: tsp.NewRegisterFile(nil), Faults: &tsp.Faults{},
+		SRHID: pkt.InvalidHeader, IPv6ID: pkt.InvalidHeader}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2, 8); err == nil {
+		t.Error("zero TSPs accepted")
+	}
+	p, err := New(4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTSPs() != 4 {
+		t.Errorf("NumTSPs = %d", p.NumTSPs())
+	}
+	if _, err := p.TSP(4); err == nil {
+		t.Error("out-of-range TSP accepted")
+	}
+	if _, err := p.TSP(2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorValidation(t *testing.T) {
+	p, _ := New(4, 2, 8)
+	err := p.Update(func(sel *Selector, _ []*tsp.TSP) error {
+		sel.TMIn, sel.TMOut = 2, 2 // overlap
+		return nil
+	})
+	if err == nil {
+		t.Error("overlapping selector accepted")
+	}
+	err = p.Update(func(sel *Selector, _ []*tsp.TSP) error {
+		sel.TMIn, sel.TMOut = 1, 3
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Selector(); s.TMIn != 1 || s.TMOut != 3 {
+		t.Errorf("selector: %+v", s)
+	}
+	if p.StallTime() <= 0 {
+		t.Error("update stall not recorded")
+	}
+}
+
+func TestProcessPassThrough(t *testing.T) {
+	p, _ := New(4, 2, 8)
+	_ = p.Update(func(sel *Selector, _ []*tsp.TSP) error {
+		sel.TMIn, sel.TMOut = 1, 2
+		return nil
+	})
+	pk := pkt.NewPacket([]byte{1, 2, 3}, 8)
+	ok := p.Process(pk, nil, nopBackend{}, env())
+	if !ok || pk.Drop {
+		t.Fatal("pass-through dropped")
+	}
+	processed, dropped := p.Stats()
+	if processed != 1 || dropped != 0 {
+		t.Errorf("stats: %d/%d", processed, dropped)
+	}
+	if p.ActiveTSPs() != 0 {
+		t.Errorf("active = %d", p.ActiveTSPs())
+	}
+}
+
+func TestTrafficManagerTailDrop(t *testing.T) {
+	tm := NewTrafficManager(2, 2)
+	a := pkt.NewPacket(nil, 0)
+	b := pkt.NewPacket(nil, 0)
+	c := pkt.NewPacket(nil, 0)
+	a.OutPort, b.OutPort, c.OutPort = 1, 1, 1
+	if !tm.Admit(a) || !tm.Admit(b) {
+		t.Fatal("admit failed")
+	}
+	if tm.Admit(c) {
+		t.Error("over-depth admit accepted")
+	}
+	if tm.Depth(1) != 2 {
+		t.Errorf("depth = %d", tm.Depth(1))
+	}
+	enq, drops := tm.Stats()
+	if enq != 2 || drops != 1 {
+		t.Errorf("stats: %d/%d", enq, drops)
+	}
+	tm.Release(a)
+	if tm.Depth(1) != 1 {
+		t.Errorf("depth after release = %d", tm.Depth(1))
+	}
+	// Unknown/negative ports fall back to queue 0.
+	d := pkt.NewPacket(nil, 0)
+	d.OutPort = -1
+	if !tm.Admit(d) {
+		t.Error("fallback admit failed")
+	}
+	if tm.Depth(0) != 1 {
+		t.Errorf("queue 0 depth = %d", tm.Depth(0))
+	}
+	if tm.Depth(99) != 0 {
+		t.Error("out-of-range depth nonzero")
+	}
+}
+
+func TestUpdateExcludesTraffic(t *testing.T) {
+	p, _ := New(2, 1, 8)
+	_ = p.Update(func(sel *Selector, _ []*tsp.TSP) error {
+		sel.TMIn, sel.TMOut = 0, 1
+		return nil
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pk := pkt.NewPacket([]byte{1}, 8)
+				p.Process(pk, nil, nopBackend{}, env())
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := p.Update(func(sel *Selector, _ []*tsp.TSP) error { return nil }); err != nil {
+			t.Error(err)
+		}
+	}
+	// Traffic keeps flowing between and after updates.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		processed, _ := p.Stats()
+		if processed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Error("no packets processed around updates")
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,424 @@
+// Package pisa is the comparison baseline: a PISA software switch in the
+// style of bmv2 (paper Sec. 4.3 compares bmv2 against ipbm). It executes
+// the same compiled stage templates as ipbm but with PISA's architectural
+// properties, which are exactly what the paper criticizes:
+//
+//   - a standalone front-end parser that parses every header up front;
+//   - a fixed number of ingress and egress physical stages, traversed by
+//     every packet whether programmed or not;
+//   - memory prorated per stage: a table bigger than one stage's share
+//     combines the memory of consecutive stages, consuming them;
+//   - a deparser that reassembles the packet at egress;
+//   - and, crucially, no incremental update: ApplyConfig is always a full
+//     pipeline rebuild that discards every table entry, so the controller
+//     must repopulate all tables afterwards.
+package pisa
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/match"
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// Options sizes the PISA pipeline.
+type Options struct {
+	// IngressStages and EgressStages are the fixed physical stage counts.
+	IngressStages int
+	EgressStages  int
+	// StageBlocks is each stage's memory share in pool blocks; a larger
+	// table spans consecutive stages.
+	StageBlocks int
+	// BlockWidth/BlockDepth size one memory block (bits × entries).
+	BlockWidth, BlockDepth int
+}
+
+// DefaultOptions mirrors a mid-sized fixed-function budget.
+func DefaultOptions() Options {
+	return Options{
+		IngressStages: 12,
+		EgressStages:  4,
+		StageBlocks:   8,
+		BlockWidth:    128,
+		BlockDepth:    4096,
+	}
+}
+
+// physStage is one fixed physical stage.
+type physStage struct {
+	runtime *tsp.StageRuntime // nil = unprogrammed, still traversed
+}
+
+// Switch is the PISA behavioral model.
+type Switch struct {
+	opts Options
+
+	mu        sync.RWMutex
+	cfg       *template.Config
+	parser    *tsp.OnDemandParser
+	ingress   []physStage
+	egress    []physStage
+	tables    map[string]match.Engine
+	selectors map[string]map[string][]match.Result
+	tstats    map[string]*tableCounters
+	regs      *tsp.RegisterFile
+	srhID     pkt.HeaderID
+	ipv6ID    pkt.HeaderID
+
+	faults tsp.Faults
+
+	processed uint64
+	dropped   uint64
+
+	// effectiveStagesUsed counts physical stages consumed, including the
+	// extra stages spanned by oversized tables.
+	effectiveStagesUsed int
+	// reloads counts full pipeline rebuilds.
+	reloads int
+}
+
+type tableCounters struct {
+	mu           sync.Mutex
+	hits, misses uint64
+}
+
+// New builds an unprogrammed PISA switch.
+func New(opts Options) (*Switch, error) {
+	if opts.IngressStages <= 0 || opts.EgressStages <= 0 || opts.StageBlocks <= 0 {
+		return nil, fmt.Errorf("pisa: invalid sizing %+v", opts)
+	}
+	return &Switch{
+		opts:      opts,
+		ingress:   make([]physStage, opts.IngressStages),
+		egress:    make([]physStage, opts.EgressStages),
+		tables:    make(map[string]match.Engine),
+		selectors: make(map[string]map[string][]match.Result),
+		tstats:    make(map[string]*tableCounters),
+		regs:      tsp.NewRegisterFile(nil),
+	}, nil
+}
+
+// Reloads reports how many full rebuilds have happened.
+func (s *Switch) Reloads() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reloads
+}
+
+// EffectiveStagesUsed reports physical stages consumed by the installed
+// design, counting stages burned by table spanning.
+func (s *Switch) EffectiveStagesUsed() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.effectiveStagesUsed
+}
+
+// stageSpan computes how many physical stages a table's memory consumes.
+func (s *Switch) stageSpan(t *template.Table) int {
+	blocks := blocksFor(t, s.opts)
+	span := (blocks + s.opts.StageBlocks - 1) / s.opts.StageBlocks
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+func blocksFor(t *template.Table, o Options) int {
+	wc := (t.KeyWidth + o.BlockWidth - 1) / o.BlockWidth
+	dc := (t.Size + o.BlockDepth - 1) / o.BlockDepth
+	return wc * dc
+}
+
+// ApplyConfig performs PISA's only update mode: a full rebuild. Every
+// existing table is discarded (entries and all), every stage is
+// reprogrammed, registers are reset.
+func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	runtimes, err := tsp.BuildStageRuntimes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Map logical chains onto fixed stages in order, accounting for table
+	// spans.
+	newIngress := make([]physStage, s.opts.IngressStages)
+	newEgress := make([]physStage, s.opts.EgressStages)
+	used := 0
+	place := func(chain []string, phys []physStage) error {
+		next := 0
+		for _, sn := range chain {
+			st := cfg.Stages[sn]
+			span := 1
+			for _, tn := range st.Tables {
+				if sp := s.stageSpan(cfg.Tables[tn]); sp > span {
+					span = sp
+				}
+			}
+			if next+span > len(phys) {
+				return fmt.Errorf("pisa: stage %q needs %d physical stages at position %d, only %d available",
+					sn, span, next, len(phys))
+			}
+			phys[next] = physStage{runtime: runtimes[sn]}
+			next += span // spanned stages are consumed (paper Sec. 5)
+			used += span
+		}
+		return nil
+	}
+	if err := place(cfg.IngressChain, newIngress); err != nil {
+		return nil, err
+	}
+	if err := place(cfg.EgressChain, newEgress); err != nil {
+		return nil, err
+	}
+
+	// Rebuild all tables empty: the full-reload penalty.
+	tables := make(map[string]match.Engine, len(cfg.Tables))
+	selectors := make(map[string]map[string][]match.Result)
+	tstats := make(map[string]*tableCounters, len(cfg.Tables))
+	for name, t := range cfg.Tables {
+		kind, err := match.ParseKind(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := match.New(kind, t.KeyWidth, t.Size)
+		if err != nil {
+			return nil, err
+		}
+		tables[name] = eng
+		if t.IsSelector {
+			selectors[name] = make(map[string][]match.Result)
+		}
+		tstats[name] = &tableCounters{}
+	}
+
+	s.cfg = cfg
+	s.parser = tsp.NewOnDemandParser(cfg)
+	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
+	s.ingress = newIngress
+	s.egress = newEgress
+	s.tables = tables
+	s.selectors = selectors
+	s.tstats = tstats
+	s.regs = tsp.NewRegisterFile(cfg.Registers) // reset, unlike ipbm
+	s.effectiveStagesUsed = used
+	s.reloads++
+
+	return &ctrlplane.ApplyStats{
+		Full:          true,
+		TSPsWritten:   s.opts.IngressStages + s.opts.EgressStages,
+		TablesCreated: len(cfg.Tables),
+		LoadNanos:     int64(time.Since(start)),
+	}, nil
+}
+
+// Lookup implements tsp.TableBackend over per-stage memory.
+func (s *Switch) Lookup(table string, key []byte) (match.Result, bool) {
+	s.mu.RLock()
+	eng := s.tables[table]
+	tc := s.tstats[table]
+	s.mu.RUnlock()
+	if eng == nil {
+		return match.Result{}, false
+	}
+	r, ok := eng.Lookup(key)
+	if tc != nil {
+		tc.mu.Lock()
+		if ok {
+			tc.hits++
+		} else {
+			tc.misses++
+		}
+		tc.mu.Unlock()
+	}
+	return r, ok
+}
+
+// LookupSelector: PISA models ECMP with action-selector externs; the
+// behavioral model resolves group members by hash like ipbm does.
+func (s *Switch) LookupSelector(table string, groupKey []byte, h uint64) (match.Result, bool) {
+	s.mu.RLock()
+	members := s.selectors[table][string(groupKey)]
+	s.mu.RUnlock()
+	if len(members) == 0 {
+		return match.Result{}, false
+	}
+	return members[h%uint64(len(members))], true
+}
+
+// frontParse is PISA's standalone parser: it walks the entire parse graph
+// up front regardless of what the stages need (paper Sec. 2.1).
+func (s *Switch) frontParse(p *pkt.Packet) {
+	s.mu.RLock()
+	cfg := s.cfg
+	parser := s.parser
+	s.mu.RUnlock()
+	if cfg == nil {
+		return
+	}
+	// Parsing "everything" = ensuring every header; the walk stops at the
+	// first header the packet doesn't carry, exactly like a front parser
+	// reaching an accept state.
+	for _, h := range cfg.Headers {
+		parser.Ensure(p, h.ID)
+	}
+}
+
+// deparse models PISA's egress deparser: the packet is reassembled from
+// the parsed representation into a fresh buffer.
+func (s *Switch) deparse(p *pkt.Packet) {
+	out := make([]byte, len(p.Data))
+	copy(out, p.Data)
+	p.Data = out
+}
+
+// ProcessPacket pushes a frame through the fixed pipeline.
+func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	parser := s.parser
+	ing := s.ingress
+	eg := s.egress
+	s.mu.RUnlock()
+	if cfg == nil {
+		return nil, fmt.Errorf("pisa: no configuration installed")
+	}
+	p := pkt.NewPacket(data, cfg.MetaBytes)
+	p.InPort = inPort
+	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+		return nil, err
+	}
+	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
+
+	s.frontParse(p)
+	// Every physical stage is traversed, programmed or not.
+	for i := range ing {
+		if p.Drop {
+			break
+		}
+		if ing[i].runtime != nil {
+			ing[i].runtime.Execute(p, parser, s, env)
+		}
+	}
+	if !p.Drop {
+		for i := range eg {
+			if p.Drop {
+				break
+			}
+			if eg[i].runtime != nil {
+				eg[i].runtime.Execute(p, parser, s, env)
+			}
+		}
+	}
+	s.mu.Lock()
+	if p.Drop {
+		s.dropped++
+	} else {
+		s.processed++
+	}
+	s.mu.Unlock()
+	if p.Drop {
+		return p, nil
+	}
+	s.deparse(p)
+	out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
+	if err == nil {
+		p.OutPort = int(out)
+	}
+	return p, nil
+}
+
+// InsertEntry installs one table entry (same encoding as ipbm).
+func (s *Switch) InsertEntry(req ctrlplane.EntryReq) (int, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	if cfg == nil {
+		return 0, fmt.Errorf("pisa: no configuration installed")
+	}
+	t, ok := cfg.Tables[req.Table]
+	if !ok {
+		return 0, fmt.Errorf("pisa: unknown table %q", req.Table)
+	}
+	if t.IsSelector {
+		return 0, fmt.Errorf("pisa: table %q is a selector; use AddMember", req.Table)
+	}
+	entry, err := ctrlplane.EncodeEntry(t, req)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	eng := s.tables[req.Table]
+	s.mu.RUnlock()
+	if eng == nil {
+		return 0, fmt.Errorf("pisa: table %q not instantiated", req.Table)
+	}
+	return eng.Insert(entry)
+}
+
+// AddMember adds an ECMP member to a selector table.
+func (s *Switch) AddMember(req ctrlplane.MemberReq) error {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	if cfg == nil {
+		return fmt.Errorf("pisa: no configuration installed")
+	}
+	t, ok := cfg.Tables[req.Table]
+	if !ok || !t.IsSelector {
+		return fmt.Errorf("pisa: table %q is not a selector", req.Table)
+	}
+	group, err := ctrlplane.EncodeGroupKey(t, req.Group)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selectors[req.Table] == nil {
+		return fmt.Errorf("pisa: table %q not instantiated", req.Table)
+	}
+	s.selectors[req.Table][string(group)] = append(s.selectors[req.Table][string(group)],
+		match.Result{ActionID: req.Tag, Params: append([]uint64(nil), req.Params...)})
+	return nil
+}
+
+// TableStats reads a table's counters.
+func (s *Switch) TableStats(table string) (*ctrlplane.TableStats, error) {
+	s.mu.RLock()
+	tc := s.tstats[table]
+	s.mu.RUnlock()
+	if tc == nil {
+		return nil, fmt.Errorf("pisa: unknown table %q", table)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return &ctrlplane.TableStats{Hits: tc.hits, Misses: tc.misses}, nil
+}
+
+// Stats reports processed/dropped packets.
+func (s *Switch) Stats() (processed, dropped uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.processed, s.dropped
+}
+
+// Faults exposes interpreter fault counters.
+func (s *Switch) Faults() *tsp.Faults { return &s.faults }
+
+// ReadRegister reads one register cell.
+func (s *Switch) ReadRegister(name string, index uint64) (uint64, error) {
+	v, ok := s.regs.Read(name, index)
+	if !ok {
+		return 0, fmt.Errorf("pisa: register %q[%d] unreadable", name, index)
+	}
+	return v, nil
+}

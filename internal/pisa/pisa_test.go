@@ -1,0 +1,220 @@
+package pisa
+
+import (
+	"os"
+	"testing"
+
+	"ipsa/internal/compiler/backend"
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/pkt"
+	"ipsa/internal/rp4/parser"
+	"ipsa/internal/template"
+)
+
+var (
+	routerMAC = pkt.MAC{0x02, 0, 0, 0, 0, 0x01}
+	hostMAC   = pkt.MAC{0x02, 0, 0, 0, 0, 0x02}
+	nhMAC     = pkt.MAC{0x02, 0, 0, 0, 0, 0x03}
+	smacMAC   = pkt.MAC{0x02, 0, 0, 0, 0, 0x04}
+)
+
+func baseConfig(t *testing.T) *template.Config {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/base_l2l3.rp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse("base_l2l3.rp4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := backend.DefaultOptions()
+	opts.NumTSPs = 16
+	// PISA's own compiler does not do IPSA's TSP merging; one logical
+	// stage maps to one physical stage.
+	opts.EnableMerge = false
+	c, err := backend.Compile(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Config
+}
+
+func populate(t *testing.T, sw *Switch) {
+	t.Helper()
+	ins := func(req ctrlplane.EntryReq) {
+		if _, err := sw.InsertEntry(req); err != nil {
+			t.Fatalf("insert %s: %v", req.Table, err)
+		}
+	}
+	ins(ctrlplane.EntryReq{Table: "port_map_tbl", Keys: []ctrlplane.FieldValue{{Value: 1}}, Tag: 1, Params: []uint64{10}})
+	ins(ctrlplane.EntryReq{Table: "bd_vrf_tbl", Keys: []ctrlplane.FieldValue{{Value: 10}}, Tag: 1, Params: []uint64{100, 1}})
+	ins(ctrlplane.EntryReq{Table: "l2_l3_tbl", Keys: []ctrlplane.FieldValue{{Value: 100}, {Value: routerMAC.Uint64()}}, Tag: 1})
+	ins(ctrlplane.EntryReq{Table: "ipv4_host", Keys: []ctrlplane.FieldValue{{Value: 1}, {Value: 0x0A000002}}, Tag: 1, Params: []uint64{7}})
+	ins(ctrlplane.EntryReq{Table: "nexthop_tbl", Keys: []ctrlplane.FieldValue{{Value: 7}}, Tag: 1, Params: []uint64{200, nhMAC.Uint64()}})
+	ins(ctrlplane.EntryReq{Table: "smac_tbl", Keys: []ctrlplane.FieldValue{{Value: 200}}, Tag: 1, Params: []uint64{smacMAC.Uint64()}})
+	ins(ctrlplane.EntryReq{Table: "dmac_tbl", Keys: []ctrlplane.FieldValue{{Value: 200}, {Value: nhMAC.Uint64()}}, Tag: 1, Params: []uint64{3}})
+}
+
+func v4pkt(t *testing.T) []byte {
+	t.Helper()
+	raw, err := pkt.Serialize(
+		&pkt.Ethernet{Dst: routerMAC, Src: hostMAC, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+		&pkt.TCP{SrcPort: 1, DstPort: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestPISAForwardsBaseDesign(t *testing.T) {
+	sw, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sw.ApplyConfig(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full || st.TSPsWritten != 16 {
+		t.Errorf("apply: %+v", st)
+	}
+	populate(t, sw)
+	p, err := sw.ProcessPacket(v4pkt(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop || p.OutPort != 3 {
+		t.Fatalf("drop=%v out=%d", p.Drop, p.OutPort)
+	}
+	var ip pkt.IPv4
+	if err := ip.Decode(p.Data[pkt.EthernetLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if ip.TTL != 63 {
+		t.Errorf("ttl = %d", ip.TTL)
+	}
+	if sw.Faults().BadTemplate.Load() != 0 {
+		t.Errorf("faults: %+v", sw.Faults())
+	}
+	proc, drop := sw.Stats()
+	if proc != 1 || drop != 0 {
+		t.Errorf("stats: %d/%d", proc, drop)
+	}
+}
+
+func TestPISAFullReloadLosesEntries(t *testing.T) {
+	sw, _ := New(DefaultOptions())
+	cfg := baseConfig(t)
+	if _, err := sw.ApplyConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, sw)
+	// A PISA "update" (even a no-op redeploy) rebuilds the pipeline and
+	// discards every table entry — the architectural cost the paper
+	// contrasts with IPSA's incremental patch.
+	if _, err := sw.ApplyConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sw.ProcessPacket(v4pkt(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Drop {
+		t.Error("entries survived a full reload (they must not, matching bmv2)")
+	}
+	if sw.Reloads() != 2 {
+		t.Errorf("reloads = %d", sw.Reloads())
+	}
+	// Repopulating restores forwarding.
+	populate(t, sw)
+	p, _ = sw.ProcessPacket(v4pkt(t), 1)
+	if p.Drop {
+		t.Error("repopulated pipeline still dropping")
+	}
+}
+
+func TestPISAEffectiveStageConsumption(t *testing.T) {
+	sw, _ := New(Options{IngressStages: 20, EgressStages: 18, StageBlocks: 2, BlockWidth: 128, BlockDepth: 4096})
+	cfg := baseConfig(t)
+	if _, err := sw.ApplyConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// With only 2 blocks per stage, the big FIB/nexthop/dmac tables span
+	// several consecutive stages; more physical stages are consumed than
+	// logical stages exist.
+	logical := len(cfg.IngressChain) + len(cfg.EgressChain)
+	if sw.EffectiveStagesUsed() <= logical {
+		t.Errorf("effective stages %d should exceed logical %d under table spanning",
+			sw.EffectiveStagesUsed(), logical)
+	}
+}
+
+func TestPISATooSmallPipeline(t *testing.T) {
+	sw, _ := New(Options{IngressStages: 3, EgressStages: 1, StageBlocks: 8, BlockWidth: 128, BlockDepth: 4096})
+	if _, err := sw.ApplyConfig(baseConfig(t)); err == nil {
+		t.Error("base design accepted on 3 ingress stages")
+	}
+}
+
+func TestPISARegistersResetOnReload(t *testing.T) {
+	// Load the flow-probe design into PISA and verify register state does
+	// not survive a reload (unlike ipbm).
+	src, _ := os.ReadFile("../../testdata/base_l2l3.rp4")
+	prog, err := parser.Parse("base.rp4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := backend.DefaultOptions()
+	opts.NumTSPs = 16
+	opts.EnableMerge = false
+	w, err := backend.NewWorkspace(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := func(name string) (string, error) {
+		b, err := os.ReadFile("../../testdata/" + name)
+		return string(b), err
+	}
+	scriptSrc, _ := os.ReadFile("../../testdata/flowprobe.script")
+	rep, err := w.ApplyScript(string(scriptSrc), loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := New(DefaultOptions())
+	if _, err := sw.ApplyConfig(rep.Config); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, sw)
+	if _, err := sw.InsertEntry(ctrlplane.EntryReq{
+		Table: "flow_probe",
+		Keys:  []ctrlplane.FieldValue{{Value: 0x0A000001}, {Value: 0x0A000002}},
+		Tag:   1, Params: []uint64{5, 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sw.ProcessPacket(v4pkt(t), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := sw.ReadRegister("flow_cnt", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Errorf("flow_cnt = %d, want 3", v)
+	}
+	if _, err := sw.ApplyConfig(rep.Config); err != nil {
+		t.Fatal(err)
+	}
+	v, err = sw.ReadRegister("flow_cnt", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("flow_cnt survived reload: %d", v)
+	}
+}

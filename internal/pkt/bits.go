@@ -1,0 +1,145 @@
+package pkt
+
+import "fmt"
+
+// GetBits reads width bits starting at bit offset bitOff from buf,
+// interpreting the packet in network order (bit 0 is the most significant
+// bit of buf[0]). width must be in [1, 64].
+func GetBits(buf []byte, bitOff, width int) (uint64, error) {
+	if width <= 0 || width > 64 {
+		return 0, fmt.Errorf("pkt: bit width %d out of range [1,64]", width)
+	}
+	end := bitOff + width
+	if bitOff < 0 || end > len(buf)*8 {
+		return 0, fmt.Errorf("pkt: bit range [%d,%d) outside buffer of %d bits", bitOff, end, len(buf)*8)
+	}
+	var v uint64
+	// Accumulate whole bytes covering the bit range, then shift out slack.
+	firstByte := bitOff / 8
+	lastByte := (end + 7) / 8 // exclusive
+	if lastByte-firstByte <= 8 {
+		for i := firstByte; i < lastByte; i++ {
+			v = v<<8 | uint64(buf[i])
+		}
+		slack := lastByte*8 - end
+		v >>= uint(slack)
+		if width < 64 {
+			v &= (1 << uint(width)) - 1
+		}
+		return v, nil
+	}
+	// The range spans 9 bytes (unaligned 64-bit field): assemble bitwise.
+	for i := bitOff; i < end; i++ {
+		bit := (buf[i/8] >> uint(7-i%8)) & 1
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// SetBits writes the low width bits of v into buf starting at bit offset
+// bitOff, in network order. width must be in [1, 64].
+func SetBits(buf []byte, bitOff, width int, v uint64) error {
+	if width <= 0 || width > 64 {
+		return fmt.Errorf("pkt: bit width %d out of range [1,64]", width)
+	}
+	end := bitOff + width
+	if bitOff < 0 || end > len(buf)*8 {
+		return fmt.Errorf("pkt: bit range [%d,%d) outside buffer of %d bits", bitOff, end, len(buf)*8)
+	}
+	if width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	for i := end - 1; i >= bitOff; i-- {
+		byteIdx := i / 8
+		mask := byte(1) << uint(7-i%8)
+		if v&1 == 1 {
+			buf[byteIdx] |= mask
+		} else {
+			buf[byteIdx] &^= mask
+		}
+		v >>= 1
+	}
+	return nil
+}
+
+// GetBytes copies a byte-aligned field of width bits (a multiple of 8) into
+// dst. It supports fields wider than 64 bits such as IPv6 addresses.
+func GetBytes(buf []byte, bitOff, width int, dst []byte) error {
+	if width%8 != 0 || bitOff%8 != 0 {
+		return copyUnaligned(buf, bitOff, width, dst)
+	}
+	n := width / 8
+	off := bitOff / 8
+	if off < 0 || off+n > len(buf) {
+		return fmt.Errorf("pkt: byte range [%d,%d) outside buffer of %d bytes", off, off+n, len(buf))
+	}
+	if len(dst) < n {
+		return fmt.Errorf("pkt: destination of %d bytes too small for %d-byte field", len(dst), n)
+	}
+	copy(dst[:n], buf[off:off+n])
+	return nil
+}
+
+// SetBytes writes src into a byte-aligned field of width bits at bitOff.
+func SetBytes(buf []byte, bitOff, width int, src []byte) error {
+	if width%8 != 0 || bitOff%8 != 0 {
+		return storeUnaligned(buf, bitOff, width, src)
+	}
+	n := width / 8
+	off := bitOff / 8
+	if off < 0 || off+n > len(buf) {
+		return fmt.Errorf("pkt: byte range [%d,%d) outside buffer of %d bytes", off, off+n, len(buf))
+	}
+	if len(src) < n {
+		return fmt.Errorf("pkt: source of %d bytes too small for %d-byte field", len(src), n)
+	}
+	copy(buf[off:off+n], src[:n])
+	return nil
+}
+
+func copyUnaligned(buf []byte, bitOff, width int, dst []byte) error {
+	if bitOff < 0 || bitOff+width > len(buf)*8 {
+		return fmt.Errorf("pkt: bit range [%d,%d) outside buffer of %d bits", bitOff, bitOff+width, len(buf)*8)
+	}
+	nBytes := (width + 7) / 8
+	if len(dst) < nBytes {
+		return fmt.Errorf("pkt: destination of %d bytes too small for %d-bit field", len(dst), width)
+	}
+	// Left-pad so the field ends at a byte boundary of dst.
+	pad := nBytes*8 - width
+	for i := range dst[:nBytes] {
+		dst[i] = 0
+	}
+	for i := 0; i < width; i++ {
+		srcBit := bitOff + i
+		bit := (buf[srcBit/8] >> uint(7-srcBit%8)) & 1
+		dstBit := pad + i
+		if bit == 1 {
+			dst[dstBit/8] |= 1 << uint(7-dstBit%8)
+		}
+	}
+	return nil
+}
+
+func storeUnaligned(buf []byte, bitOff, width int, src []byte) error {
+	if bitOff < 0 || bitOff+width > len(buf)*8 {
+		return fmt.Errorf("pkt: bit range [%d,%d) outside buffer of %d bits", bitOff, bitOff+width, len(buf)*8)
+	}
+	nBytes := (width + 7) / 8
+	if len(src) < nBytes {
+		return fmt.Errorf("pkt: source of %d bytes too small for %d-bit field", len(src), width)
+	}
+	pad := nBytes*8 - width
+	for i := 0; i < width; i++ {
+		srcBit := pad + i
+		bit := (src[srcBit/8] >> uint(7-srcBit%8)) & 1
+		dstBit := bitOff + i
+		mask := byte(1) << uint(7-dstBit%8)
+		if bit == 1 {
+			buf[dstBit/8] |= mask
+		} else {
+			buf[dstBit/8] &^= mask
+		}
+	}
+	return nil
+}

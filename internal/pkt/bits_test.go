@@ -1,0 +1,179 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetBitsAligned(t *testing.T) {
+	buf := []byte{0x12, 0x34, 0x56, 0x78}
+	cases := []struct {
+		off, width int
+		want       uint64
+	}{
+		{0, 8, 0x12},
+		{8, 8, 0x34},
+		{0, 16, 0x1234},
+		{16, 16, 0x5678},
+		{0, 32, 0x12345678},
+		{0, 4, 0x1},
+		{4, 4, 0x2},
+		{12, 4, 0x4},
+	}
+	for _, c := range cases {
+		got, err := GetBits(buf, c.off, c.width)
+		if err != nil {
+			t.Fatalf("GetBits(%d,%d): %v", c.off, c.width, err)
+		}
+		if got != c.want {
+			t.Errorf("GetBits(%d,%d) = %#x, want %#x", c.off, c.width, got, c.want)
+		}
+	}
+}
+
+func TestGetBitsUnaligned(t *testing.T) {
+	// 0b1011_0110 0b0101_1010
+	buf := []byte{0xB6, 0x5A}
+	got, err := GetBits(buf, 1, 3) // bits 1..3 = 011
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b011 {
+		t.Errorf("got %#b, want 011", got)
+	}
+	got, err = GetBits(buf, 5, 6) // 110 010 spanning the byte boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b110010 {
+		t.Errorf("got %#b, want 110010", got)
+	}
+}
+
+func TestGetBits64Unaligned(t *testing.T) {
+	buf := make([]byte, 16)
+	for i := range buf {
+		buf[i] = byte(i*37 + 11)
+	}
+	// A 64-bit field at bit offset 3 spans 9 bytes.
+	got, err := GetBits(buf, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 3; i < 67; i++ {
+		bit := (buf[i/8] >> uint(7-i%8)) & 1
+		want = want<<1 | uint64(bit)
+	}
+	if got != want {
+		t.Errorf("got %#x, want %#x", got, want)
+	}
+}
+
+func TestSetBitsRoundTrip(t *testing.T) {
+	f := func(seed int64, offRaw, widthRaw uint8, v uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, 32)
+		rng.Read(buf)
+		width := int(widthRaw)%64 + 1
+		off := int(offRaw) % (len(buf)*8 - width)
+		orig := append([]byte(nil), buf...)
+		if err := SetBits(buf, off, width, v); err != nil {
+			return false
+		}
+		got, err := GetBits(buf, off, width)
+		if err != nil {
+			return false
+		}
+		masked := v
+		if width < 64 {
+			masked &= (1 << uint(width)) - 1
+		}
+		if got != masked {
+			return false
+		}
+		// Bits outside the field must be untouched.
+		for i := 0; i < len(buf)*8; i++ {
+			if i >= off && i < off+width {
+				continue
+			}
+			ob := (orig[i/8] >> uint(7-i%8)) & 1
+			nb := (buf[i/8] >> uint(7-i%8)) & 1
+			if ob != nb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetBitsErrors(t *testing.T) {
+	buf := make([]byte, 4)
+	if _, err := GetBits(buf, 0, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := GetBits(buf, 0, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if _, err := GetBits(buf, 30, 8); err == nil {
+		t.Error("overflow accepted")
+	}
+	if _, err := GetBits(buf, -1, 8); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := SetBits(buf, 30, 8, 1); err == nil {
+		t.Error("SetBits overflow accepted")
+	}
+}
+
+func TestGetSetBytesAligned(t *testing.T) {
+	buf := make([]byte, 40)
+	addr := bytes.Repeat([]byte{0xAB}, 16)
+	if err := SetBytes(buf, 8*8, 128, addr); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := GetBytes(buf, 8*8, 128, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, addr) {
+		t.Errorf("got %x, want %x", got, addr)
+	}
+}
+
+func TestGetSetBytesUnaligned(t *testing.T) {
+	buf := make([]byte, 8)
+	src := []byte{0x0F, 0xFF} // 12-bit field value 0xFFF
+	if err := SetBytes(buf, 4, 12, src); err != nil {
+		t.Fatal(err)
+	}
+	v, err := GetBits(buf, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFFF {
+		t.Errorf("unaligned SetBytes wrote %#x, want 0xFFF", v)
+	}
+	dst := make([]byte, 2)
+	if err := GetBytes(buf, 4, 12, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0x0F || dst[1] != 0xFF {
+		t.Errorf("unaligned GetBytes = %x, want 0fff", dst)
+	}
+}
+
+func TestSetBytesErrors(t *testing.T) {
+	buf := make([]byte, 4)
+	if err := SetBytes(buf, 0, 64, []byte{1}); err == nil {
+		t.Error("short source accepted")
+	}
+	if err := GetBytes(buf, 0, 64, make([]byte, 8)); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package pkt
+
+// SerializeBuffer builds packets back to front: each layer prepends its
+// bytes and treats the current contents as its payload, following the
+// gopacket SerializeBuffer contract. The zero value is ready to use.
+type SerializeBuffer struct {
+	data  []byte
+	start int // index of first valid byte in data
+}
+
+// NewSerializeBuffer returns a buffer with room for headroom bytes of
+// prepended headers before any reallocation.
+func NewSerializeBuffer(headroom int) *SerializeBuffer {
+	if headroom < 0 {
+		headroom = 0
+	}
+	return &SerializeBuffer{data: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the serialized packet. The slice aliases the buffer and is
+// invalidated by the next Prepend/Append/Clear.
+func (b *SerializeBuffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len reports the current packet length.
+func (b *SerializeBuffer) Len() int { return len(b.data) - b.start }
+
+// PrependBytes returns a writable slice of n bytes placed before the current
+// contents.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if b.start < n {
+		grow := n - b.start
+		if grow < 64 {
+			grow = 64
+		}
+		nd := make([]byte, len(b.data)+grow)
+		copy(nd[grow:], b.data)
+		b.data = nd
+		b.start += grow
+	}
+	b.start -= n
+	return b.data[b.start : b.start+n]
+}
+
+// AppendBytes returns a writable slice of n bytes placed after the current
+// contents. Used for payloads and trailers.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	old := len(b.data)
+	if cap(b.data) >= old+n {
+		b.data = b.data[:old+n]
+	} else {
+		nd := make([]byte, old+n, (old+n)*2)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	return b.data[old:]
+}
+
+// Clear resets the buffer, retaining its storage and restoring headroom.
+func (b *SerializeBuffer) Clear() {
+	b.data = b.data[:cap(b.data)]
+	b.start = len(b.data)
+}
+
+// Serializer is implemented by headers that can write themselves to a
+// SerializeBuffer. Layers are serialized innermost-first so that each call
+// prepends in front of its payload.
+type Serializer interface {
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// Serialize lays out the given layers outermost-first (Ethernet, IPv4, TCP,
+// payload...) and returns the packet bytes.
+func Serialize(layers ...Serializer) ([]byte, error) {
+	b := NewSerializeBuffer(128)
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
+}
+
+// Payload is a raw byte Serializer.
+type Payload []byte
+
+// SerializeTo appends the payload bytes.
+func (p Payload) SerializeTo(b *SerializeBuffer) error {
+	copy(b.PrependBytes(len(p)), p)
+	return nil
+}

@@ -1,0 +1,48 @@
+package pkt
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 internet checksum over data with an
+// initial partial sum, returning the folded one's-complement result.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum computes the partial sum of the IPv4/IPv6 pseudo header
+// used by TCP, UDP and ICMPv6 checksums. src and dst must both be 4 bytes
+// (IPv4) or 16 bytes (IPv6).
+func PseudoHeaderSum(src, dst []byte, proto uint8, length int) uint32 {
+	var sum uint32
+	for i := 0; i+1 < len(src); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(src[i:]))
+	}
+	for i := 0; i+1 < len(dst); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(dst[i:]))
+	}
+	sum += uint32(proto)
+	sum += uint32(length>>16) + uint32(length&0xffff)
+	return sum
+}
+
+// UpdateChecksum16 incrementally updates an internet checksum (RFC 1624)
+// when a 16-bit field changes from old to new. check is the current
+// checksum field value.
+func UpdateChecksum16(check, old, new uint16) uint16 {
+	// RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+	sum := uint32(^check) + uint32(^old) + uint32(new)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

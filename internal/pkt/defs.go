@@ -1,0 +1,48 @@
+package pkt
+
+// EtherType values used by the shipped designs.
+const (
+	EtherTypeIPv4  uint16 = 0x0800
+	EtherTypeARP   uint16 = 0x0806
+	EtherTypeVLAN  uint16 = 0x8100
+	EtherTypeIPv6  uint16 = 0x86DD
+	EtherTypeQinQ  uint16 = 0x88A8
+	EtherTypeMPLS  uint16 = 0x8847
+	EtherTypeLLDP  uint16 = 0x88CC
+	EtherTypePause uint16 = 0x8808
+)
+
+// IP protocol / IPv6 next-header numbers.
+const (
+	IPProtoICMP     uint8 = 1
+	IPProtoIGMP     uint8 = 2
+	IPProtoIPv4     uint8 = 4 // IP-in-IP
+	IPProtoTCP      uint8 = 6
+	IPProtoUDP      uint8 = 17
+	IPProtoIPv6     uint8 = 41
+	IPProtoRouting  uint8 = 43 // includes SRH
+	IPProtoFragment uint8 = 44
+	IPProtoGRE      uint8 = 47
+	IPProtoICMPv6   uint8 = 58
+	IPProtoNoNext   uint8 = 59
+	IPProtoDstOpts  uint8 = 60
+)
+
+// IPv6 routing header types.
+const (
+	RoutingTypeSRH uint8 = 4 // RFC 8754 Segment Routing Header
+)
+
+// Fixed header lengths in bytes (SRH is variable, see SRH.Length).
+const (
+	EthernetLen   = 14
+	VLANTagLen    = 4
+	ARPLen        = 28
+	IPv4MinLen    = 20
+	IPv6Len       = 40
+	SRHFixedLen   = 8
+	TCPMinLen     = 20
+	UDPLen        = 8
+	ICMPLen       = 8
+	SegmentLength = 16 // one SRH segment (an IPv6 address)
+)

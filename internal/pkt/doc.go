@@ -1,0 +1,19 @@
+// Package pkt implements the packet representation shared by every data
+// plane in this repository.
+//
+// Two views of a packet coexist:
+//
+//   - Concrete header types (Ethernet, IPv4, IPv6, SRH, TCP, UDP, ...) used
+//     by traffic generators, tests and examples. They follow the
+//     preallocated-decoding style of gopacket's DecodingLayerParser: Decode
+//     fills an existing struct from bytes without allocating, SerializeTo
+//     prepends bytes to a SerializeBuffer.
+//
+//   - A raw bit-addressed view (GetBits/SetBits and the Field type) used by
+//     the IPSA Templated Stage Processors, whose header layouts are supplied
+//     at runtime by the rP4 compiler rather than compiled into the switch.
+//
+// The HeaderVector type records where each parsed header instance lives in
+// the packet buffer. IPSA's distributed on-demand parsing passes the vector
+// from stage to stage so that no header is parsed twice (paper Sec. 2.1).
+package pkt

@@ -1,0 +1,106 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in the usual colon-separated form.
+func (m MAC) String() string { return net.HardwareAddr(m[:]).String() }
+
+// Uint64 returns the address as an integer in the low 48 bits, matching the
+// representation the action interpreter uses for bit<48> fields.
+func (m MAC) Uint64() uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// MACFromUint64 builds a MAC from the low 48 bits of v.
+func MACFromUint64(v uint64) MAC {
+	return MAC{byte(v >> 40), byte(v >> 32), byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// ParseMAC parses a colon-separated Ethernet address.
+func ParseMAC(s string) (MAC, error) {
+	hw, err := net.ParseMAC(s)
+	if err != nil {
+		return MAC{}, err
+	}
+	if len(hw) != 6 {
+		return MAC{}, fmt.Errorf("pkt: %q is not a 48-bit MAC", s)
+	}
+	var m MAC
+	copy(m[:], hw)
+	return m, nil
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// Decode fills e from the first EthernetLen bytes of data.
+func (e *Ethernet) Decode(data []byte) error {
+	if len(data) < EthernetLen {
+		return fmt.Errorf("pkt: ethernet header needs %d bytes, have %d", EthernetLen, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// SerializeTo prepends the header bytes.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(EthernetLen)
+	copy(buf[0:6], e.Dst[:])
+	copy(buf[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], e.EtherType)
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (e *Ethernet) HeaderLen() int { return EthernetLen }
+
+// VLAN is an 802.1Q tag.
+type VLAN struct {
+	PCP       uint8 // 3-bit priority
+	DEI       bool
+	VID       uint16 // 12-bit VLAN id
+	EtherType uint16 // encapsulated ethertype
+}
+
+// Decode fills v from the first VLANTagLen bytes of data (the bytes after
+// the 0x8100 TPID).
+func (v *VLAN) Decode(data []byte) error {
+	if len(data) < VLANTagLen {
+		return fmt.Errorf("pkt: vlan tag needs %d bytes, have %d", VLANTagLen, len(data))
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.PCP = uint8(tci >> 13)
+	v.DEI = tci&0x1000 != 0
+	v.VID = tci & 0x0fff
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	return nil
+}
+
+// SerializeTo prepends the tag bytes.
+func (v *VLAN) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(VLANTagLen)
+	tci := uint16(v.PCP)<<13 | v.VID&0x0fff
+	if v.DEI {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(buf[0:2], tci)
+	binary.BigEndian.PutUint16(buf[2:4], v.EtherType)
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (v *VLAN) HeaderLen() int { return VLANTagLen }

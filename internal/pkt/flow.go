@@ -1,0 +1,123 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// FiveTuple identifies a transport flow in a protocol-independent way.
+type FiveTuple struct {
+	Src, Dst         netip.Addr
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: f.Dst, Dst: f.Src, Proto: f.Proto, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64(seed uint64, data []byte) uint64 {
+	h := seed
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// FastHash returns a non-cryptographic, direction-symmetric hash of the
+// flow: a->b and b->a hash identically, so hash-based load balancing keeps
+// both directions of a flow together (the property gopacket documents for
+// its Flow.FastHash).
+func (f FiveTuple) FastHash() uint64 {
+	a := endpointHash(f.Src, f.SrcPort)
+	b := endpointHash(f.Dst, f.DstPort)
+	// Addition is commutative, making the hash symmetric.
+	return a + b + uint64(f.Proto)*fnvPrime64
+}
+
+// DirectionalHash returns a non-symmetric flow hash, the variant ECMP uses
+// so the two directions may take different equal-cost links.
+func (f FiveTuple) DirectionalHash() uint64 {
+	var buf [38]byte
+	sa := f.Src.As16()
+	da := f.Dst.As16()
+	copy(buf[0:16], sa[:])
+	copy(buf[16:32], da[:])
+	buf[32] = f.Proto
+	binary.BigEndian.PutUint16(buf[33:35], f.SrcPort)
+	binary.BigEndian.PutUint16(buf[35:37], f.DstPort)
+	return fnv64(fnvOffset64, buf[:])
+}
+
+func endpointHash(a netip.Addr, port uint16) uint64 {
+	b := a.As16()
+	h := fnv64(fnvOffset64, b[:])
+	var pb [2]byte
+	binary.BigEndian.PutUint16(pb[:], port)
+	return fnv64(h, pb[:])
+}
+
+// ExtractFiveTuple decodes Ethernet/IPv4-or-IPv6/TCP-or-UDP from raw packet
+// bytes. Non-TCP/UDP packets yield zero ports; non-IP packets return
+// ok=false.
+func ExtractFiveTuple(data []byte) (f FiveTuple, ok bool) {
+	var eth Ethernet
+	if eth.Decode(data) != nil {
+		return f, false
+	}
+	off := EthernetLen
+	et := eth.EtherType
+	if et == EtherTypeVLAN {
+		var vlan VLAN
+		if vlan.Decode(data[off:]) != nil {
+			return f, false
+		}
+		off += VLANTagLen
+		et = vlan.EtherType
+	}
+	var proto uint8
+	switch et {
+	case EtherTypeIPv4:
+		var ip IPv4
+		if ip.Decode(data[off:]) != nil {
+			return f, false
+		}
+		f.Src, f.Dst = ip.SrcAddr(), ip.DstAddr()
+		proto = ip.Protocol
+		off += int(ip.IHL) * 4
+	case EtherTypeIPv6:
+		var ip IPv6
+		if ip.Decode(data[off:]) != nil {
+			return f, false
+		}
+		f.Src, f.Dst = ip.SrcAddr(), ip.DstAddr()
+		proto = ip.NextHeader
+		off += IPv6Len
+		if proto == IPProtoRouting {
+			var srh SRH
+			if srh.Decode(data[off:]) != nil {
+				return f, false
+			}
+			proto = srh.NextHeader
+			off += srh.HeaderLen()
+		}
+	default:
+		return f, false
+	}
+	f.Proto = proto
+	switch proto {
+	case IPProtoTCP, IPProtoUDP:
+		if off+4 <= len(data) {
+			f.SrcPort = binary.BigEndian.Uint16(data[off:])
+			f.DstPort = binary.BigEndian.Uint16(data[off+2:])
+		}
+	}
+	return f, true
+}

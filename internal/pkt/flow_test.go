@@ -1,0 +1,125 @@
+package pkt
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mkTuple(a, b string, proto uint8, sp, dp uint16) FiveTuple {
+	return FiveTuple{
+		Src: netip.MustParseAddr(a), Dst: netip.MustParseAddr(b),
+		Proto: proto, SrcPort: sp, DstPort: dp,
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	f := mkTuple("10.0.0.1", "10.0.0.2", IPProtoTCP, 1234, 80)
+	if f.FastHash() != f.Reverse().FastHash() {
+		t.Error("FastHash not symmetric")
+	}
+	g := mkTuple("10.0.0.1", "10.0.0.3", IPProtoTCP, 1234, 80)
+	if f.FastHash() == g.FastHash() {
+		t.Error("different flows hash equal (likely collision bug)")
+	}
+}
+
+func TestFastHashSymmetryProperty(t *testing.T) {
+	f := func(a, b [4]byte, proto uint8, sp, dp uint16) bool {
+		ft := FiveTuple{
+			Src: netip.AddrFrom4(a), Dst: netip.AddrFrom4(b),
+			Proto: proto, SrcPort: sp, DstPort: dp,
+		}
+		return ft.FastHash() == ft.Reverse().FastHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionalHashAsymmetric(t *testing.T) {
+	f := mkTuple("10.0.0.1", "10.0.0.2", IPProtoUDP, 5000, 53)
+	if f.DirectionalHash() == f.Reverse().DirectionalHash() {
+		t.Error("DirectionalHash unexpectedly symmetric for this flow")
+	}
+	// Deterministic across calls.
+	if f.DirectionalHash() != f.DirectionalHash() {
+		t.Error("DirectionalHash not deterministic")
+	}
+}
+
+func TestExtractFiveTupleIPv4TCP(t *testing.T) {
+	raw, err := Serialize(
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+		&TCP{SrcPort: 4444, DstPort: 80},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := ExtractFiveTuple(raw)
+	if !ok {
+		t.Fatal("extract failed")
+	}
+	want := mkTuple("10.0.0.1", "10.0.0.2", IPProtoTCP, 4444, 80)
+	if f != want {
+		t.Errorf("got %+v, want %+v", f, want)
+	}
+}
+
+func TestExtractFiveTupleVLANAndIPv6(t *testing.T) {
+	ip := IPv6{NextHeader: IPProtoUDP, HopLimit: 64}
+	ip.Src[15], ip.Dst[15] = 1, 2
+	raw, err := Serialize(
+		&Ethernet{EtherType: EtherTypeVLAN},
+		&VLAN{VID: 100, EtherType: EtherTypeIPv6},
+		&ip,
+		&UDP{SrcPort: 53, DstPort: 5353},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := ExtractFiveTuple(raw)
+	if !ok {
+		t.Fatal("extract failed")
+	}
+	if f.Proto != IPProtoUDP || f.SrcPort != 53 || f.DstPort != 5353 {
+		t.Errorf("got %+v", f)
+	}
+}
+
+func TestExtractFiveTupleSRv6Inner(t *testing.T) {
+	ip := IPv6{NextHeader: IPProtoRouting, HopLimit: 64}
+	srh := SRH{NextHeader: IPProtoTCP, SegmentsLeft: 0, Segments: [][16]byte{{15: 9}}}
+	raw, err := Serialize(
+		&Ethernet{EtherType: EtherTypeIPv6},
+		&ip, &srh,
+		&TCP{SrcPort: 10, DstPort: 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := ExtractFiveTuple(raw)
+	if !ok {
+		t.Fatal("extract failed")
+	}
+	if f.Proto != IPProtoTCP || f.SrcPort != 10 || f.DstPort != 20 {
+		t.Errorf("SRH not skipped: %+v", f)
+	}
+}
+
+func TestExtractFiveTupleNonIP(t *testing.T) {
+	raw, err := Serialize(
+		&Ethernet{EtherType: EtherTypeARP},
+		&ARP{Op: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ExtractFiveTuple(raw); ok {
+		t.Error("ARP packet yielded a five-tuple")
+	}
+	if _, ok := ExtractFiveTuple([]byte{1, 2}); ok {
+		t.Error("truncated packet yielded a five-tuple")
+	}
+}

@@ -1,0 +1,306 @@
+package pkt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55},
+		Src:       MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		EtherType: EtherTypeIPv4,
+	}
+	b := NewSerializeBuffer(32)
+	if err := e.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Errorf("round trip: got %+v, want %+v", d, e)
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	v := VLAN{PCP: 5, DEI: true, VID: 0x123, EtherType: EtherTypeIPv6}
+	b := NewSerializeBuffer(8)
+	if err := v.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d VLAN
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != v {
+		t.Errorf("round trip: got %+v, want %+v", d, v)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	h := IPv4{
+		DSCP: 10, ECN: 1, ID: 0xbeef, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: IPProtoTCP,
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+	}
+	b := NewSerializeBuffer(64)
+	copy(b.PrependBytes(8), []byte("payload!"))
+	if err := h.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	if !VerifyIPv4Checksum(raw) {
+		t.Error("serialized header fails checksum verification")
+	}
+	var d IPv4
+	if err := d.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalLen != uint16(IPv4MinLen+8) {
+		t.Errorf("TotalLen = %d, want %d", d.TotalLen, IPv4MinLen+8)
+	}
+	if d.Src != h.Src || d.Dst != h.Dst || d.TTL != h.TTL || d.Protocol != h.Protocol {
+		t.Errorf("round trip mismatch: %+v vs %+v", d, h)
+	}
+	// Corrupt a byte: checksum must fail.
+	raw[8] ^= 0xff
+	if VerifyIPv4Checksum(raw) {
+		t.Error("corrupted header passes checksum")
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := IPv4{TTL: 1, Protocol: IPProtoUDP, Options: []byte{0x94, 0x04, 0x00, 0x00}}
+	b := NewSerializeBuffer(64)
+	if err := h.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d IPv4
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.IHL != 6 {
+		t.Errorf("IHL = %d, want 6", d.IHL)
+	}
+	if !bytes.Equal(d.Options, h.Options) {
+		t.Errorf("options = %x, want %x", d.Options, h.Options)
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	var h IPv4
+	if err := h.Decode(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x60 // version 6
+	if err := h.Decode(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad[0] = 0x4F // IHL 15 => 60 bytes, buffer has 20
+	if err := h.Decode(bad); err == nil {
+		t.Error("oversized IHL accepted")
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	h := IPv6{
+		TrafficClass: 0x42, FlowLabel: 0xABCDE,
+		NextHeader: IPProtoTCP, HopLimit: 63,
+	}
+	h.Src[15], h.Dst[15] = 1, 2
+	b := NewSerializeBuffer(64)
+	copy(b.PrependBytes(4), []byte("data"))
+	if err := h.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d IPv6
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.TrafficClass != h.TrafficClass || d.FlowLabel != h.FlowLabel ||
+		d.NextHeader != h.NextHeader || d.HopLimit != h.HopLimit ||
+		d.Src != h.Src || d.Dst != h.Dst {
+		t.Errorf("round trip mismatch: %+v vs %+v", d, h)
+	}
+	if d.PayloadLen != 4 {
+		t.Errorf("PayloadLen = %d, want 4", d.PayloadLen)
+	}
+}
+
+func TestSRHRoundTrip(t *testing.T) {
+	h := SRH{NextHeader: IPProtoIPv6, SegmentsLeft: 1, Tag: 7}
+	var s1, s2 [16]byte
+	s1[15], s2[15] = 0x10, 0x20
+	h.Segments = [][16]byte{s1, s2}
+	b := NewSerializeBuffer(64)
+	if err := h.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != SRHFixedLen+2*SegmentLength {
+		t.Fatalf("len = %d, want %d", b.Len(), SRHFixedLen+2*SegmentLength)
+	}
+	var d SRH
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.HdrExtLen != 4 || d.LastEntry != 1 || d.RoutingType != RoutingTypeSRH {
+		t.Errorf("derived fields: %+v", d)
+	}
+	if len(d.Segments) != 2 || d.Segments[0] != s1 || d.Segments[1] != s2 {
+		t.Errorf("segments mismatch: %v", d.Segments)
+	}
+	seg, err := d.ActiveSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg != s2 {
+		t.Errorf("active segment = %x, want %x", seg, s2)
+	}
+	d.SegmentsLeft = 5
+	if _, err := d.ActiveSegment(); err == nil {
+		t.Error("out-of-range SegmentsLeft accepted")
+	}
+}
+
+func TestTCPRoundTripAndChecksum(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: IPProtoTCP, Src: [4]byte{1, 2, 3, 4}, Dst: [4]byte{5, 6, 7, 8}}
+	tcp := TCP{SrcPort: 1234, DstPort: 80, Seq: 99, Ack: 100, Flags: TCPSyn | TCPAck, Window: 4096}
+	raw, err := Serialize(&ip, &tcp, Payload("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FixTCPChecksum(raw, 12, 16, 4, IPv4MinLen); err != nil {
+		t.Fatal(err)
+	}
+	// Recomputing over the segment with the stored checksum must give 0.
+	seg := raw[IPv4MinLen:]
+	sum := PseudoHeaderSum(raw[12:16], raw[16:20], IPProtoTCP, len(seg))
+	if got := Checksum(seg, sum); got != 0 {
+		t.Errorf("tcp checksum residual = %#x, want 0", got)
+	}
+	var d TCP
+	if err := d.Decode(raw[IPv4MinLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 1234 || d.DstPort != 80 || d.Flags != TCPSyn|TCPAck {
+		t.Errorf("round trip mismatch: %+v", d)
+	}
+}
+
+func TestUDPRoundTripAndChecksum(t *testing.T) {
+	u := UDP{SrcPort: 5353, DstPort: 53}
+	b := NewSerializeBuffer(64)
+	copy(b.PrependBytes(3), []byte("abc"))
+	if err := u.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d UDP
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Length != UDPLen+3 {
+		t.Errorf("Length = %d, want %d", d.Length, UDPLen+3)
+	}
+	ip := IPv6{NextHeader: IPProtoUDP, HopLimit: 64}
+	raw, err := Serialize(&ip, &u, Payload("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FixUDPChecksum(raw, 8, 24, 16, IPv6Len); err != nil {
+		t.Fatal(err)
+	}
+	seg := raw[IPv6Len:]
+	sum := PseudoHeaderSum(raw[8:24], raw[24:40], IPProtoUDP, len(seg))
+	if got := Checksum(seg, sum); got != 0 && binary.BigEndian.Uint16(seg[6:8]) != 0xffff {
+		t.Errorf("udp checksum residual = %#x", got)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:       2,
+		SenderHW: MAC{1, 2, 3, 4, 5, 6}, SenderIP: [4]byte{10, 0, 0, 1},
+		TargetHW: MAC{6, 5, 4, 3, 2, 1}, TargetIP: [4]byte{10, 0, 0, 2},
+	}
+	b := NewSerializeBuffer(32)
+	if err := a.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d ARP
+	if err := d.Decode(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Errorf("round trip: %+v vs %+v", d, a)
+	}
+}
+
+func TestICMPChecksum(t *testing.T) {
+	c := ICMP{Type: 8, Code: 0, Rest: 0x00010001}
+	b := NewSerializeBuffer(32)
+	copy(b.PrependBytes(4), []byte("ping"))
+	if err := c.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := Checksum(b.Bytes(), 0); got != 0 {
+		t.Errorf("icmp checksum residual = %#x, want 0", got)
+	}
+}
+
+func TestMACConversions(t *testing.T) {
+	m := MAC{0x00, 0x1b, 0x21, 0x3c, 0x4d, 0x5e}
+	if got := MACFromUint64(m.Uint64()); got != m {
+		t.Errorf("uint64 round trip: %v vs %v", got, m)
+	}
+	p, err := ParseMAC("00:1b:21:3c:4d:5e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != m {
+		t.Errorf("ParseMAC = %v, want %v", p, m)
+	}
+	if _, err := ParseMAC("nonsense"); err == nil {
+		t.Error("bad MAC accepted")
+	}
+}
+
+func TestUpdateChecksum16(t *testing.T) {
+	// Build a valid IPv4 header, tweak TTL via incremental update, verify.
+	h := IPv4{TTL: 64, Protocol: IPProtoTCP, Src: [4]byte{1, 1, 1, 1}, Dst: [4]byte{2, 2, 2, 2}}
+	b := NewSerializeBuffer(32)
+	if err := h.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	oldWord := binary.BigEndian.Uint16(raw[8:10]) // TTL|Proto
+	raw[8]--                                      // decrement TTL
+	newWord := binary.BigEndian.Uint16(raw[8:10])
+	ck := binary.BigEndian.Uint16(raw[10:12])
+	binary.BigEndian.PutUint16(raw[10:12], UpdateChecksum16(ck, oldWord, newWord))
+	if !VerifyIPv4Checksum(raw) {
+		t.Error("incrementally updated checksum invalid")
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		// Appending the checksum of data makes the whole sum verify to 0.
+		ck := Checksum(data, 0)
+		whole := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(whole, 0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package pkt
+
+import "fmt"
+
+// HeaderID identifies a header instance in a compiled design. IDs are
+// assigned by the compiler; the data plane only ever sees small integers.
+type HeaderID int
+
+// InvalidHeader marks "no header".
+const InvalidHeader HeaderID = -1
+
+// HeaderLoc records where one parsed header instance lives in the packet
+// buffer.
+type HeaderLoc struct {
+	Off   int // byte offset from the start of the packet
+	Len   int // byte length
+	Valid bool
+}
+
+// HeaderVector is the per-packet record of parsed headers, indexed by
+// HeaderID. IPSA stages parse on demand and pass the vector downstream so
+// later stages never re-parse (paper Sec. 2.1). The zero value is an empty
+// vector that grows on first use.
+type HeaderVector struct {
+	locs []HeaderLoc
+}
+
+// Reset invalidates every entry, retaining storage.
+func (hv *HeaderVector) Reset() {
+	for i := range hv.locs {
+		hv.locs[i] = HeaderLoc{}
+	}
+}
+
+func (hv *HeaderVector) grow(id HeaderID) {
+	for len(hv.locs) <= int(id) {
+		hv.locs = append(hv.locs, HeaderLoc{})
+	}
+}
+
+// Set records the location of header id.
+func (hv *HeaderVector) Set(id HeaderID, off, length int) {
+	if id < 0 {
+		return
+	}
+	hv.grow(id)
+	hv.locs[id] = HeaderLoc{Off: off, Len: length, Valid: true}
+}
+
+// Invalidate marks header id as absent.
+func (hv *HeaderVector) Invalidate(id HeaderID) {
+	if id < 0 || int(id) >= len(hv.locs) {
+		return
+	}
+	hv.locs[id].Valid = false
+}
+
+// Valid reports whether header id has been parsed and is present.
+func (hv *HeaderVector) Valid(id HeaderID) bool {
+	return id >= 0 && int(id) < len(hv.locs) && hv.locs[id].Valid
+}
+
+// Loc returns the location of header id.
+func (hv *HeaderVector) Loc(id HeaderID) (HeaderLoc, bool) {
+	if !hv.Valid(id) {
+		return HeaderLoc{}, false
+	}
+	return hv.locs[id], true
+}
+
+// shift adjusts the offsets of all valid headers at or beyond off by delta.
+func (hv *HeaderVector) shift(off, delta int) {
+	for i := range hv.locs {
+		if hv.locs[i].Valid && hv.locs[i].Off >= off {
+			hv.locs[i].Off += delta
+		}
+	}
+}
+
+// Packet is the unit that flows through every pipeline in this repository.
+type Packet struct {
+	Data []byte       // raw packet bytes
+	Meta []byte       // compiled user metadata area (bit-addressed)
+	HV   HeaderVector // parsed header record
+
+	InPort  int  // ingress port index
+	OutPort int  // egress port index chosen by the pipeline
+	Drop    bool // set by a drop action
+
+	// ToCPU marks the packet for punting to the control plane (used by the
+	// flow-probe use case to signal threshold crossings).
+	ToCPU bool
+}
+
+// NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
+func NewPacket(data []byte, metaBytes int) *Packet {
+	return &Packet{Data: data, Meta: make([]byte, metaBytes), OutPort: -1}
+}
+
+// Reset prepares p for reuse with new packet bytes.
+func (p *Packet) Reset(data []byte) {
+	p.Data = data
+	for i := range p.Meta {
+		p.Meta[i] = 0
+	}
+	p.HV.Reset()
+	p.InPort = 0
+	p.OutPort = -1
+	p.Drop = false
+	p.ToCPU = false
+}
+
+// Clone deep-copies the packet (used by multicast and the traffic manager).
+func (p *Packet) Clone() *Packet {
+	q := &Packet{
+		Data:    append([]byte(nil), p.Data...),
+		Meta:    append([]byte(nil), p.Meta...),
+		InPort:  p.InPort,
+		OutPort: p.OutPort,
+		Drop:    p.Drop,
+		ToCPU:   p.ToCPU,
+	}
+	q.HV.locs = append([]HeaderLoc(nil), p.HV.locs...)
+	return q
+}
+
+// InsertBytes opens a gap of n zero bytes at byte offset off and shifts the
+// header vector. Used for header push (e.g. SRH insertion at an SR source).
+func (p *Packet) InsertBytes(off, n int) error {
+	if off < 0 || off > len(p.Data) || n < 0 {
+		return fmt.Errorf("pkt: insert of %d bytes at %d invalid for packet of %d bytes", n, off, len(p.Data))
+	}
+	p.Data = append(p.Data, make([]byte, n)...)
+	copy(p.Data[off+n:], p.Data[off:len(p.Data)-n])
+	for i := off; i < off+n; i++ {
+		p.Data[i] = 0
+	}
+	p.HV.shift(off, n)
+	return nil
+}
+
+// RemoveBytes deletes n bytes at byte offset off and shifts the header
+// vector. Used for header pop (e.g. SRH removal at an SR endpoint).
+func (p *Packet) RemoveBytes(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(p.Data) {
+		return fmt.Errorf("pkt: remove of %d bytes at %d invalid for packet of %d bytes", n, off, len(p.Data))
+	}
+	copy(p.Data[off:], p.Data[off+n:])
+	p.Data = p.Data[:len(p.Data)-n]
+	p.HV.shift(off+n, -n)
+	return nil
+}
+
+// FieldBits reads a field of a parsed header: bitOff/width are relative to
+// the start of the header identified by id.
+func (p *Packet) FieldBits(id HeaderID, bitOff, width int) (uint64, error) {
+	loc, ok := p.HV.Loc(id)
+	if !ok {
+		return 0, fmt.Errorf("pkt: header %d not valid", id)
+	}
+	return GetBits(p.Data, loc.Off*8+bitOff, width)
+}
+
+// SetFieldBits writes a field of a parsed header.
+func (p *Packet) SetFieldBits(id HeaderID, bitOff, width int, v uint64) error {
+	loc, ok := p.HV.Loc(id)
+	if !ok {
+		return fmt.Errorf("pkt: header %d not valid", id)
+	}
+	return SetBits(p.Data, loc.Off*8+bitOff, width, v)
+}
+
+// MetaBits reads a metadata field at an absolute bit offset in the metadata
+// area.
+func (p *Packet) MetaBits(bitOff, width int) (uint64, error) {
+	return GetBits(p.Meta, bitOff, width)
+}
+
+// SetMetaBits writes a metadata field.
+func (p *Packet) SetMetaBits(bitOff, width int, v uint64) error {
+	return SetBits(p.Meta, bitOff, width, v)
+}

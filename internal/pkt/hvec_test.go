@@ -1,0 +1,166 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeaderVectorBasics(t *testing.T) {
+	var hv HeaderVector
+	if hv.Valid(0) {
+		t.Error("empty vector reports header 0 valid")
+	}
+	hv.Set(2, 14, 20)
+	if !hv.Valid(2) || hv.Valid(0) || hv.Valid(1) {
+		t.Error("validity wrong after Set")
+	}
+	loc, ok := hv.Loc(2)
+	if !ok || loc.Off != 14 || loc.Len != 20 {
+		t.Errorf("Loc = %+v, %v", loc, ok)
+	}
+	hv.Invalidate(2)
+	if hv.Valid(2) {
+		t.Error("header valid after Invalidate")
+	}
+	// Out-of-range operations are no-ops, not panics.
+	hv.Invalidate(99)
+	hv.Set(InvalidHeader, 0, 0)
+	if _, ok := hv.Loc(99); ok {
+		t.Error("unknown header reported present")
+	}
+}
+
+func TestPacketInsertRemoveBytes(t *testing.T) {
+	data := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	p := NewPacket(append([]byte(nil), data...), 8)
+	p.HV.Set(0, 0, 2) // header before insertion point
+	p.HV.Set(1, 4, 4) // header after insertion point
+
+	if err := p.InsertBytes(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3, 0, 0, 0, 4, 5, 6, 7}
+	if !bytes.Equal(p.Data, want) {
+		t.Errorf("after insert: %v, want %v", p.Data, want)
+	}
+	if loc, _ := p.HV.Loc(0); loc.Off != 0 {
+		t.Errorf("header 0 moved to %d", loc.Off)
+	}
+	if loc, _ := p.HV.Loc(1); loc.Off != 7 {
+		t.Errorf("header 1 at %d, want 7", loc.Off)
+	}
+
+	if err := p.RemoveBytes(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Data, data) {
+		t.Errorf("after remove: %v, want %v", p.Data, data)
+	}
+	if loc, _ := p.HV.Loc(1); loc.Off != 4 {
+		t.Errorf("header 1 at %d, want 4", loc.Off)
+	}
+
+	if err := p.InsertBytes(-1, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := p.RemoveBytes(6, 100); err == nil {
+		t.Error("oversized remove accepted")
+	}
+}
+
+func TestPacketFieldAccess(t *testing.T) {
+	data := make([]byte, 34)
+	p := NewPacket(data, 16)
+	p.HV.Set(3, 14, 20)
+	if err := p.SetFieldBits(3, 64, 8, 0x7f); err != nil { // "TTL" of a header at 14
+		t.Fatal(err)
+	}
+	if data[14+8] != 0x7f {
+		t.Errorf("byte = %#x, want 0x7f", data[22])
+	}
+	v, err := p.FieldBits(3, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x7f {
+		t.Errorf("read back %#x", v)
+	}
+	if _, err := p.FieldBits(9, 0, 8); err == nil {
+		t.Error("invalid header read accepted")
+	}
+	if err := p.SetFieldBits(9, 0, 8, 1); err == nil {
+		t.Error("invalid header write accepted")
+	}
+
+	if err := p.SetMetaBits(12, 16, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := p.MetaBits(12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv != 0xCAFE {
+		t.Errorf("meta = %#x", mv)
+	}
+}
+
+func TestPacketCloneAndReset(t *testing.T) {
+	p := NewPacket([]byte{1, 2, 3}, 4)
+	p.InPort = 5
+	p.OutPort = 6
+	p.ToCPU = true
+	p.HV.Set(0, 0, 3)
+	p.Meta[0] = 0xAA
+
+	q := p.Clone()
+	q.Data[0] = 99
+	q.Meta[0] = 0xBB
+	q.HV.Set(0, 1, 2)
+	if p.Data[0] != 1 || p.Meta[0] != 0xAA {
+		t.Error("clone shares storage with original")
+	}
+	if loc, _ := p.HV.Loc(0); loc.Off != 0 {
+		t.Error("clone shares header vector")
+	}
+	if q.InPort != 5 || q.OutPort != 6 || !q.ToCPU {
+		t.Error("clone lost scalar fields")
+	}
+
+	p.Reset([]byte{9})
+	if p.Drop || p.ToCPU || p.OutPort != -1 || p.InPort != 0 {
+		t.Error("reset left stale state")
+	}
+	if p.Meta[0] != 0 {
+		t.Error("reset left stale metadata")
+	}
+	if p.HV.Valid(0) {
+		t.Error("reset left stale header vector")
+	}
+}
+
+func TestSerializeBuffer(t *testing.T) {
+	b := NewSerializeBuffer(4)
+	copy(b.PrependBytes(3), "def")
+	copy(b.PrependBytes(3), "abc") // forces growth past headroom
+	if string(b.Bytes()) != "abcdef" {
+		t.Errorf("got %q", b.Bytes())
+	}
+	copy(b.AppendBytes(3), "ghi")
+	if string(b.Bytes()) != "abcdefghi" {
+		t.Errorf("got %q", b.Bytes())
+	}
+	if b.Len() != 9 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Errorf("Len after Clear = %d", b.Len())
+	}
+	copy(b.PrependBytes(2), "xy")
+	if string(b.Bytes()) != "xy" {
+		t.Errorf("got %q after reuse", b.Bytes())
+	}
+	if b.PrependBytes(0) != nil || b.AppendBytes(-1) != nil {
+		t.Error("zero/negative sizes should return nil")
+	}
+}

@@ -1,0 +1,110 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 is an IPv4 header without options beyond those captured by IHL.
+type IPv4 struct {
+	Version  uint8 // always 4 on serialize
+	IHL      uint8 // header length in 32-bit words
+	DSCP     uint8
+	ECN      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      [4]byte
+	Dst      [4]byte
+	Options  []byte
+}
+
+// SrcAddr returns the source address as a netip.Addr.
+func (h *IPv4) SrcAddr() netip.Addr { return netip.AddrFrom4(h.Src) }
+
+// DstAddr returns the destination address as a netip.Addr.
+func (h *IPv4) DstAddr() netip.Addr { return netip.AddrFrom4(h.Dst) }
+
+// Decode fills h from data.
+func (h *IPv4) Decode(data []byte) error {
+	if len(data) < IPv4MinLen {
+		return fmt.Errorf("pkt: ipv4 header needs %d bytes, have %d", IPv4MinLen, len(data))
+	}
+	h.Version = data[0] >> 4
+	h.IHL = data[0] & 0x0f
+	if h.Version != 4 {
+		return fmt.Errorf("pkt: ipv4 version is %d", h.Version)
+	}
+	hlen := int(h.IHL) * 4
+	if hlen < IPv4MinLen || hlen > len(data) {
+		return fmt.Errorf("pkt: ipv4 IHL %d invalid for %d bytes", h.IHL, len(data))
+	}
+	h.DSCP = data[1] >> 2
+	h.ECN = data[1] & 0x03
+	h.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	h.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = data[8]
+	h.Protocol = data[9]
+	h.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(h.Src[:], data[12:16])
+	copy(h.Dst[:], data[16:20])
+	if hlen > IPv4MinLen {
+		h.Options = append(h.Options[:0], data[IPv4MinLen:hlen]...)
+	} else {
+		h.Options = h.Options[:0]
+	}
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (h *IPv4) HeaderLen() int { return IPv4MinLen + (len(h.Options)+3)/4*4 }
+
+// SerializeTo prepends the header, fixing Version/IHL/TotalLen and
+// recomputing the checksum. The buffer contents at call time are taken as
+// the payload for TotalLen.
+func (h *IPv4) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	hlen := h.HeaderLen()
+	buf := b.PrependBytes(hlen)
+	h.Version = 4
+	h.IHL = uint8(hlen / 4)
+	h.TotalLen = uint16(hlen + payloadLen)
+	buf[0] = h.Version<<4 | h.IHL
+	buf[1] = h.DSCP<<2 | h.ECN&0x03
+	binary.BigEndian.PutUint16(buf[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(buf[4:6], h.ID)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	buf[8] = h.TTL
+	buf[9] = h.Protocol
+	buf[10], buf[11] = 0, 0
+	copy(buf[12:16], h.Src[:])
+	copy(buf[16:20], h.Dst[:])
+	copy(buf[IPv4MinLen:hlen], h.Options)
+	for i := IPv4MinLen + len(h.Options); i < hlen; i++ {
+		buf[i] = 0
+	}
+	h.Checksum = Checksum(buf[:hlen], 0)
+	binary.BigEndian.PutUint16(buf[10:12], h.Checksum)
+	return nil
+}
+
+// VerifyChecksum reports whether the checksum over a raw IPv4 header is
+// valid.
+func VerifyIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < IPv4MinLen {
+		return false
+	}
+	hlen := int(hdr[0]&0x0f) * 4
+	if hlen < IPv4MinLen || hlen > len(hdr) {
+		return false
+	}
+	return Checksum(hdr[:hlen], 0) == 0
+}

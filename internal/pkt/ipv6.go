@@ -1,0 +1,139 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6 is the fixed 40-byte IPv6 header.
+type IPv6 struct {
+	Version      uint8 // always 6 on serialize
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          [16]byte
+	Dst          [16]byte
+}
+
+// SrcAddr returns the source address as a netip.Addr.
+func (h *IPv6) SrcAddr() netip.Addr { return netip.AddrFrom16(h.Src) }
+
+// DstAddr returns the destination address as a netip.Addr.
+func (h *IPv6) DstAddr() netip.Addr { return netip.AddrFrom16(h.Dst) }
+
+// Decode fills h from data.
+func (h *IPv6) Decode(data []byte) error {
+	if len(data) < IPv6Len {
+		return fmt.Errorf("pkt: ipv6 header needs %d bytes, have %d", IPv6Len, len(data))
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	h.Version = uint8(vtf >> 28)
+	if h.Version != 6 {
+		return fmt.Errorf("pkt: ipv6 version is %d", h.Version)
+	}
+	h.TrafficClass = uint8(vtf >> 20)
+	h.FlowLabel = vtf & 0xfffff
+	h.PayloadLen = binary.BigEndian.Uint16(data[4:6])
+	h.NextHeader = data[6]
+	h.HopLimit = data[7]
+	copy(h.Src[:], data[8:24])
+	copy(h.Dst[:], data[24:40])
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (h *IPv6) HeaderLen() int { return IPv6Len }
+
+// SerializeTo prepends the header, setting Version and PayloadLen from the
+// current buffer contents.
+func (h *IPv6) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	buf := b.PrependBytes(IPv6Len)
+	h.Version = 6
+	h.PayloadLen = uint16(payloadLen)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(h.Version)<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(buf[4:6], h.PayloadLen)
+	buf[6] = h.NextHeader
+	buf[7] = h.HopLimit
+	copy(buf[8:24], h.Src[:])
+	copy(buf[24:40], h.Dst[:])
+	return nil
+}
+
+// SRH is the IPv6 Segment Routing Header (RFC 8754).
+type SRH struct {
+	NextHeader   uint8
+	HdrExtLen    uint8 // in 8-byte units, not counting the first 8
+	RoutingType  uint8 // 4 for SRH
+	SegmentsLeft uint8
+	LastEntry    uint8
+	Flags        uint8
+	Tag          uint16
+	Segments     [][16]byte // segment list, index 0 is the last segment
+}
+
+// Decode fills h from data, including the segment list.
+func (h *SRH) Decode(data []byte) error {
+	if len(data) < SRHFixedLen {
+		return fmt.Errorf("pkt: srh needs %d bytes, have %d", SRHFixedLen, len(data))
+	}
+	h.NextHeader = data[0]
+	h.HdrExtLen = data[1]
+	h.RoutingType = data[2]
+	h.SegmentsLeft = data[3]
+	h.LastEntry = data[4]
+	h.Flags = data[5]
+	h.Tag = binary.BigEndian.Uint16(data[6:8])
+	total := 8 + int(h.HdrExtLen)*8
+	if total > len(data) {
+		return fmt.Errorf("pkt: srh ext len %d exceeds %d available bytes", h.HdrExtLen, len(data))
+	}
+	nSeg := int(h.HdrExtLen) / 2
+	h.Segments = h.Segments[:0]
+	for i := 0; i < nSeg; i++ {
+		var s [16]byte
+		copy(s[:], data[SRHFixedLen+i*SegmentLength:])
+		h.Segments = append(h.Segments, s)
+	}
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (h *SRH) HeaderLen() int { return SRHFixedLen + len(h.Segments)*SegmentLength }
+
+// SerializeTo prepends the SRH, deriving HdrExtLen and LastEntry from the
+// segment list.
+func (h *SRH) SerializeTo(b *SerializeBuffer) error {
+	n := h.HeaderLen()
+	buf := b.PrependBytes(n)
+	h.HdrExtLen = uint8(len(h.Segments) * 2)
+	if len(h.Segments) > 0 {
+		h.LastEntry = uint8(len(h.Segments) - 1)
+	} else {
+		h.LastEntry = 0
+	}
+	h.RoutingType = RoutingTypeSRH
+	buf[0] = h.NextHeader
+	buf[1] = h.HdrExtLen
+	buf[2] = h.RoutingType
+	buf[3] = h.SegmentsLeft
+	buf[4] = h.LastEntry
+	buf[5] = h.Flags
+	binary.BigEndian.PutUint16(buf[6:8], h.Tag)
+	for i, s := range h.Segments {
+		copy(buf[SRHFixedLen+i*SegmentLength:], s[:])
+	}
+	return nil
+}
+
+// ActiveSegment returns the segment indexed by SegmentsLeft, the next
+// destination for an SR endpoint.
+func (h *SRH) ActiveSegment() ([16]byte, error) {
+	if int(h.SegmentsLeft) >= len(h.Segments) {
+		return [16]byte{}, fmt.Errorf("pkt: srh segments_left %d out of range (have %d segments)", h.SegmentsLeft, len(h.Segments))
+	}
+	return h.Segments[h.SegmentsLeft], nil
+}

@@ -1,0 +1,227 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP is a TCP header (options carried raw).
+type TCP struct {
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // in 32-bit words
+	Flags      uint8 // CWR..FIN in the low byte
+	Window     uint16
+	Checksum   uint16
+	Urgent     uint16
+	Options    []byte
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+	TCPEce
+	TCPCwr
+)
+
+// Decode fills t from data.
+func (t *TCP) Decode(data []byte) error {
+	if len(data) < TCPMinLen {
+		return fmt.Errorf("pkt: tcp header needs %d bytes, have %d", TCPMinLen, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	hlen := int(t.DataOffset) * 4
+	if hlen < TCPMinLen || hlen > len(data) {
+		return fmt.Errorf("pkt: tcp data offset %d invalid for %d bytes", t.DataOffset, len(data))
+	}
+	t.Options = append(t.Options[:0], data[TCPMinLen:hlen]...)
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (t *TCP) HeaderLen() int { return TCPMinLen + (len(t.Options)+3)/4*4 }
+
+// SerializeTo prepends the header. The checksum is left zero; callers that
+// need a valid transport checksum use FixTCPChecksum on the final packet.
+func (t *TCP) SerializeTo(b *SerializeBuffer) error {
+	hlen := t.HeaderLen()
+	buf := b.PrependBytes(hlen)
+	t.DataOffset = uint8(hlen / 4)
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = t.DataOffset << 4
+	buf[13] = t.Flags
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	binary.BigEndian.PutUint16(buf[16:18], 0)
+	binary.BigEndian.PutUint16(buf[18:20], t.Urgent)
+	copy(buf[TCPMinLen:hlen], t.Options)
+	for i := TCPMinLen + len(t.Options); i < hlen; i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Decode fills u from data.
+func (u *UDP) Decode(data []byte) error {
+	if len(data) < UDPLen {
+		return fmt.Errorf("pkt: udp header needs %d bytes, have %d", UDPLen, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (u *UDP) HeaderLen() int { return UDPLen }
+
+// SerializeTo prepends the header, deriving Length from the buffer.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := b.Len()
+	buf := b.PrependBytes(UDPLen)
+	u.Length = uint16(UDPLen + payloadLen)
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], u.Length)
+	binary.BigEndian.PutUint16(buf[6:8], u.Checksum)
+	return nil
+}
+
+// ICMP is a generic ICMP/ICMPv6 header with 4 bytes of rest-of-header.
+type ICMP struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	Rest     uint32
+}
+
+// Decode fills c from data.
+func (c *ICMP) Decode(data []byte) error {
+	if len(data) < ICMPLen {
+		return fmt.Errorf("pkt: icmp header needs %d bytes, have %d", ICMPLen, len(data))
+	}
+	c.Type = data[0]
+	c.Code = data[1]
+	c.Checksum = binary.BigEndian.Uint16(data[2:4])
+	c.Rest = binary.BigEndian.Uint32(data[4:8])
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (c *ICMP) HeaderLen() int { return ICMPLen }
+
+// SerializeTo prepends the header and computes the checksum over the
+// header plus current buffer contents (the ICMP payload).
+func (c *ICMP) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(ICMPLen)
+	buf[0] = c.Type
+	buf[1] = c.Code
+	buf[2], buf[3] = 0, 0
+	binary.BigEndian.PutUint32(buf[4:8], c.Rest)
+	c.Checksum = Checksum(b.Bytes(), 0)
+	binary.BigEndian.PutUint16(buf[2:4], c.Checksum)
+	return nil
+}
+
+// ARP is an Ethernet/IPv4 ARP message.
+type ARP struct {
+	Op       uint16 // 1 request, 2 reply
+	SenderHW MAC
+	SenderIP [4]byte
+	TargetHW MAC
+	TargetIP [4]byte
+}
+
+// Decode fills a from data, validating the hardware/protocol types.
+func (a *ARP) Decode(data []byte) error {
+	if len(data) < ARPLen {
+		return fmt.Errorf("pkt: arp needs %d bytes, have %d", ARPLen, len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 || binary.BigEndian.Uint16(data[2:4]) != EtherTypeIPv4 {
+		return fmt.Errorf("pkt: arp is not ethernet/ipv4")
+	}
+	if data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("pkt: arp address lengths %d/%d unsupported", data[4], data[5])
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// HeaderLen reports the encoded length in bytes.
+func (a *ARP) HeaderLen() int { return ARPLen }
+
+// SerializeTo prepends the ARP body.
+func (a *ARP) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(ARPLen)
+	binary.BigEndian.PutUint16(buf[0:2], 1)
+	binary.BigEndian.PutUint16(buf[2:4], EtherTypeIPv4)
+	buf[4], buf[5] = 6, 4
+	binary.BigEndian.PutUint16(buf[6:8], a.Op)
+	copy(buf[8:14], a.SenderHW[:])
+	copy(buf[14:18], a.SenderIP[:])
+	copy(buf[18:24], a.TargetHW[:])
+	copy(buf[24:28], a.TargetIP[:])
+	return nil
+}
+
+// FixTCPChecksum computes and stores the TCP checksum of a serialized
+// packet given the byte offsets of the IP source/destination addresses and
+// the TCP header. addrLen is 4 for IPv4 and 16 for IPv6.
+func FixTCPChecksum(packet []byte, srcOff, dstOff, addrLen, tcpOff int) error {
+	if tcpOff+TCPMinLen > len(packet) || srcOff+addrLen > len(packet) || dstOff+addrLen > len(packet) {
+		return fmt.Errorf("pkt: offsets outside packet of %d bytes", len(packet))
+	}
+	seg := packet[tcpOff:]
+	seg[16], seg[17] = 0, 0
+	sum := PseudoHeaderSum(packet[srcOff:srcOff+addrLen], packet[dstOff:dstOff+addrLen], IPProtoTCP, len(seg))
+	ck := Checksum(seg, sum)
+	binary.BigEndian.PutUint16(seg[16:18], ck)
+	return nil
+}
+
+// FixUDPChecksum computes and stores the UDP checksum analogously to
+// FixTCPChecksum, mapping an all-zero result to 0xffff per RFC 768.
+func FixUDPChecksum(packet []byte, srcOff, dstOff, addrLen, udpOff int) error {
+	if udpOff+UDPLen > len(packet) || srcOff+addrLen > len(packet) || dstOff+addrLen > len(packet) {
+		return fmt.Errorf("pkt: offsets outside packet of %d bytes", len(packet))
+	}
+	seg := packet[udpOff:]
+	seg[6], seg[7] = 0, 0
+	sum := PseudoHeaderSum(packet[srcOff:srcOff+addrLen], packet[dstOff:dstOff+addrLen], IPProtoUDP, len(seg))
+	ck := Checksum(seg, sum)
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(seg[6:8], ck)
+	return nil
+}

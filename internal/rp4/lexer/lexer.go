@@ -1,0 +1,243 @@
+// Package lexer tokenizes rP4 source (and the P4 subset, which shares its
+// lexical structure).
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ipsa/internal/rp4/token"
+)
+
+// Lexer scans rP4 source text.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	// keywords in effect; the P4 front end swaps in its own set.
+	keywords map[string]token.Type
+}
+
+// New returns a lexer over src, reporting positions against file.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1, keywords: token.Keywords}
+}
+
+// NewWithKeywords returns a lexer using a custom keyword set (used by the
+// P4 front end).
+func NewWithKeywords(file, src string, kw map[string]token.Type) *Lexer {
+	l := New(file, src)
+	l.keywords = kw
+	return l
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%s: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token. At end of input it returns an EOF token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Type: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if t, ok := l.keywords[lit]; ok {
+			return token.Token{Type: t, Lit: lit, Pos: pos}, nil
+		}
+		return token.Token{Type: token.Ident, Lit: lit, Pos: pos}, nil
+	case isDigit(c):
+		return l.number(pos)
+	}
+	l.advance()
+	two := func(next byte, ifTwo, ifOne token.Type) (token.Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Type: ifTwo, Pos: pos}, nil
+		}
+		return token.Token{Type: ifOne, Pos: pos}, nil
+	}
+	switch c {
+	case '{':
+		return token.Token{Type: token.LBrace, Pos: pos}, nil
+	case '}':
+		return token.Token{Type: token.RBrace, Pos: pos}, nil
+	case '(':
+		return token.Token{Type: token.LParen, Pos: pos}, nil
+	case ')':
+		return token.Token{Type: token.RParen, Pos: pos}, nil
+	case ':':
+		return token.Token{Type: token.Colon, Pos: pos}, nil
+	case ';':
+		return token.Token{Type: token.Semicolon, Pos: pos}, nil
+	case ',':
+		return token.Token{Type: token.Comma, Pos: pos}, nil
+	case '.':
+		return token.Token{Type: token.Dot, Pos: pos}, nil
+	case '+':
+		return token.Token{Type: token.Plus, Pos: pos}, nil
+	case '-':
+		return token.Token{Type: token.Minus, Pos: pos}, nil
+	case '*':
+		return token.Token{Type: token.Star, Pos: pos}, nil
+	case '/':
+		return token.Token{Type: token.Slash, Pos: pos}, nil
+	case '%':
+		return token.Token{Type: token.Percent, Pos: pos}, nil
+	case '^':
+		return token.Token{Type: token.Caret, Pos: pos}, nil
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Neq, token.Not)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Type: token.Shl, Pos: pos}, nil
+		}
+		return two('=', token.Leq, token.LAngle)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Type: token.Shr, Pos: pos}, nil
+		}
+		return two('=', token.Geq, token.RAngle)
+	case '&':
+		return two('&', token.AndAnd, token.Amp)
+	case '|':
+		return two('|', token.OrOr, token.Pipe)
+	}
+	return token.Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}
+
+func (l *Lexer) number(pos token.Pos) (token.Token, error) {
+	start := l.off
+	base := 10
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		base = 16
+		l.advance()
+		l.advance()
+	} else if l.peek() == '0' && (l.peek2() == 'b' || l.peek2() == 'B') {
+		base = 2
+		l.advance()
+		l.advance()
+	}
+	digStart := l.off
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '_' || isDigit(c) ||
+			(base == 16 && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	digits := strings.ReplaceAll(l.src[digStart:l.off], "_", "")
+	if digits == "" {
+		return token.Token{}, fmt.Errorf("%s: malformed number %q", pos, l.src[start:l.off])
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return token.Token{}, fmt.Errorf("%s: number %q: %v", pos, l.src[start:l.off], err)
+	}
+	return token.Token{Type: token.Number, Lit: l.src[start:l.off], Val: v, Pos: pos}, nil
+}
+
+// All scans the entire input, returning the token stream without the final
+// EOF token.
+func (l *Lexer) All() ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Type == token.EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

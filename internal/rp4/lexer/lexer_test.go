@@ -1,0 +1,134 @@
+package lexer
+
+import (
+	"testing"
+
+	"ipsa/internal/rp4/token"
+)
+
+func TestBasicTokens(t *testing.T) {
+	src := `table ecmp { key = { meta.nexthop: hash; } size = 4096; }`
+	toks, err := New("t.rp4", src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Type{
+		token.KwTable, token.Ident, token.LBrace,
+		token.KwKey, token.Assign, token.LBrace,
+		token.Ident, token.Dot, token.Ident, token.Colon, token.Ident, token.Semicolon,
+		token.RBrace,
+		token.KwSize, token.Assign, token.Number, token.Semicolon,
+		token.RBrace,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Errorf("token %d = %v, want %v", i, toks[i], w)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"42", 42},
+		{"0x0800", 0x0800},
+		{"0X86DD", 0x86DD},
+		{"0b1010", 10},
+		{"1_000_000", 1000000},
+		{"0", 0},
+	}
+	for _, c := range cases {
+		toks, err := New("", c.src).All()
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Type != token.Number || toks[0].Val != c.want {
+			t.Errorf("%q -> %v, want value %d", c.src, toks, c.want)
+		}
+	}
+	if _, err := New("", "0x").All(); err == nil {
+		t.Error("bare 0x accepted")
+	}
+	if _, err := New("", "0xFFFFFFFFFFFFFFFFF").All(); err == nil {
+		t.Error("65-bit literal accepted")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `== != <= >= && || << >> < > = ! & | ^ + - * / %`
+	toks, err := New("", src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Type{
+		token.Eq, token.Neq, token.Leq, token.Geq, token.AndAnd, token.OrOr,
+		token.Shl, token.Shr, token.LAngle, token.RAngle, token.Assign, token.Not,
+		token.Amp, token.Pipe, token.Caret, token.Plus, token.Minus,
+		token.Star, token.Slash, token.Percent,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Errorf("token %d = %v, want %v", i, toks[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a // line comment\n/* block\ncomment */ b /*inline*/ c"
+	toks, err := New("", src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %v", toks)
+	}
+	for i, lit := range []string{"a", "b", "c"} {
+		if toks[i].Lit != lit {
+			t.Errorf("token %d = %q", i, toks[i].Lit)
+		}
+	}
+	if _, err := New("", "/* unterminated").All(); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "aa\n  bb"
+	toks, err := New("f.rp4", src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "f.rp4:2:3" {
+		t.Errorf("pos string = %q", toks[1].Pos.String())
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := New("", "a @ b").All(); err == nil {
+		t.Error("@ accepted")
+	}
+}
+
+func TestKeywordsRecognized(t *testing.T) {
+	for kw, typ := range token.Keywords {
+		toks, err := New("", kw).All()
+		if err != nil || len(toks) != 1 || toks[0].Type != typ {
+			t.Errorf("keyword %q: %v, %v", kw, toks, err)
+		}
+	}
+}

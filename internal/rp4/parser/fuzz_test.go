@@ -1,0 +1,69 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup and random
+// recombinations of valid rP4 fragments: it must always return (program or
+// error), never panic and never hang.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Pure noise.
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(256)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(128))
+		}
+		_, _ = Parse("fuzz.rp4", string(b))
+	}
+	// Token soup from the language's own vocabulary — more likely to get
+	// deep into the grammar.
+	vocab := []string{
+		"headers", "header", "implicit", "parser", "structs", "struct",
+		"header_vector", "action", "table", "key", "actions", "size",
+		"default_action", "control", "stage", "matcher", "executor",
+		"user_funcs", "func", "ingress_entry", "egress_entry", "bit",
+		"if", "else", "default", "register", "varlen",
+		"{", "}", "(", ")", "<", ">", ":", ";", ",", ".", "=",
+		"==", "!=", "&&", "||", "+", "-",
+		"x", "y", "ipv4", "meta", "0", "1", "16", "0x800", "isValid", "apply",
+	}
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse("soup.rp4", sb.String())
+	}
+	// Mutations of a valid program.
+	valid := `
+headers { header h { bit<8> f; implicit parser (f) { 1: h2; } } header h2 { bit<8> g; } }
+structs { struct m { bit<4> x; } meta; }
+register<bit<32>>(16) r;
+action a(bit<8> p) { meta.x = p + 1; if (h.isValid()) { drop(); } }
+table t { key = { h.f: exact; } actions = { a; } size = 4; }
+control rP4_Ingress { stage s { parser { h }; matcher { t.apply(); }; executor { 1: a; default: NoAction; }; } }
+user_funcs { func f { s } ingress_entry: s; }
+`
+	for i := 0; i < 2000; i++ {
+		b := []byte(valid)
+		switch rng.Intn(3) {
+		case 0:
+			b = b[:rng.Intn(len(b))]
+		case 1:
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		case 2:
+			// Delete a random span.
+			a := rng.Intn(len(b))
+			z := a + rng.Intn(len(b)-a)
+			b = append(b[:a], b[z:]...)
+		}
+		_, _ = Parse("mut.rp4", string(b))
+	}
+}

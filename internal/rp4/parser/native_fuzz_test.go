@@ -1,0 +1,29 @@
+package parser
+
+import "testing"
+
+// FuzzParse is a native fuzz target (go test -fuzz=FuzzParse); under plain
+// `go test` it runs the seed corpus as regression tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"headers { header h { bit<8> f; } }",
+		"table t { key = { h.f: exact; } size = 4; }",
+		"control rP4_Ingress { stage s { matcher { t.apply(); }; } }",
+		"register<bit<32>>(4) r;",
+		"action a(bit<8> x) { meta.y = x + 1; }",
+		"headers { header h { bit<8> f; varlen (f) 8 8; implicit parser (f) { 1: h; } } }",
+		"user_funcs { func f { s } ingress_entry: s; }",
+		"stage s { executor { 1: a; default: NoAction; }; }",
+		"/* unterminated",
+		"0xZZ",
+		"header_vector { h a; h b; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic or hang; errors are fine.
+		_, _ = Parse("fuzz.rp4", src)
+	})
+}

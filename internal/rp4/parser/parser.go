@@ -1,0 +1,991 @@
+// Package parser implements a recursive-descent parser for rP4 following
+// the EBNF of the paper's Fig. 2. Top-level sections may appear in any
+// order; separators inside sub-blocks accept both the comma style of the
+// paper's Fig. 5(a) listing (`parser { ipv4, ipv6 };`) and semicolons.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/lexer"
+	"ipsa/internal/rp4/token"
+)
+
+// Parser holds parse state.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	file string
+}
+
+// Parse parses a complete rP4 program.
+func Parse(file, src string) (*ast.Program, error) {
+	toks, err := lexer.New(file, src).All()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	return p.program()
+}
+
+// ParseSnippet parses a partial program (e.g. an incremental-update file
+// holding only tables, actions, stages and user_funcs). It is the same
+// grammar; the distinction is semantic and enforced later.
+func ParseSnippet(file, src string) (*ast.Program, error) {
+	return Parse(file, src)
+}
+
+func (p *Parser) cur() token.Token {
+	if p.pos >= len(p.toks) {
+		last := token.Pos{File: p.file, Line: 0, Col: 0}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return token.Token{Type: token.EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) accept(t token.Type) bool {
+	if p.cur().Type == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(t token.Type) (token.Token, error) {
+	c := p.cur()
+	if c.Type != t {
+		return c, fmt.Errorf("%s: expected %s, found %s", c.Pos, t, c)
+	}
+	p.pos++
+	return c, nil
+}
+
+func (p *Parser) ident() (string, token.Pos, error) {
+	c := p.cur()
+	if c.Type != token.Ident {
+		return "", c.Pos, fmt.Errorf("%s: expected identifier, found %s", c.Pos, c)
+	}
+	p.pos++
+	return c.Lit, c.Pos, nil
+}
+
+func (p *Parser) program() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for {
+		c := p.cur()
+		switch c.Type {
+		case token.EOF:
+			return prog, nil
+		case token.KwHeaders:
+			if err := p.headersSection(prog); err != nil {
+				return nil, err
+			}
+		case token.KwStructs:
+			if err := p.structsSection(prog); err != nil {
+				return nil, err
+			}
+		case token.KwHeaderVector:
+			if err := p.headerVectorSection(prog); err != nil {
+				return nil, err
+			}
+		case token.KwConst:
+			c, err := p.constDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, c)
+		case token.KwRegister:
+			r, err := p.registerDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Registers = append(prog.Registers, r)
+		case token.KwAction:
+			a, err := p.actionDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Actions = append(prog.Actions, a)
+		case token.KwTable:
+			t, err := p.tableDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Tables = append(prog.Tables, t)
+		case token.KwStage:
+			// A top-level stage, as incremental-update snippets use
+			// (paper Fig. 5a): it floats until a load script links it
+			// into a pipe.
+			s, err := p.stageDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Floating = append(prog.Floating, s)
+		case token.KwControl:
+			if err := p.controlSection(prog); err != nil {
+				return nil, err
+			}
+		case token.KwUserFuncs:
+			f, err := p.userFuncs()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = f
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s at top level", c.Pos, c)
+		}
+	}
+}
+
+func (p *Parser) headersSection(prog *ast.Program) error {
+	p.next() // headers
+	if _, err := p.expect(token.LBrace); err != nil {
+		return err
+	}
+	for !p.accept(token.RBrace) {
+		if p.cur().Type != token.KwHeader {
+			return fmt.Errorf("%s: expected header definition, found %s", p.cur().Pos, p.cur())
+		}
+		h, err := p.headerDef()
+		if err != nil {
+			return err
+		}
+		prog.Headers = append(prog.Headers, h)
+	}
+	return nil
+}
+
+func (p *Parser) headerDef() (*ast.HeaderDef, error) {
+	start := p.next() // header
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	h := &ast.HeaderDef{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		switch p.cur().Type {
+		case token.KwBit:
+			f, err := p.fieldDef()
+			if err != nil {
+				return nil, err
+			}
+			h.Fields = append(h.Fields, f)
+		case token.KwImplicit:
+			ip, err := p.implicitParser()
+			if err != nil {
+				return nil, err
+			}
+			if h.Parser != nil {
+				return nil, fmt.Errorf("%s: header %s has two implicit parsers", ip.Pos, name)
+			}
+			h.Parser = ip
+		case token.Ident:
+			if p.cur().Lit != "varlen" {
+				return nil, fmt.Errorf("%s: expected field, varlen or implicit parser in header %s, found %s", p.cur().Pos, name, p.cur())
+			}
+			vl, err := p.varLenSpec()
+			if err != nil {
+				return nil, err
+			}
+			if h.VarLen != nil {
+				return nil, fmt.Errorf("%s: header %s has two varlen clauses", vl.Pos, name)
+			}
+			h.VarLen = vl
+		default:
+			return nil, fmt.Errorf("%s: expected field or implicit parser in header %s, found %s", p.cur().Pos, name, p.cur())
+		}
+	}
+	return h, nil
+}
+
+func (p *Parser) fieldDef() (*ast.FieldDef, error) {
+	start := p.cur()
+	w, err := p.bitType()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return &ast.FieldDef{Name: name, Width: w, Pos: start.Pos}, nil
+}
+
+func (p *Parser) bitType() (int, error) {
+	if _, err := p.expect(token.KwBit); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(token.LAngle); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(token.Number)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.closeAngle(); err != nil {
+		return 0, err
+	}
+	if n.Val == 0 || n.Val > 2048 {
+		return 0, fmt.Errorf("%s: bit width %d out of range [1,2048]", n.Pos, n.Val)
+	}
+	return int(n.Val), nil
+}
+
+// constDef parses `const bit<N> NAME = value;`.
+func (p *Parser) constDef() (*ast.ConstDef, error) {
+	start := p.next() // const
+	w, err := p.bitType()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(token.Number)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return &ast.ConstDef{Name: name, Width: w, Value: v.Val, Pos: start.Pos}, nil
+}
+
+// varLenSpec parses `varlen (field) base unit;` declaring a
+// variable-length header whose total byte length is base + field*unit.
+func (p *Parser) varLenSpec() (*ast.VarLenSpec, error) {
+	start := p.next() // "varlen" ident
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	field, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	base, err := p.expect(token.Number)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := p.expect(token.Number)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return &ast.VarLenSpec{Field: field, BaseBytes: int(base.Val), UnitBytes: int(unit.Val), Pos: start.Pos}, nil
+}
+
+// closeAngle consumes a closing `>`. A `>>` token (produced when two
+// closing angles of nested generics like register<bit<32>> touch) is split:
+// the first `>` is consumed and the second remains pending.
+func (p *Parser) closeAngle() error {
+	c := p.cur()
+	switch c.Type {
+	case token.RAngle:
+		p.pos++
+		return nil
+	case token.Shr:
+		p.toks[p.pos].Type = token.RAngle
+		return nil
+	}
+	return fmt.Errorf("%s: expected >, found %s", c.Pos, c)
+}
+
+func (p *Parser) implicitParser() (*ast.ImplicitParser, error) {
+	start := p.next() // implicit
+	if _, err := p.expect(token.KwParser); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	ip := &ast.ImplicitParser{Pos: start.Pos}
+	for !p.accept(token.RParen) {
+		name, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ip.SelectorFields = append(ip.SelectorFields, name)
+		p.accept(token.Comma)
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.accept(token.RBrace) {
+		tag, err := p.expect(token.Number)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		next, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(token.Semicolon)
+		ip.Transitions = append(ip.Transitions, &ast.Transition{Tag: tag.Val, Next: next, Pos: tag.Pos})
+	}
+	p.accept(token.Semicolon)
+	return ip, nil
+}
+
+func (p *Parser) structsSection(prog *ast.Program) error {
+	p.next() // structs
+	if _, err := p.expect(token.LBrace); err != nil {
+		return err
+	}
+	for !p.accept(token.RBrace) {
+		if p.cur().Type != token.KwStruct {
+			return fmt.Errorf("%s: expected struct definition, found %s", p.cur().Pos, p.cur())
+		}
+		start := p.next()
+		name, _, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(token.LBrace); err != nil {
+			return err
+		}
+		s := &ast.StructDef{Name: name, Pos: start.Pos}
+		for !p.accept(token.RBrace) {
+			f, err := p.fieldDef()
+			if err != nil {
+				return err
+			}
+			s.Fields = append(s.Fields, f)
+		}
+		// Optional instance alias: `struct S { ... } meta;`
+		if p.cur().Type == token.Ident {
+			s.Alias, _, _ = p.ident()
+		}
+		p.accept(token.Semicolon)
+		prog.Structs = append(prog.Structs, s)
+	}
+	return nil
+}
+
+func (p *Parser) headerVectorSection(prog *ast.Program) error {
+	p.next() // header_vector
+	if _, err := p.expect(token.LBrace); err != nil {
+		return err
+	}
+	for !p.accept(token.RBrace) {
+		typ, pos, err := p.ident()
+		if err != nil {
+			return err
+		}
+		name, _, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return err
+		}
+		prog.Instances = append(prog.Instances, &ast.HeaderInstance{Type: typ, Name: name, Pos: pos})
+	}
+	return nil
+}
+
+func (p *Parser) registerDef() (*ast.RegisterDef, error) {
+	start := p.next() // register
+	if _, err := p.expect(token.LAngle); err != nil {
+		return nil, err
+	}
+	w, err := p.bitType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.closeAngle(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(token.Number)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	if n.Val == 0 {
+		return nil, fmt.Errorf("%s: register %s has zero size", start.Pos, name)
+	}
+	return &ast.RegisterDef{Name: name, Width: w, Size: int(n.Val), Pos: start.Pos}, nil
+}
+
+func (p *Parser) actionDef() (*ast.ActionDef, error) {
+	start := p.next() // action
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	a := &ast.ActionDef{Name: name, Pos: start.Pos}
+	for !p.accept(token.RParen) {
+		w, err := p.bitType()
+		if err != nil {
+			return nil, err
+		}
+		pname, ppos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, &ast.Param{Name: pname, Width: w, Pos: ppos})
+		p.accept(token.Comma)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *Parser) tableDef() (*ast.TableDef, error) {
+	start := p.next() // table
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	t := &ast.TableDef{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		switch c.Type {
+		case token.KwKey:
+			p.next()
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(token.RBrace) {
+				ref, err := p.fieldRef()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.Colon); err != nil {
+					return nil, err
+				}
+				kind, kpos, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.Semicolon); err != nil {
+					return nil, err
+				}
+				t.Keys = append(t.Keys, &ast.TableKey{Field: ref, Kind: kind, Pos: kpos})
+			}
+			p.accept(token.Semicolon)
+		case token.KwActions:
+			p.next()
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(token.RBrace) {
+				an, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				t.Actions = append(t.Actions, an)
+				if !p.accept(token.Semicolon) {
+					p.accept(token.Comma)
+				}
+			}
+			p.accept(token.Semicolon)
+		case token.KwSize:
+			p.next()
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(token.Number)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			t.Size = int(n.Val)
+		case token.KwDefaultAction:
+			p.next()
+			if _, err := p.expect(token.Assign); err != nil {
+				return nil, err
+			}
+			an, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			t.DefaultAction = an
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s in table %s", c.Pos, c, name)
+		}
+	}
+	return t, nil
+}
+
+func (p *Parser) controlSection(prog *ast.Program) error {
+	start := p.next() // control
+	name, _, err := p.ident()
+	if err != nil {
+		return err
+	}
+	pipe := &ast.Pipe{Name: name, Pos: start.Pos}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return err
+	}
+	for !p.accept(token.RBrace) {
+		if p.cur().Type != token.KwStage {
+			return fmt.Errorf("%s: expected stage in control %s, found %s", p.cur().Pos, name, p.cur())
+		}
+		s, err := p.stageDef()
+		if err != nil {
+			return err
+		}
+		pipe.Stages = append(pipe.Stages, s)
+	}
+	switch strings.ToLower(name) {
+	case "rp4_ingress":
+		if prog.Ingress != nil {
+			return fmt.Errorf("%s: duplicate control rP4_Ingress", start.Pos)
+		}
+		prog.Ingress = pipe
+	case "rp4_egress":
+		if prog.Egress != nil {
+			return fmt.Errorf("%s: duplicate control rP4_Egress", start.Pos)
+		}
+		prog.Egress = pipe
+	default:
+		return fmt.Errorf("%s: control %q is neither rP4_Ingress nor rP4_Egress", start.Pos, name)
+	}
+	return nil
+}
+
+func (p *Parser) stageDef() (*ast.StageDef, error) {
+	start := p.next() // stage
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	s := &ast.StageDef{Name: name, Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		switch c.Type {
+		case token.KwParser:
+			p.next()
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			for !p.accept(token.RBrace) {
+				hn, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				s.Parser = append(s.Parser, hn)
+				if !p.accept(token.Comma) {
+					p.accept(token.Semicolon)
+				}
+			}
+			p.accept(token.Semicolon)
+		case token.KwMatcher:
+			p.next()
+			stmts, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(token.Semicolon)
+			s.Matcher = stmts
+		case token.KwExecutor:
+			p.next()
+			arms, err := p.executorArms()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(token.Semicolon)
+			s.Exec = arms
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s in stage %s", c.Pos, c, name)
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) executorArms() ([]*ast.ExecutorArm, error) {
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	var arms []*ast.ExecutorArm
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		arm := &ast.ExecutorArm{Pos: c.Pos}
+		switch c.Type {
+		case token.KwDefault:
+			p.next()
+			arm.Default = true
+		case token.Number:
+			p.next()
+			arm.Tag = c.Val
+		default:
+			return nil, fmt.Errorf("%s: expected executor tag, found %s", c.Pos, c)
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		an, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		arm.Action = an
+		p.accept(token.Semicolon)
+		arms = append(arms, arm)
+	}
+	return arms, nil
+}
+
+func (p *Parser) userFuncs() (*ast.UserFuncs, error) {
+	start := p.next() // user_funcs
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	uf := &ast.UserFuncs{Pos: start.Pos}
+	for !p.accept(token.RBrace) {
+		c := p.cur()
+		switch c.Type {
+		case token.KwFunc:
+			p.next()
+			name, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.LBrace); err != nil {
+				return nil, err
+			}
+			f := &ast.FuncDef{Name: name, Pos: c.Pos}
+			for !p.accept(token.RBrace) {
+				sn, _, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				f.Stages = append(f.Stages, sn)
+				if !p.accept(token.Comma) {
+					p.accept(token.Semicolon)
+				}
+			}
+			p.accept(token.Semicolon)
+			uf.Funcs = append(uf.Funcs, f)
+		case token.KwIngressEntry:
+			p.next()
+			if _, err := p.expect(token.Colon); err != nil {
+				return nil, err
+			}
+			sn, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(token.Semicolon)
+			uf.IngressEntry = sn
+		case token.KwEgressEntry:
+			p.next()
+			if _, err := p.expect(token.Colon); err != nil {
+				return nil, err
+			}
+			sn, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(token.Semicolon)
+			uf.EgressEntry = sn
+		default:
+			return nil, fmt.Errorf("%s: unexpected %s in user_funcs", c.Pos, c)
+		}
+	}
+	return uf, nil
+}
+
+// block parses `{ stmt* }`.
+func (p *Parser) block() ([]ast.Stmt, error) {
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for !p.accept(token.RBrace) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// statement parses one statement; used inside blocks and for brace-less if
+// branches.
+func (p *Parser) statement() (ast.Stmt, error) {
+	c := p.cur()
+	switch c.Type {
+	case token.Semicolon:
+		p.next()
+		return &ast.EmptyStmt{Pos: c.Pos}, nil
+	case token.KwIf:
+		return p.ifStmt()
+	case token.Ident:
+		ref, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().Type {
+		case token.LParen:
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			recv, method := splitRecv(ref)
+			return &ast.CallStmt{Recv: recv, Method: method, Args: args, Pos: c.Pos}, nil
+		case token.Assign:
+			p.next()
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Semicolon); err != nil {
+				return nil, err
+			}
+			return &ast.AssignStmt{LHS: ref, RHS: rhs, Pos: c.Pos}, nil
+		default:
+			return nil, fmt.Errorf("%s: expected call or assignment after %s", p.cur().Pos, ref)
+		}
+	}
+	return nil, fmt.Errorf("%s: expected statement, found %s", c.Pos, c)
+}
+
+func splitRecv(ref *ast.FieldRef) (recv, method string) {
+	if len(ref.Parts) == 1 {
+		return "", ref.Parts[0]
+	}
+	return strings.Join(ref.Parts[:len(ref.Parts)-1], "."), ref.Parts[len(ref.Parts)-1]
+}
+
+func (p *Parser) ifStmt() (ast.Stmt, error) {
+	start := p.next() // if
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.branch()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: then, Pos: start.Pos}
+	if p.accept(token.KwElse) {
+		if p.cur().Type == token.KwIf {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []ast.Stmt{elif}
+		} else {
+			els, err := p.branch()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// branch parses either a braced block or a single statement.
+func (p *Parser) branch() ([]ast.Stmt, error) {
+	if p.cur().Type == token.LBrace {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.(*ast.EmptyStmt); ok {
+		return nil, nil
+	}
+	return []ast.Stmt{s}, nil
+}
+
+func (p *Parser) fieldRef() (*ast.FieldRef, error) {
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ref := &ast.FieldRef{Parts: []string{name}, Pos: pos}
+	for p.accept(token.Dot) {
+		part, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref.Parts = append(ref.Parts, part)
+	}
+	return ref, nil
+}
+
+func (p *Parser) callArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.accept(token.RParen) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.accept(token.Comma) && p.cur().Type != token.RParen {
+			return nil, fmt.Errorf("%s: expected , or ) in arguments, found %s", p.cur().Pos, p.cur())
+		}
+	}
+	return args, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[token.Type]int{
+	token.OrOr:   1,
+	token.AndAnd: 2,
+	token.Eq:     3, token.Neq: 3,
+	token.LAngle: 4, token.RAngle: 4, token.Leq: 4, token.Geq: 4,
+	token.Pipe:  5,
+	token.Caret: 6,
+	token.Amp:   7,
+	token.Shl:   8, token.Shr: 8,
+	token.Plus: 9, token.Minus: 9,
+	token.Star: 10, token.Slash: 10, token.Percent: 10,
+}
+
+func (p *Parser) expr() (ast.Expr, error) { return p.binExpr(0) }
+
+func (p *Parser) binExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Type]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: op.Type, X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) unary() (ast.Expr, error) {
+	c := p.cur()
+	switch c.Type {
+	case token.Not, token.Minus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: c.Type, X: x, Pos: c.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (ast.Expr, error) {
+	c := p.cur()
+	switch c.Type {
+	case token.Number:
+		p.next()
+		return &ast.NumberLit{Val: c.Val, Pos: c.Pos}, nil
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Val: true, Pos: c.Pos}, nil
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Val: false, Pos: c.Pos}, nil
+	case token.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.Ident:
+		ref, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Type == token.LParen {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			recv, method := splitRecv(ref)
+			return &ast.CallExpr{Recv: recv, Method: method, Args: args, Pos: c.Pos}, nil
+		}
+		return ref, nil
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %s", c.Pos, c)
+}

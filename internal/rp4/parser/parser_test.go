@@ -1,0 +1,257 @@
+package parser
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse("test.rp4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBaseDesignFile(t *testing.T) {
+	src, err := os.ReadFile("../../../testdata/base_l2l3.rp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse("base_l2l3.rp4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Headers) != 5 {
+		t.Errorf("headers = %d, want 5", len(p.Headers))
+	}
+	if len(p.Tables) != 10 {
+		t.Errorf("tables = %d, want 10", len(p.Tables))
+	}
+	if p.Ingress == nil || len(p.Ingress.Stages) != 8 {
+		t.Fatalf("ingress stages wrong: %+v", p.Ingress)
+	}
+	if p.Egress == nil || len(p.Egress.Stages) != 2 {
+		t.Fatalf("egress stages wrong: %+v", p.Egress)
+	}
+	if p.Funcs == nil || p.Funcs.IngressEntry != "port_map" || p.Funcs.EgressEntry != "l2_l3_rewrite" {
+		t.Errorf("user_funcs = %+v", p.Funcs)
+	}
+	eth := p.Header("ethernet")
+	if eth == nil || eth.Width() != 112 {
+		t.Fatalf("ethernet header: %+v", eth)
+	}
+	if eth.Parser == nil || len(eth.Parser.Transitions) != 2 {
+		t.Errorf("ethernet implicit parser: %+v", eth.Parser)
+	}
+	f, off := eth.Field("ether_type")
+	if f == nil || f.Width != 16 || off != 96 {
+		t.Errorf("ether_type: %+v at %d", f, off)
+	}
+}
+
+func TestParseUseCaseFiles(t *testing.T) {
+	for _, name := range []string{"ecmp.rp4", "srv6.rp4", "flowprobe.rp4"} {
+		src, err := os.ReadFile("../../../testdata/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSnippet(name, string(src)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseECMPShape(t *testing.T) {
+	src, _ := os.ReadFile("../../../testdata/ecmp.rp4")
+	p, err := Parse("ecmp.rp4", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := p.Table("ecmp_ipv4")
+	if tbl == nil || len(tbl.Keys) != 3 || tbl.Size != 4096 {
+		t.Fatalf("ecmp_ipv4: %+v", tbl)
+	}
+	if tbl.Keys[0].Kind != "hash" || tbl.Keys[0].Field.String() != "meta.nexthop" {
+		t.Errorf("key 0: %+v", tbl.Keys[0])
+	}
+	st, pipe := p.Stage("ecmp_stage")
+	if st == nil {
+		t.Fatal("ecmp_stage missing")
+	}
+	// A snippet stage is parsed but the pipe is unset until linked.
+	_ = pipe
+	if len(st.Parser) != 2 || st.Parser[0] != "ipv4" || st.Parser[1] != "ipv6" {
+		t.Errorf("parser list: %v", st.Parser)
+	}
+	if len(st.Matcher) != 1 {
+		t.Fatalf("matcher: %+v", st.Matcher)
+	}
+	ifs, ok := st.Matcher[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("matcher stmt is %T", st.Matcher[0])
+	}
+	call, ok := ifs.Cond.(*ast.CallExpr)
+	if !ok || call.Recv != "ipv4" || call.Method != "isValid" {
+		t.Errorf("cond: %s", ast.ExprString(ifs.Cond))
+	}
+	if len(ifs.Then) != 1 {
+		t.Fatalf("then: %+v", ifs.Then)
+	}
+	apply, ok := ifs.Then[0].(*ast.CallStmt)
+	if !ok || apply.Recv != "ecmp_ipv4" || apply.Method != "apply" {
+		t.Errorf("then stmt: %+v", ifs.Then[0])
+	}
+	// else if chain present, with empty final else.
+	if len(ifs.Else) != 1 {
+		t.Fatalf("else: %+v", ifs.Else)
+	}
+	elif, ok := ifs.Else[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else stmt is %T", ifs.Else[0])
+	}
+	if elif.Else != nil {
+		t.Errorf("final else should be empty, got %+v", elif.Else)
+	}
+	if len(st.Exec) != 2 || st.Exec[0].Tag != 1 || st.Exec[0].Action != "set_bd_dmac" || !st.Exec[1].Default {
+		t.Errorf("executor: %+v", st.Exec)
+	}
+}
+
+func TestStageWhereverSections(t *testing.T) {
+	// Sub-blocks in any order, with and without trailing semicolons.
+	p := mustParse(t, `
+control rP4_Ingress {
+    stage s {
+        executor { default: NoAction; }
+        matcher { t.apply(); }
+        parser { a; b; c }
+    }
+}`)
+	st, pipe := p.Stage("s")
+	if pipe != "ingress" {
+		t.Errorf("pipe = %q", pipe)
+	}
+	if len(st.Parser) != 3 {
+		t.Errorf("parser: %v", st.Parser)
+	}
+}
+
+func TestRegisterAndStructs(t *testing.T) {
+	p := mustParse(t, `
+register<bit<32>>(1024) cnt;
+structs {
+    struct md { bit<16> a; bit<8> b; } meta;
+    struct unused { bit<4> x; }
+}`)
+	if len(p.Registers) != 1 || p.Registers[0].Width != 32 || p.Registers[0].Size != 1024 {
+		t.Errorf("register: %+v", p.Registers[0])
+	}
+	if len(p.Structs) != 2 || p.Structs[0].Alias != "meta" || p.Structs[1].Alias != "" {
+		t.Errorf("structs: %+v", p.Structs)
+	}
+	if p.Structs[0].Width() != 24 {
+		t.Errorf("struct width = %d", p.Structs[0].Width())
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	p := mustParse(t, `
+action a(bit<8> x) {
+    meta.v = 1 + 2 * 3;
+    meta.w = x << 2 | 1;
+}
+structs { struct m { bit<8> v; bit<8> w; } meta; }`)
+	body := p.Actions[0].Body
+	as := body[0].(*ast.AssignStmt)
+	if got := ast.ExprString(as.RHS); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence: %s", got)
+	}
+	as2 := body[1].(*ast.AssignStmt)
+	if got := ast.ExprString(as2.RHS); got != "((x << 2) | 1)" {
+		t.Errorf("precedence: %s", got)
+	}
+}
+
+func TestUnaryAndParens(t *testing.T) {
+	p := mustParse(t, `
+action a() {
+    if (!(ipv4.isValid()) && -1 != 0) { drop(); }
+}`)
+	ifs := p.Actions[0].Body[0].(*ast.IfStmt)
+	cond := ifs.Cond.(*ast.BinaryExpr)
+	if cond.Op != token.AndAnd {
+		t.Errorf("cond op = %v", cond.Op)
+	}
+	if _, ok := cond.X.(*ast.UnaryExpr); !ok {
+		t.Errorf("lhs is %T", cond.X)
+	}
+}
+
+func TestHeaderVectorSection(t *testing.T) {
+	p := mustParse(t, `
+headers { header h { bit<8> f; } }
+header_vector {
+    h outer;
+    h inner;
+}`)
+	if len(p.Instances) != 2 || p.Instances[1].Name != "inner" || p.Instances[1].Type != "h" {
+		t.Errorf("instances: %+v", p.Instances)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"header x {}",                                     // header outside headers{}
+		"headers { header h { bit<0> f; } }",              // zero width
+		"headers { header h { bit<8> f } }",               // missing semicolon
+		"table t { bogus = 1; }",                          // unknown table property
+		"control rP4_Middle { }",                          // unknown control
+		"control rP4_Ingress { stage s { junk } }",        // bad stage section
+		"user_funcs { func f { } stray",                   // unterminated
+		"action a() { meta.x; }",                          // statement is neither call nor assign
+		"register<bit<32>>(0) r;",                         // zero-size register
+		"control rP4_Ingress { } control rP4_Ingress { }", // duplicate pipe
+		"headers { header h { implicit parser (f) { 1: x; } implicit parser (f) { } } }",
+		"action a() { if meta.x == 1 { drop(); } }", // missing parens
+		"table t { key = { x: } }",                  // missing kind
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad.rp4", src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Parse("pos.rp4", "headers {\n  header h { bit<8> f }\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pos.rp4:2:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestEmptyElseBranch(t *testing.T) {
+	p := mustParse(t, `
+control rP4_Ingress {
+    stage s {
+        matcher {
+            if (ipv4.isValid()) t.apply();
+            else;
+        };
+        executor { default: NoAction; };
+    }
+}`)
+	st, _ := p.Stage("s")
+	ifs := st.Matcher[0].(*ast.IfStmt)
+	if ifs.Else != nil {
+		t.Errorf("empty else should yield nil, got %+v", ifs.Else)
+	}
+}

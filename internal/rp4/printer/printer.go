@@ -1,0 +1,250 @@
+// Package printer renders rP4 ASTs back to source text. rp4fc uses it to
+// emit the rP4 translation of a P4 program; rp4bc uses it to emit the
+// updated base design after an incremental update (paper Sec. 3.2: "the
+// first output is the updated base design").
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/token"
+)
+
+// Print renders a complete program.
+func Print(p *ast.Program) string {
+	var b strings.Builder
+	for _, c := range p.Consts {
+		fmt.Fprintf(&b, "const bit<%d> %s = %d;\n", c.Width, c.Name, c.Value)
+	}
+	if len(p.Consts) > 0 {
+		b.WriteString("\n")
+	}
+	if len(p.Headers) > 0 {
+		b.WriteString("headers {\n")
+		for _, h := range p.Headers {
+			printHeader(&b, h)
+		}
+		b.WriteString("}\n\n")
+	}
+	if len(p.Structs) > 0 {
+		b.WriteString("structs {\n")
+		for _, s := range p.Structs {
+			printStruct(&b, s)
+		}
+		b.WriteString("}\n\n")
+	}
+	if len(p.Instances) > 0 {
+		b.WriteString("header_vector {\n")
+		for _, hi := range p.Instances {
+			fmt.Fprintf(&b, "    %s %s;\n", hi.Type, hi.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+	for _, r := range p.Registers {
+		fmt.Fprintf(&b, "register<bit<%d>>(%d) %s;\n", r.Width, r.Size, r.Name)
+	}
+	if len(p.Registers) > 0 {
+		b.WriteString("\n")
+	}
+	for _, a := range p.Actions {
+		printAction(&b, a)
+		b.WriteString("\n")
+	}
+	for _, t := range p.Tables {
+		printTable(&b, t)
+		b.WriteString("\n")
+	}
+	if p.Ingress != nil {
+		printPipe(&b, "rP4_Ingress", p.Ingress)
+		b.WriteString("\n")
+	}
+	if p.Egress != nil {
+		printPipe(&b, "rP4_Egress", p.Egress)
+		b.WriteString("\n")
+	}
+	for _, s := range p.Floating {
+		printStage(&b, s, "")
+		b.WriteString("\n")
+	}
+	if p.Funcs != nil {
+		printFuncs(&b, p.Funcs)
+	}
+	return b.String()
+}
+
+func printHeader(b *strings.Builder, h *ast.HeaderDef) {
+	fmt.Fprintf(b, "    header %s {\n", h.Name)
+	for _, f := range h.Fields {
+		fmt.Fprintf(b, "        bit<%d> %s;\n", f.Width, f.Name)
+	}
+	if h.VarLen != nil {
+		fmt.Fprintf(b, "        varlen (%s) %d %d;\n", h.VarLen.Field, h.VarLen.BaseBytes, h.VarLen.UnitBytes)
+	}
+	if h.Parser != nil {
+		fmt.Fprintf(b, "        implicit parser (%s) {\n", strings.Join(h.Parser.SelectorFields, ", "))
+		for _, tr := range h.Parser.Transitions {
+			fmt.Fprintf(b, "            %d: %s;\n", tr.Tag, tr.Next)
+		}
+		b.WriteString("        }\n")
+	}
+	b.WriteString("    }\n")
+}
+
+func printStruct(b *strings.Builder, s *ast.StructDef) {
+	fmt.Fprintf(b, "    struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(b, "        bit<%d> %s;\n", f.Width, f.Name)
+	}
+	if s.Alias != "" {
+		fmt.Fprintf(b, "    } %s;\n", s.Alias)
+	} else {
+		b.WriteString("    }\n")
+	}
+}
+
+func printAction(b *strings.Builder, a *ast.ActionDef) {
+	params := make([]string, len(a.Params))
+	for i, p := range a.Params {
+		params[i] = fmt.Sprintf("bit<%d> %s", p.Width, p.Name)
+	}
+	fmt.Fprintf(b, "action %s(%s) {\n", a.Name, strings.Join(params, ", "))
+	printStmts(b, a.Body, 1)
+	b.WriteString("}\n")
+}
+
+func printTable(b *strings.Builder, t *ast.TableDef) {
+	fmt.Fprintf(b, "table %s {\n", t.Name)
+	if len(t.Keys) > 0 {
+		b.WriteString("    key = {\n")
+		for _, k := range t.Keys {
+			fmt.Fprintf(b, "        %s: %s;\n", k.Field, k.Kind)
+		}
+		b.WriteString("    }\n")
+	}
+	if len(t.Actions) > 0 {
+		fmt.Fprintf(b, "    actions = { %s; }\n", strings.Join(t.Actions, "; "))
+	}
+	if t.Size > 0 {
+		fmt.Fprintf(b, "    size = %d;\n", t.Size)
+	}
+	if t.DefaultAction != "" {
+		fmt.Fprintf(b, "    default_action = %s;\n", t.DefaultAction)
+	}
+	b.WriteString("}\n")
+}
+
+func printPipe(b *strings.Builder, name string, p *ast.Pipe) {
+	fmt.Fprintf(b, "control %s {\n", name)
+	for _, s := range p.Stages {
+		printStage(b, s, "    ")
+	}
+	b.WriteString("}\n")
+}
+
+func printStage(b *strings.Builder, s *ast.StageDef, indent string) {
+	fmt.Fprintf(b, "%sstage %s {\n", indent, s.Name)
+	if len(s.Parser) > 0 {
+		fmt.Fprintf(b, "%s    parser { %s };\n", indent, strings.Join(s.Parser, ", "))
+	}
+	if len(s.Matcher) > 0 {
+		fmt.Fprintf(b, "%s    matcher {\n", indent)
+		printStmtsIndent(b, s.Matcher, indent+"        ")
+		fmt.Fprintf(b, "%s    };\n", indent)
+	}
+	if len(s.Exec) > 0 {
+		fmt.Fprintf(b, "%s    executor {\n", indent)
+		for _, arm := range s.Exec {
+			if arm.Default {
+				fmt.Fprintf(b, "%s        default: %s;\n", indent, arm.Action)
+			} else {
+				fmt.Fprintf(b, "%s        %d: %s;\n", indent, arm.Tag, arm.Action)
+			}
+		}
+		fmt.Fprintf(b, "%s    };\n", indent)
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+}
+
+func printFuncs(b *strings.Builder, uf *ast.UserFuncs) {
+	b.WriteString("user_funcs {\n")
+	for _, f := range uf.Funcs {
+		fmt.Fprintf(b, "    func %s { %s }\n", f.Name, strings.Join(f.Stages, " "))
+	}
+	if uf.IngressEntry != "" {
+		fmt.Fprintf(b, "    ingress_entry: %s;\n", uf.IngressEntry)
+	}
+	if uf.EgressEntry != "" {
+		fmt.Fprintf(b, "    egress_entry: %s;\n", uf.EgressEntry)
+	}
+	b.WriteString("}\n")
+}
+
+func printStmts(b *strings.Builder, stmts []ast.Stmt, depth int) {
+	printStmtsIndent(b, stmts, strings.Repeat("    ", depth))
+}
+
+func printStmtsIndent(b *strings.Builder, stmts []ast.Stmt, indent string) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.EmptyStmt:
+			fmt.Fprintf(b, "%s;\n", indent)
+		case *ast.AssignStmt:
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, st.LHS, exprSrc(st.RHS))
+		case *ast.CallStmt:
+			recv := ""
+			if st.Recv != "" {
+				recv = st.Recv + "."
+			}
+			args := make([]string, len(st.Args))
+			for i, a := range st.Args {
+				args[i] = exprSrc(a)
+			}
+			fmt.Fprintf(b, "%s%s%s(%s);\n", indent, recv, st.Method, strings.Join(args, ", "))
+		case *ast.IfStmt:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, exprSrc(st.Cond))
+			printStmtsIndent(b, st.Then, indent+"    ")
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				printStmtsIndent(b, st.Else, indent+"    ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}
+
+var opSrc = map[token.Type]string{
+	token.Plus: "+", token.Minus: "-", token.Star: "*", token.Slash: "/",
+	token.Percent: "%", token.Amp: "&", token.Pipe: "|", token.Caret: "^",
+	token.Shl: "<<", token.Shr: ">>",
+	token.Eq: "==", token.Neq: "!=", token.LAngle: "<", token.RAngle: ">",
+	token.Leq: "<=", token.Geq: ">=", token.AndAnd: "&&", token.OrOr: "||",
+	token.Not: "!",
+}
+
+func exprSrc(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.NumberLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *ast.BoolLit:
+		return fmt.Sprintf("%t", x.Val)
+	case *ast.FieldRef:
+		return x.String()
+	case *ast.CallExpr:
+		recv := ""
+		if x.Recv != "" {
+			recv = x.Recv + "."
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprSrc(a)
+		}
+		return fmt.Sprintf("%s%s(%s)", recv, x.Method, strings.Join(args, ", "))
+	case *ast.UnaryExpr:
+		return fmt.Sprintf("%s(%s)", opSrc[x.Op], exprSrc(x.X))
+	case *ast.BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprSrc(x.X), opSrc[x.Op], exprSrc(x.Y))
+	}
+	return "/*?*/"
+}

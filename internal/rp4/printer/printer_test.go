@@ -1,0 +1,85 @@
+package printer
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ipsa/internal/rp4/parser"
+)
+
+// TestRoundTrip checks print -> parse -> print is a fixed point for every
+// shipped design.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"base_l2l3.rp4", "ecmp.rp4", "srv6.rp4", "flowprobe.rp4"} {
+		src, err := os.ReadFile("../../../testdata/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := parser.Parse(name, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := Print(p1)
+		p2, err := parser.Parse(name+".printed", out1)
+		if err != nil {
+			t.Fatalf("%s: reprint does not parse: %v\n%s", name, err, out1)
+		}
+		out2 := Print(p2)
+		if out1 != out2 {
+			t.Errorf("%s: print not a fixed point", name)
+		}
+	}
+}
+
+func TestPrintCoversConstructs(t *testing.T) {
+	src := `
+headers {
+    header h {
+        bit<8> f;
+        varlen (f) 8 8;
+        implicit parser (f) { 4: h2; }
+    }
+    header h2 { bit<16> g; }
+}
+structs { struct m { bit<4> x; } meta; }
+header_vector { h h; h2 h2; }
+register<bit<32>>(64) r;
+action a(bit<8> p) {
+    meta.x = p + 1;
+    if (h.isValid()) { drop(); } else { to_cpu(); }
+    r.write(0, r.read(0) + 1);
+}
+table t {
+    key = { h.f: ternary; }
+    actions = { a; }
+    size = 16;
+    default_action = NoAction;
+}
+control rP4_Ingress {
+    stage s {
+        parser { h };
+        matcher { if (!(h2.isValid()) && meta.x != 3) t.apply(); else; };
+        executor { 1: a; default: NoAction; };
+    }
+}
+user_funcs { func f { s } ingress_entry: s; }
+`
+	p, err := parser.Parse("all.rp4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p)
+	for _, frag := range []string{
+		"varlen (f) 8 8;", "implicit parser (f)", "header_vector",
+		"register<bit<32>>(64) r;", "default_action = NoAction;",
+		"ternary", "ingress_entry: s;", "func f { s }",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed output lacks %q:\n%s", frag, out)
+		}
+	}
+	if _, err := parser.Parse("all.printed", out); err != nil {
+		t.Fatalf("reprint does not parse: %v\n%s", err, out)
+	}
+}

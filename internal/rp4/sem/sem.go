@@ -1,0 +1,819 @@
+// Package sem performs semantic analysis of rP4 programs: name resolution,
+// width/type checking, metadata layout, and the per-stage read/write sets
+// that rp4bc's dependency analysis and stage merging build on.
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"ipsa/internal/match"
+	"ipsa/internal/pkt"
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/token"
+)
+
+// Space says where a field lives.
+type Space int
+
+// Field spaces.
+const (
+	SpaceHeader Space = iota
+	SpaceMeta
+)
+
+// FieldInfo locates one resolvable field.
+type FieldInfo struct {
+	Space  Space
+	Header pkt.HeaderID // valid for SpaceHeader
+	BitOff int          // within the header or the metadata area
+	Width  int
+}
+
+// Instance is one header instance in the header vector.
+type Instance struct {
+	Name  string
+	Type  string
+	ID    pkt.HeaderID
+	Width int // bits
+	Def   *ast.HeaderDef
+}
+
+// KeyInfo is one resolved table key component.
+type KeyInfo struct {
+	Name  string // canonical "inst.field" spelling
+	Field FieldInfo
+	Kind  match.Kind
+}
+
+// TableInfo is a resolved table.
+type TableInfo struct {
+	Def      *ast.TableDef
+	Keys     []KeyInfo
+	KeyWidth int // concatenated key width in bits
+	// IsSelector marks hash-kind tables: the first key selects the ECMP
+	// group exactly, the remaining keys feed the member-selection hash.
+	IsSelector bool
+}
+
+// ActionInfo is a resolved action.
+type ActionInfo struct {
+	Def *ast.ActionDef
+	// Reads/Writes are canonical field names touched by the body
+	// (parameters excluded).
+	Reads, Writes map[string]bool
+	// RegistersRead/Written name registers the body touches.
+	RegistersRead, RegistersWritten map[string]bool
+	// Builtins lists builtin primitives invoked (drop, to_cpu,
+	// srh_advance, srh_pop).
+	Builtins map[string]bool
+}
+
+// StageInfo is a resolved stage with its dependency footprint.
+type StageInfo struct {
+	Def    *ast.StageDef
+	Pipe   string // "ingress" or "egress"
+	Tables []string
+	// Reads/Writes are the union over matcher conditions, table keys and
+	// all executor actions.
+	Reads, Writes map[string]bool
+	// ParsesNew lists instances this stage may add to the header vector.
+	ParsesNew []string
+	// PopsHeaders marks stages whose actions remove headers (srh_pop),
+	// which makes header-validity predicates unstable across the stage.
+	PopsHeaders bool
+}
+
+// Design is the fully analyzed program.
+type Design struct {
+	Prog *ast.Program
+
+	Instances      []*Instance
+	InstanceByName map[string]*Instance
+
+	// MetaFields maps "alias.field" (and "istd.*") to layout info.
+	MetaFields map[string]FieldInfo
+	MetaBits   int
+
+	Consts    map[string]*ast.ConstDef
+	Tables    map[string]*TableInfo
+	Actions   map[string]*ActionInfo
+	Registers map[string]*ast.RegisterDef
+	Stages    map[string]*StageInfo
+
+	// StageOrder lists stage names in declaration order, ingress first —
+	// the initial chain rp4bc derives links from.
+	StageOrder []string
+}
+
+// Intrinsic standard metadata, always present at the start of the metadata
+// area (the istd instance).
+var istdFields = []struct {
+	name  string
+	width int
+}{
+	{"in_port", 16},
+	{"out_port", 16},
+	{"drop", 1},
+	{"to_cpu", 1},
+}
+
+// Builtin zero-argument action primitives usable as statements.
+var builtinStmts = map[string]int{ // name -> arg count
+	"drop":        0,
+	"to_cpu":      0,
+	"srh_advance": 0,
+	"srh_pop":     0,
+}
+
+// NoActionName is the implicitly defined empty action.
+const NoActionName = "NoAction"
+
+type checker struct {
+	d      *Design
+	errors []error
+}
+
+func (c *checker) errf(pos token.Pos, format string, args ...any) {
+	c.errors = append(c.errors, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Analyze checks prog and returns the resolved design. All detected errors
+// are joined into one error.
+func Analyze(prog *ast.Program) (*Design, error) {
+	d := &Design{
+		Prog:           prog,
+		InstanceByName: make(map[string]*Instance),
+		MetaFields:     make(map[string]FieldInfo),
+		Consts:         make(map[string]*ast.ConstDef),
+		Tables:         make(map[string]*TableInfo),
+		Actions:        make(map[string]*ActionInfo),
+		Registers:      make(map[string]*ast.RegisterDef),
+		Stages:         make(map[string]*StageInfo),
+	}
+	c := &checker{d: d}
+	c.consts()
+	c.headers()
+	c.metadata()
+	c.registers()
+	c.actions()
+	c.tables()
+	c.stages()
+	c.funcs()
+	if len(c.errors) > 0 {
+		msg := ""
+		for i, e := range c.errors {
+			if i > 0 {
+				msg += "\n"
+			}
+			msg += e.Error()
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	return d, nil
+}
+
+func (c *checker) consts() {
+	for _, cd := range c.d.Prog.Consts {
+		if _, dup := c.d.Consts[cd.Name]; dup {
+			c.errf(cd.Pos, "duplicate const %q", cd.Name)
+			continue
+		}
+		if cd.Width < 64 && cd.Value >= 1<<uint(cd.Width) {
+			c.errf(cd.Pos, "const %q value %d does not fit in bit<%d>", cd.Name, cd.Value, cd.Width)
+			continue
+		}
+		c.d.Consts[cd.Name] = cd
+	}
+}
+
+func (c *checker) headers() {
+	types := make(map[string]*ast.HeaderDef)
+	for _, h := range c.d.Prog.Headers {
+		if _, dup := types[h.Name]; dup {
+			c.errf(h.Pos, "duplicate header type %q", h.Name)
+			continue
+		}
+		types[h.Name] = h
+		seen := make(map[string]bool)
+		for _, f := range h.Fields {
+			if seen[f.Name] {
+				c.errf(f.Pos, "duplicate field %q in header %q", f.Name, h.Name)
+			}
+			seen[f.Name] = true
+		}
+		if h.Parser != nil {
+			for _, sf := range h.Parser.SelectorFields {
+				if fld, _ := h.Field(sf); fld == nil {
+					c.errf(h.Parser.Pos, "implicit parser of %q selects unknown field %q", h.Name, sf)
+				}
+			}
+			tags := make(map[uint64]bool)
+			for _, tr := range h.Parser.Transitions {
+				if tags[tr.Tag] {
+					c.errf(tr.Pos, "implicit parser of %q has duplicate tag %d", h.Name, tr.Tag)
+				}
+				tags[tr.Tag] = true
+			}
+		}
+		if h.VarLen != nil {
+			if fld, _ := h.Field(h.VarLen.Field); fld == nil {
+				c.errf(h.VarLen.Pos, "varlen of %q uses unknown field %q", h.Name, h.VarLen.Field)
+			}
+			if h.VarLen.BaseBytes < h.Width()/8 || h.VarLen.UnitBytes <= 0 {
+				c.errf(h.VarLen.Pos, "varlen of %q: base %d must cover the %d fixed bytes and unit must be positive",
+					h.Name, h.VarLen.BaseBytes, h.Width()/8)
+			}
+		}
+	}
+	// Instances: declared header_vector or one per type.
+	insts := c.d.Prog.Instances
+	if len(insts) == 0 {
+		for _, h := range c.d.Prog.Headers {
+			insts = append(insts, &ast.HeaderInstance{Type: h.Name, Name: h.Name, Pos: h.Pos})
+		}
+	}
+	for i, hi := range insts {
+		def, ok := types[hi.Type]
+		if !ok {
+			c.errf(hi.Pos, "header instance %q has unknown type %q", hi.Name, hi.Type)
+			continue
+		}
+		if _, dup := c.d.InstanceByName[hi.Name]; dup {
+			c.errf(hi.Pos, "duplicate header instance %q", hi.Name)
+			continue
+		}
+		inst := &Instance{Name: hi.Name, Type: hi.Type, ID: pkt.HeaderID(i), Width: def.Width(), Def: def}
+		c.d.Instances = append(c.d.Instances, inst)
+		c.d.InstanceByName[hi.Name] = inst
+	}
+	// Transition targets must name instances.
+	for _, h := range c.d.Prog.Headers {
+		if h.Parser == nil {
+			continue
+		}
+		for _, tr := range h.Parser.Transitions {
+			if _, ok := c.d.InstanceByName[tr.Next]; !ok {
+				c.errf(tr.Pos, "implicit parser of %q transitions to unknown instance %q", h.Name, tr.Next)
+			}
+		}
+	}
+}
+
+func (c *checker) metadata() {
+	off := 0
+	for _, f := range istdFields {
+		c.d.MetaFields["istd."+f.name] = FieldInfo{Space: SpaceMeta, BitOff: off, Width: f.width}
+		off += f.width
+	}
+	aliases := map[string]bool{"istd": true}
+	for _, s := range c.d.Prog.Structs {
+		alias := s.Alias
+		if alias == "" {
+			// An un-instantiated struct contributes no metadata fields.
+			continue
+		}
+		if aliases[alias] {
+			c.errf(s.Pos, "duplicate metadata instance %q", alias)
+			continue
+		}
+		if _, clash := c.d.InstanceByName[alias]; clash {
+			c.errf(s.Pos, "metadata instance %q collides with a header instance", alias)
+			continue
+		}
+		aliases[alias] = true
+		seen := make(map[string]bool)
+		for _, f := range s.Fields {
+			if seen[f.Name] {
+				c.errf(f.Pos, "duplicate field %q in struct %q", f.Name, s.Name)
+				continue
+			}
+			seen[f.Name] = true
+			c.d.MetaFields[alias+"."+f.Name] = FieldInfo{Space: SpaceMeta, BitOff: off, Width: f.Width}
+			off += f.Width
+		}
+	}
+	c.d.MetaBits = off
+}
+
+// MetaBytes returns the metadata area size in bytes.
+func (d *Design) MetaBytes() int { return (d.MetaBits + 7) / 8 }
+
+func (c *checker) registers() {
+	for _, r := range c.d.Prog.Registers {
+		if _, dup := c.d.Registers[r.Name]; dup {
+			c.errf(r.Pos, "duplicate register %q", r.Name)
+			continue
+		}
+		if r.Width > 64 {
+			c.errf(r.Pos, "register %q width %d exceeds 64", r.Name, r.Width)
+			continue
+		}
+		c.d.Registers[r.Name] = r
+	}
+}
+
+func (c *checker) actions() {
+	// Implicit NoAction.
+	if c.d.Prog.Action(NoActionName) == nil {
+		c.d.Actions[NoActionName] = &ActionInfo{
+			Def:           &ast.ActionDef{Name: NoActionName},
+			Reads:         map[string]bool{},
+			Writes:        map[string]bool{},
+			RegistersRead: map[string]bool{}, RegistersWritten: map[string]bool{},
+			Builtins: map[string]bool{},
+		}
+	}
+	for _, a := range c.d.Prog.Actions {
+		if _, dup := c.d.Actions[a.Name]; dup {
+			c.errf(a.Pos, "duplicate action %q", a.Name)
+			continue
+		}
+		info := &ActionInfo{
+			Def:           a,
+			Reads:         map[string]bool{},
+			Writes:        map[string]bool{},
+			RegistersRead: map[string]bool{}, RegistersWritten: map[string]bool{},
+			Builtins: map[string]bool{},
+		}
+		params := make(map[string]int)
+		seen := make(map[string]bool)
+		for i, p := range a.Params {
+			if seen[p.Name] {
+				c.errf(p.Pos, "duplicate parameter %q in action %q", p.Name, a.Name)
+			}
+			seen[p.Name] = true
+			params[p.Name] = i
+		}
+		c.stmts(a.Body, params, info, fmt.Sprintf("action %q", a.Name))
+		c.d.Actions[a.Name] = info
+	}
+}
+
+// ResolveField resolves a dotted reference to a header or metadata field.
+func (d *Design) ResolveField(ref *ast.FieldRef) (FieldInfo, error) {
+	if len(ref.Parts) != 2 {
+		return FieldInfo{}, fmt.Errorf("%s: field reference %q must be instance.field", ref.Pos, ref)
+	}
+	inst, fld := ref.Parts[0], ref.Parts[1]
+	if hi, ok := d.InstanceByName[inst]; ok {
+		f, off := hi.Def.Field(fld)
+		if f == nil {
+			return FieldInfo{}, fmt.Errorf("%s: header %q has no field %q", ref.Pos, inst, fld)
+		}
+		return FieldInfo{Space: SpaceHeader, Header: hi.ID, BitOff: off, Width: f.Width}, nil
+	}
+	if fi, ok := d.MetaFields[inst+"."+fld]; ok {
+		return fi, nil
+	}
+	return FieldInfo{}, fmt.Errorf("%s: unknown field %q", ref.Pos, ref)
+}
+
+// exprKind is the minimal type lattice: bits or bool.
+type exprKind int
+
+const (
+	kindBits exprKind = iota
+	kindBool
+)
+
+// checkExpr type-checks an expression, recording reads into info.
+func (c *checker) checkExpr(e ast.Expr, params map[string]int, info *ActionInfo, where string) exprKind {
+	switch x := e.(type) {
+	case *ast.NumberLit:
+		return kindBits
+	case *ast.BoolLit:
+		return kindBool
+	case *ast.FieldRef:
+		if len(x.Parts) == 1 {
+			if _, ok := params[x.Parts[0]]; ok {
+				return kindBits
+			}
+			if _, ok := c.d.Consts[x.Parts[0]]; ok {
+				return kindBits
+			}
+			c.errf(x.Pos, "%s: unknown name %q", where, x.Parts[0])
+			return kindBits
+		}
+		if _, err := c.d.ResolveField(x); err != nil {
+			c.errors = append(c.errors, fmt.Errorf("%s: %v", where, err))
+			return kindBits
+		}
+		info.Reads[x.String()] = true
+		return kindBits
+	case *ast.CallExpr:
+		return c.checkCallExpr(x, params, info, where)
+	case *ast.UnaryExpr:
+		k := c.checkExpr(x.X, params, info, where)
+		if x.Op == token.Not && k != kindBool {
+			c.errf(x.Pos, "%s: ! applied to non-boolean", where)
+		}
+		if x.Op == token.Minus && k != kindBits {
+			c.errf(x.Pos, "%s: - applied to non-numeric", where)
+		}
+		return k
+	case *ast.BinaryExpr:
+		kx := c.checkExpr(x.X, params, info, where)
+		ky := c.checkExpr(x.Y, params, info, where)
+		switch x.Op {
+		case token.AndAnd, token.OrOr:
+			if kx != kindBool || ky != kindBool {
+				c.errf(x.Pos, "%s: %s requires boolean operands", where, x.Op)
+			}
+			return kindBool
+		case token.Eq, token.Neq, token.LAngle, token.RAngle, token.Leq, token.Geq:
+			if kx != kindBits || ky != kindBits {
+				c.errf(x.Pos, "%s: %s requires numeric operands", where, x.Op)
+			}
+			return kindBool
+		default:
+			if kx != kindBits || ky != kindBits {
+				c.errf(x.Pos, "%s: %s requires numeric operands", where, x.Op)
+			}
+			return kindBits
+		}
+	}
+	c.errf(token.Pos{}, "%s: unhandled expression", where)
+	return kindBits
+}
+
+func (c *checker) checkCallExpr(x *ast.CallExpr, params map[string]int, info *ActionInfo, where string) exprKind {
+	switch {
+	case x.Method == "isValid" && x.Recv != "":
+		if _, ok := c.d.InstanceByName[x.Recv]; !ok {
+			c.errf(x.Pos, "%s: isValid on unknown header %q", where, x.Recv)
+		}
+		if len(x.Args) != 0 {
+			c.errf(x.Pos, "%s: isValid takes no arguments", where)
+		}
+		return kindBool
+	case x.Method == "read" && x.Recv != "":
+		if _, ok := c.d.Registers[x.Recv]; !ok {
+			c.errf(x.Pos, "%s: read on unknown register %q", where, x.Recv)
+		} else {
+			info.RegistersRead[x.Recv] = true
+		}
+		if len(x.Args) != 1 {
+			c.errf(x.Pos, "%s: %s.read takes one index argument", where, x.Recv)
+		}
+		for _, a := range x.Args {
+			if c.checkExpr(a, params, info, where) != kindBits {
+				c.errf(x.Pos, "%s: register index must be numeric", where)
+			}
+		}
+		return kindBits
+	case x.Method == "hash" && x.Recv == "":
+		if len(x.Args) == 0 {
+			c.errf(x.Pos, "%s: hash needs at least one argument", where)
+		}
+		for _, a := range x.Args {
+			if c.checkExpr(a, params, info, where) != kindBits {
+				c.errf(x.Pos, "%s: hash arguments must be numeric", where)
+			}
+		}
+		return kindBits
+	}
+	c.errf(x.Pos, "%s: unknown call %s", where, ast.ExprString(x))
+	return kindBits
+}
+
+func (c *checker) stmts(body []ast.Stmt, params map[string]int, info *ActionInfo, where string) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.EmptyStmt:
+		case *ast.AssignStmt:
+			if len(st.LHS.Parts) == 1 {
+				c.errf(st.Pos, "%s: cannot assign to parameter %q", where, st.LHS.Parts[0])
+				continue
+			}
+			if _, err := c.d.ResolveField(st.LHS); err != nil {
+				c.errors = append(c.errors, fmt.Errorf("%s: %v", where, err))
+				continue
+			}
+			info.Writes[st.LHS.String()] = true
+			if c.checkExpr(st.RHS, params, info, where) != kindBits {
+				c.errf(st.Pos, "%s: assigning non-numeric value to %s", where, st.LHS)
+			}
+		case *ast.CallStmt:
+			c.checkCallStmt(st, params, info, where)
+		case *ast.IfStmt:
+			if c.checkExpr(st.Cond, params, info, where) != kindBool {
+				c.errf(st.Pos, "%s: if condition is not boolean", where)
+			}
+			c.stmts(st.Then, params, info, where)
+			c.stmts(st.Else, params, info, where)
+		}
+	}
+}
+
+func (c *checker) checkCallStmt(st *ast.CallStmt, params map[string]int, info *ActionInfo, where string) {
+	if st.Recv == "" {
+		if argc, ok := builtinStmts[st.Method]; ok {
+			if len(st.Args) != argc {
+				c.errf(st.Pos, "%s: %s takes %d arguments", where, st.Method, argc)
+			}
+			info.Builtins[st.Method] = true
+			// Builtins touch intrinsic metadata.
+			switch st.Method {
+			case "drop":
+				info.Writes["istd.drop"] = true
+			case "to_cpu":
+				info.Writes["istd.to_cpu"] = true
+			case "srh_advance", "srh_pop":
+				info.Writes["ipv6.dst_addr"] = true
+			}
+			return
+		}
+		c.errf(st.Pos, "%s: unknown builtin %q", where, st.Method)
+		return
+	}
+	switch st.Method {
+	case "write":
+		if _, ok := c.d.Registers[st.Recv]; !ok {
+			c.errf(st.Pos, "%s: write on unknown register %q", where, st.Recv)
+			return
+		}
+		info.RegistersWritten[st.Recv] = true
+		if len(st.Args) != 2 {
+			c.errf(st.Pos, "%s: %s.write takes (index, value)", where, st.Recv)
+			return
+		}
+		for _, a := range st.Args {
+			if c.checkExpr(a, params, info, where) != kindBits {
+				c.errf(st.Pos, "%s: register write arguments must be numeric", where)
+			}
+		}
+	case "apply":
+		c.errf(st.Pos, "%s: table apply is only allowed in a stage matcher", where)
+	default:
+		c.errf(st.Pos, "%s: unknown call %s.%s", where, st.Recv, st.Method)
+	}
+}
+
+func (c *checker) tables() {
+	for _, t := range c.d.Prog.Tables {
+		if _, dup := c.d.Tables[t.Name]; dup {
+			c.errf(t.Pos, "duplicate table %q", t.Name)
+			continue
+		}
+		info := &TableInfo{Def: t}
+		hashCount := 0
+		lpmCount := 0
+		for _, k := range t.Keys {
+			kind, err := match.ParseKind(k.Kind)
+			if err != nil {
+				c.errf(k.Pos, "table %q: %v", t.Name, err)
+				continue
+			}
+			fi, err := c.d.ResolveField(k.Field)
+			if err != nil {
+				c.errors = append(c.errors, fmt.Errorf("table %q: %v", t.Name, err))
+				continue
+			}
+			info.Keys = append(info.Keys, KeyInfo{Name: k.Field.String(), Field: fi, Kind: kind})
+			info.KeyWidth += fi.Width
+			switch kind {
+			case match.Hash:
+				hashCount++
+			case match.LPM:
+				lpmCount++
+			}
+		}
+		if len(info.Keys) == 0 {
+			c.errf(t.Pos, "table %q has no key", t.Name)
+		}
+		if lpmCount > 1 || (lpmCount == 1 && len(info.Keys) != 1) {
+			c.errf(t.Pos, "table %q: an lpm key must be the table's only key", t.Name)
+		}
+		if hashCount > 0 {
+			if hashCount != len(info.Keys) {
+				c.errf(t.Pos, "table %q: hash keys cannot be mixed with other kinds", t.Name)
+			} else if len(info.Keys) < 2 {
+				c.errf(t.Pos, "table %q: a selector table needs a group key and at least one hashed key", t.Name)
+			} else {
+				info.IsSelector = true
+			}
+		}
+		for _, an := range t.Actions {
+			if _, ok := c.d.Actions[an]; !ok && c.d.Prog.Action(an) == nil && an != NoActionName {
+				c.errf(t.Pos, "table %q references unknown action %q", t.Name, an)
+			}
+		}
+		if t.DefaultAction != "" {
+			if _, ok := c.d.Actions[t.DefaultAction]; !ok && c.d.Prog.Action(t.DefaultAction) == nil && t.DefaultAction != NoActionName {
+				c.errf(t.Pos, "table %q has unknown default action %q", t.Name, t.DefaultAction)
+			}
+		}
+		if t.Size <= 0 {
+			c.errf(t.Pos, "table %q has non-positive size %d", t.Name, t.Size)
+		}
+		c.d.Tables[t.Name] = info
+	}
+}
+
+func (c *checker) stages() {
+	addPipe := func(pipe *ast.Pipe, name string) {
+		if pipe == nil {
+			return
+		}
+		for _, s := range pipe.Stages {
+			if _, dup := c.d.Stages[s.Name]; dup {
+				c.errf(s.Pos, "duplicate stage %q", s.Name)
+				continue
+			}
+			info := &StageInfo{
+				Def: s, Pipe: name,
+				Reads:  map[string]bool{},
+				Writes: map[string]bool{},
+			}
+			c.checkStage(s, info)
+			c.d.Stages[s.Name] = info
+			c.d.StageOrder = append(c.d.StageOrder, s.Name)
+		}
+	}
+	addPipe(c.d.Prog.Ingress, "ingress")
+	addPipe(c.d.Prog.Egress, "egress")
+	// Floating snippet stages carry no pipe until linked.
+	for _, s := range c.d.Prog.Floating {
+		if _, dup := c.d.Stages[s.Name]; dup {
+			c.errf(s.Pos, "duplicate stage %q", s.Name)
+			continue
+		}
+		info := &StageInfo{
+			Def: s, Pipe: "",
+			Reads:  map[string]bool{},
+			Writes: map[string]bool{},
+		}
+		c.checkStage(s, info)
+		c.d.Stages[s.Name] = info
+		c.d.StageOrder = append(c.d.StageOrder, s.Name)
+	}
+}
+
+func (c *checker) checkStage(s *ast.StageDef, info *StageInfo) {
+	where := fmt.Sprintf("stage %q", s.Name)
+	for _, hn := range s.Parser {
+		if _, ok := c.d.InstanceByName[hn]; !ok {
+			c.errf(s.Pos, "%s: parser references unknown header instance %q", where, hn)
+			continue
+		}
+		info.ParsesNew = append(info.ParsesNew, hn)
+	}
+	// Matcher: walk statements collecting applies and condition reads.
+	scratch := &ActionInfo{
+		Reads: info.Reads, Writes: info.Writes,
+		RegistersRead: map[string]bool{}, RegistersWritten: map[string]bool{},
+		Builtins: map[string]bool{},
+	}
+	var walk func(body []ast.Stmt)
+	walk = func(body []ast.Stmt) {
+		for _, st := range body {
+			switch x := st.(type) {
+			case *ast.EmptyStmt:
+			case *ast.CallStmt:
+				if x.Method != "apply" || x.Recv == "" {
+					c.errf(x.Position(), "%s: matcher only allows table.apply(), found %s.%s", where, x.Recv, x.Method)
+					continue
+				}
+				ti, ok := c.d.Tables[x.Recv]
+				if !ok {
+					c.errf(x.Position(), "%s: apply of unknown table %q", where, x.Recv)
+					continue
+				}
+				info.Tables = append(info.Tables, x.Recv)
+				for _, k := range ti.Keys {
+					info.Reads[k.Name] = true
+				}
+			case *ast.IfStmt:
+				if c.checkExpr(x.Cond, nil, scratch, where) != kindBool {
+					c.errf(x.Pos, "%s: matcher condition is not boolean", where)
+				}
+				walk(x.Then)
+				walk(x.Else)
+			default:
+				c.errf(st.Position(), "%s: matcher only allows apply and if statements", where)
+			}
+		}
+	}
+	walk(s.Matcher)
+	// Executor arms.
+	seenTags := make(map[uint64]bool)
+	seenDefault := false
+	for _, arm := range s.Exec {
+		if arm.Default {
+			if seenDefault {
+				c.errf(arm.Pos, "%s: duplicate default executor arm", where)
+			}
+			seenDefault = true
+		} else {
+			if seenTags[arm.Tag] {
+				c.errf(arm.Pos, "%s: duplicate executor tag %d", where, arm.Tag)
+			}
+			if arm.Tag == 0 {
+				c.errf(arm.Pos, "%s: executor tag 0 is reserved for miss (use default)", where)
+			}
+			seenTags[arm.Tag] = true
+		}
+		ai, ok := c.d.Actions[arm.Action]
+		if !ok {
+			c.errf(arm.Pos, "%s: executor references unknown action %q", where, arm.Action)
+			continue
+		}
+		for f := range ai.Reads {
+			info.Reads[f] = true
+		}
+		for f := range ai.Writes {
+			info.Writes[f] = true
+		}
+		if ai.Builtins["srh_pop"] {
+			info.PopsHeaders = true
+		}
+	}
+}
+
+func (c *checker) funcs() {
+	uf := c.d.Prog.Funcs
+	if uf == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	owned := make(map[string]string)
+	for _, f := range uf.Funcs {
+		if seen[f.Name] {
+			c.errf(f.Pos, "duplicate function %q", f.Name)
+			continue
+		}
+		seen[f.Name] = true
+		for _, sn := range f.Stages {
+			if _, ok := c.d.Stages[sn]; !ok {
+				c.errf(f.Pos, "function %q references unknown stage %q", f.Name, sn)
+				continue
+			}
+			if prev, dup := owned[sn]; dup {
+				c.errf(f.Pos, "stage %q belongs to both function %q and %q", sn, prev, f.Name)
+			}
+			owned[sn] = f.Name
+		}
+	}
+	if uf.IngressEntry != "" {
+		if si, ok := c.d.Stages[uf.IngressEntry]; !ok {
+			c.errf(uf.Pos, "ingress_entry references unknown stage %q", uf.IngressEntry)
+		} else if si.Pipe != "ingress" {
+			c.errf(uf.Pos, "ingress_entry %q is not an ingress stage", uf.IngressEntry)
+		}
+	}
+	if uf.EgressEntry != "" {
+		if si, ok := c.d.Stages[uf.EgressEntry]; !ok {
+			c.errf(uf.Pos, "egress_entry references unknown stage %q", uf.EgressEntry)
+		} else if si.Pipe != "egress" {
+			c.errf(uf.Pos, "egress_entry %q is not an egress stage", uf.EgressEntry)
+		}
+	}
+}
+
+// FuncOfStage reports which user function owns a stage, or "".
+func (d *Design) FuncOfStage(stage string) string {
+	if d.Prog.Funcs == nil {
+		return ""
+	}
+	for _, f := range d.Prog.Funcs.Funcs {
+		for _, s := range f.Stages {
+			if s == stage {
+				return f.Name
+			}
+		}
+	}
+	return ""
+}
+
+// IngressStages returns ingress stage names in declaration order.
+func (d *Design) IngressStages() []string {
+	var out []string
+	for _, n := range d.StageOrder {
+		if d.Stages[n].Pipe == "ingress" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EgressStages returns egress stage names in declaration order.
+func (d *Design) EgressStages() []string {
+	var out []string
+	for _, n := range d.StageOrder {
+		if d.Stages[n].Pipe == "egress" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SortedTableNames returns table names sorted for deterministic output.
+func (d *Design) SortedTableNames() []string {
+	out := make([]string, 0, len(d.Tables))
+	for n := range d.Tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

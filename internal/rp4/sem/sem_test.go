@@ -1,0 +1,266 @@
+package sem
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ipsa/internal/match"
+	"ipsa/internal/rp4/ast"
+	"ipsa/internal/rp4/parser"
+)
+
+func analyzeFile(t *testing.T, name string) *Design {
+	t.Helper()
+	src, err := os.ReadFile("../../../testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(name, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func analyzeSrc(t *testing.T, src string) (*Design, error) {
+	t.Helper()
+	prog, err := parser.Parse("test.rp4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(prog)
+}
+
+func TestAnalyzeBaseDesign(t *testing.T) {
+	d := analyzeFile(t, "base_l2l3.rp4")
+	// Instances auto-created, one per header type.
+	if len(d.Instances) != 5 {
+		t.Fatalf("instances = %d", len(d.Instances))
+	}
+	eth := d.InstanceByName["ethernet"]
+	if eth == nil || eth.Width != 112 {
+		t.Fatalf("ethernet instance: %+v", eth)
+	}
+	// Metadata layout: istd first, then meta struct.
+	istd := d.MetaFields["istd.in_port"]
+	if istd.BitOff != 0 || istd.Width != 16 {
+		t.Errorf("istd.in_port: %+v", istd)
+	}
+	iif := d.MetaFields["meta.iif"]
+	if iif.BitOff != 34 || iif.Width != 16 {
+		t.Errorf("meta.iif: %+v (istd is 34 bits)", iif)
+	}
+	if d.MetaBytes() <= 0 {
+		t.Error("no metadata bytes")
+	}
+	// Tables resolved.
+	lpm := d.Tables["ipv4_lpm"]
+	if lpm == nil || lpm.Keys[0].Kind != match.LPM || lpm.KeyWidth != 32 {
+		t.Fatalf("ipv4_lpm: %+v", lpm)
+	}
+	host := d.Tables["ipv4_host"]
+	if host == nil || host.KeyWidth != 48 { // vrf 16 + dst 32
+		t.Fatalf("ipv4_host: %+v", host)
+	}
+	// Stage dependency footprints.
+	nh := d.Stages["nexthop"]
+	if nh == nil || nh.Pipe != "ingress" {
+		t.Fatalf("nexthop stage: %+v", nh)
+	}
+	if !nh.Reads["meta.nexthop"] || !nh.Writes["meta.bd"] || !nh.Writes["ethernet.dst_addr"] {
+		t.Errorf("nexthop footprint: reads %v writes %v", nh.Reads, nh.Writes)
+	}
+	if got := d.FuncOfStage("nexthop"); got != "nexthop_resolve" {
+		t.Errorf("FuncOfStage = %q", got)
+	}
+	if len(d.IngressStages()) != 8 || len(d.EgressStages()) != 2 {
+		t.Errorf("stage partition: %v / %v", d.IngressStages(), d.EgressStages())
+	}
+	// NoAction implicitly defined.
+	if _, ok := d.Actions["NoAction"]; !ok {
+		t.Error("NoAction not implicitly defined")
+	}
+}
+
+func TestAnalyzeECMPSnippet(t *testing.T) {
+	// The snippet references base-design names, so analyze it merged with
+	// the headers/structs it needs.
+	src, _ := os.ReadFile("../../../testdata/base_l2l3.rp4")
+	snip, _ := os.ReadFile("../../../testdata/ecmp.rp4")
+	// Strip the duplicate action from the snippet for this merged parse.
+	snippet := strings.Replace(string(snip),
+		"action set_bd_dmac(bit<16> bd, bit<48> dmac) {\n    meta.bd = bd;\n    ethernet.dst_addr = dmac;\n}", "", 1)
+	prog, err := parser.Parse("merged.rp4", string(src)+"\n"+snippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two user_funcs sections would both have parsed; the snippet's
+	// replaces the base one in this simple concatenation, so restore.
+	d, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecmp := d.Tables["ecmp_ipv4"]
+	if ecmp == nil || !ecmp.IsSelector {
+		t.Fatalf("ecmp_ipv4 not a selector table: %+v", ecmp)
+	}
+	st := d.Stages["ecmp_stage"]
+	if st == nil || st.Pipe != "" {
+		t.Fatalf("ecmp_stage: %+v", st)
+	}
+	if len(st.Tables) != 2 {
+		t.Errorf("ecmp_stage tables: %v", st.Tables)
+	}
+	if !st.Reads["meta.nexthop"] || !st.Reads["ipv4.dst_addr"] {
+		t.Errorf("ecmp_stage reads: %v", st.Reads)
+	}
+}
+
+func TestAnalyzeFlowProbe(t *testing.T) {
+	src, _ := os.ReadFile("../../../testdata/base_l2l3.rp4")
+	snip, _ := os.ReadFile("../../../testdata/flowprobe.rp4")
+	prog, err := parser.Parse("merged.rp4", string(src)+"\n"+string(snip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Registers["flow_cnt"]; !ok {
+		t.Fatal("flow_cnt register missing")
+	}
+	pc := d.Actions["probe_count"]
+	if pc == nil {
+		t.Fatal("probe_count missing")
+	}
+	if !pc.RegistersRead["flow_cnt"] || !pc.RegistersWritten["flow_cnt"] {
+		t.Errorf("register footprint: %v / %v", pc.RegistersRead, pc.RegistersWritten)
+	}
+	if !pc.Builtins["to_cpu"] {
+		t.Errorf("builtins: %v", pc.Builtins)
+	}
+	if !pc.Writes["pmeta.probe_mark"] {
+		t.Errorf("writes: %v", pc.Writes)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"dup header", `headers { header h { bit<8> f; } header h { bit<8> f; } }`, "duplicate header"},
+		{"dup field", `headers { header h { bit<8> f; bit<8> f; } }`, "duplicate field"},
+		{"bad selector", `headers { header h { bit<8> f; implicit parser (zz) { } } }`, "unknown field"},
+		{"dup tag", `headers { header h { bit<8> f; implicit parser (f) { 1: h; 1: h; } } }`, "duplicate tag"},
+		{"bad transition", `headers { header h { bit<8> f; implicit parser (f) { 1: nope; } } }`, "unknown instance"},
+		{"bad instance type", `headers { header h { bit<8> f; } } header_vector { ghost g; }`, "unknown type"},
+		{"dup instance", `headers { header h { bit<8> f; } } header_vector { h a; h a; }`, "duplicate header instance"},
+		{"meta clash", `headers { header h { bit<8> f; } } structs { struct s { bit<8> g; } h; }`, "collides"},
+		{"dup register", "register<bit<8>>(4) r;\nregister<bit<8>>(4) r;", "duplicate register"},
+		{"wide register", `register<bit<128>>(4) r;`, "exceeds 64"},
+		{"dup action", `action a() { } action a() { }`, "duplicate action"},
+		{"dup param", `action a(bit<8> x, bit<8> x) { }`, "duplicate parameter"},
+		{"unknown name", `action a() { meta.q = zz; } structs { struct m { bit<8> q; } meta; }`, "unknown name"},
+		{"assign to param", `action a(bit<8> x) { x = 1; }`, "cannot assign"},
+		{"unknown field write", `action a() { ghost.f = 1; }`, "unknown field"},
+		{"bad isValid", `action a() { if (nothdr.isValid()) { drop(); } }`, "unknown header"},
+		{"bad register call", `action a() { meta.q = nor.read(0); } structs { struct m { bit<8> q; } meta; }`, "unknown register"},
+		{"apply in action", `action a() { t.apply(); }`, "only allowed in a stage matcher"},
+		{"unknown builtin", `action a() { frobnicate(); }`, "unknown builtin"},
+		{"no key", `table t { size = 4; }`, "no key"},
+		{"bad kind", `headers { header h { bit<8> f; } } table t { key = { h.f: fuzzy; } size = 4; }`, "unknown match kind"},
+		{"multi lpm", `headers { header h { bit<8> f; bit<8> g; } } table t { key = { h.f: lpm; h.g: lpm; } size = 4; }`, "only key"},
+		{"mixed hash", `headers { header h { bit<8> f; bit<8> g; } } table t { key = { h.f: hash; h.g: exact; } size = 4; }`, "cannot be mixed"},
+		{"single hash", `headers { header h { bit<8> f; } } table t { key = { h.f: hash; } size = 4; }`, "group key"},
+		{"zero size", `headers { header h { bit<8> f; } } table t { key = { h.f: exact; } }`, "non-positive size"},
+		{"unknown action ref", `headers { header h { bit<8> f; } } table t { key = { h.f: exact; } actions = { ghost; } size = 4; }`, "unknown action"},
+		{"dup stage", "control rP4_Ingress { stage s { executor { default: NoAction; } } stage s { executor { default: NoAction; } } }", "duplicate stage"},
+		{"bad apply", `control rP4_Ingress { stage s { matcher { nosuch.apply(); } } }`, "unknown table"},
+		{"bad matcher call", `control rP4_Ingress { stage s { matcher { drop(); } } }`, "only allows table.apply()"},
+		{"tag zero", `control rP4_Ingress { stage s { executor { 0: NoAction; } } }`, "reserved"},
+		{"dup arm", `control rP4_Ingress { stage s { executor { 1: NoAction; 1: NoAction; } } }`, "duplicate executor tag"},
+		{"dup default", `control rP4_Ingress { stage s { executor { default: NoAction; default: NoAction; } } }`, "duplicate default"},
+		{"unknown exec action", `control rP4_Ingress { stage s { executor { 1: ghost; } } }`, "unknown action"},
+		{"bad func stage", `user_funcs { func f { nosuch } }`, "unknown stage"},
+		{"stage two funcs", `control rP4_Ingress { stage s { executor { default: NoAction; } } } user_funcs { func f { s } func g { s } }`, "belongs to both"},
+		{"bad ingress entry", `user_funcs { ingress_entry: nosuch; }`, "unknown stage"},
+		{"egress entry wrong pipe", `control rP4_Ingress { stage s { executor { default: NoAction; } } } user_funcs { egress_entry: s; }`, "not an egress stage"},
+		{"bool misuse", `action a() { meta.q = 1 && 2; } structs { struct m { bit<8> q; } meta; }`, "boolean operands"},
+		{"cmp misuse", `action a() { if (ipv4.isValid() == 1) { drop(); } } headers { header ipv4 { bit<8> f; } }`, "numeric operands"},
+		{"if not bool", `action a() { if (1 + 1) { drop(); } }`, "not boolean"},
+	}
+	for _, c := range cases {
+		_, err := analyzeSrc(t, c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestResolveField(t *testing.T) {
+	d := analyzeFile(t, "base_l2l3.rp4")
+	fi, err := d.ResolveField(&ast.FieldRef{Parts: []string{"ipv4", "ttl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Space != SpaceHeader || fi.BitOff != 64 || fi.Width != 8 {
+		t.Errorf("ipv4.ttl: %+v", fi)
+	}
+	fi, err = d.ResolveField(&ast.FieldRef{Parts: []string{"meta", "nexthop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Space != SpaceMeta || fi.Width != 32 {
+		t.Errorf("meta.nexthop: %+v", fi)
+	}
+	if _, err := d.ResolveField(&ast.FieldRef{Parts: []string{"one"}}); err == nil {
+		t.Error("one-part ref accepted")
+	}
+	if _, err := d.ResolveField(&ast.FieldRef{Parts: []string{"ipv4", "nope"}}); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestSortedTableNames(t *testing.T) {
+	d := analyzeFile(t, "base_l2l3.rp4")
+	names := d.SortedTableNames()
+	if len(names) != 10 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("not sorted: %v", names)
+		}
+	}
+}
+
+func TestFloatingStageHasNoPipe(t *testing.T) {
+	d, err := analyzeSrc(t, `
+headers { header h { bit<8> f; } }
+table t { key = { h.f: exact; } size = 4; }
+stage s {
+    parser { h };
+    matcher { t.apply(); };
+    executor { default: NoAction; };
+}
+user_funcs { func f { s } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stages["s"].Pipe != "" {
+		t.Errorf("floating stage pipe = %q", d.Stages["s"].Pipe)
+	}
+	if d.FuncOfStage("s") != "f" {
+		t.Errorf("func = %q", d.FuncOfStage("s"))
+	}
+}

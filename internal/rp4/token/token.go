@@ -1,0 +1,160 @@
+// Package token defines the lexical tokens of the rP4 language (paper
+// Fig. 2) and source positions used in diagnostics.
+package token
+
+import "fmt"
+
+// Type identifies a token class.
+type Type int
+
+// Token classes. Keywords not in this list (e.g. match kinds, "drop") are
+// ordinary identifiers resolved by the parser or semantic analysis, which
+// keeps the lexer stable as the action-primitive set grows.
+const (
+	EOF Type = iota
+	Ident
+	Number // integer literal: decimal, 0x hex, 0b binary
+
+	// Punctuation.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	LAngle    // <
+	RAngle    // >
+	Colon     // :
+	Semicolon // ;
+	Comma     // ,
+	Dot       // .
+	Assign    // =
+
+	// Operators.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Amp     // &
+	Pipe    // |
+	Caret   // ^
+	Not     // !
+	Shl     // <<
+	Shr     // >>
+	Eq      // ==
+	Neq     // !=
+	Leq     // <=
+	Geq     // >=
+	AndAnd  // &&
+	OrOr    // ||
+
+	// Keywords.
+	KwHeaders
+	KwHeader
+	KwImplicit
+	KwParser
+	KwStructs
+	KwStruct
+	KwHeaderVector
+	KwAction
+	KwTable
+	KwKey
+	KwActions
+	KwSize
+	KwDefaultAction
+	KwControl
+	KwStage
+	KwMatcher
+	KwExecutor
+	KwUserFuncs
+	KwFunc
+	KwIngressEntry
+	KwEgressEntry
+	KwBit
+	KwBool
+	KwIf
+	KwElse
+	KwDefault
+	KwRegister
+	KwConst
+	KwTrue
+	KwFalse
+)
+
+var names = map[Type]string{
+	EOF: "EOF", Ident: "identifier", Number: "number",
+	LBrace: "{", RBrace: "}", LParen: "(", RParen: ")",
+	LAngle: "<", RAngle: ">", Colon: ":", Semicolon: ";", Comma: ",",
+	Dot: ".", Assign: "=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Not: "!",
+	Shl: "<<", Shr: ">>", Eq: "==", Neq: "!=", Leq: "<=", Geq: ">=",
+	AndAnd: "&&", OrOr: "||",
+	KwHeaders: "headers", KwHeader: "header", KwImplicit: "implicit",
+	KwParser: "parser", KwStructs: "structs", KwStruct: "struct",
+	KwHeaderVector: "header_vector",
+	KwAction:       "action", KwTable: "table", KwKey: "key",
+	KwActions: "actions", KwSize: "size", KwDefaultAction: "default_action",
+	KwControl: "control", KwStage: "stage", KwMatcher: "matcher",
+	KwExecutor: "executor", KwUserFuncs: "user_funcs", KwFunc: "func",
+	KwIngressEntry: "ingress_entry", KwEgressEntry: "egress_entry",
+	KwBit: "bit", KwBool: "bool", KwIf: "if", KwElse: "else",
+	KwDefault: "default", KwRegister: "register", KwConst: "const",
+	KwTrue: "true", KwFalse: "false",
+}
+
+// String names the token type.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Keywords maps keyword spellings to token types.
+var Keywords = map[string]Type{
+	"headers": KwHeaders, "header": KwHeader, "implicit": KwImplicit,
+	"parser": KwParser, "structs": KwStructs, "struct": KwStruct,
+	"header_vector": KwHeaderVector,
+	"action":        KwAction, "table": KwTable, "key": KwKey,
+	"actions": KwActions, "size": KwSize, "default_action": KwDefaultAction,
+	"control": KwControl, "stage": KwStage, "matcher": KwMatcher,
+	"executor": KwExecutor, "user_funcs": KwUserFuncs, "func": KwFunc,
+	"ingress_entry": KwIngressEntry, "egress_entry": KwEgressEntry,
+	"bit": KwBit, "bool": KwBool, "if": KwIf, "else": KwElse,
+	"default": KwDefault, "register": KwRegister, "const": KwConst,
+	"true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	f := p.File
+	if f == "" {
+		f = "<input>"
+	}
+	return fmt.Sprintf("%s:%d:%d", f, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Type Type
+	Lit  string // literal text for Ident and Number
+	Val  uint64 // parsed value for Number
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case Ident, Number:
+		return fmt.Sprintf("%s %q", t.Type, t.Lit)
+	default:
+		return t.Type.String()
+	}
+}

@@ -1,0 +1,18 @@
+package template
+
+// Intrinsic standard metadata (istd) layout, fixed at the start of every
+// packet's metadata area. The semantic analyzer lays istd out identically;
+// TestIstdLayoutMatchesSem pins the two together.
+const (
+	IstdInPortOff   = 0
+	IstdInPortWidth = 16
+
+	IstdOutPortOff   = 16
+	IstdOutPortWidth = 16
+
+	IstdDropOff  = 32
+	IstdToCPUOff = 33
+
+	// IstdBits is the total intrinsic metadata width.
+	IstdBits = 34
+)

@@ -1,0 +1,178 @@
+// Package trafficgen generates deterministic, flow-structured workloads
+// for the benchmarks and examples: given a seed, the same packet sequence
+// is produced on every run, so measurements are reproducible.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipsa/internal/pkt"
+)
+
+// Profile selects what kind of traffic a generator emits.
+type Profile int
+
+// Traffic profiles.
+const (
+	// IPv4Routed: TCP flows to routed IPv4 destinations.
+	IPv4Routed Profile = iota
+	// IPv6Routed: TCP flows to routed IPv6 destinations.
+	IPv6Routed
+	// Mixed46: a v4/v6 mix (90/10, the calibration mix of the cycle
+	// model).
+	Mixed46
+	// SRv6: IPv6 packets carrying an SRH with two segments.
+	SRv6
+	// L2Bridged: frames addressed to host MACs (no routing).
+	L2Bridged
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	Profile Profile
+	// Flows is the number of distinct 5-tuples cycled through.
+	Flows int
+	// PayloadLen pads packets to exercise realistic sizes.
+	PayloadLen int
+	// RouterMAC is the L3 destination MAC; HostMAC the L2 one.
+	RouterMAC, HostMAC, SrcMAC pkt.MAC
+	// V4Base/**Net are the destination prefixes flows spread over.
+	V4Base [4]byte
+	V6Base [16]byte
+	// SID is the outer destination of SRv6 packets (the local SID under
+	// test); NextSegment fills the segment list.
+	SID, NextSegment [16]byte
+	Seed             int64
+}
+
+// DefaultConfig emits IPv4 routed traffic over 256 flows.
+func DefaultConfig() Config {
+	return Config{
+		Profile:    IPv4Routed,
+		Flows:      256,
+		PayloadLen: 64,
+		RouterMAC:  pkt.MAC{0x02, 0, 0, 0, 0, 0x01},
+		HostMAC:    pkt.MAC{0x02, 0, 0, 0, 0, 0x02},
+		SrcMAC:     pkt.MAC{0x02, 0, 0, 0, 0, 0xFE},
+		V4Base:     [4]byte{10, 1, 0, 0},
+		V6Base:     [16]byte{0x20, 0x01},
+		Seed:       1,
+	}
+}
+
+// Generator produces packets.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	n   int
+	// flows caches the per-flow immutable parts.
+	flows [][]byte
+}
+
+// New builds a generator, pre-rendering one packet per flow.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("trafficgen: need at least one flow, got %d", cfg.Flows)
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.Flows; i++ {
+		raw, err := g.render(i)
+		if err != nil {
+			return nil, err
+		}
+		g.flows = append(g.flows, raw)
+	}
+	return g, nil
+}
+
+func (g *Generator) render(flow int) ([]byte, error) {
+	payload := make(pkt.Payload, g.cfg.PayloadLen)
+	for i := range payload {
+		payload[i] = byte(flow + i)
+	}
+	srcPort := uint16(1024 + flow%40000)
+	dstPort := uint16(80 + flow%16)
+	profile := g.cfg.Profile
+	if profile == Mixed46 {
+		if flow%10 == 9 {
+			profile = IPv6Routed
+		} else {
+			profile = IPv4Routed
+		}
+	}
+	switch profile {
+	case IPv4Routed, L2Bridged:
+		dmac := g.cfg.RouterMAC
+		if profile == L2Bridged {
+			dmac = g.cfg.HostMAC
+		}
+		dst := g.cfg.V4Base
+		dst[2] = byte(flow >> 8)
+		dst[3] = byte(flow)
+		return pkt.Serialize(
+			&pkt.Ethernet{Dst: dmac, Src: g.cfg.SrcMAC, EtherType: pkt.EtherTypeIPv4},
+			&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: dst},
+			&pkt.TCP{SrcPort: srcPort, DstPort: dstPort},
+			payload,
+		)
+	case IPv6Routed:
+		ip := pkt.IPv6{NextHeader: pkt.IPProtoTCP, HopLimit: 64}
+		ip.Dst = g.cfg.V6Base
+		ip.Dst[14] = byte(flow >> 8)
+		ip.Dst[15] = byte(flow)
+		ip.Src[15] = 1
+		return pkt.Serialize(
+			&pkt.Ethernet{Dst: g.cfg.RouterMAC, Src: g.cfg.SrcMAC, EtherType: pkt.EtherTypeIPv6},
+			&ip,
+			&pkt.TCP{SrcPort: srcPort, DstPort: dstPort},
+			payload,
+		)
+	case SRv6:
+		ip := pkt.IPv6{NextHeader: pkt.IPProtoRouting, HopLimit: 64}
+		ip.Dst = g.cfg.SID
+		ip.Src[15] = byte(flow)
+		seg0 := g.cfg.NextSegment
+		seg0[13] = byte(flow)
+		var seg1 [16]byte
+		seg1[0], seg1[15] = 0xfd, 0xee
+		srh := pkt.SRH{NextHeader: pkt.IPProtoTCP, SegmentsLeft: 1, Segments: [][16]byte{seg0, seg1}}
+		return pkt.Serialize(
+			&pkt.Ethernet{Dst: g.cfg.RouterMAC, Src: g.cfg.SrcMAC, EtherType: pkt.EtherTypeIPv6},
+			&ip, &srh,
+			&pkt.TCP{SrcPort: srcPort, DstPort: dstPort},
+			payload,
+		)
+	}
+	return nil, fmt.Errorf("trafficgen: unknown profile %d", profile)
+}
+
+// Next returns the next packet, cycling flows. The returned slice is a
+// fresh copy, safe to mutate.
+func (g *Generator) Next() []byte {
+	raw := g.flows[g.n%len(g.flows)]
+	g.n++
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+// NextShared returns the next packet without copying; callers must not
+// retain it across calls if they mutate it. For hot benchmark loops.
+func (g *Generator) NextShared() []byte {
+	raw := g.flows[g.n%len(g.flows)]
+	g.n++
+	return raw
+}
+
+// Count reports how many packets have been produced.
+func (g *Generator) Count() int { return g.n }
+
+// FlowPackets returns all pre-rendered flow packets (one per flow).
+func (g *Generator) FlowPackets() [][]byte {
+	out := make([][]byte, len(g.flows))
+	for i, f := range g.flows {
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}

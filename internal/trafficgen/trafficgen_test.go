@@ -1,0 +1,116 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"ipsa/internal/pkt"
+)
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(cfg)
+	for i := 0; i < 100; i++ {
+		if !bytes.Equal(g1.Next(), g2.Next()) {
+			t.Fatalf("divergence at packet %d", i)
+		}
+	}
+	if g1.Count() != 100 {
+		t.Errorf("count = %d", g1.Count())
+	}
+}
+
+func TestProfilesDecode(t *testing.T) {
+	for _, prof := range []Profile{IPv4Routed, IPv6Routed, Mixed46, SRv6, L2Bridged} {
+		cfg := DefaultConfig()
+		cfg.Profile = prof
+		cfg.Flows = 20
+		cfg.SID[0], cfg.SID[15] = 0x20, 0xAA
+		cfg.NextSegment[0], cfg.NextSegment[15] = 0x20, 0xBB
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatalf("profile %d: %v", prof, err)
+		}
+		for i := 0; i < 20; i++ {
+			raw := g.Next()
+			var eth pkt.Ethernet
+			if err := eth.Decode(raw); err != nil {
+				t.Fatalf("profile %d packet %d: %v", prof, i, err)
+			}
+			switch prof {
+			case IPv4Routed, L2Bridged:
+				if eth.EtherType != pkt.EtherTypeIPv4 {
+					t.Fatalf("profile %d: ethertype %#x", prof, eth.EtherType)
+				}
+				var ip pkt.IPv4
+				if err := ip.Decode(raw[pkt.EthernetLen:]); err != nil {
+					t.Fatal(err)
+				}
+				if !pkt.VerifyIPv4Checksum(raw[pkt.EthernetLen:]) {
+					t.Fatal("bad v4 checksum")
+				}
+			case IPv6Routed:
+				var ip pkt.IPv6
+				if err := ip.Decode(raw[pkt.EthernetLen:]); err != nil {
+					t.Fatal(err)
+				}
+			case SRv6:
+				var ip pkt.IPv6
+				if err := ip.Decode(raw[pkt.EthernetLen:]); err != nil {
+					t.Fatal(err)
+				}
+				if ip.NextHeader != pkt.IPProtoRouting {
+					t.Fatalf("srv6 next header %d", ip.NextHeader)
+				}
+				var srh pkt.SRH
+				if err := srh.Decode(raw[pkt.EthernetLen+pkt.IPv6Len:]); err != nil {
+					t.Fatal(err)
+				}
+				if len(srh.Segments) != 2 || srh.SegmentsLeft != 1 {
+					t.Fatalf("srh: %+v", srh)
+				}
+			}
+		}
+	}
+}
+
+func TestFlowsCycleAndDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flows = 4
+	g, _ := New(cfg)
+	first := g.Next()
+	second := g.Next()
+	if bytes.Equal(first, second) {
+		t.Error("distinct flows produced identical packets")
+	}
+	g.Next()
+	g.Next()
+	fifth := g.Next() // wraps to flow 0
+	if !bytes.Equal(first, fifth) {
+		t.Error("flow cycling broken")
+	}
+	// Mutating a returned packet must not corrupt the generator.
+	first[0] = 0xFF
+	again := g.Next()
+	if again[0] == 0xFF {
+		t.Error("Next returns shared storage")
+	}
+	// The five-tuples differ between flows.
+	f1, ok1 := pkt.ExtractFiveTuple(g.FlowPackets()[0])
+	f2, ok2 := pkt.ExtractFiveTuple(g.FlowPackets()[1])
+	if !ok1 || !ok2 || f1 == f2 {
+		t.Errorf("flow tuples: %+v vs %+v", f1, f2)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flows = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero flows accepted")
+	}
+}

@@ -1,0 +1,8 @@
+// Package tsp implements the Templated Stage Processor (paper Sec. 2.2):
+// the parser–matcher–executor triad that interprets downloaded template
+// parameters. A TSP is not compiled against any protocol; everything it
+// does — which headers to parse, which fields to extract, which table to
+// point at, which action primitives to run — comes from a template.Config
+// produced by rp4bc, which is what makes runtime reprogramming a
+// template download instead of a pipeline rebuild.
+package tsp

@@ -1,0 +1,101 @@
+package tsp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+)
+
+// TestKeyEncodingParity is the invariant the whole control/data split
+// rests on: for any table layout and field contents, the key the
+// controller encodes for an entry (ctrlplane.EncodeKey) must be byte-equal
+// to the key the matcher builds from the packet (tsp.BuildKey). If these
+// ever diverge, installed entries silently stop matching.
+func TestKeyEncodingParity(t *testing.T) {
+	f := func(seed int64, nKeysRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nKeys := int(nKeysRaw)%4 + 1
+
+		// Random layout: a 64-byte header at offset 0 and a 64-byte
+		// metadata area; each key field gets a random width and a
+		// non-overlapping offset.
+		tbl := &template.Table{Name: "t", Kind: "exact", Size: 16}
+		var values []ctrlplane.FieldValue
+		hdrBit, metaBit := 0, 0
+		data := make([]byte, 64)
+		meta := make([]byte, 64)
+		for i := 0; i < nKeys; i++ {
+			width := rng.Intn(128) + 1
+			var opd template.Operand
+			if rng.Intn(2) == 0 && hdrBit+width <= len(data)*8 {
+				opd = template.Operand{Kind: template.OpdHeader, Header: 0, BitOff: hdrBit, Width: width}
+				hdrBit += width
+			} else if metaBit+width <= len(meta)*8 {
+				opd = template.Operand{Kind: template.OpdMeta, BitOff: metaBit, Width: width}
+				metaBit += width
+			} else {
+				continue
+			}
+			tbl.Keys = append(tbl.Keys, template.KeySel{Name: "k", Operand: opd, Kind: "exact"})
+			tbl.KeyWidth += width
+
+			// Random value, rendered both into the packet and into the
+			// control-plane request.
+			nBytes := (width + 7) / 8
+			raw := make([]byte, nBytes)
+			rng.Read(raw)
+			// Clear bits beyond the field width (right-aligned field).
+			if width%8 != 0 {
+				raw[0] &= 0xff >> uint(8-width%8)
+			}
+			var fv ctrlplane.FieldValue
+			if width > 64 {
+				fv = ctrlplane.FieldValue{Bytes: raw}
+			} else {
+				v := uint64(0)
+				for _, b := range raw {
+					v = v<<8 | uint64(b)
+				}
+				fv = ctrlplane.FieldValue{Value: v}
+			}
+			values = append(values, fv)
+			var err error
+			if opd.Kind == template.OpdHeader {
+				err = pkt.SetBytes(data, opd.BitOff, width, raw)
+			} else {
+				err = pkt.SetBytes(meta, opd.BitOff, width, raw)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		if len(tbl.Keys) == 0 {
+			return true
+		}
+
+		// Control plane encoding.
+		ctrlKey, err := ctrlplane.EncodeKey(tbl, values)
+		if err != nil {
+			return false
+		}
+		// Data plane encoding.
+		p := pkt.NewPacket(data, 64)
+		copy(p.Meta, meta)
+		p.HV.Set(0, 0, len(data))
+		env := &Env{Pkt: p, Regs: NewRegisterFile(nil), Faults: &Faults{},
+			SRHID: pkt.InvalidHeader, IPv6ID: pkt.InvalidHeader}
+		dataKey, ok := BuildKey(env, tbl)
+		if !ok {
+			return false
+		}
+		return bytes.Equal(ctrlKey, dataKey)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

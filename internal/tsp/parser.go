@@ -1,0 +1,103 @@
+package tsp
+
+import (
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+)
+
+// OnDemandParser is the parser submodule shared by the TSPs of one device:
+// it walks the implicit-parser chain only as far as needed to satisfy a
+// stage's requested headers, recording results in the packet's header
+// vector so later stages never re-parse (paper Sec. 2.1).
+type OnDemandParser struct {
+	headers map[pkt.HeaderID]*template.Header
+	first   pkt.HeaderID
+}
+
+// NewOnDemandParser builds the parser from a device configuration.
+func NewOnDemandParser(cfg *template.Config) *OnDemandParser {
+	p := &OnDemandParser{headers: make(map[pkt.HeaderID]*template.Header, len(cfg.Headers)), first: cfg.FirstHdr}
+	for i := range cfg.Headers {
+		h := &cfg.Headers[i]
+		p.headers[h.ID] = h
+	}
+	return p
+}
+
+// headerLen computes a header's total byte length at off in the packet.
+func (op *OnDemandParser) headerLen(h *template.Header, data []byte, off int) (int, bool) {
+	n := h.WidthBits / 8
+	if h.VarLen != nil {
+		v, err := pkt.GetBits(data, off*8+h.VarLen.LenOff, h.VarLen.LenWidth)
+		if err != nil {
+			return 0, false
+		}
+		n = h.VarLen.BaseBytes + int(v)*h.VarLen.UnitBytes
+	}
+	if off+n > len(data) {
+		return 0, false
+	}
+	return n, true
+}
+
+// Ensure parses headers along the chain until want is in the header vector
+// or the chain ends. It reports whether want is valid afterwards. Steps
+// are bounded to the header count so linked-header cycles terminate.
+func (op *OnDemandParser) Ensure(p *pkt.Packet, want pkt.HeaderID) bool {
+	if p.HV.Valid(want) {
+		return true
+	}
+	cur := op.first
+	off := 0
+	for steps := 0; steps <= len(op.headers); steps++ {
+		h, ok := op.headers[cur]
+		if !ok {
+			return false
+		}
+		var n int
+		if loc, parsed := p.HV.Loc(cur); parsed {
+			off = loc.Off
+			n = loc.Len
+		} else {
+			n, ok = op.headerLen(h, p.Data, off)
+			if !ok {
+				return false // truncated packet
+			}
+			p.HV.Set(cur, off, n)
+		}
+		if cur == want {
+			return true
+		}
+		if h.SelWidth == 0 || len(h.Transitions) == 0 {
+			return false // terminal header
+		}
+		sel, err := pkt.GetBits(p.Data, off*8+h.SelOff, h.SelWidth)
+		if err != nil {
+			return false
+		}
+		next := pkt.InvalidHeader
+		for _, tr := range h.Transitions {
+			if tr.Tag == sel {
+				next = tr.Next
+				break
+			}
+		}
+		if next == pkt.InvalidHeader {
+			return false
+		}
+		off += n
+		cur = next
+	}
+	return false
+}
+
+// EnsureAll parses every header in want, reporting how many are valid.
+func (op *OnDemandParser) EnsureAll(p *pkt.Packet, want []pkt.HeaderID) int {
+	n := 0
+	for _, id := range want {
+		if op.Ensure(p, id) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package tsp
+
+import (
+	"fmt"
+	"sync"
+
+	"ipsa/internal/template"
+)
+
+// RegisterFile holds every stateful register array of a design. It lives in
+// the device (not in any one TSP) so registers survive stage relocation.
+type RegisterFile struct {
+	mu   sync.RWMutex
+	regs map[string]*regArray
+}
+
+type regArray struct {
+	width int
+	data  []uint64
+}
+
+// NewRegisterFile allocates registers from templates.
+func NewRegisterFile(defs []template.Register) *RegisterFile {
+	rf := &RegisterFile{regs: make(map[string]*regArray, len(defs))}
+	for _, d := range defs {
+		rf.regs[d.Name] = &regArray{width: d.Width, data: make([]uint64, d.Size)}
+	}
+	return rf
+}
+
+// Update adds registers that appear in a new configuration, preserving the
+// contents of existing ones — in-situ updates must not reset state.
+func (rf *RegisterFile) Update(defs []template.Register) error {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	for _, d := range defs {
+		if old, ok := rf.regs[d.Name]; ok {
+			if old.width != d.Width || len(old.data) != d.Size {
+				return fmt.Errorf("tsp: register %q resized by update", d.Name)
+			}
+			continue
+		}
+		rf.regs[d.Name] = &regArray{width: d.Width, data: make([]uint64, d.Size)}
+	}
+	return nil
+}
+
+// Read returns register[idx], or 0 when the register or index is invalid
+// (hardware reads of out-of-range addresses return garbage; we pick 0 and
+// count it via the caller's fault counter).
+func (rf *RegisterFile) Read(name string, idx uint64) (uint64, bool) {
+	rf.mu.RLock()
+	defer rf.mu.RUnlock()
+	r, ok := rf.regs[name]
+	if !ok || idx >= uint64(len(r.data)) {
+		return 0, false
+	}
+	return r.data[idx], true
+}
+
+// Write stores the low width bits of v at register[idx].
+func (rf *RegisterFile) Write(name string, idx, v uint64) bool {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	r, ok := rf.regs[name]
+	if !ok || idx >= uint64(len(r.data)) {
+		return false
+	}
+	if r.width < 64 {
+		v &= (1 << uint(r.width)) - 1
+	}
+	r.data[idx] = v
+	return true
+}
+
+// Names lists the registers, for debugging and the control channel.
+func (rf *RegisterFile) Names() []string {
+	rf.mu.RLock()
+	defer rf.mu.RUnlock()
+	out := make([]string, 0, len(rf.regs))
+	for n := range rf.regs {
+		out = append(out, n)
+	}
+	return out
+}

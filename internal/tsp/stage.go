@@ -1,0 +1,224 @@
+package tsp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ipsa/internal/match"
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+)
+
+// TableBackend is what a TSP's matcher needs from the storage module: a
+// lookup per logical table. The ipbm device implements it over the
+// disaggregated memory pool; tests implement it directly.
+type TableBackend interface {
+	// Lookup performs a plain table lookup.
+	Lookup(table string, key []byte) (match.Result, bool)
+	// LookupSelector resolves a selector (ECMP) table: the group is picked
+	// by exact match on groupKey, the member by hash.
+	LookupSelector(table string, groupKey []byte, hash uint64) (match.Result, bool)
+}
+
+// StageRuntime executes one logical stage template.
+type StageRuntime struct {
+	tmpl    *template.Stage
+	tables  map[string]*template.Table
+	actions map[string]*template.Action
+
+	packets atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewStageRuntime binds a stage template to its design's tables/actions.
+func NewStageRuntime(cfg *template.Config, name string) (*StageRuntime, error) {
+	st, ok := cfg.Stages[name]
+	if !ok {
+		return nil, fmt.Errorf("tsp: no stage %q in config", name)
+	}
+	sr := &StageRuntime{
+		tmpl:    st,
+		tables:  make(map[string]*template.Table),
+		actions: make(map[string]*template.Action),
+	}
+	for _, tn := range st.Tables {
+		t, ok := cfg.Tables[tn]
+		if !ok {
+			return nil, fmt.Errorf("tsp: stage %q uses unknown table %q", name, tn)
+		}
+		sr.tables[tn] = t
+	}
+	for _, arm := range st.Arms {
+		a, ok := cfg.Actions[arm.Action]
+		if !ok {
+			return nil, fmt.Errorf("tsp: stage %q arm uses unknown action %q", name, arm.Action)
+		}
+		sr.actions[arm.Action] = a
+	}
+	return sr, nil
+}
+
+// Name returns the stage name.
+func (sr *StageRuntime) Name() string { return sr.tmpl.Name }
+
+// Template returns the underlying template.
+func (sr *StageRuntime) Template() *template.Stage { return sr.tmpl }
+
+// Stats reports packets seen, table hits and misses.
+func (sr *StageRuntime) Stats() (packets, hits, misses uint64) {
+	return sr.packets.Load(), sr.hits.Load(), sr.misses.Load()
+}
+
+// matchOutcome is what the matcher hands the executor.
+type matchOutcome struct {
+	applied bool
+	hit     bool
+	tag     uint64
+	params  []uint64
+}
+
+// Execute runs the stage's parse-match-execute triad on one packet.
+func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
+	sr.packets.Add(1)
+	env.Pkt = p
+	// Parser submodule: just-in-time parsing of the declared headers.
+	parser.EnsureAll(p, sr.tmpl.Parse)
+	// Matcher submodule.
+	out := matchOutcome{}
+	sr.runMatch(sr.tmpl.Match, env, backend, &out)
+	if out.applied {
+		if out.hit {
+			sr.hits.Add(1)
+		} else {
+			sr.misses.Add(1)
+		}
+	}
+	// Executor submodule: select the arm by the matched entry's tag;
+	// misses and no-apply paths take the default arm.
+	var arm *template.Arm
+	var def *template.Arm
+	for i := range sr.tmpl.Arms {
+		a := &sr.tmpl.Arms[i]
+		if a.Default {
+			def = a
+			continue
+		}
+		if out.applied && out.hit && a.Tag == out.tag {
+			arm = a
+		}
+	}
+	if arm == nil {
+		arm = def
+	}
+	if arm == nil {
+		return
+	}
+	act := sr.actions[arm.Action]
+	if act == nil {
+		env.Faults.BadTemplate.Add(1)
+		return
+	}
+	env.Params = out.params
+	env.ExecInstrs(act.Body)
+	env.Params = nil
+}
+
+func (sr *StageRuntime) runMatch(stmts []template.MatchStmt, env *Env, backend TableBackend, out *matchOutcome) {
+	for i := range stmts {
+		st := &stmts[i]
+		switch st.Kind {
+		case template.MatchIf:
+			if env.EvalCond(st.Cond) {
+				sr.runMatch(st.Then, env, backend, out)
+			} else {
+				sr.runMatch(st.Else, env, backend, out)
+			}
+		case template.MatchApply:
+			if out.applied {
+				// One table application per stage per packet; extra
+				// applies are template bugs.
+				env.Faults.BadTemplate.Add(1)
+				continue
+			}
+			t := sr.tables[st.Table]
+			if t == nil {
+				env.Faults.BadTemplate.Add(1)
+				continue
+			}
+			out.applied = true
+			var res match.Result
+			var ok bool
+			if t.IsSelector {
+				group, gok := env.operandBytes(&t.Keys[0].Operand, env.groupBuf)
+				if !gok {
+					break
+				}
+				env.groupBuf = group[:0]
+				h := uint64(fnvOffset64)
+				for k := 1; k < len(t.Keys); k++ {
+					raw, rok := env.operandBytes(&t.Keys[k].Operand, env.fieldBuf)
+					if !rok {
+						break
+					}
+					env.fieldBuf = raw[:0]
+					for _, b := range raw {
+						h ^= uint64(b)
+						h *= fnvPrime64
+					}
+				}
+				res, ok = backend.LookupSelector(t.Name, group, finalizeHash(h))
+			} else {
+				key, kok := BuildKey(env, t)
+				if !kok {
+					break
+				}
+				res, ok = backend.Lookup(t.Name, key)
+			}
+			if ok {
+				out.hit = true
+				out.tag = uint64(res.ActionID)
+				out.params = res.Params
+			}
+		}
+	}
+}
+
+// BuildKey assembles a table's lookup key by concatenating its key fields
+// bit by bit (MSB first), padded to whole bytes at the tail. The control
+// plane uses the same layout via ctrlplane.EncodeKey so inserted entries
+// and data-plane lookups agree.
+//
+// The returned slice aliases the Env's scratch buffer and is valid only
+// until the next BuildKey call on the same Env; lookup engines never
+// retain it (exact engines copy via string conversion).
+func BuildKey(env *Env, t *template.Table) ([]byte, bool) {
+	n := (t.KeyWidth + 7) / 8
+	if cap(env.keyBuf) < n {
+		env.keyBuf = make([]byte, n)
+	}
+	key := env.keyBuf[:n]
+	for i := range key {
+		key[i] = 0
+	}
+	bit := 0
+	for i := range t.Keys {
+		o := &t.Keys[i].Operand
+		raw, ok := env.operandBytes(o, env.fieldBuf)
+		if !ok {
+			return nil, false
+		}
+		env.fieldBuf = raw[:0]
+		if err := appendBits(key, bit, o.Width, raw); err != nil {
+			return nil, false
+		}
+		bit += o.Width
+	}
+	return key, true
+}
+
+// appendBits copies a width-bit field (right-aligned in raw) into dst at
+// bit offset.
+func appendBits(dst []byte, bitOff, width int, raw []byte) error {
+	return pkt.SetBytes(dst, bitOff, width, raw)
+}

@@ -1,0 +1,105 @@
+package tsp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+)
+
+// TSP is one physical Templated Stage Processor slot of the elastic
+// pipeline. After stage merging it may host several logical stages, which
+// it executes in order. Reprogramming a TSP means swapping its stage
+// runtimes — "downloading the template parameters" (paper Sec. 2.2).
+type TSP struct {
+	index  int
+	stages atomic.Pointer[[]*StageRuntime]
+	// loads counts template downloads, an input to the update-cost model.
+	loads atomic.Uint64
+}
+
+// NewTSP creates an empty (bypassed) TSP.
+func NewTSP(index int) *TSP {
+	t := &TSP{index: index}
+	empty := []*StageRuntime{}
+	t.stages.Store(&empty)
+	return t
+}
+
+// Index returns the physical position in the pipeline.
+func (t *TSP) Index() int { return t.index }
+
+// Load downloads new stage templates into the TSP, replacing its current
+// program in one atomic step (the hardware analogue writes the template
+// registers while the pipeline is drained).
+func (t *TSP) Load(stages []*StageRuntime) {
+	s := append([]*StageRuntime(nil), stages...)
+	t.stages.Store(&s)
+	t.loads.Add(1)
+}
+
+// Unload empties the TSP (bypass mode, low power).
+func (t *TSP) Unload() {
+	empty := []*StageRuntime{}
+	t.stages.Store(&empty)
+	t.loads.Add(1)
+}
+
+// Active reports whether the TSP hosts any stage.
+func (t *TSP) Active() bool { return len(*t.stages.Load()) > 0 }
+
+// Loads reports how many template downloads the TSP has received.
+func (t *TSP) Loads() uint64 { return t.loads.Load() }
+
+// StageNames lists the hosted logical stages.
+func (t *TSP) StageNames() []string {
+	cur := *t.stages.Load()
+	out := make([]string, len(cur))
+	for i, s := range cur {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Process runs the hosted stages on a packet. Bypassed TSPs pass packets
+// through untouched.
+func (t *TSP) Process(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
+	for _, s := range *t.stages.Load() {
+		if p.Drop {
+			return
+		}
+		s.Execute(p, parser, backend, env)
+	}
+}
+
+// BuildStageRuntimes constructs the runtimes for every stage of a config,
+// keyed by stage name.
+func BuildStageRuntimes(cfg *template.Config) (map[string]*StageRuntime, error) {
+	out := make(map[string]*StageRuntime, len(cfg.Stages))
+	for name := range cfg.Stages {
+		sr, err := NewStageRuntime(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = sr
+	}
+	return out, nil
+}
+
+// ResolveSRv6IDs finds the header instances the SRv6 primitives act on.
+func ResolveSRv6IDs(cfg *template.Config) (srh, ipv6 pkt.HeaderID) {
+	srh, ipv6 = pkt.InvalidHeader, pkt.InvalidHeader
+	if h := cfg.HeaderByName("srh"); h != nil {
+		srh = h.ID
+	}
+	if h := cfg.HeaderByName("ipv6"); h != nil {
+		ipv6 = h.ID
+	}
+	return srh, ipv6
+}
+
+// String renders the TSP for debugging.
+func (t *TSP) String() string {
+	return fmt.Sprintf("TSP%d%v", t.index, t.StageNames())
+}

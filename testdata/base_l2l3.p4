@@ -1,0 +1,272 @@
+// Base L2/L3 forwarding design in the P4-16 subset — the same design as
+// base_l2l3.rp4, written in the P4 style the paper prefers for base
+// designs ("P4 code is easier to write and many proven designs written in
+// P4 exist"). rp4fc translates this into rP4.
+#include <core.p4>
+
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<16> TYPE_IPV6 = 0x86DD;
+const bit<8>  PROTO_TCP = 6;
+const bit<8>  PROTO_UDP = 17;
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4>   version;
+    bit<8>   traffic_class;
+    bit<20>  flow_label;
+    bit<16>  payload_len;
+    bit<8>   next_hdr;
+    bit<8>   hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4>  data_offset;
+    bit<4>  res;
+    bit<8>  flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> len;
+    bit<16> checksum;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    ipv6_t     ipv6;
+    tcp_t      tcp;
+    udp_t      udp;
+}
+
+struct metadata_t {
+    bit<16> iif;
+    bit<16> bd;
+    bit<16> vrf;
+    bit<1>  l3;
+    bit<32> nexthop;
+    bit<1>  fib_hit;
+}
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout metadata_t meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            TYPE_IPV4: parse_ipv4;
+            TYPE_IPV6: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_tcp;
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            PROTO_TCP: parse_tcp;
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers_t hdr, inout metadata_t meta) {
+    action drop_packet() {
+        mark_to_drop();
+    }
+    action set_iif(bit<16> iif) {
+        meta.iif = iif;
+    }
+    table port_map_tbl {
+        key = {
+            standard_metadata.ingress_port: exact;
+        }
+        actions = { set_iif; drop_packet; }
+        size = 256;
+        default_action = drop_packet;
+    }
+
+    action set_bd_vrf(bit<16> bd, bit<16> vrf) {
+        meta.bd = bd;
+        meta.vrf = vrf;
+    }
+    table bd_vrf_tbl {
+        key = {
+            meta.iif: exact;
+        }
+        actions = { set_bd_vrf; drop_packet; }
+        size = 4096;
+        default_action = drop_packet;
+    }
+
+    action set_l3() {
+        meta.l3 = 1;
+    }
+    table l2_l3_tbl {
+        key = {
+            meta.bd: exact;
+            hdr.ethernet.dst_addr: exact;
+        }
+        actions = { set_l3; NoAction; }
+        size = 1024;
+        default_action = NoAction;
+    }
+
+    action set_nexthop(bit<32> nexthop) {
+        meta.nexthop = nexthop;
+        meta.fib_hit = 1;
+    }
+    table ipv4_host {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv4.dst_addr: exact;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 8192;
+        default_action = NoAction;
+    }
+    table ipv4_lpm {
+        key = {
+            hdr.ipv4.dst_addr: lpm;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 16384;
+        default_action = NoAction;
+    }
+    table ipv6_host {
+        key = {
+            meta.vrf: exact;
+            hdr.ipv6.dst_addr: exact;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 4096;
+        default_action = NoAction;
+    }
+    table ipv6_lpm {
+        key = {
+            hdr.ipv6.dst_addr: lpm;
+        }
+        actions = { set_nexthop; NoAction; }
+        size = 8192;
+        default_action = NoAction;
+    }
+
+    action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+        meta.bd = bd;
+        hdr.ethernet.dst_addr = dmac;
+    }
+    table nexthop_tbl {
+        key = {
+            meta.nexthop: exact;
+        }
+        actions = { set_bd_dmac; NoAction; }
+        size = 16384;
+        default_action = NoAction;
+    }
+
+    apply {
+        port_map_tbl.apply();
+        bd_vrf_tbl.apply();
+        l2_l3_tbl.apply();
+        if (meta.l3 == 1 && hdr.ipv4.isValid()) {
+            ipv4_host.apply();
+            if (meta.fib_hit == 0) {
+                ipv4_lpm.apply();
+            }
+        } else if (meta.l3 == 1 && hdr.ipv6.isValid()) {
+            ipv6_host.apply();
+            if (meta.fib_hit == 0) {
+                ipv6_lpm.apply();
+            }
+        }
+        if (meta.fib_hit == 1) {
+            nexthop_tbl.apply();
+        }
+    }
+}
+
+control MyEgress(inout headers_t hdr, inout metadata_t meta) {
+    action rewrite_l3(bit<48> smac) {
+        hdr.ethernet.src_addr = smac;
+        if (hdr.ipv4.isValid()) {
+            hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+        }
+        if (hdr.ipv6.isValid()) {
+            hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+        }
+    }
+    table smac_tbl {
+        key = {
+            meta.bd: exact;
+        }
+        actions = { rewrite_l3; NoAction; }
+        size = 4096;
+        default_action = NoAction;
+    }
+
+    action drop_packet() {
+        mark_to_drop();
+    }
+    action set_port(bit<16> port) {
+        standard_metadata.egress_spec = port;
+    }
+    table dmac_tbl {
+        key = {
+            meta.bd: exact;
+            hdr.ethernet.dst_addr: exact;
+        }
+        actions = { set_port; drop_packet; }
+        size = 65536;
+        default_action = drop_packet;
+    }
+
+    apply {
+        if (meta.l3 == 1) {
+            smac_tbl.apply();
+        }
+        dmac_tbl.apply();
+    }
+}
