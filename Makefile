@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all build test race bench cover experiments examples fmt vet clean
 
 all: build test
 
@@ -17,6 +17,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 experiments:
 	$(GO) run ./cmd/experiments

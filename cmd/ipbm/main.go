@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ipbm -listen 127.0.0.1:9901 [-config config.json] [-tsps 16] [-ports 8]
+//	     [-metrics-addr 127.0.0.1:9911] [-trace-every 64]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/ipbm"
 	"ipsa/internal/netio"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -32,14 +34,31 @@ func main() {
 	egressWorkers := flag.Int("egress-workers", 2, "egress workers in pipelined mode")
 	pcapIn := flag.String("pcap-in", "", "replay this pcap through port 0 and exit (offline mode)")
 	pcapOut := flag.String("pcap-out", "", "with -pcap-in: capture forwarded packets here")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP scrape endpoint (/metrics Prometheus text, /traces JSON); empty disables")
+	traceEvery := flag.Uint64("trace-every", 0, "record a packet flight trace every N packets; 0 disables")
+	traceRing := flag.Int("trace-ring", 256, "flight-recorder ring size")
+	latencyEvery := flag.Uint64("latency-every", 128,
+		"sample per-TSP latency every N packets; 0 disables")
 	flag.Parse()
 
 	opts := ipbm.DefaultOptions()
 	opts.NumTSPs = *tsps
 	opts.NumPorts = *ports
+	opts.TraceEvery = *traceEvery
+	opts.TraceRing = *traceRing
+	opts.LatencyEvery = *latencyEvery
 	sw, err := ipbm.New(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		tel := sw.Telemetry()
+		ms, err := telemetry.Serve(*metricsAddr, tel.Reg, tel.Tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		slog.Info("metrics endpoint up", "addr", ms.Addr())
 	}
 	if *configFile != "" {
 		b, err := os.ReadFile(*configFile)

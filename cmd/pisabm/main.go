@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pisabm -listen 127.0.0.1:9902 [-config config.json]
+//	pisabm -listen 127.0.0.1:9902 [-config config.json] [-metrics-addr 127.0.0.1:9912]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/pisa"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	configFile := flag.String("config", "", "initial device configuration JSON (optional)")
 	ingress := flag.Int("ingress-stages", 12, "fixed ingress stage count")
 	egress := flag.Int("egress-stages", 4, "fixed egress stage count")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP scrape endpoint (/metrics Prometheus text); empty disables")
 	flag.Parse()
 
 	opts := pisa.DefaultOptions()
@@ -62,6 +64,20 @@ func main() {
 		if _, err := sw.ApplyConfig(cfg); err != nil {
 			fatal(err)
 		}
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.AddCollector(func(emit func(telemetry.MetricPoint)) {
+			p, drop := sw.Stats()
+			emit(telemetry.MetricPoint{Name: "pisa_pipeline_processed_total", Kind: "counter", Value: float64(p)})
+			emit(telemetry.MetricPoint{Name: "pisa_pipeline_dropped_total", Kind: "counter", Value: float64(drop)})
+		})
+		ms, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		slog.Info("metrics endpoint up", "addr", ms.Addr())
 	}
 	srv := ctrlplane.NewServer(device{sw}, slog.Default())
 	addr, err := srv.Listen(*listen)

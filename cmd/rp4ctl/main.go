@@ -9,6 +9,8 @@
 //	rp4ctl -addr ... apply config.json
 //	rp4ctl -addr ... tables
 //	rp4ctl -addr ... stats
+//	rp4ctl -addr ... metrics
+//	rp4ctl -addr ... trace [max]
 //	rp4ctl -addr ... table-stats <table>
 //	rp4ctl -addr ... read-register <name> <index>
 //	rp4ctl -addr ... insert <table> <tag> key=<v>[,<v>...] [params=<v>,...] [prefix=<n>] [prio=<n>]
@@ -88,6 +90,66 @@ func main() {
 		fmt.Printf("processed=%d dropped=%d to_cpu=%d active_tsps=%d template_loads=%d stall=%.3fms\n",
 			st.Processed, st.Dropped, st.ToCPU, st.ActiveTSPs, st.TemplateLoads,
 			float64(st.StallNanos)/1e6)
+		for _, p := range st.Ports {
+			fmt.Printf("port %-3d rx=%-8d tx=%-8d rx_drops=%-6d tx_drops=%d\n",
+				p.Port, p.Received, p.Sent, p.RxDrops, p.TxDrops)
+		}
+	case "metrics":
+		points, err := cl.MetricsDump()
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range points {
+			var labels []string
+			for _, l := range p.Labels {
+				labels = append(labels, fmt.Sprintf("%s=%q", l.Key, l.Value))
+			}
+			name := p.Name
+			if len(labels) > 0 {
+				name += "{" + strings.Join(labels, ",") + "}"
+			}
+			if p.Kind == "histogram" {
+				fmt.Printf("%s count=%d sum=%.3fms\n", name, p.Count, float64(p.SumNanos)/1e6)
+			} else {
+				fmt.Printf("%s %g\n", name, p.Value)
+			}
+		}
+	case "trace":
+		max := 0
+		if len(args) > 1 {
+			var err error
+			if max, err = strconv.Atoi(args[1]); err != nil {
+				fatal(fmt.Errorf("bad max %q", args[1]))
+			}
+		}
+		traces, err := cl.TraceDump(max)
+		if err != nil {
+			fatal(err)
+		}
+		for _, tr := range traces {
+			fmt.Printf("#%d in=%d out=%d bytes=%d verdict=%s\n",
+				tr.Seq, tr.InPort, tr.OutPort, tr.Bytes, tr.Verdict)
+			for _, h := range tr.Headers {
+				fmt.Printf("  hdr %-14s off=%-4d len=%d\n", h.Name, h.Off, h.Len)
+			}
+			for _, st := range tr.Stages {
+				line := fmt.Sprintf("  tsp%d/%s", st.TSP, st.Stage)
+				if st.Applied {
+					outcome := "miss"
+					if st.Hit {
+						outcome = fmt.Sprintf("hit tag=%d", st.Tag)
+					}
+					line += fmt.Sprintf(" table=%s %s", st.Table, outcome)
+				}
+				if st.Action != "" {
+					line += " action=" + st.Action
+					if st.Default {
+						line += " (default)"
+					}
+				}
+				fmt.Println(line)
+			}
+		}
 	case "table-stats":
 		need(args, 2)
 		st, err := cl.TableStats(args[1])
@@ -256,6 +318,8 @@ commands:
   apply CONFIG.json
   tables
   stats
+  metrics
+  trace [MAX]
   table-stats TABLE
   read-register NAME INDEX
   insert TABLE TAG key=V[,V...] [params=V,...] [prefix=N] [prio=N] [high=V,...]

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -117,4 +118,23 @@ func (c *Client) Stats() (*DeviceStats, error) {
 		return nil, err
 	}
 	return resp.Device, nil
+}
+
+// MetricsDump fetches every metric series the device exports.
+func (c *Client) MetricsDump() ([]telemetry.MetricPoint, error) {
+	resp, err := c.Do(&Request{Op: OpMetricsDump})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}
+
+// TraceDump fetches up to max buffered packet flight records, newest
+// first (max <= 0 returns all).
+func (c *Client) TraceDump(max int) ([]telemetry.TraceRecord, error) {
+	resp, err := c.Do(&Request{Op: OpTraceDump, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
 }

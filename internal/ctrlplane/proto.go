@@ -3,6 +3,7 @@ package ctrlplane
 import (
 	"encoding/json"
 
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -22,6 +23,8 @@ const (
 	OpTableStats   Op = "table_stats"
 	OpReadRegister Op = "read_register"
 	OpDeviceStats  Op = "device_stats"
+	OpMetricsDump  Op = "metrics_dump"
+	OpTraceDump    Op = "trace_dump"
 	OpPing         Op = "ping"
 )
 
@@ -40,6 +43,8 @@ type Request struct {
 	// Register/Index serve read_register.
 	Register string `json:"register,omitempty"`
 	Index    uint64 `json:"index,omitempty"`
+	// Max bounds trace_dump (0 means all buffered records).
+	Max int `json:"max,omitempty"`
 }
 
 // Response answers a Request.
@@ -47,13 +52,15 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	Handle int             `json:"handle,omitempty"`
-	Tables []TableStatus   `json:"tables,omitempty"`
-	Stats  *TableStats     `json:"stats,omitempty"`
-	Value  uint64          `json:"value,omitempty"`
-	Device *DeviceStats    `json:"device,omitempty"`
-	Apply  *ApplyStats     `json:"apply,omitempty"`
-	Extra  json.RawMessage `json:"extra,omitempty"`
+	Handle  int                     `json:"handle,omitempty"`
+	Tables  []TableStatus           `json:"tables,omitempty"`
+	Stats   *TableStats             `json:"stats,omitempty"`
+	Value   uint64                  `json:"value,omitempty"`
+	Device  *DeviceStats            `json:"device,omitempty"`
+	Apply   *ApplyStats             `json:"apply,omitempty"`
+	Metrics []telemetry.MetricPoint `json:"metrics,omitempty"`
+	Traces  []telemetry.TraceRecord `json:"traces,omitempty"`
+	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
 // TableStatus summarizes one installed logical table.
@@ -72,15 +79,26 @@ type TableStats struct {
 	Misses uint64 `json:"misses"`
 }
 
-// DeviceStats snapshots the data plane's counters.
+// PortStats carries one port's packet counters in a device snapshot.
+type PortStats struct {
+	Port     int    `json:"port"`
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	RxDrops  uint64 `json:"rx_drops,omitempty"`
+	TxDrops  uint64 `json:"tx_drops,omitempty"`
+}
+
+// DeviceStats snapshots the data plane's counters. Ports is optional so
+// older devices (and their JSON) stay wire-compatible.
 type DeviceStats struct {
-	Processed       uint64 `json:"processed"`
-	Dropped         uint64 `json:"dropped"`
-	ToCPU           uint64 `json:"to_cpu"`
-	ActiveTSPs      int    `json:"active_tsps"`
-	StallNanos      int64  `json:"stall_nanos"`
-	TemplateLoads   uint64 `json:"template_loads"`
-	InvalidAccesses uint64 `json:"invalid_accesses"`
+	Processed       uint64      `json:"processed"`
+	Dropped         uint64      `json:"dropped"`
+	ToCPU           uint64      `json:"to_cpu"`
+	ActiveTSPs      int         `json:"active_tsps"`
+	StallNanos      int64       `json:"stall_nanos"`
+	TemplateLoads   uint64      `json:"template_loads"`
+	InvalidAccesses uint64      `json:"invalid_accesses"`
+	Ports           []PortStats `json:"ports,omitempty"`
 }
 
 // ApplyStats reports what a configuration download changed, the numbers
@@ -105,4 +123,12 @@ type Device interface {
 	TableStats(table string) (*TableStats, error)
 	ReadRegister(name string, index uint64) (uint64, error)
 	Stats() *DeviceStats
+}
+
+// TelemetrySource is optionally implemented by devices with an
+// observability subsystem; the CCM probes for it so plain Devices keep
+// working unchanged.
+type TelemetrySource interface {
+	MetricsDump() []telemetry.MetricPoint
+	TraceDump(max int) []telemetry.TraceRecord
 }

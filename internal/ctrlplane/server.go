@@ -155,6 +155,18 @@ func (s *Server) Handle(req *Request) *Response {
 		return &Response{OK: true, Value: v}
 	case OpDeviceStats:
 		return &Response{OK: true, Device: s.dev.Stats()}
+	case OpMetricsDump:
+		ts, ok := s.dev.(TelemetrySource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no telemetry"))
+		}
+		return &Response{OK: true, Metrics: ts.MetricsDump()}
+	case OpTraceDump:
+		ts, ok := s.dev.(TelemetrySource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no telemetry"))
+		}
+		return &Response{OK: true, Traces: ts.TraceDump(req.Max)}
 	}
 	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
 }

@@ -69,11 +69,17 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
 		return
 	}
+	s.beginPacketTelemetry(p)
+	env.Trace = p.Trace
+	env.Timed = p.Timed
 	if !s.pl.RunIngress(p, parser, s, env) {
+		s.finishPacketTelemetry(p, "dropped")
 		return // dropped in ingress
 	}
 	// Tail drop is the TM's policy decision; counted in its stats.
-	s.pl.TM().Admit(p)
+	if !s.pl.TM().Admit(p) {
+		s.finishPacketTelemetry(p, "tm_drop")
+	}
 }
 
 // egestOne drains one packet from the TM through the egress half and
@@ -87,7 +93,10 @@ func (s *Switch) egestOne() bool {
 	parser := s.parser
 	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
 	s.mu.RUnlock()
+	env.Trace = p.Trace
+	env.Timed = p.Timed
 	if !s.pl.RunEgress(p, parser, s, env) {
+		s.finishPacketTelemetry(p, "dropped")
 		return true // dropped in egress
 	}
 	if p.ToCPU {
@@ -100,6 +109,9 @@ func (s *Switch) egestOne() bool {
 		if port, err := s.ports.Port(p.OutPort); err == nil {
 			port.Send(p.Data)
 		}
+	} else {
+		s.tel.noPortDrops.Inc()
 	}
+	s.finishPacketTelemetry(p, verdictOf(p, true, s.ports.Len()))
 	return true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/telemetry"
 )
 
 // The ctrlplane.Device implementation: what the CCM exposes to the
@@ -124,6 +125,18 @@ func (s *Switch) Stats() *ctrlplane.DeviceStats {
 		t, _ := s.pl.TSP(i)
 		loads += t.Loads()
 	}
+	var ports []ctrlplane.PortStats
+	for i := 0; i < s.ports.Len(); i++ {
+		p, err := s.ports.Port(i)
+		if err != nil {
+			continue
+		}
+		ps := p.DetailedStats()
+		ports = append(ports, ctrlplane.PortStats{
+			Port: i, Sent: ps.Sent, Received: ps.Received,
+			RxDrops: ps.RxDrops, TxDrops: ps.TxDrops,
+		})
+	}
 	return &ctrlplane.DeviceStats{
 		Processed:       processed,
 		Dropped:         dropped,
@@ -132,5 +145,16 @@ func (s *Switch) Stats() *ctrlplane.DeviceStats {
 		StallNanos:      int64(s.pl.StallTime()),
 		TemplateLoads:   loads,
 		InvalidAccesses: s.faults.InvalidHeaderAccess.Load(),
+		Ports:           ports,
 	}
+}
+
+// MetricsDump implements ctrlplane.TelemetrySource.
+func (s *Switch) MetricsDump() []telemetry.MetricPoint {
+	return s.tel.Reg.Gather()
+}
+
+// TraceDump implements ctrlplane.TelemetrySource.
+func (s *Switch) TraceDump(max int) []telemetry.TraceRecord {
+	return s.tel.Tracer.Dump(max)
 }

@@ -42,18 +42,21 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
 		return nil, err
 	}
+	s.beginPacketTelemetry(p)
+	env.Trace = p.Trace
+	env.Timed = p.Timed
 	ok := s.pl.Process(p, parser, s, env)
 	if p.ToCPU {
 		s.punt(p)
 	}
-	if !ok {
-		return p, nil
+	if ok {
+		// The executor sets istd.out_port; surface it on the packet.
+		out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
+		if err == nil {
+			p.OutPort = int(out)
+		}
 	}
-	// The executor sets istd.out_port; surface it on the packet.
-	out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
-	if err == nil {
-		p.OutPort = int(out)
-	}
+	s.finishPacketTelemetry(p, verdictOf(p, ok, s.ports.Len()))
 	return p, nil
 }
 
@@ -68,6 +71,7 @@ func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
 		return false, nil
 	}
 	if p.OutPort < 0 || p.OutPort >= s.ports.Len() {
+		s.tel.noPortDrops.Inc()
 		return false, nil
 	}
 	port, err := s.ports.Port(p.OutPort)

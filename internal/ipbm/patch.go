@@ -133,5 +133,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
 	s.cfg = cfg
 	stats.LoadNanos = int64(time.Since(start))
+	s.tel.appliesPatch.Inc()
+	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))
 	return stats, nil
 }

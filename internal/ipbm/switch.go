@@ -35,6 +35,17 @@ type Options struct {
 	Crossbar   mem.CrossbarKind
 	// PuntDepth bounds the to-CPU queue.
 	PuntDepth int
+	// TraceRing sizes the telemetry flight recorder (records retained).
+	TraceRing int
+	// TraceEvery samples every Nth packet into the flight recorder
+	// (0 disables tracing until enabled via the control channel).
+	TraceEvery uint64
+	// LatencyEvery samples every Nth packet for the per-TSP latency
+	// histograms (0 disables latency timing, the default — embedding
+	// library users opt in). A sampled packet pays two clock reads plus
+	// a histogram update per active TSP; at the ipbm daemon's 1-in-128
+	// default that amortizes to well under a percent of a ~2µs forward.
+	LatencyEvery uint64
 }
 
 // DefaultOptions returns a software-scale switch: more TSPs than the
@@ -48,6 +59,10 @@ func DefaultOptions() Options {
 		Mem:        mem.DefaultConfig(),
 		Crossbar:   mem.FullCrossbar,
 		PuntDepth:  256,
+
+		TraceRing:    256,
+		TraceEvery:   0,
+		LatencyEvery: 0,
 	}
 }
 
@@ -70,6 +85,8 @@ type Switch struct {
 	faults tsp.Faults
 	toCPU  chan *pkt.Packet
 	punted atomic.Uint64
+
+	tel *Telemetry
 
 	runWG   sync.WaitGroup
 	stopped atomic.Bool
@@ -96,7 +113,7 @@ func New(opts Options) (*Switch, error) {
 	if puntDepth <= 0 {
 		puntDepth = 256
 	}
-	return &Switch{
+	s := &Switch{
 		opts:      opts,
 		pl:        pl,
 		mm:        mm,
@@ -104,7 +121,9 @@ func New(opts Options) (*Switch, error) {
 		regs:      tsp.NewRegisterFile(nil),
 		selectors: make(map[string]*selectorTable),
 		toCPU:     make(chan *pkt.Packet, puntDepth),
-	}, nil
+	}
+	s.newTelemetry(opts)
+	return s, nil
 }
 
 // Pipeline exposes the pipeline module (PM).
@@ -359,6 +378,13 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
 	s.cfg = cfg
 	stats.LoadNanos = int64(time.Since(start))
+	if stats.Full {
+		s.tel.appliesFull.Inc()
+	} else {
+		s.tel.appliesDiff.Inc()
+	}
+	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))
+	s.tel.migrated.Add(uint64(stats.EntriesMigrated))
 	return stats, nil
 }
 

@@ -1,0 +1,188 @@
+package ipbm
+
+import (
+	"strconv"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
+)
+
+// Telemetry is the switch's observability state: a metrics registry, the
+// sampled packet flight recorder, and the latency sampler. Hot-path
+// handles (config counters, per-TSP latency histograms) are resolved once
+// here and at ApplyConfig time; everything whose identity changes at
+// runtime (ports, tables, stages) is exported by a scrape-time collector
+// so the forwarding path never touches a map.
+type Telemetry struct {
+	Reg     *telemetry.Registry
+	Tracer  *telemetry.Tracer
+	LatSamp *telemetry.Sampler
+
+	// Config-plane counters, resolved at New.
+	appliesFull  *telemetry.Counter
+	appliesDiff  *telemetry.Counter
+	appliesPatch *telemetry.Counter
+	tspsWritten  *telemetry.Counter
+	migrated     *telemetry.Counter
+	// noPortDrops counts packets that finished the pipeline with no valid
+	// egress port — silently lost before this counter existed.
+	noPortDrops *telemetry.Counter
+}
+
+// newTelemetry builds the registry, resolves the static handles and
+// attaches the per-TSP latency histograms.
+func (s *Switch) newTelemetry(opts Options) {
+	reg := telemetry.NewRegistry()
+	tel := &Telemetry{
+		Reg:          reg,
+		Tracer:       telemetry.NewTracer(opts.TraceRing, opts.TraceEvery),
+		LatSamp:      telemetry.NewSampler(opts.LatencyEvery),
+		appliesFull:  reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "full")),
+		appliesDiff:  reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "diff")),
+		appliesPatch: reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "patch")),
+		tspsWritten:  reg.Counter("ipsa_config_tsps_written_total"),
+		migrated:     reg.Counter("ipsa_config_entries_migrated_total"),
+		noPortDrops:  reg.Counter("ipsa_no_port_drops_total"),
+	}
+	for i := 0; i < s.pl.NumTSPs(); i++ {
+		t, _ := s.pl.TSP(i)
+		t.SetLatencyHistogram(reg.Histogram("ipsa_tsp_latency_seconds",
+			telemetry.L("tsp", strconv.Itoa(i))))
+	}
+	reg.AddCollector(s.collect)
+	s.tel = tel
+}
+
+// Telemetry exposes the switch's observability state.
+func (s *Switch) Telemetry() *Telemetry { return s.tel }
+
+// collect emits the dynamic series at scrape time: per-port counters,
+// pipeline/TM state, fault counters, per-table and per-stage counters.
+func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
+	ctr := func(name string, v uint64, labels ...telemetry.Label) {
+		emit(telemetry.MetricPoint{Name: name, Labels: labels, Kind: "counter", Value: float64(v)})
+	}
+	gauge := func(name string, v float64, labels ...telemetry.Label) {
+		emit(telemetry.MetricPoint{Name: name, Labels: labels, Kind: "gauge", Value: v})
+	}
+
+	// Communication module: per-port counters with directional drops.
+	for i := 0; i < s.ports.Len(); i++ {
+		p, err := s.ports.Port(i)
+		if err != nil {
+			continue
+		}
+		st := p.DetailedStats()
+		l := telemetry.L("port", strconv.Itoa(i))
+		ctr("ipsa_port_rx_packets_total", st.Received, l)
+		ctr("ipsa_port_tx_packets_total", st.Sent, l)
+		ctr("ipsa_port_rx_drops_total", st.RxDrops, l)
+		ctr("ipsa_port_tx_drops_total", st.TxDrops, l)
+	}
+
+	// Pipeline module.
+	processed, dropped := s.pl.Stats()
+	ctr("ipsa_pipeline_processed_total", processed)
+	ctr("ipsa_pipeline_dropped_total", dropped)
+	gauge("ipsa_pipeline_stall_seconds_total", s.pl.StallTime().Seconds())
+	gauge("ipsa_pipeline_active_tsps", float64(s.pl.ActiveTSPs()))
+	for i := 0; i < s.pl.NumTSPs(); i++ {
+		t, _ := s.pl.TSP(i)
+		ctr("ipsa_tsp_template_loads_total", t.Loads(), telemetry.L("tsp", strconv.Itoa(i)))
+	}
+
+	// Traffic manager: enqueue/tail-drop counters plus live queue depths.
+	enq, tailDrops := s.pl.TM().Stats()
+	ctr("ipsa_tm_enqueued_total", enq)
+	ctr("ipsa_tm_tail_drops_total", tailDrops)
+	for port, depth := range s.pl.TM().Depths() {
+		gauge("ipsa_tm_queue_depth", float64(depth), telemetry.L("port", strconv.Itoa(port)))
+	}
+
+	// Punt path and interpreter faults.
+	ctr("ipsa_to_cpu_total", s.punted.Load())
+	ctr("ipsa_faults_total", s.faults.InvalidHeaderAccess.Load(), telemetry.L("kind", "invalid_header_access"))
+	ctr("ipsa_faults_total", s.faults.RegisterFault.Load(), telemetry.L("kind", "register_fault"))
+	ctr("ipsa_faults_total", s.faults.BadTemplate.Load(), telemetry.L("kind", "bad_template"))
+
+	// Storage module: per-table hit/miss counters and occupancy.
+	for _, name := range s.mm.Tables() {
+		t, ok := s.mm.Table(name)
+		if !ok {
+			continue
+		}
+		hits, misses := t.Stats()
+		l := telemetry.L("table", name)
+		ctr("ipsa_table_hits_total", hits, l)
+		ctr("ipsa_table_misses_total", misses, l)
+		gauge("ipsa_table_entries", float64(t.Engine().Len()), l)
+	}
+
+	// Per-stage counters from the currently loaded runtimes.
+	for i := 0; i < s.pl.NumTSPs(); i++ {
+		t, _ := s.pl.TSP(i)
+		tspLabel := telemetry.L("tsp", strconv.Itoa(i))
+		for _, sr := range t.Stages() {
+			packets, hits, misses := sr.Stats()
+			ls := []telemetry.Label{telemetry.L("stage", sr.Name()), tspLabel}
+			ctr("ipsa_stage_packets_total", packets, ls...)
+			ctr("ipsa_stage_hits_total", hits, ls...)
+			ctr("ipsa_stage_misses_total", misses, ls...)
+			ctr("ipsa_stage_default_actions_total", sr.Defaults(), ls...)
+		}
+	}
+}
+
+// beginPacketTelemetry makes the per-packet sampling decisions: it
+// attaches a flight record (rarely) and marks the packet latency-sampled
+// (more often). Cost when nothing samples: two atomic increments.
+func (s *Switch) beginPacketTelemetry(p *pkt.Packet) {
+	if rec := s.tel.Tracer.Sample(); rec != nil {
+		rec.InPort = p.InPort
+		rec.Bytes = len(p.Data)
+		p.Trace = rec
+	}
+	p.Timed = s.tel.LatSamp.Hit()
+}
+
+// finishPacketTelemetry completes and commits a sampled packet's flight
+// record with its final verdict. No-op for untraced packets.
+func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
+	rec := p.Trace
+	if rec == nil {
+		return
+	}
+	p.Trace = nil
+	rec.OutPort = p.OutPort
+	rec.Bytes = len(p.Data)
+	rec.Verdict = verdict
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+	p.HV.Each(func(id pkt.HeaderID, loc pkt.HeaderLoc) {
+		name := "hdr" + strconv.Itoa(int(id))
+		if cfg != nil {
+			if h := cfg.HeaderByID(id); h != nil {
+				name = h.Name
+			}
+		}
+		rec.Headers = append(rec.Headers, telemetry.TraceHeader{Name: name, Off: loc.Off, Len: loc.Len})
+	})
+	s.tel.Tracer.Commit(rec)
+}
+
+// verdictOf classifies a finished packet for its flight record.
+func verdictOf(p *pkt.Packet, survived bool, numPorts int) string {
+	switch {
+	case p.Drop:
+		return "dropped"
+	case !survived:
+		return "tm_drop" // admission failed without a stage drop
+	case p.ToCPU:
+		return "to_cpu"
+	case p.OutPort < 0 || p.OutPort >= numPorts:
+		return "no_port"
+	default:
+		return "forwarded"
+	}
+}

@@ -1,0 +1,311 @@
+package ipbm
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/telemetry"
+)
+
+// TestTelemetryEndToEnd drives the full observability path: traffic, an
+// in-situ patch, then a Prometheus scrape over HTTP and metrics/trace
+// dumps over the control channel. Every packet is traced and
+// latency-sampled so the small run observes deterministic telemetry.
+func TestTelemetryEndToEnd(t *testing.T) {
+	w := newBaseWorkspace(t)
+	opts := DefaultOptions()
+	opts.TraceEvery = 1
+	opts.LatencyEvery = 1
+	sw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.ApplyConfig(w.Current().Config); err != nil {
+		t.Fatal(err)
+	}
+	populateBase(t, sw)
+
+	// Baseline traffic through the egress port so tx counters move.
+	for i := 0; i < 8; i++ {
+		sent, err := sw.Forward(v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64), inPort)
+		if err != nil || !sent {
+			t.Fatalf("baseline forward %d: err=%v sent=%v", i, err, sent)
+		}
+	}
+
+	// In-situ patch: insert ECMP at runtime, then keep forwarding.
+	rep, err := w.ApplyScript(script(t, "ecmp.script"), loader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sw.ApplyConfig(rep.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Full {
+		t.Fatal("patch treated as full install")
+	}
+	if err := sw.AddMember(ctrlplane.MemberReq{
+		Table: "ecmp_ipv4", Group: ctrlplane.FieldValue{Value: nexthopID},
+		Tag: 1, Params: []uint64{bridgeOut, nhMAC.Uint64()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p, err := sw.ProcessPacket(v4Packet(t, [4]byte{10, 1, 0, byte(i)}, routerMAC, 64), inPort)
+		if err != nil || p.Drop {
+			t.Fatalf("post-patch forward %d: err=%v drop=%v", i, err, p.Drop)
+		}
+	}
+
+	// Control-channel export: metrics and traces over the CCM socket.
+	srv := ctrlplane.NewServer(sw, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := ctrlplane.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	points, err := cl.MetricsDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) []telemetry.MetricPoint {
+		var out []telemetry.MetricPoint
+		for _, p := range points {
+			if p.Name == name {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	var applies float64
+	for _, p := range find("ipsa_config_applies_total") {
+		applies += p.Value
+	}
+	if applies < 2 { // initial full install + the in-situ patch
+		t.Errorf("config applies = %v, want >= 2", applies)
+	}
+	var hits float64
+	for _, p := range find("ipsa_table_hits_total") {
+		hits += p.Value
+	}
+	if hits == 0 {
+		t.Error("no table hits recorded")
+	}
+	var latSamples uint64
+	for _, p := range find("ipsa_tsp_latency_seconds") {
+		latSamples += p.Count
+	}
+	if latSamples == 0 {
+		t.Error("no TSP latency samples recorded")
+	}
+
+	traces, err := cl.TraceDump(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no flight records after patch")
+	}
+	if len(traces) > 4 {
+		t.Fatalf("trace dump ignored max: %d records", len(traces))
+	}
+	newest := traces[0]
+	if newest.Verdict != "forwarded" || newest.InPort != inPort {
+		t.Errorf("newest trace: %+v", newest)
+	}
+	if len(newest.Stages) == 0 || len(newest.Headers) == 0 {
+		t.Fatalf("trace missing journey: stages=%d headers=%d", len(newest.Stages), len(newest.Headers))
+	}
+	ecmpSeen := false
+	for _, ev := range newest.Stages {
+		if ev.Table == "ecmp_ipv4" || strings.Contains(ev.Stage, "ecmp") {
+			ecmpSeen = true
+		}
+	}
+	if !ecmpSeen {
+		t.Errorf("post-patch trace never touched the patched-in stage: %+v", newest.Stages)
+	}
+
+	// Per-port stats ride DeviceStats now.
+	dst, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Ports) != DefaultOptions().NumPorts {
+		t.Fatalf("device stats carry %d ports", len(dst.Ports))
+	}
+	if dst.Ports[outPort].Sent == 0 {
+		t.Errorf("egress port sent nothing: %+v", dst.Ports[outPort])
+	}
+
+	// HTTP scrape: the Prometheus endpoint serves the same registry.
+	tel := sw.Telemetry()
+	ms, err := telemetry.Serve("127.0.0.1:0", tel.Reg, tel.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		fmt.Sprintf(`ipsa_port_tx_packets_total{port="%d"}`, outPort),
+		`ipsa_table_hits_total{table="ipv4_lpm"}`,
+		`ipsa_tsp_latency_seconds_bucket{tsp="0",le="+Inf"}`,
+		`ipsa_config_applies_total{mode="full"} 1`,
+		`ipsa_stage_packets_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	tresp, err := http.Get("http://" + ms.Addr() + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if !strings.Contains(string(tbody), `"verdict":"forwarded"`) {
+		t.Errorf("trace endpoint: %.200s", tbody)
+	}
+}
+
+// TestTelemetryDisabledByDefault: with tracing off, forwarding records no
+// flight traces and leaves no per-packet residue.
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	sw, _ := newBaseSwitch(t)
+	for i := 0; i < 32; i++ {
+		p, err := sw.ProcessPacket(v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64), inPort)
+		if err != nil || p.Drop {
+			t.Fatalf("forward: err=%v drop=%v", err, p.Drop)
+		}
+		if p.Trace != nil {
+			t.Fatal("untraced packet kept a flight record")
+		}
+	}
+	if n := sw.Telemetry().Tracer.Len(); n != 0 {
+		t.Fatalf("tracer buffered %d records with tracing disabled", n)
+	}
+}
+
+// TestCounterConservationPipelined soaks the asynchronous mode with a
+// burst and checks no packet is unaccounted for: everything the switch
+// accepted is either transmitted, dropped by a stage, tail-dropped by the
+// TM, dropped at a port, or lost to a missing egress port.
+func TestCounterConservationPipelined(t *testing.T) {
+	w := newBaseWorkspace(t)
+	opts := DefaultOptions()
+	opts.QueueDepth = 8
+	sw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.ApplyConfig(w.Current().Config); err != nil {
+		t.Fatal(err)
+	}
+	populateBase(t, sw)
+	if err := sw.RunPipelined(1); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Shutdown()
+
+	in, err := sw.Ports().Port(inPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Ports().Port(outPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the egress rx ring from backpressuring the TM drain.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if _, ok := out.Drain(); !ok {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}
+	}()
+	defer close(done)
+
+	// Burst: routable packets racing a 1-worker egress over a depth-8
+	// queue (tail drops likely), plus unroutable ones (stage drops).
+	accepted := uint64(0)
+	for i := 0; i < 600; i++ {
+		dst := [4]byte{10, 1, byte(i >> 4), byte(i)}
+		if i%5 == 4 {
+			dst = [4]byte{192, 168, 0, byte(i)} // no route installed
+		}
+		if in.Inject(v4Packet(t, dst, routerMAC, 64)) {
+			accepted++
+		}
+	}
+
+	account := func() (uint64, string) {
+		_, plDropped := sw.Pipeline().Stats()
+		_, tmDrops := sw.Pipeline().TM().Stats()
+		var sent, txDrops uint64
+		for i := 0; i < sw.Ports().Len(); i++ {
+			p, err := sw.Ports().Port(i)
+			if err != nil {
+				continue
+			}
+			st := p.DetailedStats()
+			sent += st.Sent
+			txDrops += st.TxDrops
+		}
+		noPort := uint64(0)
+		for _, pt := range sw.Telemetry().Reg.Gather() {
+			if pt.Name == "ipsa_no_port_drops_total" {
+				noPort = uint64(pt.Value)
+			}
+		}
+		total := plDropped + tmDrops + sent + txDrops + noPort
+		detail := fmt.Sprintf("stage_drops=%d tm_drops=%d sent=%d tx_drops=%d no_port=%d",
+			plDropped, tmDrops, sent, txDrops, noPort)
+		return total, detail
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		total, detail := account()
+		if total == accepted {
+			if total == 0 {
+				t.Fatal("nothing accepted")
+			}
+			_, plDropped := sw.Pipeline().Stats()
+			if plDropped == 0 {
+				t.Errorf("unroutable packets never hit a stage drop (%s)", detail)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("conservation violated: accepted=%d accounted=%d (%s)", accepted, total, detail)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

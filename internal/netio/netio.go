@@ -7,6 +7,7 @@ package netio
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -26,8 +27,25 @@ type ChanPort struct {
 	rx, tx chan []byte
 	done   chan struct{}
 	closed atomic.Bool
+	// closeMu serializes Inject/Send against Close: Close closes rx while
+	// holding the write lock, so no sender can be past its closed check
+	// with a send still pending (a bare closed.Load() left a window where
+	// a concurrent Close panicked the sender with "send on closed
+	// channel").
+	closeMu sync.RWMutex
 
-	sent, received, drops atomic.Uint64
+	sent, received   atomic.Uint64
+	rxDrops, txDrops atomic.Uint64
+}
+
+// PortStats is one port's counter snapshot with drops split by direction:
+// RxDrops are ingress tail drops (Inject into a full or closed queue),
+// TxDrops egress tail drops (Send into a full queue).
+type PortStats struct {
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	RxDrops  uint64 `json:"rx_drops"`
+	TxDrops  uint64 `json:"tx_drops"`
 }
 
 // NewChanPort builds a port with the given queue depth per direction.
@@ -66,6 +84,8 @@ func (p *ChanPort) TryRecv() ([]byte, bool) {
 
 // Send transmits on the egress side; false on tail drop or closed port.
 func (p *ChanPort) Send(data []byte) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
 	if p.closed.Load() {
 		return false
 	}
@@ -74,13 +94,15 @@ func (p *ChanPort) Send(data []byte) bool {
 		p.sent.Add(1)
 		return true
 	default:
-		p.drops.Add(1)
+		p.txDrops.Add(1)
 		return false
 	}
 }
 
 // Inject places a frame on the ingress side, as a peer or test would.
 func (p *ChanPort) Inject(data []byte) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
 	if p.closed.Load() {
 		return false
 	}
@@ -88,7 +110,7 @@ func (p *ChanPort) Inject(data []byte) bool {
 	case p.rx <- data:
 		return true
 	default:
-		p.drops.Add(1)
+		p.rxDrops.Add(1)
 		return false
 	}
 }
@@ -120,17 +142,31 @@ func (p *ChanPort) DrainBlocking() ([]byte, bool) {
 	}
 }
 
-// Close shuts the port; Recv and DrainBlocking unblock.
+// Close shuts the port; Recv and DrainBlocking unblock. Safe against
+// concurrent Inject/Send.
 func (p *ChanPort) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.rx)
 		close(p.done)
 	}
 }
 
-// Stats reports sent/received/dropped counters.
+// Stats reports sent/received/dropped counters (drops summed over both
+// directions; DetailedStats splits them).
 func (p *ChanPort) Stats() (sent, received, drops uint64) {
-	return p.sent.Load(), p.received.Load(), p.drops.Load()
+	return p.sent.Load(), p.received.Load(), p.rxDrops.Load() + p.txDrops.Load()
+}
+
+// DetailedStats snapshots the port's counters with directional drops.
+func (p *ChanPort) DetailedStats() PortStats {
+	return PortStats{
+		Sent:     p.sent.Load(),
+		Received: p.received.Load(),
+		RxDrops:  p.rxDrops.Load(),
+		TxDrops:  p.txDrops.Load(),
+	}
 }
 
 // Wire cross-connects two ports: frames sent on a appear at b's ingress

@@ -3,6 +3,7 @@ package netio
 import (
 	"bytes"
 	"io"
+	"sync"
 	"testing"
 	"time"
 )
@@ -211,4 +212,61 @@ func TestWireStopsOnClose(t *testing.T) {
 		t.Error("send after close succeeded")
 	}
 	time.Sleep(10 * time.Millisecond)
+}
+
+// TestInjectCloseRace hammers Inject and Send from many goroutines while
+// the port closes concurrently. Before ChanPort serialized senders
+// against Close, this panicked under -race with "send on closed channel"
+// (Close closes rx between a sender's closed check and its channel send).
+func TestInjectCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := NewChanPort(2)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					p.Inject([]byte{byte(i)})
+					p.Send([]byte{byte(i)})
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Post-close sends are cleanly rejected.
+		if p.Inject([]byte{1}) {
+			t.Fatal("inject after close succeeded")
+		}
+		if p.Send([]byte{1}) {
+			t.Fatal("send after close succeeded")
+		}
+	}
+}
+
+// TestDetailedStatsSplitsDrops checks the directional drop accounting.
+func TestDetailedStatsSplitsDrops(t *testing.T) {
+	p := NewChanPort(1)
+	if !p.Inject([]byte{1}) || p.Inject([]byte{2}) {
+		t.Fatal("inject accounting broken")
+	}
+	if !p.Send([]byte{3}) || p.Send([]byte{4}) {
+		t.Fatal("send accounting broken")
+	}
+	st := p.DetailedStats()
+	if st.RxDrops != 1 || st.TxDrops != 1 || st.Sent != 1 {
+		t.Fatalf("detailed stats: %+v", st)
+	}
+	_, _, drops := p.Stats()
+	if drops != 2 {
+		t.Fatalf("summed drops = %d", drops)
+	}
 }

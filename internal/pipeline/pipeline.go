@@ -247,6 +247,17 @@ func (tm *TrafficManager) Stats() (enqueued, tailDrops uint64) {
 	return tm.enqueued.Load(), tm.tailDrops.Load()
 }
 
+// Depths snapshots every port queue's length (telemetry gauge source).
+func (tm *TrafficManager) Depths() []int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make([]int, len(tm.queues))
+	for i, q := range tm.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
 // Depth reports the queue length of one port.
 func (tm *TrafficManager) Depth(port int) int {
 	tm.mu.Lock()

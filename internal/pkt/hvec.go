@@ -1,6 +1,10 @@
 package pkt
 
-import "fmt"
+import (
+	"fmt"
+
+	"ipsa/internal/telemetry"
+)
 
 // HeaderID identifies a header instance in a compiled design. IDs are
 // assigned by the compiler; the data plane only ever sees small integers.
@@ -68,6 +72,16 @@ func (hv *HeaderVector) Loc(id HeaderID) (HeaderLoc, bool) {
 	return hv.locs[id], true
 }
 
+// Each calls fn for every valid parsed header, in HeaderID order. The
+// telemetry flight recorder uses this to snapshot header offsets.
+func (hv *HeaderVector) Each(fn func(id HeaderID, loc HeaderLoc)) {
+	for i, l := range hv.locs {
+		if l.Valid {
+			fn(HeaderID(i), l)
+		}
+	}
+}
+
 // shift adjusts the offsets of all valid headers at or beyond off by delta.
 func (hv *HeaderVector) shift(off, delta int) {
 	for i := range hv.locs {
@@ -90,6 +104,13 @@ type Packet struct {
 	// ToCPU marks the packet for punting to the control plane (used by the
 	// flow-probe use case to signal threshold crossings).
 	ToCPU bool
+
+	// Trace is this packet's telemetry flight record when it was sampled
+	// (nil for the common case). It rides the packet so the record
+	// survives the ingress→TM→egress handoff of the pipelined mode.
+	Trace *telemetry.TraceRecord
+	// Timed marks the packet as latency-sampled (per-TSP histograms).
+	Timed bool
 }
 
 // NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
@@ -108,6 +129,8 @@ func (p *Packet) Reset(data []byte) {
 	p.OutPort = -1
 	p.Drop = false
 	p.ToCPU = false
+	p.Trace = nil
+	p.Timed = false
 }
 
 // Clone deep-copies the packet (used by multicast and the traffic manager).

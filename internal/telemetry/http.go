@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is the scrape endpoint: /metrics in Prometheus text format and,
+// when a tracer is attached, /traces as JSON.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Serve starts an HTTP scrape endpoint on addr (":0" picks an ephemeral
+// port) exposing reg at /metrics and tracer (optional, may be nil) at
+// /traces. It returns once the listener is bound.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	if tracer != nil {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(tracer.Dump(0))
+		})
+	}
+	s := &Server{srv: &http.Server{Handler: mux}, addr: ln.Addr().String()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE line per metric family, histogram
+// buckets as cumulative <name>_bucket{le="..."} series with _sum/_count.
+// Durations are exported in seconds per Prometheus convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Gather()
+	lastFamily := ""
+	for i := range points {
+		p := &points[i]
+		if p.Name != lastFamily {
+			lastFamily = p.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writePoint(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePoint(w io.Writer, p *MetricPoint) error {
+	switch p.Kind {
+	case "histogram":
+		for _, b := range p.Buckets {
+			le := formatSeconds(float64(b.UpperNanos) / 1e9)
+			if b.UpperNanos >= 1<<62 {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				p.Name, renderLabels(p.Labels, L("le", le)), b.Count); err != nil {
+				return err
+			}
+		}
+		// A +Inf bucket is mandatory; the top bucket is already cumulative
+		// over everything, so repeat the total when it wasn't emitted.
+		if len(p.Buckets) == 0 || p.Buckets[len(p.Buckets)-1].UpperNanos < 1<<62 {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				p.Name, renderLabels(p.Labels, L("le", "+Inf")), p.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, renderLabels(p.Labels),
+			formatSeconds(float64(p.SumNanos)/1e9)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, renderLabels(p.Labels), p.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, renderLabels(p.Labels), formatValue(p.Value))
+		return err
+	}
+}
+
+// renderLabels formats {k="v",...}; empty when there are no labels.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatValue renders integers without an exponent and floats compactly.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func formatSeconds(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

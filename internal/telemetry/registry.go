@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name dimension of a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey canonically identifies name+labels for dedup.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\x00')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	ctr   *Counter
+	gauge *Gauge
+	hist  *Histogram
+}
+
+// CollectFunc emits point-in-time samples at gather time. Collectors are
+// for state that lives outside the registry (port counters, queue depths,
+// per-table entry counts): cheap to read at scrape time, free on the hot
+// path.
+type CollectFunc func(emit func(p MetricPoint))
+
+// Registry holds every metric series of one switch instance. Handle
+// lookups (Counter/Gauge/Histogram) take a mutex and are meant for
+// configuration time; the returned handles are updated lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	entries    map[string]*entry
+	order      []string // registration order for stable export
+	collectors []CollectFunc
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) getOrCreate(name string, kind metricKind, labels []Label) *entry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: series %q re-registered with a different kind", key))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		e.ctr = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindHistogram:
+		e.hist = &Histogram{}
+	}
+	r.entries[key] = e
+	r.order = append(r.order, key)
+	return e
+}
+
+// Counter returns (creating on first use) the counter series name{labels}.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.getOrCreate(name, kindCounter, labels).ctr
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.getOrCreate(name, kindGauge, labels).gauge
+}
+
+// Histogram returns (creating on first use) the histogram series
+// name{labels}.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.getOrCreate(name, kindHistogram, labels).hist
+}
+
+// Unregister drops the series name{labels}, if present. Used when tables
+// are recycled by a configuration patch.
+func (r *Registry) Unregister(name string, labels ...Label) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[key]; !ok {
+		return
+	}
+	delete(r.entries, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// AddCollector attaches a scrape-time collector.
+func (r *Registry) AddCollector(fn CollectFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// BucketCount is one histogram bucket in a dump: Count observations at or
+// below UpperNanos (cumulative).
+type BucketCount struct {
+	UpperNanos uint64 `json:"upper_nanos"`
+	Count      uint64 `json:"count"`
+}
+
+// MetricPoint is one exported sample, JSON-friendly for the control
+// channel's metrics dump.
+type MetricPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"` // "counter", "gauge" or "histogram"
+	Value  float64 `json:"value,omitempty"`
+	// Histogram-only fields.
+	Count    uint64        `json:"count,omitempty"`
+	SumNanos int64         `json:"sum_nanos,omitempty"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+}
+
+func (e *entry) point() MetricPoint {
+	p := MetricPoint{Name: e.name, Labels: e.labels}
+	switch e.kind {
+	case kindCounter:
+		p.Kind = "counter"
+		p.Value = float64(e.ctr.Value())
+	case kindGauge:
+		p.Kind = "gauge"
+		p.Value = float64(e.gauge.Value())
+	case kindHistogram:
+		p.Kind = "histogram"
+		raw := e.hist.Snapshot()
+		p.Count = e.hist.Count()
+		p.SumNanos = e.hist.SumNanos()
+		cum := uint64(0)
+		for i, c := range raw {
+			cum += c
+			if c == 0 && i < HistBuckets-1 {
+				continue // sparse export: only buckets that gained counts
+			}
+			p.Buckets = append(p.Buckets, BucketCount{UpperNanos: BucketUpperNanos(i), Count: cum})
+		}
+	}
+	return p
+}
+
+// Gather snapshots every series — registered handles first (registration
+// order), then collector output — sorted by name then labels so exports
+// are deterministic.
+func (r *Registry) Gather() []MetricPoint {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.order))
+	for _, k := range r.order {
+		entries = append(entries, r.entries[k])
+	}
+	collectors := append([]CollectFunc(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var out []MetricPoint
+	for _, e := range entries {
+		out = append(out, e.point())
+	}
+	for _, fn := range collectors {
+		fn(func(p MetricPoint) { out = append(out, p) })
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelsKey(out[i].Labels) < labelsKey(out[j].Labels)
+	})
+	return out
+}
+
+func labelsKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package telemetry is the switch-wide observability substrate: a
+// lock-cheap registry of atomic counters, gauges and fixed-bucket latency
+// histograms, a sampled per-packet flight recorder, and exporters
+// (Prometheus text format over HTTP, structured dumps over the control
+// channel). The hot-path contract is that metric handles are resolved
+// once — at registration or ApplyConfig time — so updating a metric is a
+// single atomic operation with no allocation and no map lookups.
+//
+// The package depends only on the standard library so every layer of the
+// switch (netio, tsp, pipeline, ipbm, ctrlplane) can import it freely.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use, but hot-path users should hold a *Counter obtained from a Registry
+// so the value is exported.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, active TSPs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the fixed bucket count of every Histogram: bucket i
+// covers durations in [2^(i-1), 2^i) nanoseconds (bucket 0 is [0,1ns)),
+// so the top bucket's lower bound is ~34 seconds — far beyond any
+// per-stage latency this switch produces.
+const HistBuckets = 36
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// nanosecond buckets. Observing is three atomic adds and no allocation.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketOf maps a nanosecond duration to its bucket index: bucket i holds
+// durations whose highest set bit is i-1 (1ns → bucket 1, 1024ns → 11).
+func bucketOf(nanos int64) int {
+	if nanos <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(nanos))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// ObserveNanos records one duration in nanoseconds.
+func (h *Histogram) ObserveNanos(nanos int64) {
+	h.buckets[bucketOf(nanos)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(nanos)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// SumNanos reports the sum of all observations.
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// Snapshot copies the raw (non-cumulative) bucket counts.
+func (h *Histogram) Snapshot() [HistBuckets]uint64 {
+	var out [HistBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpperNanos returns bucket i's exclusive upper bound in
+// nanoseconds (the Prometheus "le" value uses this, inclusive semantics
+// being close enough at power-of-two granularity).
+func BucketUpperNanos(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= HistBuckets-1 {
+		return 1 << 62 // effectively +Inf's finite stand-in
+	}
+	return 1 << uint(i)
+}
+
+// Sampler makes cheap 1-in-N decisions: the steady-state cost of a
+// disabled or not-sampled event is one atomic increment. Interval 0
+// disables sampling entirely.
+type Sampler struct {
+	interval atomic.Uint64
+	ctr      atomic.Uint64
+}
+
+// NewSampler builds a sampler firing every interval-th call (0 = never).
+func NewSampler(interval uint64) *Sampler {
+	s := &Sampler{}
+	s.interval.Store(interval)
+	return s
+}
+
+// SetInterval changes the sampling interval at runtime (0 disables).
+func (s *Sampler) SetInterval(n uint64) { s.interval.Store(n) }
+
+// Interval reads the current interval.
+func (s *Sampler) Interval() uint64 { return s.interval.Load() }
+
+// Hit reports whether this call is sampled. Power-of-two intervals (the
+// defaults) avoid the divide on the per-packet path.
+func (s *Sampler) Hit() bool {
+	n := s.interval.Load()
+	if n == 0 {
+		return false
+	}
+	c := s.ctr.Add(1)
+	if n&(n-1) == 0 {
+		return c&(n-1) == 0
+	}
+	return c%n == 0
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -26,6 +27,18 @@ type Env struct {
 	// operate on; InvalidHeader when the design has no such headers.
 	SRHID  pkt.HeaderID
 	IPv6ID pkt.HeaderID
+
+	// Trace, when non-nil, is this packet's flight record: each stage
+	// executed appends a telemetry.StageEvent. Nil for the (sampled-out)
+	// common case.
+	Trace *telemetry.TraceRecord
+	// Timed marks this packet as latency-sampled: TSPs with a histogram
+	// attached time their stage batch. Kept separate from Trace so
+	// latency sampling can run denser than full tracing.
+	Timed bool
+	// TSPIndex is the physical TSP currently executing, stamped by
+	// TSP.Process so stage trace events carry their location.
+	TSPIndex int
 
 	// Scratch buffers reused across lookups on the hot path. keyBuf backs
 	// BuildKey results (valid until the next BuildKey on this Env);

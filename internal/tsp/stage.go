@@ -6,6 +6,7 @@ import (
 
 	"ipsa/internal/match"
 	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -26,9 +27,10 @@ type StageRuntime struct {
 	tables  map[string]*template.Table
 	actions map[string]*template.Action
 
-	packets atomic.Uint64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	packets  atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	defaults atomic.Uint64
 }
 
 // NewStageRuntime binds a stage template to its design's tables/actions.
@@ -70,12 +72,16 @@ func (sr *StageRuntime) Stats() (packets, hits, misses uint64) {
 	return sr.packets.Load(), sr.hits.Load(), sr.misses.Load()
 }
 
+// Defaults reports how often the default arm ran (miss or no-apply).
+func (sr *StageRuntime) Defaults() uint64 { return sr.defaults.Load() }
+
 // matchOutcome is what the matcher hands the executor.
 type matchOutcome struct {
 	applied bool
 	hit     bool
 	tag     uint64
 	params  []uint64
+	table   string // the table the stage applied, for tracing
 }
 
 // Execute runs the stage's parse-match-execute triad on one packet.
@@ -108,8 +114,23 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 			arm = a
 		}
 	}
+	isDefault := false
 	if arm == nil {
 		arm = def
+		isDefault = arm != nil
+	}
+	if isDefault {
+		sr.defaults.Add(1)
+	}
+	if env.Trace != nil {
+		ev := telemetry.StageEvent{
+			TSP: env.TSPIndex, Stage: sr.tmpl.Name, Table: out.table,
+			Applied: out.applied, Hit: out.hit, Tag: out.tag, Default: isDefault,
+		}
+		if arm != nil {
+			ev.Action = arm.Action
+		}
+		env.Trace.AddStage(ev)
 	}
 	if arm == nil {
 		return
@@ -147,6 +168,7 @@ func (sr *StageRuntime) runMatch(stmts []template.MatchStmt, env *Env, backend T
 				continue
 			}
 			out.applied = true
+			out.table = t.Name
 			var res match.Result
 			var ok bool
 			if t.IsSelector {

@@ -3,8 +3,10 @@ package tsp
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
@@ -17,6 +19,10 @@ type TSP struct {
 	stages atomic.Pointer[[]*StageRuntime]
 	// loads counts template downloads, an input to the update-cost model.
 	loads atomic.Uint64
+	// lat, when attached, receives this TSP's stage-batch latency for
+	// packets marked Timed (sampled, so steady-state cost stays at one
+	// branch per TSP per packet).
+	lat *telemetry.Histogram
 }
 
 // NewTSP creates an empty (bypassed) TSP.
@@ -49,6 +55,14 @@ func (t *TSP) Unload() {
 // Active reports whether the TSP hosts any stage.
 func (t *TSP) Active() bool { return len(*t.stages.Load()) > 0 }
 
+// SetLatencyHistogram attaches the latency histogram observed for Timed
+// packets. Call before traffic starts; handles are resolved once.
+func (t *TSP) SetLatencyHistogram(h *telemetry.Histogram) { t.lat = h }
+
+// Stages returns the currently loaded stage runtimes (telemetry
+// collectors read their counters at scrape time).
+func (t *TSP) Stages() []*StageRuntime { return *t.stages.Load() }
+
 // Loads reports how many template downloads the TSP has received.
 func (t *TSP) Loads() uint64 { return t.loads.Load() }
 
@@ -65,11 +79,24 @@ func (t *TSP) StageNames() []string {
 // Process runs the hosted stages on a packet. Bypassed TSPs pass packets
 // through untouched.
 func (t *TSP) Process(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
-	for _, s := range *t.stages.Load() {
+	stages := *t.stages.Load()
+	if len(stages) == 0 {
+		return
+	}
+	env.TSPIndex = t.index
+	var t0 time.Time
+	timed := env.Timed && t.lat != nil
+	if timed {
+		t0 = time.Now()
+	}
+	for _, s := range stages {
 		if p.Drop {
-			return
+			break
 		}
 		s.Execute(p, parser, backend, env)
+	}
+	if timed {
+		t.lat.ObserveNanos(int64(time.Since(t0)))
 	}
 }
 
