@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover experiments examples fmt vet clean
+.PHONY: all build test race race-dataplane bench bench-hotpath fuzz-diff cover experiments examples fmt vet clean
 
 all: build test
 
@@ -15,8 +15,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race run over the packet path: shared dataplane consumers and the
+# traffic manager, where the lock-free lookup snapshot and pools live.
+race-dataplane:
+	$(GO) test -race -count=2 ./internal/ipbm/ ./internal/pisa/ ./internal/pipeline/ ./internal/dataplane/ ./internal/tsp/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Steady-state forwarding benchmark, compiled executor vs the interpreter
+# oracle. Use -count and min-of-N when comparing: single runs are noisy.
+bench-hotpath:
+	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -count=5 .
+
+# Differential fuzz: compiled executor vs interpreter on the full switch.
+fuzz-diff:
+	$(GO) test ./internal/ipbm/ -run xxx -fuzz FuzzCompiledVsInterp -fuzztime 30s
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -23,6 +23,7 @@ import (
 	"ipsa/internal/mem"
 	"ipsa/internal/rp4/ast"
 	"ipsa/internal/rp4/parser"
+	"ipsa/internal/tsp"
 )
 
 func benchCfg() experiments.Config {
@@ -370,6 +371,45 @@ func BenchmarkAblation_Packing(b *testing.B) {
 		})
 	}
 }
+
+// --- Hot path: compiled executor vs reference interpreter -------------------
+
+// benchmarkHotPath drives the steady-state forwarding path (pooled
+// packets and envs, no per-packet return value) with one executor mode.
+// The compiled/interp pair quantifies what lowering the template IR to
+// flat programs at apply time buys per packet; allocs/op must be 0 in
+// steady state.
+func benchmarkHotPath(b *testing.B, mode tsp.ExecMode) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Exec = mode
+			prep, err := experiments.PrepareUseCase(cfg, uc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, gen := prep.IPSA(), prep.Gen()
+			// Warm the packet/env pools and the TM rings so the timed
+			// region measures steady state.
+			for i := 0; i < 64; i++ {
+				if _, err := sw.Forward(gen.NextShared(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Forward(gen.NextShared(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHotPath_Compiled(b *testing.B) { benchmarkHotPath(b, tsp.ExecCompiled) }
+
+func BenchmarkHotPath_Interp(b *testing.B) { benchmarkHotPath(b, tsp.ExecInterp) }
 
 // BenchmarkAblation_DistributedParsing compares on-demand parsing (headers
 // parsed once, where needed) against PISA-style full front parsing by

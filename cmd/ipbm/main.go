@@ -23,6 +23,7 @@ import (
 	"ipsa/internal/netio"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
+	"ipsa/internal/tsp"
 )
 
 func main() {
@@ -39,14 +40,20 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "flight-recorder ring size")
 	latencyEvery := flag.Uint64("latency-every", 128,
 		"sample per-TSP latency every N packets; 0 disables")
+	execFlag := flag.String("exec", "compiled", "stage executor: compiled (flat programs) or interp (reference tree-walker)")
 	flag.Parse()
 
+	execMode, err := tsp.ParseExecMode(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
 	opts := ipbm.DefaultOptions()
 	opts.NumTSPs = *tsps
 	opts.NumPorts = *ports
 	opts.TraceEvery = *traceEvery
 	opts.TraceRing = *traceRing
 	opts.LatencyEvery = *latencyEvery
+	opts.Exec = execMode
 	sw, err := ipbm.New(opts)
 	if err != nil {
 		fatal(err)

@@ -19,6 +19,7 @@ import (
 	"ipsa/internal/pisa"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
+	"ipsa/internal/tsp"
 )
 
 // device adapts pisa.Switch to the full ctrlplane.Device interface.
@@ -43,11 +44,17 @@ func main() {
 	ingress := flag.Int("ingress-stages", 12, "fixed ingress stage count")
 	egress := flag.Int("egress-stages", 4, "fixed egress stage count")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP scrape endpoint (/metrics Prometheus text); empty disables")
+	execFlag := flag.String("exec", "compiled", "stage executor: compiled (flat programs) or interp (reference tree-walker)")
 	flag.Parse()
 
+	execMode, err := tsp.ParseExecMode(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
 	opts := pisa.DefaultOptions()
 	opts.IngressStages = *ingress
 	opts.EgressStages = *egress
+	opts.Exec = execMode
 	sw, err := pisa.New(opts)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,197 @@
+// Package dataplane is the per-packet execution substrate shared by the
+// IPSA behavioral model (internal/ipbm) and the PISA baseline
+// (internal/pisa). Both switches previously duplicated the packet
+// lifecycle — wrap + istd stamping, Env setup, telemetry begin/finish,
+// out-port surfacing — with slightly different locking; centralizing it
+// keeps IPSA-vs-PISA differences architectural rather than accidental,
+// and gives both switches the same zero-allocation steady state:
+//
+//   - the installed configuration is an immutable Design snapshot behind
+//     an atomic pointer, so the hot path never takes the switch mutex;
+//   - Packets and Envs come from sync.Pools, with Meta, header-vector and
+//     scratch storage reused across packets.
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipsa/internal/pkt"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// ErrNoConfig is returned by packet entry points before ApplyConfig.
+var ErrNoConfig = fmt.Errorf("dataplane: no configuration installed")
+
+// Design is one installed configuration's immutable execution snapshot.
+// A new Design is built at apply time and swapped in atomically; packets
+// in flight keep the snapshot they started with.
+type Design struct {
+	Cfg    *template.Config
+	Parser *tsp.OnDemandParser
+	Regs   *tsp.RegisterFile
+	// SRH/IPv6 locate the header instances the SRv6 action primitives
+	// operate on (InvalidHeader when the design has none).
+	SRH  pkt.HeaderID
+	IPv6 pkt.HeaderID
+	// numHeaders pre-sizes packet header vectors (max header ID + 1).
+	numHeaders int
+}
+
+// NewPacket allocates a caller-owned packet for this design with
+// istd.in_port stamped. Pooled packets come from Core.GetPacket instead.
+func (d *Design) NewPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	p := pkt.NewPacket(data, d.Cfg.MetaBytes)
+	p.HV.Presize(d.numHeaders)
+	if err := StampInPort(p, inPort); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Hooks receives per-packet lifecycle callbacks (sampled telemetry).
+// A nil Hooks is valid and costs one branch per packet.
+type Hooks interface {
+	// BeginPacket runs after the packet is built, before the first stage.
+	BeginPacket(p *pkt.Packet)
+	// FinishPacket runs after the verdict is known, before the packet is
+	// recycled; implementations must detach anything that outlives it
+	// (e.g. the trace record).
+	FinishPacket(p *pkt.Packet, verdict string)
+}
+
+// Core is the state a switch embeds: the design snapshot, the shared
+// fault counters, and the packet/Env pools. Packet and Env are pooled
+// separately because the pipelined mode parks packets in the traffic
+// manager between the ingress and egress halves while their Envs are
+// returned for reuse.
+type Core struct {
+	design atomic.Pointer[Design]
+	faults tsp.Faults
+	hooks  Hooks
+
+	pktPool sync.Pool
+	envPool sync.Pool
+}
+
+// NewCore builds an empty core (no design installed).
+func NewCore() *Core {
+	c := &Core{}
+	c.pktPool.New = func() any { return &pkt.Packet{OutPort: -1} }
+	c.envPool.New = func() any { return &tsp.Env{} }
+	return c
+}
+
+// SetHooks attaches the lifecycle callbacks. Call before traffic starts.
+func (c *Core) SetHooks(h Hooks) { c.hooks = h }
+
+// Install builds and atomically publishes the Design for cfg. The caller
+// supplies the register file so each switch keeps its own update
+// semantics (ipbm preserves contents additively; pisa resets).
+func (c *Core) Install(cfg *template.Config, regs *tsp.RegisterFile) *Design {
+	srh, ipv6 := tsp.ResolveSRv6IDs(cfg)
+	n := 0
+	for i := range cfg.Headers {
+		if id := int(cfg.Headers[i].ID) + 1; id > n {
+			n = id
+		}
+	}
+	d := &Design{
+		Cfg:        cfg,
+		Parser:     tsp.NewOnDemandParser(cfg),
+		Regs:       regs,
+		SRH:        srh,
+		IPv6:       ipv6,
+		numHeaders: n,
+	}
+	c.design.Store(d)
+	return d
+}
+
+// Design returns the current snapshot (nil before the first Install).
+// Lock-free; safe from any goroutine.
+func (c *Core) Design() *Design { return c.design.Load() }
+
+// Faults exposes the executor fault counters.
+func (c *Core) Faults() *tsp.Faults { return &c.faults }
+
+// GetPacket returns a pooled packet wrapping data under design d, with
+// reused Meta/header-vector storage and istd.in_port stamped. Return it
+// with PutPacket once it cannot be referenced anymore.
+func (c *Core) GetPacket(d *Design, data []byte, inPort int) (*pkt.Packet, error) {
+	p := c.pktPool.Get().(*pkt.Packet)
+	p.ResetFor(data, d.Cfg.MetaBytes)
+	p.HV.Presize(d.numHeaders)
+	if err := StampInPort(p, inPort); err != nil {
+		c.pktPool.Put(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// PutPacket recycles a pooled packet. The caller must not retain p, its
+// Data, or its Trace afterwards.
+func (c *Core) PutPacket(p *pkt.Packet) {
+	p.Data = nil
+	p.Trace = nil
+	c.pktPool.Put(p)
+}
+
+// GetEnv returns a pooled Env bound to design d and the shared fault
+// counters, with scratch buffers retained across packets.
+func (c *Core) GetEnv(d *Design) *tsp.Env {
+	e := c.envPool.Get().(*tsp.Env)
+	e.Rebind(d.Regs, &c.faults, d.SRH, d.IPv6)
+	return e
+}
+
+// PutEnv recycles an Env.
+func (c *Core) PutEnv(e *tsp.Env) { c.envPool.Put(e) }
+
+// BeginPacket invokes the begin hook, if any.
+func (c *Core) BeginPacket(p *pkt.Packet) {
+	if c.hooks != nil {
+		c.hooks.BeginPacket(p)
+	}
+}
+
+// FinishPacket invokes the finish hook, if any.
+func (c *Core) FinishPacket(p *pkt.Packet, verdict string) {
+	if c.hooks != nil {
+		c.hooks.FinishPacket(p, verdict)
+	}
+}
+
+// StampInPort records the ingress port on the packet and in
+// istd.in_port, where match templates read it.
+func StampInPort(p *pkt.Packet, inPort int) error {
+	p.InPort = inPort
+	return p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort))
+}
+
+// SurfaceOutPort copies istd.out_port (set by executor actions) onto the
+// packet's OutPort field.
+func SurfaceOutPort(p *pkt.Packet) {
+	if out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth); err == nil {
+		p.OutPort = int(out)
+	}
+}
+
+// Verdict classifies a finished packet for telemetry. survived is false
+// when the packet died without a stage drop (e.g. TM admission failure).
+func Verdict(p *pkt.Packet, survived bool, numPorts int) string {
+	switch {
+	case p.Drop:
+		return "dropped"
+	case !survived:
+		return "tm_drop"
+	case p.ToCPU:
+		return "to_cpu"
+	case p.OutPort < 0 || p.OutPort >= numPorts:
+		return "no_port"
+	default:
+		return "forwarded"
+	}
+}

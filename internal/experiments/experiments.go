@@ -23,6 +23,7 @@ import (
 	"ipsa/internal/rp4/ast"
 	"ipsa/internal/rp4/parser"
 	"ipsa/internal/template"
+	"ipsa/internal/tsp"
 )
 
 // Config parameterizes the harness.
@@ -35,6 +36,9 @@ type Config struct {
 	Packets int
 	// Entries installed per table when measuring repopulation cost.
 	Entries int
+	// Exec selects the stage executor on both devices (compiled flat
+	// programs by default; the reference interpreter for comparison runs).
+	Exec tsp.ExecMode
 }
 
 // Default returns the standard configuration rooted at dir.
@@ -322,7 +326,9 @@ func Table1(cfg Config) (*Table1Result, error) {
 		ipbmLoad := time.Since(t1)
 
 		// P4 full flow, measured on the PISA behavioral model.
-		psw, err := pisa.New(pisa.DefaultOptions())
+		popts := pisa.DefaultOptions()
+		popts.Exec = cfg.Exec
+		psw, err := pisa.New(popts)
 		if err != nil {
 			return nil, err
 		}
@@ -377,6 +383,7 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 func swOpts(cfg Config) ipbm.Options {
 	o := ipbm.DefaultOptions()
 	o.NumTSPs = cfg.NumTSPs
+	o.Exec = cfg.Exec
 	return o
 }
 

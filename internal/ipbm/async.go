@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"ipsa/internal/pkt"
-	"ipsa/internal/template"
-	"ipsa/internal/tsp"
+	"ipsa/internal/dataplane"
 )
 
 // RunPipelined starts the asynchronous forwarding mode: one ingress worker
@@ -20,10 +18,7 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 	if egressWorkers <= 0 {
 		return fmt.Errorf("ipbm: need at least one egress worker")
 	}
-	s.mu.RLock()
-	configured := s.cfg != nil
-	s.mu.RUnlock()
-	if !configured {
+	if s.dp.Design() == nil {
 		return fmt.Errorf("ipbm: no configuration installed")
 	}
 	for i := 0; i < s.ports.Len(); i++ {
@@ -55,30 +50,33 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 }
 
 // ingestOne runs the ingress half and admits the survivor to the TM.
+// Packets and Envs are pooled; a packet parked in the TM keeps its pooled
+// buffers (its Env is returned immediately — egress binds a fresh one),
+// and is recycled as soon as it dies.
 func (s *Switch) ingestOne(data []byte, inPort int) {
-	s.mu.RLock()
-	cfg := s.cfg
-	parser := s.parser
-	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
-	s.mu.RUnlock()
-	if cfg == nil {
+	d := s.dp.Design()
+	if d == nil {
 		return
 	}
-	p := pkt.NewPacket(data, cfg.MetaBytes)
-	p.InPort = inPort
-	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+	p, err := s.dp.GetPacket(d, data, inPort)
+	if err != nil {
 		return
 	}
-	s.beginPacketTelemetry(p)
+	s.dp.BeginPacket(p)
+	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	if !s.pl.RunIngress(p, parser, s, env) {
-		s.finishPacketTelemetry(p, "dropped")
+	ok := s.pl.RunIngress(p, d.Parser, s, env)
+	s.dp.PutEnv(env)
+	if !ok {
+		s.dp.FinishPacket(p, "dropped")
+		s.dp.PutPacket(p)
 		return // dropped in ingress
 	}
 	// Tail drop is the TM's policy decision; counted in its stats.
 	if !s.pl.TM().Admit(p) {
-		s.finishPacketTelemetry(p, "tm_drop")
+		s.dp.FinishPacket(p, "tm_drop")
+		s.dp.PutPacket(p)
 	}
 }
 
@@ -89,22 +87,21 @@ func (s *Switch) egestOne() bool {
 	if !ok {
 		return false
 	}
-	s.mu.RLock()
-	parser := s.parser
-	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
-	s.mu.RUnlock()
+	d := s.dp.Design()
+	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	if !s.pl.RunEgress(p, parser, s, env) {
-		s.finishPacketTelemetry(p, "dropped")
+	survived := s.pl.RunEgress(p, d.Parser, s, env)
+	s.dp.PutEnv(env)
+	if !survived {
+		s.dp.FinishPacket(p, "dropped")
+		s.dp.PutPacket(p)
 		return true // dropped in egress
 	}
 	if p.ToCPU {
 		s.punt(p)
 	}
-	if out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth); err == nil {
-		p.OutPort = int(out)
-	}
+	dataplane.SurfaceOutPort(p)
 	if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
 		if port, err := s.ports.Port(p.OutPort); err == nil {
 			port.Send(p.Data)
@@ -112,6 +109,7 @@ func (s *Switch) egestOne() bool {
 	} else {
 		s.tel.noPortDrops.Inc()
 	}
-	s.finishPacketTelemetry(p, verdictOf(p, true, s.ports.Len()))
+	s.dp.FinishPacket(p, dataplane.Verdict(p, true, s.ports.Len()))
+	s.dp.PutPacket(p)
 	return true
 }

@@ -12,9 +12,7 @@ import (
 
 // InsertEntry installs one table entry using the shared key encoding.
 func (s *Switch) InsertEntry(req ctrlplane.EntryReq) (int, error) {
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
+	cfg := s.Config()
 	if cfg == nil {
 		return 0, fmt.Errorf("ipbm: no configuration installed")
 	}
@@ -47,8 +45,8 @@ func (s *Switch) DeleteEntry(table string, handle int) error {
 
 // AddMember adds an ECMP group member to a selector table.
 func (s *Switch) AddMember(req ctrlplane.MemberReq) error {
+	cfg := s.Config()
 	s.mu.RLock()
-	cfg := s.cfg
 	sel := s.selectors[req.Table]
 	s.mu.RUnlock()
 	if cfg == nil {
@@ -71,9 +69,7 @@ func (s *Switch) AddMember(req ctrlplane.MemberReq) error {
 
 // ListTables reports installed logical tables.
 func (s *Switch) ListTables() []ctrlplane.TableStatus {
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
+	cfg := s.Config()
 	var out []ctrlplane.TableStatus
 	if cfg == nil {
 		return out
@@ -144,7 +140,7 @@ func (s *Switch) Stats() *ctrlplane.DeviceStats {
 		ActiveTSPs:      s.pl.ActiveTSPs(),
 		StallNanos:      int64(s.pl.StallTime()),
 		TemplateLoads:   loads,
-		InvalidAccesses: s.faults.InvalidHeaderAccess.Load(),
+		InvalidAccesses: s.dp.Faults().InvalidHeaderAccess.Load(),
 		Ports:           ports,
 	}
 }

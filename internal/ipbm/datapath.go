@@ -3,70 +3,76 @@ package ipbm
 import (
 	"fmt"
 
+	"ipsa/internal/dataplane"
 	"ipsa/internal/pkt"
-	"ipsa/internal/template"
 	"ipsa/internal/tsp"
 )
 
-// NewPacket wraps raw bytes in a packet sized for the installed design's
-// metadata area and stamps istd.in_port.
+// NewPacket wraps raw bytes in a caller-owned packet sized for the
+// installed design's metadata area and stamps istd.in_port.
 func (s *Switch) NewPacket(data []byte, inPort int) (*pkt.Packet, error) {
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
-	if cfg == nil {
+	d := s.dp.Design()
+	if d == nil {
 		return nil, fmt.Errorf("ipbm: no configuration installed")
 	}
-	p := pkt.NewPacket(data, cfg.MetaBytes)
-	p.InPort = inPort
-	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return d.NewPacket(data, inPort)
 }
 
-// ProcessPacket pushes one raw frame through the pipeline and returns the
-// resulting packet. Survivors have OutPort set from istd.out_port; ToCPU
-// packets are additionally cloned onto the punt queue.
-func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
-	s.mu.RLock()
-	cfg := s.cfg
-	parser := s.parser
-	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
-	s.mu.RUnlock()
-	if cfg == nil {
-		return nil, fmt.Errorf("ipbm: no configuration installed")
-	}
-	p := pkt.NewPacket(data, cfg.MetaBytes)
-	p.InPort = inPort
-	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
-		return nil, err
-	}
-	s.beginPacketTelemetry(p)
+// run executes the synchronous lifecycle on an already-built packet:
+// telemetry begin, full pipeline, punt, out-port surfacing, telemetry
+// finish. It reports whether the packet survived the pipeline.
+func (s *Switch) run(d *dataplane.Design, p *pkt.Packet, env *tsp.Env) bool {
+	s.dp.BeginPacket(p)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	ok := s.pl.Process(p, parser, s, env)
+	ok := s.pl.Process(p, d.Parser, s, env)
 	if p.ToCPU {
 		s.punt(p)
 	}
 	if ok {
 		// The executor sets istd.out_port; surface it on the packet.
-		out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
-		if err == nil {
-			p.OutPort = int(out)
-		}
+		dataplane.SurfaceOutPort(p)
 	}
-	s.finishPacketTelemetry(p, verdictOf(p, ok, s.ports.Len()))
+	s.dp.FinishPacket(p, dataplane.Verdict(p, ok, s.ports.Len()))
+	return ok
+}
+
+// ProcessPacket pushes one raw frame through the pipeline and returns the
+// resulting packet. Survivors have OutPort set from istd.out_port; ToCPU
+// packets are additionally cloned onto the punt queue. The returned
+// packet is caller-owned (not pooled) so it can be inspected freely.
+func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	d := s.dp.Design()
+	if d == nil {
+		return nil, fmt.Errorf("ipbm: no configuration installed")
+	}
+	p, err := d.NewPacket(data, inPort)
+	if err != nil {
+		return nil, err
+	}
+	env := s.dp.GetEnv(d)
+	s.run(d, p, env)
+	s.dp.PutEnv(env)
 	return p, nil
 }
 
 // Forward processes a frame and transmits the survivor on its output
-// port. It reports whether the packet left the switch.
+// port. It reports whether the packet left the switch. This is the
+// steady-state path: packet and Env come from the dataplane pools, so a
+// forwarded packet costs zero heap allocations.
 func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
-	p, err := s.ProcessPacket(data, inPort)
+	d := s.dp.Design()
+	if d == nil {
+		return false, fmt.Errorf("ipbm: no configuration installed")
+	}
+	p, err := s.dp.GetPacket(d, data, inPort)
 	if err != nil {
 		return false, err
 	}
+	env := s.dp.GetEnv(d)
+	s.run(d, p, env)
+	s.dp.PutEnv(env)
+	defer s.dp.PutPacket(p)
 	if p.Drop {
 		return false, nil
 	}
@@ -127,5 +133,5 @@ func (s *Switch) Shutdown() {
 	}
 }
 
-// Faults exposes interpreter fault counters.
-func (s *Switch) Faults() *tsp.Faults { return &s.faults }
+// Faults exposes executor fault counters.
+func (s *Switch) Faults() *tsp.Faults { return s.dp.Faults() }

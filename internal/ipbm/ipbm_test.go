@@ -98,66 +98,86 @@ func insert(t *testing.T, sw *Switch, req ctrlplane.EntryReq) int {
 	return h
 }
 
-func populateBase(t *testing.T, sw *Switch) {
-	t.Helper()
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "port_map_tbl", Keys: []ctrlplane.FieldValue{{Value: inPort}},
-		Tag: 1, Params: []uint64{iifIndex},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "bd_vrf_tbl", Keys: []ctrlplane.FieldValue{{Value: iifIndex}},
-		Tag: 1, Params: []uint64{bridgeIn, vrfID},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "l2_l3_tbl",
-		Keys:  []ctrlplane.FieldValue{{Value: bridgeIn}, {Value: routerMAC.Uint64()}},
-		Tag:   1,
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "ipv4_host",
-		Keys:  []ctrlplane.FieldValue{{Value: vrfID}, {Value: 0x0A000002}}, // 10.0.0.2
-		Tag:   1, Params: []uint64{nexthopID},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table:     "ipv4_lpm",
-		Keys:      []ctrlplane.FieldValue{{Value: 0x0A010000}}, // 10.1.0.0/16
-		PrefixLen: 16,
-		Tag:       1, Params: []uint64{nexthopID},
-	})
+// baseEntries is the canonical table population for the base L2/L3
+// design, shared by the testing.T path (populateBase) and the fuzz-worker
+// path (populateBaseErr) which has no T to fail on.
+func baseEntries() []ctrlplane.EntryReq {
 	v6dst := make([]byte, 16)
 	v6dst[0], v6dst[15] = 0x20, 0x02
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "ipv6_host",
-		Keys:  []ctrlplane.FieldValue{{Value: vrfID}, {Bytes: v6dst}},
-		Tag:   1, Params: []uint64{nexthopID},
-	})
 	v6pfx := make([]byte, 16)
 	v6pfx[0], v6pfx[1] = 0x20, 0x01
-	insert(t, sw, ctrlplane.EntryReq{
-		Table:     "ipv6_lpm",
-		Keys:      []ctrlplane.FieldValue{{Bytes: v6pfx}},
-		PrefixLen: 32,
-		Tag:       1, Params: []uint64{nexthopID},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "nexthop_tbl", Keys: []ctrlplane.FieldValue{{Value: nexthopID}},
-		Tag: 1, Params: []uint64{bridgeOut, nhMAC.Uint64()},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "smac_tbl", Keys: []ctrlplane.FieldValue{{Value: bridgeOut}},
-		Tag: 1, Params: []uint64{smacMAC.Uint64()},
-	})
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "dmac_tbl",
-		Keys:  []ctrlplane.FieldValue{{Value: bridgeOut}, {Value: nhMAC.Uint64()}},
-		Tag:   1, Params: []uint64{outPort},
-	})
-	// L2 path: same bridge as ingress, direct MAC.
-	insert(t, sw, ctrlplane.EntryReq{
-		Table: "dmac_tbl",
-		Keys:  []ctrlplane.FieldValue{{Value: bridgeIn}, {Value: hostMAC.Uint64()}},
-		Tag:   1, Params: []uint64{5},
-	})
+	return []ctrlplane.EntryReq{
+		{
+			Table: "port_map_tbl", Keys: []ctrlplane.FieldValue{{Value: inPort}},
+			Tag: 1, Params: []uint64{iifIndex},
+		},
+		{
+			Table: "bd_vrf_tbl", Keys: []ctrlplane.FieldValue{{Value: iifIndex}},
+			Tag: 1, Params: []uint64{bridgeIn, vrfID},
+		},
+		{
+			Table: "l2_l3_tbl",
+			Keys:  []ctrlplane.FieldValue{{Value: bridgeIn}, {Value: routerMAC.Uint64()}},
+			Tag:   1,
+		},
+		{
+			Table: "ipv4_host",
+			Keys:  []ctrlplane.FieldValue{{Value: vrfID}, {Value: 0x0A000002}}, // 10.0.0.2
+			Tag:   1, Params: []uint64{nexthopID},
+		},
+		{
+			Table:     "ipv4_lpm",
+			Keys:      []ctrlplane.FieldValue{{Value: 0x0A010000}}, // 10.1.0.0/16
+			PrefixLen: 16,
+			Tag:       1, Params: []uint64{nexthopID},
+		},
+		{
+			Table: "ipv6_host",
+			Keys:  []ctrlplane.FieldValue{{Value: vrfID}, {Bytes: v6dst}},
+			Tag:   1, Params: []uint64{nexthopID},
+		},
+		{
+			Table:     "ipv6_lpm",
+			Keys:      []ctrlplane.FieldValue{{Bytes: v6pfx}},
+			PrefixLen: 32,
+			Tag:       1, Params: []uint64{nexthopID},
+		},
+		{
+			Table: "nexthop_tbl", Keys: []ctrlplane.FieldValue{{Value: nexthopID}},
+			Tag: 1, Params: []uint64{bridgeOut, nhMAC.Uint64()},
+		},
+		{
+			Table: "smac_tbl", Keys: []ctrlplane.FieldValue{{Value: bridgeOut}},
+			Tag: 1, Params: []uint64{smacMAC.Uint64()},
+		},
+		{
+			Table: "dmac_tbl",
+			Keys:  []ctrlplane.FieldValue{{Value: bridgeOut}, {Value: nhMAC.Uint64()}},
+			Tag:   1, Params: []uint64{outPort},
+		},
+		// L2 path: same bridge as ingress, direct MAC.
+		{
+			Table: "dmac_tbl",
+			Keys:  []ctrlplane.FieldValue{{Value: bridgeIn}, {Value: hostMAC.Uint64()}},
+			Tag:   1, Params: []uint64{5},
+		},
+	}
+}
+
+func populateBase(t *testing.T, sw *Switch) {
+	t.Helper()
+	for _, req := range baseEntries() {
+		insert(t, sw, req)
+	}
+}
+
+func populateBaseErr(sw *Switch) error {
+	for _, req := range baseEntries() {
+		if _, err := sw.InsertEntry(req); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func v4Packet(t *testing.T, dst [4]byte, dmac pkt.MAC, ttl uint8) []byte {

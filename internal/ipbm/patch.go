@@ -58,7 +58,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		}
 		stats.TablesCreated++
 		if t.IsSelector {
-			s.selectors[name] = &selectorTable{groups: make(map[string][]match.Result)}
+			s.selectors[name] = newSelectorTable()
 		}
 	}
 	for _, name := range p.RemovedTables {
@@ -80,10 +80,11 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	newRuntimes := make(map[string]*tsp.StageRuntime)
 	for _, sn := range append(append([]string(nil), cfg.IngressChain...), cfg.EgressChain...) {
 		if rewritten[cfg.TSPAssignment[sn]] {
-			sr, err := tsp.NewStageRuntime(cfg, sn)
+			sr, err := tsp.NewStageRuntimeMode(cfg, sn, s.opts.Exec)
 			if err != nil {
 				return nil, err
 			}
+			sr.Bind(s)
 			newRuntimes[sn] = sr
 		}
 	}
@@ -126,12 +127,12 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		return nil, err
 	}
 
-	// 5. Swap in the new parser (header links may have changed) and
-	// config; untouched TSPs keep their existing runtimes, whose
-	// templates are bit-identical by the manifest's contract.
-	s.parser = tsp.NewOnDemandParser(cfg)
-	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
-	s.cfg = cfg
+	// 5. Publish the new design snapshot (the parser may have changed:
+	// header links) and the refreshed table-handle view; untouched TSPs
+	// keep their existing runtimes, whose templates are bit-identical by
+	// the manifest's contract.
+	s.rebuildLookups()
+	s.dp.Install(cfg, s.regs)
 	stats.LoadNanos = int64(time.Since(start))
 	s.tel.appliesPatch.Inc()
 	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))

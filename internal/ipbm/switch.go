@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/dataplane"
 	"ipsa/internal/match"
 	"ipsa/internal/mem"
 	"ipsa/internal/netio"
@@ -46,6 +47,9 @@ type Options struct {
 	// a histogram update per active TSP; at the ipbm daemon's 1-in-128
 	// default that amortizes to well under a percent of a ~2µs forward.
 	LatencyEvery uint64
+	// Exec selects the stage executor: the compiled flat-program runner
+	// (default) or the tree-walking reference interpreter.
+	Exec tsp.ExecMode
 }
 
 // DefaultOptions returns a software-scale switch: more TSPs than the
@@ -75,14 +79,21 @@ type Switch struct {
 	ports *netio.PortSet
 	regs  *tsp.RegisterFile
 
-	mu        sync.RWMutex
-	cfg       *template.Config
-	parser    *tsp.OnDemandParser
-	selectors map[string]*selectorTable
-	srhID     pkt.HeaderID
-	ipv6ID    pkt.HeaderID
+	// dp holds the per-packet execution state: the installed design as an
+	// atomic snapshot (the hot path never takes s.mu), fault counters and
+	// the packet/Env pools.
+	dp *dataplane.Core
 
-	faults tsp.Faults
+	// mu serializes configuration changes and guards the selector map.
+	mu        sync.RWMutex
+	selectors map[string]*selectorTable
+
+	// lookups is the hot path's view of the table store: resolved
+	// handles keyed by name, swapped atomically whenever a config apply
+	// or patch creates, drops or migrates tables. Per-packet lookups
+	// never touch the memory manager's mutex.
+	lookups atomic.Pointer[lookupSnapshot]
+
 	toCPU  chan *pkt.Packet
 	punted atomic.Uint64
 
@@ -119,10 +130,12 @@ func New(opts Options) (*Switch, error) {
 		mm:        mm,
 		ports:     ports,
 		regs:      tsp.NewRegisterFile(nil),
+		dp:        dataplane.NewCore(),
 		selectors: make(map[string]*selectorTable),
 		toCPU:     make(chan *pkt.Packet, puntDepth),
 	}
 	s.newTelemetry(opts)
+	s.dp.SetHooks(telemetryHooks{s})
 	return s, nil
 }
 
@@ -141,39 +154,57 @@ func (s *Switch) Registers() *tsp.RegisterFile { return s.regs }
 // Config returns the installed configuration (nil before the first
 // ApplyConfig).
 func (s *Switch) Config() *template.Config {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cfg
+	if d := s.dp.Design(); d != nil {
+		return d.Cfg
+	}
+	return nil
 }
 
 // selectorTable backs an ECMP-style selector: groups of members resolved
-// by hash.
+// by hash. Like the exact-match engine, the per-packet lookup is
+// lock-free over an immutable copy-on-write snapshot; member adds (a
+// control-plane operation) clone and republish.
 type selectorTable struct {
-	mu     sync.RWMutex
-	groups map[string][]match.Result
+	mu     sync.Mutex // serialises writers; readers never take it
+	groups atomic.Pointer[map[string][]match.Result]
+}
+
+func newSelectorTable() *selectorTable {
+	st := &selectorTable{}
+	m := make(map[string][]match.Result)
+	st.groups.Store(&m)
+	return st
 }
 
 func (st *selectorTable) addMember(group []byte, r match.Result) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.groups[string(group)] = append(st.groups[string(group)], r)
+	old := *st.groups.Load()
+	m := make(map[string][]match.Result, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	k := string(group)
+	m[k] = append(append([]match.Result(nil), old[k]...), r)
+	st.groups.Store(&m)
 }
 
 func (st *selectorTable) lookup(group []byte, h uint64) (match.Result, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	members := st.groups[string(group)]
+	members := (*st.groups.Load())[string(group)]
 	if len(members) == 0 {
 		return match.Result{}, false
 	}
 	return members[h%uint64(len(members))], true
 }
 
+// LookupMember implements tsp.ResolvedSelector for bound handles.
+func (st *selectorTable) LookupMember(group []byte, h uint64) (match.Result, bool) {
+	return st.lookup(group, h)
+}
+
 func (st *selectorTable) memberCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	n := 0
-	for _, m := range st.groups {
+	for _, m := range *st.groups.Load() {
 		n += len(m)
 	}
 	return n
@@ -247,7 +278,10 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old := s.cfg
+	var old *template.Config
+	if d := s.dp.Design(); d != nil {
+		old = d.Cfg
+	}
 	if old != nil && cfg.Patch != nil && s.opts.Crossbar == mem.FullCrossbar {
 		// rp4bc told us exactly what changed: write only that. (Clustered
 		// crossbars take the diffing path because a layout change may
@@ -296,7 +330,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		}
 		stats.TablesCreated++
 		if t.IsSelector {
-			s.selectors[name] = &selectorTable{groups: make(map[string][]match.Result)}
+			s.selectors[name] = newSelectorTable()
 		}
 	}
 	if old != nil {
@@ -311,10 +345,14 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		}
 	}
 
-	// 3. Build stage runtimes for the new config.
-	runtimes, err := tsp.BuildStageRuntimes(cfg)
+	// 3. Build stage runtimes for the new config, lowering each stage
+	// template to its flat program (unless the interpreter was selected).
+	runtimes, err := tsp.BuildStageRuntimesMode(cfg, s.opts.Exec)
 	if err != nil {
 		return nil, err
+	}
+	for _, sr := range runtimes {
+		sr.Bind(s)
 	}
 
 	// 4. Drain the pipeline and patch TSP templates + selector.
@@ -373,10 +411,10 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		return nil, err
 	}
 
-	// 5. Swap in the new parser and config.
-	s.parser = tsp.NewOnDemandParser(cfg)
-	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
-	s.cfg = cfg
+	// 5. Publish the new design snapshot (parser, SRv6 IDs, config) and
+	// the refreshed table-handle view.
+	s.rebuildLookups()
+	s.dp.Install(cfg, s.regs)
 	stats.LoadNanos = int64(time.Since(start))
 	if stats.Full {
 		s.tel.appliesFull.Inc()
@@ -388,10 +426,63 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	return stats, nil
 }
 
+// lookupSnapshot is an immutable name→handle view of the table store.
+type lookupSnapshot struct {
+	tables    map[string]*mem.Table
+	selectors map[string]*selectorTable
+}
+
+// rebuildLookups publishes a fresh snapshot of resolved table and
+// selector handles. Called with s.mu held after any change to the table
+// set (create, drop, migrate); entry inserts and member adds mutate the
+// handles' contents and need no republish.
+func (s *Switch) rebuildLookups() {
+	snap := &lookupSnapshot{
+		tables:    make(map[string]*mem.Table),
+		selectors: make(map[string]*selectorTable, len(s.selectors)),
+	}
+	for _, name := range s.mm.Tables() {
+		if t, ok := s.mm.Table(name); ok {
+			snap.tables[name] = t
+		}
+	}
+	for name, st := range s.selectors {
+		snap.selectors[name] = st
+	}
+	s.lookups.Store(snap)
+}
+
+// ResolveTable implements tsp.TableResolver: compiled stage programs
+// bind direct *mem.Table handles at apply time and skip the per-packet
+// name resolution. The handle survives inserts and migrations (the
+// manager mutates the table in place).
+func (s *Switch) ResolveTable(name string) (tsp.ResolvedTable, bool) {
+	t, ok := s.mm.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// ResolveSelector implements tsp.SelectorResolver; the same lifetime
+// contract as ResolveTable applies (member adds mutate the handle's
+// contents in place; only a table drop, which rebinds, invalidates it).
+func (s *Switch) ResolveSelector(name string) (tsp.ResolvedSelector, bool) {
+	st, ok := s.selectors[name]
+	if !ok {
+		return nil, false
+	}
+	return st, true
+}
+
 // Lookup implements tsp.TableBackend over the storage module.
 func (s *Switch) Lookup(table string, key []byte) (match.Result, bool) {
-	t, ok := s.mm.Table(table)
-	if !ok {
+	snap := s.lookups.Load()
+	if snap == nil {
+		return match.Result{}, false
+	}
+	t := snap.tables[table]
+	if t == nil {
 		return match.Result{}, false
 	}
 	return t.Lookup(key)
@@ -399,9 +490,11 @@ func (s *Switch) Lookup(table string, key []byte) (match.Result, bool) {
 
 // LookupSelector implements the ECMP group/member resolution.
 func (s *Switch) LookupSelector(table string, groupKey []byte, h uint64) (match.Result, bool) {
-	s.mu.RLock()
-	st := s.selectors[table]
-	s.mu.RUnlock()
+	snap := s.lookups.Load()
+	if snap == nil {
+		return match.Result{}, false
+	}
+	st := snap.selectors[table]
 	if st == nil {
 		return match.Result{}, false
 	}

@@ -5,6 +5,7 @@ import (
 
 	"ipsa/internal/pkt"
 	"ipsa/internal/telemetry"
+	"ipsa/internal/template"
 )
 
 // Telemetry is the switch's observability state: a metrics registry, the
@@ -99,11 +100,12 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 		gauge("ipsa_tm_queue_depth", float64(depth), telemetry.L("port", strconv.Itoa(port)))
 	}
 
-	// Punt path and interpreter faults.
+	// Punt path and executor faults.
 	ctr("ipsa_to_cpu_total", s.punted.Load())
-	ctr("ipsa_faults_total", s.faults.InvalidHeaderAccess.Load(), telemetry.L("kind", "invalid_header_access"))
-	ctr("ipsa_faults_total", s.faults.RegisterFault.Load(), telemetry.L("kind", "register_fault"))
-	ctr("ipsa_faults_total", s.faults.BadTemplate.Load(), telemetry.L("kind", "bad_template"))
+	faults := s.dp.Faults()
+	ctr("ipsa_faults_total", faults.InvalidHeaderAccess.Load(), telemetry.L("kind", "invalid_header_access"))
+	ctr("ipsa_faults_total", faults.RegisterFault.Load(), telemetry.L("kind", "register_fault"))
+	ctr("ipsa_faults_total", faults.BadTemplate.Load(), telemetry.L("kind", "bad_template"))
 
 	// Storage module: per-table hit/miss counters and occupancy.
 	for _, name := range s.mm.Tables() {
@@ -133,6 +135,16 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 	}
 }
 
+// telemetryHooks adapts the switch's sampled packet telemetry to the
+// dataplane lifecycle callbacks.
+type telemetryHooks struct{ s *Switch }
+
+func (h telemetryHooks) BeginPacket(p *pkt.Packet) { h.s.beginPacketTelemetry(p) }
+
+func (h telemetryHooks) FinishPacket(p *pkt.Packet, verdict string) {
+	h.s.finishPacketTelemetry(p, verdict)
+}
+
 // beginPacketTelemetry makes the per-packet sampling decisions: it
 // attaches a flight record (rarely) and marks the packet latency-sampled
 // (more often). Cost when nothing samples: two atomic increments.
@@ -156,9 +168,10 @@ func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
 	rec.OutPort = p.OutPort
 	rec.Bytes = len(p.Data)
 	rec.Verdict = verdict
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
+	var cfg *template.Config
+	if d := s.dp.Design(); d != nil {
+		cfg = d.Cfg
+	}
 	p.HV.Each(func(id pkt.HeaderID, loc pkt.HeaderLoc) {
 		name := "hdr" + strconv.Itoa(int(id))
 		if cfg != nil {
@@ -169,20 +182,4 @@ func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
 		rec.Headers = append(rec.Headers, telemetry.TraceHeader{Name: name, Off: loc.Off, Len: loc.Len})
 	})
 	s.tel.Tracer.Commit(rec)
-}
-
-// verdictOf classifies a finished packet for its flight record.
-func verdictOf(p *pkt.Packet, survived bool, numPorts int) string {
-	switch {
-	case p.Drop:
-		return "dropped"
-	case !survived:
-		return "tm_drop" // admission failed without a stage drop
-	case p.ToCPU:
-		return "to_cpu"
-	case p.OutPort < 0 || p.OutPort >= numPorts:
-		return "no_port"
-	default:
-		return "forwarded"
-	}
 }

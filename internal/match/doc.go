@@ -8,6 +8,8 @@
 // from the header/metadata fields named in the table definition. Every
 // engine satisfies the Engine interface so the data plane can treat tables
 // uniformly, and every engine is safe for concurrent lookups with
-// single-writer updates (sync.RWMutex), matching the control/data plane
-// split of a switch.
+// single-writer updates, matching the control/data plane split of a
+// switch. The exact-match engine publishes copy-on-write snapshots so the
+// per-packet lookup takes no lock at all (the software analogue of a
+// shadow-bank swap); the trie/TCAM models keep a sync.RWMutex.
 package match

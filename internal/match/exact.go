@@ -3,41 +3,55 @@ package match
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // exactEngine is a hash-table exact-match engine, the software model of an
-// SRAM exact-match table.
+// SRAM exact-match table. Lookups are lock-free: readers follow an atomic
+// pointer to an immutable map snapshot (the software analogue of a shadow
+// bank swap), while writers serialise on mu and publish a fresh copy.
 type exactEngine struct {
-	mu       sync.RWMutex
+	mu       sync.Mutex // serialises writers; readers never take it
 	kind     Kind
 	width    int
 	capacity int
-	entries  map[string]*Entry
-	byHandle map[int]*Entry
+	snap     atomic.Pointer[map[string]*Entry]
+	byHandle map[int]*Entry // writer-side index, guarded by mu
 	next     int
 }
 
 func newExact(kind Kind, widthBits, capacity int) *exactEngine {
-	return &exactEngine{
+	e := &exactEngine{
 		kind:     kind,
 		width:    widthBits,
 		capacity: capacity,
-		entries:  make(map[string]*Entry),
 		byHandle: make(map[int]*Entry),
 	}
+	m := make(map[string]*Entry)
+	e.snap.Store(&m)
+	return e
 }
 
 func (e *exactEngine) Kind() Kind    { return e.kind }
 func (e *exactEngine) KeyWidth() int { return e.width }
 
 func (e *exactEngine) Lookup(key []byte) (Result, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	ent, ok := e.entries[string(key)]
+	ent, ok := (*e.snap.Load())[string(key)]
 	if !ok {
 		return Result{}, false
 	}
 	return Result{ActionID: ent.ActionID, Params: ent.Params, EntryHandle: ent.Handle}, true
+}
+
+// publish installs ent under k in a fresh snapshot. Callers hold mu.
+// Entries in a published snapshot are immutable; replacement clones.
+func (e *exactEngine) publish(old map[string]*Entry, k string, ent *Entry) {
+	m := make(map[string]*Entry, len(old)+1)
+	for kk, vv := range old {
+		m[kk] = vv
+	}
+	m[k] = ent
+	e.snap.Store(&m)
 }
 
 func (e *exactEngine) Insert(ent Entry) (int, error) {
@@ -46,14 +60,18 @@ func (e *exactEngine) Insert(ent Entry) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	old := *e.snap.Load()
 	k := string(ent.Key)
-	if old, ok := e.entries[k]; ok {
-		// Replace in place, keeping the handle.
-		old.ActionID = ent.ActionID
-		old.Params = append([]uint64(nil), ent.Params...)
-		return old.Handle, nil
+	if prev, ok := old[k]; ok {
+		// Replace, keeping the handle.
+		cp := *prev
+		cp.ActionID = ent.ActionID
+		cp.Params = append([]uint64(nil), ent.Params...)
+		e.publish(old, k, &cp)
+		e.byHandle[cp.Handle] = &cp
+		return cp.Handle, nil
 	}
-	if e.capacity > 0 && len(e.entries) >= e.capacity {
+	if e.capacity > 0 && len(old) >= e.capacity {
 		return 0, fmt.Errorf("%w: %d entries", ErrFull, e.capacity)
 	}
 	cp := ent
@@ -61,7 +79,7 @@ func (e *exactEngine) Insert(ent Entry) (int, error) {
 	cp.Params = append([]uint64(nil), ent.Params...)
 	cp.Handle = e.next
 	e.next++
-	e.entries[k] = &cp
+	e.publish(old, k, &cp)
 	e.byHandle[cp.Handle] = &cp
 	return cp.Handle, nil
 }
@@ -74,21 +92,26 @@ func (e *exactEngine) Delete(handle int) error {
 		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
 	}
 	delete(e.byHandle, handle)
-	delete(e.entries, string(ent.Key))
+	old := *e.snap.Load()
+	m := make(map[string]*Entry, len(old))
+	k := string(ent.Key)
+	for kk, vv := range old {
+		if kk != k {
+			m[kk] = vv
+		}
+	}
+	e.snap.Store(&m)
 	return nil
 }
 
 func (e *exactEngine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.entries)
+	return len(*e.snap.Load())
 }
 
 func (e *exactEngine) Entries() []Entry {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]Entry, 0, len(e.entries))
-	for _, ent := range e.entries {
+	m := *e.snap.Load()
+	out := make([]Entry, 0, len(m))
+	for _, ent := range m {
 		cp := *ent
 		cp.Key = append([]byte(nil), ent.Key...)
 		cp.Params = append([]uint64(nil), ent.Params...)

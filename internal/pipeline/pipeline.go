@@ -156,19 +156,77 @@ func (p *Pipeline) Process(pk *pkt.Packet, parser *tsp.OnDemandParser, backend t
 	// TM: a real chip buffers and schedules here; the synchronous path
 	// models an uncongested TM pass-through while still exercising the
 	// queue accounting.
-	if !p.tm.Admit(pk) {
+	if !p.tm.PassThrough(pk) {
 		p.dropped.Add(1)
 		return false
 	}
-	p.tm.Release(pk)
 	return p.RunEgress(pk, parser, backend, env)
+}
+
+// pktRing is a growable circular packet queue: O(1) push/popHead with no
+// per-enqueue allocation once the ring has grown to its working set.
+// Structural mutation happens under the owning TM's mutex; n is atomic so
+// the lock-free PassThrough admission check can read the depth.
+type pktRing struct {
+	buf  []*pkt.Packet
+	head int
+	n    atomic.Int32
+}
+
+func (r *pktRing) push(p *pkt.Packet) {
+	n := int(r.n.Load())
+	if n == len(r.buf) {
+		r.grow(n)
+	}
+	r.buf[(r.head+n)%len(r.buf)] = p
+	r.n.Store(int32(n + 1))
+}
+
+func (r *pktRing) grow(n int) {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	nb := make([]*pkt.Packet, newCap)
+	for i := 0; i < n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *pktRing) popHead() *pkt.Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n.Add(-1)
+	return p
+}
+
+// remove deletes p, scanning from the tail: the synchronous path always
+// releases the packet it just admitted, so the scan hits on the first
+// probe and nothing shifts.
+func (r *pktRing) remove(p *pkt.Packet) bool {
+	n := int(r.n.Load())
+	for i := n - 1; i >= 0; i-- {
+		if r.buf[(r.head+i)%len(r.buf)] != p {
+			continue
+		}
+		for j := i; j < n-1; j++ {
+			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+		}
+		r.buf[(r.head+n-1)%len(r.buf)] = nil
+		r.n.Store(int32(n - 1))
+		return true
+	}
+	return false
 }
 
 // TrafficManager models the TM's per-port queues with tail drop.
 type TrafficManager struct {
 	mu     sync.Mutex
 	depth  int
-	queues [][]*pkt.Packet
+	queues []pktRing
 	rr     int // round-robin scan position for DequeueRR
 
 	enqueued  atomic.Uint64
@@ -182,7 +240,7 @@ func NewTrafficManager(ports, depth int) *TrafficManager {
 	if ports < 1 {
 		ports = 1
 	}
-	tm.queues = make([][]*pkt.Packet, ports)
+	tm.queues = make([]pktRing, ports)
 	return tm
 }
 
@@ -192,11 +250,11 @@ func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	q := tm.portOf(p)
-	if tm.depth > 0 && len(tm.queues[q]) >= tm.depth {
+	if tm.depth > 0 && int(tm.queues[q].n.Load()) >= tm.depth {
 		tm.tailDrops.Add(1)
 		return false
 	}
-	tm.queues[q] = append(tm.queues[q], p)
+	tm.queues[q].push(p)
 	tm.enqueued.Add(1)
 	return true
 }
@@ -205,13 +263,22 @@ func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
 func (tm *TrafficManager) Release(p *pkt.Packet) {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	q := tm.portOf(p)
-	for i, cand := range tm.queues[q] {
-		if cand == p {
-			tm.queues[q] = append(tm.queues[q][:i], tm.queues[q][i+1:]...)
-			return
-		}
+	tm.queues[tm.portOf(p)].remove(p)
+}
+
+// PassThrough is the synchronous path's fused Admit+Release: the packet
+// would be enqueued and immediately scheduled, so only the admission
+// check and the accounting happen — no lock, no queue churn. The depth
+// read is atomic but unserialised against concurrent Admit, so admission
+// against in-flight queued traffic is approximate by at most one packet,
+// like any real TM's occupancy counter.
+func (tm *TrafficManager) PassThrough(p *pkt.Packet) bool {
+	if tm.depth > 0 && int(tm.queues[tm.portOf(p)].n.Load()) >= tm.depth {
+		tm.tailDrops.Add(1)
+		return false
 	}
+	tm.enqueued.Add(1)
+	return true
 }
 
 // DequeueRR removes the oldest packet from the next non-empty queue in
@@ -224,9 +291,8 @@ func (tm *TrafficManager) DequeueRR() (*pkt.Packet, bool) {
 	n := len(tm.queues)
 	for i := 0; i < n; i++ {
 		q := (tm.rr + i) % n
-		if len(tm.queues[q]) > 0 {
-			p := tm.queues[q][0]
-			tm.queues[q] = tm.queues[q][1:]
+		if tm.queues[q].n.Load() > 0 {
+			p := tm.queues[q].popHead()
 			tm.rr = (q + 1) % n
 			return p, true
 		}
@@ -252,8 +318,8 @@ func (tm *TrafficManager) Depths() []int {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	out := make([]int, len(tm.queues))
-	for i, q := range tm.queues {
-		out[i] = len(q)
+	for i := range tm.queues {
+		out[i] = int(tm.queues[i].n.Load())
 	}
 	return out
 }
@@ -265,5 +331,5 @@ func (tm *TrafficManager) Depth(port int) int {
 	if port < 0 || port >= len(tm.queues) {
 		return 0
 	}
-	return len(tm.queues[port])
+	return int(tm.queues[port].n.Load())
 }

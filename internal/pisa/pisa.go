@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/dataplane"
 	"ipsa/internal/match"
 	"ipsa/internal/pkt"
 	"ipsa/internal/template"
@@ -36,6 +37,9 @@ type Options struct {
 	StageBlocks int
 	// BlockWidth/BlockDepth size one memory block (bits × entries).
 	BlockWidth, BlockDepth int
+	// Exec selects the stage executor (compiled by default; the
+	// tree-walking interpreter for differential testing).
+	Exec tsp.ExecMode
 }
 
 // DefaultOptions mirrors a mid-sized fixed-function budget.
@@ -58,19 +62,17 @@ type physStage struct {
 type Switch struct {
 	opts Options
 
+	// dp holds the installed design snapshot (config, parser, registers,
+	// SRv6 IDs), fault counters and the Env pool, shared with ipbm so the
+	// per-packet lifecycle is identical infrastructure.
+	dp *dataplane.Core
+
 	mu        sync.RWMutex
-	cfg       *template.Config
-	parser    *tsp.OnDemandParser
 	ingress   []physStage
 	egress    []physStage
 	tables    map[string]match.Engine
 	selectors map[string]map[string][]match.Result
 	tstats    map[string]*tableCounters
-	regs      *tsp.RegisterFile
-	srhID     pkt.HeaderID
-	ipv6ID    pkt.HeaderID
-
-	faults tsp.Faults
 
 	processed uint64
 	dropped   uint64
@@ -94,12 +96,12 @@ func New(opts Options) (*Switch, error) {
 	}
 	return &Switch{
 		opts:      opts,
+		dp:        dataplane.NewCore(),
 		ingress:   make([]physStage, opts.IngressStages),
 		egress:    make([]physStage, opts.EgressStages),
 		tables:    make(map[string]match.Engine),
 		selectors: make(map[string]map[string][]match.Result),
 		tstats:    make(map[string]*tableCounters),
-		regs:      tsp.NewRegisterFile(nil),
 	}, nil
 }
 
@@ -145,7 +147,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	runtimes, err := tsp.BuildStageRuntimes(cfg)
+	runtimes, err := tsp.BuildStageRuntimesMode(cfg, s.opts.Exec)
 	if err != nil {
 		return nil, err
 	}
@@ -201,15 +203,13 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		tstats[name] = &tableCounters{}
 	}
 
-	s.cfg = cfg
-	s.parser = tsp.NewOnDemandParser(cfg)
-	s.srhID, s.ipv6ID = tsp.ResolveSRv6IDs(cfg)
 	s.ingress = newIngress
 	s.egress = newEgress
 	s.tables = tables
 	s.selectors = selectors
 	s.tstats = tstats
-	s.regs = tsp.NewRegisterFile(cfg.Registers) // reset, unlike ipbm
+	// Registers reset on every rebuild, unlike ipbm's additive update.
+	s.dp.Install(cfg, tsp.NewRegisterFile(cfg.Registers))
 	s.effectiveStagesUsed = used
 	s.reloads++
 
@@ -257,19 +257,12 @@ func (s *Switch) LookupSelector(table string, groupKey []byte, h uint64) (match.
 
 // frontParse is PISA's standalone parser: it walks the entire parse graph
 // up front regardless of what the stages need (paper Sec. 2.1).
-func (s *Switch) frontParse(p *pkt.Packet) {
-	s.mu.RLock()
-	cfg := s.cfg
-	parser := s.parser
-	s.mu.RUnlock()
-	if cfg == nil {
-		return
-	}
+func (s *Switch) frontParse(d *dataplane.Design, p *pkt.Packet) {
 	// Parsing "everything" = ensuring every header; the walk stops at the
 	// first header the packet doesn't carry, exactly like a front parser
 	// reaching an accept state.
-	for _, h := range cfg.Headers {
-		parser.Ensure(p, h.ID)
+	for i := range d.Cfg.Headers {
+		d.Parser.Ensure(p, d.Cfg.Headers[i].ID)
 	}
 }
 
@@ -281,32 +274,32 @@ func (s *Switch) deparse(p *pkt.Packet) {
 	p.Data = out
 }
 
-// ProcessPacket pushes a frame through the fixed pipeline.
+// ProcessPacket pushes a frame through the fixed pipeline. The returned
+// packet is caller-owned; the per-packet Env comes from the shared
+// dataplane pool.
 func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	d := s.dp.Design()
+	if d == nil {
+		return nil, fmt.Errorf("pisa: no configuration installed")
+	}
 	s.mu.RLock()
-	cfg := s.cfg
-	parser := s.parser
 	ing := s.ingress
 	eg := s.egress
 	s.mu.RUnlock()
-	if cfg == nil {
-		return nil, fmt.Errorf("pisa: no configuration installed")
-	}
-	p := pkt.NewPacket(data, cfg.MetaBytes)
-	p.InPort = inPort
-	if err := p.SetMetaBits(template.IstdInPortOff, template.IstdInPortWidth, uint64(inPort)); err != nil {
+	p, err := d.NewPacket(data, inPort)
+	if err != nil {
 		return nil, err
 	}
-	env := &tsp.Env{Regs: s.regs, Faults: &s.faults, SRHID: s.srhID, IPv6ID: s.ipv6ID}
+	env := s.dp.GetEnv(d)
 
-	s.frontParse(p)
+	s.frontParse(d, p)
 	// Every physical stage is traversed, programmed or not.
 	for i := range ing {
 		if p.Drop {
 			break
 		}
 		if ing[i].runtime != nil {
-			ing[i].runtime.Execute(p, parser, s, env)
+			ing[i].runtime.Execute(p, d.Parser, s, env)
 		}
 	}
 	if !p.Drop {
@@ -315,10 +308,11 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 				break
 			}
 			if eg[i].runtime != nil {
-				eg[i].runtime.Execute(p, parser, s, env)
+				eg[i].runtime.Execute(p, d.Parser, s, env)
 			}
 		}
 	}
+	s.dp.PutEnv(env)
 	s.mu.Lock()
 	if p.Drop {
 		s.dropped++
@@ -330,18 +324,22 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 		return p, nil
 	}
 	s.deparse(p)
-	out, err := p.MetaBits(template.IstdOutPortOff, template.IstdOutPortWidth)
-	if err == nil {
-		p.OutPort = int(out)
-	}
+	dataplane.SurfaceOutPort(p)
 	return p, nil
+}
+
+// Config returns the installed configuration (nil before the first
+// ApplyConfig).
+func (s *Switch) Config() *template.Config {
+	if d := s.dp.Design(); d != nil {
+		return d.Cfg
+	}
+	return nil
 }
 
 // InsertEntry installs one table entry (same encoding as ipbm).
 func (s *Switch) InsertEntry(req ctrlplane.EntryReq) (int, error) {
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
+	cfg := s.Config()
 	if cfg == nil {
 		return 0, fmt.Errorf("pisa: no configuration installed")
 	}
@@ -367,9 +365,7 @@ func (s *Switch) InsertEntry(req ctrlplane.EntryReq) (int, error) {
 
 // AddMember adds an ECMP member to a selector table.
 func (s *Switch) AddMember(req ctrlplane.MemberReq) error {
-	s.mu.RLock()
-	cfg := s.cfg
-	s.mu.RUnlock()
+	cfg := s.Config()
 	if cfg == nil {
 		return fmt.Errorf("pisa: no configuration installed")
 	}
@@ -411,12 +407,16 @@ func (s *Switch) Stats() (processed, dropped uint64) {
 	return s.processed, s.dropped
 }
 
-// Faults exposes interpreter fault counters.
-func (s *Switch) Faults() *tsp.Faults { return &s.faults }
+// Faults exposes executor fault counters.
+func (s *Switch) Faults() *tsp.Faults { return s.dp.Faults() }
 
 // ReadRegister reads one register cell.
 func (s *Switch) ReadRegister(name string, index uint64) (uint64, error) {
-	v, ok := s.regs.Read(name, index)
+	d := s.dp.Design()
+	if d == nil {
+		return 0, fmt.Errorf("pisa: no configuration installed")
+	}
+	v, ok := d.Regs.Read(name, index)
 	if !ok {
 		return 0, fmt.Errorf("pisa: register %q[%d] unreadable", name, index)
 	}

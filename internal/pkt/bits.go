@@ -49,16 +49,35 @@ func SetBits(buf []byte, bitOff, width int, v uint64) error {
 	if width < 64 {
 		v &= (1 << uint(width)) - 1
 	}
-	for i := end - 1; i >= bitOff; i-- {
-		byteIdx := i / 8
-		mask := byte(1) << uint(7-i%8)
-		if v&1 == 1 {
-			buf[byteIdx] |= mask
-		} else {
-			buf[byteIdx] &^= mask
-		}
-		v >>= 1
+	// Byte-wise store: stage the field into byte alignment (MSB first,
+	// shifted so it ends at the last byte's boundary slack), then splice
+	// the partial first/last bytes with masks and copy the middle whole.
+	firstByte := bitOff / 8
+	lastByte := (end + 7) / 8 // exclusive
+	n := lastByte - firstByte // 1..9 bytes
+	headBits := uint(bitOff - firstByte*8)
+	endSlack := uint(lastByte*8 - end)
+	var tmp [9]byte
+	sh := v << endSlack
+	for i := n - 1; i >= 0; i-- {
+		tmp[i] = byte(sh)
+		sh >>= 8
 	}
+	if int(endSlack)+width > 64 {
+		// The aligned value needs more than 64 bits; its top byte is the
+		// part shifted out of the uint64 above.
+		tmp[0] = byte(v >> (64 - endSlack))
+	}
+	firstMask := byte(0xFF) >> headBits
+	lastMask := byte(0xFF) << endSlack
+	if n == 1 {
+		m := firstMask & lastMask
+		buf[firstByte] = buf[firstByte]&^m | tmp[0]&m
+		return nil
+	}
+	buf[firstByte] = buf[firstByte]&^firstMask | tmp[0]&firstMask
+	copy(buf[firstByte+1:lastByte-1], tmp[1:n-1])
+	buf[lastByte-1] = buf[lastByte-1]&^lastMask | tmp[n-1]&lastMask
 	return nil
 }
 
@@ -105,18 +124,28 @@ func copyUnaligned(buf []byte, bitOff, width int, dst []byte) error {
 	if len(dst) < nBytes {
 		return fmt.Errorf("pkt: destination of %d bytes too small for %d-bit field", len(dst), width)
 	}
-	// Left-pad so the field ends at a byte boundary of dst.
+	// Left-pad so the field ends at a byte boundary of dst: dst[0] holds
+	// the leading (8-pad)-bit fragment, every later byte a full 8 bits.
+	// Bounds were validated above, so the chunked GetBits calls cannot
+	// fail.
 	pad := nBytes*8 - width
-	for i := range dst[:nBytes] {
-		dst[i] = 0
+	firstWidth := 8 - pad
+	if firstWidth > width {
+		firstWidth = width
 	}
-	for i := 0; i < width; i++ {
-		srcBit := bitOff + i
-		bit := (buf[srcBit/8] >> uint(7-srcBit%8)) & 1
-		dstBit := pad + i
-		if bit == 1 {
-			dst[dstBit/8] |= 1 << uint(7-dstBit%8)
+	v, err := GetBits(buf, bitOff, firstWidth)
+	if err != nil {
+		return err
+	}
+	dst[0] = byte(v)
+	off := bitOff + firstWidth
+	for j := 1; j < nBytes; j++ {
+		v, err = GetBits(buf, off, 8)
+		if err != nil {
+			return err
 		}
+		dst[j] = byte(v)
+		off += 8
 	}
 	return nil
 }
@@ -129,17 +158,23 @@ func storeUnaligned(buf []byte, bitOff, width int, src []byte) error {
 	if len(src) < nBytes {
 		return fmt.Errorf("pkt: source of %d bytes too small for %d-bit field", len(src), width)
 	}
+	// Mirror copyUnaligned: the leading (8-pad)-bit fragment from src[0],
+	// then full bytes, each spliced in with the byte-wise SetBits.
 	pad := nBytes*8 - width
-	for i := 0; i < width; i++ {
-		srcBit := pad + i
-		bit := (src[srcBit/8] >> uint(7-srcBit%8)) & 1
-		dstBit := bitOff + i
-		mask := byte(1) << uint(7-dstBit%8)
-		if bit == 1 {
-			buf[dstBit/8] |= mask
-		} else {
-			buf[dstBit/8] &^= mask
+	firstWidth := 8 - pad
+	if firstWidth > width {
+		firstWidth = width
+	}
+	mask := byte(0xFF) >> uint(8-firstWidth)
+	if err := SetBits(buf, bitOff, firstWidth, uint64(src[0]&mask)); err != nil {
+		return err
+	}
+	off := bitOff + firstWidth
+	for j := 1; j < nBytes; j++ {
+		if err := SetBits(buf, off, 8, uint64(src[j])); err != nil {
+			return err
 		}
+		off += 8
 	}
 	return nil
 }

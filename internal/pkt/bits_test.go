@@ -177,3 +177,103 @@ func TestSetBytesErrors(t *testing.T) {
 		t.Error("out-of-range read accepted")
 	}
 }
+
+// referenceSetBits is the original bit-by-bit store, kept as the oracle
+// for the byte-wise implementation.
+func referenceSetBits(buf []byte, bitOff, width int, v uint64) {
+	if width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	for i := bitOff + width - 1; i >= bitOff; i-- {
+		mask := byte(1) << uint(7-i%8)
+		if v&1 == 1 {
+			buf[i/8] |= mask
+		} else {
+			buf[i/8] &^= mask
+		}
+		v >>= 1
+	}
+}
+
+// TestSetBitsExhaustive sweeps every (bitOff, width) pair over a small
+// buffer with adversarial payloads and checks the byte-wise SetBits
+// against the bit-loop reference, including preservation of surrounding
+// bits.
+func TestSetBitsExhaustive(t *testing.T) {
+	payloads := []uint64{0, ^uint64(0), 0xA5A5A5A5A5A5A5A5, 0x123456789ABCDEF0, 1, 1 << 63}
+	backgrounds := []byte{0x00, 0xFF, 0x5A}
+	for _, bg := range backgrounds {
+		for bitOff := 0; bitOff < 24; bitOff++ {
+			for width := 1; width <= 64; width++ {
+				if bitOff+width > 12*8 {
+					continue
+				}
+				for _, v := range payloads {
+					got := make([]byte, 12)
+					want := make([]byte, 12)
+					for i := range got {
+						got[i], want[i] = bg, bg
+					}
+					if err := SetBits(got, bitOff, width, v); err != nil {
+						t.Fatalf("SetBits(off=%d w=%d): %v", bitOff, width, err)
+					}
+					referenceSetBits(want, bitOff, width, v)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("SetBits(off=%d w=%d v=%#x bg=%#x) = %x, want %x",
+							bitOff, width, v, bg, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnalignedBytesExhaustive round-trips GetBytes/SetBytes over every
+// unaligned (bitOff, width) pair against GetBits/referenceSetBits chunks.
+func TestUnalignedBytesExhaustive(t *testing.T) {
+	src := make([]byte, 16)
+	for i := range src {
+		src[i] = byte(i*37 + 11)
+	}
+	for bitOff := 0; bitOff < 16; bitOff++ {
+		for width := 1; width <= 96; width++ {
+			if bitOff+width > len(src)*8 {
+				continue
+			}
+			n := (width + 7) / 8
+			dst := make([]byte, n)
+			if err := GetBytes(src, bitOff, width, dst); err != nil {
+				t.Fatalf("GetBytes(off=%d w=%d): %v", bitOff, width, err)
+			}
+			// Oracle: extract bit-by-bit.
+			want := make([]byte, n)
+			pad := n*8 - width
+			for i := 0; i < width; i++ {
+				sb := bitOff + i
+				if (src[sb/8]>>uint(7-sb%8))&1 == 1 {
+					db := pad + i
+					want[db/8] |= 1 << uint(7-db%8)
+				}
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("GetBytes(off=%d w=%d) = %x, want %x", bitOff, width, dst, want)
+			}
+			// Write the field into a fresh buffer and read it back.
+			out := make([]byte, len(src))
+			for i := range out {
+				out[i] = 0xEE
+			}
+			if err := SetBytes(out, bitOff, width, dst); err != nil {
+				t.Fatalf("SetBytes(off=%d w=%d): %v", bitOff, width, err)
+			}
+			back := make([]byte, n)
+			if err := GetBytes(out, bitOff, width, back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, dst) {
+				t.Fatalf("SetBytes/GetBytes(off=%d w=%d) round-trip = %x, want %x",
+					bitOff, width, back, dst)
+			}
+		}
+	}
+}

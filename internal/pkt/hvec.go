@@ -36,6 +36,16 @@ func (hv *HeaderVector) Reset() {
 	}
 }
 
+// Presize reserves capacity for n entries so hot-path Set calls never
+// reallocate. Existing entries are retained.
+func (hv *HeaderVector) Presize(n int) {
+	if cap(hv.locs) < n {
+		locs := make([]HeaderLoc, len(hv.locs), n)
+		copy(locs, hv.locs)
+		hv.locs = locs
+	}
+}
+
 func (hv *HeaderVector) grow(id HeaderID) {
 	for len(hv.locs) <= int(id) {
 		hv.locs = append(hv.locs, HeaderLoc{})
@@ -116,6 +126,28 @@ type Packet struct {
 // NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
 func NewPacket(data []byte, metaBytes int) *Packet {
 	return &Packet{Data: data, Meta: make([]byte, metaBytes), OutPort: -1}
+}
+
+// ResetFor prepares a (possibly pooled) packet for reuse under a new
+// design: rebinds Data, sizes and zeroes the metadata area reusing its
+// backing store, and clears all per-packet state.
+func (p *Packet) ResetFor(data []byte, metaBytes int) {
+	p.Data = data
+	if cap(p.Meta) < metaBytes {
+		p.Meta = make([]byte, metaBytes)
+	} else {
+		p.Meta = p.Meta[:metaBytes]
+		for i := range p.Meta {
+			p.Meta[i] = 0
+		}
+	}
+	p.HV.Reset()
+	p.InPort = 0
+	p.OutPort = -1
+	p.Drop = false
+	p.ToCPU = false
+	p.Trace = nil
+	p.Timed = false
 }
 
 // Reset prepares p for reuse with new packet bytes.

@@ -46,6 +46,31 @@ type Env struct {
 	keyBuf   []byte
 	groupBuf []byte
 	fieldBuf []byte
+
+	// stack is the operand stack of the compiled executor, sized to the
+	// deepest program of the stage about to run (see ensureStack).
+	stack []uint64
+}
+
+// Rebind prepares a (possibly pooled) Env for a new packet under the given
+// design, clearing all per-packet state while keeping scratch buffers and
+// the operand stack.
+func (e *Env) Rebind(regs *RegisterFile, faults *Faults, srh, ipv6 pkt.HeaderID) {
+	e.Pkt = nil
+	e.Params = nil
+	e.Regs = regs
+	e.Faults = faults
+	e.SRHID = srh
+	e.IPv6ID = ipv6
+	e.Trace = nil
+	e.Timed = false
+	e.TSPIndex = 0
+}
+
+func (e *Env) ensureStack(n int) {
+	if len(e.stack) < n {
+		e.stack = make([]uint64, n)
+	}
 }
 
 const fnvOffset64 = 14695981039346656037

@@ -10,18 +10,40 @@ import (
 // stage's requested headers, recording results in the packet's header
 // vector so later stages never re-parse (paper Sec. 2.1).
 type OnDemandParser struct {
-	headers map[pkt.HeaderID]*template.Header
+	// headers is indexed by HeaderID (IDs are small and dense by
+	// construction); nil slots are unknown IDs. A slice keeps the
+	// per-packet walk free of map hashing.
+	headers []*template.Header
+	count   int
 	first   pkt.HeaderID
 }
 
 // NewOnDemandParser builds the parser from a device configuration.
 func NewOnDemandParser(cfg *template.Config) *OnDemandParser {
-	p := &OnDemandParser{headers: make(map[pkt.HeaderID]*template.Header, len(cfg.Headers)), first: cfg.FirstHdr}
+	max := pkt.HeaderID(0)
+	for i := range cfg.Headers {
+		if cfg.Headers[i].ID > max {
+			max = cfg.Headers[i].ID
+		}
+	}
+	p := &OnDemandParser{
+		headers: make([]*template.Header, int(max)+1),
+		count:   len(cfg.Headers),
+		first:   cfg.FirstHdr,
+	}
 	for i := range cfg.Headers {
 		h := &cfg.Headers[i]
 		p.headers[h.ID] = h
 	}
 	return p
+}
+
+// header resolves an ID, nil when unknown.
+func (op *OnDemandParser) header(id pkt.HeaderID) *template.Header {
+	if id < 0 || int(id) >= len(op.headers) {
+		return nil
+	}
+	return op.headers[id]
 }
 
 // headerLen computes a header's total byte length at off in the packet.
@@ -49,9 +71,9 @@ func (op *OnDemandParser) Ensure(p *pkt.Packet, want pkt.HeaderID) bool {
 	}
 	cur := op.first
 	off := 0
-	for steps := 0; steps <= len(op.headers); steps++ {
-		h, ok := op.headers[cur]
-		if !ok {
+	for steps := 0; steps <= op.count; steps++ {
+		h := op.header(cur)
+		if h == nil {
 			return false
 		}
 		var n int
@@ -59,6 +81,7 @@ func (op *OnDemandParser) Ensure(p *pkt.Packet, want pkt.HeaderID) bool {
 			off = loc.Off
 			n = loc.Len
 		} else {
+			var ok bool
 			n, ok = op.headerLen(h, p.Data, off)
 			if !ok {
 				return false // truncated packet

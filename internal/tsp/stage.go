@@ -21,11 +21,42 @@ type TableBackend interface {
 	LookupSelector(table string, groupKey []byte, hash uint64) (match.Result, bool)
 }
 
+// ResolvedTable is a direct handle to one backend table. Compiled
+// programs bind these once at apply time so per-packet applies skip the
+// backend's name-keyed resolution; semantics are identical to
+// TableBackend.Lookup on the same table.
+type ResolvedTable interface {
+	Lookup(key []byte) (match.Result, bool)
+}
+
+// TableResolver is optionally implemented by backends that can hand out
+// direct handles for plain (non-selector) tables.
+type TableResolver interface {
+	ResolveTable(name string) (ResolvedTable, bool)
+}
+
+// ResolvedSelector is the selector-table counterpart of ResolvedTable:
+// a direct group/member handle bound at apply time.
+type ResolvedSelector interface {
+	LookupMember(group []byte, hash uint64) (match.Result, bool)
+}
+
+// SelectorResolver is optionally implemented by backends that can hand
+// out direct selector handles.
+type SelectorResolver interface {
+	ResolveSelector(name string) (ResolvedSelector, bool)
+}
+
 // StageRuntime executes one logical stage template.
 type StageRuntime struct {
 	tmpl    *template.Stage
 	tables  map[string]*template.Table
 	actions map[string]*template.Action
+
+	// prog, when non-nil, is the flat instruction program lowered from the
+	// template at bind time (ExecCompiled). Nil selects the reference tree
+	// interpreter (ExecInterp).
+	prog *stageProg
 
 	packets  atomic.Uint64
 	hits     atomic.Uint64
@@ -33,8 +64,15 @@ type StageRuntime struct {
 	defaults atomic.Uint64
 }
 
-// NewStageRuntime binds a stage template to its design's tables/actions.
+// NewStageRuntime binds a stage template to its design's tables/actions,
+// compiling it to a flat program (the default executor).
 func NewStageRuntime(cfg *template.Config, name string) (*StageRuntime, error) {
+	return NewStageRuntimeMode(cfg, name, ExecCompiled)
+}
+
+// NewStageRuntimeMode binds a stage template with an explicit executor
+// mode; ExecInterp keeps the tree-walking reference interpreter.
+func NewStageRuntimeMode(cfg *template.Config, name string, mode ExecMode) (*StageRuntime, error) {
 	st, ok := cfg.Stages[name]
 	if !ok {
 		return nil, fmt.Errorf("tsp: no stage %q in config", name)
@@ -58,7 +96,49 @@ func NewStageRuntime(cfg *template.Config, name string) (*StageRuntime, error) {
 		}
 		sr.actions[arm.Action] = a
 	}
+	if mode == ExecCompiled {
+		sr.prog = compileStage(sr)
+	}
 	return sr, nil
+}
+
+// Compiled reports whether the stage runs the flat compiled program.
+func (sr *StageRuntime) Compiled() bool { return sr.prog != nil }
+
+// Bind resolves the compiled program's table references against the
+// backend, if it supports direct handles. Called at apply time after the
+// backend's tables exist; a no-op for the interpreter (whose applies stay
+// name-keyed) and for backends without a resolver. Handles stay valid
+// across entry inserts and migrations — only a table drop invalidates
+// them, and a drop always comes with new runtimes for the stages that
+// referenced it.
+func (sr *StageRuntime) Bind(backend TableBackend) {
+	if sr.prog == nil {
+		return
+	}
+	res, rok := backend.(TableResolver)
+	sel, sok := backend.(SelectorResolver)
+	if rok {
+		sr.prog.resolved = make([]ResolvedTable, len(sr.prog.tables))
+	}
+	if sok {
+		sr.prog.resolvedSels = make([]ResolvedSelector, len(sr.prog.tables))
+	}
+	for i, t := range sr.prog.tables {
+		if t.IsSelector {
+			if sok {
+				if rs, found := sel.ResolveSelector(t.Name); found {
+					sr.prog.resolvedSels[i] = rs
+				}
+			}
+			continue
+		}
+		if rok {
+			if rt, found := res.ResolveTable(t.Name); found {
+				sr.prog.resolved[i] = rt
+			}
+		}
+	}
 }
 
 // Name returns the stage name.
@@ -92,7 +172,12 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 	parser.EnsureAll(p, sr.tmpl.Parse)
 	// Matcher submodule.
 	out := matchOutcome{}
-	sr.runMatch(sr.tmpl.Match, env, backend, &out)
+	if sr.prog != nil {
+		env.ensureStack(sr.prog.maxStack)
+		env.exec(sr.prog.match, sr.prog, backend, &out)
+	} else {
+		sr.runMatch(sr.tmpl.Match, env, backend, &out)
+	}
 	if out.applied {
 		if out.hit {
 			sr.hits.Add(1)
@@ -101,23 +186,35 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 		}
 	}
 	// Executor submodule: select the arm by the matched entry's tag;
-	// misses and no-apply paths take the default arm.
-	var arm *template.Arm
-	var def *template.Arm
-	for i := range sr.tmpl.Arms {
-		a := &sr.tmpl.Arms[i]
-		if a.Default {
-			def = a
-			continue
+	// misses and no-apply paths take the default arm. Compiled programs
+	// carry a precomputed dispatch table; the interpreter scans the
+	// template's arm list. Both pick the last declaration on a tie.
+	armIdx, defIdx := -1, -1
+	if sr.prog != nil {
+		defIdx = sr.prog.defaultArm
+		if out.applied && out.hit {
+			for i, tg := range sr.prog.armTags {
+				if tg == out.tag {
+					armIdx = sr.prog.armAt[i]
+				}
+			}
 		}
-		if out.applied && out.hit && a.Tag == out.tag {
-			arm = a
+	} else {
+		for i := range sr.tmpl.Arms {
+			a := &sr.tmpl.Arms[i]
+			if a.Default {
+				defIdx = i
+				continue
+			}
+			if out.applied && out.hit && a.Tag == out.tag {
+				armIdx = i
+			}
 		}
 	}
 	isDefault := false
-	if arm == nil {
-		arm = def
-		isDefault = arm != nil
+	if armIdx == -1 {
+		armIdx = defIdx
+		isDefault = armIdx != -1
 	}
 	if isDefault {
 		sr.defaults.Add(1)
@@ -127,15 +224,21 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 			TSP: env.TSPIndex, Stage: sr.tmpl.Name, Table: out.table,
 			Applied: out.applied, Hit: out.hit, Tag: out.tag, Default: isDefault,
 		}
-		if arm != nil {
-			ev.Action = arm.Action
+		if armIdx != -1 {
+			ev.Action = sr.tmpl.Arms[armIdx].Action
 		}
 		env.Trace.AddStage(ev)
 	}
-	if arm == nil {
+	if armIdx == -1 {
 		return
 	}
-	act := sr.actions[arm.Action]
+	if sr.prog != nil {
+		env.Params = out.params
+		env.exec(sr.prog.arms[armIdx].code, sr.prog, backend, &out)
+		env.Params = nil
+		return
+	}
+	act := sr.actions[sr.tmpl.Arms[armIdx].Action]
 	if act == nil {
 		env.Faults.BadTemplate.Add(1)
 		return
@@ -167,43 +270,216 @@ func (sr *StageRuntime) runMatch(stmts []template.MatchStmt, env *Env, backend T
 				env.Faults.BadTemplate.Add(1)
 				continue
 			}
-			out.applied = true
-			out.table = t.Name
-			var res match.Result
-			var ok bool
-			if t.IsSelector {
-				group, gok := env.operandBytes(&t.Keys[0].Operand, env.groupBuf)
-				if !gok {
+			env.applyTable(t, backend, out)
+		}
+	}
+}
+
+// applyTable performs one table application: key/group construction,
+// backend lookup, and outcome recording. Both the interpreter and the
+// compiled executor funnel through this so lookup semantics (including the
+// skip-on-unreadable-key paths) cannot diverge between the two.
+func (e *Env) applyTable(t *template.Table, backend TableBackend, out *matchOutcome) {
+	e.applyTableWith(t, nil, nil, nil, backend, out)
+}
+
+// applyTableWith is applyTable with optional compile/bind-time shortcuts:
+// direct table/selector handles (rt/rs) that skip the backend's name
+// resolution, and a key plan (kp) that skips the generic key builder's
+// per-field operand dispatch. Key bytes, selector handling, fault
+// ordering and outcome recording are byte-identical either way.
+func (e *Env) applyTableWith(t *template.Table, rt ResolvedTable, rs ResolvedSelector, kp *keyPlan, backend TableBackend, out *matchOutcome) {
+	out.applied = true
+	out.table = t.Name
+	var res match.Result
+	var ok bool
+	if t.IsSelector {
+		group, gok := e.operandBytes(&t.Keys[0].Operand, e.groupBuf)
+		if !gok {
+			return
+		}
+		e.groupBuf = group[:0]
+		var h uint64
+		if kp != nil && kp.sel {
+			h = e.hashPlanned(kp)
+		} else {
+			h = uint64(fnvOffset64)
+			for k := 1; k < len(t.Keys); k++ {
+				raw, rok := e.operandBytes(&t.Keys[k].Operand, e.fieldBuf)
+				if !rok {
 					break
 				}
-				env.groupBuf = group[:0]
-				h := uint64(fnvOffset64)
-				for k := 1; k < len(t.Keys); k++ {
-					raw, rok := env.operandBytes(&t.Keys[k].Operand, env.fieldBuf)
-					if !rok {
-						break
-					}
-					env.fieldBuf = raw[:0]
-					for _, b := range raw {
-						h ^= uint64(b)
-						h *= fnvPrime64
-					}
+				e.fieldBuf = raw[:0]
+				for _, b := range raw {
+					h ^= uint64(b)
+					h *= fnvPrime64
 				}
-				res, ok = backend.LookupSelector(t.Name, group, finalizeHash(h))
-			} else {
-				key, kok := BuildKey(env, t)
-				if !kok {
-					break
-				}
-				res, ok = backend.Lookup(t.Name, key)
 			}
-			if ok {
-				out.hit = true
-				out.tag = uint64(res.ActionID)
-				out.params = res.Params
+		}
+		if rs != nil {
+			res, ok = rs.LookupMember(group, finalizeHash(h))
+		} else {
+			res, ok = backend.LookupSelector(t.Name, group, finalizeHash(h))
+		}
+	} else {
+		var key []byte
+		var kok bool
+		if kp != nil {
+			key, kok = e.buildKeyPlanned(kp)
+		} else {
+			key, kok = BuildKey(e, t)
+		}
+		if !kok {
+			return
+		}
+		if rt != nil {
+			res, ok = rt.Lookup(key)
+		} else {
+			res, ok = backend.Lookup(t.Name, key)
+		}
+	}
+	if ok {
+		out.hit = true
+		out.tag = uint64(res.ActionID)
+		out.params = res.Params
+	}
+}
+
+// buildKeyPlanned is BuildKey over a compiled key plan: field sources,
+// widths and key positions were resolved at compile time, so the
+// per-packet work is bounds-checked copies. It must produce the same
+// bytes and the same fault/abort sequence as BuildKey on the same table.
+func (e *Env) buildKeyPlanned(p *keyPlan) ([]byte, bool) {
+	n := p.nBytes
+	if cap(e.keyBuf) < n {
+		e.keyBuf = make([]byte, n)
+	}
+	key := e.keyBuf[:n]
+	for i := range key {
+		key[i] = 0
+	}
+	for si := range p.steps {
+		s := &p.steps[si]
+		switch s.kind {
+		case keyMeta:
+			if s.aligned {
+				so, nb := s.bitOff/8, s.width/8
+				if so+nb > len(e.Pkt.Meta) {
+					e.Faults.BadTemplate.Add(1)
+					return nil, false
+				}
+				copy(key[s.dstOff/8:], e.Pkt.Meta[so:so+nb])
+				continue
+			}
+			if !e.keyCopyBits(key, s, e.Pkt.Meta, s.bitOff) {
+				return nil, false
+			}
+		case keyHdr:
+			loc, ok := e.Pkt.HV.Loc(s.hdr)
+			if !ok {
+				e.Faults.InvalidHeaderAccess.Add(1)
+				return nil, false
+			}
+			src := loc.Off*8 + s.bitOff
+			if s.aligned {
+				so, nb := src/8, s.width/8
+				if so+nb > len(e.Pkt.Data) {
+					e.Faults.BadTemplate.Add(1)
+					return nil, false
+				}
+				copy(key[s.dstOff/8:], e.Pkt.Data[so:so+nb])
+				continue
+			}
+			if !e.keyCopyBits(key, s, e.Pkt.Data, src) {
+				return nil, false
+			}
+		default: // keyValue: constants, params — ReadOperand faults inside.
+			v := e.ReadOperand(s.op)
+			off, w := s.dstOff, s.width
+			if w > 64 {
+				// Value kinds carry at most 64 significant bits; the
+				// high bits of the field stay zero (the key is zeroed).
+				off += w - 64
+				w = 64
+			}
+			if err := pkt.SetBits(key, off, w, v); err != nil {
+				return nil, false
 			}
 		}
 	}
+	return key, true
+}
+
+// hashPlanned folds a selector's hashed fields over a compiled plan.
+// Every field fits a register (the compiler rejects wider ones), so the
+// fold runs load-shift-mix with no scratch buffer. Byte order, fault
+// kinds and the stop-hashing-keep-looking-up behaviour on a faulted
+// field all mirror the generic operandBytes loop.
+func (e *Env) hashPlanned(p *keyPlan) uint64 {
+	h := uint64(fnvOffset64)
+loop:
+	for si := range p.steps {
+		s := &p.steps[si]
+		var v uint64
+		switch s.kind {
+		case keyMeta:
+			var err error
+			v, err = pkt.GetBits(e.Pkt.Meta, s.bitOff, s.width)
+			if err != nil {
+				e.Faults.BadTemplate.Add(1)
+				break loop
+			}
+		case keyHdr:
+			loc, ok := e.Pkt.HV.Loc(s.hdr)
+			if !ok {
+				e.Faults.InvalidHeaderAccess.Add(1)
+				break loop
+			}
+			var err error
+			v, err = pkt.GetBits(e.Pkt.Data, loc.Off*8+s.bitOff, s.width)
+			if err != nil {
+				e.Faults.BadTemplate.Add(1)
+				break loop
+			}
+		default: // keyValue — ReadOperand faults inside, never aborts.
+			v = e.ReadOperand(s.op)
+		}
+		// Mix the field's bytes MSB-first, exactly the sequence
+		// operandBytes lays out: a leading sub-byte fragment, then
+		// whole bytes.
+		for sh := ((s.width + 7) / 8) * 8; sh > 0; sh -= 8 {
+			h ^= uint64(byte(v >> uint(sh-8)))
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// keyCopyBits moves one unaligned planned field into the key, mirroring
+// the generic path's extract-then-splice (and its BadTemplate fault on an
+// out-of-range source). Fields of at most 64 bits move through a single
+// register load/store; wider ones go through the Env's scratch buffer.
+// Either route produces the bytes GetBytes+SetBytes would.
+func (e *Env) keyCopyBits(key []byte, s *keyStep, src []byte, srcBit int) bool {
+	if s.width <= 64 {
+		v, err := pkt.GetBits(src, srcBit, s.width)
+		if err != nil {
+			e.Faults.BadTemplate.Add(1)
+			return false
+		}
+		return pkt.SetBits(key, s.dstOff, s.width, v) == nil
+	}
+	nb := (s.width + 7) / 8
+	if cap(e.fieldBuf) < nb {
+		e.fieldBuf = make([]byte, nb)
+	}
+	raw := e.fieldBuf[:nb]
+	if err := pkt.GetBytes(src, srcBit, s.width, raw); err != nil {
+		e.Faults.BadTemplate.Add(1)
+		return false
+	}
+	e.fieldBuf = raw[:0]
+	return pkt.SetBytes(key, s.dstOff, s.width, raw) == nil
 }
 
 // BuildKey assembles a table's lookup key by concatenating its key fields

@@ -101,11 +101,17 @@ func (t *TSP) Process(p *pkt.Packet, parser *OnDemandParser, backend TableBacken
 }
 
 // BuildStageRuntimes constructs the runtimes for every stage of a config,
-// keyed by stage name.
+// keyed by stage name, compiling each stage (the default executor).
 func BuildStageRuntimes(cfg *template.Config) (map[string]*StageRuntime, error) {
+	return BuildStageRuntimesMode(cfg, ExecCompiled)
+}
+
+// BuildStageRuntimesMode is BuildStageRuntimes with an explicit executor
+// mode.
+func BuildStageRuntimesMode(cfg *template.Config, mode ExecMode) (map[string]*StageRuntime, error) {
 	out := make(map[string]*StageRuntime, len(cfg.Stages))
 	for name := range cfg.Stages {
-		sr, err := NewStageRuntime(cfg, name)
+		sr, err := NewStageRuntimeMode(cfg, name, mode)
 		if err != nil {
 			return nil, err
 		}
