@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath fuzz-diff cover experiments examples fmt vet clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int fuzz-diff cover experiments examples fmt vet lint clean
 
 all: build test
 
@@ -28,6 +28,12 @@ bench:
 bench-hotpath:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -count=5 .
 
+# INT overhead smoke: fails if the INT-disabled hot path allocates, and
+# reports the per-packet cost of forwarding with stamping compiled out.
+bench-int:
+	$(GO) test ./internal/ipbm/ -run TestIntDisabledZeroAlloc -count=1 -v
+	$(GO) test -run xxx -bench 'BenchmarkHotPath_Compiled' -benchmem -count=3 .
+
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:
 	$(GO) test ./internal/ipbm/ -run xxx -fuzz FuzzCompiledVsInterp -fuzztime 30s
@@ -44,12 +50,22 @@ examples:
 	$(GO) run ./examples/ecmp_insitu
 	$(GO) run ./examples/srv6_insitu
 	$(GO) run ./examples/flowprobe
+	$(GO) run ./examples/int_e2e
 
 fmt:
 	gofmt -w cmd internal examples bench_test.go
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always, staticcheck when installed (CI installs it;
+# locally it is optional so a bare toolchain still builds everything).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 clean:
 	$(GO) clean ./...

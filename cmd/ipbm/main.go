@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/intmd"
 	"ipsa/internal/ipbm"
 	"ipsa/internal/netio"
 	"ipsa/internal/telemetry"
@@ -41,6 +42,8 @@ func main() {
 	latencyEvery := flag.Uint64("latency-every", 128,
 		"sample per-TSP latency every N packets; 0 disables")
 	execFlag := flag.String("exec", "compiled", "stage executor: compiled (flat programs) or interp (reference tree-walker)")
+	intOn := flag.Bool("int", false, "enable in-band telemetry stamping at startup (also togglable at runtime via rp4ctl int enable/disable)")
+	intSwitchID := flag.Uint("int-switch-id", 1, "switch ID stamped into INT hop records")
 	flag.Parse()
 
 	execMode, err := tsp.ParseExecMode(*execFlag)
@@ -54,13 +57,14 @@ func main() {
 	opts.TraceRing = *traceRing
 	opts.LatencyEvery = *latencyEvery
 	opts.Exec = execMode
+	opts.IntSwitchID = uint32(*intSwitchID)
 	sw, err := ipbm.New(opts)
 	if err != nil {
 		fatal(err)
 	}
 	if *metricsAddr != "" {
 		tel := sw.Telemetry()
-		ms, err := telemetry.Serve(*metricsAddr, tel.Reg, tel.Tracer)
+		ms, err := telemetry.Serve(*metricsAddr, tel.Reg, tel.Tracer, tel.Events)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,6 +85,12 @@ func main() {
 			fatal(err)
 		}
 		slog.Info("configuration installed", "tsps_written", st.TSPsWritten, "tables", st.TablesCreated)
+	}
+	if *intOn {
+		if err := sw.SetInt(true); err != nil {
+			fatal(err)
+		}
+		slog.Info("INT stamping enabled", "switch_id", *intSwitchID)
 	}
 	if *pcapIn != "" {
 		if err := replay(sw, *pcapIn, *pcapOut); err != nil {
@@ -133,7 +143,7 @@ func replay(sw *ipbm.Switch, inPath, outPath string) error {
 			return err
 		}
 	}
-	forwarded, dropped, punted := 0, 0, 0
+	forwarded, dropped, punted, intIn := 0, 0, 0, 0
 	for {
 		ts, data, err := rd.ReadPacket()
 		if err == io.EOF {
@@ -141,6 +151,10 @@ func replay(sw *ipbm.Switch, inPath, outPath string) error {
 		}
 		if err != nil {
 			return err
+		}
+		// Count frames arriving with an upstream INT trailer (transit mode).
+		if _, ok := intmd.Hops(data); ok {
+			intIn++
 		}
 		p, err := sw.ProcessPacket(data, 0)
 		if err != nil {
@@ -160,8 +174,13 @@ func replay(sw *ipbm.Switch, inPath, outPath string) error {
 			}
 		}
 	}
-	fmt.Printf("replayed %d packets: %d forwarded, %d dropped, %d punted\n",
-		rd.Count(), forwarded, dropped, punted)
+	if intIn > 0 {
+		fmt.Printf("replayed %d packets (%d carrying INT trailers): %d forwarded, %d dropped, %d punted\n",
+			rd.Count(), intIn, forwarded, dropped, punted)
+	} else {
+		fmt.Printf("replayed %d packets: %d forwarded, %d dropped, %d punted\n",
+			rd.Count(), forwarded, dropped, punted)
+	}
 	return nil
 }
 

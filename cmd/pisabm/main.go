@@ -79,7 +79,7 @@ func main() {
 			emit(telemetry.MetricPoint{Name: "pisa_pipeline_processed_total", Kind: "counter", Value: float64(p)})
 			emit(telemetry.MetricPoint{Name: "pisa_pipeline_dropped_total", Kind: "counter", Value: float64(drop)})
 		})
-		ms, err := telemetry.Serve(*metricsAddr, reg, nil)
+		ms, err := telemetry.Serve(*metricsAddr, reg, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

@@ -109,7 +109,11 @@ func main() {
 				name += "{" + strings.Join(labels, ",") + "}"
 			}
 			if p.Kind == "histogram" {
-				fmt.Printf("%s count=%d sum=%.3fms\n", name, p.Count, float64(p.SumNanos)/1e6)
+				line := fmt.Sprintf("%s count=%d sum=%.3fms", name, p.Count, float64(p.SumNanos)/1e6)
+				for _, q := range p.Quantiles {
+					line += fmt.Sprintf(" p%g=%.3fms", q.Quantile*100, q.Nanos/1e6)
+				}
+				fmt.Println(line)
 			} else {
 				fmt.Printf("%s %g\n", name, p.Value)
 			}
@@ -149,6 +153,88 @@ func main() {
 				}
 				fmt.Println(line)
 			}
+		}
+	case "int":
+		need(args, 2)
+		switch args[1] {
+		case "enable":
+			if err := cl.IntEnable(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("ok")
+		case "disable":
+			if err := cl.IntDisable(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("ok")
+		case "report":
+			max := 0
+			if len(args) > 2 {
+				var err error
+				if max, err = strconv.Atoi(args[2]); err != nil {
+					fatal(fmt.Errorf("bad max %q", args[2]))
+				}
+			}
+			reports, err := cl.IntReport(max)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range reports {
+				fmt.Printf("#%d in=%d out=%d bytes=%d path=%s\n",
+					r.Seq, r.InPort, r.OutPort, r.Bytes, r.Path())
+				for _, h := range r.Hops {
+					stage := h.Stage
+					if stage == "" {
+						stage = fmt.Sprintf("stage#%04x", h.StageID)
+					}
+					fmt.Printf("  sw%d tsp%d %-16s latency=%-8s qdepth=%d\n",
+						h.SwitchID, h.TSP, stage,
+						fmt.Sprintf("%.3fus", float64(h.LatencyNanos)/1e3), h.QDepth)
+				}
+			}
+		default:
+			usage()
+		}
+	case "events":
+		max := 0
+		if len(args) > 1 {
+			var err error
+			if max, err = strconv.Atoi(args[1]); err != nil {
+				fatal(fmt.Errorf("bad max %q", args[1]))
+			}
+		}
+		events, err := cl.EventsDump(max)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ev := range events {
+			line := fmt.Sprintf("#%d %s", ev.Seq, ev.Kind)
+			if ev.ConfigHash != "" {
+				line += " cfg=" + ev.ConfigHash
+			}
+			if ev.TSPsWritten > 0 {
+				line += fmt.Sprintf(" tsps=%d", ev.TSPsWritten)
+			}
+			if ev.TablesCreated > 0 || ev.TablesDropped > 0 {
+				line += fmt.Sprintf(" tables=+%d/-%d", ev.TablesCreated, ev.TablesDropped)
+			}
+			if ev.DrainNanos > 0 {
+				line += fmt.Sprintf(" drain=%.3fms", float64(ev.DrainNanos)/1e6)
+			}
+			if ev.InFlight > 0 {
+				line += fmt.Sprintf(" in_flight=%d", ev.InFlight)
+			}
+			if len(ev.VerdictDeltas) > 0 {
+				var parts []string
+				for k, v := range ev.VerdictDeltas {
+					parts = append(parts, fmt.Sprintf("%s+%d", k, v))
+				}
+				line += " during_swap=" + strings.Join(parts, ",")
+			}
+			if ev.Detail != "" {
+				line += " (" + ev.Detail + ")"
+			}
+			fmt.Println(line)
 		}
 	case "table-stats":
 		need(args, 2)
@@ -320,6 +406,9 @@ commands:
   stats
   metrics
   trace [MAX]
+  int enable|disable
+  int report [MAX]
+  events [MAX]
   table-stats TABLE
   read-register NAME INDEX
   insert TABLE TAG key=V[,V...] [params=V,...] [prefix=N] [prio=N] [high=V,...]

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
@@ -137,4 +138,36 @@ func (c *Client) TraceDump(max int) ([]telemetry.TraceRecord, error) {
 		return nil, err
 	}
 	return resp.Traces, nil
+}
+
+// IntEnable turns on in-band telemetry stamping on the device.
+func (c *Client) IntEnable() error {
+	_, err := c.Do(&Request{Op: OpIntEnable})
+	return err
+}
+
+// IntDisable turns off in-band telemetry stamping.
+func (c *Client) IntDisable() error {
+	_, err := c.Do(&Request{Op: OpIntDisable})
+	return err
+}
+
+// IntReport fetches up to max sink-decoded INT reports, newest first
+// (max <= 0 returns all buffered).
+func (c *Client) IntReport(max int) ([]intmd.Report, error) {
+	resp, err := c.Do(&Request{Op: OpIntReport, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Reports, nil
+}
+
+// EventsDump fetches up to max reconfiguration audit events, newest
+// first (max <= 0 returns all buffered).
+func (c *Client) EventsDump(max int) ([]telemetry.Event, error) {
+	resp, err := c.Do(&Request{Op: OpEventsDump, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
 }

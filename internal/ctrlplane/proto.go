@@ -3,6 +3,7 @@ package ctrlplane
 import (
 	"encoding/json"
 
+	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
@@ -25,6 +26,10 @@ const (
 	OpDeviceStats  Op = "device_stats"
 	OpMetricsDump  Op = "metrics_dump"
 	OpTraceDump    Op = "trace_dump"
+	OpIntEnable    Op = "int_enable"
+	OpIntDisable   Op = "int_disable"
+	OpIntReport    Op = "int_report"
+	OpEventsDump   Op = "events_dump"
 	OpPing         Op = "ping"
 )
 
@@ -60,6 +65,8 @@ type Response struct {
 	Apply   *ApplyStats             `json:"apply,omitempty"`
 	Metrics []telemetry.MetricPoint `json:"metrics,omitempty"`
 	Traces  []telemetry.TraceRecord `json:"traces,omitempty"`
+	Events  []telemetry.Event       `json:"events,omitempty"`
+	Reports []intmd.Report          `json:"reports,omitempty"`
 	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
@@ -131,4 +138,18 @@ type Device interface {
 type TelemetrySource interface {
 	MetricsDump() []telemetry.MetricPoint
 	TraceDump(max int) []telemetry.TraceRecord
+}
+
+// IntSource is optionally implemented by devices whose data plane can
+// stamp and sink INT metadata; the CCM probes for it like
+// TelemetrySource.
+type IntSource interface {
+	SetInt(enabled bool) error
+	IntReport(max int) []intmd.Report
+}
+
+// EventSource is optionally implemented by devices that keep a
+// reconfiguration audit trail.
+type EventSource interface {
+	EventsDump(max int) []telemetry.Event
 }

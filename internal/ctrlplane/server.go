@@ -167,6 +167,27 @@ func (s *Server) Handle(req *Request) *Response {
 			return fail(fmt.Errorf("ccm: device has no telemetry"))
 		}
 		return &Response{OK: true, Traces: ts.TraceDump(req.Max)}
+	case OpIntEnable, OpIntDisable:
+		is, ok := s.dev.(IntSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no INT support"))
+		}
+		if err := is.SetInt(req.Op == OpIntEnable); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case OpIntReport:
+		is, ok := s.dev.(IntSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no INT support"))
+		}
+		return &Response{OK: true, Reports: is.IntReport(req.Max)}
+	case OpEventsDump:
+		es, ok := s.dev.(EventSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no event log"))
+		}
+		return &Response{OK: true, Events: es.EventsDump(req.Max)}
 	}
 	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
 }

@@ -72,6 +72,12 @@ type Core struct {
 	faults tsp.Faults
 	hooks  Hooks
 
+	// intCtx, when non-nil, marks this switch an INT source: GetEnv hands
+	// it to every Env (arming the stamped stages' epilogues) and packet
+	// admission records the ingress timestamp. One atomic load per packet
+	// when disabled.
+	intCtx atomic.Pointer[tsp.IntStampCtx]
+
 	pktPool sync.Pool
 	envPool sync.Pool
 }
@@ -86,6 +92,13 @@ func NewCore() *Core {
 
 // SetHooks attaches the lifecycle callbacks. Call before traffic starts.
 func (c *Core) SetHooks(h Hooks) { c.hooks = h }
+
+// SetIntCtx installs (or, with nil, removes) the INT stamping context.
+// Safe to call while traffic is flowing: packets pick it up at Env setup.
+func (c *Core) SetIntCtx(ctx *tsp.IntStampCtx) { c.intCtx.Store(ctx) }
+
+// IntCtx returns the installed INT context (nil when INT is off).
+func (c *Core) IntCtx() *tsp.IntStampCtx { return c.intCtx.Load() }
 
 // Install builds and atomically publishes the Design for cfg. The caller
 // supplies the register file so each switch keeps its own update
@@ -144,14 +157,19 @@ func (c *Core) PutPacket(p *pkt.Packet) {
 func (c *Core) GetEnv(d *Design) *tsp.Env {
 	e := c.envPool.Get().(*tsp.Env)
 	e.Rebind(d.Regs, &c.faults, d.SRH, d.IPv6)
+	e.Int = c.intCtx.Load()
 	return e
 }
 
 // PutEnv recycles an Env.
 func (c *Core) PutEnv(e *tsp.Env) { c.envPool.Put(e) }
 
-// BeginPacket invokes the begin hook, if any.
+// BeginPacket stamps the INT source ingress timestamp (only while INT is
+// enabled) and invokes the begin hook, if any.
 func (c *Core) BeginPacket(p *pkt.Packet) {
+	if ctx := c.intCtx.Load(); ctx != nil {
+		p.IngressNanos = ctx.NowNanos()
+	}
 	if c.hooks != nil {
 		c.hooks.BeginPacket(p)
 	}

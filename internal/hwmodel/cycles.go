@@ -28,6 +28,10 @@ type CycleParams struct {
 	// extra parser word (PISA misses one-cycle-per-packet "for
 	// simplicity", Sec. 5).
 	PISAParserStall float64
+	// IntStampCycles charges each INT hop record a stage appends: the
+	// stamp is one wide write at the tail of the stage's cycle budget
+	// (clock read + queue-depth register read + record write).
+	IntStampCycles int
 }
 
 // DefaultCycleParams reproduce the paper's Sec. 5 numbers within a few
@@ -40,6 +44,7 @@ func DefaultCycleParams() CycleParams {
 		VarLenPenaltyCycles: 1,
 		PISAParserBusBits:   512,
 		PISAParserStall:     0.25,
+		IntStampCycles:      1,
 	}
 }
 
@@ -74,6 +79,10 @@ type WorkloadClass struct {
 	// that drives them (outer slice = TSPs; a merged TSP's exclusive
 	// tables appear in different classes, so one entry per TSP is usual).
 	Applied [][]TableCost
+	// IntHops is how many stages stamp INT metadata onto this class's
+	// packets (0 = INT disabled, the default, which leaves every modeled
+	// number identical to the non-INT model).
+	IntHops int
 }
 
 // IPSAII is the initiation interval of one class on IPSA: template load
@@ -93,6 +102,11 @@ func (p CycleParams) IPSAII(c WorkloadClass) float64 {
 	ii := float64(p.TemplateLoadCycles + maxAcc)
 	if c.ParsesVarLen {
 		ii += float64(p.VarLenPenaltyCycles)
+	}
+	if c.IntHops > 0 {
+		// Stamps happen in different TSPs, but they lengthen the packet on
+		// the inter-TSP bus, so the II charge accumulates per hop.
+		ii += float64(c.IntHops * p.IntStampCycles)
 	}
 	if ii < 1 {
 		ii = 1

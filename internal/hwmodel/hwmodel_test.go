@@ -66,6 +66,22 @@ func TestModelValidation(t *testing.T) {
 	}
 }
 
+func TestIntStampOverhead(t *testing.T) {
+	p := DefaultCycleParams()
+	base := WorkloadClass{Name: "l3", Applied: [][]TableCost{{{KeyBits: 32}}}}
+	plain := p.IPSAII(base)
+	base.IntHops = 3
+	stamped := p.IPSAII(base)
+	if want := plain + float64(3*p.IntStampCycles); stamped != want {
+		t.Errorf("II with 3 INT hops = %v, want %v", stamped, want)
+	}
+	// IntHops = 0 must leave the model untouched (paper numbers above).
+	base.IntHops = 0
+	if p.IPSAII(base) != plain {
+		t.Error("IntHops=0 changed the II")
+	}
+}
+
 func TestTableCostAccesses(t *testing.T) {
 	tc := TableCost{KeyBits: 144, ActionBits: 32}
 	if got := tc.Accesses(128); got != 2 { // 176-bit entry over a 128-bit bus

@@ -1,0 +1,226 @@
+// Package intmd defines the in-band network telemetry (INT-MD) metadata
+// format this switch stamps into packets, plus the encode/decode helpers
+// shared by the stamper (internal/tsp), the sinks (internal/ipbm,
+// internal/pisa) and the offline tooling (internal/netio, trafficgen).
+//
+// The telemetry rides as a trailer appended after the packet payload so
+// that stamping never shifts parsed headers:
+//
+//	[ original frame ][ hop record 0 ]...[ hop record n-1 ][ shim ]
+//
+// The 8-byte shim sits at the very end of the frame, where a sink (or an
+// offline decoder) can detect it without parsing the packet. Hop records
+// are stamped oldest-first; each new hop is inserted just before the
+// shim. Records are big-endian.
+//
+// The trailer is switch-internal metadata in the style of an Ethernet
+// trailer: L3 length fields are not updated, and an INT sink strips the
+// trailer before the frame leaves the switch.
+package intmd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Wire-format constants.
+const (
+	// Magic marks an INT shim ("rINT" in ASCII).
+	Magic = 0x72494E54
+	// Version is the only trailer version this repository speaks.
+	Version = 1
+	// ShimLen is the shim's size: magic(4) version(1) hops(1) reserved(2).
+	ShimLen = 8
+	// HopLen is one hop record's size:
+	// switch_id(4) tsp(2) stage_id(2) in_ts(8) out_ts(8) latency(4) qdepth(4).
+	HopLen = 32
+	// MaxHopsWire bounds the hop count representable in the shim's byte.
+	MaxHopsWire = 255
+)
+
+// HopRecord is one stamped hop: which processor touched the packet and
+// the timestamps/queue state it observed. InNanos/OutNanos are monotonic
+// switch-local nanoseconds (see NowNanos); LatencyNanos = OutNanos -
+// InNanos saturated to 32 bits.
+type HopRecord struct {
+	SwitchID     uint32 `json:"switch_id"`
+	TSP          uint16 `json:"tsp"`
+	StageID      uint16 `json:"stage_id"`
+	Stage        string `json:"stage,omitempty"` // resolved by the sink, not on the wire
+	InNanos      uint64 `json:"in_nanos"`
+	OutNanos     uint64 `json:"out_nanos"`
+	LatencyNanos uint32 `json:"latency_nanos"`
+	QDepth       uint32 `json:"qdepth"`
+}
+
+// Report is one sink-decoded packet's telemetry: the hop sequence plus
+// where the packet entered and left the sink switch.
+type Report struct {
+	Seq     uint64      `json:"seq"`
+	InPort  int         `json:"in_port"`
+	OutPort int         `json:"out_port"`
+	Bytes   int         `json:"bytes"` // payload bytes after the trailer strip
+	Hops    []HopRecord `json:"hops"`
+}
+
+// Path renders the hop sequence as "name>name>..." (stage IDs when a hop
+// has no resolved name), the key of the sink's flow-path counters.
+func (r *Report) Path() string {
+	out := make([]byte, 0, 8*len(r.Hops))
+	for i, h := range r.Hops {
+		if i > 0 {
+			out = append(out, '>')
+		}
+		if h.Stage != "" {
+			out = append(out, h.Stage...)
+		} else {
+			out = appendUint(out, uint64(h.StageID))
+		}
+	}
+	return string(out)
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+var epoch = time.Now()
+
+// NowNanos is the stamper's default clock: monotonic nanoseconds since
+// process start. Monotonic (not wall) time so hop-latency deltas are
+// immune to clock steps; allocation-free.
+func NowNanos() int64 { return int64(time.Since(epoch)) }
+
+// Hops reports whether data carries an INT trailer and, if so, how many
+// hop records it holds. It validates the shim and that the frame is long
+// enough to hold the claimed records.
+func Hops(data []byte) (int, bool) {
+	n := len(data)
+	if n < ShimLen {
+		return 0, false
+	}
+	shim := data[n-ShimLen:]
+	if binary.BigEndian.Uint32(shim[0:4]) != Magic || shim[4] != Version {
+		return 0, false
+	}
+	hops := int(shim[5])
+	if n < ShimLen+hops*HopLen {
+		return 0, false
+	}
+	return hops, true
+}
+
+// TrailerLen returns the total trailer size of data (0 when none).
+func TrailerLen(data []byte) int {
+	hops, ok := Hops(data)
+	if !ok {
+		return 0
+	}
+	return ShimLen + hops*HopLen
+}
+
+// LastHopOut returns the newest hop record's OutNanos, for in-band
+// latency chaining (the next hop's InNanos). ok is false when data has
+// no trailer or no hops yet.
+func LastHopOut(data []byte) (uint64, bool) {
+	hops, ok := Hops(data)
+	if !ok || hops == 0 {
+		return 0, false
+	}
+	rec := data[len(data)-ShimLen-HopLen:]
+	return binary.BigEndian.Uint64(rec[16:24]), true
+}
+
+func putHop(dst []byte, h HopRecord) {
+	binary.BigEndian.PutUint32(dst[0:4], h.SwitchID)
+	binary.BigEndian.PutUint16(dst[4:6], h.TSP)
+	binary.BigEndian.PutUint16(dst[6:8], h.StageID)
+	binary.BigEndian.PutUint64(dst[8:16], h.InNanos)
+	binary.BigEndian.PutUint64(dst[16:24], h.OutNanos)
+	binary.BigEndian.PutUint32(dst[24:28], h.LatencyNanos)
+	binary.BigEndian.PutUint32(dst[28:32], h.QDepth)
+}
+
+func parseHop(src []byte) HopRecord {
+	return HopRecord{
+		SwitchID:     binary.BigEndian.Uint32(src[0:4]),
+		TSP:          binary.BigEndian.Uint16(src[4:6]),
+		StageID:      binary.BigEndian.Uint16(src[6:8]),
+		InNanos:      binary.BigEndian.Uint64(src[8:16]),
+		OutNanos:     binary.BigEndian.Uint64(src[16:24]),
+		LatencyNanos: binary.BigEndian.Uint32(src[24:28]),
+		QDepth:       binary.BigEndian.Uint32(src[28:32]),
+	}
+}
+
+// AppendHop stamps one hop record onto data, creating the shim on the
+// first stamp and inserting subsequent records just before it. The
+// (possibly reallocated) frame is returned. Frames already at
+// MaxHopsWire are returned unchanged.
+func AppendHop(data []byte, h HopRecord) []byte {
+	hops, ok := Hops(data)
+	if !ok {
+		// First stamp: append record + fresh shim.
+		off := len(data)
+		data = append(data, make([]byte, HopLen+ShimLen)...)
+		putHop(data[off:], h)
+		shim := data[off+HopLen:]
+		binary.BigEndian.PutUint32(shim[0:4], Magic)
+		shim[4] = Version
+		shim[5] = 1
+		return data
+	}
+	if hops >= MaxHopsWire {
+		return data
+	}
+	// Grow by one record; the old shim bytes slide to the new end and the
+	// record lands where the shim was.
+	off := len(data) - ShimLen
+	data = append(data, make([]byte, HopLen)...)
+	copy(data[off+HopLen:], data[off:off+ShimLen])
+	putHop(data[off:], h)
+	data[len(data)-ShimLen+5] = byte(hops + 1)
+	return data
+}
+
+// Parse decodes data's INT trailer without modifying it. ok is false
+// when data carries no trailer.
+func Parse(data []byte) (hops []HopRecord, payloadLen int, ok bool) {
+	n, has := Hops(data)
+	if !has {
+		return nil, len(data), false
+	}
+	payloadLen = len(data) - ShimLen - n*HopLen
+	hops = make([]HopRecord, n)
+	for i := 0; i < n; i++ {
+		hops[i] = parseHop(data[payloadLen+i*HopLen:])
+	}
+	return hops, payloadLen, true
+}
+
+// Strip removes the trailer from data, returning the truncated frame and
+// the decoded hops. An error is returned when data has no trailer.
+func Strip(data []byte) ([]byte, []HopRecord, error) {
+	hops, payloadLen, ok := Parse(data)
+	if !ok {
+		return data, nil, fmt.Errorf("intmd: no INT trailer")
+	}
+	return data[:payloadLen], hops, nil
+}
+
+// SatLatency computes OutNanos-InNanos saturated into the 32-bit wire
+// field (negative deltas, which a broken clock could produce, clamp to 0).
+func SatLatency(inNanos, outNanos uint64) uint32 {
+	if outNanos <= inNanos {
+		return 0
+	}
+	d := outNanos - inNanos
+	if d > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(d)
+}

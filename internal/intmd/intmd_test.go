@@ -1,0 +1,102 @@
+package intmd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendParseStrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05}
+	data := append([]byte(nil), payload...)
+
+	if _, ok := Hops(data); ok {
+		t.Fatalf("plain payload detected as INT")
+	}
+	if TrailerLen(data) != 0 {
+		t.Fatalf("TrailerLen on plain payload = %d", TrailerLen(data))
+	}
+
+	recs := []HopRecord{
+		{SwitchID: 7, TSP: 0, StageID: 100, InNanos: 1000, OutNanos: 1200, LatencyNanos: 200, QDepth: 3},
+		{SwitchID: 7, TSP: 1, StageID: 200, InNanos: 1200, OutNanos: 1500, LatencyNanos: 300, QDepth: 0},
+		{SwitchID: 7, TSP: 5, StageID: 300, InNanos: 1500, OutNanos: 1501, LatencyNanos: 1, QDepth: 9},
+	}
+	for i, r := range recs {
+		data = AppendHop(data, r)
+		if hops, ok := Hops(data); !ok || hops != i+1 {
+			t.Fatalf("after stamp %d: hops=%d ok=%v", i, hops, ok)
+		}
+		out, ok := LastHopOut(data)
+		if !ok || out != r.OutNanos {
+			t.Fatalf("LastHopOut after stamp %d = %d,%v want %d", i, out, ok, r.OutNanos)
+		}
+	}
+	if got, want := TrailerLen(data), ShimLen+3*HopLen; got != want {
+		t.Fatalf("TrailerLen = %d want %d", got, want)
+	}
+
+	hops, payloadLen, ok := Parse(data)
+	if !ok || payloadLen != len(payload) || len(hops) != 3 {
+		t.Fatalf("Parse: ok=%v payloadLen=%d hops=%d", ok, payloadLen, len(hops))
+	}
+	for i := range recs {
+		if hops[i] != recs[i] {
+			t.Fatalf("hop %d round-trip mismatch: got %+v want %+v", i, hops[i], recs[i])
+		}
+	}
+
+	stripped, hops2, err := Strip(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatalf("Strip: %v", err)
+	}
+	if !bytes.Equal(stripped, payload) {
+		t.Fatalf("Strip payload mismatch: %x vs %x", stripped, payload)
+	}
+	if len(hops2) != 3 {
+		t.Fatalf("Strip hops = %d", len(hops2))
+	}
+
+	if _, _, err := Strip(payload); err == nil {
+		t.Fatalf("Strip on plain payload should error")
+	}
+}
+
+func TestHopsRejectsTruncated(t *testing.T) {
+	data := AppendHop([]byte{1, 2, 3}, HopRecord{SwitchID: 1})
+	// Corrupt the hop count upward: the frame is too short to hold them.
+	data[len(data)-ShimLen+5] = 9
+	if _, ok := Hops(data); ok {
+		t.Fatalf("truncated trailer accepted")
+	}
+}
+
+func TestReportPath(t *testing.T) {
+	r := Report{Hops: []HopRecord{
+		{StageID: 10, Stage: "l2"},
+		{StageID: 20},
+		{StageID: 30, Stage: "fib"},
+	}}
+	if got, want := r.Path(), "l2>20>fib"; got != want {
+		t.Fatalf("Path = %q want %q", got, want)
+	}
+}
+
+func TestSatLatency(t *testing.T) {
+	if SatLatency(10, 5) != 0 {
+		t.Fatalf("negative delta should clamp to 0")
+	}
+	if SatLatency(0, 1<<40) != 0xFFFFFFFF {
+		t.Fatalf("large delta should saturate")
+	}
+	if SatLatency(100, 350) != 250 {
+		t.Fatalf("plain delta wrong")
+	}
+}
+
+func TestNowNanosMonotone(t *testing.T) {
+	a := NowNanos()
+	b := NowNanos()
+	if b < a {
+		t.Fatalf("NowNanos went backwards: %d then %d", a, b)
+	}
+}

@@ -1,0 +1,55 @@
+package intmd
+
+import "sync"
+
+// ReportRing retains the newest decoded INT reports for control-plane
+// dumps (`rp4ctl int report`). Both switch models keep one at their sink.
+type ReportRing struct {
+	mu   sync.Mutex
+	ring []Report
+	pos  int
+	full bool
+	seq  uint64
+}
+
+// NewReportRing builds a ring retaining size reports (<=0 picks 256).
+func NewReportRing(size int) *ReportRing {
+	if size <= 0 {
+		size = 256
+	}
+	return &ReportRing{ring: make([]Report, size)}
+}
+
+// Push stamps the report's sequence number and retains it, evicting the
+// oldest once the ring is full.
+func (r *ReportRing) Push(rep Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	rep.Seq = r.seq
+	r.ring[r.pos] = rep
+	r.pos = (r.pos + 1) % len(r.ring)
+	if r.pos == 0 {
+		r.full = true
+	}
+}
+
+// Dump returns up to max retained reports, newest first (max <= 0
+// returns all).
+func (r *ReportRing) Dump(max int) []Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.pos
+	if r.full {
+		n = len(r.ring)
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Report, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.pos - 1 - i + len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[idx])
+	}
+	return out
+}

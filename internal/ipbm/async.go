@@ -102,6 +102,11 @@ func (s *Switch) egestOne() bool {
 		s.punt(p)
 	}
 	dataplane.SurfaceOutPort(p)
+	// INT sink at the egress boundary (pipelined mode): strip + decode
+	// before transmit. One atomic load when INT is off.
+	if sink := s.intSinkP.Load(); sink != nil {
+		sink.process(p)
+	}
 	if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
 		if port, err := s.ports.Port(p.OutPort); err == nil {
 			port.Send(p.Data)

@@ -32,6 +32,11 @@ func (s *Switch) run(d *dataplane.Design, p *pkt.Packet, env *tsp.Env) bool {
 	if ok {
 		// The executor sets istd.out_port; surface it on the packet.
 		dataplane.SurfaceOutPort(p)
+		// INT sink: at the egress boundary, strip + decode the trailer so
+		// it never leaves the switch. One atomic load when INT is off.
+		if sink := s.intSinkP.Load(); sink != nil && !p.Drop {
+			sink.process(p)
+		}
 	}
 	s.dp.FinishPacket(p, dataplane.Verdict(p, ok, s.ports.Len()))
 	return ok

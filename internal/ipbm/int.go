@@ -1,0 +1,219 @@
+package ipbm
+
+// int.go is the switch-level face of in-band telemetry: enabling INT is
+// an in-situ reconfiguration (every loaded TSP's stage programs are
+// rebuilt with the IntStamp epilogue and swapped under a pipeline drain,
+// exactly like a template patch), and the sink strips + decodes trailers
+// at the egress boundary, feeding per-stage histograms, flow-path
+// counters and a ring of decoded reports.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"ipsa/internal/intmd"
+	"ipsa/internal/pipeline"
+	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
+	"ipsa/internal/template"
+	"ipsa/internal/tsp"
+)
+
+// intStageSeries is one stage's pre-resolved sink series, so per-hop
+// observation is a map hit plus atomic adds.
+type intStageSeries struct {
+	name  string
+	lat   *telemetry.Histogram // ipsa_int_hop_latency_seconds{stage=...}
+	depth *telemetry.Histogram // ipsa_int_queue_depth{stage=...}
+}
+
+// intSink is the published sink state: immutable after construction,
+// swapped atomically so the per-packet check is one pointer load.
+type intSink struct {
+	stages  map[uint16]*intStageSeries
+	reports *intmd.ReportRing
+	reg     *telemetry.Registry
+	sunk    *telemetry.Counter
+}
+
+// newIntSink resolves the per-stage series for every stage of cfg. The
+// stage-ID map is derived with tsp.IntStageID, the same function the
+// stamper compiled into the programs, so decode agrees with encode.
+func newIntSink(cfg *template.Config, reg *telemetry.Registry, ringSize int) *intSink {
+	sink := &intSink{
+		stages:  make(map[uint16]*intStageSeries, len(cfg.Stages)),
+		reports: intmd.NewReportRing(ringSize),
+		reg:     reg,
+		sunk:    reg.Counter("ipsa_int_reports_total"),
+	}
+	for name := range cfg.Stages {
+		id := tsp.IntStageID(name)
+		sink.stages[id] = &intStageSeries{
+			name:  name,
+			lat:   reg.Histogram("ipsa_int_hop_latency_seconds", telemetry.L("stage", name)),
+			depth: reg.Histogram("ipsa_int_queue_depth", telemetry.L("stage", name)),
+		}
+	}
+	return sink
+}
+
+// process strips p's INT trailer (if any), resolves stage names, feeds
+// the telemetry series and retains the decoded report. Runs only while a
+// sink is published, i.e. INT-enabled cost.
+func (sink *intSink) process(p *pkt.Packet) {
+	hops, payloadLen, ok := intmd.Parse(p.Data)
+	if !ok {
+		return
+	}
+	p.Data = p.Data[:payloadLen]
+	for i := range hops {
+		if ss := sink.stages[hops[i].StageID]; ss != nil {
+			hops[i].Stage = ss.name
+			ss.lat.ObserveNanos(int64(hops[i].LatencyNanos))
+			ss.depth.ObserveNanos(int64(hops[i].QDepth))
+		}
+	}
+	rep := intmd.Report{InPort: p.InPort, OutPort: p.OutPort, Bytes: payloadLen, Hops: hops}
+	// Flow-path counter: how many packets took each stage sequence. The
+	// registry's get-or-create mutex is acceptable here — this path only
+	// runs with INT enabled.
+	sink.reg.Counter("ipsa_int_path_packets_total", telemetry.L("path", rep.Path())).Inc()
+	sink.reports.Push(rep)
+	sink.sunk.Inc()
+}
+
+// configHash identifies a configuration in audit events: truncated
+// SHA-256 of its canonical serialized form.
+func configHash(cfg *template.Config) string {
+	if cfg == nil {
+		return ""
+	}
+	b, err := cfg.Marshal()
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:6])
+}
+
+// IntEnabled reports whether INT stamping is currently compiled into the
+// loaded stage programs.
+func (s *Switch) IntEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.intOn
+}
+
+// SetInt enables or disables INT stamping. This is a true in-situ
+// update: the stage programs of every loaded TSP are rebuilt (with or
+// without the compiled IntStamp epilogue), the pipeline drains, and the
+// new programs are swapped in — table contents, registers and counters
+// are untouched. The resulting audit event carries the drain time and
+// verdict-counter deltas like any other apply.
+func (s *Switch) SetInt(enabled bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.intOn == enabled {
+		return nil
+	}
+	s.intOn = enabled
+	kind := "int_enable"
+	if !enabled {
+		kind = "int_disable"
+	}
+	d := s.dp.Design()
+	if d == nil {
+		// No configuration yet: the flag alone changes what the next
+		// ApplyConfig builds.
+		s.publishIntState(nil)
+		s.tel.Events.Append(telemetry.Event{Kind: kind, Detail: "no config installed; deferred to next apply"})
+		return nil
+	}
+	cfg := d.Cfg
+	runtimes, err := tsp.BuildStageRuntimesOpts(cfg, tsp.BuildOpts{Mode: s.opts.Exec, Int: enabled})
+	if err != nil {
+		s.intOn = !enabled
+		return err
+	}
+	for _, sr := range runtimes {
+		sr.Bind(s)
+	}
+	inFlight := s.pl.TM().DepthSum()
+	before := s.tel.verdictSnapshot()
+	rewrote := 0
+	t0 := time.Now()
+	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
+		for i := range tsps {
+			var srs []*tsp.StageRuntime
+			for _, sn := range orderedStagesOf(cfg, i) {
+				srs = append(srs, runtimes[sn])
+			}
+			if len(srs) > 0 {
+				tsps[i].Load(srs)
+				rewrote++
+			}
+		}
+		return nil
+	})
+	drain := time.Since(t0)
+	if err != nil {
+		s.intOn = !enabled
+		return err
+	}
+	if enabled {
+		s.publishIntState(cfg)
+	} else {
+		s.publishIntState(nil)
+	}
+	s.tel.tspsWritten.Add(uint64(rewrote))
+	s.tel.Events.Append(telemetry.Event{
+		Kind:          kind,
+		ConfigHash:    configHash(cfg),
+		TSPsWritten:   rewrote,
+		DrainNanos:    int64(drain),
+		InFlight:      inFlight,
+		VerdictDeltas: s.tel.verdictDeltas(before),
+	})
+	return nil
+}
+
+// publishIntState installs (cfg non-nil) or removes the stamping context
+// and sink. Called with s.mu held; the hot path picks the change up via
+// atomic loads.
+func (s *Switch) publishIntState(cfg *template.Config) {
+	if cfg == nil {
+		s.dp.SetIntCtx(nil)
+		s.intSinkP.Store(nil)
+		return
+	}
+	ctx := &tsp.IntStampCtx{
+		SwitchID: s.opts.IntSwitchID,
+		MaxHops:  s.opts.IntMaxHops,
+		Now:      s.intNow,
+		Depth:    s.pl.TM().DepthFast,
+		Stamps:   s.tel.Reg.Counter("ipsa_int_stamps_total"),
+		Skips:    s.tel.Reg.Counter("ipsa_int_stamps_skipped_total"),
+	}
+	if s.intDepth != nil {
+		ctx.Depth = s.intDepth
+	}
+	s.intSinkP.Store(newIntSink(cfg, s.tel.Reg, s.opts.IntReportRing))
+	s.dp.SetIntCtx(ctx)
+}
+
+// IntReport returns up to max sink-decoded reports, newest first (0 =
+// all retained). Empty while INT is disabled.
+func (s *Switch) IntReport(max int) []intmd.Report {
+	sink := s.intSinkP.Load()
+	if sink == nil {
+		return nil
+	}
+	return sink.reports.Dump(max)
+}
+
+// EventsDump returns up to max reconfiguration audit events, newest
+// first (0 = all retained).
+func (s *Switch) EventsDump(max int) []telemetry.Event {
+	return s.tel.Events.Dump(max)
+}

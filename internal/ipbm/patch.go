@@ -7,6 +7,7 @@ import (
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/match"
 	"ipsa/internal/pipeline"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 	"ipsa/internal/tsp"
 )
@@ -80,7 +81,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	newRuntimes := make(map[string]*tsp.StageRuntime)
 	for _, sn := range append(append([]string(nil), cfg.IngressChain...), cfg.EgressChain...) {
 		if rewritten[cfg.TSPAssignment[sn]] {
-			sr, err := tsp.NewStageRuntimeMode(cfg, sn, s.opts.Exec)
+			sr, err := tsp.NewStageRuntimeOpts(cfg, sn, tsp.BuildOpts{Mode: s.opts.Exec, Int: s.intOn})
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +90,10 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		}
 	}
 
-	// 4. Drain and patch.
+	// 4. Drain and patch; the audit event measures this critical section.
+	inFlight := s.pl.TM().DepthSum()
+	verdictsBefore := s.tel.verdictSnapshot()
+	drainStart := time.Now()
 	err := s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
 		for idx := range rewritten {
 			var srs []*tsp.StageRuntime
@@ -123,6 +127,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		sel.TMIn, sel.TMOut = tmIn, tmOut
 		return nil
 	})
+	drain := time.Since(drainStart)
 	if err != nil {
 		return nil, err
 	}
@@ -130,11 +135,26 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	// 5. Publish the new design snapshot (the parser may have changed:
 	// header links) and the refreshed table-handle view; untouched TSPs
 	// keep their existing runtimes, whose templates are bit-identical by
-	// the manifest's contract.
+	// the manifest's contract. With INT on, the sink's stage map is
+	// re-derived for the (possibly changed) stage set; untouched TSPs'
+	// compiled stage IDs stay valid because IDs are name-derived.
 	s.rebuildLookups()
 	s.dp.Install(cfg, s.regs)
+	if s.intOn {
+		s.publishIntState(cfg)
+	}
 	stats.LoadNanos = int64(time.Since(start))
 	s.tel.appliesPatch.Inc()
 	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))
+	s.tel.Events.Append(telemetry.Event{
+		Kind:          "apply_patch",
+		ConfigHash:    configHash(cfg),
+		TSPsWritten:   stats.TSPsWritten,
+		TablesCreated: stats.TablesCreated,
+		TablesDropped: stats.TablesDropped,
+		DrainNanos:    int64(drain),
+		InFlight:      inFlight,
+		VerdictDeltas: s.tel.verdictDeltas(verdictsBefore),
+	})
 	return stats, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ipbm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ipbm
+
+// raceEnabled lets allocation-exactness tests skip under the race
+// detector, whose instrumentation allocates on the measured path.
+const raceEnabled = true

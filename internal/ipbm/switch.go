@@ -23,6 +23,7 @@ import (
 	"ipsa/internal/netio"
 	"ipsa/internal/pipeline"
 	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 	"ipsa/internal/tsp"
 )
@@ -50,6 +51,16 @@ type Options struct {
 	// Exec selects the stage executor: the compiled flat-program runner
 	// (default) or the tree-walking reference interpreter.
 	Exec tsp.ExecMode
+
+	// IntSwitchID identifies this switch in INT hop records.
+	IntSwitchID uint32
+	// IntMaxHops caps the hop records one packet accumulates
+	// (0 = the wire format's limit of 255).
+	IntMaxHops int
+	// IntReportRing sizes the sink's ring of decoded reports.
+	IntReportRing int
+	// EventRing sizes the reconfiguration audit-event log.
+	EventRing int
 }
 
 // DefaultOptions returns a software-scale switch: more TSPs than the
@@ -67,6 +78,10 @@ func DefaultOptions() Options {
 		TraceRing:    256,
 		TraceEvery:   0,
 		LatencyEvery: 0,
+
+		IntSwitchID:   1,
+		IntReportRing: 256,
+		EventRing:     256,
 	}
 }
 
@@ -98,6 +113,16 @@ type Switch struct {
 	punted atomic.Uint64
 
 	tel *Telemetry
+
+	// intOn is the configured INT state (guarded by s.mu); the hot path
+	// reads the derived atomic state instead: the stamping context lives
+	// in the dataplane core, the sink behind intSinkP.
+	intOn    bool
+	intSinkP atomic.Pointer[intSink]
+	// intNow/intDepth override the stamper's clock and queue-depth
+	// sources (tests inject deterministic ones); nil = real sources.
+	intNow   func() int64
+	intDepth func(port int) int
 
 	runWG   sync.WaitGroup
 	stopped atomic.Bool
@@ -346,8 +371,9 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	}
 
 	// 3. Build stage runtimes for the new config, lowering each stage
-	// template to its flat program (unless the interpreter was selected).
-	runtimes, err := tsp.BuildStageRuntimesMode(cfg, s.opts.Exec)
+	// template to its flat program (unless the interpreter was selected),
+	// with the INT stamping epilogue when INT is enabled on this switch.
+	runtimes, err := tsp.BuildStageRuntimesOpts(cfg, tsp.BuildOpts{Mode: s.opts.Exec, Int: s.intOn})
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +381,12 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		sr.Bind(s)
 	}
 
-	// 4. Drain the pipeline and patch TSP templates + selector.
+	// 4. Drain the pipeline and patch TSP templates + selector. The audit
+	// event measures this critical section: TM occupancy going in, the
+	// exclusive-hold duration, and what the verdict counters did across it.
+	inFlight := s.pl.TM().DepthSum()
+	verdictsBefore := s.tel.verdictSnapshot()
+	drainStart := time.Now()
 	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
 		tmIn, tmOut := -1, len(tsps)
 		for i := range tsps {
@@ -407,22 +438,39 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		sel.TMIn, sel.TMOut = tmIn, tmOut
 		return nil
 	})
+	drain := time.Since(drainStart)
 	if err != nil {
 		return nil, err
 	}
 
 	// 5. Publish the new design snapshot (parser, SRv6 IDs, config) and
-	// the refreshed table-handle view.
+	// the refreshed table-handle view; re-derive the INT sink's stage map
+	// for the new stage set.
 	s.rebuildLookups()
 	s.dp.Install(cfg, s.regs)
+	if s.intOn {
+		s.publishIntState(cfg)
+	}
 	stats.LoadNanos = int64(time.Since(start))
+	kind := "apply_diff"
 	if stats.Full {
 		s.tel.appliesFull.Inc()
+		kind = "apply_full"
 	} else {
 		s.tel.appliesDiff.Inc()
 	}
 	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))
 	s.tel.migrated.Add(uint64(stats.EntriesMigrated))
+	s.tel.Events.Append(telemetry.Event{
+		Kind:          kind,
+		ConfigHash:    configHash(cfg),
+		TSPsWritten:   stats.TSPsWritten,
+		TablesCreated: stats.TablesCreated,
+		TablesDropped: stats.TablesDropped,
+		DrainNanos:    int64(drain),
+		InFlight:      inFlight,
+		VerdictDeltas: s.tel.verdictDeltas(verdictsBefore),
+	})
 	return stats, nil
 }
 

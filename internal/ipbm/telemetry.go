@@ -18,6 +18,9 @@ type Telemetry struct {
 	Reg     *telemetry.Registry
 	Tracer  *telemetry.Tracer
 	LatSamp *telemetry.Sampler
+	// Events is the reconfiguration audit trail: every apply/patch/INT
+	// toggle records what changed and what the data plane experienced.
+	Events *telemetry.EventLog
 
 	// Config-plane counters, resolved at New.
 	appliesFull  *telemetry.Counter
@@ -28,6 +31,63 @@ type Telemetry struct {
 	// noPortDrops counts packets that finished the pipeline with no valid
 	// egress port — silently lost before this counter existed.
 	noPortDrops *telemetry.Counter
+
+	// Per-verdict packet counters (ipsa_packets_total{verdict=...}),
+	// incremented for every finished packet. Pre-resolved so the hot-path
+	// cost is one switch plus one atomic add; their snapshots are how
+	// audit events quantify what traffic saw during a swap.
+	vForwarded *telemetry.Counter
+	vDropped   *telemetry.Counter
+	vTmDrop    *telemetry.Counter
+	vToCPU     *telemetry.Counter
+	vNoPort    *telemetry.Counter
+}
+
+// verdictNames orders the per-verdict counters for snapshots/deltas.
+var verdictNames = [...]string{"forwarded", "dropped", "tm_drop", "to_cpu", "no_port"}
+
+func (t *Telemetry) verdictCounters() [5]*telemetry.Counter {
+	return [5]*telemetry.Counter{t.vForwarded, t.vDropped, t.vTmDrop, t.vToCPU, t.vNoPort}
+}
+
+// countVerdict bumps the finished packet's verdict counter.
+func (t *Telemetry) countVerdict(verdict string) {
+	switch verdict {
+	case "forwarded":
+		t.vForwarded.Inc()
+	case "dropped":
+		t.vDropped.Inc()
+	case "tm_drop":
+		t.vTmDrop.Inc()
+	case "to_cpu":
+		t.vToCPU.Inc()
+	case "no_port":
+		t.vNoPort.Inc()
+	}
+}
+
+// verdictSnapshot captures the per-verdict totals (audit-event baseline).
+func (t *Telemetry) verdictSnapshot() [5]uint64 {
+	var out [5]uint64
+	for i, c := range t.verdictCounters() {
+		out[i] = c.Value()
+	}
+	return out
+}
+
+// verdictDeltas reports the per-verdict change since a snapshot, keeping
+// only verdicts that moved.
+func (t *Telemetry) verdictDeltas(before [5]uint64) map[string]uint64 {
+	var out map[string]uint64
+	for i, c := range t.verdictCounters() {
+		if d := c.Value() - before[i]; d > 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[verdictNames[i]] = d
+		}
+	}
+	return out
 }
 
 // newTelemetry builds the registry, resolves the static handles and
@@ -38,12 +98,18 @@ func (s *Switch) newTelemetry(opts Options) {
 		Reg:          reg,
 		Tracer:       telemetry.NewTracer(opts.TraceRing, opts.TraceEvery),
 		LatSamp:      telemetry.NewSampler(opts.LatencyEvery),
+		Events:       telemetry.NewEventLog(opts.EventRing),
 		appliesFull:  reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "full")),
 		appliesDiff:  reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "diff")),
 		appliesPatch: reg.Counter("ipsa_config_applies_total", telemetry.L("mode", "patch")),
 		tspsWritten:  reg.Counter("ipsa_config_tsps_written_total"),
 		migrated:     reg.Counter("ipsa_config_entries_migrated_total"),
 		noPortDrops:  reg.Counter("ipsa_no_port_drops_total"),
+		vForwarded:   reg.Counter("ipsa_packets_total", telemetry.L("verdict", "forwarded")),
+		vDropped:     reg.Counter("ipsa_packets_total", telemetry.L("verdict", "dropped")),
+		vTmDrop:      reg.Counter("ipsa_packets_total", telemetry.L("verdict", "tm_drop")),
+		vToCPU:       reg.Counter("ipsa_packets_total", telemetry.L("verdict", "to_cpu")),
+		vNoPort:      reg.Counter("ipsa_packets_total", telemetry.L("verdict", "no_port")),
 	}
 	for i := 0; i < s.pl.NumTSPs(); i++ {
 		t, _ := s.pl.TSP(i)
@@ -157,9 +223,11 @@ func (s *Switch) beginPacketTelemetry(p *pkt.Packet) {
 	p.Timed = s.tel.LatSamp.Hit()
 }
 
-// finishPacketTelemetry completes and commits a sampled packet's flight
-// record with its final verdict. No-op for untraced packets.
+// finishPacketTelemetry counts the packet's verdict, then completes and
+// commits a sampled packet's flight record. The verdict counter comes
+// first — it must tick for every packet, traced or not.
 func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
+	s.tel.countVerdict(verdict)
 	rec := p.Trace
 	if rec == nil {
 		return

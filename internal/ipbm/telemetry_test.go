@@ -152,7 +152,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 
 	// HTTP scrape: the Prometheus endpoint serves the same registry.
 	tel := sw.Telemetry()
-	ms, err := telemetry.Serve("127.0.0.1:0", tel.Reg, tel.Tracer)
+	ms, err := telemetry.Serve("127.0.0.1:0", tel.Reg, tel.Tracer, tel.Events)
 	if err != nil {
 		t.Fatal(err)
 	}

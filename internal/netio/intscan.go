@@ -1,0 +1,47 @@
+package netio
+
+import (
+	"io"
+
+	"ipsa/internal/intmd"
+)
+
+// IntScanSummary aggregates the INT trailers found in a capture: how
+// many frames carried one, the total and deepest hop counts, and the
+// decoded reports themselves (capped by the scanner).
+type IntScanSummary struct {
+	Packets int // frames in the capture
+	Stamped int // frames carrying a valid INT trailer
+	Hops    int // total hop records across all stamped frames
+	MaxHops int // deepest single trailer
+	Reports []intmd.Report
+}
+
+// ScanIntTrailers reads a pcap stream to EOF and summarizes the INT
+// trailers it finds; keep bounds how many decoded reports are retained
+// (<= 0 keeps all). Frames without a trailer just count toward Packets.
+func ScanIntTrailers(pr *PcapReader, keep int) (IntScanSummary, error) {
+	var sum IntScanSummary
+	for {
+		_, data, err := pr.ReadPacket()
+		if err == io.EOF {
+			return sum, nil
+		}
+		if err != nil {
+			return sum, err
+		}
+		sum.Packets++
+		hops, payloadLen, ok := intmd.Parse(data)
+		if !ok {
+			continue
+		}
+		sum.Stamped++
+		sum.Hops += len(hops)
+		if len(hops) > sum.MaxHops {
+			sum.MaxHops = len(hops)
+		}
+		if keep <= 0 || len(sum.Reports) < keep {
+			sum.Reports = append(sum.Reports, intmd.Report{Bytes: payloadLen, Hops: hops})
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ipsa/internal/intmd"
 )
 
 func TestChanPortBasics(t *testing.T) {
@@ -268,5 +270,41 @@ func TestDetailedStatsSplitsDrops(t *testing.T) {
 	_, _, drops := p.Stats()
 	if drops != 2 {
 		t.Fatalf("summed drops = %d", drops)
+	}
+}
+
+// TestScanIntTrailers summarizes a capture mixing stamped and plain frames.
+func TestScanIntTrailers(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02, 0x03}
+	stamped := append([]byte(nil), plain...)
+	for h := 0; h < 3; h++ {
+		stamped = intmd.AppendHop(stamped, intmd.HopRecord{
+			SwitchID: 7, StageID: uint16(h), InNanos: uint64(h * 10), OutNanos: uint64(h*10 + 5),
+		})
+	}
+	now := time.Now()
+	for _, frame := range [][]byte{plain, stamped, plain} {
+		if err := w.WritePacket(now, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ScanIntTrailers(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Packets != 3 || sum.Stamped != 1 || sum.Hops != 3 || sum.MaxHops != 3 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if len(sum.Reports) != 1 || len(sum.Reports[0].Hops) != 3 || sum.Reports[0].Bytes != len(plain) {
+		t.Fatalf("reports: %+v", sum.Reports)
 	}
 }

@@ -333,3 +333,24 @@ func (tm *TrafficManager) Depth(port int) int {
 	}
 	return int(tm.queues[port].n.Load())
 }
+
+// DepthFast is Depth without the mutex: a raw atomic read of the port's
+// occupancy counter, unserialised against concurrent Admit/DequeueRR the
+// same way PassThrough's admission check is. This is the per-packet
+// accessor the INT stamper reads queue depth through.
+func (tm *TrafficManager) DepthFast(port int) int {
+	if port < 0 || port >= len(tm.queues) {
+		return 0
+	}
+	return int(tm.queues[port].n.Load())
+}
+
+// DepthSum is the total occupancy across every port queue, lock-free and
+// approximate under concurrency (audit-event "packets in flight" source).
+func (tm *TrafficManager) DepthSum() int {
+	n := 0
+	for i := range tm.queues {
+		n += int(tm.queues[i].n.Load())
+	}
+	return n
+}

@@ -21,6 +21,7 @@ import (
 
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/dataplane"
+	"ipsa/internal/intmd"
 	"ipsa/internal/match"
 	"ipsa/internal/pkt"
 	"ipsa/internal/template"
@@ -40,6 +41,8 @@ type Options struct {
 	// Exec selects the stage executor (compiled by default; the
 	// tree-walking interpreter for differential testing).
 	Exec tsp.ExecMode
+	// IntSwitchID identifies this switch in INT hop records.
+	IntSwitchID uint32
 }
 
 // DefaultOptions mirrors a mid-sized fixed-function budget.
@@ -50,6 +53,7 @@ func DefaultOptions() Options {
 		StageBlocks:   8,
 		BlockWidth:    128,
 		BlockDepth:    4096,
+		IntSwitchID:   2, // distinguish from ipbm's default 1 in multi-hop runs
 	}
 }
 
@@ -82,6 +86,13 @@ type Switch struct {
 	effectiveStagesUsed int
 	// reloads counts full pipeline rebuilds.
 	reloads int
+
+	// INT state: whether stamping is compiled in, the sink's stage-ID
+	// name map, the retained reports, and a test-injectable clock.
+	intOn      bool
+	intNames   map[uint16]string
+	intReports *intmd.ReportRing
+	intNow     func() int64
 }
 
 type tableCounters struct {
@@ -147,7 +158,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	runtimes, err := tsp.BuildStageRuntimesMode(cfg, s.opts.Exec)
+	runtimes, err := tsp.BuildStageRuntimesOpts(cfg, tsp.BuildOpts{Mode: s.opts.Exec, Int: s.intOn})
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +221,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.tstats = tstats
 	// Registers reset on every rebuild, unlike ipbm's additive update.
 	s.dp.Install(cfg, tsp.NewRegisterFile(cfg.Registers))
+	s.publishIntState(cfg)
 	s.effectiveStagesUsed = used
 	s.reloads++
 
@@ -290,6 +302,11 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	// pisa skips dataplane.BeginPacket (no telemetry hooks), so the INT
+	// ingress timestamp is stamped here.
+	if ctx := s.dp.IntCtx(); ctx != nil {
+		p.IngressNanos = ctx.NowNanos()
+	}
 	env := s.dp.GetEnv(d)
 
 	s.frontParse(d, p)
@@ -323,8 +340,11 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 	if p.Drop {
 		return p, nil
 	}
-	s.deparse(p)
 	dataplane.SurfaceOutPort(p)
+	// INT sink runs before the deparser so the reassembled packet never
+	// carries the trailer off the switch.
+	s.intSinkProcess(p)
+	s.deparse(p)
 	return p, nil
 }
 

@@ -121,6 +121,11 @@ type Packet struct {
 	Trace *telemetry.TraceRecord
 	// Timed marks the packet as latency-sampled (per-TSP histograms).
 	Timed bool
+
+	// IngressNanos is the monotonic arrival timestamp, stamped at packet
+	// admission only while the switch acts as an INT source (0 otherwise).
+	// The first INT hop record uses it as its ingress-side timestamp.
+	IngressNanos int64
 }
 
 // NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
@@ -148,6 +153,7 @@ func (p *Packet) ResetFor(data []byte, metaBytes int) {
 	p.ToCPU = false
 	p.Trace = nil
 	p.Timed = false
+	p.IngressNanos = 0
 }
 
 // Reset prepares p for reuse with new packet bytes.
@@ -163,6 +169,7 @@ func (p *Packet) Reset(data []byte) {
 	p.ToCPU = false
 	p.Trace = nil
 	p.Timed = false
+	p.IngressNanos = 0
 }
 
 // Clone deep-copies the packet (used by multicast and the traffic manager).
@@ -174,6 +181,8 @@ func (p *Packet) Clone() *Packet {
 		OutPort: p.OutPort,
 		Drop:    p.Drop,
 		ToCPU:   p.ToCPU,
+
+		IngressNanos: p.IngressNanos,
 	}
 	q.HV.locs = append([]HeaderLoc(nil), p.HV.locs...)
 	return q

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 )
 
 // Handler serves the registry in Prometheus text format.
@@ -15,17 +17,26 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// Server is the scrape endpoint: /metrics in Prometheus text format and,
-// when a tracer is attached, /traces as JSON.
+// Server is the scrape endpoint: /metrics in Prometheus text format,
+// /traces and /events as JSON when their sources are attached, and the
+// net/http/pprof profile handlers under /debug/pprof/.
 type Server struct {
 	srv  *http.Server
 	addr string
 }
 
 // Serve starts an HTTP scrape endpoint on addr (":0" picks an ephemeral
-// port) exposing reg at /metrics and tracer (optional, may be nil) at
-// /traces. It returns once the listener is bound.
-func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+// port) exposing reg at /metrics, tracer (optional, may be nil) at
+// /traces, and events (optional, may be nil) at /events. The pprof
+// handlers are mounted explicitly — this mux is private, so the
+// net/http/pprof DefaultServeMux registrations would not be reachable —
+// making CPU/heap profiles of the hot path one curl away:
+//
+//	curl -o cpu.pb.gz http://<addr>/debug/pprof/profile?seconds=10
+//	curl -o heap.pb.gz http://<addr>/debug/pprof/heap
+//
+// It returns once the listener is bound.
+func Serve(addr string, reg *Registry, tracer *Tracer, events *EventLog) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
@@ -38,6 +49,23 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 			_ = json.NewEncoder(w).Encode(tracer.Dump(0))
 		})
 	}
+	if events != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+			max := 0
+			if v := req.URL.Query().Get("max"); v != "" {
+				if n, err := strconv.Atoi(v); err == nil && n > 0 {
+					max = n
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(events.Dump(max))
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{srv: &http.Server{Handler: mux}, addr: ln.Addr().String()}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -53,8 +53,19 @@ func writePoint(w io.Writer, p *MetricPoint) error {
 			formatSeconds(float64(p.SumNanos)/1e9)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, renderLabels(p.Labels), p.Count)
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, renderLabels(p.Labels), p.Count); err != nil {
+			return err
+		}
+		// Bucket-interpolated quantiles as companion (untyped) families:
+		// <name>_p50/_p90/_p99 in seconds. Separate names rather than a
+		// summary type so the histogram family stays a plain histogram.
+		for _, qv := range p.Quantiles {
+			if _, err := fmt.Fprintf(w, "%s_p%d%s %s\n", p.Name, int(qv.Quantile*100),
+				renderLabels(p.Labels), formatSeconds(qv.Nanos/1e9)); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, renderLabels(p.Labels), formatValue(p.Value))
 		return err

@@ -123,12 +123,17 @@ func (r *Registry) Unregister(name string, labels ...Label) {
 		return
 	}
 	delete(r.entries, key)
-	for i, k := range r.order {
-		if k == key {
-			r.order = append(r.order[:i], r.order[i+1:]...)
-			break
+	// Remove every order slot with this key, not just the first: if the
+	// two ever skew (a historical register/unregister/register cycle), a
+	// leftover slot would resurrect the series — as the current live
+	// entry's point, exported twice, or worse as a stale one.
+	kept := r.order[:0]
+	for _, k := range r.order {
+		if k != key {
+			kept = append(kept, k)
 		}
 	}
+	r.order = kept
 }
 
 // AddCollector attaches a scrape-time collector.
@@ -156,7 +161,19 @@ type MetricPoint struct {
 	Count    uint64        `json:"count,omitempty"`
 	SumNanos int64         `json:"sum_nanos,omitempty"`
 	Buckets  []BucketCount `json:"buckets,omitempty"`
+	// Quantiles holds bucket-interpolated estimates (p50/p90/p99) in
+	// nanoseconds, filled for non-empty histograms.
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
 }
+
+// QuantileValue is one estimated quantile of a histogram series.
+type QuantileValue struct {
+	Quantile float64 `json:"quantile"`
+	Nanos    float64 `json:"nanos"`
+}
+
+// exportQuantiles is the set every histogram exports.
+var exportQuantiles = []float64{0.5, 0.9, 0.99}
 
 func (e *entry) point() MetricPoint {
 	p := MetricPoint{Name: e.name, Labels: e.labels}
@@ -172,6 +189,20 @@ func (e *entry) point() MetricPoint {
 		raw := e.hist.Snapshot()
 		p.Count = e.hist.Count()
 		p.SumNanos = e.hist.SumNanos()
+		// Quantiles interpolate over the bucket snapshot's own total (not
+		// p.Count, which is read later and can race ahead of it).
+		var btotal uint64
+		for _, c := range raw {
+			btotal += c
+		}
+		for _, q := range exportQuantiles {
+			if btotal == 0 {
+				break
+			}
+			p.Quantiles = append(p.Quantiles, QuantileValue{
+				Quantile: q, Nanos: quantileFromBuckets(raw[:], btotal, q),
+			})
+		}
 		cum := uint64(0)
 		for i, c := range raw {
 			cum += c
@@ -191,7 +222,12 @@ func (r *Registry) Gather() []MetricPoint {
 	r.mu.Lock()
 	entries := make([]*entry, 0, len(r.order))
 	for _, k := range r.order {
-		entries = append(entries, r.entries[k])
+		// Skip order slots with no live entry (unregistered series):
+		// gathering through a dangling slot would panic or resurrect a
+		// stale point.
+		if e, ok := r.entries[k]; ok {
+			entries = append(entries, e)
+		}
 	}
 	collectors := append([]CollectFunc(nil), r.collectors...)
 	r.mu.Unlock()

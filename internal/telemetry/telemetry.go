@@ -94,6 +94,50 @@ func (h *Histogram) Snapshot() [HistBuckets]uint64 {
 	return out
 }
 
+// Quantile estimates the q-th quantile (0 < q < 1) of the observed
+// distribution in nanoseconds by linear interpolation inside the bucket
+// where the cumulative count crosses q*count. Power-of-two buckets make
+// this coarse (worst case a factor of 2 within the target bucket), which
+// is the usual tradeoff for allocation-free fixed-bucket observation.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	snap := h.Snapshot()
+	var total uint64
+	for _, c := range snap {
+		total += c
+	}
+	return quantileFromBuckets(snap[:], total, q)
+}
+
+// quantileFromBuckets is the interpolation shared by the live Histogram
+// and gathered MetricPoint snapshots.
+func quantileFromBuckets(buckets []uint64, total uint64, q float64) float64 {
+	if total == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		// Bucket i spans [lower, upper) nanos; interpolate by rank.
+		lower := float64(0)
+		if i > 0 {
+			lower = float64(uint64(1) << uint(i-1))
+		}
+		upper := float64(BucketUpperNanos(i))
+		frac := (target - prev) / float64(c)
+		return lower + frac*(upper-lower)
+	}
+	return float64(BucketUpperNanos(len(buckets) - 1))
+}
+
 // BucketUpperNanos returns bucket i's exclusive upper bound in
 // nanoseconds (the Prometheus "le" value uses this, inclusive semantics
 // being close enough at power-of-two granularity).

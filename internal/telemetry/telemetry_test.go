@@ -190,7 +190,9 @@ func TestHTTPServe(t *testing.T) {
 	tr := NewTracer(8, 1)
 	rec := tr.Sample()
 	tr.Commit(rec)
-	s, err := Serve("127.0.0.1:0", r, tr)
+	ev := NewEventLog(16)
+	ev.Append(Event{Kind: "apply_full", ConfigHash: "abc123"})
+	s, err := Serve("127.0.0.1:0", r, tr, ev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,6 +214,149 @@ func TestHTTPServe(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), `"seq"`) {
 		t.Fatalf("traces: %s", body)
+	}
+	resp, err = http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"apply_full"`) || !strings.Contains(string(body), "abc123") {
+		t.Fatalf("events: %s", body)
+	}
+	// pprof is mounted on the same mux.
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+}
+
+// Regression: Unregister followed by re-registering the same series key
+// must yield a fresh series — Gather must not resurrect the old points,
+// and observations through a stale pre-unregister handle must not leak
+// into the new series.
+func TestUnregisterReuseNoResurrection(t *testing.T) {
+	r := NewRegistry()
+	key := []Label{L("tsp", "3")}
+	old := r.Histogram("lat_seconds", key...)
+	old.ObserveNanos(1000)
+	old.ObserveNanos(2000)
+	r.Unregister("lat_seconds", key...)
+	if pts := r.Gather(); len(pts) != 0 {
+		t.Fatalf("after unregister, gather = %+v", pts)
+	}
+
+	fresh := r.Histogram("lat_seconds", key...)
+	if fresh == old {
+		t.Fatal("re-registering returned the unregistered handle")
+	}
+	old.ObserveNanos(9999) // stale handle writes must stay detached
+	pts := r.Gather()
+	if len(pts) != 1 {
+		t.Fatalf("gather = %d points, want 1", len(pts))
+	}
+	if pts[0].Count != 0 {
+		t.Fatalf("resurrected stale points: count = %d", pts[0].Count)
+	}
+
+	// Cycle again and check the export order holds exactly one slot.
+	r.Unregister("lat_seconds", key...)
+	r.Unregister("lat_seconds", key...) // double-unregister is a no-op
+	r.Histogram("lat_seconds", key...).ObserveNanos(500)
+	pts = r.Gather()
+	if len(pts) != 1 || pts[0].Count != 1 {
+		t.Fatalf("after cycle: %+v", pts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 observations uniformly inside [1024, 2048): all in one bucket,
+	// so the interpolated p50 sits near the bucket middle.
+	for i := 0; i < 100; i++ {
+		h.ObserveNanos(1024 + int64(i*10))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1024 || p50 >= 2048 {
+		t.Fatalf("p50 = %g outside the only occupied bucket", p50)
+	}
+	// Quantiles are monotone in q.
+	if !(h.Quantile(0.9) >= p50 && h.Quantile(0.99) >= h.Quantile(0.9)) {
+		t.Fatalf("quantiles not monotone: p50=%g p90=%g p99=%g",
+			p50, h.Quantile(0.9), h.Quantile(0.99))
+	}
+	// Skewed distribution: 99 fast, 1 slow — p50 stays in the fast
+	// bucket, p99 must not.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.ObserveNanos(100)
+	}
+	h2.ObserveNanos(1 << 20)
+	if p := h2.Quantile(0.5); p >= 256 {
+		t.Fatalf("p50 = %g, want fast-bucket value", p)
+	}
+	if p := h2.Quantile(0.995); p < 1<<19 {
+		t.Fatalf("p99.5 = %g, want slow-bucket value", p)
+	}
+}
+
+func TestGatherExportsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds").ObserveNanos(1500)
+	pts := r.Gather()
+	if len(pts) != 1 || len(pts[0].Quantiles) != 3 {
+		t.Fatalf("quantiles missing: %+v", pts)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lat_seconds_p50", "lat_seconds_p90", "lat_seconds_p99"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("missing %s in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	l := NewEventLog(16)
+	for i := 0; i < 20; i++ {
+		l.Append(Event{Kind: "apply_full", TSPsWritten: i})
+	}
+	if l.Len() != 16 {
+		t.Fatalf("ring holds %d", l.Len())
+	}
+	dump := l.Dump(0)
+	if len(dump) != 16 {
+		t.Fatalf("dump = %d", len(dump))
+	}
+	// Newest first, sequence numbers strictly decreasing.
+	if dump[0].Seq != 20 || dump[0].TSPsWritten != 19 {
+		t.Fatalf("head = %+v", dump[0])
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i].Seq != dump[i-1].Seq-1 {
+			t.Fatalf("sequence gap at %d: %+v", i, dump[i])
+		}
+	}
+	if dump[0].TimeNanos == 0 {
+		t.Fatal("TimeNanos not stamped")
+	}
+	if got := l.Dump(3); len(got) != 3 || got[0].Seq != 20 {
+		t.Fatalf("bounded dump: %+v", got)
+	}
+	// Nil log is inert.
+	var nilLog *EventLog
+	nilLog.Append(Event{})
+	if nilLog.Len() != 0 || nilLog.Dump(0) != nil {
+		t.Fatal("nil EventLog not inert")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ipsa/internal/intmd"
 	"ipsa/internal/pkt"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	// test); NextSegment fills the segment list.
 	SID, NextSegment [16]byte
 	Seed             int64
+	// IntHops pre-stamps each packet with that many synthetic upstream
+	// INT hop records (transit-mode traffic: the switch under test is not
+	// the INT source). 0 emits plain packets.
+	IntHops int
+	// IntSwitchID identifies the synthetic upstream switch (default 100).
+	IntSwitchID uint32
 }
 
 // DefaultConfig emits IPv4 routed traffic over 256 flows.
@@ -81,10 +88,42 @@ func New(cfg Config) (*Generator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.IntHops > 0 {
+			raw = g.stampUpstream(raw, i)
+		}
 		g.flows = append(g.flows, raw)
 	}
 	return g, nil
 }
+
+// stampUpstream appends cfg.IntHops synthetic transit hop records, as if
+// an upstream switch had already stamped the packet. Deterministic: the
+// fake clock advances 1µs per hop from a flow-derived base.
+func (g *Generator) stampUpstream(raw []byte, flow int) []byte {
+	swID := g.cfg.IntSwitchID
+	if swID == 0 {
+		swID = 100
+	}
+	base := uint64(flow+1) * 1000
+	for h := 0; h < g.cfg.IntHops; h++ {
+		in := base + uint64(h)*1000
+		out := in + 500
+		raw = intmd.AppendHop(raw, intmd.HopRecord{
+			SwitchID:     swID,
+			TSP:          uint16(h),
+			StageID:      tspStageID(h),
+			InNanos:      in,
+			OutNanos:     out,
+			LatencyNanos: uint32(out - in),
+			QDepth:       uint32(flow % 8),
+		})
+	}
+	return raw
+}
+
+// tspStageID gives synthetic upstream hops distinct, stable stage IDs
+// outside the range a real config is likely to hash into.
+func tspStageID(h int) uint16 { return uint16(0xF000 + h) }
 
 func (g *Generator) render(flow int) ([]byte, error) {
 	payload := make(pkt.Payload, g.cfg.PayloadLen)

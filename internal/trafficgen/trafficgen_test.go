@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"ipsa/internal/intmd"
 	"ipsa/internal/pkt"
 )
 
@@ -112,5 +113,41 @@ func TestBadConfig(t *testing.T) {
 	cfg.Flows = 0
 	if _, err := New(cfg); err == nil {
 		t.Error("zero flows accepted")
+	}
+}
+
+// TestIntHopsPreStamped checks transit-mode generation: packets leave
+// the generator already carrying synthetic upstream INT hop records.
+func TestIntHopsPreStamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntHops = 2
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := g.Next()
+	hops, payloadLen, ok := intmd.Parse(raw)
+	if !ok {
+		t.Fatal("generated packet carries no INT trailer")
+	}
+	if len(hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(hops))
+	}
+	if hops[0].SwitchID != 100 {
+		t.Errorf("upstream switch ID = %d, want default 100", hops[0].SwitchID)
+	}
+	if payloadLen+2*intmd.HopLen+intmd.ShimLen != len(raw) {
+		t.Errorf("trailer accounting: payload=%d total=%d", payloadLen, len(raw))
+	}
+	// Determinism holds with stamping on.
+	g2, _ := New(cfg)
+	if !bytes.Equal(raw, g2.Next()) {
+		t.Error("INT-stamped generation is not deterministic")
+	}
+	// Plain generation stays trailer-free.
+	cfg.IntHops = 0
+	g3, _ := New(cfg)
+	if _, _, ok := intmd.Parse(g3.Next()); ok {
+		t.Error("plain packet parsed as INT-stamped")
 	}
 }

@@ -114,6 +114,11 @@ const (
 	// wide (>64-bit) field-to-field copy, which is byte-granular and
 	// already allocation-free; parity is by construction.
 	opAssignTree
+
+	// opIntStamp appends one INT hop record (a = the stage's wire ID).
+	// Emitted only into stageProg.post, and only when the stage was built
+	// with BuildOpts.Int — never into match or arm programs.
+	opIntStamp
 )
 
 // instr is one compiled instruction. Operands are pre-resolved: a/b carry
@@ -145,6 +150,11 @@ type stageProg struct {
 	arms     []compiledArm
 	tables   []*template.Table
 	maxStack int
+	// post is the stage epilogue, run after the selected arm (even when
+	// no arm matched) unless the packet was dropped. Nil in the default
+	// build; NewStageRuntimeOpts emits the INT stamping op here, so the
+	// disabled cost is one nil check per stage per packet.
+	post []instr
 	// resolved holds bind-time table handles parallel to tables, filled
 	// by StageRuntime.Bind when the backend supports resolution. Nil
 	// slots (selectors, unresolvable names) take the name-keyed path.

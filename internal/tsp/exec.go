@@ -223,6 +223,8 @@ func (e *Env) exec(code []instr, prog *stageProg, backend TableBackend, out *mat
 			e.applyTableWith(prog.tables[in.a], rt, rs, prog.keyPlans[in.a], backend, out)
 		case opAssignTree:
 			e.execAssign(in.tree)
+		case opIntStamp:
+			e.intStamp(uint16(in.a))
 		}
 	}
 }

@@ -40,6 +40,10 @@ type Env struct {
 	// TSP.Process so stage trace events carry their location.
 	TSPIndex int
 
+	// Int is the INT stamping context, set by the dataplane per packet
+	// while INT is enabled; nil makes every IntStamp epilogue a no-op.
+	Int *IntStampCtx
+
 	// Scratch buffers reused across lookups on the hot path. keyBuf backs
 	// BuildKey results (valid until the next BuildKey on this Env);
 	// groupBuf and fieldBuf back selector group keys and field reads.
@@ -65,6 +69,7 @@ func (e *Env) Rebind(regs *RegisterFile, faults *Faults, srh, ipv6 pkt.HeaderID)
 	e.Trace = nil
 	e.Timed = false
 	e.TSPIndex = 0
+	e.Int = nil
 }
 
 func (e *Env) ensureStack(n int) {

@@ -58,6 +58,11 @@ type StageRuntime struct {
 	// interpreter (ExecInterp).
 	prog *stageProg
 
+	// intStamp/intStageID are the interpreter's INT epilogue (compiled
+	// stages carry it as prog.post instead); set by NewStageRuntimeOpts.
+	intStamp   bool
+	intStageID uint16
+
 	packets  atomic.Uint64
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -229,23 +234,30 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 		}
 		env.Trace.AddStage(ev)
 	}
-	if armIdx == -1 {
-		return
+	if armIdx != -1 {
+		if sr.prog != nil {
+			env.Params = out.params
+			env.exec(sr.prog.arms[armIdx].code, sr.prog, backend, &out)
+			env.Params = nil
+		} else if act := sr.actions[sr.tmpl.Arms[armIdx].Action]; act == nil {
+			env.Faults.BadTemplate.Add(1)
+		} else {
+			env.Params = out.params
+			env.ExecInstrs(act.Body)
+			env.Params = nil
+		}
 	}
+	// Stage epilogue: the INT stamp, when this runtime was built with it.
+	// Runs whether or not an arm matched (the stage still processed the
+	// packet) but not for drops — a dropped packet's trailer is never
+	// egressed, so stamping it would only distort the flow-path counters.
 	if sr.prog != nil {
-		env.Params = out.params
-		env.exec(sr.prog.arms[armIdx].code, sr.prog, backend, &out)
-		env.Params = nil
-		return
+		if sr.prog.post != nil && !p.Drop {
+			env.exec(sr.prog.post, sr.prog, backend, &out)
+		}
+	} else if sr.intStamp && !p.Drop {
+		env.intStamp(sr.intStageID)
 	}
-	act := sr.actions[sr.tmpl.Arms[armIdx].Action]
-	if act == nil {
-		env.Faults.BadTemplate.Add(1)
-		return
-	}
-	env.Params = out.params
-	env.ExecInstrs(act.Body)
-	env.Params = nil
 }
 
 func (sr *StageRuntime) runMatch(stmts []template.MatchStmt, env *Env, backend TableBackend, out *matchOutcome) {
