@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int fuzz-diff cover experiments examples fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate fuzz-diff cover experiments examples fmt vet lint clean
+
+# Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
+# (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
+GATED_BENCH = BenchmarkHotPath|BenchmarkShardedThroughput|BenchmarkPipelinedThroughput
+# ns/op slack for bench-gate: CI hosts differ, so only a >3x slowdown
+# (tol 2.0 = baseline*(1+2.0)) fails; allocs/op regressions always fail.
+BENCH_TOL ?= 2.0
 
 all: build test
 
@@ -33,6 +40,19 @@ bench-hotpath:
 bench-int:
 	$(GO) test ./internal/ipbm/ -run TestIntDisabledZeroAlloc -count=1 -v
 	$(GO) test -run xxx -bench 'BenchmarkHotPath_Compiled' -benchmem -count=3 .
+
+# Record the committed benchmark baseline (min over 5 runs). Run on a
+# quiet machine, then commit BENCH_hotpath.json.
+bench-baseline:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_BENCH)' -benchmem -count=5 . | bin/benchgate -write BENCH_hotpath.json \
+		-note "min of 5 runs; allocs/op is machine-independent and gated strictly, ns/op within tolerance"
+
+# Regression gate against the committed baseline: any allocs/op increase
+# fails; ns/op fails only beyond baseline*(1+BENCH_TOL).
+bench-gate:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_BENCH)' -benchmem -count=3 . | bin/benchgate -check BENCH_hotpath.json -tol $(BENCH_TOL)
 
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:

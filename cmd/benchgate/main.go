@@ -1,0 +1,198 @@
+// benchgate is the benchmark regression gate: it parses `go test -bench`
+// output from stdin and either records a JSON baseline (-write) or
+// compares against a committed one (-check), failing on regression.
+//
+// Two thresholds with different strictness, because they have different
+// portability:
+//
+//   - allocs/op is machine-independent: any increase over the baseline is
+//     a hard failure (the hot path's zero-allocation steady state is a
+//     correctness property here, not a tuning detail);
+//   - ns/op depends on the host, so the gate only fails when the current
+//     number exceeds baseline*(1+tol) — with a tolerance wide enough to
+//     absorb machine-to-machine variance while still catching order-of
+//     magnitude regressions (a slipped lock, an accidental O(n) scan).
+//
+// Repeated runs of one benchmark (-count=N) are folded by taking the
+// minimum, the least noisy estimator of the true cost.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkHotPath -benchmem -count=5 . | benchgate -write BENCH_hotpath.json
+//	go test -run xxx -bench BenchmarkHotPath -benchmem -count=5 . | benchgate -check BENCH_hotpath.json -tol 2.0
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's folded measurement.
+type Result struct {
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	BytesOp  float64            `json:"bytes_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"` // custom b.ReportMetric units
+}
+
+// Baseline is the committed JSON document.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// procSuffix strips the trailing -GOMAXPROCS from a benchmark name so
+// baselines recorded on different core counts compare by logical name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	write := flag.String("write", "", "record a baseline to this file from stdin")
+	check := flag.String("check", "", "compare stdin against this baseline file")
+	tol := flag.Float64("tol", 2.0, "allowed ns/op slack: fail above baseline*(1+tol)")
+	note := flag.String("note", "", "free-form note stored in a written baseline")
+	flag.Parse()
+	if (*write == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *write != "" {
+		doc := Baseline{Note: *note, Benchmarks: current}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*write, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(current), *write)
+		return
+	}
+
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad baseline %s: %v\n", *check, err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	checked := 0
+	for name, want := range base.Benchmarks {
+		got, ok := current[name]
+		if !ok {
+			fmt.Printf("MISSING %s: in baseline but not in this run\n", name)
+			failures++
+			continue
+		}
+		checked++
+		status := "ok"
+		if got.AllocsOp > want.AllocsOp {
+			status = "FAIL"
+			fmt.Printf("FAIL %s: allocs/op %.0f > baseline %.0f (allocation regressions are hard failures)\n",
+				name, got.AllocsOp, want.AllocsOp)
+			failures++
+		}
+		if limit := want.NsOp * (1 + *tol); got.NsOp > limit {
+			status = "FAIL"
+			fmt.Printf("FAIL %s: ns/op %.1f > %.1f (baseline %.1f, tol %.0f%%)\n",
+				name, got.NsOp, limit, want.NsOp, *tol*100)
+			failures++
+		}
+		if status == "ok" {
+			fmt.Printf("ok   %s: ns/op %.1f (baseline %.1f, %+.1f%%), allocs/op %.0f\n",
+				name, got.NsOp, want.NsOp, 100*(got.NsOp-want.NsOp)/want.NsOp, got.AllocsOp)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d failure(s) across %d baseline benchmark(s)\n", failures, len(base.Benchmarks))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within bounds\n", checked)
+}
+
+// parse folds `go test -bench` output into per-name Results, taking the
+// minimum over repeated runs of the same benchmark.
+func parse(f *os.File) (map[string]Result, error) {
+	out := make(map[string]Result)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then "value unit" pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		r := Result{Extra: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BytesOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		if len(r.Extra) == 0 {
+			r.Extra = nil
+		}
+		if !seen[name] {
+			seen[name] = true
+			out[name] = r
+			continue
+		}
+		out[name] = foldMin(out[name], r)
+	}
+	return out, sc.Err()
+}
+
+// foldMin keeps the minimum ns/op run and the maximum allocs/op (a single
+// allocating run is still a regression worth gating on).
+func foldMin(a, b Result) Result {
+	if b.NsOp < a.NsOp && b.NsOp > 0 {
+		a.NsOp = b.NsOp
+		a.Extra = b.Extra
+	}
+	if b.AllocsOp > a.AllocsOp {
+		a.AllocsOp = b.AllocsOp
+	}
+	if b.BytesOp > a.BytesOp {
+		a.BytesOp = b.BytesOp
+	}
+	return a
+}

@@ -34,6 +34,8 @@ func main() {
 	ports := flag.Int("ports", 8, "data ports")
 	pipelined := flag.Bool("pipelined", false, "asynchronous mode: TM buffers between ingress and egress workers")
 	egressWorkers := flag.Int("egress-workers", 2, "egress workers in pipelined mode")
+	shards := flag.Int("shards", 0, "sharded mode: flow-affine worker lanes (0 disables; overrides -pipelined)")
+	batch := flag.Int("batch", 0, "frames per I/O batch in sharded mode (0 = default)")
 	pcapIn := flag.String("pcap-in", "", "replay this pcap through port 0 and exit (offline mode)")
 	pcapOut := flag.String("pcap-out", "", "with -pcap-in: capture forwarded packets here")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP scrape endpoint (/metrics Prometheus text, /traces JSON); empty disables")
@@ -103,12 +105,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	slog.Info("ipbm up", "ccm", addr, "tsps", *tsps, "ports", *ports, "pipelined", *pipelined)
-	if *pipelined {
+	slog.Info("ipbm up", "ccm", addr, "tsps", *tsps, "ports", *ports,
+		"pipelined", *pipelined, "shards", *shards)
+	switch {
+	case *shards > 0:
+		if err := sw.RunSharded(*shards, *batch); err != nil {
+			fatal(err)
+		}
+		nsh, nb := sw.Sharded()
+		slog.Info("sharded mode up", "shards", nsh, "batch", nb)
+	case *pipelined:
 		if err := sw.RunPipelined(*egressWorkers); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		sw.Run()
 	}
 

@@ -25,13 +25,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
+
+// printMetric renders one metrics-dump point, indented for grouping.
+func printMetric(p telemetry.MetricPoint, indent string) {
+	var labels []string
+	for _, l := range p.Labels {
+		labels = append(labels, fmt.Sprintf("%s=%q", l.Key, l.Value))
+	}
+	name := p.Name
+	if len(labels) > 0 {
+		name += "{" + strings.Join(labels, ",") + "}"
+	}
+	if p.Kind == "histogram" {
+		line := fmt.Sprintf("%s%s count=%d sum=%.3fms", indent, name, p.Count, float64(p.SumNanos)/1e6)
+		for _, q := range p.Quantiles {
+			line += fmt.Sprintf(" p%g=%.3fms", q.Quantile*100, q.Nanos/1e6)
+		}
+		fmt.Println(line)
+	} else {
+		fmt.Printf("%s%s %g\n", indent, name, p.Value)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9901", "device control channel address")
@@ -99,23 +122,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, p := range points {
-			var labels []string
+		// Shard-labelled series render grouped per shard after the
+		// switch-wide series, so the per-lane view reads as one block.
+		shardOf := func(p telemetry.MetricPoint) (string, bool) {
 			for _, l := range p.Labels {
-				labels = append(labels, fmt.Sprintf("%s=%q", l.Key, l.Value))
-			}
-			name := p.Name
-			if len(labels) > 0 {
-				name += "{" + strings.Join(labels, ",") + "}"
-			}
-			if p.Kind == "histogram" {
-				line := fmt.Sprintf("%s count=%d sum=%.3fms", name, p.Count, float64(p.SumNanos)/1e6)
-				for _, q := range p.Quantiles {
-					line += fmt.Sprintf(" p%g=%.3fms", q.Quantile*100, q.Nanos/1e6)
+				if l.Key == "shard" {
+					return l.Value, true
 				}
-				fmt.Println(line)
-			} else {
-				fmt.Printf("%s %g\n", name, p.Value)
+			}
+			return "", false
+		}
+		byShard := make(map[string][]telemetry.MetricPoint)
+		var shardOrder []string
+		for _, p := range points {
+			if sv, ok := shardOf(p); ok {
+				if _, seen := byShard[sv]; !seen {
+					shardOrder = append(shardOrder, sv)
+				}
+				byShard[sv] = append(byShard[sv], p)
+				continue
+			}
+			printMetric(p, "")
+		}
+		sort.Slice(shardOrder, func(i, j int) bool {
+			a, _ := strconv.Atoi(shardOrder[i])
+			b, _ := strconv.Atoi(shardOrder[j])
+			return a < b
+		})
+		for _, sv := range shardOrder {
+			fmt.Printf("shard %s:\n", sv)
+			for _, p := range byShard[sv] {
+				printMetric(p, "  ")
 			}
 		}
 	case "trace":

@@ -2,10 +2,18 @@ package ipbm
 
 import (
 	"fmt"
-	"time"
+	"runtime"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/netio"
+	"ipsa/internal/pkt"
 )
+
+// egressSpins is how many yield-and-retry rounds an idle egress worker
+// makes before parking on the TM's wakeup notification: enough that a
+// back-to-back burst never pays a futex round trip, few enough that a
+// genuinely idle worker parks within microseconds and costs nothing.
+const egressSpins = 4
 
 // RunPipelined starts the asynchronous forwarding mode: one ingress worker
 // per port runs packets through the ingress half and admits them to the
@@ -13,7 +21,8 @@ import (
 // goroutines drain the TM, run the egress half and transmit. Unlike the
 // synchronous Run/Forward path, the TM genuinely buffers here, so bursts
 // beyond the queue depth are dropped by policy rather than backpressure.
-// Stop with Shutdown.
+// Idle egress workers park on the TM's admit notification (adaptive
+// spin-then-park) instead of sleep-polling. Stop with Shutdown.
 func (s *Switch) RunPipelined(egressWorkers int) error {
 	if egressWorkers <= 0 {
 		return fmt.Errorf("ipbm: need at least one egress worker")
@@ -24,7 +33,7 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 	for i := 0; i < s.ports.Len(); i++ {
 		port, _ := s.ports.Port(i)
 		s.runWG.Add(1)
-		go func(idx int, p interface{ Recv() ([]byte, bool) }) {
+		go func(idx int, p netio.Port) {
 			defer s.runWG.Done()
 			for {
 				data, ok := p.Recv()
@@ -39,14 +48,40 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 		s.runWG.Add(1)
 		go func() {
 			defer s.runWG.Done()
-			for !s.stopped.Load() {
-				if !s.egestOne() {
-					time.Sleep(20 * time.Microsecond)
-				}
-			}
+			s.egressLoop()
 		}()
 	}
 	return nil
+}
+
+// egressLoop drains the TM until shutdown: process while packets are
+// available, spin briefly when the TM momentarily empties, then park on
+// the TM's notification. Shutdown's WakeAll unparks the final wait.
+func (s *Switch) egressLoop() {
+	for {
+		if s.stopped.Load() {
+			return
+		}
+		if s.egestOne() {
+			continue
+		}
+		spun := false
+		for i := 0; i < egressSpins; i++ {
+			runtime.Gosched()
+			if s.egestOne() {
+				spun = true
+				break
+			}
+		}
+		if spun {
+			continue
+		}
+		p, ok := s.pl.TM().DequeueWait(s.stopped.Load)
+		if !ok {
+			return
+		}
+		s.egestPacket(p)
+	}
 }
 
 // ingestOne runs the ingress half and admits the survivor to the TM.
@@ -87,6 +122,13 @@ func (s *Switch) egestOne() bool {
 	if !ok {
 		return false
 	}
+	s.egestPacket(p)
+	return true
+}
+
+// egestPacket runs the egress half on one dequeued packet and transmits
+// the survivor.
+func (s *Switch) egestPacket(p *pkt.Packet) {
 	d := s.dp.Design()
 	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
@@ -96,7 +138,7 @@ func (s *Switch) egestOne() bool {
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
 		s.dp.PutPacket(p)
-		return true // dropped in egress
+		return // dropped in egress
 	}
 	if p.ToCPU {
 		s.punt(p)
@@ -116,5 +158,4 @@ func (s *Switch) egestOne() bool {
 	}
 	s.dp.FinishPacket(p, dataplane.Verdict(p, true, s.ports.Len()))
 	s.dp.PutPacket(p)
-	return true
 }

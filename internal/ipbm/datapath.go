@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/netio"
 	"ipsa/internal/pkt"
 	"ipsa/internal/tsp"
 )
@@ -110,9 +111,7 @@ func (s *Switch) Run() {
 	for i := 0; i < s.ports.Len(); i++ {
 		port, _ := s.ports.Port(i)
 		s.runWG.Add(1)
-		go func(idx int, p interface {
-			Recv() ([]byte, bool)
-		}) {
+		go func(idx int, p netio.Port) {
 			defer s.runWG.Done()
 			for {
 				data, ok := p.Recv()
@@ -130,10 +129,14 @@ func (s *Switch) Run() {
 	}
 }
 
-// Shutdown stops the forwarding goroutines and closes the ports.
+// Shutdown stops the forwarding goroutines and closes the ports. Egress
+// workers parked on the TM notification are woken so they can observe
+// the stop flag; sharded workers stop when the port readers exit and
+// their input queues drain and close.
 func (s *Switch) Shutdown() {
 	if s.stopped.CompareAndSwap(false, true) {
 		s.ports.Close()
+		s.pl.TM().WakeAll()
 		s.runWG.Wait()
 	}
 }

@@ -139,7 +139,7 @@ func (s *Switch) SetInt(enabled bool) error {
 	for _, sr := range runtimes {
 		sr.Bind(s)
 	}
-	inFlight := s.pl.TM().DepthSum()
+	inFlight := s.tmDepthSum()
 	before := s.tel.verdictSnapshot()
 	rewrote := 0
 	t0 := time.Now()
@@ -191,7 +191,7 @@ func (s *Switch) publishIntState(cfg *template.Config) {
 		SwitchID: s.opts.IntSwitchID,
 		MaxHops:  s.opts.IntMaxHops,
 		Now:      s.intNow,
-		Depth:    s.pl.TM().DepthFast,
+		Depth:    s.tmDepthFast,
 		Stamps:   s.tel.Reg.Counter("ipsa_int_stamps_total"),
 		Skips:    s.tel.Reg.Counter("ipsa_int_stamps_skipped_total"),
 	}

@@ -91,7 +91,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	}
 
 	// 4. Drain and patch; the audit event measures this critical section.
-	inFlight := s.pl.TM().DepthSum()
+	inFlight := s.tmDepthSum()
 	verdictsBefore := s.tel.verdictSnapshot()
 	drainStart := time.Now()
 	err := s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {

@@ -1,0 +1,336 @@
+package ipbm
+
+// shard.go is the flow-affine sharded forwarding mode: an RSS-style hash
+// over raw frame bytes steers every packet to one of N shard workers,
+// each running ingress→TM→egress to completion against its own TM queues
+// and packet freelist. Same-flow packets always land on the same shard
+// and the shard processes its input in FIFO order, so per-flow ordering
+// holds by construction while independent flows scale across cores — the
+// software analogue of replicating an RMT pipeline per hardware lane.
+// In-situ reconfiguration is untouched: shard workers execute the shared
+// pipeline under its read lock, so ApplyConfig/SetInt drain all shards
+// through the same backpressure as every other mode.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"ipsa/internal/dataplane"
+	"ipsa/internal/netio"
+	"ipsa/internal/pipeline"
+	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
+)
+
+// MaxShards bounds RunSharded's shard count: lane 0 of every striped
+// counter belongs to the shared synchronous/pipelined paths, and the
+// stripe sets are sized for MaxShards worker lanes above it.
+const MaxShards = 63
+
+// DefaultBatch is the frame batch size used when RunSharded (or the
+// -batch flag) is given 0: large enough to amortize per-wakeup costs,
+// small enough to keep worst-case added latency at microseconds.
+const DefaultBatch = 32
+
+// shardFrame is one steered frame en route to its shard worker.
+type shardFrame struct {
+	data []byte
+	port int32
+}
+
+// shardRunner is one execution lane of the sharded mode. Everything here
+// is either owned by the single worker goroutine (dsh, txq) or safe for
+// the port readers feeding it (in) and scrape-time aggregation (tm
+// depths, counters).
+type shardRunner struct {
+	idx int
+	in  chan shardFrame
+	tm  *pipeline.TrafficManager
+	dsh *dataplane.Shard
+
+	// txq accumulates egress frames per output port within one TM drain
+	// so transmission uses the port's batched path; storage is retained
+	// across drains.
+	txq [][][]byte
+
+	rx      *telemetry.Counter // frames steered to this shard
+	batches *telemetry.Counter // worker wakeups (rx/batches = mean batch)
+}
+
+// shardSet is the published sharded-mode state, stored behind an atomic
+// pointer so scrape-time aggregation and the INT depth source can read it
+// without coordination.
+type shardSet struct {
+	shards []*shardRunner
+	batch  int
+}
+
+// RunSharded starts the sharded forwarding mode: one batched reader per
+// port steers frames by flow hash into shards worker lanes, each running
+// the full ingress→TM→egress lifecycle against per-shard queues and
+// freelists. batch bounds the frames one reader wakeup or one worker
+// wakeup handles (0 = DefaultBatch). Stop with Shutdown; mutually
+// exclusive with Run/RunPipelined on the same switch.
+func (s *Switch) RunSharded(shards, batch int) error {
+	if shards < 1 || shards > MaxShards {
+		return fmt.Errorf("ipbm: shard count %d outside [1,%d]", shards, MaxShards)
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if s.dp.Design() == nil {
+		return fmt.Errorf("ipbm: no configuration installed")
+	}
+	if s.shardsP.Load() != nil {
+		return fmt.Errorf("ipbm: sharded mode already running")
+	}
+	set := &shardSet{batch: batch}
+	inDepth := s.opts.QueueDepth
+	if inDepth < batch {
+		inDepth = batch
+	}
+	for i := 0; i < shards; i++ {
+		l := telemetry.L("shard", strconv.Itoa(i))
+		set.shards = append(set.shards, &shardRunner{
+			idx: i,
+			in:  make(chan shardFrame, inDepth),
+			tm:  pipeline.NewTrafficManager(s.ports.Len(), s.opts.QueueDepth),
+			dsh: s.dp.NewShard(i+1, 2*batch),
+			txq: make([][][]byte, s.ports.Len()),
+
+			rx:      s.tel.Reg.Counter("ipsa_shard_rx_frames_total", l),
+			batches: s.tel.Reg.Counter("ipsa_shard_batches_total", l),
+		})
+	}
+	s.shardsP.Store(set)
+
+	// Port readers pull frame batches and steer by flow hash. A blocking
+	// send into a full shard queue is the backpressure path: the reader
+	// stalls, the port's rx ring fills, and new arrivals tail-drop at the
+	// port — drop policy stays at the edge, not mid-pipeline.
+	var rxWG sync.WaitGroup
+	for i := 0; i < s.ports.Len(); i++ {
+		port, _ := s.ports.Port(i)
+		rxWG.Add(1)
+		s.runWG.Add(1)
+		go s.shardReader(i, netio.Batched(port), set, &rxWG)
+	}
+	// Close the shard queues only after every reader has exited, so
+	// workers drain all steered frames and then stop.
+	s.runWG.Add(1)
+	go func() {
+		defer s.runWG.Done()
+		rxWG.Wait()
+		for _, sh := range set.shards {
+			close(sh.in)
+		}
+	}()
+	for _, sh := range set.shards {
+		s.runWG.Add(1)
+		go s.shardWorker(sh, batch)
+	}
+	return nil
+}
+
+// shardReader moves frames from one port into the shard queues. It exits
+// when the port closes (Shutdown); frames already read are still steered.
+func (s *Switch) shardReader(portIdx int, port netio.BatchPort, set *shardSet, rxWG *sync.WaitGroup) {
+	defer s.runWG.Done()
+	defer rxWG.Done()
+	bufs := make([][]byte, set.batch)
+	n := uint64(len(set.shards))
+	for {
+		k, ok := port.RecvBatch(bufs)
+		for j := 0; j < k; j++ {
+			sh := set.shards[pkt.RSSHash(bufs[j])%n]
+			sh.in <- shardFrame{data: bufs[j], port: int32(portIdx)}
+			bufs[j] = nil
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// shardWorker is one shard's event loop: park on the input queue (the
+// channel recv is the wakeup — an idle shard costs nothing), then ingest
+// up to batch frames without blocking again, then drain the shard TM
+// through egress and flush the per-port transmit batches.
+func (s *Switch) shardWorker(sh *shardRunner, batch int) {
+	defer s.runWG.Done()
+	for {
+		f, ok := <-sh.in
+		if !ok {
+			s.shardDrain(sh)
+			return
+		}
+		s.shardIngest(sh, f)
+		n := 1
+	fill:
+		for n < batch {
+			select {
+			case f2, ok2 := <-sh.in:
+				if !ok2 {
+					sh.rx.Add(uint64(n))
+					sh.batches.Inc()
+					s.shardDrain(sh)
+					return
+				}
+				s.shardIngest(sh, f2)
+				n++
+			default:
+				break fill
+			}
+		}
+		sh.rx.Add(uint64(n))
+		sh.batches.Inc()
+		s.shardDrain(sh)
+	}
+}
+
+// shardIngest is ingestOne against the shard's freelist, Env and TM.
+func (s *Switch) shardIngest(sh *shardRunner, f shardFrame) {
+	d := s.dp.Design()
+	if d == nil {
+		return
+	}
+	p, err := sh.dsh.GetPacket(d, f.data, int(f.port))
+	if err != nil {
+		return
+	}
+	s.dp.BeginPacket(p)
+	env := sh.dsh.Env(d)
+	env.Trace = p.Trace
+	env.Timed = p.Timed
+	ok := s.pl.RunIngress(p, d.Parser, s, env)
+	if !ok {
+		s.dp.FinishPacket(p, "dropped")
+		sh.dsh.PutPacket(p)
+		return
+	}
+	if !sh.tm.Admit(p) {
+		s.dp.FinishPacket(p, "tm_drop")
+		sh.dsh.PutPacket(p)
+	}
+}
+
+// shardDrain empties the shard TM through the egress half, then flushes
+// the accumulated per-port transmit batches.
+func (s *Switch) shardDrain(sh *shardRunner) {
+	flush := false
+	for {
+		p, ok := sh.tm.DequeueRR()
+		if !ok {
+			break
+		}
+		s.shardEgest(sh, p)
+		flush = true
+	}
+	if flush {
+		s.shardFlushTx(sh)
+	}
+}
+
+// shardEgest runs the egress half on one packet and queues its frame for
+// the batched transmit. The tail mirrors egestOne, with the shard
+// freelist in place of the shared pool and XmitBatch in place of Send.
+func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet) {
+	d := s.dp.Design()
+	env := sh.dsh.Env(d)
+	env.Trace = p.Trace
+	env.Timed = p.Timed
+	survived := s.pl.RunEgress(p, d.Parser, s, env)
+	if !survived {
+		s.dp.FinishPacket(p, "dropped")
+		sh.dsh.PutPacket(p)
+		return
+	}
+	if p.ToCPU {
+		s.punt(p)
+	}
+	dataplane.SurfaceOutPort(p)
+	if sink := s.intSinkP.Load(); sink != nil {
+		sink.process(p)
+	}
+	if p.OutPort >= 0 && p.OutPort < len(sh.txq) {
+		sh.txq[p.OutPort] = append(sh.txq[p.OutPort], p.Data)
+	} else {
+		s.tel.noPortDrops.Inc()
+	}
+	s.dp.FinishPacket(p, dataplane.Verdict(p, true, s.ports.Len()))
+	sh.dsh.PutPacket(p)
+}
+
+// shardFlushTx transmits each port's accumulated frames in one batched
+// call, retaining the queue storage for the next drain.
+func (s *Switch) shardFlushTx(sh *shardRunner) {
+	for i := range sh.txq {
+		frames := sh.txq[i]
+		if len(frames) == 0 {
+			continue
+		}
+		if port, err := s.ports.Port(i); err == nil {
+			port.XmitBatch(frames)
+		}
+		for j := range frames {
+			frames[j] = nil
+		}
+		sh.txq[i] = frames[:0]
+	}
+}
+
+// Sharded reports the running shard count (0 when the sharded mode is not
+// active) and the configured batch size.
+func (s *Switch) Sharded() (shards, batch int) {
+	set := s.shardsP.Load()
+	if set == nil {
+		return 0, 0
+	}
+	return len(set.shards), set.batch
+}
+
+// tmDepthSum totals TM occupancy across the shared TM and every shard TM
+// (audit-event "packets in flight" source).
+func (s *Switch) tmDepthSum() int {
+	n := s.pl.TM().DepthSum()
+	if set := s.shardsP.Load(); set != nil {
+		for _, sh := range set.shards {
+			n += sh.tm.DepthSum()
+		}
+	}
+	return n
+}
+
+// tmDepthFast is the per-packet queue-depth source for the INT stamper:
+// the port's occupancy summed over the shared TM and every shard TM,
+// lock-free and approximate under concurrency like DepthFast itself.
+func (s *Switch) tmDepthFast(port int) int {
+	return s.pl.TM().DepthFast(port) + s.shardDepth(port)
+}
+
+// shardDepth is the shard TMs' combined occupancy for one port (0 when
+// the sharded mode is inactive).
+func (s *Switch) shardDepth(port int) int {
+	n := 0
+	if set := s.shardsP.Load(); set != nil {
+		for _, sh := range set.shards {
+			n += sh.tm.DepthFast(port)
+		}
+	}
+	return n
+}
+
+// TMStats totals enqueued packets and tail drops across the shared TM and
+// every shard TM.
+func (s *Switch) TMStats() (enqueued, tailDrops uint64) {
+	enqueued, tailDrops = s.pl.TM().Stats()
+	if set := s.shardsP.Load(); set != nil {
+		for _, sh := range set.shards {
+			e, d := sh.tm.Stats()
+			enqueued += e
+			tailDrops += d
+		}
+	}
+	return enqueued, tailDrops
+}

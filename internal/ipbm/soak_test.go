@@ -1,9 +1,11 @@
 package ipbm
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ipsa/internal/pkt"
 )
@@ -53,6 +55,13 @@ func TestSoakUpdatesUnderTraffic(t *testing.T) {
 		if _, err := sw.ApplyConfig(rep.Config); err != nil {
 			t.Fatalf("round %d apply: %v", i, err)
 		}
+	}
+	// On a loaded single-CPU host the forwarding goroutines can be starved
+	// for the whole (fast) update loop; give them a bounded window to
+	// prove traffic flows before stopping.
+	deadline := time.Now().Add(10 * time.Second)
+	for processed.Load() == 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 	stop.Store(true)
 	wg.Wait()

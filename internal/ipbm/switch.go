@@ -124,6 +124,11 @@ type Switch struct {
 	intNow   func() int64
 	intDepth func(port int) int
 
+	// shardsP is the sharded mode's published state (nil unless
+	// RunSharded is active): scrape-time aggregation, the INT queue-depth
+	// source and the in-flight audit all read it lock-free.
+	shardsP atomic.Pointer[shardSet]
+
 	runWG   sync.WaitGroup
 	stopped atomic.Bool
 }
@@ -384,7 +389,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	// 4. Drain the pipeline and patch TSP templates + selector. The audit
 	// event measures this critical section: TM occupancy going in, the
 	// exclusive-hold duration, and what the verdict counters did across it.
-	inFlight := s.pl.TM().DepthSum()
+	inFlight := s.tmDepthSum()
 	verdictsBefore := s.tel.verdictSnapshot()
 	drainStart := time.Now()
 	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {

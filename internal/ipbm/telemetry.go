@@ -35,34 +35,39 @@ type Telemetry struct {
 	// Per-verdict packet counters (ipsa_packets_total{verdict=...}),
 	// incremented for every finished packet. Pre-resolved so the hot-path
 	// cost is one switch plus one atomic add; their snapshots are how
-	// audit events quantify what traffic saw during a swap.
-	vForwarded *telemetry.Counter
-	vDropped   *telemetry.Counter
-	vTmDrop    *telemetry.Counter
-	vToCPU     *telemetry.Counter
-	vNoPort    *telemetry.Counter
+	// audit events quantify what traffic saw during a swap. Striped:
+	// lane 0 is the shared synchronous/pipelined paths, lanes 1..N the
+	// shard workers, so concurrent shards never contend on one cache
+	// line. Totals fold at read time; per-lane cells are what the
+	// ipsa_shard_* export reads.
+	vForwarded *telemetry.StripedCounter
+	vDropped   *telemetry.StripedCounter
+	vTmDrop    *telemetry.StripedCounter
+	vToCPU     *telemetry.StripedCounter
+	vNoPort    *telemetry.StripedCounter
 }
 
 // verdictNames orders the per-verdict counters for snapshots/deltas.
 var verdictNames = [...]string{"forwarded", "dropped", "tm_drop", "to_cpu", "no_port"}
 
-func (t *Telemetry) verdictCounters() [5]*telemetry.Counter {
-	return [5]*telemetry.Counter{t.vForwarded, t.vDropped, t.vTmDrop, t.vToCPU, t.vNoPort}
+func (t *Telemetry) verdictCounters() [5]*telemetry.StripedCounter {
+	return [5]*telemetry.StripedCounter{t.vForwarded, t.vDropped, t.vTmDrop, t.vToCPU, t.vNoPort}
 }
 
-// countVerdict bumps the finished packet's verdict counter.
-func (t *Telemetry) countVerdict(verdict string) {
+// countVerdict bumps the finished packet's verdict counter on stripe
+// lane (the packet's telemetry lane: 0 shared, shard index + 1).
+func (t *Telemetry) countVerdict(lane int, verdict string) {
 	switch verdict {
 	case "forwarded":
-		t.vForwarded.Inc()
+		t.vForwarded.Cell(lane).Inc()
 	case "dropped":
-		t.vDropped.Inc()
+		t.vDropped.Cell(lane).Inc()
 	case "tm_drop":
-		t.vTmDrop.Inc()
+		t.vTmDrop.Cell(lane).Inc()
 	case "to_cpu":
-		t.vToCPU.Inc()
+		t.vToCPU.Cell(lane).Inc()
 	case "no_port":
-		t.vNoPort.Inc()
+		t.vNoPort.Cell(lane).Inc()
 	}
 }
 
@@ -90,6 +95,10 @@ func (t *Telemetry) verdictDeltas(before [5]uint64) map[string]uint64 {
 	return out
 }
 
+// verdictLanes sizes the verdict counter stripes: one lane for the
+// shared synchronous/pipelined paths plus one per possible shard.
+const verdictLanes = MaxShards + 1
+
 // newTelemetry builds the registry, resolves the static handles and
 // attaches the per-TSP latency histograms.
 func (s *Switch) newTelemetry(opts Options) {
@@ -105,11 +114,11 @@ func (s *Switch) newTelemetry(opts Options) {
 		tspsWritten:  reg.Counter("ipsa_config_tsps_written_total"),
 		migrated:     reg.Counter("ipsa_config_entries_migrated_total"),
 		noPortDrops:  reg.Counter("ipsa_no_port_drops_total"),
-		vForwarded:   reg.Counter("ipsa_packets_total", telemetry.L("verdict", "forwarded")),
-		vDropped:     reg.Counter("ipsa_packets_total", telemetry.L("verdict", "dropped")),
-		vTmDrop:      reg.Counter("ipsa_packets_total", telemetry.L("verdict", "tm_drop")),
-		vToCPU:       reg.Counter("ipsa_packets_total", telemetry.L("verdict", "to_cpu")),
-		vNoPort:      reg.Counter("ipsa_packets_total", telemetry.L("verdict", "no_port")),
+		vForwarded:   reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "forwarded")),
+		vDropped:     reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "dropped")),
+		vTmDrop:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "tm_drop")),
+		vToCPU:       reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "to_cpu")),
+		vNoPort:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "no_port")),
 	}
 	for i := 0; i < s.pl.NumTSPs(); i++ {
 		t, _ := s.pl.TSP(i)
@@ -158,12 +167,33 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 		ctr("ipsa_tsp_template_loads_total", t.Loads(), telemetry.L("tsp", strconv.Itoa(i)))
 	}
 
-	// Traffic manager: enqueue/tail-drop counters plus live queue depths.
-	enq, tailDrops := s.pl.TM().Stats()
+	// Traffic manager: enqueue/tail-drop counters plus live queue depths,
+	// totalled across the shared TM and every shard TM.
+	enq, tailDrops := s.TMStats()
 	ctr("ipsa_tm_enqueued_total", enq)
 	ctr("ipsa_tm_tail_drops_total", tailDrops)
 	for port, depth := range s.pl.TM().Depths() {
-		gauge("ipsa_tm_queue_depth", float64(depth), telemetry.L("port", strconv.Itoa(port)))
+		gauge("ipsa_tm_queue_depth", float64(depth+s.shardDepth(port)), telemetry.L("port", strconv.Itoa(port)))
+	}
+
+	// Sharded mode: per-shard packet/drop/queue-depth series, read from
+	// the striped verdict cells (lane = shard index + 1) and the shard
+	// TMs. Absent unless RunSharded is active.
+	if set := s.shardsP.Load(); set != nil {
+		for _, sh := range set.shards {
+			lane := sh.dsh.Lane()
+			var pkts, drops uint64
+			for _, c := range s.tel.verdictCounters() {
+				pkts += c.CellValue(lane)
+			}
+			drops = s.tel.vDropped.CellValue(lane) +
+				s.tel.vTmDrop.CellValue(lane) +
+				s.tel.vNoPort.CellValue(lane)
+			l := telemetry.L("shard", strconv.Itoa(sh.idx))
+			ctr("ipsa_shard_packets_total", pkts, l)
+			ctr("ipsa_shard_drops_total", drops, l)
+			gauge("ipsa_shard_queue_depth", float64(sh.tm.DepthSum()+len(sh.in)), l)
+		}
 	}
 
 	// Punt path and executor faults.
@@ -227,7 +257,7 @@ func (s *Switch) beginPacketTelemetry(p *pkt.Packet) {
 // commits a sampled packet's flight record. The verdict counter comes
 // first — it must tick for every packet, traced or not.
 func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
-	s.tel.countVerdict(verdict)
+	s.tel.countVerdict(int(p.Lane), verdict)
 	rec := p.Trace
 	if rec == nil {
 		return

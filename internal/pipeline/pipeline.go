@@ -23,6 +23,29 @@ type Selector struct {
 	TMOut int
 }
 
+// statLanes is the number of counter stripes for the processed/dropped
+// totals. Each concurrent executor (shard worker, egress worker, the
+// synchronous path) writes its own cache-line-padded lane, picked by
+// Env.Lane, so packet counting never bounces a cache line between cores.
+// Must be a power of two.
+const statLanes = 64
+
+// statCell is one padded counter stripe: the counter plus padding to fill
+// a 64-byte cache line so adjacent lanes never share one.
+type statCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// laneSum folds the stripes back into one total at read time.
+func laneSum(cells *[statLanes]statCell) uint64 {
+	var t uint64
+	for i := range cells {
+		t += cells[i].n.Load()
+	}
+	return t
+}
+
 // Pipeline is the chain of physical TSPs plus the TM.
 type Pipeline struct {
 	tsps []*tsp.TSP
@@ -31,8 +54,8 @@ type Pipeline struct {
 	mu  sync.RWMutex // drain lock: packets share, updates exclude
 	sel Selector
 
-	processed atomic.Uint64
-	dropped   atomic.Uint64
+	processed [statLanes]statCell
+	dropped   [statLanes]statCell
 
 	// stallNanos accumulates time spent with the pipeline drained for
 	// updates — the data the near-zero-interruption claim is made of.
@@ -84,9 +107,10 @@ func (p *Pipeline) ActiveTSPs() int {
 	return n
 }
 
-// Stats reports processed and dropped packet counts.
+// Stats reports processed and dropped packet counts, summed across the
+// per-lane stripes.
 func (p *Pipeline) Stats() (processed, dropped uint64) {
-	return p.processed.Load(), p.dropped.Load()
+	return laneSum(&p.processed), laneSum(&p.dropped)
 }
 
 // StallTime reports cumulative time the pipeline spent drained for
@@ -123,7 +147,7 @@ func (p *Pipeline) RunIngress(pk *pkt.Packet, parser *tsp.OnDemandParser, backen
 	for i := 0; i <= p.sel.TMIn; i++ {
 		p.tsps[i].Process(pk, parser, backend, env)
 		if pk.Drop {
-			p.dropped.Add(1)
+			p.dropped[env.Lane&(statLanes-1)].n.Add(1)
 			return false
 		}
 	}
@@ -138,11 +162,11 @@ func (p *Pipeline) RunEgress(pk *pkt.Packet, parser *tsp.OnDemandParser, backend
 	for i := p.sel.TMOut; i < len(p.tsps); i++ {
 		p.tsps[i].Process(pk, parser, backend, env)
 		if pk.Drop {
-			p.dropped.Add(1)
+			p.dropped[env.Lane&(statLanes-1)].n.Add(1)
 			return false
 		}
 	}
-	p.processed.Add(1)
+	p.processed[env.Lane&(statLanes-1)].n.Add(1)
 	return true
 }
 
@@ -157,7 +181,7 @@ func (p *Pipeline) Process(pk *pkt.Packet, parser *tsp.OnDemandParser, backend t
 	// models an uncongested TM pass-through while still exercising the
 	// queue accounting.
 	if !p.tm.PassThrough(pk) {
-		p.dropped.Add(1)
+		p.dropped[env.Lane&(statLanes-1)].n.Add(1)
 		return false
 	}
 	return p.RunEgress(pk, parser, backend, env)
@@ -224,10 +248,12 @@ func (r *pktRing) remove(p *pkt.Packet) bool {
 
 // TrafficManager models the TM's per-port queues with tail drop.
 type TrafficManager struct {
-	mu     sync.Mutex
-	depth  int
-	queues []pktRing
-	rr     int // round-robin scan position for DequeueRR
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled by Admit when a DequeueWait is parked
+	depth   int
+	queues  []pktRing
+	rr      int // round-robin scan position for DequeueRR
+	waiters int // DequeueWait callers currently parked on cond
 
 	enqueued  atomic.Uint64
 	tailDrops atomic.Uint64
@@ -237,6 +263,7 @@ type TrafficManager struct {
 // (0 depth means unbuffered pass-through accounting only).
 func NewTrafficManager(ports, depth int) *TrafficManager {
 	tm := &TrafficManager{depth: depth}
+	tm.cond = sync.NewCond(&tm.mu)
 	if ports < 1 {
 		ports = 1
 	}
@@ -245,7 +272,10 @@ func NewTrafficManager(ports, depth int) *TrafficManager {
 }
 
 // Admit accepts a packet into the queue of its output port; packets with
-// no output port yet use port 0's queue. False means tail drop.
+// no output port yet use port 0's queue. False means tail drop. When a
+// drain worker is parked in DequeueWait it is woken; the waiter check is
+// a plain int read under the mutex Admit already holds, so the common
+// no-waiter case costs one compare.
 func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
@@ -256,6 +286,9 @@ func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
 	}
 	tm.queues[q].push(p)
 	tm.enqueued.Add(1)
+	if tm.waiters > 0 {
+		tm.cond.Signal()
+	}
 	return true
 }
 
@@ -288,6 +321,10 @@ func (tm *TrafficManager) PassThrough(p *pkt.Packet) bool {
 func (tm *TrafficManager) DequeueRR() (*pkt.Packet, bool) {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
+	return tm.dequeueLocked()
+}
+
+func (tm *TrafficManager) dequeueLocked() (*pkt.Packet, bool) {
 	n := len(tm.queues)
 	for i := 0; i < n; i++ {
 		q := (tm.rr + i) % n
@@ -298,6 +335,45 @@ func (tm *TrafficManager) DequeueRR() (*pkt.Packet, bool) {
 		}
 	}
 	return nil, false
+}
+
+// DequeueWait is the event-driven form of DequeueRR: when every queue is
+// empty it parks the caller until Admit signals new work (or WakeAll is
+// broadcast) instead of returning. stop is re-checked under the TM mutex
+// after every wakeup; ok=false means the TM drained empty and stop
+// reported true. Callers that want an adaptive spin before parking should
+// poll DequeueRR a few times first and fall back to DequeueWait.
+func (tm *TrafficManager) DequeueWait(stop func() bool) (*pkt.Packet, bool) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	for {
+		if p, ok := tm.dequeueLocked(); ok {
+			return p, true
+		}
+		if stop() {
+			return nil, false
+		}
+		tm.waiters++
+		tm.cond.Wait()
+		tm.waiters--
+	}
+}
+
+// WakeAll unparks every DequeueWait caller so it can observe its stop
+// condition; called at shutdown after the stop flag is set.
+func (tm *TrafficManager) WakeAll() {
+	tm.mu.Lock()
+	if tm.waiters > 0 {
+		tm.cond.Broadcast()
+	}
+	tm.mu.Unlock()
+}
+
+// Waiters reports how many DequeueWait callers are parked (test hook).
+func (tm *TrafficManager) Waiters() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.waiters
 }
 
 func (tm *TrafficManager) portOf(p *pkt.Packet) int {

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipsa/internal/pkt"
+)
+
+func tmPacket(port int) *pkt.Packet {
+	p := pkt.NewPacket(nil, 0)
+	p.OutPort = port
+	return p
+}
+
+// TestDequeueWaitImmediate: a non-empty TM returns without parking.
+func TestDequeueWaitImmediate(t *testing.T) {
+	tm := NewTrafficManager(4, 8)
+	if !tm.Admit(tmPacket(2)) {
+		t.Fatal("admit failed")
+	}
+	p, ok := tm.DequeueWait(func() bool { return false })
+	if !ok || p.OutPort != 2 {
+		t.Fatalf("DequeueWait = %v,%v", p, ok)
+	}
+}
+
+// TestDequeueWaitWakesOnAdmit: a parked waiter is woken by Admit's
+// signal — the event-driven replacement for the old sleep-poll.
+func TestDequeueWaitWakesOnAdmit(t *testing.T) {
+	tm := NewTrafficManager(4, 8)
+	got := make(chan *pkt.Packet, 1)
+	go func() {
+		p, _ := tm.DequeueWait(func() bool { return false })
+		got <- p
+	}()
+	// Wait until the worker has genuinely parked, then admit.
+	deadline := time.Now().Add(2 * time.Second)
+	for tm.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tm.Admit(tmPacket(1))
+	select {
+	case p := <-got:
+		if p.OutPort != 1 {
+			t.Fatalf("woke with port %d", p.OutPort)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Admit did not wake the parked waiter")
+	}
+}
+
+// TestDequeueWaitStop: WakeAll plus a true stop func unparks the waiter
+// with ok=false — the shutdown path, with no lost-wakeup window because
+// the stop check happens under the TM lock.
+func TestDequeueWaitStop(t *testing.T) {
+	tm := NewTrafficManager(4, 8)
+	var stop atomic.Bool
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := tm.DequeueWait(stop.Load)
+		done <- ok
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for tm.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	tm.WakeAll()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped DequeueWait returned a packet")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WakeAll did not unpark the waiter")
+	}
+}
+
+// TestDequeueWaitManyWaiters: every packet admitted is claimed by exactly
+// one of several parked workers, and all workers exit on shutdown.
+func TestDequeueWaitManyWaiters(t *testing.T) {
+	const workers, packets = 4, 100
+	tm := NewTrafficManager(4, packets)
+	var stop atomic.Bool
+	var drained atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := tm.DequeueWait(stop.Load); !ok {
+					return
+				}
+				drained.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < packets; i++ {
+		if !tm.Admit(tmPacket(i % 4)) {
+			t.Fatal("admit failed")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for drained.Load() < packets {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d/%d", drained.Load(), packets)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	tm.WakeAll()
+	wg.Wait()
+	if n := drained.Load(); n != packets {
+		t.Fatalf("drained %d, want exactly %d", n, packets)
+	}
+}
+
+// TestLaneStatsFold: per-lane stat stripes fold into one Stats() total
+// regardless of which lane counted.
+func TestLaneStatsFold(t *testing.T) {
+	var cells [statLanes]statCell
+	cells[0].n.Add(3)
+	cells[7].n.Add(4)
+	cells[statLanes-1].n.Add(5)
+	if got := laneSum(&cells); got != 12 {
+		t.Fatalf("laneSum = %d want 12", got)
+	}
+}

@@ -126,6 +126,12 @@ type Packet struct {
 	// admission only while the switch acts as an INT source (0 otherwise).
 	// The first INT hop record uses it as its ingress-side timestamp.
 	IngressNanos int64
+
+	// Lane is the telemetry counter stripe this packet's lifecycle events
+	// are charged to: 0 on the shared synchronous/pipelined paths, shard
+	// index + 1 when a shard worker owns the packet. Stamped at packet
+	// admission so the finish hook lands on the admitting shard's cells.
+	Lane int32
 }
 
 // NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
@@ -154,6 +160,7 @@ func (p *Packet) ResetFor(data []byte, metaBytes int) {
 	p.Trace = nil
 	p.Timed = false
 	p.IngressNanos = 0
+	p.Lane = 0
 }
 
 // Reset prepares p for reuse with new packet bytes.
@@ -170,6 +177,7 @@ func (p *Packet) Reset(data []byte) {
 	p.Trace = nil
 	p.Timed = false
 	p.IngressNanos = 0
+	p.Lane = 0
 }
 
 // Clone deep-copies the packet (used by multicast and the traffic manager).
@@ -183,6 +191,7 @@ func (p *Packet) Clone() *Packet {
 		ToCPU:   p.ToCPU,
 
 		IngressNanos: p.IngressNanos,
+		Lane:         p.Lane,
 	}
 	q.HV.locs = append([]HeaderLoc(nil), p.HV.locs...)
 	return q

@@ -1,0 +1,89 @@
+package pkt
+
+import "encoding/binary"
+
+// RSSHash is the flow-steering hash of the sharded datapath: an RSS-style
+// digest of the 5-tuple (addresses, protocol, L4 ports) computed directly
+// from raw frame bytes so the ingress reader never builds a FiveTuple or
+// touches netip.Addr. All packets of one flow — and only those — hash
+// identically, which is the property shard steering needs for per-flow
+// ordering; the hash is directional (a->b and b->a may land on different
+// shards, like hardware RSS without the symmetric key trick).
+//
+// Non-IP frames (ARP, LLDP, MPLS, ...) fall back to hashing src/dst MAC +
+// EtherType, so L2 flows still stick to one shard. Truncated or unparsable
+// frames hash whatever bytes exist: steering never fails, it only loses
+// affinity precision for garbage input.
+//
+// The FNV-1a accumulation matches the repo's other flow hashes; the
+// splitmix64-style finalization restores uniformity in the low bits, which
+// shard selection (hash % N) depends on.
+func RSSHash(data []byte) uint64 {
+	if len(data) < EthernetLen {
+		return rssFinalize(fnv64(fnvOffset64, data))
+	}
+	et := binary.BigEndian.Uint16(data[12:14])
+	off := EthernetLen
+	if et == EtherTypeVLAN || et == EtherTypeQinQ {
+		if len(data) < off+VLANTagLen {
+			return rssL2(data)
+		}
+		et = binary.BigEndian.Uint16(data[off+2 : off+4])
+		off += VLANTagLen
+	}
+	var (
+		h     uint64
+		proto uint8
+		l4    int
+	)
+	switch et {
+	case EtherTypeIPv4:
+		if len(data) < off+IPv4MinLen {
+			return rssL2(data)
+		}
+		ihl := int(data[off]&0x0f) * 4
+		if ihl < IPv4MinLen || len(data) < off+ihl {
+			return rssL2(data)
+		}
+		proto = data[off+9]
+		h = fnv64(fnvOffset64, data[off+12:off+20]) // src+dst address
+		l4 = off + ihl
+	case EtherTypeIPv6:
+		if len(data) < off+IPv6Len {
+			return rssL2(data)
+		}
+		proto = data[off+6]
+		h = fnv64(fnvOffset64, data[off+8:off+40]) // src+dst address
+		l4 = off + IPv6Len
+		// Segment-routed traffic keeps the SRH between IPv6 and L4;
+		// skip it so SRv6 flows hash on their inner transport ports.
+		if proto == IPProtoRouting && len(data) >= l4+SRHFixedLen {
+			proto = data[l4]
+			l4 += (int(data[l4+1]) + 1) * 8
+		}
+	default:
+		return rssL2(data)
+	}
+	h ^= uint64(proto)
+	h *= fnvPrime64
+	if (proto == IPProtoTCP || proto == IPProtoUDP) && len(data) >= l4+4 {
+		h = fnv64(h, data[l4:l4+4]) // src+dst port
+	}
+	return rssFinalize(h)
+}
+
+// rssL2 is the non-IP fallback: src/dst MAC + EtherType.
+func rssL2(data []byte) uint64 {
+	return rssFinalize(fnv64(fnvOffset64, data[:EthernetLen]))
+}
+
+// rssFinalize is the splitmix64-style avalanche (same constants as the
+// executor's selector hash finalization in internal/tsp).
+func rssFinalize(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

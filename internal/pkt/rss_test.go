@@ -1,0 +1,187 @@
+package pkt
+
+import (
+	"testing"
+)
+
+func rssV4(t *testing.T, src, dst [4]byte, proto uint8, sport, dport uint16, ttl uint8) []byte {
+	t.Helper()
+	var l4 Serializer
+	switch proto {
+	case IPProtoTCP:
+		l4 = &TCP{SrcPort: sport, DstPort: dport}
+	case IPProtoUDP:
+		l4 = &UDP{SrcPort: sport, DstPort: dport}
+	}
+	layers := []Serializer{
+		&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv4},
+		&IPv4{TTL: ttl, Protocol: proto, Src: src, Dst: dst},
+	}
+	if l4 != nil {
+		layers = append(layers, l4)
+	}
+	raw, err := Serialize(layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestRSSHashFlowAffinity: the hash depends only on flow identity — two
+// packets of one flow hash identically even when everything else about
+// them (TTL here, payload in general) differs; changing any 5-tuple
+// component changes the hash.
+func TestRSSHashFlowAffinity(t *testing.T) {
+	src, dst := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	a := RSSHash(rssV4(t, src, dst, IPProtoTCP, 1234, 80, 64))
+	b := RSSHash(rssV4(t, src, dst, IPProtoTCP, 1234, 80, 7)) // same flow, different TTL
+	if a != b {
+		t.Fatal("same flow hashed differently")
+	}
+	variants := [][]byte{
+		rssV4(t, [4]byte{10, 0, 0, 9}, dst, IPProtoTCP, 1234, 80, 64), // src addr
+		rssV4(t, src, [4]byte{10, 0, 0, 9}, IPProtoTCP, 1234, 80, 64), // dst addr
+		rssV4(t, src, dst, IPProtoUDP, 1234, 80, 64),                  // proto
+		rssV4(t, src, dst, IPProtoTCP, 1235, 80, 64),                  // src port
+		rssV4(t, src, dst, IPProtoTCP, 1234, 81, 64),                  // dst port
+	}
+	for i, v := range variants {
+		if RSSHash(v) == a {
+			t.Errorf("variant %d collided with the base flow", i)
+		}
+	}
+}
+
+// TestRSSHashMatchesFiveTupleGrouping: over a population of generated
+// flows, frames that ExtractFiveTuple assigns to the same flow always get
+// the same RSS hash — the steering function refines, never splits, the
+// canonical flow identity.
+func TestRSSHashMatchesFiveTupleGrouping(t *testing.T) {
+	byFlow := map[FiveTuple]uint64{}
+	for i := 0; i < 32; i++ {
+		for rep := 0; rep < 3; rep++ {
+			raw := rssV4(t, [4]byte{10, 0, byte(i), 1}, [4]byte{10, 1, 0, byte(i)},
+				IPProtoTCP, uint16(1000+i), 443, uint8(64-rep))
+			ft, ok := ExtractFiveTuple(raw)
+			if !ok {
+				t.Fatal("ExtractFiveTuple failed on generated frame")
+			}
+			h := RSSHash(raw)
+			if prev, seen := byFlow[ft]; seen && prev != h {
+				t.Fatalf("flow %v hashed to both %x and %x", ft, prev, h)
+			}
+			byFlow[ft] = h
+		}
+	}
+}
+
+// TestRSSHashIPv6: v6 flows hash on addresses + proto + ports, stable
+// across hop-limit changes.
+func TestRSSHashIPv6(t *testing.T) {
+	mk := func(dstLast byte, hop uint8, dport uint16) []byte {
+		var src, dst [16]byte
+		src[0], src[15] = 0x20, 0x01
+		dst[0], dst[15] = 0x20, dstLast
+		raw, err := Serialize(
+			&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv6},
+			&IPv6{NextHeader: IPProtoUDP, HopLimit: hop, Src: src, Dst: dst},
+			&UDP{SrcPort: 5000, DstPort: dport},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if RSSHash(mk(2, 64, 53)) != RSSHash(mk(2, 1, 53)) {
+		t.Fatal("same v6 flow hashed differently across hop limits")
+	}
+	if RSSHash(mk(2, 64, 53)) == RSSHash(mk(3, 64, 53)) {
+		t.Fatal("different v6 destinations collided")
+	}
+	if RSSHash(mk(2, 64, 53)) == RSSHash(mk(2, 64, 54)) {
+		t.Fatal("different v6 ports collided")
+	}
+}
+
+// TestRSSHashVLAN: a VLAN tag is transparent to flow identity — the inner
+// 5-tuple hashes the same tagged or not... except it must still differ
+// from an unrelated flow. (Steering must see through the tag so a flow
+// keeps its shard across VLAN rewrites.)
+func TestRSSHashVLAN(t *testing.T) {
+	inner := func(tagged bool) []byte {
+		layers := []Serializer{
+			&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv4},
+			&IPv4{TTL: 64, Protocol: IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+			&TCP{SrcPort: 1234, DstPort: 80},
+		}
+		if tagged {
+			layers[0] = &Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeVLAN}
+			layers = append(layers[:1], append([]Serializer{&VLAN{VID: 42, EtherType: EtherTypeIPv4}}, layers[1:]...)...)
+		}
+		raw, err := Serialize(layers...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if RSSHash(inner(false)) != RSSHash(inner(true)) {
+		t.Fatal("VLAN tag changed the flow hash")
+	}
+}
+
+// TestRSSHashL2Fallback: non-IP frames hash on MAC pair + EtherType; the
+// hash distinguishes MACs and never panics on short input.
+func TestRSSHashL2Fallback(t *testing.T) {
+	arp := func(srcLast byte) []byte {
+		raw, err := Serialize(&Ethernet{
+			Dst: MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+			Src: MAC{2, 0, 0, 0, 0, srcLast}, EtherType: 0x0806,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(raw, 0x00, 0x01) // token ARP body
+	}
+	if RSSHash(arp(1)) != RSSHash(arp(1)) {
+		t.Fatal("L2 hash unstable")
+	}
+	if RSSHash(arp(1)) == RSSHash(arp(2)) {
+		t.Fatal("different L2 sources collided")
+	}
+}
+
+// TestRSSHashTruncated: truncated and garbage frames still produce a
+// deterministic hash — steering never fails.
+func TestRSSHashTruncated(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x01, 0x02, 0x03},
+		rssV4(t, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, IPProtoTCP, 1, 2, 64)[:15], // cut mid-IP
+		rssV4(t, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, IPProtoTCP, 1, 2, 64)[:20],
+	}
+	for i, c := range cases {
+		a, b := RSSHash(c), RSSHash(c)
+		if a != b {
+			t.Errorf("case %d: hash not deterministic", i)
+		}
+	}
+}
+
+// TestRSSHashSpread: 256 distinct flows spread over 8 shards without any
+// shard starving — a weak but meaningful uniformity check on the
+// finalizer (hash % N uses the low bits).
+func TestRSSHashSpread(t *testing.T) {
+	const shards = 8
+	var counts [shards]int
+	for i := 0; i < 256; i++ {
+		raw := rssV4(t, [4]byte{10, byte(i / 16), byte(i % 16), 1}, [4]byte{10, 1, 0, 1},
+			IPProtoUDP, uint16(2000+i), 53, 64)
+		counts[RSSHash(raw)%shards]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d starved: %v", s, counts)
+		}
+	}
+}

@@ -39,6 +39,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindStriped
 )
 
 // entry is one registered series.
@@ -47,9 +48,10 @@ type entry struct {
 	labels []Label
 	kind   metricKind
 
-	ctr   *Counter
-	gauge *Gauge
-	hist  *Histogram
+	ctr     *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	striped *StripedCounter
 }
 
 // CollectFunc emits point-in-time samples at gather time. Collectors are
@@ -111,6 +113,30 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // name{labels}.
 func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return r.getOrCreate(name, kindHistogram, labels).hist
+}
+
+// StripedCounter returns (creating on first use) a striped counter series
+// name{labels}: exported as one counter whose value is the fold of every
+// stripe, while writers update per-stripe cells contention-free. The
+// stripe count is fixed at first registration; re-registering returns the
+// existing handle regardless of the stripes argument.
+func (r *Registry) StripedCounter(name string, stripes int, labels ...Label) *StripedCounter {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kindStriped {
+			panic(fmt.Sprintf("telemetry: series %q re-registered with a different kind", key))
+		}
+		return e.striped
+	}
+	e := &entry{
+		name: name, labels: append([]Label(nil), labels...),
+		kind: kindStriped, striped: NewStripedCounter(stripes),
+	}
+	r.entries[key] = e
+	r.order = append(r.order, key)
+	return e.striped
 }
 
 // Unregister drops the series name{labels}, if present. Used when tables
@@ -181,6 +207,9 @@ func (e *entry) point() MetricPoint {
 	case kindCounter:
 		p.Kind = "counter"
 		p.Value = float64(e.ctr.Value())
+	case kindStriped:
+		p.Kind = "counter"
+		p.Value = float64(e.striped.Value())
 	case kindGauge:
 		p.Kind = "gauge"
 		p.Value = float64(e.gauge.Value())

@@ -1,0 +1,57 @@
+package telemetry
+
+// StripedCounter is a Counter split into cache-line-padded per-stripe
+// cells: each concurrent writer (one shard worker of the sharded
+// datapath) increments its own cell, so hot-path counting never bounces
+// one cache line between cores the way a single shared atomic does. The
+// total is folded back together at read/scrape time, which is the only
+// moment anyone needs it.
+type StripedCounter struct {
+	cells []stripeCell
+}
+
+// stripeCell pads one counter out to a 64-byte cache line so adjacent
+// stripes never false-share.
+type stripeCell struct {
+	c Counter
+	_ [56]byte
+}
+
+// NewStripedCounter builds a counter with the given number of stripes
+// (minimum 1).
+func NewStripedCounter(stripes int) *StripedCounter {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &StripedCounter{cells: make([]stripeCell, stripes)}
+}
+
+// Stripes reports the cell count.
+func (s *StripedCounter) Stripes() int { return len(s.cells) }
+
+// Cell returns stripe i's counter handle (out-of-range indexes clamp to
+// stripe 0). Resolve once at configuration time; the handle updates
+// lock-free like any Counter.
+func (s *StripedCounter) Cell(i int) *Counter {
+	if i < 0 || i >= len(s.cells) {
+		i = 0
+	}
+	return &s.cells[i].c
+}
+
+// CellValue reads one stripe's count (per-shard telemetry export).
+func (s *StripedCounter) CellValue(i int) uint64 {
+	if i < 0 || i >= len(s.cells) {
+		return 0
+	}
+	return s.cells[i].c.Value()
+}
+
+// Value folds every stripe into the total.
+func (s *StripedCounter) Value() uint64 {
+	var t uint64
+	for i := range s.cells {
+		t += s.cells[i].c.Value()
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStripedCounterFold: per-cell increments fold into one Value.
+func TestStripedCounterFold(t *testing.T) {
+	c := NewStripedCounter(4)
+	if c.Stripes() != 4 {
+		t.Fatalf("stripes = %d", c.Stripes())
+	}
+	c.Cell(0).Add(3)
+	c.Cell(2).Inc()
+	c.Cell(3).Add(6)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d want 10", c.Value())
+	}
+	if c.CellValue(2) != 1 {
+		t.Fatalf("CellValue(2) = %d", c.CellValue(2))
+	}
+}
+
+// TestStripedCounterClamping: out-of-range cell access clamps rather than
+// panicking (lane indices come from packet metadata, which the hot path
+// must not have to validate).
+func TestStripedCounterClamping(t *testing.T) {
+	c := NewStripedCounter(2)
+	c.Cell(-1).Inc()
+	c.Cell(99).Inc()
+	if c.CellValue(0) != 2 {
+		t.Fatalf("clamped increments landed on cell %d values: %d,%d",
+			0, c.CellValue(0), c.CellValue(1))
+	}
+	if c.CellValue(-5) != 0 || c.CellValue(99) != 0 {
+		t.Fatal("out-of-range CellValue should read 0")
+	}
+	if NewStripedCounter(0).Stripes() != 1 {
+		t.Fatal("zero stripes should clamp to 1")
+	}
+}
+
+// TestStripedCounterConcurrent: concurrent per-stripe increments are all
+// visible in the fold.
+func TestStripedCounterConcurrent(t *testing.T) {
+	const stripes, per = 8, 1000
+	c := NewStripedCounter(stripes)
+	var wg sync.WaitGroup
+	for s := 0; s < stripes; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Cell(s).Inc()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if c.Value() != stripes*per {
+		t.Fatalf("Value = %d want %d", c.Value(), stripes*per)
+	}
+}
+
+// TestRegistryStripedCounter: registration is idempotent per label set,
+// stripe width is fixed at first registration, and the scrape point
+// exposes the folded value as an ordinary counter.
+func TestRegistryStripedCounter(t *testing.T) {
+	r := NewRegistry()
+	a := r.StripedCounter("ipsa_test_striped_total", 4, L("verdict", "sent"))
+	b := r.StripedCounter("ipsa_test_striped_total", 9, L("verdict", "sent"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct striped counters")
+	}
+	a.Cell(1).Add(5)
+	a.Cell(3).Add(2)
+	found := false
+	for _, p := range r.Gather() {
+		if p.Name != "ipsa_test_striped_total" {
+			continue
+		}
+		found = true
+		if p.Kind != "counter" || p.Value != 7 {
+			t.Fatalf("scrape point = %+v", p)
+		}
+	}
+	if !found {
+		t.Fatal("striped counter missing from Gather")
+	}
+}

@@ -44,6 +44,12 @@ type Env struct {
 	// while INT is enabled; nil makes every IntStamp epilogue a no-op.
 	Int *IntStampCtx
 
+	// Lane is the counter stripe this executor writes (0 for the shared
+	// synchronous/pipelined paths, shard index + 1 for shard workers), so
+	// per-packet totals land in per-core cells instead of one contended
+	// cache line.
+	Lane int
+
 	// Scratch buffers reused across lookups on the hot path. keyBuf backs
 	// BuildKey results (valid until the next BuildKey on this Env);
 	// groupBuf and fieldBuf back selector group keys and field reads.
@@ -70,6 +76,7 @@ func (e *Env) Rebind(regs *RegisterFile, faults *Faults, srh, ipv6 pkt.HeaderID)
 	e.Timed = false
 	e.TSPIndex = 0
 	e.Int = nil
+	e.Lane = 0
 }
 
 func (e *Env) ensureStack(n int) {
