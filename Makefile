@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate fuzz-diff cover experiments examples fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate fuzz-diff cover experiments examples health-smoke fmt vet lint clean
 
 # Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
 # (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
@@ -71,6 +71,13 @@ examples:
 	$(GO) run ./examples/srv6_insitu
 	$(GO) run ./examples/flowprobe
 	$(GO) run ./examples/int_e2e
+
+# End-to-end health-layer exercise: boot ipbm with a fast sampler, check
+# /readyz gating, push traffic until /health shows nonzero rates, run an
+# in-situ update over the CCM and assert the switch stays healthy with
+# the apply event in the audit trail.
+health-smoke:
+	$(GO) run ./cmd/healthsmoke
 
 fmt:
 	gofmt -w cmd internal examples bench_test.go

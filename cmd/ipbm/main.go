@@ -7,11 +7,11 @@
 //
 //	ipbm -listen 127.0.0.1:9901 [-config config.json] [-tsps 16] [-ports 8]
 //	     [-metrics-addr 127.0.0.1:9911] [-trace-every 64]
+//	     [-log-level info] [-log-format text]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"log/slog"
 	"os"
@@ -46,13 +46,24 @@ func main() {
 	execFlag := flag.String("exec", "compiled", "stage executor: compiled (flat programs) or interp (reference tree-walker)")
 	intOn := flag.Bool("int", false, "enable in-band telemetry stamping at startup (also togglable at runtime via rp4ctl int enable/disable)")
 	intSwitchID := flag.Uint("int-switch-id", 1, "switch ID stamped into INT hop records")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	healthInterval := flag.Duration("health-interval", 0, "health sampler tick (0 = default 1s; negative disables)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	execMode, err := tsp.ParseExecMode(*execFlag)
 	if err != nil {
 		fatal(err)
 	}
 	opts := ipbm.DefaultOptions()
+	opts.Logger = logger
+	opts.HealthInterval = *healthInterval
 	opts.NumTSPs = *tsps
 	opts.NumPorts = *ports
 	opts.TraceEvery = *traceEvery
@@ -66,12 +77,15 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		tel := sw.Telemetry()
-		ms, err := telemetry.Serve(*metricsAddr, tel.Reg, tel.Tracer, tel.Events)
+		mux := telemetry.NewServeMux(tel.Reg, tel.Tracer, tel.Events)
+		sw.Health().Register(mux)
+		ms, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer ms.Close()
-		slog.Info("metrics endpoint up", "addr", ms.Addr())
+		slog.Info("metrics endpoint up", "addr", ms.Addr(),
+			"paths", "/metrics /traces /events /health /healthz /readyz")
 	}
 	if *configFile != "" {
 		b, err := os.ReadFile(*configFile)
@@ -95,6 +109,9 @@ func main() {
 		slog.Info("INT stamping enabled", "switch_id", *intSwitchID)
 	}
 	if *pcapIn != "" {
+		// Replay drives the sync path, so no forwarding mode starts the
+		// health sampler; tick it here so /health shows rates mid-replay.
+		sw.Health().Start()
 		if err := replay(sw, *pcapIn, *pcapOut); err != nil {
 			fatal(err)
 		}
@@ -184,17 +201,13 @@ func replay(sw *ipbm.Switch, inPath, outPath string) error {
 			}
 		}
 	}
-	if intIn > 0 {
-		fmt.Printf("replayed %d packets (%d carrying INT trailers): %d forwarded, %d dropped, %d punted\n",
-			rd.Count(), intIn, forwarded, dropped, punted)
-	} else {
-		fmt.Printf("replayed %d packets: %d forwarded, %d dropped, %d punted\n",
-			rd.Count(), forwarded, dropped, punted)
-	}
+	slog.Info("replay complete", "component", "replay",
+		"packets", rd.Count(), "int_trailers", intIn,
+		"forwarded", forwarded, "dropped", dropped, "punted", punted)
 	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ipbm:", err)
+	slog.Error("fatal", "component", "ipbm", "err", err)
 	os.Exit(1)
 }

@@ -11,6 +11,8 @@
 //	rp4ctl -addr ... stats
 //	rp4ctl -addr ... metrics
 //	rp4ctl -addr ... trace [max]
+//	rp4ctl -addr ... health [window]
+//	rp4ctl -addr ... top [interval]
 //	rp4ctl -addr ... table-stats <table>
 //	rp4ctl -addr ... read-register <name> <index>
 //	rp4ctl -addr ... insert <table> <tag> key=<v>[,<v>...] [params=<v>,...] [prefix=<n>] [prio=<n>]
@@ -273,6 +275,28 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	case "health":
+		window := time.Duration(0)
+		if len(args) > 1 {
+			var err error
+			if window, err = time.ParseDuration(args[1]); err != nil {
+				fatal(fmt.Errorf("bad window %q: %w", args[1], err))
+			}
+		}
+		st, err := cl.HealthQuery(window)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(renderStatus(st))
+	case "top":
+		interval := time.Second
+		if len(args) > 1 {
+			var err error
+			if interval, err = time.ParseDuration(args[1]); err != nil {
+				fatal(fmt.Errorf("bad interval %q: %w", args[1], err))
+			}
+		}
+		top(*addr, cl, interval, 0)
 	case "table-stats":
 		need(args, 2)
 		st, err := cl.TableStats(args[1])
@@ -446,6 +470,8 @@ commands:
   int enable|disable
   int report [MAX]
   events [MAX]
+  health [WINDOW]         one-shot self-diagnosis snapshot (e.g. health 30s)
+  top [INTERVAL]          live refreshing operator view (default 1s refresh)
   table-stats TABLE
   read-register NAME INDEX
   insert TABLE TAG key=V[,V...] [params=V,...] [prefix=N] [prio=N] [high=V,...]

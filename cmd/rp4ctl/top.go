@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/health"
+)
+
+// renderStatus formats one health snapshot as the plain-text operator
+// view shared by `rp4ctl health` and `rp4ctl top`.
+func renderStatus(st *health.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state: %-9s uptime: %-12s window: %s\n",
+		strings.ToUpper(st.State),
+		time.Duration(st.UptimeNanos).Round(time.Second),
+		time.Duration(st.WindowNanos))
+	if st.Reason != "" {
+		fmt.Fprintf(&b, "reason: %s\n", st.Reason)
+	}
+	fmt.Fprintf(&b, "pps: %-12.1f drops/s: %-10.1f drop%%: %-7.2f tm_depth: %d\n",
+		st.PPS, st.DropPPS, st.DropFraction*100, st.TMDepth)
+	if len(st.DropCauses) > 0 {
+		causes := make([]string, 0, len(st.DropCauses))
+		for k := range st.DropCauses {
+			causes = append(causes, k)
+		}
+		sort.Strings(causes)
+		parts := make([]string, 0, len(causes))
+		for _, k := range causes {
+			parts = append(parts, fmt.Sprintf("%s=%.1f/s", k, st.DropCauses[k]))
+		}
+		fmt.Fprintf(&b, "drop causes: %s\n", strings.Join(parts, "  "))
+	}
+	if st.Latency != nil && st.Latency.Count > 0 {
+		fmt.Fprintf(&b, "tsp latency (sampled): p50=%.3fus p90=%.3fus p99=%.3fus n=%d\n",
+			st.Latency.P50/1e3, st.Latency.P90/1e3, st.Latency.P99/1e3, st.Latency.Count)
+	}
+	if len(st.Lanes) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %-8s %12s %10s %12s\n", "LANE", "STATE", "HEARTBEAT", "PENDING", "RATE/S")
+		for _, l := range st.Lanes {
+			state := l.State
+			if l.State == "stalled" {
+				state = "STALLED"
+			}
+			fmt.Fprintf(&b, "%-12s %-8s %12d %10d %12.1f\n",
+				l.Name, state, l.Heartbeat, l.Pending, l.RatePPS)
+		}
+	}
+	for _, op := range st.Ops {
+		tag := "in progress"
+		if op.Wedged {
+			tag = "WEDGED"
+		}
+		fmt.Fprintf(&b, "\nreconfig %s cfg=%s age=%s [%s]\n",
+			op.Kind, op.ConfigHash, time.Duration(op.AgeNanos).Round(time.Millisecond), tag)
+	}
+	if ev := st.LastEvent; ev != nil {
+		line := fmt.Sprintf("\nlast event: #%d %s", ev.Seq, ev.Kind)
+		if ev.ConfigHash != "" {
+			line += " cfg=" + ev.ConfigHash
+		}
+		if ev.DrainNanos > 0 {
+			line += fmt.Sprintf(" drain=%.3fms", float64(ev.DrainNanos)/1e6)
+		}
+		if ev.Detail != "" {
+			line += " (" + ev.Detail + ")"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// top refreshes the operator view in place until interrupted. It
+// re-dials the device after a transport error so a restarting switch
+// comes back into view on its own.
+func top(addr string, cl *ctrlplane.Client, interval, window time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := cl.HealthQuery(window)
+		// \x1b[H\x1b[2J homes the cursor and clears the screen: a live
+		// refreshing view with no TUI dependency.
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Printf("rp4ctl top — %s — %s (refresh %s, ctrl-c to quit)\n\n",
+			addr, time.Now().Format("15:04:05"), interval)
+		switch {
+		case err != nil:
+			fmt.Printf("unreachable: %v\nre-dialing...\n", err)
+			cl.Close()
+			if ncl, derr := ctrlplane.Dial(addr, 2*time.Second); derr == nil {
+				cl = ncl
+			}
+		case st == nil:
+			fmt.Println("device reports no health layer")
+		default:
+			fmt.Print(renderStatus(st))
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}

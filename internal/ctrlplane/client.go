@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ipsa/internal/health"
 	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
@@ -160,6 +161,16 @@ func (c *Client) IntReport(max int) ([]intmd.Report, error) {
 		return nil, err
 	}
 	return resp.Reports, nil
+}
+
+// HealthQuery fetches the device's self-diagnosis snapshot. window <= 0
+// selects the device's default rate window.
+func (c *Client) HealthQuery(window time.Duration) (*health.Status, error) {
+	resp, err := c.Do(&Request{Op: OpHealthQuery, WindowNanos: window.Nanoseconds()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Health, nil
 }
 
 // EventsDump fetches up to max reconfiguration audit events, newest

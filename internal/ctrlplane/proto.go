@@ -2,7 +2,9 @@ package ctrlplane
 
 import (
 	"encoding/json"
+	"time"
 
+	"ipsa/internal/health"
 	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
@@ -30,6 +32,7 @@ const (
 	OpIntDisable   Op = "int_disable"
 	OpIntReport    Op = "int_report"
 	OpEventsDump   Op = "events_dump"
+	OpHealthQuery  Op = "health_query"
 	OpPing         Op = "ping"
 )
 
@@ -50,6 +53,9 @@ type Request struct {
 	Index    uint64 `json:"index,omitempty"`
 	// Max bounds trace_dump (0 means all buffered records).
 	Max int `json:"max,omitempty"`
+	// WindowNanos overrides the rate window of health_query (0 uses the
+	// device's default).
+	WindowNanos int64 `json:"window_nanos,omitempty"`
 }
 
 // Response answers a Request.
@@ -67,6 +73,7 @@ type Response struct {
 	Traces  []telemetry.TraceRecord `json:"traces,omitempty"`
 	Events  []telemetry.Event       `json:"events,omitempty"`
 	Reports []intmd.Report          `json:"reports,omitempty"`
+	Health  *health.Status          `json:"health,omitempty"`
 	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
@@ -152,4 +159,10 @@ type IntSource interface {
 // reconfiguration audit trail.
 type EventSource interface {
 	EventsDump(max int) []telemetry.Event
+}
+
+// HealthSource is optionally implemented by devices with a health layer;
+// window <= 0 selects the device's default rate window.
+type HealthSource interface {
+	HealthQuery(window time.Duration) *health.Status
 }

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server is the Control Channel Module (CCM): it bridges the data plane
@@ -188,6 +189,12 @@ func (s *Server) Handle(req *Request) *Response {
 			return fail(fmt.Errorf("ccm: device has no event log"))
 		}
 		return &Response{OK: true, Events: es.EventsDump(req.Max)}
+	case OpHealthQuery:
+		hs, ok := s.dev.(HealthSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no health layer"))
+		}
+		return &Response{OK: true, Health: hs.HealthQuery(time.Duration(req.WindowNanos))}
 	}
 	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
 }

@@ -14,6 +14,7 @@ package dataplane
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +72,7 @@ type Core struct {
 	design atomic.Pointer[Design]
 	faults tsp.Faults
 	hooks  Hooks
+	log    *slog.Logger
 
 	// intCtx, when non-nil, marks this switch an INT source: GetEnv hands
 	// it to every Env (arming the stamped stages' epilogues) and packet
@@ -92,6 +94,15 @@ func NewCore() *Core {
 
 // SetHooks attaches the lifecycle callbacks. Call before traffic starts.
 func (c *Core) SetHooks(h Hooks) { c.hooks = h }
+
+// SetLogger attaches a structured logger for install-time diagnostics.
+// Call before traffic starts; nil restores the process default.
+func (c *Core) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.Default()
+	}
+	c.log = l
+}
 
 // SetIntCtx installs (or, with nil, removes) the INT stamping context.
 // Safe to call while traffic is flowing: packets pick it up at Env setup.
@@ -120,6 +131,11 @@ func (c *Core) Install(cfg *template.Config, regs *tsp.RegisterFile) *Design {
 		numHeaders: n,
 	}
 	c.design.Store(d)
+	if c.log != nil {
+		c.log.Debug("design installed",
+			"headers", len(cfg.Headers), "stages", len(cfg.Stages),
+			"tables", len(cfg.Tables), "registers", len(cfg.Registers))
+	}
 	return d
 }
 

@@ -1,0 +1,186 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"ipsa/internal/telemetry"
+)
+
+const tick = int64(time.Second)
+
+// TestRingRateCorrectness drives the ring with a synthetic clock and a
+// counter advancing a known amount per tick, and checks the windowed
+// rate comes out exact.
+func TestRingRateCorrectness(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pkts_total")
+	r := NewRing(reg, 16)
+
+	now := int64(1e9)
+	for i := 0; i < 10; i++ {
+		c.Add(100)
+		r.Tick(now)
+		now += tick
+	}
+	rate, ok := r.RateOf("pkts_total", 5*time.Second)
+	if !ok {
+		t.Fatal("no rate for pkts_total")
+	}
+	// 5 ticks back inside the window: delta 500 over 5s.
+	if rate.PerSec != 100 {
+		t.Fatalf("PerSec = %v, want 100", rate.PerSec)
+	}
+	if rate.Last != 1000 {
+		t.Fatalf("Last = %v, want 1000", rate.Last)
+	}
+	if rate.Delta != 500 {
+		t.Fatalf("Delta = %v, want 500", rate.Delta)
+	}
+
+	// A wider window than retained history clamps to the oldest sample.
+	rate, ok = r.RateOf("pkts_total", time.Hour)
+	if !ok || rate.Delta != 900 {
+		t.Fatalf("full-window Delta = %v (ok=%v), want 900", rate.Delta, ok)
+	}
+}
+
+// TestRingWraparound overfills a small ring and checks both the sample
+// cap and that rates survive the wrap.
+func TestRingWraparound(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pkts_total")
+	r := NewRing(reg, 8)
+
+	now := int64(1e9)
+	for i := 0; i < 30; i++ {
+		c.Add(10)
+		r.Tick(now)
+		now += tick
+	}
+	if got := r.Samples(); got != 8 {
+		t.Fatalf("Samples = %d, want 8 (capacity)", got)
+	}
+	rate, ok := r.RateOf("pkts_total", 4*time.Second)
+	if !ok || rate.PerSec != 10 {
+		t.Fatalf("post-wrap PerSec = %v (ok=%v), want 10", rate.PerSec, ok)
+	}
+	// Only capacity-1 intervals of history remain.
+	rate, _ = r.RateOf("pkts_total", time.Hour)
+	if rate.Delta != 70 {
+		t.Fatalf("post-wrap full Delta = %v, want 70", rate.Delta)
+	}
+}
+
+// TestRingTickZeroAlloc locks in the sampler hot path: once the column
+// set is built, a tick over registered counters, gauges, striped
+// counters and histograms must not allocate.
+func TestRingTickZeroAlloc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pkts_total")
+	g := reg.Gauge("depth")
+	sc := reg.StripedCounter("sharded_total", 4).Cell(1)
+	h := reg.Histogram("lat_seconds")
+	r := NewRing(reg, 32)
+	r.AddColumn(Column{Name: "extra", Kind: "gauge", Read: func() float64 { return 1 }})
+
+	now := int64(1e9)
+	r.Tick(now) // prime: builds the column set
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		sc.Inc()
+		h.ObserveNanos(1500)
+		now += tick
+		r.Tick(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tick allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestRingMidStreamSeries registers a series after the ring has been
+// ticking and checks it gets tracked with its own (shorter) history.
+func TestRingMidStreamSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := reg.Counter("a_total")
+	r := NewRing(reg, 16)
+
+	now := int64(1e9)
+	for i := 0; i < 5; i++ {
+		a.Add(1)
+		r.Tick(now)
+		now += tick
+	}
+	b := reg.Counter("b_total") // generation bump → rebuild on next tick
+	for i := 0; i < 3; i++ {
+		a.Add(1)
+		b.Add(2)
+		r.Tick(now)
+		now += tick
+	}
+	rb, ok := r.RateOf("b_total", time.Hour)
+	if !ok {
+		t.Fatal("b_total not tracked after mid-stream registration")
+	}
+	// b has 3 valid samples: delta across the last two intervals only.
+	if rb.Delta != 4 {
+		t.Fatalf("b Delta = %v, want 4", rb.Delta)
+	}
+	ra, _ := r.RateOf("a_total", time.Hour)
+	if ra.Delta != 7 {
+		t.Fatalf("a Delta = %v, want 7 (history preserved across rebuild)", ra.Delta)
+	}
+}
+
+// TestRingCounterReset checks the Prometheus-style reset rule: a counter
+// that goes backwards reports its new value as the whole delta.
+func TestRingCounterReset(t *testing.T) {
+	v := 1000.0
+	r := NewRing(nil, 8)
+	r.AddColumn(Column{Name: "resets_total", Kind: "counter", Read: func() float64 { return v }})
+
+	now := int64(1e9)
+	r.Tick(now)
+	now += tick
+	v = 30 // restarted process
+	r.Tick(now)
+	rate, ok := r.RateOf("resets_total", time.Hour)
+	if !ok || rate.Delta != 30 {
+		t.Fatalf("post-reset Delta = %v (ok=%v), want 30", rate.Delta, ok)
+	}
+}
+
+// TestRingHistWindow checks that histogram quantiles are computed from
+// the window's bucket deltas, not the all-time distribution.
+func TestRingHistWindow(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat_seconds", telemetry.L("tsp", "0"))
+	h2 := reg.Histogram("lat_seconds", telemetry.L("tsp", "1"))
+	r := NewRing(reg, 16)
+
+	now := int64(1e9)
+	// Old observations: slow (1ms) — should not pollute the window.
+	for i := 0; i < 1000; i++ {
+		h.ObserveNanos(1_000_000)
+	}
+	r.Tick(now)
+	now += tick
+	// Windowed observations: fast (1µs), spread over both series.
+	for i := 0; i < 500; i++ {
+		h.ObserveNanos(1000)
+		h2.ObserveNanos(1000)
+	}
+	r.Tick(now)
+
+	hw, ok := r.HistWindowSum("lat_seconds", time.Second)
+	if !ok {
+		t.Fatal("no histogram window")
+	}
+	if hw.Count != 1000 {
+		t.Fatalf("window Count = %d, want 1000 (both series summed)", hw.Count)
+	}
+	if hw.P99 >= 1_000_000 {
+		t.Fatalf("P99 = %v includes pre-window observations", hw.P99)
+	}
+}

@@ -1,0 +1,57 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Register mounts the health endpoints on mux (typically the one built
+// by telemetry.NewServeMux):
+//
+//	/health   — JSON Status; ?window=5s overrides the rate window,
+//	            ?rates=1 appends the full per-series windowed dump
+//	/healthz  — liveness: 200 unless the switch is stalled (503)
+//	/readyz   — readiness: 200 once a configuration is installed and the
+//	            switch is not stalled
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/health", func(w http.ResponseWriter, req *http.Request) {
+		window := time.Duration(0)
+		if v := req.URL.Query().Get("window"); v != "" {
+			if d, err := time.ParseDuration(v); err == nil && d > 0 {
+				window = d
+			}
+		}
+		st := h.Status(window)
+		if req.URL.Query().Get("rates") == "1" {
+			st.Rates = h.ring.Rates(windowOrDefault(window, h))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		state := h.State()
+		if state == StateStalled {
+			http.Error(w, state.String(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(state.String() + "\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		state := h.State()
+		if !h.Ready() || state == StateStalled {
+			http.Error(w, "not ready ("+state.String()+")", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}
+
+func windowOrDefault(w time.Duration, h *Health) time.Duration {
+	if w > 0 {
+		return w
+	}
+	return h.o.Window
+}

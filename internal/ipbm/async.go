@@ -3,10 +3,13 @@ package ipbm
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/health"
 	"ipsa/internal/netio"
 	"ipsa/internal/pkt"
+	"ipsa/internal/telemetry"
 )
 
 // egressSpins is how many yield-and-retry rounds an idle egress worker
@@ -45,24 +48,39 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 		}(i, port)
 	}
 	for w := 0; w < egressWorkers; w++ {
+		// Each worker stamps its own heartbeat counter per processed
+		// packet; the watchdog flags a worker whose heartbeat freezes
+		// while the TM still holds packets.
+		beat := s.tel.Reg.Counter("ipsa_egress_heartbeat_total",
+			telemetry.L("worker", strconv.Itoa(w)))
+		s.health.AddLane(health.Lane{
+			Name:     "egress-" + strconv.Itoa(w),
+			Progress: beat.Value,
+			Pending:  s.pl.TM().DepthSum,
+		})
 		s.runWG.Add(1)
 		go func() {
 			defer s.runWG.Done()
-			s.egressLoop()
+			s.egressLoop(beat)
 		}()
 	}
+	s.health.Start()
+	s.log.Info("pipelined forwarding started", "egress_workers", egressWorkers)
 	return nil
 }
 
 // egressLoop drains the TM until shutdown: process while packets are
 // available, spin briefly when the TM momentarily empties, then park on
 // the TM's notification. Shutdown's WakeAll unparks the final wait.
-func (s *Switch) egressLoop() {
+// beat is this worker's watchdog heartbeat, stamped once per processed
+// packet (one uncontended atomic add).
+func (s *Switch) egressLoop(beat *telemetry.Counter) {
 	for {
 		if s.stopped.Load() {
 			return
 		}
 		if s.egestOne() {
+			beat.Inc()
 			continue
 		}
 		spun := false
@@ -74,6 +92,7 @@ func (s *Switch) egressLoop() {
 			}
 		}
 		if spun {
+			beat.Inc()
 			continue
 		}
 		p, ok := s.pl.TM().DequeueWait(s.stopped.Load)
@@ -81,6 +100,7 @@ func (s *Switch) egressLoop() {
 			return
 		}
 		s.egestPacket(p)
+		beat.Inc()
 	}
 }
 

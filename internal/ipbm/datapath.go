@@ -108,6 +108,7 @@ func (s *Switch) PuntQueue() <-chan *pkt.Packet { return s.toCPU }
 // Run starts one forwarding goroutine per port, each pulling frames from
 // the port's ingress and forwarding them. Stop with Shutdown.
 func (s *Switch) Run() {
+	s.health.Start()
 	for i := 0; i < s.ports.Len(); i++ {
 		port, _ := s.ports.Port(i)
 		s.runWG.Add(1)
@@ -135,6 +136,7 @@ func (s *Switch) Run() {
 // their input queues drain and close.
 func (s *Switch) Shutdown() {
 	if s.stopped.CompareAndSwap(false, true) {
+		s.health.Stop()
 		s.ports.Close()
 		s.pl.TM().WakeAll()
 		s.runWG.Wait()

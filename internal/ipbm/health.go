@@ -1,0 +1,82 @@
+package ipbm
+
+// health.go wires the switch into the self-diagnosis layer: the
+// time-series ring samples the registry plus a few explicitly wired
+// collector-backed series, the watchdog lanes are registered by the
+// forwarding modes (one per shard worker, one per pipelined egress
+// worker), and the reconfiguration paths bracket their drain-and-swap
+// critical sections with BeginOp so a wedged drain is reported instead
+// of hanging silently.
+
+import (
+	"time"
+
+	"ipsa/internal/health"
+)
+
+// initHealth builds the monitor. Called from New after newTelemetry; the
+// forwarding modes register lanes and Start it.
+func (s *Switch) initHealth(opts Options) {
+	s.health = health.New(health.Options{
+		Registry:         s.tel.Reg,
+		Events:           s.tel.Events,
+		Log:              s.log.With("component", "health"),
+		Interval:         opts.HealthInterval,
+		Window:           opts.HealthWindow,
+		RingSize:         opts.HealthRing,
+		ReconfigDeadline: opts.ReconfigDeadline,
+		Packets:          s.packetsTotal,
+		Drops:            s.dropsTotal,
+		TMDepth:          s.tmDepthSum,
+		Ready:            func() bool { return s.dp.Design() != nil },
+	})
+	// Collector-only series the ring should still rate: pipeline totals
+	// and the TM's enqueue/tail-drop counters. Registered handles
+	// (ipsa_packets_total{verdict}, ipsa_shard_rx_frames_total, latency
+	// histograms, ...) are tracked automatically.
+	s.health.AddColumn(health.Column{
+		Name: "ipsa_pipeline_processed_total", Kind: "counter",
+		Read: func() float64 { p, _ := s.pl.Stats(); return float64(p) },
+	})
+	s.health.AddColumn(health.Column{
+		Name: "ipsa_pipeline_dropped_total", Kind: "counter",
+		Read: func() float64 { _, d := s.pl.Stats(); return float64(d) },
+	})
+	s.health.AddColumn(health.Column{
+		Name: "ipsa_tm_enqueued_total", Kind: "counter",
+		Read: func() float64 { e, _ := s.TMStats(); return float64(e) },
+	})
+	s.health.AddColumn(health.Column{
+		Name: "ipsa_tm_tail_drops_total", Kind: "counter",
+		Read: func() float64 { _, d := s.TMStats(); return float64(d) },
+	})
+	s.health.AddColumn(health.Column{
+		Name: "ipsa_tm_depth", Kind: "gauge",
+		Read: func() float64 { return float64(s.tmDepthSum()) },
+	})
+}
+
+// packetsTotal folds every verdict counter: all packets that finished
+// the pipeline, whatever their fate.
+func (s *Switch) packetsTotal() uint64 {
+	var n uint64
+	for _, c := range s.tel.verdictCounters() {
+		n += c.Value()
+	}
+	return n
+}
+
+// dropsTotal folds the loss verdicts (dropped, tm_drop, no_port).
+func (s *Switch) dropsTotal() uint64 {
+	return s.tel.vDropped.Value() + s.tel.vTmDrop.Value() + s.tel.vNoPort.Value()
+}
+
+// Health exposes the switch's self-diagnosis layer (rate queries, manual
+// checks, the HTTP endpoint registration).
+func (s *Switch) Health() *health.Health { return s.health }
+
+// HealthQuery implements ctrlplane.HealthSource: the windowed status the
+// CCM health_query op and rp4ctl top consume.
+func (s *Switch) HealthQuery(window time.Duration) *health.Status {
+	return s.health.Status(window)
+}

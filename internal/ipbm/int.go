@@ -139,9 +139,11 @@ func (s *Switch) SetInt(enabled bool) error {
 	for _, sr := range runtimes {
 		sr.Bind(s)
 	}
+	hash := configHash(cfg)
 	inFlight := s.tmDepthSum()
 	before := s.tel.verdictSnapshot()
 	rewrote := 0
+	opDone := s.health.BeginOp(kind, hash)
 	t0 := time.Now()
 	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
 		for i := range tsps {
@@ -157,6 +159,7 @@ func (s *Switch) SetInt(enabled bool) error {
 		return nil
 	})
 	drain := time.Since(t0)
+	opDone()
 	if err != nil {
 		s.intOn = !enabled
 		return err
@@ -169,12 +172,15 @@ func (s *Switch) SetInt(enabled bool) error {
 	s.tel.tspsWritten.Add(uint64(rewrote))
 	s.tel.Events.Append(telemetry.Event{
 		Kind:          kind,
-		ConfigHash:    configHash(cfg),
+		ConfigHash:    hash,
 		TSPsWritten:   rewrote,
 		DrainNanos:    int64(drain),
 		InFlight:      inFlight,
 		VerdictDeltas: s.tel.verdictDeltas(before),
 	})
+	s.log.Debug("INT state changed in situ",
+		"kind", kind, "config_hash", hash,
+		"tsps_written", rewrote, "drain", drain, "in_flight", inFlight)
 	return nil
 }
 

@@ -90,9 +90,12 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		}
 	}
 
-	// 4. Drain and patch; the audit event measures this critical section.
+	// 4. Drain and patch; the audit event measures this critical section,
+	// and BeginOp arms the health monitor's reconfiguration deadline.
+	hash := configHash(cfg)
 	inFlight := s.tmDepthSum()
 	verdictsBefore := s.tel.verdictSnapshot()
+	opDone := s.health.BeginOp("apply_patch", hash)
 	drainStart := time.Now()
 	err := s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
 		for idx := range rewritten {
@@ -128,6 +131,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		return nil
 	})
 	drain := time.Since(drainStart)
+	opDone()
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +152,7 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 	s.tel.tspsWritten.Add(uint64(stats.TSPsWritten))
 	s.tel.Events.Append(telemetry.Event{
 		Kind:          "apply_patch",
-		ConfigHash:    configHash(cfg),
+		ConfigHash:    hash,
 		TSPsWritten:   stats.TSPsWritten,
 		TablesCreated: stats.TablesCreated,
 		TablesDropped: stats.TablesDropped,
@@ -156,5 +160,11 @@ func (s *Switch) applyPatch(cfg *template.Config, start time.Time) (*ctrlplane.A
 		InFlight:      inFlight,
 		VerdictDeltas: s.tel.verdictDeltas(verdictsBefore),
 	})
+	s.log.Debug("configuration applied",
+		"kind", "apply_patch", "config_hash", hash,
+		"tsps_written", stats.TSPsWritten,
+		"tables_created", stats.TablesCreated,
+		"tables_dropped", stats.TablesDropped,
+		"drain", drain, "in_flight", inFlight)
 	return stats, nil
 }

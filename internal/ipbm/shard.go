@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/health"
 	"ipsa/internal/netio"
 	"ipsa/internal/pipeline"
 	"ipsa/internal/pkt"
@@ -56,6 +58,12 @@ type shardRunner struct {
 
 	rx      *telemetry.Counter // frames steered to this shard
 	batches *telemetry.Counter // worker wakeups (rx/batches = mean batch)
+
+	// gate is the stall-injection test hook: when non-nil, the worker
+	// blocks on the gate channel at its next wakeup, freezing its
+	// heartbeat while frames queue behind it — exactly the failure the
+	// health watchdog exists to flag. One atomic load per wakeup.
+	gate atomic.Pointer[chan struct{}]
 }
 
 // shardSet is the published sharded-mode state, stored behind an atomic
@@ -130,7 +138,39 @@ func (s *Switch) RunSharded(shards, batch int) error {
 		s.runWG.Add(1)
 		go s.shardWorker(sh, batch)
 	}
+	// Watchdog lanes: a shard is stalled when its wakeup counter freezes
+	// while frames sit in its input queue or TM — the TM-empty guard
+	// keeps an idle shard from ever being flagged.
+	for _, sh := range set.shards {
+		sh := sh
+		s.health.AddLane(health.Lane{
+			Name:     "shard-" + strconv.Itoa(sh.idx),
+			Progress: sh.batches.Value,
+			Pending:  func() int { return len(sh.in) + sh.tm.DepthSum() },
+			Series:   "ipsa_shard_rx_frames_total",
+			SeriesLabels: []telemetry.Label{
+				telemetry.L("shard", strconv.Itoa(sh.idx)),
+			},
+		})
+	}
+	s.health.Start()
+	s.log.Info("sharded forwarding started", "shards", shards, "batch", batch)
 	return nil
+}
+
+// blockShard is the deliberate-stall test hook: shard i's worker blocks
+// on the returned gate at its next wakeup until release is called.
+func (s *Switch) blockShard(i int) (release func(), err error) {
+	set := s.shardsP.Load()
+	if set == nil || i < 0 || i >= len(set.shards) {
+		return nil, fmt.Errorf("ipbm: no such shard %d", i)
+	}
+	ch := make(chan struct{})
+	set.shards[i].gate.Store(&ch)
+	return func() {
+		set.shards[i].gate.Store(nil)
+		close(ch)
+	}, nil
 }
 
 // shardReader moves frames from one port into the shard queues. It exits
@@ -164,6 +204,9 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 		if !ok {
 			s.shardDrain(sh)
 			return
+		}
+		if g := sh.gate.Load(); g != nil {
+			<-*g
 		}
 		s.shardIngest(sh, f)
 		n := 1

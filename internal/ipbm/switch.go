@@ -10,6 +10,7 @@ package ipbm
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/dataplane"
+	"ipsa/internal/health"
 	"ipsa/internal/match"
 	"ipsa/internal/mem"
 	"ipsa/internal/netio"
@@ -61,6 +63,21 @@ type Options struct {
 	IntReportRing int
 	// EventRing sizes the reconfiguration audit-event log.
 	EventRing int
+
+	// Logger receives the switch's structured logs (nil = slog.Default();
+	// the switch adds component attributes).
+	Logger *slog.Logger
+	// HealthInterval is the health sampler/monitor cadence (0 = 1s;
+	// negative disables the background ticker so tests can drive
+	// Health().Check with synthetic clocks).
+	HealthInterval time.Duration
+	// HealthWindow is the default rate window (0 = 10s).
+	HealthWindow time.Duration
+	// HealthRing is the number of retained rate samples (0 = 120).
+	HealthRing int
+	// ReconfigDeadline bounds a drain-and-swap before the health monitor
+	// reports the reconfiguration wedged (0 = 2s).
+	ReconfigDeadline time.Duration
 }
 
 // DefaultOptions returns a software-scale switch: more TSPs than the
@@ -112,7 +129,9 @@ type Switch struct {
 	toCPU  chan *pkt.Packet
 	punted atomic.Uint64
 
-	tel *Telemetry
+	tel    *Telemetry
+	log    *slog.Logger
+	health *health.Health
 
 	// intOn is the configured INT state (guarded by s.mu); the hot path
 	// reads the derived atomic state instead: the stamping context lives
@@ -164,8 +183,15 @@ func New(opts Options) (*Switch, error) {
 		selectors: make(map[string]*selectorTable),
 		toCPU:     make(chan *pkt.Packet, puntDepth),
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s.log = logger.With("component", "ipbm")
+	s.dp.SetLogger(logger.With("component", "dataplane", "switch", "ipbm"))
 	s.newTelemetry(opts)
 	s.dp.SetHooks(telemetryHooks{s})
+	s.initHealth(opts)
 	return s, nil
 }
 
@@ -389,8 +415,17 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	// 4. Drain the pipeline and patch TSP templates + selector. The audit
 	// event measures this critical section: TM occupancy going in, the
 	// exclusive-hold duration, and what the verdict counters did across it.
+	// BeginOp arms the health monitor's reconfiguration deadline: if the
+	// drain wedges (a reader stuck inside the pipeline), the switch is
+	// reported degraded instead of hanging silently.
+	kind := "apply_diff"
+	if stats.Full {
+		kind = "apply_full"
+	}
+	hash := configHash(cfg)
 	inFlight := s.tmDepthSum()
 	verdictsBefore := s.tel.verdictSnapshot()
+	opDone := s.health.BeginOp(kind, hash)
 	drainStart := time.Now()
 	err = s.pl.Update(func(sel *pipeline.Selector, tsps []*tsp.TSP) error {
 		tmIn, tmOut := -1, len(tsps)
@@ -444,6 +479,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		return nil
 	})
 	drain := time.Since(drainStart)
+	opDone()
 	if err != nil {
 		return nil, err
 	}
@@ -457,10 +493,8 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		s.publishIntState(cfg)
 	}
 	stats.LoadNanos = int64(time.Since(start))
-	kind := "apply_diff"
 	if stats.Full {
 		s.tel.appliesFull.Inc()
-		kind = "apply_full"
 	} else {
 		s.tel.appliesDiff.Inc()
 	}
@@ -468,7 +502,7 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.tel.migrated.Add(uint64(stats.EntriesMigrated))
 	s.tel.Events.Append(telemetry.Event{
 		Kind:          kind,
-		ConfigHash:    configHash(cfg),
+		ConfigHash:    hash,
 		TSPsWritten:   stats.TSPsWritten,
 		TablesCreated: stats.TablesCreated,
 		TablesDropped: stats.TablesDropped,
@@ -476,6 +510,13 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 		InFlight:      inFlight,
 		VerdictDeltas: s.tel.verdictDeltas(verdictsBefore),
 	})
+	s.log.Debug("configuration applied",
+		"kind", kind, "config_hash", hash,
+		"tsps_written", stats.TSPsWritten,
+		"tables_created", stats.TablesCreated,
+		"tables_dropped", stats.TablesDropped,
+		"entries_migrated", stats.EntriesMigrated,
+		"drain", drain, "in_flight", inFlight)
 	return stats, nil
 }
 

@@ -2,6 +2,7 @@ package netio
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sync/atomic"
 )
@@ -62,6 +63,10 @@ func (p *UDPPort) Recv() ([]byte, bool) {
 	buf := make([]byte, maxFrame)
 	n, _, err := p.conn.ReadFromUDP(buf)
 	if err != nil {
+		if !p.closed.Load() {
+			slog.Debug("udp port recv failed", "component", "netio",
+				"local", p.conn.LocalAddr().String(), "err", err)
+		}
 		return nil, false
 	}
 	p.received.Add(1)
@@ -76,6 +81,10 @@ func (p *UDPPort) Send(data []byte) bool {
 	}
 	if _, err := p.conn.WriteToUDP(data, p.peer); err != nil {
 		p.drops.Add(1)
+		if !p.closed.Load() {
+			slog.Debug("udp port send failed", "component", "netio",
+				"peer", p.peer.String(), "err", err)
+		}
 		return false
 	}
 	p.sent.Add(1)

@@ -16,6 +16,7 @@ package pisa
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -43,6 +44,8 @@ type Options struct {
 	Exec tsp.ExecMode
 	// IntSwitchID identifies this switch in INT hop records.
 	IntSwitchID uint32
+	// Logger receives structured diagnostics (nil uses slog.Default).
+	Logger *slog.Logger
 }
 
 // DefaultOptions mirrors a mid-sized fixed-function budget.
@@ -65,6 +68,7 @@ type physStage struct {
 // Switch is the PISA behavioral model.
 type Switch struct {
 	opts Options
+	log  *slog.Logger
 
 	// dp holds the installed design snapshot (config, parser, registers,
 	// SRv6 IDs), fault counters and the Env pool, shared with ipbm so the
@@ -105,15 +109,22 @@ func New(opts Options) (*Switch, error) {
 	if opts.IngressStages <= 0 || opts.EgressStages <= 0 || opts.StageBlocks <= 0 {
 		return nil, fmt.Errorf("pisa: invalid sizing %+v", opts)
 	}
-	return &Switch{
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Switch{
 		opts:      opts,
+		log:       logger.With("component", "pisa"),
 		dp:        dataplane.NewCore(),
 		ingress:   make([]physStage, opts.IngressStages),
 		egress:    make([]physStage, opts.EgressStages),
 		tables:    make(map[string]match.Engine),
 		selectors: make(map[string]map[string][]match.Result),
 		tstats:    make(map[string]*tableCounters),
-	}, nil
+	}
+	s.dp.SetLogger(logger.With("component", "dataplane", "switch", "pisa"))
+	return s, nil
 }
 
 // Reloads reports how many full rebuilds have happened.
@@ -224,6 +235,9 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	s.publishIntState(cfg)
 	s.effectiveStagesUsed = used
 	s.reloads++
+	s.log.Debug("full pipeline rebuild (PISA has no incremental update)",
+		"tables_rebuilt", len(cfg.Tables), "stages_used", used,
+		"reloads", s.reloads, "load", time.Since(start))
 
 	return &ctrlplane.ApplyStats{
 		Full:          true,

@@ -90,6 +90,32 @@ func (l *EventLog) Len() int {
 	return l.pos
 }
 
+// LastSeq reports the sequence number of the newest event (0 when none).
+// Allocation-free; the health monitor polls it every check to notice new
+// reconfigurations without dumping the ring.
+func (l *EventLog) LastSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Last returns the newest event, if any.
+func (l *EventLog) Last() (Event, bool) {
+	if l == nil {
+		return Event{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == 0 {
+		return Event{}, false
+	}
+	idx := (l.pos - 1 + len(l.ring)) % len(l.ring)
+	return l.ring[idx], true
+}
+
 // Dump returns up to max events, newest first (0 = all retained).
 func (l *EventLog) Dump(max int) []Event {
 	if l == nil {

@@ -25,9 +25,9 @@ type Server struct {
 	addr string
 }
 
-// Serve starts an HTTP scrape endpoint on addr (":0" picks an ephemeral
-// port) exposing reg at /metrics, tracer (optional, may be nil) at
-// /traces, and events (optional, may be nil) at /events. The pprof
+// NewServeMux assembles the switch's debug/scrape mux: reg at /metrics,
+// tracer (optional, may be nil) at /traces, events (optional, may be nil)
+// at /events, and the pprof handlers under /debug/pprof/. The pprof
 // handlers are mounted explicitly — this mux is private, so the
 // net/http/pprof DefaultServeMux registrations would not be reachable —
 // making CPU/heap profiles of the hot path one curl away:
@@ -35,12 +35,10 @@ type Server struct {
 //	curl -o cpu.pb.gz http://<addr>/debug/pprof/profile?seconds=10
 //	curl -o heap.pb.gz http://<addr>/debug/pprof/heap
 //
-// It returns once the listener is bound.
-func Serve(addr string, reg *Registry, tracer *Tracer, events *EventLog) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: %w", err)
-	}
+// Both ipbm and pisabm build their endpoint from this one helper; callers
+// mount additional routes (the health layer's /health, /healthz, /readyz)
+// on the returned mux before serving it.
+func NewServeMux(reg *Registry, tracer *Tracer, events *EventLog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	if tracer != nil {
@@ -66,9 +64,24 @@ func Serve(addr string, reg *Registry, tracer *Tracer, events *EventLog) (*Serve
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMux binds addr (":0" picks an ephemeral port) and serves mux on
+// it. It returns once the listener is bound.
+func ServeMux(addr string, mux *http.ServeMux) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
 	s := &Server{srv: &http.Server{Handler: mux}, addr: ln.Addr().String()}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// Serve is NewServeMux + ServeMux for callers that need no extra routes.
+func Serve(addr string, reg *Registry, tracer *Tracer, events *EventLog) (*Server, error) {
+	return ServeMux(addr, NewServeMux(reg, tracer, events))
 }
 
 // Addr reports the bound address.

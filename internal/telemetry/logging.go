@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the process-wide structured logger from the
+// -log-level/-log-format flag pair shared by the switch daemons. Every
+// subsystem hangs component/shard/config-hash attributes off the logger
+// it is handed, so one line of a JSON stream is enough to locate which
+// switch, which lane, and which configuration produced it.
+//
+// level is one of debug, info, warn, error (default info); format is
+// text or json (default text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (text|json)", format)
+	}
+	return slog.New(h), nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one name dimension of a metric series.
@@ -68,6 +69,10 @@ type Registry struct {
 	entries    map[string]*entry
 	order      []string // registration order for stable export
 	collectors []CollectFunc
+	// gen moves on every register/unregister so samplers (the health
+	// layer's time-series ring) can cache handle enumerations and rebuild
+	// only when the series population actually changed.
+	gen atomic.Uint64
 }
 
 // NewRegistry builds an empty registry.
@@ -96,6 +101,7 @@ func (r *Registry) getOrCreate(name string, kind metricKind, labels []Label) *en
 	}
 	r.entries[key] = e
 	r.order = append(r.order, key)
+	r.gen.Add(1)
 	return e
 }
 
@@ -136,6 +142,7 @@ func (r *Registry) StripedCounter(name string, stripes int, labels ...Label) *St
 	}
 	r.entries[key] = e
 	r.order = append(r.order, key)
+	r.gen.Add(1)
 	return e.striped
 }
 
@@ -160,6 +167,7 @@ func (r *Registry) Unregister(name string, labels ...Label) {
 		}
 	}
 	r.order = kept
+	r.gen.Add(1)
 }
 
 // AddCollector attaches a scrape-time collector.

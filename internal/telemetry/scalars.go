@@ -1,0 +1,94 @@
+package telemetry
+
+// Stable read handles over the registered series, for samplers that
+// snapshot the whole registry on a ticker (the health layer's time-series
+// ring). Gather() allocates freely — maps, sorting, collector output — so
+// it cannot run once a second on a switch whose benchmark gate demands a
+// quiet heap. Handles fix that: enumeration happens only when
+// Generation() moves, and each Read() is one or a few atomic loads.
+
+// ScalarHandle reads one registered counter, striped counter or gauge.
+type ScalarHandle struct {
+	Key    string // canonical series key (name + labels)
+	Name   string
+	Labels []Label
+	Kind   string // "counter" or "gauge"
+	read   func() float64
+}
+
+// Read samples the series. Lock-free; safe from any goroutine.
+func (h *ScalarHandle) Read() float64 { return h.read() }
+
+// HistogramHandle reads one registered histogram.
+type HistogramHandle struct {
+	Key    string
+	Name   string
+	Labels []Label
+	Hist   *Histogram
+}
+
+// Generation reports a version that moves on every register/unregister.
+// Samplers cache the Scalars()/HistogramHandles() enumeration and refresh
+// it only when this value changes.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// SeriesKey exposes the registry's canonical name+labels key so external
+// samplers can correlate their own columns with registered series.
+func SeriesKey(name string, labels []Label) string { return seriesKey(name, labels) }
+
+// Scalars returns a read handle for every registered counter, striped
+// counter and gauge, in registration order. Striped counters fold to one
+// value, matching their exported form.
+func (r *Registry) Scalars() []ScalarHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ScalarHandle, 0, len(r.order))
+	for _, k := range r.order {
+		e, ok := r.entries[k]
+		if !ok {
+			continue
+		}
+		h := ScalarHandle{Key: k, Name: e.name, Labels: e.labels}
+		switch e.kind {
+		case kindCounter:
+			c := e.ctr
+			h.Kind = "counter"
+			h.read = func() float64 { return float64(c.Value()) }
+		case kindStriped:
+			c := e.striped
+			h.Kind = "counter"
+			h.read = func() float64 { return float64(c.Value()) }
+		case kindGauge:
+			g := e.gauge
+			h.Kind = "gauge"
+			h.read = func() float64 { return float64(g.Value()) }
+		default:
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// HistogramHandles returns a handle for every registered histogram, in
+// registration order.
+func (r *Registry) HistogramHandles() []HistogramHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]HistogramHandle, 0, 4)
+	for _, k := range r.order {
+		e, ok := r.entries[k]
+		if !ok || e.kind != kindHistogram {
+			continue
+		}
+		out = append(out, HistogramHandle{Key: k, Name: e.name, Labels: e.labels, Hist: e.hist})
+	}
+	return out
+}
+
+// WindowQuantile estimates quantile q from a (typically windowed delta)
+// bucket vector with total observations, using the same bucket
+// interpolation as the exported histogram quantiles.
+func WindowQuantile(buckets []uint64, total uint64, q float64) float64 {
+	return quantileFromBuckets(buckets, total, q)
+}
