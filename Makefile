@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate fuzz-diff cover experiments examples health-smoke fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-reconfig bench-reconfig-baseline fuzz-diff cover experiments examples health-smoke fmt vet lint clean
 
 # Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
 # (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
@@ -53,6 +53,25 @@ bench-baseline:
 bench-gate:
 	$(GO) build -o bin/benchgate ./cmd/benchgate
 	$(GO) test -run xxx -bench '$(GATED_BENCH)' -benchmem -count=3 . | bin/benchgate -check BENCH_hotpath.json -tol $(BENCH_TOL)
+
+# Reconfiguration-storm gate: a sharded switch forwards through ~170
+# edit commits/s on the epoch-versioned store; BENCH_reconfig.json pins
+# drops and stall_us at exactly 0 (strict zero invariants) plus the usual
+# allocs/ns bounds. Fixed iteration count so applies-per-run — and with
+# it the alloc amortization — is identical on every host.
+bench-reconfig:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test ./internal/ipbm/ -run xxx -bench BenchmarkReconfigStormHitless -benchmem -benchtime=50000x -count=3 \
+		| bin/benchgate -check BENCH_reconfig.json -tol $(BENCH_TOL)
+
+# Record the reconfig-storm baseline. The drain-mode comparison run
+# (BenchmarkReconfigStormDrain) is reported but deliberately not gated:
+# its stall time is real and nonzero, so pinning it would flake.
+bench-reconfig-baseline:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test ./internal/ipbm/ -run xxx -bench BenchmarkReconfigStormHitless -benchmem -benchtime=50000x -count=5 \
+		| bin/benchgate -write BENCH_reconfig.json \
+		-note "50000 frames/run; drops and stall_us are strict zero invariants of the hitless path"
 
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:

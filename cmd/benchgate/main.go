@@ -11,10 +11,18 @@
 //   - ns/op depends on the host, so the gate only fails when the current
 //     number exceeds baseline*(1+tol) — with a tolerance wide enough to
 //     absorb machine-to-machine variance while still catching order-of
-//     magnitude regressions (a slipped lock, an accidental O(n) scan).
+//     magnitude regressions (a slipped lock, an accidental O(n) scan);
+//   - custom metrics (b.ReportMetric) whose baseline value is exactly 0
+//     are strict: any nonzero current value is a hard failure. A zero in
+//     the baseline records an invariant ("the hitless storm drops no
+//     packets and never stalls the pipeline"), not a measurement, so
+//     there is no variance to tolerate. Nonzero custom metrics are
+//     informational only.
 //
 // Repeated runs of one benchmark (-count=N) are folded by taking the
-// minimum, the least noisy estimator of the true cost.
+// minimum ns/op and the per-key maximum of allocs/op and custom metrics
+// (the pessimistic fold: one bad run out of five still fails a strict
+// gate).
 //
 // Usage:
 //
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -121,6 +130,17 @@ func main() {
 				name, got.NsOp, limit, want.NsOp, *tol*100)
 			failures++
 		}
+		for _, key := range sortedKeys(want.Extra) {
+			if want.Extra[key] != 0 {
+				continue // nonzero custom metrics are informational
+			}
+			if got.Extra[key] != 0 {
+				status = "FAIL"
+				fmt.Printf("FAIL %s: %s %.1f violates the baseline's zero invariant\n",
+					name, key, got.Extra[key])
+				failures++
+			}
+		}
 		if status == "ok" {
 			fmt.Printf("ok   %s: ns/op %.1f (baseline %.1f, %+.1f%%), allocs/op %.0f\n",
 				name, got.NsOp, want.NsOp, 100*(got.NsOp-want.NsOp)/want.NsOp, got.AllocsOp)
@@ -135,29 +155,48 @@ func main() {
 
 // parse folds `go test -bench` output into per-name Results, taking the
 // minimum over repeated runs of the same benchmark.
+//
+// `go test` merges the test binary's stderr into its stdout, so a switch
+// that logs during a benchmark splits the result line: the name is
+// printed, the log lands mid-line, and the measurements arrive on a later
+// line that starts with the iteration count. The parser therefore carries
+// a pending name across log noise until its numbers show up.
 func parse(f *os.File) (map[string]Result, error) {
 	out := make(map[string]Result)
 	seen := make(map[string]bool)
+	pending := ""
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
 			continue
 		}
-		fields := strings.Fields(line)
-		// Name, iterations, then "value unit" pairs.
-		if len(fields) < 4 {
+		var name string
+		var vals []string // iterations, then "value unit" pairs
+		switch {
+		case strings.HasPrefix(fields[0], "Benchmark"):
+			name = procSuffix.ReplaceAllString(fields[0], "")
+			if len(fields) >= 4 && isInt(fields[1]) {
+				vals = fields[1:]
+			} else {
+				pending = name // results were pushed to a later line
+				continue
+			}
+		case pending != "" && len(fields) >= 3 && isInt(fields[0]):
+			name = pending
+			vals = fields
+		default:
 			continue
 		}
-		name := procSuffix.ReplaceAllString(fields[0], "")
+		pending = ""
 		r := Result{Extra: map[string]float64{}}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
+		for i := 1; i+1 < len(vals); i += 2 {
+			v, err := strconv.ParseFloat(vals[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch vals[i+1] {
 			case "ns/op":
 				r.NsOp = v
 			case "B/op":
@@ -165,7 +204,7 @@ func parse(f *os.File) (map[string]Result, error) {
 			case "allocs/op":
 				r.AllocsOp = v
 			default:
-				r.Extra[fields[i+1]] = v
+				r.Extra[vals[i+1]] = v
 			}
 		}
 		if len(r.Extra) == 0 {
@@ -181,12 +220,18 @@ func parse(f *os.File) (map[string]Result, error) {
 	return out, sc.Err()
 }
 
-// foldMin keeps the minimum ns/op run and the maximum allocs/op (a single
-// allocating run is still a regression worth gating on).
+// isInt reports whether s is a plain base-10 integer (an iteration count).
+func isInt(s string) bool {
+	_, err := strconv.ParseUint(s, 10, 64)
+	return err == nil
+}
+
+// foldMin keeps the minimum ns/op run and the per-key maximum of
+// allocs/op and custom metrics (a single allocating — or dropping —
+// run is still a regression worth gating on).
 func foldMin(a, b Result) Result {
 	if b.NsOp < a.NsOp && b.NsOp > 0 {
 		a.NsOp = b.NsOp
-		a.Extra = b.Extra
 	}
 	if b.AllocsOp > a.AllocsOp {
 		a.AllocsOp = b.AllocsOp
@@ -194,5 +239,23 @@ func foldMin(a, b Result) Result {
 	if b.BytesOp > a.BytesOp {
 		a.BytesOp = b.BytesOp
 	}
+	if len(b.Extra) > 0 && a.Extra == nil {
+		a.Extra = map[string]float64{}
+	}
+	for k, v := range b.Extra {
+		if v > a.Extra[k] {
+			a.Extra[k] = v
+		}
+	}
 	return a
+}
+
+// sortedKeys gives deterministic report ordering for a metric map.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

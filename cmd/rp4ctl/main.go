@@ -7,6 +7,7 @@
 //
 //	rp4ctl -addr 127.0.0.1:9901 ping
 //	rp4ctl -addr ... apply config.json
+//	rp4ctl -addr ... edit script.json
 //	rp4ctl -addr ... tables
 //	rp4ctl -addr ... stats
 //	rp4ctl -addr ... metrics
@@ -24,6 +25,7 @@ package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -91,9 +93,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("applied: full=%v tsps_written=%d tables +%d -%d load=%.2fms\n",
-			st.Full, st.TSPsWritten, st.TablesCreated, st.TablesDropped,
-			float64(st.LoadNanos)/1e6)
+		printApply(st)
 	case "tables":
 		tables, err := cl.ListTables()
 		if err != nil {
@@ -251,13 +251,21 @@ func main() {
 			if ev.ConfigHash != "" {
 				line += " cfg=" + ev.ConfigHash
 			}
+			if ev.Epoch > 0 {
+				line += fmt.Sprintf(" epoch=%d", ev.Epoch)
+			}
 			if ev.TSPsWritten > 0 {
 				line += fmt.Sprintf(" tsps=%d", ev.TSPsWritten)
 			}
 			if ev.TablesCreated > 0 || ev.TablesDropped > 0 {
 				line += fmt.Sprintf(" tables=+%d/-%d", ev.TablesCreated, ev.TablesDropped)
 			}
-			if ev.DrainNanos > 0 {
+			if ev.StagesRecompiled > 0 || ev.StagesReused > 0 {
+				line += fmt.Sprintf(" stages=%d+%d_reused", ev.StagesRecompiled, ev.StagesReused)
+			}
+			if ev.Hitless {
+				line += " hitless"
+			} else if ev.DrainNanos > 0 {
 				line += fmt.Sprintf(" drain=%.3fms", float64(ev.DrainNanos)/1e6)
 			}
 			if ev.InFlight > 0 {
@@ -274,6 +282,44 @@ func main() {
 				line += " (" + ev.Detail + ")"
 			}
 			fmt.Println(line)
+		}
+	case "edit":
+		need(args, 2)
+		if args[1] == "abort" {
+			if err := cl.EditAbort(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("aborted")
+			break
+		}
+		b, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		var ops []ctrlplane.EditOp
+		if err := json.Unmarshal(b, &ops); err != nil {
+			fatal(fmt.Errorf("edit script %s: %w", args[1], err))
+		}
+		if len(ops) == 0 {
+			fatal(fmt.Errorf("edit script %s has no ops", args[1]))
+		}
+		if err := cl.EditBegin(); err != nil {
+			fatal(err)
+		}
+		for i, op := range ops {
+			if err := cl.EditApply(op); err != nil {
+				_ = cl.EditAbort()
+				fatal(fmt.Errorf("op %d (%s): %w (transaction aborted)", i, op.Kind, err))
+			}
+		}
+		st, err := cl.EditCommit()
+		if err != nil {
+			_ = cl.EditAbort()
+			fatal(fmt.Errorf("commit: %w (transaction aborted)", err))
+		}
+		fmt.Printf("committed %d ops\n", st.Ops)
+		if st.Apply != nil {
+			printApply(st.Apply)
 		}
 	case "health":
 		window := time.Duration(0)
@@ -349,6 +395,20 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// printApply renders apply/commit stats: epoch bookkeeping on the
+// hitless path, load (drain) time on the legacy path.
+func printApply(st *ctrlplane.ApplyStats) {
+	line := fmt.Sprintf("applied: full=%v tsps_written=%d tables +%d -%d",
+		st.Full, st.TSPsWritten, st.TablesCreated, st.TablesDropped)
+	if st.Hitless {
+		line += fmt.Sprintf(" epoch=%d stages=%d+%d_reused hitless load=%.2fms",
+			st.Epoch, st.StagesRecompiled, st.StagesReused, float64(st.LoadNanos)/1e6)
+	} else {
+		line += fmt.Sprintf(" load=%.2fms", float64(st.LoadNanos)/1e6)
+	}
+	fmt.Println(line)
 }
 
 func parseValues(s string) ([]ctrlplane.FieldValue, error) {
@@ -470,6 +530,8 @@ commands:
   int enable|disable
   int report [MAX]
   events [MAX]
+  edit SCRIPT.json        apply an edit script (JSON array of ops) as one hitless commit
+  edit abort              discard a stuck open transaction
   health [WINDOW]         one-shot self-diagnosis snapshot (e.g. health 30s)
   top [INTERVAL]          live refreshing operator view (default 1s refresh)
   table-stats TABLE

@@ -34,6 +34,17 @@ const (
 	OpEventsDump   Op = "events_dump"
 	OpHealthQuery  Op = "health_query"
 	OpPing         Op = "ping"
+
+	// Edit-script ops: a begin/ops/commit transaction that inserts,
+	// deletes or rewires individual TSP stages and tables instead of
+	// shipping a whole configuration. Stage edits ride edit_tsp, table
+	// edits ride edit_table; commit publishes the accumulated script as
+	// one (hitless, on ipbm) reconfiguration.
+	OpEditBegin  Op = "edit_begin"
+	OpEditTSP    Op = "edit_tsp"
+	OpEditTable  Op = "edit_table"
+	OpEditCommit Op = "edit_commit"
+	OpEditAbort  Op = "edit_abort"
 )
 
 // Request is one control-channel message.
@@ -56,6 +67,8 @@ type Request struct {
 	// WindowNanos overrides the rate window of health_query (0 uses the
 	// device's default).
 	WindowNanos int64 `json:"window_nanos,omitempty"`
+	// Edit serves edit_tsp and edit_table.
+	Edit *EditOp `json:"edit,omitempty"`
 }
 
 // Response answers a Request.
@@ -74,6 +87,7 @@ type Response struct {
 	Events  []telemetry.Event       `json:"events,omitempty"`
 	Reports []intmd.Report          `json:"reports,omitempty"`
 	Health  *health.Status          `json:"health,omitempty"`
+	Edit    *EditStats              `json:"edit,omitempty"`
 	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
@@ -125,6 +139,55 @@ type ApplyStats struct {
 	EntriesMigrated int   `json:"entries_migrated"`
 	LoadNanos       int64 `json:"load_nanos"`
 	Full            bool  `json:"full"` // full install vs incremental patch
+
+	// Hitless-apply fields: set when the device published the new program
+	// as an epoch in its versioned store instead of draining. Epoch is the
+	// published version id; StagesRecompiled/StagesReused split the stage
+	// set by whether structural hashing let the compiler reuse the
+	// previous epoch's compiled stage.
+	Hitless          bool   `json:"hitless,omitempty"`
+	Epoch            uint64 `json:"epoch,omitempty"`
+	StagesRecompiled int    `json:"stages_recompiled,omitempty"`
+	StagesReused     int    `json:"stages_reused,omitempty"`
+}
+
+// EditOp is one step of an edit script. Kind selects the mutation:
+//
+//	set_stage    — create or replace stage Stage with Spec, merging any
+//	               Actions it needs; a new stage is wired into the
+//	               ingress (Egress=false) or egress chain at Position
+//	               (append when Position < 0) and assigned to TSP.
+//	delete_stage — remove stage Stage from the config, its chain and
+//	               its TSP assignment.
+//	set_table    — create or replace table Table with TableSpec.
+//	delete_table — drop table Table (stages referencing it must be
+//	               rewritten or deleted in the same script, or commit
+//	               fails validation).
+type EditOp struct {
+	Kind      string                     `json:"kind"`
+	Stage     string                     `json:"stage,omitempty"`
+	Spec      *template.Stage            `json:"spec,omitempty"`
+	Actions   map[string]*template.Action `json:"actions,omitempty"`
+	TSP       int                        `json:"tsp,omitempty"`
+	Egress    bool                       `json:"egress,omitempty"`
+	Position  int                        `json:"position,omitempty"`
+	Table     string                     `json:"table,omitempty"`
+	TableSpec *template.Table            `json:"table_spec,omitempty"`
+}
+
+// EditStats summarizes a committed edit script.
+type EditStats struct {
+	Ops   int         `json:"ops"`
+	Apply *ApplyStats `json:"apply,omitempty"`
+}
+
+// EditSource is optionally implemented by devices that support
+// edit-script partial reconfiguration (begin/ops/commit transactions).
+type EditSource interface {
+	EditBegin() error
+	EditApply(op EditOp) error
+	EditCommit() (*EditStats, error)
+	EditAbort() error
 }
 
 // Device is the behaviour a control server exposes; ipbm implements it.

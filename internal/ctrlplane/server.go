@@ -189,6 +189,35 @@ func (s *Server) Handle(req *Request) *Response {
 			return fail(fmt.Errorf("ccm: device has no event log"))
 		}
 		return &Response{OK: true, Events: es.EventsDump(req.Max)}
+	case OpEditBegin, OpEditTSP, OpEditTable, OpEditCommit, OpEditAbort:
+		es, ok := s.dev.(EditSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no edit support"))
+		}
+		switch req.Op {
+		case OpEditBegin:
+			if err := es.EditBegin(); err != nil {
+				return fail(err)
+			}
+		case OpEditTSP, OpEditTable:
+			if req.Edit == nil {
+				return fail(fmt.Errorf("ccm: %s without edit op", req.Op))
+			}
+			if err := es.EditApply(*req.Edit); err != nil {
+				return fail(err)
+			}
+		case OpEditCommit:
+			st, err := es.EditCommit()
+			if err != nil {
+				return fail(err)
+			}
+			return &Response{OK: true, Edit: st}
+		case OpEditAbort:
+			if err := es.EditAbort(); err != nil {
+				return fail(err)
+			}
+		}
+		return &Response{OK: true}
 	case OpHealthQuery:
 		hs, ok := s.dev.(HealthSource)
 		if !ok {

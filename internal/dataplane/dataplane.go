@@ -165,6 +165,7 @@ func (c *Core) GetPacket(d *Design, data []byte, inPort int) (*pkt.Packet, error
 func (c *Core) PutPacket(p *pkt.Packet) {
 	p.Data = nil
 	p.Trace = nil
+	p.Ver = nil
 	c.pktPool.Put(p)
 }
 

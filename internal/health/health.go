@@ -407,7 +407,8 @@ func (h *Health) checkSpikeLocked() {
 }
 
 func isReconfigKind(kind string) bool {
-	return strings.HasPrefix(kind, "apply") || strings.HasPrefix(kind, "int_")
+	return strings.HasPrefix(kind, "apply") || strings.HasPrefix(kind, "int_") ||
+		strings.HasPrefix(kind, "edit")
 }
 
 // transitionLocked moves the state machine, logging and recording each

@@ -38,17 +38,23 @@ type LaneStatus struct {
 	RatePPS   float64 `json:"rate_pps,omitempty"`
 }
 
-// op is one tracked reconfiguration critical section (the drain-and-swap
-// inside ApplyConfig/applyPatch/SetInt). If done isn't called before the
-// deadline, the monitor reports the reconfiguration as wedged — turning
-// a silent hang into a degraded event with the op's age attached.
+// op is one tracked reconfiguration critical section — the drain-and-swap
+// inside a legacy ApplyConfig/applyPatch/SetInt, or the retirement of a
+// superseded program version on the hitless path. If done isn't called
+// (or check doesn't report completion) before the deadline, the monitor
+// reports the reconfiguration as wedged — turning a silent hang into a
+// degraded event with the op's age attached.
 type op struct {
 	kind       string
 	configHash string
 	start      int64
 	deadline   int64 // nanos allowed before the op counts as wedged
 	done       atomic.Bool
-	flagged    bool // wedged event already emitted
+	// check, when set, is polled each health tick; returning true
+	// completes the op without an explicit done call. The epoch store
+	// uses it to watch a retired version's in-flight count drain to zero.
+	check   func() bool
+	flagged bool // wedged event already emitted
 }
 
 // OpStatus is the exported view of one in-flight reconfiguration.
@@ -72,6 +78,22 @@ func (h *Health) BeginOp(kind, configHash string) func() {
 	h.ops = append(h.ops, o)
 	h.mu.Unlock()
 	return func() { o.done.Store(true) }
+}
+
+// BeginOpWatch is BeginOp for operations whose completion is observed
+// rather than signalled: check is polled each health tick and the op
+// completes once it returns true. The hitless reconfiguration path uses
+// it to track a retired program version until its in-flight packet count
+// drains to zero — the epoch-store replacement for the drain deadline.
+func (h *Health) BeginOpWatch(kind, configHash string, check func() bool) {
+	if h == nil {
+		return
+	}
+	o := &op{kind: kind, configHash: configHash, start: h.now(),
+		deadline: h.o.ReconfigDeadline.Nanoseconds(), check: check}
+	h.mu.Lock()
+	h.ops = append(h.ops, o)
+	h.mu.Unlock()
 }
 
 // AddLane registers a lane with the watchdog. Called by the forwarding
@@ -130,7 +152,7 @@ func (h *Health) checkLanesLocked() (stalled int) {
 func (h *Health) checkOpsLocked(now int64) (wedged int) {
 	kept := h.ops[:0]
 	for _, o := range h.ops {
-		if o.done.Load() {
+		if o.done.Load() || (o.check != nil && o.check()) {
 			continue
 		}
 		kept = append(kept, o)
@@ -139,7 +161,7 @@ func (h *Health) checkOpsLocked(now int64) (wedged int) {
 			wedged++
 			if !o.flagged {
 				o.flagged = true
-				h.log.Warn("reconfiguration wedged: drain-and-swap past deadline",
+				h.log.Warn("reconfiguration wedged: swap or epoch retirement past deadline",
 					"kind", o.kind, "config_hash", o.configHash,
 					"age", time.Duration(age), "deadline", time.Duration(o.deadline))
 				h.events.Append(telemetry.Event{

@@ -107,31 +107,52 @@ func (s *Switch) egressLoop(beat *telemetry.Counter) {
 // ingestOne runs the ingress half and admits the survivor to the TM.
 // Packets and Envs are pooled; a packet parked in the TM keeps its pooled
 // buffers (its Env is returned immediately — egress binds a fresh one),
-// and is recycled as soon as it dies.
+// and is recycled as soon as it dies. In hitless mode the packet pins the
+// current program version at ingress and carries it across the TM in
+// p.Ver, so egress — possibly after a reconfiguration — executes the same
+// program (per-packet version consistency).
 func (s *Switch) ingestOne(data []byte, inPort int) {
-	d := s.dp.Design()
-	if d == nil {
+	v := s.epochs.pin()
+	var d *dataplane.Design
+	if v != nil {
+		d = v.design
+	} else if d = s.dp.Design(); d == nil {
 		return
 	}
 	p, err := s.dp.GetPacket(d, data, inPort)
 	if err != nil {
+		if v != nil {
+			v.unpin()
+		}
 		return
 	}
 	s.dp.BeginPacket(p)
 	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	ok := s.pl.RunIngress(p, d.Parser, s, env)
+	var ok bool
+	if v != nil {
+		ok = v.runIngress(s.pl, p, env)
+	} else {
+		ok = s.pl.RunIngress(p, d.Parser, s, env)
+	}
 	s.dp.PutEnv(env)
 	if !ok {
 		s.dp.FinishPacket(p, "dropped")
 		s.dp.PutPacket(p)
+		if v != nil {
+			v.unpin()
+		}
 		return // dropped in ingress
 	}
+	p.Ver = v // nil on the legacy path; cleared again by PutPacket
 	// Tail drop is the TM's policy decision; counted in its stats.
 	if !s.pl.TM().Admit(p) {
 		s.dp.FinishPacket(p, "tm_drop")
 		s.dp.PutPacket(p)
+		if v != nil {
+			v.unpin()
+		}
 	}
 }
 
@@ -147,13 +168,27 @@ func (s *Switch) egestOne() bool {
 }
 
 // egestPacket runs the egress half on one dequeued packet and transmits
-// the survivor.
+// the survivor. A packet carrying a pinned program version (hitless mode)
+// finishes under that version and releases it here.
 func (s *Switch) egestPacket(p *pkt.Packet) {
-	d := s.dp.Design()
+	v, _ := p.Ver.(*progVersion)
+	var d *dataplane.Design
+	if v != nil {
+		p.Ver = nil
+		defer v.unpin()
+		d = v.design
+	} else {
+		d = s.dp.Design()
+	}
 	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	survived := s.pl.RunEgress(p, d.Parser, s, env)
+	var survived bool
+	if v != nil {
+		survived = v.runEgress(s.pl, p, env)
+	} else {
+		survived = s.pl.RunEgress(p, d.Parser, s, env)
+	}
 	s.dp.PutEnv(env)
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
@@ -165,8 +200,13 @@ func (s *Switch) egestPacket(p *pkt.Packet) {
 	}
 	dataplane.SurfaceOutPort(p)
 	// INT sink at the egress boundary (pipelined mode): strip + decode
-	// before transmit. One atomic load when INT is off.
-	if sink := s.intSinkP.Load(); sink != nil {
+	// before transmit. One atomic load when INT is off; version-consistent
+	// with the program that stamped when the packet is pinned.
+	sink := s.intSinkP.Load()
+	if v != nil {
+		sink = v.sink
+	}
+	if sink != nil {
 		sink.process(p)
 	}
 	if p.OutPort >= 0 && p.OutPort < s.ports.Len() {

@@ -48,6 +48,17 @@ func (s *Switch) run(d *dataplane.Design, p *pkt.Packet, env *tsp.Env) bool {
 // packets are additionally cloned onto the punt queue. The returned
 // packet is caller-owned (not pooled) so it can be inspected freely.
 func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
+	if v := s.epochs.pin(); v != nil {
+		defer v.unpin()
+		p, err := v.design.NewPacket(data, inPort)
+		if err != nil {
+			return nil, err
+		}
+		env := s.dp.GetEnv(v.design)
+		s.runEpoch(v, p, env)
+		s.dp.PutEnv(env)
+		return p, nil
+	}
 	d := s.dp.Design()
 	if d == nil {
 		return nil, fmt.Errorf("ipbm: no configuration installed")
@@ -67,16 +78,30 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 // steady-state path: packet and Env come from the dataplane pools, so a
 // forwarded packet costs zero heap allocations.
 func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
-	d := s.dp.Design()
-	if d == nil {
+	// Pin the program version before sizing the packet so metadata and
+	// header-vector shapes always match the stages that will execute.
+	// A nil pin means drain mode (or nothing installed): legacy path.
+	v := s.epochs.pin()
+	var d *dataplane.Design
+	if v != nil {
+		d = v.design
+	} else if d = s.dp.Design(); d == nil {
 		return false, fmt.Errorf("ipbm: no configuration installed")
 	}
 	p, err := s.dp.GetPacket(d, data, inPort)
 	if err != nil {
+		if v != nil {
+			v.unpin()
+		}
 		return false, err
 	}
 	env := s.dp.GetEnv(d)
-	s.run(d, p, env)
+	if v != nil {
+		s.runEpoch(v, p, env)
+		v.unpin()
+	} else {
+		s.run(d, p, env)
+	}
 	s.dp.PutEnv(env)
 	defer s.dp.PutPacket(p)
 	if p.Drop {

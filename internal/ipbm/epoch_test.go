@@ -1,0 +1,213 @@
+package ipbm
+
+import (
+	"testing"
+	"time"
+
+	"ipsa/internal/ctrlplane"
+	"ipsa/internal/template"
+)
+
+// scratchTableOps returns the two-op edit scripts that create and drop
+// an otherwise-unreferenced scratch table — the smallest possible
+// partial reconfiguration, but one that still forces a full epoch
+// publish (snapshot swap, table create/drop safety, maximal stage
+// reuse).
+func scratchTable(name string) *template.Table {
+	return &template.Table{
+		Name: name, Kind: "exact",
+		Keys:     []template.KeySel{{Name: "scratch.key", Kind: "exact"}},
+		KeyWidth: 4, Size: 8,
+	}
+}
+
+// TestEpochStoreBasics: each apply publishes a new epoch; with no
+// packets in flight the previous version is reclaimed immediately.
+func TestEpochStoreBasics(t *testing.T) {
+	sw, _ := newBaseSwitch(t)
+	e0, retired, _ := sw.EpochStats()
+	if e0 != 1 || retired != 0 {
+		t.Fatalf("after install: epoch=%d retired=%d", e0, retired)
+	}
+	if err := sw.EditBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.EditApply(ctrlplane.EditOp{Kind: "set_table", Table: "scratch", TableSpec: scratchTable("scratch")}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sw.EditCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 1 || st.Apply == nil || !st.Apply.Hitless {
+		t.Fatalf("edit stats: %+v", st)
+	}
+	if st.Apply.TablesCreated != 1 || st.Apply.Epoch != 2 {
+		t.Fatalf("apply stats: %+v", st.Apply)
+	}
+	// No stage references the scratch table, so every compiled stage is
+	// reused verbatim across the epoch.
+	if st.Apply.StagesRecompiled != 0 || st.Apply.StagesReused == 0 {
+		t.Errorf("one-table edit recompiled %d stages (reused %d)",
+			st.Apply.StagesRecompiled, st.Apply.StagesReused)
+	}
+	epoch, retired, reclaimed := sw.EpochStats()
+	if epoch != 2 || retired != 0 || reclaimed == 0 {
+		t.Errorf("after edit: epoch=%d retired=%d reclaimed=%d", epoch, retired, reclaimed)
+	}
+	// The pipeline never stalled.
+	if got := sw.Pipeline().StallTime(); got != 0 {
+		t.Errorf("hitless edit stalled the pipeline for %v", got)
+	}
+}
+
+// TestEditTransactionLifecycle covers the transaction state machine:
+// double begin, ops without a transaction, abort, and commit-validation
+// failure keeping the transaction open.
+func TestEditTransactionLifecycle(t *testing.T) {
+	sw, _ := newBaseSwitch(t)
+	if err := sw.EditApply(ctrlplane.EditOp{Kind: "set_table"}); err == nil {
+		t.Error("op accepted without transaction")
+	}
+	if _, err := sw.EditCommit(); err == nil {
+		t.Error("commit accepted without transaction")
+	}
+	if err := sw.EditBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.EditBegin(); err == nil {
+		t.Error("double begin accepted")
+	}
+	if err := sw.EditApply(ctrlplane.EditOp{Kind: "delete_table", Table: "ghost"}); err == nil {
+		t.Error("delete of unknown table accepted")
+	}
+	// Deleting a table a stage still references validates at commit and
+	// keeps the transaction open for a corrective abort.
+	if err := sw.EditApply(ctrlplane.EditOp{Kind: "delete_table", Table: "dmac_tbl"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.EditCommit(); err == nil {
+		t.Error("commit of dangling table reference accepted")
+	}
+	if err := sw.EditAbort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.EditAbort(); err == nil {
+		t.Error("double abort accepted")
+	}
+	// The device still forwards and the abort is on the audit trail.
+	p, err := sw.ProcessPacket(v4Packet(t, [4]byte{10, 0, 0, 2}, routerMAC, 64), inPort)
+	if err != nil || p.Drop {
+		t.Fatalf("forwarding broken after abort: err=%v drop=%v", err, p.Drop)
+	}
+	var aborts int
+	for _, ev := range sw.EventsDump(0) {
+		if ev.Kind == "edit_abort" {
+			aborts++
+		}
+	}
+	if aborts != 1 {
+		t.Errorf("edit_abort events = %d, want 1", aborts)
+	}
+}
+
+// TestEpochReclamationSoak is the reclamation soak: 1k live edit
+// commits race sharded forwarding; afterwards every retired program
+// version must be reclaimed (the store holds only the current epoch —
+// no monotonic growth) and packet accounting must conserve: every
+// frame the ingress accepted reaches exactly one verdict. Run under
+// -race this also exercises the pin/publish/reap memory ordering.
+func TestEpochReclamationSoak(t *testing.T) {
+	edits := 1000
+	if testing.Short() {
+		edits = 100
+	}
+	sw, _ := newBaseSwitch(t)
+	if err := sw.RunSharded(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Shutdown()
+	in, _ := sw.Ports().Port(inPort)
+
+	// Traffic: inject continuously until told to stop, counting every
+	// accepted frame.
+	stop := make(chan struct{})
+	accepted := make(chan int, 1)
+	go func() {
+		n := 0
+		i := 0
+		for {
+			select {
+			case <-stop:
+				accepted <- n
+				return
+			default:
+			}
+			if in.Inject(flowPacket(t, uint16(i%64), uint32(i))) {
+				n++
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+			i++
+		}
+	}()
+
+	// Edits: alternate create/drop of a scratch table, one transaction
+	// per commit — 1k epoch publishes while packets are in flight.
+	for i := 0; i < edits; i++ {
+		if err := sw.EditBegin(); err != nil {
+			t.Fatal(err)
+		}
+		op := ctrlplane.EditOp{Kind: "set_table", Table: "soak_scratch", TableSpec: scratchTable("soak_scratch")}
+		if i%2 == 1 {
+			op = ctrlplane.EditOp{Kind: "delete_table", Table: "soak_scratch"}
+		}
+		if err := sw.EditApply(op); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.EditCommit(); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+	close(stop)
+	total := <-accepted
+
+	// Conservation: every accepted frame reaches exactly one verdict.
+	finished := func() uint64 {
+		var sum uint64
+		for _, c := range sw.tel.verdictCounters() {
+			sum += c.Value()
+		}
+		return sum
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for finished() < uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("conservation: %d/%d frames reached a verdict", finished(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := finished(); got != uint64(total) {
+		t.Errorf("verdicts %d != accepted %d (packets double-counted)", got, total)
+	}
+
+	// Reclamation: once traffic quiesces, the store holds only the
+	// current epoch. EpochStats reaps before reading.
+	var epoch uint64
+	var retired int
+	for time.Now().Before(deadline) {
+		if epoch, retired, _ = sw.EpochStats(); retired == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if retired != 0 {
+		t.Errorf("%d retired program versions never reclaimed", retired)
+	}
+	if want := uint64(edits + 1); epoch != want {
+		t.Errorf("epoch = %d, want %d", epoch, want)
+	}
+	if got := sw.Pipeline().StallTime(); got != 0 {
+		t.Errorf("soak stalled the pipeline for %v", got)
+	}
+}

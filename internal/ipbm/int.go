@@ -10,6 +10,7 @@ package ipbm
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"time"
 
 	"ipsa/internal/intmd"
@@ -84,12 +85,14 @@ func (sink *intSink) process(p *pkt.Packet) {
 }
 
 // configHash identifies a configuration in audit events: truncated
-// SHA-256 of its canonical serialized form.
+// SHA-256 of its compact serialized form. Hashes only ever compare
+// against other hashes from this function, so the on-disk indented
+// rendering would just be wasted encoder time on the apply path.
 func configHash(cfg *template.Config) string {
 	if cfg == nil {
 		return ""
 	}
-	b, err := cfg.Marshal()
+	b, err := json.Marshal(cfg)
 	if err != nil {
 		return ""
 	}
@@ -131,6 +134,9 @@ func (s *Switch) SetInt(enabled bool) error {
 		return nil
 	}
 	cfg := d.Cfg
+	if !s.opts.DrainReconfig {
+		return s.setIntHitless(enabled, kind, cfg)
+	}
 	runtimes, err := tsp.BuildStageRuntimesOpts(cfg, tsp.BuildOpts{Mode: s.opts.Exec, Int: enabled})
 	if err != nil {
 		s.intOn = !enabled
@@ -181,6 +187,45 @@ func (s *Switch) SetInt(enabled bool) error {
 	s.log.Debug("INT state changed in situ",
 		"kind", kind, "config_hash", hash,
 		"tsps_written", rewrote, "drain", drain, "in_flight", inFlight)
+	return nil
+}
+
+// setIntHitless publishes the INT toggle as a new program-store epoch:
+// every stage recompiles (the stamping epilogue changes its structural
+// hash, so reuse naturally yields nothing) and packets pinned to the
+// previous version finish under the previous INT state — stamping and
+// sinking stay consistent per packet with no drain. Called with s.mu
+// held and s.intOn already flipped to enabled.
+func (s *Switch) setIntHitless(enabled bool, kind string, cfg *template.Config) error {
+	hash := configHash(cfg)
+	inFlight := s.tmDepthSum()
+	before := s.tel.verdictSnapshot()
+	if enabled {
+		s.publishIntState(cfg)
+	} else {
+		s.publishIntState(nil)
+	}
+	pub, err := s.publishProgram(cfg, nil, kind, hash)
+	if err != nil {
+		s.intOn = !enabled
+		return err
+	}
+	s.tel.tspsWritten.Add(uint64(pub.tspsLoaded))
+	s.tel.Events.Append(telemetry.Event{
+		Kind:             kind,
+		ConfigHash:       hash,
+		TSPsWritten:      pub.tspsLoaded,
+		DrainNanos:       0,
+		Hitless:          true,
+		Epoch:            pub.epoch,
+		StagesRecompiled: pub.recompiled,
+		StagesReused:     pub.reused,
+		InFlight:         inFlight,
+		VerdictDeltas:    s.tel.verdictDeltas(before),
+	})
+	s.log.Debug("INT state changed in situ",
+		"kind", kind, "config_hash", hash, "epoch", pub.epoch,
+		"tsps_written", pub.tspsLoaded, "in_flight", inFlight)
 	return nil
 }
 

@@ -36,7 +36,7 @@ func compilerOpts() backend.Options {
 	return opts
 }
 
-func newBaseWorkspace(t *testing.T) *backend.Workspace {
+func newBaseWorkspace(t testing.TB) *backend.Workspace {
 	t.Helper()
 	src, err := os.ReadFile("../../testdata/base_l2l3.rp4")
 	if err != nil {
@@ -53,7 +53,7 @@ func newBaseWorkspace(t *testing.T) *backend.Workspace {
 	return w
 }
 
-func loader(t *testing.T) backend.Loader {
+func loader(t testing.TB) backend.Loader {
 	t.Helper()
 	return func(name string) (string, error) {
 		b, err := os.ReadFile(filepath.Join("../../testdata", name))
@@ -61,7 +61,7 @@ func loader(t *testing.T) backend.Loader {
 	}
 }
 
-func script(t *testing.T, name string) string {
+func script(t testing.TB, name string) string {
 	t.Helper()
 	b, err := os.ReadFile(filepath.Join("../../testdata", name))
 	if err != nil {
@@ -71,10 +71,21 @@ func script(t *testing.T, name string) string {
 }
 
 // newBaseSwitch compiles, installs and populates the base design.
-func newBaseSwitch(t *testing.T) (*Switch, *backend.Workspace) {
+func newBaseSwitch(t testing.TB) (*Switch, *backend.Workspace) {
+	t.Helper()
+	return newBaseSwitchOpts(t, nil)
+}
+
+// newBaseSwitchOpts is newBaseSwitch with an options hook (e.g. forcing
+// the DrainReconfig fallback).
+func newBaseSwitchOpts(t testing.TB, tweak func(*Options)) (*Switch, *backend.Workspace) {
 	t.Helper()
 	w := newBaseWorkspace(t)
-	sw, err := New(DefaultOptions())
+	opts := DefaultOptions()
+	if tweak != nil {
+		tweak(&opts)
+	}
+	sw, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +100,7 @@ func newBaseSwitch(t *testing.T) (*Switch, *backend.Workspace) {
 	return sw, w
 }
 
-func insert(t *testing.T, sw *Switch, req ctrlplane.EntryReq) int {
+func insert(t testing.TB, sw *Switch, req ctrlplane.EntryReq) int {
 	t.Helper()
 	h, err := sw.InsertEntry(req)
 	if err != nil {
@@ -164,7 +175,7 @@ func baseEntries() []ctrlplane.EntryReq {
 	}
 }
 
-func populateBase(t *testing.T, sw *Switch) {
+func populateBase(t testing.TB, sw *Switch) {
 	t.Helper()
 	for _, req := range baseEntries() {
 		insert(t, sw, req)
@@ -180,7 +191,7 @@ func populateBaseErr(sw *Switch) error {
 	return nil
 }
 
-func v4Packet(t *testing.T, dst [4]byte, dmac pkt.MAC, ttl uint8) []byte {
+func v4Packet(t testing.TB, dst [4]byte, dmac pkt.MAC, ttl uint8) []byte {
 	t.Helper()
 	raw, err := pkt.Serialize(
 		&pkt.Ethernet{Dst: dmac, Src: hostMAC, EtherType: pkt.EtherTypeIPv4},

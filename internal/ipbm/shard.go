@@ -7,9 +7,13 @@ package ipbm
 // and the shard processes its input in FIFO order, so per-flow ordering
 // holds by construction while independent flows scale across cores — the
 // software analogue of replicating an RMT pipeline per hardware lane.
-// In-situ reconfiguration is untouched: shard workers execute the shared
-// pipeline under its read lock, so ApplyConfig/SetInt drain all shards
-// through the same backpressure as every other mode.
+// In-situ reconfiguration is hitless here by batch-granular epoch
+// pinning: each worker wakeup pins the current program version once,
+// processes its whole batch (including the TM drain) under it, and
+// unpins — so a reconfig storm never blocks a shard, and the version
+// pin/unpin cost amortizes over the batch. DrainReconfig switches leave
+// the store unpublished and fall back to the shared pipeline's read
+// lock, draining all shards through backpressure as before.
 
 import (
 	"fmt"
@@ -197,18 +201,26 @@ func (s *Switch) shardReader(portIdx int, port netio.BatchPort, set *shardSet, r
 // channel recv is the wakeup — an idle shard costs nothing), then ingest
 // up to batch frames without blocking again, then drain the shard TM
 // through egress and flush the per-port transmit batches.
+// Every frame of one wakeup — and the TM drain that follows — executes
+// one pinned program version: shardDrain always empties the shard TM
+// before the worker parks again, so no packet outlives its batch's pin.
 func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 	defer s.runWG.Done()
 	for {
 		f, ok := <-sh.in
 		if !ok {
-			s.shardDrain(sh)
+			v := s.epochs.pin()
+			s.shardDrain(sh, v)
+			if v != nil {
+				v.unpin()
+			}
 			return
 		}
 		if g := sh.gate.Load(); g != nil {
 			<-*g
 		}
-		s.shardIngest(sh, f)
+		v := s.epochs.pin()
+		s.shardIngest(sh, f, v)
 		n := 1
 	fill:
 		for n < batch {
@@ -217,10 +229,13 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 				if !ok2 {
 					sh.rx.Add(uint64(n))
 					sh.batches.Inc()
-					s.shardDrain(sh)
+					s.shardDrain(sh, v)
+					if v != nil {
+						v.unpin()
+					}
 					return
 				}
-				s.shardIngest(sh, f2)
+				s.shardIngest(sh, f2, v)
 				n++
 			default:
 				break fill
@@ -228,14 +243,20 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 		}
 		sh.rx.Add(uint64(n))
 		sh.batches.Inc()
-		s.shardDrain(sh)
+		s.shardDrain(sh, v)
+		if v != nil {
+			v.unpin()
+		}
 	}
 }
 
-// shardIngest is ingestOne against the shard's freelist, Env and TM.
-func (s *Switch) shardIngest(sh *shardRunner, f shardFrame) {
-	d := s.dp.Design()
-	if d == nil {
+// shardIngest is ingestOne against the shard's freelist, Env and TM,
+// under the batch's pinned version (nil = legacy drain path).
+func (s *Switch) shardIngest(sh *shardRunner, f shardFrame, v *progVersion) {
+	var d *dataplane.Design
+	if v != nil {
+		d = v.design
+	} else if d = s.dp.Design(); d == nil {
 		return
 	}
 	p, err := sh.dsh.GetPacket(d, f.data, int(f.port))
@@ -246,7 +267,12 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame) {
 	env := sh.dsh.Env(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	ok := s.pl.RunIngress(p, d.Parser, s, env)
+	var ok bool
+	if v != nil {
+		ok = v.runIngress(s.pl, p, env)
+	} else {
+		ok = s.pl.RunIngress(p, d.Parser, s, env)
+	}
 	if !ok {
 		s.dp.FinishPacket(p, "dropped")
 		sh.dsh.PutPacket(p)
@@ -260,14 +286,14 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame) {
 
 // shardDrain empties the shard TM through the egress half, then flushes
 // the accumulated per-port transmit batches.
-func (s *Switch) shardDrain(sh *shardRunner) {
+func (s *Switch) shardDrain(sh *shardRunner, v *progVersion) {
 	flush := false
 	for {
 		p, ok := sh.tm.DequeueRR()
 		if !ok {
 			break
 		}
-		s.shardEgest(sh, p)
+		s.shardEgest(sh, p, v)
 		flush = true
 	}
 	if flush {
@@ -278,12 +304,22 @@ func (s *Switch) shardDrain(sh *shardRunner) {
 // shardEgest runs the egress half on one packet and queues its frame for
 // the batched transmit. The tail mirrors egestOne, with the shard
 // freelist in place of the shared pool and XmitBatch in place of Send.
-func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet) {
-	d := s.dp.Design()
+func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet, v *progVersion) {
+	var d *dataplane.Design
+	if v != nil {
+		d = v.design
+	} else {
+		d = s.dp.Design()
+	}
 	env := sh.dsh.Env(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	survived := s.pl.RunEgress(p, d.Parser, s, env)
+	var survived bool
+	if v != nil {
+		survived = v.runEgress(s.pl, p, env)
+	} else {
+		survived = s.pl.RunEgress(p, d.Parser, s, env)
+	}
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
 		sh.dsh.PutPacket(p)
@@ -293,7 +329,11 @@ func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet) {
 		s.punt(p)
 	}
 	dataplane.SurfaceOutPort(p)
-	if sink := s.intSinkP.Load(); sink != nil {
+	sink := s.intSinkP.Load()
+	if v != nil {
+		sink = v.sink
+	}
+	if sink != nil {
 		sink.process(p)
 	}
 	if p.OutPort >= 0 && p.OutPort < len(sh.txq) {

@@ -15,7 +15,7 @@ import (
 // TCP source port and whose per-flow sequence number rides in the TCP
 // sequence field — both untouched by the L3 rewrite, so egress frames
 // still carry them for ordering checks.
-func flowPacket(t *testing.T, flow uint16, seq uint32) []byte {
+func flowPacket(t testing.TB, flow uint16, seq uint32) []byte {
 	t.Helper()
 	raw, err := pkt.Serialize(
 		&pkt.Ethernet{Dst: routerMAC, Src: hostMAC, EtherType: pkt.EtherTypeIPv4},
@@ -325,8 +325,12 @@ func TestShardedSteadyStateAllocs(t *testing.T) {
 	out, _ := sw.Ports().Port(outPort)
 	fwd := func() {
 		copy(data, raw) // egress rewrites headers in place; reset each run
-		sw.shardIngest(sh, shardFrame{data: data, port: inPort})
-		sw.shardDrain(sh)
+		v := sw.epochs.pin()
+		sw.shardIngest(sh, shardFrame{data: data, port: inPort}, v)
+		sw.shardDrain(sh, v)
+		if v != nil {
+			v.unpin()
+		}
 		out.Drain() // keep the tx ring empty so XmitBatch never tail-drops
 	}
 	for i := 0; i < 64; i++ {

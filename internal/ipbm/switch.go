@@ -9,6 +9,7 @@
 package ipbm
 
 import (
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -75,9 +76,19 @@ type Options struct {
 	HealthWindow time.Duration
 	// HealthRing is the number of retained rate samples (0 = 120).
 	HealthRing int
-	// ReconfigDeadline bounds a drain-and-swap before the health monitor
+	// ReconfigDeadline bounds a drain-and-swap (or, in hitless mode, a
+	// retired program version's quiescence) before the health monitor
 	// reports the reconfiguration wedged (0 = 2s).
 	ReconfigDeadline time.Duration
+
+	// DrainReconfig selects the legacy drain-and-swap reconfiguration
+	// path: ApplyConfig/SetInt exclude packet readers while templates are
+	// rewritten in place. The default (false) is the hitless
+	// epoch-versioned program store, where packets pin the version they
+	// entered under and updates never block traffic. The drain path is
+	// kept for the PISA-style comparison (pisa itself always drains) and
+	// as a measurable baseline for the reconfig-storm benchmark.
+	DrainReconfig bool
 }
 
 // DefaultOptions returns a software-scale switch: more TSPs than the
@@ -125,6 +136,15 @@ type Switch struct {
 	// or patch creates, drops or migrates tables. Per-packet lookups
 	// never touch the memory manager's mutex.
 	lookups atomic.Pointer[lookupSnapshot]
+
+	// epochs is the versioned program store (hitless mode). Its current
+	// pointer stays nil on DrainReconfig switches, which is how every hot
+	// path selects between the epoch-pinned and legacy execution with a
+	// single atomic load.
+	epochs epochStore
+
+	// edit is the open edit-script session, if any (guarded by s.mu).
+	edit *editSession
 
 	toCPU  chan *pkt.Packet
 	punted atomic.Uint64
@@ -297,7 +317,7 @@ func tspSignature(cfg *template.Config, tspIdx int) string {
 		for _, tn := range st.Tables {
 			sub.Tables[tn] = cfg.Tables[tn]
 		}
-		b, _ := sub.Marshal()
+		b, _ := json.Marshal(&sub)
 		parts = append(parts, string(b))
 	}
 	return strings.Join(parts, "\x00")
@@ -326,7 +346,9 @@ func orderedStagesOf(cfg *template.Config, tspIdx int) []string {
 // TSPs whose template content changed are rewritten, new tables are
 // created, vanished tables are recycled, existing table entries and
 // register contents are preserved, and tables whose TSP moved across
-// crossbar clusters are migrated.
+// crossbar clusters are migrated. By default the change is published as a
+// new epoch of the versioned program store (hitless — see epoch.go); with
+// Options.DrainReconfig the legacy drain-and-swap below runs instead.
 func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -334,6 +356,16 @@ func (s *Switch) ApplyConfig(cfg *template.Config) (*ctrlplane.ApplyStats, error
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyLocked(cfg, start)
+}
+
+// applyLocked dispatches an already-validated configuration to the
+// hitless or drain-and-swap implementation. Callers hold s.mu (the edit
+// layer's commit reuses this entry point under its own lock hold).
+func (s *Switch) applyLocked(cfg *template.Config, start time.Time) (*ctrlplane.ApplyStats, error) {
+	if !s.opts.DrainReconfig {
+		return s.applyHitless(cfg, start)
+	}
 	var old *template.Config
 	if d := s.dp.Design(); d != nil {
 		old = d.Cfg

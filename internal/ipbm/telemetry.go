@@ -196,6 +196,13 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 		}
 	}
 
+	// Program store: current epoch, versions awaiting quiescence and
+	// versions reclaimed. All zero in DrainReconfig mode (no store).
+	epoch, retired, reclaimed := s.EpochStats()
+	gauge("ipsa_epoch", float64(epoch))
+	gauge("ipsa_epoch_retired_versions", float64(retired))
+	ctr("ipsa_epoch_reclaimed_total", reclaimed)
+
 	// Punt path and executor faults.
 	ctr("ipsa_to_cpu_total", s.punted.Load())
 	faults := s.dp.Faults()

@@ -139,6 +139,38 @@ func (p *Pipeline) Update(fn func(sel *Selector, tsps []*tsp.TSP) error) error {
 	return nil
 }
 
+// Commit runs fn to rewrite templates and the selector under the write
+// lock WITHOUT charging the held time to the stall counter. The hitless
+// (epoch-versioned) reconfiguration path uses it: packets on that path
+// never take the read side of the drain lock, so the write lock is
+// uncontended bookkeeping, not a drain.
+func (p *Pipeline) Commit(fn func(sel *Selector, tsps []*tsp.TSP) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sel := p.sel
+	if err := fn(&sel, p.tsps); err != nil {
+		return err
+	}
+	if sel.TMIn >= len(p.tsps) || sel.TMOut < 0 || sel.TMOut > len(p.tsps) || (sel.TMIn >= sel.TMOut) {
+		return fmt.Errorf("pipeline: selector %+v invalid for %d TSPs", sel, len(p.tsps))
+	}
+	p.sel = sel
+	return nil
+}
+
+// CountDropped charges one dropped packet to the given counter lane.
+// Executors that bypass RunIngress/RunEgress (the epoch-pinned paths)
+// still account through the pipeline so Stats stays the one source of
+// truth.
+func (p *Pipeline) CountDropped(lane int) {
+	p.dropped[lane&(statLanes-1)].n.Add(1)
+}
+
+// CountProcessed charges one processed packet to the given counter lane.
+func (p *Pipeline) CountProcessed(lane int) {
+	p.processed[lane&(statLanes-1)].n.Add(1)
+}
+
 // RunIngress pushes a packet through the ingress TSPs and into the TM. It
 // reports whether the packet survived to the TM.
 func (p *Pipeline) RunIngress(pk *pkt.Packet, parser *tsp.OnDemandParser, backend tsp.TableBackend, env *tsp.Env) bool {

@@ -132,6 +132,13 @@ type Packet struct {
 	// index + 1 when a shard worker owns the packet. Stamped at packet
 	// admission so the finish hook lands on the admitting shard's cells.
 	Lane int32
+
+	// Ver carries the program version the packet was pinned to at ingress
+	// so egress (possibly on another goroutine, after the traffic manager)
+	// executes the same program — per-packet version consistency for
+	// hitless reconfiguration. Typed as any to keep pkt free of the switch
+	// packages; storing a pointer in an interface does not allocate.
+	Ver any
 }
 
 // NewPacket wraps data in a Packet with a metadata area of metaBytes bytes.
@@ -161,6 +168,7 @@ func (p *Packet) ResetFor(data []byte, metaBytes int) {
 	p.Timed = false
 	p.IngressNanos = 0
 	p.Lane = 0
+	p.Ver = nil
 }
 
 // Reset prepares p for reuse with new packet bytes.
@@ -178,6 +186,7 @@ func (p *Packet) Reset(data []byte) {
 	p.Timed = false
 	p.IngressNanos = 0
 	p.Lane = 0
+	p.Ver = nil
 }
 
 // Clone deep-copies the packet (used by multicast and the traffic manager).

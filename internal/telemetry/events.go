@@ -14,7 +14,7 @@ type Event struct {
 	Seq       uint64 `json:"seq"`
 	TimeNanos int64  `json:"time_nanos"` // wall clock (UnixNano)
 	// Kind is the reconfiguration flavor: apply_full, apply_diff,
-	// apply_patch, int_enable, int_disable.
+	// apply_patch, int_enable, int_disable, edit_commit, edit_abort.
 	Kind string `json:"kind"`
 	// ConfigHash identifies the applied configuration (truncated SHA-256
 	// of its serialized form); empty for events with no config payload.
@@ -25,8 +25,19 @@ type Event struct {
 	TablesCreated int `json:"tables_created,omitempty"`
 	TablesDropped int `json:"tables_dropped,omitempty"`
 	// DrainNanos is how long the pipeline was exclusively held (packets
-	// blocked) for the swap.
+	// blocked) for the swap. Hitless epoch commits never block packets and
+	// record 0 here with Hitless set instead of a misleading hold time.
 	DrainNanos int64 `json:"drain_nanos,omitempty"`
+	// Hitless marks a reconfiguration that published a new program version
+	// without draining the pipeline (epoch-versioned store).
+	Hitless bool `json:"hitless,omitempty"`
+	// Epoch is the program-store epoch the reconfiguration published (0
+	// for drain-and-swap events, which have no versioned store).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// StagesRecompiled/StagesReused report how much of the pipeline's
+	// compiled program the structural-hash cache salvaged across epochs.
+	StagesRecompiled int `json:"stages_recompiled,omitempty"`
+	StagesReused     int `json:"stages_reused,omitempty"`
 	// InFlight is the TM occupancy (packets parked between the ingress
 	// and egress halves) at the moment of the swap.
 	InFlight int `json:"in_flight,omitempty"`

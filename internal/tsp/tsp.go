@@ -79,7 +79,15 @@ func (t *TSP) StageNames() []string {
 // Process runs the hosted stages on a packet. Bypassed TSPs pass packets
 // through untouched.
 func (t *TSP) Process(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
-	stages := *t.stages.Load()
+	t.ProcessWith(*t.stages.Load(), p, parser, backend, env)
+}
+
+// ProcessWith runs an explicit stage list on a packet instead of the
+// currently loaded one. The epoch-versioned program store uses it to
+// execute the stage set a packet was pinned to at ingress, regardless of
+// what has been downloaded into the TSP since; latency sampling still
+// lands on this TSP's histogram.
+func (t *TSP) ProcessWith(stages []*StageRuntime, p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
 	if len(stages) == 0 {
 		return
 	}
