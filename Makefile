@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-reconfig bench-reconfig-baseline fuzz-diff cover experiments examples health-smoke fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-reconfig bench-reconfig-baseline bench-flow bench-flow-baseline flow-soak fuzz-diff cover experiments examples health-smoke fmt vet lint clean
 
 # Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
 # (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
@@ -72,6 +72,29 @@ bench-reconfig-baseline:
 	$(GO) test ./internal/ipbm/ -run xxx -bench BenchmarkReconfigStormHitless -benchmem -benchtime=50000x -count=5 \
 		| bin/benchgate -write BENCH_reconfig.json \
 		-note "50000 frames/run; drops and stall_us are strict zero invariants of the hitless path"
+
+# Flow-accounting benchmarks gated against BENCH_flow.json: the isolated
+# Touch/Finish engine cost plus the hot path with accounting ablated
+# (FlowOff). Same policy as bench-gate: allocs/op strictly 0, ns/op
+# within tolerance.
+GATED_FLOW_BENCH = BenchmarkFlowAccount|BenchmarkHotPath_FlowOff
+
+bench-flow:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_FLOW_BENCH)' -benchmem -count=3 . | bin/benchgate -check BENCH_flow.json -tol $(BENCH_TOL)
+
+# Record the flow-accounting baseline (min over 5 runs) and commit
+# BENCH_flow.json.
+bench-flow-baseline:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_FLOW_BENCH)' -benchmem -count=5 . | bin/benchgate -write BENCH_flow.json \
+		-note "min of 5 runs; Touch/Finish must stay allocation-free or the always-on default is not viable"
+
+# Race soak over the flow-accounting paths: single-writer lanes with
+# racing readers, clash evictions under storm, flow state across
+# reconfig commits, and the sharded conservation invariant.
+flow-soak:
+	$(GO) test -race -count=2 -run 'Flow|Sketch|Concurrent|Sweep|Eviction' ./internal/flowstat/ ./internal/ipbm/
 
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:

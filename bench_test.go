@@ -19,11 +19,13 @@ import (
 	"ipsa/internal/compiler/layout"
 	"ipsa/internal/compiler/packing"
 	"ipsa/internal/experiments"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/hwmodel"
 	"ipsa/internal/ipbm"
 	"ipsa/internal/match"
 	"ipsa/internal/mem"
 	"ipsa/internal/netio"
+	"ipsa/internal/pkt"
 	"ipsa/internal/rp4/ast"
 	"ipsa/internal/rp4/parser"
 	"ipsa/internal/tsp"
@@ -382,11 +384,12 @@ func BenchmarkAblation_Packing(b *testing.B) {
 // The compiled/interp pair quantifies what lowering the template IR to
 // flat programs at apply time buys per packet; allocs/op must be 0 in
 // steady state.
-func benchmarkHotPath(b *testing.B, mode tsp.ExecMode) {
+func benchmarkHotPath(b *testing.B, mode tsp.ExecMode, flowOff bool) {
 	for _, uc := range experiments.UseCases {
 		b.Run(uc, func(b *testing.B) {
 			cfg := benchCfg()
 			cfg.Exec = mode
+			cfg.FlowOff = flowOff
 			prep, err := experiments.PrepareUseCase(cfg, uc)
 			if err != nil {
 				b.Fatal(err)
@@ -410,9 +413,59 @@ func benchmarkHotPath(b *testing.B, mode tsp.ExecMode) {
 	}
 }
 
-func BenchmarkHotPath_Compiled(b *testing.B) { benchmarkHotPath(b, tsp.ExecCompiled) }
+func BenchmarkHotPath_Compiled(b *testing.B) { benchmarkHotPath(b, tsp.ExecCompiled, false) }
 
-func BenchmarkHotPath_Interp(b *testing.B) { benchmarkHotPath(b, tsp.ExecInterp) }
+func BenchmarkHotPath_Interp(b *testing.B) { benchmarkHotPath(b, tsp.ExecInterp, false) }
+
+// BenchmarkHotPath_FlowOff is the compiled hot path with flow accounting
+// disabled — the ablation quantifying what the always-on accounting
+// costs per packet (see docs/OBSERVABILITY.md and EXPERIMENTS.md).
+func BenchmarkHotPath_FlowOff(b *testing.B) { benchmarkHotPath(b, tsp.ExecCompiled, true) }
+
+// --- Flow accounting engine (docs/OBSERVABILITY.md) --------------------------
+
+// BenchmarkFlowAccount isolates the accounting engine: one Touch+Finish
+// pair per op — the exact per-packet work the runners add. single_flow
+// is the best case (hot entry); flows=64 walks a working set through a
+// 1024-slot table. allocs/op must be 0.
+func BenchmarkFlowAccount(b *testing.B) {
+	frame, err := pkt.Serialize(
+		&pkt.Ethernet{Dst: pkt.MAC{2, 0, 0, 0, 0, 1}, Src: pkt.MAC{2, 0, 0, 0, 0, 2}, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 1, 0, 1}},
+		&pkt.TCP{SrcPort: 1234, DstPort: 80},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single_flow", func(b *testing.B) {
+		tab := flowstat.NewSet(1, flowstat.Config{}).Lane(0)
+		h := pkt.RSSHash(frame)
+		tab.Touch(h, frame, len(frame), 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := flowstat.Now()
+			tab.Touch(h, frame, len(frame), now)
+			tab.Finish(h, flowstat.VerdictForwarded, -1, now)
+		}
+	})
+	b.Run("flows=64", func(b *testing.B) {
+		tab := flowstat.NewSet(1, flowstat.Config{}).Lane(0)
+		hashes := make([]uint64, 64)
+		for i := range hashes {
+			hashes[i] = pkt.RSSHash(frame) + uint64(i)*0x9e3779b97f4a7c15
+			tab.Touch(hashes[i], frame, len(frame), 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := hashes[i&63]
+			now := flowstat.Now()
+			tab.Touch(h, frame, len(frame), now)
+			tab.Finish(h, flowstat.VerdictForwarded, -1, now)
+		}
+	})
+}
 
 // BenchmarkAblation_DistributedParsing compares on-demand parsing (headers
 // parsed once, where needed) against PISA-style full front parsing by

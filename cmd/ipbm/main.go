@@ -49,6 +49,10 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	healthInterval := flag.Duration("health-interval", 0, "health sampler tick (0 = default 1s; negative disables)")
+	flowBits := flag.Int("flow-table-bits", 0, "log2 of per-lane flow table slots (0 = default)")
+	flowIdle := flag.Duration("flow-idle", 0, "idle timeout before a flow is swept into a record (0 = default)")
+	flowTopK := flag.Int("flow-topk", 0, "heavy-hitter summary size per lane (0 = default)")
+	flowOff := flag.Bool("flow-off", false, "disable always-on flow accounting")
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -71,6 +75,10 @@ func main() {
 	opts.LatencyEvery = *latencyEvery
 	opts.Exec = execMode
 	opts.IntSwitchID = uint32(*intSwitchID)
+	opts.FlowTableBits = *flowBits
+	opts.FlowIdle = *flowIdle
+	opts.FlowTopK = *flowTopK
+	opts.FlowDisable = *flowOff
 	sw, err := ipbm.New(opts)
 	if err != nil {
 		fatal(err)
@@ -79,13 +87,14 @@ func main() {
 		tel := sw.Telemetry()
 		mux := telemetry.NewServeMux(tel.Reg, tel.Tracer, tel.Events)
 		sw.Health().Register(mux)
+		sw.Flows().Register(mux)
 		ms, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer ms.Close()
 		slog.Info("metrics endpoint up", "addr", ms.Addr(),
-			"paths", "/metrics /traces /events /health /healthz /readyz")
+			"paths", "/metrics /traces /events /flows /health /healthz /readyz")
 	}
 	if *configFile != "" {
 		b, err := os.ReadFile(*configFile)

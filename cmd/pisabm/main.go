@@ -92,6 +92,7 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
 	reg.AddCollector(func(emit func(telemetry.MetricPoint)) {
 		p, drop := sw.Stats()
 		emit(telemetry.MetricPoint{Name: "pisa_pipeline_processed_total", Kind: "counter", Value: float64(p)})

@@ -10,8 +10,10 @@
 //	rp4ctl -addr ... edit script.json
 //	rp4ctl -addr ... tables
 //	rp4ctl -addr ... stats
-//	rp4ctl -addr ... metrics
+//	rp4ctl -addr ... metrics [-grep pattern]
 //	rp4ctl -addr ... trace [max]
+//	rp4ctl -addr ... flows [records] [max]
+//	rp4ctl -addr ... hh [max]
 //	rp4ctl -addr ... health [window]
 //	rp4ctl -addr ... top [interval]
 //	rp4ctl -addr ... table-stats <table>
@@ -29,18 +31,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
 )
 
-// printMetric renders one metrics-dump point, indented for grouping.
-func printMetric(p telemetry.MetricPoint, indent string) {
+// metricID renders a point's identity — name{label="v",...} — the text
+// both printing and -grep filtering run against.
+func metricID(p telemetry.MetricPoint) string {
 	var labels []string
 	for _, l := range p.Labels {
 		labels = append(labels, fmt.Sprintf("%s=%q", l.Key, l.Value))
@@ -49,6 +54,23 @@ func printMetric(p telemetry.MetricPoint, indent string) {
 	if len(labels) > 0 {
 		name += "{" + strings.Join(labels, ",") + "}"
 	}
+	return name
+}
+
+// grepMetrics keeps the points whose rendered identity matches re.
+func grepMetrics(points []telemetry.MetricPoint, re *regexp.Regexp) []telemetry.MetricPoint {
+	var out []telemetry.MetricPoint
+	for _, p := range points {
+		if re.MatchString(metricID(p)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// printMetric renders one metrics-dump point, indented for grouping.
+func printMetric(p telemetry.MetricPoint, indent string) {
+	name := metricID(p)
 	if p.Kind == "histogram" {
 		line := fmt.Sprintf("%s%s count=%d sum=%.3fms", indent, name, p.Count, float64(p.SumNanos)/1e6)
 		for _, q := range p.Quantiles {
@@ -120,9 +142,22 @@ func main() {
 				p.Port, p.Received, p.Sent, p.RxDrops, p.TxDrops)
 		}
 	case "metrics":
+		var re *regexp.Regexp
+		if len(args) > 1 {
+			if args[1] != "-grep" || len(args) < 3 {
+				usage()
+			}
+			var err error
+			if re, err = regexp.Compile(args[2]); err != nil {
+				fatal(fmt.Errorf("bad -grep pattern: %w", err))
+			}
+		}
 		points, err := cl.MetricsDump()
 		if err != nil {
 			fatal(err)
+		}
+		if re != nil {
+			points = grepMetrics(points, re)
 		}
 		// Shard-labelled series render grouped per shard after the
 		// switch-wide series, so the per-lane view reads as one block.
@@ -170,8 +205,12 @@ func main() {
 			fatal(err)
 		}
 		for _, tr := range traces {
-			fmt.Printf("#%d in=%d out=%d bytes=%d verdict=%s\n",
+			head := fmt.Sprintf("#%d in=%d out=%d bytes=%d verdict=%s",
 				tr.Seq, tr.InPort, tr.OutPort, tr.Bytes, tr.Verdict)
+			if tr.Epoch > 0 {
+				head += fmt.Sprintf(" epoch=%d", tr.Epoch)
+			}
+			fmt.Println(head)
 			for _, h := range tr.Headers {
 				fmt.Printf("  hdr %-14s off=%-4d len=%d\n", h.Name, h.Off, h.Len)
 			}
@@ -193,6 +232,44 @@ func main() {
 				fmt.Println(line)
 			}
 		}
+	case "flows":
+		rest := args[1:]
+		records := false
+		if len(rest) > 0 && rest[0] == "records" {
+			records = true
+			rest = rest[1:]
+		}
+		max := 0
+		if len(rest) > 0 {
+			var err error
+			if max, err = strconv.Atoi(rest[0]); err != nil {
+				fatal(fmt.Errorf("bad max %q", rest[0]))
+			}
+		}
+		var recs []flowstat.Record
+		var err error
+		if records {
+			recs, err = cl.FlowRecords(max)
+		} else {
+			recs, err = cl.FlowDump(max)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(renderFlows(recs))
+	case "hh":
+		max := 0
+		if len(args) > 1 {
+			var err error
+			if max, err = strconv.Atoi(args[1]); err != nil {
+				fatal(fmt.Errorf("bad max %q", args[1]))
+			}
+		}
+		hh, err := cl.HHDump(max)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(renderHitters(hh))
 	case "int":
 		need(args, 2)
 		switch args[1] {
@@ -525,8 +602,11 @@ commands:
   apply CONFIG.json
   tables
   stats
-  metrics
+  metrics [-grep PATTERN]
   trace [MAX]
+  flows [MAX]             active flows, largest first
+  flows records [MAX]     exported flow records (completed flows), oldest first
+  hh [MAX]                estimated heavy hitters (live + evicted mass)
   int enable|disable
   int report [MAX]
   events [MAX]

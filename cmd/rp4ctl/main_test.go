@@ -1,0 +1,72 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"ipsa/internal/flowstat"
+	"ipsa/internal/telemetry"
+)
+
+func TestGrepMetrics(t *testing.T) {
+	points := []telemetry.MetricPoint{
+		{Name: "ipsa_packets_total", Labels: []telemetry.Label{telemetry.L("verdict", "forwarded")}},
+		{Name: "ipsa_packets_total", Labels: []telemetry.Label{telemetry.L("verdict", "dropped")}},
+		{Name: "ipsa_flow_active_total"},
+		{Name: "ipsa_go_goroutines"},
+	}
+	cases := []struct {
+		pattern string
+		want    int
+	}{
+		{"flow", 1},
+		{"^ipsa_packets", 2},
+		{`verdict="forwarded"`, 1}, // labels are part of the matched identity
+		{"ipsa_", 4},
+		{"nomatch", 0},
+	}
+	for _, c := range cases {
+		got := grepMetrics(points, regexp.MustCompile(c.pattern))
+		if len(got) != c.want {
+			t.Errorf("grep %q matched %d series, want %d", c.pattern, len(got), c.want)
+		}
+	}
+}
+
+func TestMetricID(t *testing.T) {
+	p := telemetry.MetricPoint{
+		Name:   "ipsa_flow_active",
+		Labels: []telemetry.Label{telemetry.L("lane", "3")},
+	}
+	if got := metricID(p); got != `ipsa_flow_active{lane="3"}` {
+		t.Errorf("metricID = %q", got)
+	}
+	if got := metricID(telemetry.MetricPoint{Name: "up"}); got != "up" {
+		t.Errorf("metricID = %q", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := tupleString("10.0.0.1", "10.1.0.1", 6, 1234, 80, "x"); got != "tcp 10.0.0.1:1234 -> 10.1.0.1:80" {
+		t.Errorf("tupleString = %q", got)
+	}
+	if got := tupleString("", "", 0, 0, 0, "00ff"); got != "hash:00ff" {
+		t.Errorf("non-IP tupleString = %q", got)
+	}
+	if got := tupleString("2001:db8::1", "2001:db8::2", 58, 0, 0, ""); got != "icmp6 2001:db8::1 -> 2001:db8::2" {
+		t.Errorf("portless tupleString = %q", got)
+	}
+}
+
+func TestRenderHitters(t *testing.T) {
+	out := renderHitters([]flowstat.HeavyHitter{
+		{Hash: "abc", Lane: 1, Src: "10.0.0.1", Dst: "10.1.0.1", Proto: 17,
+			SrcPort: 53, DstPort: 53, Packets: 99, ErrBound: 3, Live: true},
+	})
+	for _, want := range []string{"udp 10.0.0.1:53 -> 10.1.0.1:53", "99", "±3", "live"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderHitters output missing %q:\n%s", want, out)
+		}
+	}
+}

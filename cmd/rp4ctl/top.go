@@ -105,6 +105,12 @@ func top(addr string, cl *ctrlplane.Client, interval, window time.Duration) {
 			fmt.Println("device reports no health layer")
 		default:
 			fmt.Print(renderStatus(st))
+			// Heavy-hitter pane; devices without flow accounting (or
+			// with it disabled) just skip it.
+			if hh, herr := cl.HHDump(5); herr == nil && len(hh) > 0 {
+				fmt.Println("\nheavy hitters:")
+				fmt.Print(renderHitters(hh))
+			}
 		}
 		select {
 		case <-sig:

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ipsa/internal/flowstat"
 	"ipsa/internal/health"
 	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
@@ -171,6 +172,36 @@ func (c *Client) HealthQuery(window time.Duration) (*health.Status, error) {
 		return nil, err
 	}
 	return resp.Health, nil
+}
+
+// FlowDump fetches up to max active flows, largest first (max <= 0
+// selects the device default).
+func (c *Client) FlowDump(max int) ([]flowstat.Record, error) {
+	resp, err := c.Do(&Request{Op: OpFlowDump, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Flows, nil
+}
+
+// FlowRecords fetches up to max exported flow records (completed flows),
+// oldest first (max <= 0 returns all buffered).
+func (c *Client) FlowRecords(max int) ([]flowstat.Record, error) {
+	resp, err := c.Do(&Request{Op: OpFlowRecords, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Flows, nil
+}
+
+// HHDump fetches up to max estimated heavy hitters, largest first
+// (max <= 0 selects the device default).
+func (c *Client) HHDump(max int) ([]flowstat.HeavyHitter, error) {
+	resp, err := c.Do(&Request{Op: OpHHDump, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hitters, nil
 }
 
 // EditBegin opens an edit-script transaction on the device.

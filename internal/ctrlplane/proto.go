@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"ipsa/internal/flowstat"
 	"ipsa/internal/health"
 	"ipsa/internal/intmd"
 	"ipsa/internal/telemetry"
@@ -33,6 +34,9 @@ const (
 	OpIntReport    Op = "int_report"
 	OpEventsDump   Op = "events_dump"
 	OpHealthQuery  Op = "health_query"
+	OpFlowDump     Op = "flow_dump"
+	OpFlowRecords  Op = "flow_records"
+	OpHHDump       Op = "hh_dump"
 	OpPing         Op = "ping"
 
 	// Edit-script ops: a begin/ops/commit transaction that inserts,
@@ -88,6 +92,8 @@ type Response struct {
 	Reports []intmd.Report          `json:"reports,omitempty"`
 	Health  *health.Status          `json:"health,omitempty"`
 	Edit    *EditStats              `json:"edit,omitempty"`
+	Flows   []flowstat.Record       `json:"flows,omitempty"`
+	Hitters []flowstat.HeavyHitter  `json:"hitters,omitempty"`
 	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
@@ -164,15 +170,15 @@ type ApplyStats struct {
 //	               rewritten or deleted in the same script, or commit
 //	               fails validation).
 type EditOp struct {
-	Kind      string                     `json:"kind"`
-	Stage     string                     `json:"stage,omitempty"`
-	Spec      *template.Stage            `json:"spec,omitempty"`
+	Kind      string                      `json:"kind"`
+	Stage     string                      `json:"stage,omitempty"`
+	Spec      *template.Stage             `json:"spec,omitempty"`
 	Actions   map[string]*template.Action `json:"actions,omitempty"`
-	TSP       int                        `json:"tsp,omitempty"`
-	Egress    bool                       `json:"egress,omitempty"`
-	Position  int                        `json:"position,omitempty"`
-	Table     string                     `json:"table,omitempty"`
-	TableSpec *template.Table            `json:"table_spec,omitempty"`
+	TSP       int                         `json:"tsp,omitempty"`
+	Egress    bool                        `json:"egress,omitempty"`
+	Position  int                         `json:"position,omitempty"`
+	Table     string                      `json:"table,omitempty"`
+	TableSpec *template.Table             `json:"table_spec,omitempty"`
 }
 
 // EditStats summarizes a committed edit script.
@@ -228,4 +234,13 @@ type EventSource interface {
 // window <= 0 selects the device's default rate window.
 type HealthSource interface {
 	HealthQuery(window time.Duration) *health.Status
+}
+
+// FlowSource is optionally implemented by devices with flow-level
+// accounting: active-flow dumps, the exported flow-record stream and
+// heavy-hitter estimates. max <= 0 selects the device's default bound.
+type FlowSource interface {
+	FlowDump(max int) []flowstat.Record
+	FlowRecords(max int) []flowstat.Record
+	HHDump(max int) []flowstat.HeavyHitter
 }

@@ -224,6 +224,19 @@ func (s *Server) Handle(req *Request) *Response {
 			return fail(fmt.Errorf("ccm: device has no health layer"))
 		}
 		return &Response{OK: true, Health: hs.HealthQuery(time.Duration(req.WindowNanos))}
+	case OpFlowDump, OpFlowRecords, OpHHDump:
+		fs, ok := s.dev.(FlowSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no flow accounting"))
+		}
+		switch req.Op {
+		case OpFlowDump:
+			return &Response{OK: true, Flows: fs.FlowDump(req.Max)}
+		case OpFlowRecords:
+			return &Response{OK: true, Flows: fs.FlowRecords(req.Max)}
+		default:
+			return &Response{OK: true, Hitters: fs.HHDump(req.Max)}
+		}
 	}
 	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
 }

@@ -39,6 +39,9 @@ type Config struct {
 	// Exec selects the stage executor on both devices (compiled flat
 	// programs by default; the reference interpreter for comparison runs).
 	Exec tsp.ExecMode
+	// FlowOff disables the IPSA switch's always-on flow accounting — the
+	// ablation knob for measuring its per-packet overhead.
+	FlowOff bool
 }
 
 // Default returns the standard configuration rooted at dir.
@@ -384,6 +387,7 @@ func swOpts(cfg Config) ipbm.Options {
 	o := ipbm.DefaultOptions()
 	o.NumTSPs = cfg.NumTSPs
 	o.Exec = cfg.Exec
+	o.FlowDisable = cfg.FlowOff
 	return o
 }
 

@@ -1,0 +1,367 @@
+// Package flowstat is the switch's always-on flow accounting engine:
+// fixed-size, power-of-two open-addressing flow tables keyed by the RSS
+// flow hash, one table per lane (a shard worker in sharded mode, an
+// ingress port in the synchronous runners), accumulating per-flow
+// packets/bytes/last-verdict and sampled per-flow latency.
+//
+// The concurrency discipline mirrors the striped verdict counters: every
+// lane has exactly one writer on the supported hot paths, so per-packet
+// updates are plain atomic load/store/add with no locks and no shared
+// cache lines between lanes. All entry fields are individually atomic so
+// concurrent readers (dumps, scrapes) and the rare multi-writer lane
+// (the pipelined runner funnels everything through lane 0) stay
+// race-free; under multi-writer contention the cost is a bounded
+// miscount on an evicting slot, never corruption. Eviction itself is
+// made exclusive by parking the slot key on a busy sentinel with a CAS.
+//
+// Evicted and flushed flows are emitted as compact flow records into the
+// set's shared ring, and — the part that makes heavy hitters survive
+// table evictions — their exact counts are folded into a per-lane
+// count-min sketch and a space-saving top-k at eviction time. The hot
+// path never touches the sketch: its cost is one probe sequence and a
+// handful of atomic stores per packet.
+//
+// Flow state lives beside the program store, not inside it, so it
+// survives hitless edit commits and config applies by construction.
+package flowstat
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"ipsa/internal/pkt"
+)
+
+// Verdict is the compact last-verdict enum stored per flow entry. The
+// values mirror dataplane.Verdict's strings.
+type Verdict uint8
+
+const (
+	VerdictNone Verdict = iota
+	VerdictForwarded
+	VerdictDropped
+	VerdictTMDrop
+	VerdictToCPU
+	VerdictNoPort
+)
+
+// VerdictOf maps a dataplane verdict string to the enum.
+func VerdictOf(s string) Verdict {
+	switch s {
+	case "forwarded":
+		return VerdictForwarded
+	case "dropped":
+		return VerdictDropped
+	case "tm_drop":
+		return VerdictTMDrop
+	case "to_cpu":
+		return VerdictToCPU
+	case "no_port":
+		return VerdictNoPort
+	}
+	return VerdictNone
+}
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForwarded:
+		return "forwarded"
+	case VerdictDropped:
+		return "dropped"
+	case VerdictTMDrop:
+		return "tm_drop"
+	case VerdictToCPU:
+		return "to_cpu"
+	case VerdictNoPort:
+		return "no_port"
+	}
+	return "none"
+}
+
+// Eviction reasons carried on emitted flow records.
+const (
+	EvictIdle  uint8 = iota // sweeper found the flow past the idle bound
+	EvictClash              // probe window full, smallest flow displaced
+	EvictFlush              // shutdown/explicit flush of live entries
+)
+
+func reasonString(r uint8) string {
+	switch r {
+	case EvictIdle:
+		return "idle"
+	case EvictClash:
+		return "clash"
+	case EvictFlush:
+		return "flush"
+	}
+	return "active"
+}
+
+// The package clock: monotonic nanoseconds since process start. Both the
+// batch-granular `now` the shard workers pass around and the per-packet
+// latency stamps read it, so arithmetic between the two is safe.
+var clockBase = time.Now()
+
+// Now returns nanoseconds on the package's monotonic clock.
+func Now() int64 { return int64(time.Since(clockBase)) }
+
+// probeWindow bounds the linear probe: a flow lives within probeWindow
+// slots of its home index or displaces the window's smallest flow.
+const probeWindow = 8
+
+// sweepEvery triggers an incremental idle sweep every N Touch calls on a
+// lane (power of two; amortizes the sweep to a fraction of a slot scan
+// per packet).
+const sweepEvery = 256
+
+// busyKey parks a slot while an evictor snapshots and clears it; probes
+// treat it as occupied-non-matching.
+const busyKey = ^uint64(0)
+
+// entry is one flow slot. Every field is individually atomic: the lane
+// owner is the only writer on supported paths (so stores are cheap), and
+// readers — dumps, scrapes, the sweeper — take torn-free snapshots
+// without locks. 13 words per slot.
+type entry struct {
+	key     atomic.Uint64 // RSS flow hash; 0 = free, busyKey = mid-evict
+	pkts    atomic.Uint64
+	bytes   atomic.Uint64
+	first   atomic.Int64 // package-clock nanos at claim
+	last    atomic.Int64 // package-clock nanos at last touch
+	latSum  atomic.Int64 // sum of sampled pipeline latencies
+	latN    atomic.Uint64
+	verdict atomic.Uint32 // last Verdict observed at finish
+	// Five-tuple, extracted once at claim time from the pristine frame:
+	// src/dst as 16-byte (v4-mapped) words plus a packed meta word.
+	src0, src1 atomic.Uint64
+	dst0, dst1 atomic.Uint64
+	tup        atomic.Uint64 // tupValid | proto<<32 | sport<<16 | dport
+}
+
+const tupValid = uint64(1) << 63
+
+func packTuple(f pkt.FiveTuple) (tup, s0, s1, d0, d1 uint64) {
+	sa, da := f.Src.As16(), f.Dst.As16()
+	s0 = binary.BigEndian.Uint64(sa[0:8])
+	s1 = binary.BigEndian.Uint64(sa[8:16])
+	d0 = binary.BigEndian.Uint64(da[0:8])
+	d1 = binary.BigEndian.Uint64(da[8:16])
+	tup = tupValid | uint64(f.Proto)<<32 | uint64(f.SrcPort)<<16 | uint64(f.DstPort)
+	return
+}
+
+// Table is one lane's flow table. All per-packet methods are zero-alloc.
+type Table struct {
+	set     *Set
+	lane    int
+	mask    uint64
+	entries []entry
+
+	live       atomic.Int64
+	created    atomic.Uint64
+	evictIdle  atomic.Uint64
+	evictClash atomic.Uint64
+	touches    atomic.Uint64 // sweep trigger
+	hand       atomic.Uint64 // incremental sweep clock hand
+
+	sketch *CountMin
+	topk   *TopK
+}
+
+// Touch accounts one received packet against the flow identified by
+// hash, claiming (and if needed evicting into) a slot on first sight.
+// data must be the pristine ingress frame — the five-tuple is extracted
+// only on claim, before the pipeline rewrites headers in place.
+func (t *Table) Touch(hash uint64, data []byte, size int, now int64) {
+	if hash == 0 {
+		hash = 1 // 0 means "free slot"
+	}
+	e := t.slot(hash, data, now)
+	e.pkts.Add(1)
+	e.bytes.Add(uint64(size))
+	e.last.Store(now)
+	if t.touches.Add(1)&(sweepEvery-1) == 0 {
+		t.sweep(now)
+	}
+}
+
+// Finish records the final verdict (and, when sampled, the pipeline
+// latency) on the flow's entry. A miss — the entry was evicted while the
+// packet sat in the traffic manager — is a silent no-op: the packet was
+// already counted at Touch, so conservation holds regardless.
+func (t *Table) Finish(hash uint64, v Verdict, latNanos int64, now int64) {
+	if hash == 0 {
+		hash = 1
+	}
+	for i := uint64(0); i < probeWindow; i++ {
+		e := &t.entries[(hash+i)&t.mask]
+		if e.key.Load() != hash {
+			continue
+		}
+		e.verdict.Store(uint32(v))
+		if latNanos >= 0 {
+			e.latSum.Add(latNanos)
+			e.latN.Add(1)
+		}
+		e.last.Store(now)
+		return
+	}
+}
+
+// slot finds or claims the entry for hash within the probe window,
+// displacing the window's smallest flow when it is full.
+func (t *Table) slot(hash uint64, data []byte, now int64) *entry {
+	for i := uint64(0); i < probeWindow; i++ {
+		e := &t.entries[(hash+i)&t.mask]
+		k := e.key.Load()
+		if k == hash {
+			return e
+		}
+		if k == 0 {
+			if e.key.CompareAndSwap(0, hash) {
+				t.fill(e, data, now)
+				return e
+			}
+			if e.key.Load() == hash { // lost the race to ourselves-by-hash
+				return e
+			}
+		}
+	}
+	// Window full: evict the smallest flow in the window and take its
+	// slot. Emitting feeds the sketch and top-k, so the displaced flow's
+	// mass is not lost.
+	var victim *entry
+	vmin := ^uint64(0)
+	for i := uint64(0); i < probeWindow; i++ {
+		e := &t.entries[(hash+i)&t.mask]
+		if e.key.Load() == hash { // appeared meanwhile (multi-writer lane)
+			return e
+		}
+		if p := e.pkts.Load(); p < vmin {
+			vmin, victim = p, e
+		}
+	}
+	t.emit(victim, EvictClash, now)
+	if victim.key.CompareAndSwap(0, hash) {
+		t.fill(victim, data, now)
+		return victim
+	}
+	// A concurrent writer re-claimed the slot first (pipelined lane
+	// only): account against whatever lives there rather than spinning —
+	// a bounded miscount, and impossible on single-writer lanes.
+	return victim
+}
+
+// fill initializes a freshly claimed slot (key already set by the CAS).
+func (t *Table) fill(e *entry, data []byte, now int64) {
+	e.pkts.Store(0)
+	e.bytes.Store(0)
+	e.latSum.Store(0)
+	e.latN.Store(0)
+	e.verdict.Store(uint32(VerdictNone))
+	e.first.Store(now)
+	e.last.Store(now)
+	var tup, s0, s1, d0, d1 uint64
+	if f, ok := pkt.ExtractFiveTuple(data); ok {
+		tup, s0, s1, d0, d1 = packTuple(f)
+	}
+	e.src0.Store(s0)
+	e.src1.Store(s1)
+	e.dst0.Store(d0)
+	e.dst1.Store(d1)
+	e.tup.Store(tup)
+	t.created.Add(1)
+	t.live.Add(1)
+}
+
+// emit retires an entry: snapshot, free the slot, push a flow record and
+// fold the exact count into the sketch and top-k. The CAS to busyKey
+// makes retirement exclusive even on a multi-writer lane.
+func (t *Table) emit(e *entry, reason uint8, now int64) {
+	k := e.key.Load()
+	if k == 0 || k == busyKey {
+		return
+	}
+	if !e.key.CompareAndSwap(k, busyKey) {
+		return // another evictor won
+	}
+	var r rawRec
+	r.hash = k
+	r.pkts = e.pkts.Load()
+	r.bytes = e.bytes.Load()
+	r.first = e.first.Load()
+	r.last = e.last.Load()
+	r.latSum = e.latSum.Load()
+	r.latN = e.latN.Load()
+	r.verdict = uint8(e.verdict.Load())
+	tup := e.tup.Load()
+	if tup&tupValid != 0 {
+		r.tupOK = true
+		binary.BigEndian.PutUint64(r.src[0:8], e.src0.Load())
+		binary.BigEndian.PutUint64(r.src[8:16], e.src1.Load())
+		binary.BigEndian.PutUint64(r.dst[0:8], e.dst0.Load())
+		binary.BigEndian.PutUint64(r.dst[8:16], e.dst1.Load())
+		r.proto = uint8(tup >> 32)
+		r.sport = uint16(tup >> 16)
+		r.dport = uint16(tup)
+	}
+	r.lane = int32(t.lane)
+	r.reason = reason
+	e.pkts.Store(0)
+	e.key.Store(0) // slot free again
+	t.live.Add(-1)
+	if r.pkts == 0 {
+		return // claimed but never counted; nothing to record
+	}
+	switch reason {
+	case EvictIdle:
+		t.evictIdle.Add(1)
+	case EvictClash:
+		t.evictClash.Add(1)
+	}
+	t.set.push(&r)
+	t.sketch.Add(k, r.pkts)
+	t.topk.Offer(&r)
+}
+
+// sweep advances the clock hand over SweepChunk slots, retiring entries
+// idle past the configured bound. Runs inline on the lane owner, so it
+// never races the writer it is sweeping for.
+func (t *Table) sweep(now int64) {
+	idle := t.set.cfg.IdleNanos
+	n := uint64(t.set.cfg.SweepChunk)
+	h := t.hand.Load()
+	for i := uint64(0); i < n; i++ {
+		e := &t.entries[(h+i)&t.mask]
+		if e.key.Load() == 0 {
+			continue
+		}
+		if now-e.last.Load() >= idle {
+			t.emit(e, EvictIdle, now)
+		}
+	}
+	t.hand.Store(h + n)
+}
+
+// Flush retires every live entry (reason "flush"). Called at shutdown
+// after the lane's worker has exited, it makes flow accounting exactly
+// conserving: every packet the lane counted is now in an emitted record.
+func (t *Table) Flush(now int64) {
+	for i := range t.entries {
+		t.emit(&t.entries[i], EvictFlush, now)
+	}
+}
+
+// Live returns the lane's live flow count.
+func (t *Table) Live() int64 { return t.live.Load() }
+
+// EstimateEvicted returns the count-min estimate of the packet mass this
+// lane has evicted for hash (an overestimate: ≤ true + εN with
+// probability 1-(1/2)^depth, ε = e/width).
+func (t *Table) EstimateEvicted(hash uint64) uint64 {
+	if hash == 0 {
+		hash = 1
+	}
+	return t.sketch.Estimate(hash)
+}

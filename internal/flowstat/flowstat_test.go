@@ -1,0 +1,371 @@
+package flowstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ipsa/internal/pkt"
+)
+
+func v4Frame(t testing.TB, srcPort uint16) []byte {
+	t.Helper()
+	raw, err := pkt.Serialize(
+		&pkt.Ethernet{Dst: [6]byte{2, 0, 0, 0, 0, 1}, Src: [6]byte{2, 0, 0, 0, 0, 2}, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoTCP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 1, 0, 1}},
+		&pkt.TCP{SrcPort: srcPort, DstPort: 80, Seq: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func v6Frame(t testing.TB) []byte {
+	t.Helper()
+	src := [16]byte{0x20, 0x01, 0x0d, 0xb8, 15: 1}
+	dst := [16]byte{0x20, 0x01, 0x0d, 0xb8, 15: 2}
+	raw, err := pkt.Serialize(
+		&pkt.Ethernet{Dst: [6]byte{2, 0, 0, 0, 0, 1}, Src: [6]byte{2, 0, 0, 0, 0, 2}, EtherType: pkt.EtherTypeIPv6},
+		&pkt.IPv6{HopLimit: 64, NextHeader: pkt.IPProtoUDP, Src: src, Dst: dst},
+		&pkt.UDP{SrcPort: 5353, DstPort: 53},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestAccountAndDump: the basic accounting cycle — touches accumulate,
+// finish records the verdict and latency, Dump exports the decoded
+// five-tuple.
+func TestAccountAndDump(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 4})
+	tab := s.Lane(0)
+	data := v4Frame(t, 4242)
+	h := pkt.RSSHash(data)
+	for i := 0; i < 3; i++ {
+		tab.Touch(h, data, len(data), int64(i)*1000)
+		tab.Finish(h, VerdictForwarded, 500, int64(i)*1000)
+	}
+	recs := s.Dump(0)
+	if len(recs) != 1 {
+		t.Fatalf("Dump returned %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Packets != 3 || r.Bytes != uint64(3*len(data)) {
+		t.Errorf("packets=%d bytes=%d, want 3/%d", r.Packets, r.Bytes, 3*len(data))
+	}
+	if r.Src != "10.0.0.1" || r.Dst != "10.1.0.1" || r.Proto != 6 ||
+		r.SrcPort != 4242 || r.DstPort != 80 {
+		t.Errorf("tuple = %s:%d -> %s:%d proto=%d", r.Src, r.SrcPort, r.Dst, r.DstPort, r.Proto)
+	}
+	if r.Verdict != "forwarded" || r.Reason != "active" {
+		t.Errorf("verdict=%q reason=%q", r.Verdict, r.Reason)
+	}
+	if r.LatAvgNanos != 500 || r.LatSamples != 3 {
+		t.Errorf("lat avg=%d n=%d, want 500/3", r.LatAvgNanos, r.LatSamples)
+	}
+	if s.ActiveFlows() != 1 {
+		t.Errorf("ActiveFlows = %d", s.ActiveFlows())
+	}
+}
+
+// TestTupleV6: v6 addresses round-trip through the packed entry words.
+func TestTupleV6(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 4})
+	tab := s.Lane(0)
+	data := v6Frame(t)
+	h := pkt.RSSHash(data)
+	tab.Touch(h, data, len(data), 0)
+	recs := s.Dump(0)
+	if len(recs) != 1 {
+		t.Fatalf("Dump returned %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Src != "2001:db8::1" || r.Dst != "2001:db8::2" || r.Proto != 17 ||
+		r.SrcPort != 5353 || r.DstPort != 53 {
+		t.Errorf("tuple = %s:%d -> %s:%d proto=%d", r.Src, r.SrcPort, r.Dst, r.DstPort, r.Proto)
+	}
+}
+
+// TestClashConservation: a table far smaller than the flow population
+// must still conserve every packet — clash evictions emit records, the
+// flush retires the remainder, and the record mass equals the touches.
+func TestClashConservation(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 2}) // 4 slots
+	tab := s.Lane(0)
+	const flows, perFlow = 64, 7
+	for f := 0; f < flows; f++ {
+		data := v4Frame(t, uint16(1000+f))
+		h := pkt.RSSHash(data)
+		for i := 0; i < perFlow; i++ {
+			tab.Touch(h, data, len(data), int64(i))
+		}
+	}
+	s.FlushAll()
+	if got := s.RecordPackets(); got != flows*perFlow {
+		t.Fatalf("record packets = %d, want %d (conservation violated)", got, flows*perFlow)
+	}
+	if tab.Live() != 0 {
+		t.Errorf("live = %d after flush", tab.Live())
+	}
+}
+
+// TestIdleSweep: a flow idle past the bound is retired by the
+// touch-amortized sweeper with reason "idle".
+func TestIdleSweep(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 4, IdleNanos: 1000})
+	tab := s.Lane(0)
+	old := v4Frame(t, 1)
+	tab.Touch(pkt.RSSHash(old), old, len(old), 0)
+	// Drive another flow until the sweep trigger fires with a now far
+	// past the first flow's idle bound.
+	busy := v4Frame(t, 2)
+	bh := pkt.RSSHash(busy)
+	for i := 0; i < 2*sweepEvery; i++ {
+		tab.Touch(bh, busy, len(busy), 1_000_000)
+	}
+	recs := s.Records(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 idle eviction", len(recs))
+	}
+	if recs[0].Reason != "idle" || recs[0].SrcPort != 1 {
+		t.Errorf("record = %+v, want idle eviction of flow 1", recs[0])
+	}
+	if tab.Live() != 1 {
+		t.Errorf("live = %d, want 1 (busy flow)", tab.Live())
+	}
+}
+
+// TestHeavyHittersSurviveEviction: the defining property — a heavy flow
+// displaced from the table keeps its mass visible through the
+// space-saving summary and count-min sketch.
+func TestHeavyHittersSurviveEviction(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 2, TopK: 4})
+	tab := s.Lane(0)
+	heavy := v4Frame(t, 9999)
+	hh := pkt.RSSHash(heavy)
+	for i := 0; i < 500; i++ {
+		tab.Touch(hh, heavy, len(heavy), 0)
+	}
+	tab.Flush(0) // evict the heavy flow from the table entirely
+	// Light-flow storm churns the table after the heavy flow is gone.
+	for f := 0; f < 64; f++ {
+		data := v4Frame(t, uint16(f))
+		tab.Touch(pkt.RSSHash(data), data, len(data), 0)
+	}
+	top := s.HeavyHitters(3)
+	if len(top) == 0 {
+		t.Fatal("no heavy hitters reported")
+	}
+	best := top[0]
+	if best.Packets < 500 {
+		t.Fatalf("top hitter counts %d packets, heavy flow had 500", best.Packets)
+	}
+	if best.SrcPort != 9999 && best.Hash != fmt.Sprintf("%016x", hh) {
+		t.Errorf("top hitter is %s:%d (hash %s), want the heavy flow", best.Src, best.SrcPort, best.Hash)
+	}
+	if best.Live {
+		t.Error("heavy flow reported live after eviction")
+	}
+	// The sketch never underestimates evicted mass.
+	if est := tab.EstimateEvicted(hh); est < 500 {
+		t.Errorf("sketch estimate %d < true evicted count 500", est)
+	}
+}
+
+// TestSketchOverestimates: count-min estimates are always >= the true
+// count, and unseen keys with no collisions read zero-ish (bounded).
+func TestSketchOverestimates(t *testing.T) {
+	cm := NewCountMin(64, 4)
+	truth := map[uint64]uint64{}
+	for k := uint64(1); k <= 200; k++ {
+		n := k % 9
+		for i := uint64(0); i < n; i++ {
+			cm.Add(k, 1)
+		}
+		truth[k] = n
+	}
+	for k, n := range truth {
+		if est := cm.Estimate(k); est < n {
+			t.Fatalf("estimate(%d) = %d < true %d", k, est, n)
+		}
+	}
+	if cm.Width() != 64 || cm.Depth() != 4 {
+		t.Errorf("dims = %dx%d", cm.Width(), cm.Depth())
+	}
+}
+
+// TestRecordRingWrap: the ring keeps the newest RingSize records,
+// oldest-first, with monotonic sequence numbers.
+func TestRecordRingWrap(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 4, RingSize: 4})
+	tab := s.Lane(0)
+	for f := 0; f < 6; f++ {
+		data := v4Frame(t, uint16(100+f))
+		tab.Touch(pkt.RSSHash(data), data, len(data), int64(f))
+		tab.Flush(int64(f))
+	}
+	recs := s.Records(0)
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(3+i) {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, 3+i)
+		}
+		if r.Reason != "flush" {
+			t.Errorf("record %d reason = %q", i, r.Reason)
+		}
+	}
+	if got := s.Records(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Errorf("Records(2) = %d records ending seq %d", len(got), got[len(got)-1].Seq)
+	}
+	if s.RecordCount() != 6 {
+		t.Errorf("RecordCount = %d, want 6", s.RecordCount())
+	}
+}
+
+// TestZeroAllocHotPath pins the per-packet contract: Touch and Finish on
+// a warm table allocate nothing.
+func TestZeroAllocHotPath(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 8})
+	tab := s.Lane(0)
+	data := v4Frame(t, 7)
+	h := pkt.RSSHash(data)
+	tab.Touch(h, data, len(data), 0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		tab.Touch(h, data, len(data), 1)
+		tab.Finish(h, VerdictForwarded, 100, 1)
+	}); avg != 0 {
+		t.Errorf("hot path allocates: %.2f allocs/op", avg)
+	}
+}
+
+// TestNilSafety: a disabled Set (nil) is inert everywhere callers touch
+// it, including the HTTP endpoint.
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	if s.Lane(0) != nil || s.Peek(0) != nil {
+		t.Error("nil set produced a table")
+	}
+	s.FlushAll() // must not panic
+	mux := http.NewServeMux()
+	s.Register(mux)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/flows", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+}
+
+// TestHTTPEndpoint: /flows serves dumps, records and heavy hitters as
+// JSON.
+func TestHTTPEndpoint(t *testing.T) {
+	s := NewSet(1, Config{TableBits: 4})
+	tab := s.Lane(0)
+	data := v4Frame(t, 8080)
+	h := pkt.RSSHash(data)
+	tab.Touch(h, data, len(data), 0)
+	tab.Finish(h, VerdictForwarded, -1, 0)
+	mux := http.NewServeMux()
+	s.Register(mux)
+
+	get := func(url string) []byte {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, rr.Code)
+		}
+		return rr.Body.Bytes()
+	}
+	var flows []Record
+	if err := json.Unmarshal(get("/flows"), &flows); err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].SrcPort != 8080 {
+		t.Fatalf("/flows = %+v", flows)
+	}
+	tab.Flush(0)
+	if err := json.Unmarshal(get("/flows?records=1&max=5"), &flows); err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Reason != "flush" {
+		t.Fatalf("/flows?records=1 = %+v", flows)
+	}
+	var hh []HeavyHitter
+	if err := json.Unmarshal(get("/flows?hh=1"), &hh); err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) != 1 || hh[0].Live {
+		t.Fatalf("/flows?hh=1 = %+v", hh)
+	}
+}
+
+// TestVerdictRoundTrip: the enum and dataplane strings agree.
+func TestVerdictRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{VerdictForwarded, VerdictDropped, VerdictTMDrop, VerdictToCPU, VerdictNoPort} {
+		if VerdictOf(v.String()) != v {
+			t.Errorf("verdict %d round-trips as %d", v, VerdictOf(v.String()))
+		}
+	}
+	if VerdictOf("bogus") != VerdictNone {
+		t.Error("unknown verdict not mapped to none")
+	}
+}
+
+// TestConcurrentReadersRace exercises the lock-free discipline under the
+// race detector: one writer per lane (the supported discipline), with
+// dumps, heavy-hitter merges and record reads racing them.
+func TestConcurrentReadersRace(t *testing.T) {
+	s := NewSet(2, Config{TableBits: 3, IdleNanos: 10, TopK: 4})
+	frames := make([][]byte, 97)
+	hashes := make([]uint64, 97)
+	for i := range frames {
+		frames[i] = v4Frame(t, uint16(i))
+		hashes[i] = pkt.RSSHash(frames[i])
+	}
+	var writers sync.WaitGroup
+	for lane := 0; lane < 2; lane++ {
+		writers.Add(1)
+		go func(lane int) {
+			defer writers.Done()
+			tab := s.Lane(lane)
+			for i := 0; i < 5000; i++ {
+				f := i % len(frames)
+				tab.Touch(hashes[f], frames[f], len(frames[f]), int64(i))
+				tab.Finish(hashes[f], VerdictForwarded, int64(i%50), int64(i))
+			}
+		}(lane)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Dump(10)
+			s.HeavyHitters(5)
+			s.Records(10)
+			s.ActiveFlows()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s.FlushAll()
+	// 8-slot tables under 97 flows clash constantly; after the flush every
+	// touched packet must sit in a record.
+	if got := s.RecordPackets(); got != 2*5000 {
+		t.Fatalf("record packets = %d, want %d", got, 2*5000)
+	}
+}

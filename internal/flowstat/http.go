@@ -1,0 +1,51 @@
+package flowstat
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Register mounts the flow endpoints on mux:
+//
+//	/flows            active flows, largest first (?max=N truncates)
+//	/flows?records=1  exported flow records (completed flows), oldest first
+//	/flows?hh=1       estimated heavy hitters, largest first
+//
+// Responses are JSON arrays. Nil-safe: a nil Set serves empty arrays so
+// callers can mount unconditionally.
+func (s *Set) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+		// Empty results stay non-nil so clients always see a JSON
+		// array, never null.
+		var v any = []struct{}{}
+		switch {
+		case s == nil:
+		case boolParam(r, "hh"):
+			if hh := s.HeavyHitters(max); len(hh) > 0 {
+				v = hh
+			}
+		case boolParam(r, "records"):
+			if recs := s.Records(max); len(recs) > 0 {
+				v = recs
+			}
+		default:
+			if recs := s.Dump(max); len(recs) > 0 {
+				v = recs
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}

@@ -1,0 +1,403 @@
+package flowstat
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ipsa/internal/telemetry"
+)
+
+// Config sizes one Set. Zero values take the defaults below.
+type Config struct {
+	TableBits   int   // log2 slots per lane table (default 10 = 1024 slots)
+	IdleNanos   int64 // idle-eviction bound (default 2s)
+	SweepChunk  int   // slots examined per incremental sweep (default 64)
+	TopK        int   // space-saving summary size per lane (default 16)
+	SketchWidth int   // count-min row width, rounded to a power of two (default 1024)
+	SketchDepth int   // count-min rows (default 4)
+	RingSize    int   // shared flow-record ring capacity (default 2048)
+}
+
+func (c Config) withDefaults() Config {
+	if c.TableBits <= 0 {
+		c.TableBits = 10
+	}
+	if c.TableBits > 24 {
+		c.TableBits = 24
+	}
+	if c.IdleNanos <= 0 {
+		c.IdleNanos = 2e9
+	}
+	if c.SweepChunk <= 0 {
+		c.SweepChunk = 64
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.SketchWidth <= 0 {
+		c.SketchWidth = 1024
+	}
+	// Keep the recorded width in sync with what NewCountMin allocates so
+	// the exported epsilon reflects the real sketch.
+	for w := 1; ; w <<= 1 {
+		if w >= c.SketchWidth {
+			c.SketchWidth = w
+			break
+		}
+	}
+	if c.SketchDepth <= 0 {
+		c.SketchDepth = 4
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 2048
+	}
+	return c
+}
+
+// Set is the per-switch collection of lane tables plus the shared
+// flow-record ring and conservation counters. Lanes are allocated
+// lazily: a switch running sharded with 4 shards only ever pays for 4
+// tables.
+type Set struct {
+	cfg   Config
+	lanes []atomic.Pointer[Table]
+
+	mu   sync.Mutex
+	recs []rawRec
+	pos  int
+	full bool
+	seq  uint64
+
+	records  atomic.Uint64
+	recPkts  atomic.Uint64
+	recBytes atomic.Uint64
+}
+
+// NewSet builds a set with the given lane count (shard or port count,
+// whichever runner feeds it).
+func NewSet(lanes int, cfg Config) *Set {
+	if lanes < 1 {
+		lanes = 1
+	}
+	cfg = cfg.withDefaults()
+	return &Set{
+		cfg:   cfg,
+		lanes: make([]atomic.Pointer[Table], lanes),
+		recs:  make([]rawRec, cfg.RingSize),
+	}
+}
+
+// Lane returns (creating on first use) the table for lane i, or nil when
+// i is out of range — callers treat a nil table as accounting disabled.
+func (s *Set) Lane(i int) *Table {
+	if s == nil || i < 0 || i >= len(s.lanes) {
+		return nil
+	}
+	if t := s.lanes[i].Load(); t != nil {
+		return t
+	}
+	slots := uint64(1) << s.cfg.TableBits
+	t := &Table{
+		set:     s,
+		lane:    i,
+		mask:    slots - 1,
+		entries: make([]entry, slots),
+		sketch:  NewCountMin(s.cfg.SketchWidth, s.cfg.SketchDepth),
+		topk:    NewTopK(s.cfg.TopK),
+	}
+	if s.lanes[i].CompareAndSwap(nil, t) {
+		return t
+	}
+	return s.lanes[i].Load()
+}
+
+// Peek returns lane i's table without allocating it.
+func (s *Set) Peek(i int) *Table {
+	if s == nil || i < 0 || i >= len(s.lanes) {
+		return nil
+	}
+	return s.lanes[i].Load()
+}
+
+// push appends a raw record to the shared ring and rolls the
+// conservation counters. Copies by value; zero allocations.
+func (s *Set) push(r *rawRec) {
+	s.records.Add(1)
+	s.recPkts.Add(r.pkts)
+	s.recBytes.Add(r.bytes)
+	s.mu.Lock()
+	s.seq++
+	r.seq = s.seq
+	s.recs[s.pos] = *r
+	s.pos++
+	if s.pos == len(s.recs) {
+		s.pos, s.full = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// FlushAll retires every live flow on every lane (reason "flush"). Call
+// only after the lane writers have stopped; after it returns, the
+// conservation invariant is exact: RecordPackets() equals every packet
+// the lanes ever counted.
+func (s *Set) FlushAll() {
+	if s == nil {
+		return
+	}
+	now := Now()
+	for i := range s.lanes {
+		if t := s.lanes[i].Load(); t != nil {
+			t.Flush(now)
+		}
+	}
+}
+
+// ActiveFlows sums live flows across lanes.
+func (s *Set) ActiveFlows() int64 {
+	var n int64
+	for i := range s.lanes {
+		if t := s.lanes[i].Load(); t != nil {
+			n += t.live.Load()
+		}
+	}
+	return n
+}
+
+// RecordPackets returns the total packet count carried by emitted flow
+// records — the conservation test's left-hand side.
+func (s *Set) RecordPackets() uint64 { return s.recPkts.Load() }
+
+// RecordCount returns how many flow records have been emitted.
+func (s *Set) RecordCount() uint64 { return s.records.Load() }
+
+// Records dumps up to max records from the ring, oldest first.
+func (s *Set) Records(max int) []Record {
+	s.mu.Lock()
+	var raw []rawRec
+	if s.full {
+		raw = append(raw, s.recs[s.pos:]...)
+		raw = append(raw, s.recs[:s.pos]...)
+	} else {
+		raw = append(raw, s.recs[:s.pos]...)
+	}
+	s.mu.Unlock()
+	if max > 0 && len(raw) > max {
+		raw = raw[len(raw)-max:]
+	}
+	now := Now()
+	out := make([]Record, len(raw))
+	for i := range raw {
+		out[i] = raw[i].export(now)
+	}
+	return out
+}
+
+// Dump snapshots the active flows across all lanes, largest first,
+// truncated to max (0 = all).
+func (s *Set) Dump(max int) []Record {
+	now := Now()
+	var out []Record
+	for li := range s.lanes {
+		t := s.lanes[li].Load()
+		if t == nil {
+			continue
+		}
+		for i := range t.entries {
+			e := &t.entries[i]
+			k := e.key.Load()
+			if k == 0 || k == busyKey {
+				continue
+			}
+			var r rawRec
+			r.hash = k
+			r.pkts = e.pkts.Load()
+			if r.pkts == 0 {
+				continue
+			}
+			r.bytes = e.bytes.Load()
+			r.first = e.first.Load()
+			r.last = e.last.Load()
+			r.latSum = e.latSum.Load()
+			r.latN = e.latN.Load()
+			r.verdict = uint8(e.verdict.Load())
+			if tup := e.tup.Load(); tup&tupValid != 0 {
+				r.tupOK = true
+				putBE(r.src[:], e.src0.Load(), e.src1.Load())
+				putBE(r.dst[:], e.dst0.Load(), e.dst1.Load())
+				r.proto = uint8(tup >> 32)
+				r.sport = uint16(tup >> 16)
+				r.dport = uint16(tup)
+			}
+			r.lane = int32(li)
+			r.reason = reasonActive
+			out = append(out, r.export(now))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// HeavyHitter is one ranked flow in an hh_dump: live mass plus the
+// evicted mass remembered by the space-saving summaries (exact counts
+// folded at eviction) or, for flows below the summaries' radar, the
+// count-min estimate of their evicted history.
+type HeavyHitter struct {
+	Hash     string `json:"hash"`
+	Lane     int    `json:"lane"`
+	Src      string `json:"src,omitempty"`
+	Dst      string `json:"dst,omitempty"`
+	Proto    uint8  `json:"proto,omitempty"`
+	SrcPort  uint16 `json:"src_port,omitempty"`
+	DstPort  uint16 `json:"dst_port,omitempty"`
+	Packets  uint64 `json:"packets"`   // estimated total (live + evicted)
+	ErrBound uint64 `json:"err_bound"` // overestimation bound on Packets
+	Live     bool   `json:"live"`
+}
+
+// HeavyHitters merges the per-lane space-saving summaries with the live
+// tables into one ranked list (largest estimated total first). max 0
+// defaults to 20.
+func (s *Set) HeavyHitters(max int) []HeavyHitter {
+	if max <= 0 {
+		max = 20
+	}
+	cands := make(map[uint64]*HeavyHitter)
+	for li := range s.lanes {
+		t := s.lanes[li].Load()
+		if t == nil {
+			continue
+		}
+		for _, it := range t.topk.Snapshot() {
+			hh := cands[it.hash]
+			if hh == nil {
+				hh = &HeavyHitter{Hash: hashString(it.hash), Lane: li}
+				cands[it.hash] = hh
+			}
+			hh.Packets += it.count
+			hh.ErrBound += it.err
+			if hh.Src == "" && it.tupOK {
+				hh.Src, hh.Dst = addrString(it.src), addrString(it.dst)
+				hh.Proto, hh.SrcPort, hh.DstPort = it.proto, it.sport, it.dport
+			}
+		}
+		for i := range t.entries {
+			e := &t.entries[i]
+			k := e.key.Load()
+			if k == 0 || k == busyKey {
+				continue
+			}
+			pkts := e.pkts.Load()
+			if pkts == 0 {
+				continue
+			}
+			hh := cands[k]
+			if hh == nil {
+				hh = &HeavyHitter{Hash: hashString(k), Lane: li}
+				// Not in the summary: its evicted history (if any) is
+				// only visible through the sketch — an overestimate, so
+				// it doubles as the error bound.
+				if est := t.sketch.Estimate(k); est > 0 {
+					hh.Packets += est
+					hh.ErrBound += est
+				}
+				cands[k] = hh
+			}
+			hh.Packets += pkts
+			hh.Live = true
+			if hh.Src == "" {
+				if tup := e.tup.Load(); tup&tupValid != 0 {
+					var src, dst [16]byte
+					putBE(src[:], e.src0.Load(), e.src1.Load())
+					putBE(dst[:], e.dst0.Load(), e.dst1.Load())
+					hh.Src, hh.Dst = addrString(src), addrString(dst)
+					hh.Proto = uint8(tup >> 32)
+					hh.SrcPort, hh.DstPort = uint16(tup>>16), uint16(tup)
+				}
+			}
+		}
+	}
+	out := make([]HeavyHitter, 0, len(cands))
+	for _, hh := range cands {
+		out = append(out, *hh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Collect emits the ipsa_flow_* series; hang it on the shared registry
+// with AddCollector so the numbers are assembled at scrape time.
+func (s *Set) Collect(emit func(telemetry.MetricPoint)) {
+	var live int64
+	var created, evIdle, evClash uint64
+	lanes := 0
+	for i := range s.lanes {
+		t := s.lanes[i].Load()
+		if t == nil {
+			continue
+		}
+		lanes++
+		live += t.live.Load()
+		created += t.created.Load()
+		evIdle += t.evictIdle.Load()
+		evClash += t.evictClash.Load()
+		emit(telemetry.MetricPoint{
+			Name: "ipsa_flow_active", Kind: "gauge", Value: float64(t.live.Load()),
+			Labels: []telemetry.Label{telemetry.L("lane", strconv.Itoa(i))},
+		})
+	}
+	gauge := func(name string, v float64) {
+		emit(telemetry.MetricPoint{Name: name, Kind: "gauge", Value: v})
+	}
+	ctr := func(name string, v float64, labels ...telemetry.Label) {
+		emit(telemetry.MetricPoint{Name: name, Kind: "counter", Value: v, Labels: labels})
+	}
+	gauge("ipsa_flow_active_total", float64(live))
+	gauge("ipsa_flow_lanes", float64(lanes))
+	gauge("ipsa_flow_table_slots", float64(uint64(1)<<s.cfg.TableBits))
+	gauge("ipsa_flow_sketch_width", float64(s.cfg.SketchWidth))
+	gauge("ipsa_flow_sketch_depth", float64(s.cfg.SketchDepth))
+	gauge("ipsa_flow_sketch_epsilon", math.E/float64(s.cfg.SketchWidth))
+	gauge("ipsa_flow_topk", float64(s.cfg.TopK))
+	ctr("ipsa_flow_created_total", float64(created))
+	ctr("ipsa_flow_evictions_total", float64(evIdle), telemetry.L("reason", "idle"))
+	ctr("ipsa_flow_evictions_total", float64(evClash), telemetry.L("reason", "clash"))
+	ctr("ipsa_flow_records_total", float64(s.records.Load()))
+	ctr("ipsa_flow_record_packets_total", float64(s.recPkts.Load()))
+	ctr("ipsa_flow_record_bytes_total", float64(s.recBytes.Load()))
+}
+
+func putBE(dst []byte, hi, lo uint64) {
+	for i := 7; i >= 0; i-- {
+		dst[i] = byte(hi)
+		dst[8+i] = byte(lo)
+		hi >>= 8
+		lo >>= 8
+	}
+}
+
+func hashString(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+func addrString(b [16]byte) string {
+	return netip.AddrFrom16(b).Unmap().String()
+}

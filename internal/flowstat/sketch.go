@@ -1,0 +1,148 @@
+package flowstat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// splitmix64 is the finalizer used to derive the per-row sketch indexes
+// from one flow hash (same mixer family the RSS steering uses).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CountMin is a count-min sketch over evicted flow mass: depth rows of a
+// power-of-two width, atomic cells so eviction-time adds and dump-time
+// estimates need no locks. Point estimates overestimate by at most εN
+// with probability 1-(1/2)^depth, where ε = e/width and N is the total
+// mass added.
+type CountMin struct {
+	width uint64 // power of two
+	depth int
+	cells []atomic.Uint64 // depth rows of width cells
+	added atomic.Uint64   // total mass, for the εN error bound
+}
+
+// NewCountMin builds a sketch; width is rounded up to a power of two.
+func NewCountMin(width, depth int) *CountMin {
+	w := uint64(1)
+	for int(w) < width {
+		w <<= 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &CountMin{width: w, depth: depth, cells: make([]atomic.Uint64, w*uint64(depth))}
+}
+
+// Add folds n into every row's cell for hash.
+func (c *CountMin) Add(hash, n uint64) {
+	h := hash
+	for d := 0; d < c.depth; d++ {
+		h = splitmix64(h)
+		c.cells[uint64(d)*c.width+(h&(c.width-1))].Add(n)
+	}
+	c.added.Add(n)
+}
+
+// Estimate returns the minimum over rows — the classic point estimate.
+func (c *CountMin) Estimate(hash uint64) uint64 {
+	est := ^uint64(0)
+	h := hash
+	for d := 0; d < c.depth; d++ {
+		h = splitmix64(h)
+		if v := c.cells[uint64(d)*c.width+(h&(c.width-1))].Load(); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Width returns the (rounded) row width.
+func (c *CountMin) Width() int { return int(c.width) }
+
+// Depth returns the row count.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Added returns the total mass folded in.
+func (c *CountMin) Added() uint64 { return c.added.Load() }
+
+// topEntry is one space-saving slot: a flow's accumulated evicted count
+// and the overestimation bound inherited from the entry it displaced.
+type topEntry struct {
+	hash     uint64
+	count    uint64
+	err      uint64
+	src, dst [16]byte
+	sport    uint16
+	dport    uint16
+	proto    uint8
+	tupOK    bool
+}
+
+// TopK is a space-saving top-k summary of evicted flow mass. It is only
+// touched at eviction time and by dumps, so a plain mutex is fine — the
+// per-packet path never sees it.
+type TopK struct {
+	mu    sync.Mutex
+	k     int
+	items []topEntry
+}
+
+// NewTopK builds a summary keeping k flows.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, items: make([]topEntry, 0, k)}
+}
+
+// Offer folds an evicted flow record into the summary: increment if
+// present, insert if there is room, otherwise displace the current
+// minimum (space-saving: the newcomer inherits min.count as its error
+// bound, keeping the invariant true_count ≤ count ≤ true_count + err).
+func (t *TopK) Offer(r *rawRec) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	minIdx := -1
+	var minCount uint64 = ^uint64(0)
+	for i := range t.items {
+		it := &t.items[i]
+		if it.hash == r.hash {
+			it.count += r.pkts
+			if !it.tupOK && r.tupOK {
+				it.src, it.dst = r.src, r.dst
+				it.sport, it.dport, it.proto = r.sport, r.dport, r.proto
+				it.tupOK = true
+			}
+			return
+		}
+		if it.count < minCount {
+			minCount, minIdx = it.count, i
+		}
+	}
+	ne := topEntry{
+		hash: r.hash, count: r.pkts,
+		src: r.src, dst: r.dst,
+		sport: r.sport, dport: r.dport, proto: r.proto, tupOK: r.tupOK,
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, ne)
+		return
+	}
+	ne.count += minCount
+	ne.err = minCount
+	t.items[minIdx] = ne
+}
+
+// Snapshot copies the current summary (unordered).
+func (t *TopK) Snapshot() []topEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]topEntry, len(t.items))
+	copy(out, t.items)
+	return out
+}

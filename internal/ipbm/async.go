@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/health"
 	"ipsa/internal/netio"
 	"ipsa/internal/pkt"
@@ -127,6 +128,22 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 		return
 	}
 	s.dp.BeginPacket(p)
+	if p.Trace != nil && v != nil {
+		p.Trace.Epoch = v.epoch
+	}
+	// Flow accounting: the per-port ingress workers make the ingress
+	// port a single-writer lane for Touch; Finish runs on the (shared)
+	// egress workers, which only update an existing entry's atomics.
+	fl := s.flows.Lane(inPort)
+	var now int64
+	if fl != nil {
+		p.RSS = pkt.RSSHash(data)
+		now = flowstat.Now()
+		fl.Touch(p.RSS, data, len(data), now)
+		if p.Timed {
+			p.FlowNanos = now
+		}
+	}
 	env := s.dp.GetEnv(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
@@ -139,6 +156,9 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 	s.dp.PutEnv(env)
 	if !ok {
 		s.dp.FinishPacket(p, "dropped")
+		if fl != nil {
+			fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), now)
+		}
 		s.dp.PutPacket(p)
 		if v != nil {
 			v.unpin()
@@ -149,6 +169,9 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 	// Tail drop is the TM's policy decision; counted in its stats.
 	if !s.pl.TM().Admit(p) {
 		s.dp.FinishPacket(p, "tm_drop")
+		if fl != nil {
+			fl.Finish(p.RSS, flowstat.VerdictTMDrop, flowLat(p), now)
+		}
 		s.dp.PutPacket(p)
 		if v != nil {
 			v.unpin()
@@ -190,8 +213,12 @@ func (s *Switch) egestPacket(p *pkt.Packet) {
 		survived = s.pl.RunEgress(p, d.Parser, s, env)
 	}
 	s.dp.PutEnv(env)
+	fl := s.flows.Peek(p.InPort)
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
+		if fl != nil {
+			fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), flowstat.Now())
+		}
 		s.dp.PutPacket(p)
 		return // dropped in egress
 	}
@@ -216,6 +243,10 @@ func (s *Switch) egestPacket(p *pkt.Packet) {
 	} else {
 		s.tel.noPortDrops.Inc()
 	}
-	s.dp.FinishPacket(p, dataplane.Verdict(p, true, s.ports.Len()))
+	verdict := dataplane.Verdict(p, true, s.ports.Len())
+	s.dp.FinishPacket(p, verdict)
+	if fl != nil {
+		fl.Finish(p.RSS, flowstat.VerdictOf(verdict), flowLat(p), flowstat.Now())
+	}
 	s.dp.PutPacket(p)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ipsa/internal/ctrlplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/telemetry"
 )
 
@@ -143,6 +144,37 @@ func (s *Switch) Stats() *ctrlplane.DeviceStats {
 		InvalidAccesses: s.dp.Faults().InvalidHeaderAccess.Load(),
 		Ports:           ports,
 	}
+}
+
+// Flows exposes the flow accounting engine (nil with FlowDisable).
+func (s *Switch) Flows() *flowstat.Set { return s.flows }
+
+// FlowDump implements ctrlplane.FlowSource: the active flows across all
+// lanes, largest first, truncated to max (0 = all).
+func (s *Switch) FlowDump(max int) []flowstat.Record {
+	if s.flows == nil {
+		return nil
+	}
+	return s.flows.Dump(max)
+}
+
+// FlowRecords returns the exported flow-record ring (completed flows),
+// oldest first, truncated to the newest max (0 = all).
+func (s *Switch) FlowRecords(max int) []flowstat.Record {
+	if s.flows == nil {
+		return nil
+	}
+	return s.flows.Records(max)
+}
+
+// HHDump implements ctrlplane.FlowSource: the estimated heavy hitters —
+// live flow mass merged with the evicted mass the space-saving
+// summaries and sketches remember.
+func (s *Switch) HHDump(max int) []flowstat.HeavyHitter {
+	if s.flows == nil {
+		return nil
+	}
+	return s.flows.HeavyHitters(max)
 }
 
 // MetricsDump implements ctrlplane.TelemetrySource.

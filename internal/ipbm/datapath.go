@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/netio"
 	"ipsa/internal/pkt"
 	"ipsa/internal/tsp"
@@ -54,9 +55,11 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 		if err != nil {
 			return nil, err
 		}
+		fl, now := s.flowTouch(p, data, inPort)
 		env := s.dp.GetEnv(v.design)
-		s.runEpoch(v, p, env)
+		ok := s.runEpoch(v, p, env)
 		s.dp.PutEnv(env)
+		s.flowFinish(fl, p, ok, now)
 		return p, nil
 	}
 	d := s.dp.Design()
@@ -67,10 +70,40 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	fl, now := s.flowTouch(p, data, inPort)
 	env := s.dp.GetEnv(d)
-	s.run(d, p, env)
+	ok := s.run(d, p, env)
 	s.dp.PutEnv(env)
+	s.flowFinish(fl, p, ok, now)
 	return p, nil
+}
+
+// flowTouch accounts a synchronous-path packet on its ingress port's
+// flow lane (the per-port runner goroutines give each lane a single
+// writer, the same discipline the shard workers get for free). Call it
+// after the packet is built and before the pipeline rewrites data.
+func (s *Switch) flowTouch(p *pkt.Packet, data []byte, inPort int) (*flowstat.Table, int64) {
+	fl := s.flows.Lane(inPort)
+	if fl == nil {
+		return nil, 0
+	}
+	p.RSS = pkt.RSSHash(data)
+	now := flowstat.Now()
+	fl.Touch(p.RSS, data, len(data), now)
+	return fl, now
+}
+
+// flowFinish records the final verdict (and sampled latency) after a
+// synchronous run.
+func (s *Switch) flowFinish(fl *flowstat.Table, p *pkt.Packet, ok bool, now int64) {
+	if fl == nil {
+		return
+	}
+	lat := int64(-1)
+	if p.Timed {
+		lat = flowstat.Now() - now
+	}
+	fl.Finish(p.RSS, flowstat.VerdictOf(dataplane.Verdict(p, ok, s.ports.Len())), lat, now)
 }
 
 // Forward processes a frame and transmits the survivor on its output
@@ -95,14 +128,17 @@ func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
 		}
 		return false, err
 	}
+	fl, now := s.flowTouch(p, data, inPort)
 	env := s.dp.GetEnv(d)
+	var ok bool
 	if v != nil {
-		s.runEpoch(v, p, env)
+		ok = s.runEpoch(v, p, env)
 		v.unpin()
 	} else {
-		s.run(d, p, env)
+		ok = s.run(d, p, env)
 	}
 	s.dp.PutEnv(env)
+	s.flowFinish(fl, p, ok, now)
 	defer s.dp.PutPacket(p)
 	if p.Drop {
 		return false, nil
@@ -165,6 +201,9 @@ func (s *Switch) Shutdown() {
 		s.ports.Close()
 		s.pl.TM().WakeAll()
 		s.runWG.Wait()
+		// All lane writers have exited: export every live flow so the
+		// record stream accounts for the switch's entire lifetime.
+		s.flows.FlushAll()
 	}
 }
 

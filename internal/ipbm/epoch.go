@@ -556,6 +556,9 @@ func (s *Switch) publishProgram(cfg *template.Config, changed map[string]bool, k
 // surfacing, telemetry finish — the epoch analogue of run().
 func (s *Switch) runEpoch(v *progVersion, p *pkt.Packet, env *tsp.Env) bool {
 	s.dp.BeginPacket(p)
+	if p.Trace != nil {
+		p.Trace.Epoch = v.epoch
+	}
 	env.Trace = p.Trace
 	env.Timed = p.Timed
 	ok := v.process(s.pl, p, env)

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"ipsa/internal/dataplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/health"
 	"ipsa/internal/netio"
 	"ipsa/internal/pipeline"
@@ -39,9 +40,12 @@ const MaxShards = 63
 // small enough to keep worst-case added latency at microseconds.
 const DefaultBatch = 32
 
-// shardFrame is one steered frame en route to its shard worker.
+// shardFrame is one steered frame en route to its shard worker. hash is
+// the RSS flow hash the reader already computed for steering, carried
+// along so flow accounting never hashes a frame twice.
 type shardFrame struct {
 	data []byte
+	hash uint64
 	port int32
 }
 
@@ -62,6 +66,13 @@ type shardRunner struct {
 
 	rx      *telemetry.Counter // frames steered to this shard
 	batches *telemetry.Counter // worker wakeups (rx/batches = mean batch)
+
+	// fl is this shard's flow table (nil with accounting disabled). The
+	// worker goroutine is its only writer — same single-writer discipline
+	// as the striped counters. now is the batch-granular timestamp the
+	// worker refreshes once per wakeup for flow first/last/idle times.
+	fl  *flowstat.Table
+	now int64
 
 	// gate is the stall-injection test hook: when non-nil, the worker
 	// blocks on the gate channel at its next wakeup, freezing its
@@ -113,6 +124,8 @@ func (s *Switch) RunSharded(shards, batch int) error {
 
 			rx:      s.tel.Reg.Counter("ipsa_shard_rx_frames_total", l),
 			batches: s.tel.Reg.Counter("ipsa_shard_batches_total", l),
+
+			fl: s.flows.Lane(i),
 		})
 	}
 	s.shardsP.Store(set)
@@ -187,8 +200,9 @@ func (s *Switch) shardReader(portIdx int, port netio.BatchPort, set *shardSet, r
 	for {
 		k, ok := port.RecvBatch(bufs)
 		for j := 0; j < k; j++ {
-			sh := set.shards[pkt.RSSHash(bufs[j])%n]
-			sh.in <- shardFrame{data: bufs[j], port: int32(portIdx)}
+			h := pkt.RSSHash(bufs[j])
+			sh := set.shards[h%n]
+			sh.in <- shardFrame{data: bufs[j], hash: h, port: int32(portIdx)}
 			bufs[j] = nil
 		}
 		if !ok {
@@ -209,6 +223,7 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 	for {
 		f, ok := <-sh.in
 		if !ok {
+			sh.now = flowstat.Now()
 			v := s.epochs.pin()
 			s.shardDrain(sh, v)
 			if v != nil {
@@ -219,6 +234,7 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 		if g := sh.gate.Load(); g != nil {
 			<-*g
 		}
+		sh.now = flowstat.Now()
 		v := s.epochs.pin()
 		s.shardIngest(sh, f, v)
 		n := 1
@@ -264,6 +280,16 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame, v *progVersion) {
 		return
 	}
 	s.dp.BeginPacket(p)
+	if p.Trace != nil && v != nil {
+		p.Trace.Epoch = v.epoch
+	}
+	p.RSS = f.hash
+	if sh.fl != nil {
+		sh.fl.Touch(f.hash, f.data, len(f.data), sh.now)
+		if p.Timed {
+			p.FlowNanos = flowstat.Now()
+		}
+	}
 	env := sh.dsh.Env(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
@@ -275,13 +301,28 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame, v *progVersion) {
 	}
 	if !ok {
 		s.dp.FinishPacket(p, "dropped")
+		if sh.fl != nil {
+			sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+		}
 		sh.dsh.PutPacket(p)
 		return
 	}
 	if !sh.tm.Admit(p) {
 		s.dp.FinishPacket(p, "tm_drop")
+		if sh.fl != nil {
+			sh.fl.Finish(p.RSS, flowstat.VerdictTMDrop, flowLat(p), sh.now)
+		}
 		sh.dsh.PutPacket(p)
 	}
+}
+
+// flowLat is the sampled per-flow latency: the time since the packet's
+// admission stamp, taken only for latency-sampled packets (-1 = none).
+func flowLat(p *pkt.Packet) int64 {
+	if p.Timed && p.FlowNanos > 0 {
+		return flowstat.Now() - p.FlowNanos
+	}
+	return -1
 }
 
 // shardDrain empties the shard TM through the egress half, then flushes
@@ -322,6 +363,9 @@ func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet, v *progVersion) {
 	}
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
+		if sh.fl != nil {
+			sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+		}
 		sh.dsh.PutPacket(p)
 		return
 	}
@@ -341,7 +385,11 @@ func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet, v *progVersion) {
 	} else {
 		s.tel.noPortDrops.Inc()
 	}
-	s.dp.FinishPacket(p, dataplane.Verdict(p, true, s.ports.Len()))
+	verdict := dataplane.Verdict(p, true, s.ports.Len())
+	s.dp.FinishPacket(p, verdict)
+	if sh.fl != nil {
+		sh.fl.Finish(p.RSS, flowstat.VerdictOf(verdict), flowLat(p), sh.now)
+	}
 	sh.dsh.PutPacket(p)
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"ipsa/internal/ctrlplane"
 	"ipsa/internal/dataplane"
+	"ipsa/internal/flowstat"
 	"ipsa/internal/health"
 	"ipsa/internal/match"
 	"ipsa/internal/mem"
@@ -80,6 +81,27 @@ type Options struct {
 	// retired program version's quiescence) before the health monitor
 	// reports the reconfiguration wedged (0 = 2s).
 	ReconfigDeadline time.Duration
+
+	// FlowTableBits sizes each flow-accounting lane table to 2^bits slots
+	// (0 = flowstat's default of 1024).
+	FlowTableBits int
+	// FlowIdle is the idle bound past which the sweeper exports a flow as
+	// a record (0 = flowstat's default of 2s).
+	FlowIdle time.Duration
+	// FlowTopK sizes each lane's space-saving heavy-hitter summary
+	// (0 = default 16).
+	FlowTopK int
+	// FlowSketchWidth/FlowSketchDepth size each lane's count-min sketch
+	// of evicted flow mass (0 = defaults 1024x4; width rounds up to a
+	// power of two, point-estimate error ε = e/width).
+	FlowSketchWidth int
+	FlowSketchDepth int
+	// FlowRecordRing sizes the shared exported-flow-record ring
+	// (0 = default 2048).
+	FlowRecordRing int
+	// FlowDisable turns flow accounting off entirely (it is on by
+	// default; the overhead benchmarks use this for the comparison).
+	FlowDisable bool
 
 	// DrainReconfig selects the legacy drain-and-swap reconfiguration
 	// path: ApplyConfig/SetInt exclude packet readers while templates are
@@ -163,6 +185,13 @@ type Switch struct {
 	intNow   func() int64
 	intDepth func(port int) int
 
+	// flows is the always-on flow accounting engine (nil only with
+	// Options.FlowDisable): per-lane flow tables riding the shard workers
+	// in sharded mode and the per-port runners in synchronous mode, plus
+	// the shared flow-record ring. Orthogonal to the program store, so
+	// flow state survives hitless edit commits and config applies.
+	flows *flowstat.Set
+
 	// shardsP is the sharded mode's published state (nil unless
 	// RunSharded is active): scrape-time aggregation, the INT queue-depth
 	// source and the in-flight audit all read it lock-free.
@@ -209,6 +238,20 @@ func New(opts Options) (*Switch, error) {
 	}
 	s.log = logger.With("component", "ipbm")
 	s.dp.SetLogger(logger.With("component", "dataplane", "switch", "ipbm"))
+	if !opts.FlowDisable {
+		lanes := opts.NumPorts
+		if lanes < MaxShards+1 {
+			lanes = MaxShards + 1
+		}
+		s.flows = flowstat.NewSet(lanes, flowstat.Config{
+			TableBits:   opts.FlowTableBits,
+			IdleNanos:   int64(opts.FlowIdle),
+			TopK:        opts.FlowTopK,
+			SketchWidth: opts.FlowSketchWidth,
+			SketchDepth: opts.FlowSketchDepth,
+			RingSize:    opts.FlowRecordRing,
+		})
+	}
 	s.newTelemetry(opts)
 	s.dp.SetHooks(telemetryHooks{s})
 	s.initHealth(opts)

@@ -126,6 +126,10 @@ func (s *Switch) newTelemetry(opts Options) {
 			telemetry.L("tsp", strconv.Itoa(i))))
 	}
 	reg.AddCollector(s.collect)
+	if s.flows != nil {
+		reg.AddCollector(s.flows.Collect)
+	}
+	telemetry.RegisterRuntimeMetrics(reg)
 	s.tel = tel
 }
 

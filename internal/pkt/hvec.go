@@ -133,6 +133,17 @@ type Packet struct {
 	// admission so the finish hook lands on the admitting shard's cells.
 	Lane int32
 
+	// RSS is the flow hash the packet was steered by (stamped at admission
+	// on accounting paths; 0 when unknown). Flow accounting keys its table
+	// probes on it at both ingress and finish, so it rides the packet
+	// across the TM handoff like Lane does.
+	RSS uint64
+
+	// FlowNanos is the flow-accounting latency stamp, taken at admission
+	// only for latency-sampled (Timed) packets; 0 otherwise. Kept separate
+	// from IngressNanos, which belongs to the INT source path.
+	FlowNanos int64
+
 	// Ver carries the program version the packet was pinned to at ingress
 	// so egress (possibly on another goroutine, after the traffic manager)
 	// executes the same program — per-packet version consistency for
@@ -168,6 +179,8 @@ func (p *Packet) ResetFor(data []byte, metaBytes int) {
 	p.Timed = false
 	p.IngressNanos = 0
 	p.Lane = 0
+	p.RSS = 0
+	p.FlowNanos = 0
 	p.Ver = nil
 }
 
@@ -186,6 +199,8 @@ func (p *Packet) Reset(data []byte) {
 	p.Timed = false
 	p.IngressNanos = 0
 	p.Lane = 0
+	p.RSS = 0
+	p.FlowNanos = 0
 	p.Ver = nil
 }
 
@@ -201,6 +216,8 @@ func (p *Packet) Clone() *Packet {
 
 		IngressNanos: p.IngressNanos,
 		Lane:         p.Lane,
+		RSS:          p.RSS,
+		FlowNanos:    p.FlowNanos,
 	}
 	q.HV.locs = append([]HeaderLoc(nil), p.HV.locs...)
 	return q

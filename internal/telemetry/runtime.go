@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntimeMetrics hangs a scrape-time collector of Go runtime
+// health on the registry — goroutine count, heap occupancy and GC pause
+// totals — plus a constant ipsa_build_info gauge whose labels identify
+// the binary (the Prometheus build_info convention). Scrape-time only:
+// ReadMemStats briefly stops the world, so nothing on a packet path ever
+// calls this.
+func RegisterRuntimeMetrics(r *Registry) {
+	info := []Label{L("go_version", runtime.Version())}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		info = append(info, L("module", bi.Main.Path))
+	}
+	r.AddCollector(func(emit func(MetricPoint)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		gauge := func(name string, v float64) {
+			emit(MetricPoint{Name: name, Kind: "gauge", Value: v})
+		}
+		ctr := func(name string, v float64) {
+			emit(MetricPoint{Name: name, Kind: "counter", Value: v})
+		}
+		emit(MetricPoint{Name: "ipsa_build_info", Kind: "gauge", Value: 1, Labels: info})
+		gauge("ipsa_go_goroutines", float64(runtime.NumGoroutine()))
+		gauge("ipsa_go_heap_alloc_bytes", float64(ms.HeapAlloc))
+		gauge("ipsa_go_heap_objects", float64(ms.HeapObjects))
+		gauge("ipsa_go_sys_bytes", float64(ms.Sys))
+		ctr("ipsa_go_gc_cycles_total", float64(ms.NumGC))
+		ctr("ipsa_go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
+		if ms.NumGC > 0 {
+			gauge("ipsa_go_gc_pause_last_seconds",
+				float64(ms.PauseNs[(ms.NumGC+255)%256])/1e9)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetrics: the scrape-time runtime collector emits the Go
+// health series and a labelled build-info gauge.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	byName := map[string]MetricPoint{}
+	for _, p := range r.Gather() {
+		byName[p.Name] = p
+	}
+	for _, name := range []string{
+		"ipsa_go_goroutines", "ipsa_go_heap_alloc_bytes", "ipsa_go_heap_objects",
+		"ipsa_go_sys_bytes", "ipsa_go_gc_cycles_total", "ipsa_go_gc_pause_seconds_total",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("series %s missing", name)
+		}
+	}
+	if byName["ipsa_go_goroutines"].Value < 1 {
+		t.Errorf("goroutines = %v", byName["ipsa_go_goroutines"].Value)
+	}
+	bi, ok := byName["ipsa_build_info"]
+	if !ok || bi.Value != 1 {
+		t.Fatalf("ipsa_build_info = %+v", bi)
+	}
+	var goVersion string
+	for _, l := range bi.Labels {
+		if l.Key == "go_version" {
+			goVersion = l.Value
+		}
+	}
+	if !strings.HasPrefix(goVersion, "go") {
+		t.Errorf("build_info go_version = %q", goVersion)
+	}
+}

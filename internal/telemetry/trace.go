@@ -24,11 +24,16 @@ type TraceHeader struct {
 
 // TraceRecord is one sampled packet's flight record.
 type TraceRecord struct {
-	Seq     uint64        `json:"seq"`
-	InPort  int           `json:"in_port"`
-	OutPort int           `json:"out_port"`
-	Bytes   int           `json:"bytes"`
-	Verdict string        `json:"verdict"` // "forwarded", "dropped", "tm_drop", "no_port", "to_cpu"
+	Seq     uint64 `json:"seq"`
+	InPort  int    `json:"in_port"`
+	OutPort int    `json:"out_port"`
+	Bytes   int    `json:"bytes"`
+	Verdict string `json:"verdict"` // "forwarded", "dropped", "tm_drop", "no_port", "to_cpu"
+	// Epoch is the program-store epoch the packet executed under (0 on
+	// drain-mode switches, which have no published store) — it ties a
+	// sampled packet to the exact program version that handled it across
+	// hitless reconfigurations.
+	Epoch   uint64        `json:"epoch,omitempty"`
 	Headers []TraceHeader `json:"headers,omitempty"`
 	Stages  []StageEvent  `json:"stages,omitempty"`
 }
