@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-reconfig bench-reconfig-baseline bench-flow bench-flow-baseline flow-soak fuzz-diff cover experiments examples health-smoke fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-fused bench-reconfig bench-reconfig-baseline bench-flow bench-flow-baseline flow-soak fuzz-diff fuzz-fused profile-hotpath cover experiments examples health-smoke fmt vet lint clean
 
 # Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
 # (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
@@ -54,6 +54,24 @@ bench-gate:
 	$(GO) build -o bin/benchgate ./cmd/benchgate
 	$(GO) test -run xxx -bench '$(GATED_BENCH)' -benchmem -count=3 . | bin/benchgate -check BENCH_hotpath.json -tol $(BENCH_TOL)
 
+# Second-stage-compiler gate: runs the three executor tiers in ONE
+# `go test` invocation and asserts the within-run ordering, which is
+# machine-independent (the host's absolute speed cancels out of the
+# ratios): the fused tier must not lose to the flat-program VM (0.95
+# floor absorbs minute-scale host drift between the two benchmark
+# blocks) and must beat the tree interpreter by >= 1.25x on every use
+# case, at strictly zero allocations. Thresholds carry margin under the
+# measured ratios (fused/compiled ~1.1-1.15x, fused/interp ~1.5-1.6x;
+# see EXPERIMENTS.md) so gate failures mean a real tier regression, not
+# benchmark noise. The usual baseline comparison also runs, so the
+# committed allocs=0 / ns bounds still apply to the fused keys.
+bench-fused:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_BENCH)' -benchmem -count=3 . \
+		| bin/benchgate -check BENCH_hotpath.json -tol $(BENCH_TOL) \
+		-speedup 'BenchmarkHotPath_Fused=BenchmarkHotPath_Compiled:0.95' \
+		-speedup 'BenchmarkHotPath_Fused=BenchmarkHotPath_Interp:1.25'
+
 # Reconfiguration-storm gate: a sharded switch forwards through ~170
 # edit commits/s on the epoch-versioned store; BENCH_reconfig.json pins
 # drops and stall_us at exactly 0 (strict zero invariants) plus the usual
@@ -99,6 +117,19 @@ flow-soak:
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:
 	$(GO) test ./internal/ipbm/ -run xxx -fuzz FuzzCompiledVsInterp -fuzztime 30s
+
+# Differential fuzz for the second-stage compiler: fused closures vs the
+# flat-program VM they were lowered from.
+fuzz-fused:
+	$(GO) test ./internal/ipbm/ -run xxx -fuzz FuzzFusedVsCompiled -fuzztime 30s
+
+# Capture CPU and heap profiles of the fused hot path. The equivalent
+# for a live switch is `ipbm -cpuprofile cpu.out -memprofile mem.out`;
+# see docs/OBSERVABILITY.md.
+profile-hotpath:
+	$(GO) test -run xxx -bench 'BenchmarkHotPath_Fused$$' -benchtime=200000x \
+		-cpuprofile cpu.out -memprofile mem.out .
+	@echo "profiles written: cpu.out mem.out (view with: $(GO) tool pprof -top cpu.out)"
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

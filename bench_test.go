@@ -422,6 +422,78 @@ func BenchmarkHotPath_Interp(b *testing.B) { benchmarkHotPath(b, tsp.ExecInterp,
 // costs per packet (see docs/OBSERVABILITY.md and EXPERIMENTS.md).
 func BenchmarkHotPath_FlowOff(b *testing.B) { benchmarkHotPath(b, tsp.ExecCompiled, true) }
 
+// benchmarkHotPathBatch drives ForwardBatch: one pinned version, one Env
+// bind and one stage-major sweep per batch of distinct frame buffers.
+// Frames are refreshed from the pristine flow packets before every batch
+// (the pipeline rewrites them in place), the same per-op copy the scalar
+// path pays inside gen.NextShared.
+func benchmarkHotPathBatch(b *testing.B, mode tsp.ExecMode, batch int) {
+	for _, uc := range experiments.UseCases {
+		b.Run(uc, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Exec = mode
+			prep, err := experiments.PrepareUseCase(cfg, uc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, gen := prep.IPSA(), prep.Gen()
+			flows := gen.FlowPackets()
+			bufs := make([][]byte, batch)
+			for i := range bufs {
+				bufs[i] = append([]byte(nil), flows[i%len(flows)]...)
+			}
+			refresh := func(k int) {
+				for i := 0; i < k; i++ {
+					copy(bufs[i], flows[i%len(flows)])
+				}
+			}
+			for i := 0; i < 4; i++ {
+				refresh(batch)
+				if _, err := sw.ForwardBatch(bufs, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				k := batch
+				if b.N-n < k {
+					k = b.N - n
+				}
+				refresh(k)
+				if _, err := sw.ForwardBatch(bufs[:k], 1); err != nil {
+					b.Fatal(err)
+				}
+				n += k
+			}
+		})
+	}
+}
+
+// BenchmarkHotPath_Fused is the gated second-stage-compiler benchmark:
+// fused closures, batch-at-a-time execution and exact-match prefetch at
+// the default batch size. CI compares it against the committed compiled
+// baseline (make bench-fused) with a strict zero-alloc requirement.
+func BenchmarkHotPath_Fused(b *testing.B) {
+	benchmarkHotPathBatch(b, tsp.ExecFused, ipbm.DefaultBatch)
+}
+
+// BenchmarkHotPath_FusedScalar isolates the closure tier from batching:
+// fused execution on the per-frame Forward path.
+func BenchmarkHotPath_FusedScalar(b *testing.B) { benchmarkHotPath(b, tsp.ExecFused, false) }
+
+// BenchmarkFusedBatchSensitivity sweeps the batch size at the fused tier
+// (EXPERIMENTS.md's sensitivity table): batch=1 is the degenerate
+// per-packet case, larger batches amortize pin/env/clock and let the
+// stage-major sweep and prefetch work.
+func BenchmarkFusedBatchSensitivity(b *testing.B) {
+	for _, batch := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchmarkHotPathBatch(b, tsp.ExecFused, batch)
+		})
+	}
+}
+
 // --- Flow accounting engine (docs/OBSERVABILITY.md) --------------------------
 
 // BenchmarkFlowAccount isolates the accounting engine: one Touch+Finish

@@ -19,6 +19,13 @@
 //     there is no variance to tolerate. Nonzero custom metrics are
 //     informational only.
 //
+// A third check class, -speedup, compares two benchmark families within
+// the same run, so it is as machine-independent as allocs/op: the host's
+// absolute speed cancels out of the ratio. This is how the second-stage
+// compiler gate asserts the fused tier's ordering (fused at least as fast
+// as the flat-program VM, and decisively faster than the tree
+// interpreter) without depending on which box CI happens to land on.
+//
 // Repeated runs of one benchmark (-count=N) are folded by taking the
 // minimum ns/op and the per-key maximum of allocs/op and custom metrics
 // (the pessimistic fold: one bad run out of five still fails a strict
@@ -28,6 +35,8 @@
 //
 //	go test -run xxx -bench BenchmarkHotPath -benchmem -count=5 . | benchgate -write BENCH_hotpath.json
 //	go test -run xxx -bench BenchmarkHotPath -benchmem -count=5 . | benchgate -check BENCH_hotpath.json -tol 2.0
+//	go test -run xxx -bench 'BenchmarkHotPath_(Interp|Compiled|Fused)$' -benchmem -count=3 . | \
+//	  benchgate -check BENCH_hotpath.json -speedup 'BenchmarkHotPath_Fused=BenchmarkHotPath_Interp:1.25'
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -56,6 +66,43 @@ type Baseline struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
+// speedupReq is one -speedup requirement: every benchmark named
+// old/<case> in the run must have a new/<case> counterpart whose ns/op is
+// at least min times lower.
+type speedupReq struct {
+	newName string
+	oldName string
+	min     float64
+}
+
+// parseSpeedup parses the -speedup flag syntax NEW=OLD:MIN.
+func parseSpeedup(s string) (speedupReq, error) {
+	eq := strings.Index(s, "=")
+	col := strings.LastIndex(s, ":")
+	if eq <= 0 || col <= eq+1 || col == len(s)-1 {
+		return speedupReq{}, fmt.Errorf("bad -speedup %q (want NEW=OLD:MIN, e.g. Fused=Interp:1.25)", s)
+	}
+	min, err := strconv.ParseFloat(s[col+1:], 64)
+	if err != nil || min <= 0 {
+		return speedupReq{}, fmt.Errorf("bad -speedup ratio in %q: want a positive number", s)
+	}
+	return speedupReq{newName: s[:eq], oldName: s[eq+1 : col], min: min}, nil
+}
+
+// speedupFlags collects repeated -speedup flags.
+type speedupFlags []speedupReq
+
+func (f *speedupFlags) String() string { return fmt.Sprint([]speedupReq(*f)) }
+
+func (f *speedupFlags) Set(s string) error {
+	req, err := parseSpeedup(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, req)
+	return nil
+}
+
 // procSuffix strips the trailing -GOMAXPROCS from a benchmark name so
 // baselines recorded on different core counts compare by logical name.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -65,6 +112,9 @@ func main() {
 	check := flag.String("check", "", "compare stdin against this baseline file")
 	tol := flag.Float64("tol", 2.0, "allowed ns/op slack: fail above baseline*(1+tol)")
 	note := flag.String("note", "", "free-form note stored in a written baseline")
+	var speedups speedupFlags
+	flag.Var(&speedups, "speedup",
+		"within-run speedup requirement NEW=OLD:MIN (repeatable); every OLD/<case> benchmark must have a NEW/<case> counterpart at least MIN times faster")
 	flag.Parse()
 	if (*write == "") == (*check == "") {
 		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -write or -check is required")
@@ -107,27 +157,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	failures := checkBaseline(os.Stdout, base, current, *tol)
+	failures += checkSpeedups(os.Stdout, current, speedups)
+	if failures > 0 {
+		fmt.Printf("benchgate: %d failure(s) across %d baseline benchmark(s)\n", failures, len(base.Benchmarks))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within bounds\n", len(base.Benchmarks))
+}
+
+// checkBaseline compares the current run against the committed baseline,
+// reporting per-benchmark verdicts to w and returning the failure count.
+// Baseline keys absent from the run are aggregated into one error naming
+// every missing key, so a narrowed -bench regex or a renamed benchmark
+// fails loudly with the full repair list instead of one key per rerun.
+func checkBaseline(w io.Writer, base Baseline, current map[string]Result, tol float64) int {
+	var missing []string
 	failures := 0
-	checked := 0
-	for name, want := range base.Benchmarks {
+	for _, name := range sortedResultKeys(base.Benchmarks) {
+		want := base.Benchmarks[name]
 		got, ok := current[name]
 		if !ok {
-			fmt.Printf("MISSING %s: in baseline but not in this run\n", name)
-			failures++
+			missing = append(missing, name)
 			continue
 		}
-		checked++
 		status := "ok"
 		if got.AllocsOp > want.AllocsOp {
 			status = "FAIL"
-			fmt.Printf("FAIL %s: allocs/op %.0f > baseline %.0f (allocation regressions are hard failures)\n",
+			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f > baseline %.0f (allocation regressions are hard failures)\n",
 				name, got.AllocsOp, want.AllocsOp)
 			failures++
 		}
-		if limit := want.NsOp * (1 + *tol); got.NsOp > limit {
+		if limit := want.NsOp * (1 + tol); got.NsOp > limit {
 			status = "FAIL"
-			fmt.Printf("FAIL %s: ns/op %.1f > %.1f (baseline %.1f, tol %.0f%%)\n",
-				name, got.NsOp, limit, want.NsOp, *tol*100)
+			fmt.Fprintf(w, "FAIL %s: ns/op %.1f > %.1f (baseline %.1f, tol %.0f%%)\n",
+				name, got.NsOp, limit, want.NsOp, tol*100)
 			failures++
 		}
 		for _, key := range sortedKeys(want.Extra) {
@@ -136,21 +200,84 @@ func main() {
 			}
 			if got.Extra[key] != 0 {
 				status = "FAIL"
-				fmt.Printf("FAIL %s: %s %.1f violates the baseline's zero invariant\n",
+				fmt.Fprintf(w, "FAIL %s: %s %.1f violates the baseline's zero invariant\n",
 					name, key, got.Extra[key])
 				failures++
 			}
 		}
 		if status == "ok" {
-			fmt.Printf("ok   %s: ns/op %.1f (baseline %.1f, %+.1f%%), allocs/op %.0f\n",
+			fmt.Fprintf(w, "ok   %s: ns/op %.1f (baseline %.1f, %+.1f%%), allocs/op %.0f\n",
 				name, got.NsOp, want.NsOp, 100*(got.NsOp-want.NsOp)/want.NsOp, got.AllocsOp)
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("benchgate: %d failure(s) across %d baseline benchmark(s)\n", failures, len(base.Benchmarks))
-		os.Exit(1)
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "FAIL baseline keys missing from this run: %s\n", strings.Join(missing, ", "))
+		fmt.Fprintf(w, "     (%d key(s); run the full gated benchmark set, or re-record the baseline with -write if a benchmark was renamed or removed)\n",
+			len(missing))
+		failures += len(missing)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within bounds\n", checked)
+	return failures
+}
+
+// checkSpeedups enforces -speedup requirements against the current run
+// only: for each requirement, every old/<case> benchmark must have a
+// new/<case> counterpart in the same run at least min times faster. Both
+// names being absent is a failure too — a requirement that matches
+// nothing is a broken gate, not a pass.
+func checkSpeedups(w io.Writer, current map[string]Result, reqs []speedupReq) int {
+	failures := 0
+	for _, req := range reqs {
+		matched := 0
+		for _, name := range sortedResultKeys(current) {
+			suffix, ok := caseSuffix(name, req.oldName)
+			if !ok {
+				continue
+			}
+			matched++
+			old := current[name]
+			newName := req.newName + suffix
+			cur, ok := current[newName]
+			if !ok {
+				fmt.Fprintf(w, "FAIL speedup %s: %s not in this run (counterpart of %s)\n",
+					req.newName, newName, name)
+				failures++
+				continue
+			}
+			if old.NsOp <= 0 || cur.NsOp <= 0 {
+				fmt.Fprintf(w, "FAIL speedup %s: non-positive ns/op (%s %.1f, %s %.1f)\n",
+					req.newName, name, old.NsOp, newName, cur.NsOp)
+				failures++
+				continue
+			}
+			ratio := old.NsOp / cur.NsOp
+			if ratio < req.min {
+				fmt.Fprintf(w, "FAIL speedup %s/%s: %.2fx vs %s (%.1f / %.1f ns/op), need >= %.2fx\n",
+					req.newName, strings.TrimPrefix(suffix, "/"), ratio, req.oldName, old.NsOp, cur.NsOp, req.min)
+				failures++
+				continue
+			}
+			fmt.Fprintf(w, "ok   speedup %s%s: %.2fx vs %s (%.1f / %.1f ns/op, need >= %.2fx)\n",
+				req.newName, suffix, ratio, req.oldName, old.NsOp, cur.NsOp, req.min)
+		}
+		if matched == 0 {
+			fmt.Fprintf(w, "FAIL speedup %s=%s: no benchmark named %s or %s/<case> in this run\n",
+				req.newName, req.oldName, req.oldName, req.oldName)
+			failures++
+		}
+	}
+	return failures
+}
+
+// caseSuffix reports whether name is base itself or a base/<case>
+// sub-benchmark, returning the "/<case>" suffix ("" for an exact match).
+func caseSuffix(name, base string) (string, bool) {
+	if name == base {
+		return "", true
+	}
+	if strings.HasPrefix(name, base+"/") {
+		return name[len(base):], true
+	}
+	return "", false
 }
 
 // parse folds `go test -bench` output into per-name Results, taking the
@@ -161,7 +288,7 @@ func main() {
 // printed, the log lands mid-line, and the measurements arrive on a later
 // line that starts with the iteration count. The parser therefore carries
 // a pending name across log noise until its numbers show up.
-func parse(f *os.File) (map[string]Result, error) {
+func parse(f io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
 	seen := make(map[string]bool)
 	pending := ""
@@ -252,6 +379,16 @@ func foldMin(a, b Result) Result {
 
 // sortedKeys gives deterministic report ordering for a metric map.
 func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedResultKeys gives deterministic report ordering for a result map.
+func sortedResultKeys(m map[string]Result) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

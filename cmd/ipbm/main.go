@@ -16,6 +16,8 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"ipsa/internal/ctrlplane"
@@ -43,7 +45,7 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "flight-recorder ring size")
 	latencyEvery := flag.Uint64("latency-every", 128,
 		"sample per-TSP latency every N packets; 0 disables")
-	execFlag := flag.String("exec", "compiled", "stage executor: compiled (flat programs) or interp (reference tree-walker)")
+	execFlag := flag.String("exec", "fused", "stage executor: fused (second-stage compiled closures), compiled (flat-program VM) or interp (reference tree-walker)")
 	intOn := flag.Bool("int", false, "enable in-band telemetry stamping at startup (also togglable at runtime via rp4ctl int enable/disable)")
 	intSwitchID := flag.Uint("int-switch-id", 1, "switch ID stamped into INT hop records")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -53,6 +55,8 @@ func main() {
 	flowIdle := flag.Duration("flow-idle", 0, "idle timeout before a flow is swept into a record (0 = default)")
 	flowTopK := flag.Int("flow-topk", 0, "heavy-hitter summary size per lane (0 = default)")
 	flowOff := flag.Bool("flow-off", false, "disable always-on flow accounting")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here for the whole run (pprof format)")
+	memProfile := flag.String("memprofile", "", "write a heap profile here at shutdown (pprof format)")
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -60,6 +64,12 @@ func main() {
 		fatal(err)
 	}
 	slog.SetDefault(logger)
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	execMode, err := tsp.ParseExecMode(*execFlag)
 	if err != nil {
@@ -214,6 +224,48 @@ func replay(sw *ipbm.Switch, inPath, outPath string) error {
 		"packets", rd.Count(), "int_trailers", intIn,
 		"forwarded", forwarded, "dropped", dropped, "punted", punted)
 	return nil
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot, per
+// the -cpuprofile/-memprofile flags. The returned stop function is safe
+// to call once at shutdown (it is a no-op when both flags are empty);
+// together with `make profile-hotpath` this is the workflow for finding
+// where the fused hot path spends its cycles on a live switch.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+		slog.Info("cpu profiling started", "path", cpuPath)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			slog.Info("cpu profile written", "path", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				slog.Error("heap profile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the snapshot reflects live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				slog.Error("heap profile", "err", err)
+				return
+			}
+			slog.Info("heap profile written", "path", memPath)
+		}
+	}, nil
 }
 
 func fatal(err error) {

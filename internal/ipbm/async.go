@@ -19,6 +19,13 @@ import (
 // genuinely idle worker parks within microseconds and costs nothing.
 const egressSpins = 4
 
+// egressBatch caps how many packets one egress worker drains from the TM
+// per round. Under load the whole run usually pins the same program
+// version, so the run executes stage-major through the fused closures
+// with one Env bind, one per-batch stat flush and one-ahead bucket
+// prefetch — the pipelined analogue of the sharded runner's drain.
+const egressBatch = 32
+
 // RunPipelined starts the asynchronous forwarding mode: one ingress worker
 // per port runs packets through the ingress half and admits them to the
 // traffic manager's queues (tail-dropping under congestion); egressWorkers
@@ -70,30 +77,31 @@ func (s *Switch) RunPipelined(egressWorkers int) error {
 	return nil
 }
 
-// egressLoop drains the TM until shutdown: process while packets are
-// available, spin briefly when the TM momentarily empties, then park on
-// the TM's notification. Shutdown's WakeAll unparks the final wait.
-// beat is this worker's watchdog heartbeat, stamped once per processed
-// packet (one uncontended atomic add).
+// egressLoop drains the TM until shutdown: process batch-at-a-time while
+// packets are available, spin briefly when the TM momentarily empties,
+// then park on the TM's notification. Shutdown's WakeAll unparks the
+// final wait. beat is this worker's watchdog heartbeat, stamped per
+// processed packet (one uncontended atomic add per round).
 func (s *Switch) egressLoop(beat *telemetry.Counter) {
+	scratch := make([]*pkt.Packet, egressBatch)
 	for {
 		if s.stopped.Load() {
 			return
 		}
-		if s.egestOne() {
-			beat.Inc()
+		if n := s.egestBatch(scratch); n > 0 {
+			beat.Add(uint64(n))
 			continue
 		}
-		spun := false
+		spun := 0
 		for i := 0; i < egressSpins; i++ {
 			runtime.Gosched()
-			if s.egestOne() {
-				spun = true
+			if n := s.egestBatch(scratch); n > 0 {
+				spun = n
 				break
 			}
 		}
-		if spun {
-			beat.Inc()
+		if spun > 0 {
+			beat.Add(uint64(spun))
 			continue
 		}
 		p, ok := s.pl.TM().DequeueWait(s.stopped.Load)
@@ -190,6 +198,56 @@ func (s *Switch) egestOne() bool {
 	return true
 }
 
+// egestBatch drains up to len(scratch) packets from the TM in one round.
+// Consecutive packets pinned to the same program version run stage-major
+// through runEgressBatch — one Env bind for the run, Trace/Timed rebound
+// per packet inside ExecuteBatch, drops and survivors counted by the
+// batch accounting — then finish per-packet. Unpinned packets (legacy
+// drain mode) fall back to the per-packet path. Returns how many packets
+// were dequeued this round.
+func (s *Switch) egestBatch(scratch []*pkt.Packet) int {
+	n := 0
+	for n < len(scratch) {
+		p, ok := s.pl.TM().DequeueRR()
+		if !ok {
+			break
+		}
+		scratch[n] = p
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i < n; {
+		v, _ := scratch[i].Ver.(*progVersion)
+		if v == nil {
+			s.egestPacket(scratch[i])
+			scratch[i] = nil
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n {
+			if vj, _ := scratch[j].Ver.(*progVersion); vj != v {
+				break
+			}
+			j++
+		}
+		group := scratch[i:j]
+		env := s.dp.GetEnv(v.design)
+		v.runEgressBatch(s.pl, group, env)
+		s.dp.PutEnv(env)
+		for k, p := range group {
+			p.Ver = nil
+			s.egestFinish(p, v, !p.Drop)
+			v.unpin()
+			group[k] = nil
+		}
+		i = j
+	}
+	return n
+}
+
 // egestPacket runs the egress half on one dequeued packet and transmits
 // the survivor. A packet carrying a pinned program version (hitless mode)
 // finishes under that version and releases it here.
@@ -213,6 +271,14 @@ func (s *Switch) egestPacket(p *pkt.Packet) {
 		survived = s.pl.RunEgress(p, d.Parser, s, env)
 	}
 	s.dp.PutEnv(env)
+	s.egestFinish(p, v, survived)
+}
+
+// egestFinish is the post-stage half of egress: drop bookkeeping, punt,
+// INT sink, transmit, telemetry finish, flow accounting and pool return.
+// Shared by the per-packet path and the batched one; releasing the
+// packet's pinned version is the caller's job.
+func (s *Switch) egestFinish(p *pkt.Packet, v *progVersion, survived bool) {
 	fl := s.flows.Peek(p.InPort)
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")

@@ -2,6 +2,7 @@ package ipbm
 
 import (
 	"fmt"
+	"sync"
 
 	"ipsa/internal/dataplane"
 	"ipsa/internal/flowstat"
@@ -152,6 +153,142 @@ func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
 		return false, err
 	}
 	return port.Send(p.Data), nil
+}
+
+// batchPool recycles ForwardBatch's packet-slice scratch so the batch
+// path stays allocation-free at steady state regardless of which
+// goroutine drives it.
+var batchPool = sync.Pool{New: func() any {
+	s := make([]*pkt.Packet, 0, DefaultBatch)
+	return &s
+}}
+
+// ForwardBatch processes a batch of frames from one ingress port and
+// transmits the survivors, returning how many left the switch. It is the
+// batch-at-a-time analogue of Forward: the program version is pinned
+// once, the Env is bound once, the flow clock is read once, and the
+// pipeline executes stage-major — every packet passes through one stage
+// before any packet advances — so fused stage closures, key plans and
+// match-table buckets stay cache-hot across the batch and the per-packet
+// bookkeeping amortizes. Each frame must be a distinct buffer (packets
+// alias their frames while in flight). On drain-mode switches (no
+// published version) it degrades to per-frame Forward calls.
+func (s *Switch) ForwardBatch(frames [][]byte, inPort int) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	v := s.epochs.pin()
+	if v == nil {
+		sent := 0
+		for _, data := range frames {
+			ok, err := s.Forward(data, inPort)
+			if err != nil {
+				return sent, err
+			}
+			if ok {
+				sent++
+			}
+		}
+		return sent, nil
+	}
+	defer v.unpin()
+	d := v.design
+	psp := batchPool.Get().(*[]*pkt.Packet)
+	ps := (*psp)[:0]
+	fl := s.flows.Lane(inPort)
+	var now int64
+	if fl != nil {
+		now = flowstat.Now()
+	}
+	var firstErr error
+	for _, data := range frames {
+		p, err := s.dp.GetPacket(d, data, inPort)
+		if err != nil {
+			// Process the frames already admitted, then report the error.
+			firstErr = err
+			break
+		}
+		s.dp.BeginPacket(p)
+		if p.Trace != nil {
+			p.Trace.Epoch = v.epoch
+		}
+		if fl != nil {
+			p.RSS = pkt.RSSHash(data)
+			fl.Touch(p.RSS, data, len(data), now)
+			if p.Timed {
+				p.FlowNanos = now
+			}
+		}
+		ps = append(ps, p)
+	}
+	env := s.dp.GetEnv(d)
+	v.runIngressBatch(s.pl, ps, env)
+	// TM boundary: dispose ingress drops and pass-through rejects so the
+	// egress sweep sees only live packets.
+	for i, p := range ps {
+		if p.Drop {
+			s.disposeBatchPkt(v, p, fl, false, now)
+			ps[i] = nil
+			continue
+		}
+		if !s.pl.TM().PassThrough(p) {
+			s.pl.CountDropped(int(env.Lane))
+			s.disposeBatchPkt(v, p, fl, false, now)
+			ps[i] = nil
+		}
+	}
+	v.runEgressBatch(s.pl, ps, env)
+	s.dp.PutEnv(env)
+	sent := 0
+	for i, p := range ps {
+		if p == nil {
+			continue
+		}
+		if s.disposeBatchPkt(v, p, fl, !p.Drop, now) {
+			sent++
+		}
+		ps[i] = nil
+	}
+	*psp = ps[:0]
+	batchPool.Put(psp)
+	return sent, firstErr
+}
+
+// disposeBatchPkt finishes one batch packet after its pipeline verdict —
+// punt, out-port surfacing, INT sink, telemetry finish, flow accounting,
+// transmit, freelist return — mirroring runEpoch's tail plus Forward's
+// transmit step. It reports whether the frame was transmitted.
+func (s *Switch) disposeBatchPkt(v *progVersion, p *pkt.Packet, fl *flowstat.Table, ok bool, now int64) bool {
+	if p.ToCPU {
+		s.punt(p)
+	}
+	if ok {
+		dataplane.SurfaceOutPort(p)
+		if v.sink != nil && !p.Drop {
+			v.sink.process(p)
+		}
+	}
+	verdict := dataplane.Verdict(p, ok, s.ports.Len())
+	s.dp.FinishPacket(p, verdict)
+	if fl != nil {
+		lat := int64(-1)
+		if p.Timed {
+			lat = flowstat.Now() - now
+		}
+		fl.Finish(p.RSS, flowstat.VerdictOf(verdict), lat, now)
+	}
+	sent := false
+	if ok && !p.Drop {
+		if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
+			if port, err := s.ports.Port(p.OutPort); err == nil {
+				sent = port.Send(p.Data)
+			}
+		} else {
+			s.tel.noPortDrops.Inc()
+		}
+	}
+	s.dp.PutPacket(p)
+	return sent
 }
 
 func (s *Switch) punt(p *pkt.Packet) {

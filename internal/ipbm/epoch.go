@@ -130,6 +130,45 @@ func (v *progVersion) runEgress(pl *pipeline.Pipeline, p *pkt.Packet, env *tsp.E
 	return true
 }
 
+// runIngressBatch executes the version's ingress slots over a whole
+// batch, stage-major (every live packet passes through one TSP's stages
+// before any packet advances to the next TSP). Dropped packets stay in
+// their slots with Drop set — later stages skip them — and are counted
+// here once the sweep finishes. Callers pass only fresh, live packets;
+// nil slots are skipped.
+func (v *progVersion) runIngressBatch(pl *pipeline.Pipeline, ps []*pkt.Packet, env *tsp.Env) {
+	for i := range v.ingress {
+		sl := &v.ingress[i]
+		sl.t.ProcessBatchWith(sl.stages, ps, v.design.Parser, v, env)
+	}
+	for _, p := range ps {
+		if p != nil && p.Drop {
+			pl.CountDropped(int(env.Lane))
+		}
+	}
+}
+
+// runEgressBatch is the egress half of the batch traversal. Callers pass
+// only packets that survived ingress and TM admission (nil slots are
+// skipped); each survivor counts as processed, each egress drop as
+// dropped — the batch analogue of runEgress's accounting.
+func (v *progVersion) runEgressBatch(pl *pipeline.Pipeline, ps []*pkt.Packet, env *tsp.Env) {
+	for i := range v.egress {
+		sl := &v.egress[i]
+		sl.t.ProcessBatchWith(sl.stages, ps, v.design.Parser, v, env)
+	}
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if p.Drop {
+			pl.CountDropped(int(env.Lane))
+		} else {
+			pl.CountProcessed(int(env.Lane))
+		}
+	}
+}
+
 // process is the synchronous full traversal: ingress, TM pass-through,
 // egress — the epoch-pinned analogue of pipeline.Process.
 func (v *progVersion) process(pl *pipeline.Pipeline, p *pkt.Packet, env *tsp.Env) bool {

@@ -64,6 +64,14 @@ type shardRunner struct {
 	// across drains.
 	txq [][][]byte
 
+	// frames/ps/eps are the worker's batch scratch: the frames of one
+	// wakeup, the packets built from them for the stage-major ingress
+	// sweep, and the TM drain collected for the egress sweep. Owned by
+	// the worker goroutine, retained across wakeups.
+	frames []shardFrame
+	ps     []*pkt.Packet
+	eps    []*pkt.Packet
+
 	rx      *telemetry.Counter // frames steered to this shard
 	batches *telemetry.Counter // worker wakeups (rx/batches = mean batch)
 
@@ -126,6 +134,10 @@ func (s *Switch) RunSharded(shards, batch int) error {
 			batches: s.tel.Reg.Counter("ipsa_shard_batches_total", l),
 
 			fl: s.flows.Lane(i),
+
+			frames: make([]shardFrame, 0, batch),
+			ps:     make([]*pkt.Packet, 0, batch),
+			eps:    make([]*pkt.Packet, 0, batch),
 		})
 	}
 	s.shardsP.Store(set)
@@ -212,8 +224,9 @@ func (s *Switch) shardReader(portIdx int, port netio.BatchPort, set *shardSet, r
 }
 
 // shardWorker is one shard's event loop: park on the input queue (the
-// channel recv is the wakeup — an idle shard costs nothing), then ingest
-// up to batch frames without blocking again, then drain the shard TM
+// channel recv is the wakeup — an idle shard costs nothing), collect up
+// to batch frames without blocking again, run the whole collection
+// through the ingress half batch-at-a-time, then drain the shard TM
 // through egress and flush the per-port transmit batches.
 // Every frame of one wakeup — and the TM drain that follows — executes
 // one pinned program version: shardDrain always empties the shard TM
@@ -235,35 +248,87 @@ func (s *Switch) shardWorker(sh *shardRunner, batch int) {
 			<-*g
 		}
 		sh.now = flowstat.Now()
-		v := s.epochs.pin()
-		s.shardIngest(sh, f, v)
-		n := 1
+		frames := append(sh.frames[:0], f)
+		closed := false
 	fill:
-		for n < batch {
+		for len(frames) < batch {
 			select {
 			case f2, ok2 := <-sh.in:
 				if !ok2 {
-					sh.rx.Add(uint64(n))
-					sh.batches.Inc()
-					s.shardDrain(sh, v)
-					if v != nil {
-						v.unpin()
-					}
-					return
+					closed = true
+					break fill
 				}
-				s.shardIngest(sh, f2, v)
-				n++
+				frames = append(frames, f2)
 			default:
 				break fill
 			}
 		}
-		sh.rx.Add(uint64(n))
+		v := s.epochs.pin()
+		s.shardProcess(sh, frames, v)
+		sh.rx.Add(uint64(len(frames)))
 		sh.batches.Inc()
 		s.shardDrain(sh, v)
 		if v != nil {
 			v.unpin()
 		}
+		sh.frames = frames[:0]
+		if closed {
+			return
+		}
 	}
+}
+
+// shardProcess runs one wakeup's frames through the ingress half. Under
+// a pinned version the packets are built first and then executed
+// stage-major as one batch (with match-bucket prefetch one packet
+// ahead); survivors are admitted to the shard TM. The legacy drain path
+// (v == nil) keeps per-frame execution under the pipeline's read lock.
+func (s *Switch) shardProcess(sh *shardRunner, frames []shardFrame, v *progVersion) {
+	if v == nil {
+		for _, f := range frames {
+			s.shardIngest(sh, f, nil)
+		}
+		return
+	}
+	d := v.design
+	ps := sh.ps[:0]
+	for _, f := range frames {
+		p, err := sh.dsh.GetPacket(d, f.data, int(f.port))
+		if err != nil {
+			continue
+		}
+		s.dp.BeginPacket(p)
+		if p.Trace != nil {
+			p.Trace.Epoch = v.epoch
+		}
+		p.RSS = f.hash
+		if sh.fl != nil {
+			sh.fl.Touch(f.hash, f.data, len(f.data), sh.now)
+			if p.Timed {
+				p.FlowNanos = flowstat.Now()
+			}
+		}
+		ps = append(ps, p)
+	}
+	env := sh.dsh.Env(d)
+	v.runIngressBatch(s.pl, ps, env)
+	for i, p := range ps {
+		if p.Drop {
+			s.dp.FinishPacket(p, "dropped")
+			if sh.fl != nil {
+				sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+			}
+			sh.dsh.PutPacket(p)
+		} else if !sh.tm.Admit(p) {
+			s.dp.FinishPacket(p, "tm_drop")
+			if sh.fl != nil {
+				sh.fl.Finish(p.RSS, flowstat.VerdictTMDrop, flowLat(p), sh.now)
+			}
+			sh.dsh.PutPacket(p)
+		}
+		ps[i] = nil
+	}
+	sh.ps = ps[:0]
 }
 
 // shardIngest is ingestOne against the shard's freelist, Env and TM,
@@ -326,41 +391,65 @@ func flowLat(p *pkt.Packet) int64 {
 }
 
 // shardDrain empties the shard TM through the egress half, then flushes
-// the accumulated per-port transmit batches.
+// the accumulated per-port transmit batches. Under a pinned version the
+// whole drain is collected first and executed stage-major as one batch;
+// the legacy path keeps per-packet execution.
 func (s *Switch) shardDrain(sh *shardRunner, v *progVersion) {
-	flush := false
+	if v == nil {
+		flush := false
+		for {
+			p, ok := sh.tm.DequeueRR()
+			if !ok {
+				break
+			}
+			s.shardEgest(sh, p)
+			flush = true
+		}
+		if flush {
+			s.shardFlushTx(sh)
+		}
+		return
+	}
+	ps := sh.eps[:0]
 	for {
 		p, ok := sh.tm.DequeueRR()
 		if !ok {
 			break
 		}
-		s.shardEgest(sh, p, v)
-		flush = true
+		ps = append(ps, p)
 	}
-	if flush {
-		s.shardFlushTx(sh)
+	if len(ps) == 0 {
+		sh.eps = ps
+		return
 	}
+	env := sh.dsh.Env(v.design)
+	v.runEgressBatch(s.pl, ps, env)
+	for i, p := range ps {
+		s.shardDispose(sh, p, v, !p.Drop)
+		ps[i] = nil
+	}
+	sh.eps = ps[:0]
+	s.shardFlushTx(sh)
 }
 
-// shardEgest runs the egress half on one packet and queues its frame for
-// the batched transmit. The tail mirrors egestOne, with the shard
-// freelist in place of the shared pool and XmitBatch in place of Send.
-func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet, v *progVersion) {
-	var d *dataplane.Design
-	if v != nil {
-		d = v.design
-	} else {
-		d = s.dp.Design()
-	}
+// shardEgest runs the egress half on one packet on the legacy drain path
+// (no published program version). The tail mirrors egestOne, with the
+// shard freelist in place of the shared pool and XmitBatch in place of
+// Send.
+func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet) {
+	d := s.dp.Design()
 	env := sh.dsh.Env(d)
 	env.Trace = p.Trace
 	env.Timed = p.Timed
-	var survived bool
-	if v != nil {
-		survived = v.runEgress(s.pl, p, env)
-	} else {
-		survived = s.pl.RunEgress(p, d.Parser, s, env)
-	}
+	survived := s.pl.RunEgress(p, d.Parser, s, env)
+	s.shardDispose(sh, p, nil, survived)
+}
+
+// shardDispose finishes one egressed packet: drop bookkeeping or punt,
+// out-port surfacing, INT sink, transmit queueing, telemetry finish,
+// flow accounting and freelist return — shared by the legacy per-packet
+// path (v == nil) and the batched epoch path.
+func (s *Switch) shardDispose(sh *shardRunner, p *pkt.Packet, v *progVersion, survived bool) {
 	if !survived {
 		s.dp.FinishPacket(p, "dropped")
 		if sh.fl != nil {

@@ -160,6 +160,12 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 		ctr("ipsa_port_tx_drops_total", st.TxDrops, l)
 	}
 
+	// Executor tier, build_info style: a constant-1 gauge whose label says
+	// which of the three stage executors (fused second-stage closures, the
+	// flat-program VM, or the reference interpreter) this switch runs, so
+	// dashboards comparing hosts can tell tier apart from hardware.
+	gauge("ipsa_exec_tier", 1, telemetry.L("tier", s.opts.Exec.String()))
+
 	// Pipeline module.
 	processed, dropped := s.pl.Stats()
 	ctr("ipsa_pipeline_processed_total", processed)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // dir168 is a DIR-24-8-style longest-prefix-match engine scaled to
@@ -14,17 +15,32 @@ import (
 // remains the source of truth for updates, handles and snapshots.
 // match.New selects it automatically for 32-bit LPM tables;
 // TestDIR168MatchesTrie differentially validates it against the trie.
+//
+// Lookups are lock-free. Every directory slot is an atomically published
+// pointer to an immutable dirSlot (nil = empty), and the block maps are
+// an immutable pair swapped by pointer when a block appears or retires —
+// the software analogue of per-entry shadow writes into lookup SRAM.
+// Writers serialise on mu; a multi-slot update (a short prefix covering a
+// slot range) publishes slot by slot, so a concurrent reader sees each
+// address flip from old route to new route individually, never a torn
+// slot. All covered slots of one insert share a single dirSlot value.
 type dir168 struct {
-	mu   sync.RWMutex
+	mu   sync.Mutex // serialises writers; readers never take it
 	trie *lpmTrie
 
-	l1 []dirSlot            // indexed by the top 16 bits
+	l1   []atomic.Pointer[dirSlot] // indexed by the top 16 bits
+	maps atomic.Pointer[dirMaps]
+}
+
+// dirMaps is the immutable published pair of block maps. Cloned (cheaply:
+// it holds block pointers, not blocks) only when the block set changes.
+type dirMaps struct {
 	l2 map[uint32]*dirBlock // key: top 16 bits
 	l3 map[uint32]*dirBlock // key: top 24 bits
 }
 
+// dirSlot is immutable once published.
 type dirSlot struct {
-	ok     bool
 	plen   int8
 	action int
 	params []uint64
@@ -32,17 +48,17 @@ type dirSlot struct {
 }
 
 type dirBlock struct {
-	used  int
-	slots [256]dirSlot
+	used  int // writer-side population count, guarded by dir168.mu
+	slots [256]atomic.Pointer[dirSlot]
 }
 
 func newDIR168(capacity int) *dir168 {
-	return &dir168{
+	d := &dir168{
 		trie: newLPMTrie(32, capacity),
-		l1:   make([]dirSlot, 1<<16),
-		l2:   make(map[uint32]*dirBlock),
-		l3:   make(map[uint32]*dirBlock),
+		l1:   make([]atomic.Pointer[dirSlot], 1<<16),
 	}
+	d.maps.Store(&dirMaps{l2: map[uint32]*dirBlock{}, l3: map[uint32]*dirBlock{}})
+	return d
 }
 
 func (d *dir168) Kind() Kind    { return LPM }
@@ -53,19 +69,18 @@ func (d *dir168) Lookup(key []byte) (Result, bool) {
 		return Result{}, false
 	}
 	k := binary.BigEndian.Uint32(key)
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if b, ok := d.l3[k>>8]; ok {
-		if s := &b.slots[k&0xff]; s.ok {
+	m := d.maps.Load()
+	if b, ok := m.l3[k>>8]; ok {
+		if s := b.slots[k&0xff].Load(); s != nil {
 			return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
 		}
 	}
-	if b, ok := d.l2[k>>16]; ok {
-		if s := &b.slots[(k>>8)&0xff]; s.ok {
+	if b, ok := m.l2[k>>16]; ok {
+		if s := b.slots[(k>>8)&0xff].Load(); s != nil {
 			return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
 		}
 	}
-	if s := &d.l1[k>>16]; s.ok {
+	if s := d.l1[k>>16].Load(); s != nil {
 		return Result{ActionID: s.action, Params: s.params, EntryHandle: s.handle}, true
 	}
 	return Result{}, false
@@ -83,6 +98,57 @@ func dirLevel(plen int) int {
 	}
 }
 
+// block returns the block for key, growing the published map pair by one
+// cloned map when the block does not exist yet. A new block is visible to
+// readers immediately but empty until slots are stored into it.
+func (d *dir168) block(level int, key uint32) *dirBlock {
+	cur := d.maps.Load()
+	m := cur.l2
+	if level == 3 {
+		m = cur.l3
+	}
+	if b, ok := m[key]; ok {
+		return b
+	}
+	b := &dirBlock{}
+	nm := make(map[uint32]*dirBlock, len(m)+1)
+	for k, v := range m {
+		nm[k] = v
+	}
+	nm[key] = b
+	next := &dirMaps{l2: cur.l2, l3: cur.l3}
+	if level == 3 {
+		next.l3 = nm
+	} else {
+		next.l2 = nm
+	}
+	d.maps.Store(next)
+	return b
+}
+
+// dropBlock unpublishes an empty block. Readers still holding the
+// previous map pair keep probing it, but every slot is already nil.
+func (d *dir168) dropBlock(level int, key uint32) {
+	cur := d.maps.Load()
+	m := cur.l2
+	if level == 3 {
+		m = cur.l3
+	}
+	nm := make(map[uint32]*dirBlock, len(m))
+	for k, v := range m {
+		if k != key {
+			nm[k] = v
+		}
+	}
+	next := &dirMaps{l2: cur.l2, l3: cur.l3}
+	if level == 3 {
+		next.l3 = nm
+	} else {
+		next.l2 = nm
+	}
+	d.maps.Store(next)
+}
+
 func (d *dir168) Insert(e Entry) (int, error) {
 	if err := checkKeyLen(e.Key, 32); err != nil {
 		return 0, err
@@ -97,8 +163,8 @@ func (d *dir168) Insert(e Entry) (int, error) {
 		return 0, err
 	}
 	k := binary.BigEndian.Uint32(e.Key)
-	slot := dirSlot{
-		ok: true, plen: int8(e.PrefixLen),
+	slot := &dirSlot{
+		plen:   int8(e.PrefixLen),
 		action: e.ActionID, params: append([]uint64(nil), e.Params...),
 		handle: handle,
 	}
@@ -109,40 +175,32 @@ func (d *dir168) Insert(e Entry) (int, error) {
 		lo := k >> 16
 		n := uint32(1) << uint(16-e.PrefixLen)
 		for i := uint32(0); i < n; i++ {
-			if s := &d.l1[lo+i]; !s.ok || s.plen <= slot.plen {
-				*s = slot
+			if s := d.l1[lo+i].Load(); s == nil || s.plen <= slot.plen {
+				d.l1[lo+i].Store(slot)
 			}
 		}
 	case 2:
-		b := d.l2[k>>16]
-		if b == nil {
-			b = &dirBlock{}
-			d.l2[k>>16] = b
-		}
+		b := d.block(2, k>>16)
 		lo := (k >> 8) & 0xff
 		n := uint32(1) << uint(24-e.PrefixLen)
 		for i := uint32(0); i < n; i++ {
-			if s := &b.slots[lo+i]; !s.ok || s.plen <= slot.plen {
-				if !s.ok {
+			if s := b.slots[lo+i].Load(); s == nil || s.plen <= slot.plen {
+				if s == nil {
 					b.used++
 				}
-				*s = slot
+				b.slots[lo+i].Store(slot)
 			}
 		}
 	case 3:
-		b := d.l3[k>>8]
-		if b == nil {
-			b = &dirBlock{}
-			d.l3[k>>8] = b
-		}
+		b := d.block(3, k>>8)
 		lo := k & 0xff
 		n := uint32(1) << uint(32-e.PrefixLen)
 		for i := uint32(0); i < n; i++ {
-			if s := &b.slots[lo+i]; !s.ok || s.plen <= slot.plen {
-				if !s.ok {
+			if s := b.slots[lo+i].Load(); s == nil || s.plen <= slot.plen {
+				if s == nil {
 					b.used++
 				}
-				*s = slot
+				b.slots[lo+i].Store(slot)
 			}
 		}
 	}
@@ -160,45 +218,47 @@ func (d *dir168) Delete(handle int) error {
 		return err
 	}
 	// Recompute every slot the removed prefix covered from the trie,
-	// restricted to the slot's level band.
+	// restricted to the slot's level band. Slots resolving to the same
+	// surviving prefix share one recomputed dirSlot (memo by handle).
+	memo := make(map[int]*dirSlot)
 	k := binary.BigEndian.Uint32(ent.Key)
 	switch dirLevel(ent.PrefixLen) {
 	case 1:
 		lo := k >> 16
 		n := uint32(1) << uint(16-ent.PrefixLen)
 		for i := uint32(0); i < n; i++ {
-			d.l1[lo+i] = d.recompute((lo+i)<<16, 0, 16)
+			d.l1[lo+i].Store(d.recompute((lo+i)<<16, 0, 16, memo))
 		}
 	case 2:
-		if b := d.l2[k>>16]; b != nil {
+		if b, bok := d.maps.Load().l2[k>>16]; bok {
 			lo := (k >> 8) & 0xff
 			n := uint32(1) << uint(24-ent.PrefixLen)
 			for i := uint32(0); i < n; i++ {
-				s := &b.slots[lo+i]
-				was := s.ok
-				*s = d.recompute((k>>16)<<16|(lo+i)<<8, 17, 24)
-				if was && !s.ok {
+				was := b.slots[lo+i].Load()
+				now := d.recompute((k>>16)<<16|(lo+i)<<8, 17, 24, memo)
+				b.slots[lo+i].Store(now)
+				if was != nil && now == nil {
 					b.used--
 				}
 			}
 			if b.used == 0 {
-				delete(d.l2, k>>16)
+				d.dropBlock(2, k>>16)
 			}
 		}
 	case 3:
-		if b := d.l3[k>>8]; b != nil {
+		if b, bok := d.maps.Load().l3[k>>8]; bok {
 			lo := k & 0xff
 			n := uint32(1) << uint(32-ent.PrefixLen)
 			for i := uint32(0); i < n; i++ {
-				s := &b.slots[lo+i]
-				was := s.ok
-				*s = d.recompute((k>>8)<<8|(lo+i), 25, 32)
-				if was && !s.ok {
+				was := b.slots[lo+i].Load()
+				now := d.recompute((k>>8)<<8|(lo+i), 25, 32, memo)
+				b.slots[lo+i].Store(now)
+				if was != nil && now == nil {
 					b.used--
 				}
 			}
 			if b.used == 0 {
-				delete(d.l3, k>>8)
+				d.dropBlock(3, k>>8)
 			}
 		}
 	}
@@ -206,18 +266,23 @@ func (d *dir168) Delete(handle int) error {
 }
 
 // recompute asks the trie for the best prefix matching addr whose length
-// lies in [loPlen, hiPlen].
-func (d *dir168) recompute(addr uint32, loPlen, hiPlen int) dirSlot {
+// lies in [loPlen, hiPlen]; nil means no surviving prefix covers addr.
+func (d *dir168) recompute(addr uint32, loPlen, hiPlen int, memo map[int]*dirSlot) *dirSlot {
 	var key [4]byte
 	binary.BigEndian.PutUint32(key[:], addr)
 	e, ok := d.trie.lookupRange(key[:], loPlen, hiPlen)
 	if !ok {
-		return dirSlot{}
+		return nil
 	}
-	return dirSlot{
-		ok: true, plen: int8(e.PrefixLen),
+	if s, hit := memo[e.Handle]; hit {
+		return s
+	}
+	s := &dirSlot{
+		plen:   int8(e.PrefixLen),
 		action: e.ActionID, params: e.Params, handle: e.Handle,
 	}
+	memo[e.Handle] = s
+	return s
 }
 
 func (d *dir168) Len() int {

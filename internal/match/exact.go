@@ -2,22 +2,45 @@ package match
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
 
 // exactEngine is a hash-table exact-match engine, the software model of an
 // SRAM exact-match table. Lookups are lock-free: readers follow an atomic
-// pointer to an immutable map snapshot (the software analogue of a shadow
-// bank swap), while writers serialise on mu and publish a fresh copy.
+// pointer to an immutable open-addressing snapshot (the software analogue
+// of a shadow bank swap), while writers serialise on mu and publish a
+// fresh copy. The snapshot is a flat power-of-two slot array with linear
+// probing rather than a Go map so that the bucket a key hashes to is an
+// addressable cache line: Prefetch can touch it one packet ahead of the
+// real lookup, which a map's opaque internals cannot offer.
 type exactEngine struct {
 	mu       sync.Mutex // serialises writers; readers never take it
 	kind     Kind
 	width    int
 	capacity int
-	snap     atomic.Pointer[map[string]*Entry]
-	byHandle map[int]*Entry // writer-side index, guarded by mu
+	snap     atomic.Pointer[exactSnap]
+	byKey    map[string]*Entry // writer-side index, guarded by mu
+	byHandle map[int]*Entry    // writer-side index, guarded by mu
 	next     int
+}
+
+// exactSlot is one open-addressing bucket: the key's full hash (checked
+// before the key bytes so a probe over a miss run costs one word per
+// slot), the interned key and the immutable entry. ent == nil marks an
+// empty slot and terminates probe chains.
+type exactSlot struct {
+	hash uint64
+	key  string
+	ent  *Entry
+}
+
+// exactSnap is an immutable published generation of the table.
+type exactSnap struct {
+	slots []exactSlot
+	mask  uint64
+	n     int
 }
 
 func newExact(kind Kind, widthBits, capacity int) *exactEngine {
@@ -25,33 +48,90 @@ func newExact(kind Kind, widthBits, capacity int) *exactEngine {
 		kind:     kind,
 		width:    widthBits,
 		capacity: capacity,
+		byKey:    make(map[string]*Entry),
 		byHandle: make(map[int]*Entry),
 	}
-	m := make(map[string]*Entry)
-	e.snap.Store(&m)
+	e.snap.Store(buildExactSnap(e.byKey))
 	return e
 }
 
 func (e *exactEngine) Kind() Kind    { return e.kind }
 func (e *exactEngine) KeyWidth() int { return e.width }
 
-func (e *exactEngine) Lookup(key []byte) (Result, bool) {
-	ent, ok := (*e.snap.Load())[string(key)]
-	if !ok {
-		return Result{}, false
+// exactHash is FNV-1a 64 over the key bytes. Cheap, stateless and good
+// enough for exact-match keys, which the control plane chooses, not an
+// adversary on the wire (header bits only select among installed keys).
+func exactHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
 	}
-	return Result{ActionID: ent.ActionID, Params: ent.Params, EntryHandle: ent.Handle}, true
+	return h
 }
 
-// publish installs ent under k in a fresh snapshot. Callers hold mu.
-// Entries in a published snapshot are immutable; replacement clones.
-func (e *exactEngine) publish(old map[string]*Entry, k string, ent *Entry) {
-	m := make(map[string]*Entry, len(old)+1)
-	for kk, vv := range old {
-		m[kk] = vv
+// buildExactSnap lays the writer-side index out as a fresh probe array at
+// ≤50% load (minimum 8 slots, so probes stay short even when full to the
+// logical capacity).
+func buildExactSnap(byKey map[string]*Entry) *exactSnap {
+	n := len(byKey)
+	want := 2 * n
+	if want < 8 {
+		want = 8
 	}
-	m[k] = ent
-	e.snap.Store(&m)
+	size := 1 << bits.Len(uint(want-1))
+	s := &exactSnap{slots: make([]exactSlot, size), mask: uint64(size - 1), n: n}
+	for k, ent := range byKey {
+		h := exactHash([]byte(k))
+		i := h & s.mask
+		for s.slots[i].ent != nil {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = exactSlot{hash: h, key: k, ent: ent}
+	}
+	return s
+}
+
+func (e *exactEngine) Lookup(key []byte) (Result, bool) {
+	s := e.snap.Load()
+	h := exactHash(key)
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		sl := &s.slots[i]
+		if sl.ent == nil {
+			return Result{}, false
+		}
+		if sl.hash == h && sl.key == string(key) {
+			return Result{ActionID: sl.ent.ActionID, Params: sl.ent.Params, EntryHandle: sl.ent.Handle}, true
+		}
+	}
+}
+
+// Prefetch touches the bucket cache line key hashes to, so the lookup a
+// packet later finds it warm. The returned word is derived from the
+// touched slot; callers sink it to keep the load from being optimised
+// away. Never faults, never allocates.
+func (e *exactEngine) Prefetch(key []byte) uint64 {
+	s := e.snap.Load()
+	return s.slots[exactHash(key)&s.mask].hash
+}
+
+// prefetchMinSlots is the probe-array size below which a one-ahead
+// prefetch is pure overhead: 4096 slots is ~160KB of slot array — past
+// L1 and a meaningful slice of L2 — so smaller snapshots are presumed
+// cache-resident and PrefetchUseful declines the speculative key builds.
+const prefetchMinSlots = 4096
+
+// PrefetchUseful reports whether the current snapshot is large enough
+// that touching a bucket one packet ahead actually hides a miss.
+func (e *exactEngine) PrefetchUseful() bool {
+	return len(e.snap.Load().slots) >= prefetchMinSlots
+}
+
+// publish rebuilds and installs a snapshot from the writer-side index.
+// Callers hold mu. Entries in a published snapshot are immutable;
+// replacement clones.
+func (e *exactEngine) publish() {
+	e.snap.Store(buildExactSnap(e.byKey))
 }
 
 func (e *exactEngine) Insert(ent Entry) (int, error) {
@@ -60,18 +140,18 @@ func (e *exactEngine) Insert(ent Entry) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	old := *e.snap.Load()
 	k := string(ent.Key)
-	if prev, ok := old[k]; ok {
+	if prev, ok := e.byKey[k]; ok {
 		// Replace, keeping the handle.
 		cp := *prev
 		cp.ActionID = ent.ActionID
 		cp.Params = append([]uint64(nil), ent.Params...)
-		e.publish(old, k, &cp)
+		e.byKey[k] = &cp
 		e.byHandle[cp.Handle] = &cp
+		e.publish()
 		return cp.Handle, nil
 	}
-	if e.capacity > 0 && len(old) >= e.capacity {
+	if e.capacity > 0 && len(e.byKey) >= e.capacity {
 		return 0, fmt.Errorf("%w: %d entries", ErrFull, e.capacity)
 	}
 	cp := ent
@@ -79,8 +159,9 @@ func (e *exactEngine) Insert(ent Entry) (int, error) {
 	cp.Params = append([]uint64(nil), ent.Params...)
 	cp.Handle = e.next
 	e.next++
-	e.publish(old, k, &cp)
+	e.byKey[k] = &cp
 	e.byHandle[cp.Handle] = &cp
+	e.publish()
 	return cp.Handle, nil
 }
 
@@ -92,26 +173,23 @@ func (e *exactEngine) Delete(handle int) error {
 		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
 	}
 	delete(e.byHandle, handle)
-	old := *e.snap.Load()
-	m := make(map[string]*Entry, len(old))
-	k := string(ent.Key)
-	for kk, vv := range old {
-		if kk != k {
-			m[kk] = vv
-		}
-	}
-	e.snap.Store(&m)
+	delete(e.byKey, string(ent.Key))
+	e.publish()
 	return nil
 }
 
 func (e *exactEngine) Len() int {
-	return len(*e.snap.Load())
+	return e.snap.Load().n
 }
 
 func (e *exactEngine) Entries() []Entry {
-	m := *e.snap.Load()
-	out := make([]Entry, 0, len(m))
-	for _, ent := range m {
+	s := e.snap.Load()
+	out := make([]Entry, 0, s.n)
+	for i := range s.slots {
+		ent := s.slots[i].ent
+		if ent == nil {
+			continue
+		}
 		cp := *ent
 		cp.Key = append([]byte(nil), ent.Key...)
 		cp.Params = append([]uint64(nil), ent.Params...)

@@ -3,21 +3,34 @@ package match
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // lpmTrie is a binary (one bit per level) trie for longest-prefix match.
 // It is the software model of the LPM capability the paper's designs use
 // for IPv4/IPv6 FIB lookups (stages D–G of the base design).
+//
+// Lookups are lock-free: readers follow an atomic root pointer into an
+// immutable node graph, the same discipline as the exact-match engine's
+// snapshot swap. Writers serialise on mu and publish by path copy — an
+// update clones only the nodes on the root-to-prefix path (at most width
+// of them) and shares every subtree off the path, so update cost stays
+// proportional to the prefix length, not the table size.
 type lpmTrie struct {
-	mu       sync.RWMutex
+	mu       sync.Mutex // serialises writers; readers never take it
 	width    int
 	capacity int
-	root     *trieNode
-	byHandle map[int]*trieNode
-	count    int
+	root     atomic.Pointer[trieNode]
+	// byHandle is the writer-side handle index. Values are full entry
+	// copies rather than node pointers: path copy retires nodes on every
+	// update, so a node pointer would go stale immediately.
+	byHandle map[int]Entry
+	count    atomic.Int64
 	next     int
 }
 
+// trieNode is immutable once published: writers clone nodes along the
+// update path and never modify a node reachable from a published root.
 type trieNode struct {
 	children [2]*trieNode
 	// set marks a stored prefix ending at this node.
@@ -27,12 +40,13 @@ type trieNode struct {
 }
 
 func newLPMTrie(widthBits, capacity int) *lpmTrie {
-	return &lpmTrie{
+	t := &lpmTrie{
 		width:    widthBits,
 		capacity: capacity,
-		root:     &trieNode{},
-		byHandle: make(map[int]*trieNode),
+		byHandle: make(map[int]Entry),
 	}
+	t.root.Store(&trieNode{})
+	return t
 }
 
 func (t *lpmTrie) Kind() Kind    { return LPM }
@@ -43,13 +57,11 @@ func bitAt(key []byte, i int) int {
 }
 
 func (t *lpmTrie) Lookup(key []byte) (Result, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if len(key)*8 < t.width {
 		return Result{}, false
 	}
 	var best *trieNode
-	n := t.root
+	n := t.root.Load()
 	if n.set {
 		best = n
 	}
@@ -65,6 +77,25 @@ func (t *lpmTrie) Lookup(key []byte) (Result, bool) {
 	return Result{ActionID: best.entry.ActionID, Params: best.entry.Params, EntryHandle: best.handle}, true
 }
 
+// clonePath copies the nodes from the current root down plen bits of key,
+// creating missing nodes, and returns the new root plus the terminal
+// node. Children off the path are shared with the published graph.
+func (t *lpmTrie) clonePath(key []byte, plen int) (root, term *trieNode) {
+	cp := *t.root.Load()
+	root = &cp
+	n := root
+	for i := 0; i < plen; i++ {
+		b := bitAt(key, i)
+		var child trieNode
+		if old := n.children[b]; old != nil {
+			child = *old
+		}
+		n.children[b] = &child
+		n = &child
+	}
+	return root, n
+}
+
 func (t *lpmTrie) Insert(ent Entry) (int, error) {
 	if err := checkKeyLen(ent.Key, t.width); err != nil {
 		return 0, err
@@ -74,20 +105,17 @@ func (t *lpmTrie) Insert(ent Entry) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.root
-	for i := 0; i < ent.PrefixLen; i++ {
-		b := bitAt(ent.Key, i)
-		if n.children[b] == nil {
-			n.children[b] = &trieNode{}
-		}
-		n = n.children[b]
-	}
+	root, n := t.clonePath(ent.Key, ent.PrefixLen)
 	if n.set {
+		// Replace, keeping the handle. The unpublished clone is mutable.
 		n.entry.ActionID = ent.ActionID
 		n.entry.Params = append([]uint64(nil), ent.Params...)
+		t.byHandle[n.handle] = n.entry
+		t.root.Store(root)
 		return n.handle, nil
 	}
-	if t.capacity > 0 && t.count >= t.capacity {
+	if t.capacity > 0 && int(t.count.Load()) >= t.capacity {
+		// The cloned path is discarded unpublished; no rollback needed.
 		return 0, fmt.Errorf("%w: %d entries", ErrFull, t.capacity)
 	}
 	cp := ent
@@ -98,35 +126,35 @@ func (t *lpmTrie) Insert(ent Entry) (int, error) {
 	cp.Handle = n.handle
 	n.entry = cp
 	t.next++
-	t.count++
-	t.byHandle[n.handle] = n
+	t.count.Add(1)
+	t.byHandle[n.handle] = cp
+	t.root.Store(root)
 	return n.handle, nil
 }
 
 // EntryByHandle returns a copy of the entry with the given handle.
 func (t *lpmTrie) EntryByHandle(handle int) (Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n, ok := t.byHandle[handle]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ent, ok := t.byHandle[handle]
 	if !ok {
 		return Entry{}, false
 	}
-	cp := n.entry
-	cp.Key = append([]byte(nil), n.entry.Key...)
-	cp.Params = append([]uint64(nil), n.entry.Params...)
+	cp := ent
+	cp.Key = append([]byte(nil), ent.Key...)
+	cp.Params = append([]uint64(nil), ent.Params...)
 	return cp, true
 }
 
 // lookupRange finds the longest prefix matching key whose length lies in
 // [loPlen, hiPlen]; used by the DIR-16-8-8 engine's slot recomputation.
+// Like Lookup it reads the published root without locking.
 func (t *lpmTrie) lookupRange(key []byte, loPlen, hiPlen int) (Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if len(key)*8 < t.width {
 		return Entry{}, false
 	}
 	var best *trieNode
-	n := t.root
+	n := t.root.Load()
 	if n.set && loPlen <= 0 {
 		best = n
 	}
@@ -149,27 +177,25 @@ func (t *lpmTrie) lookupRange(key []byte, loPlen, hiPlen int) (Entry, bool) {
 func (t *lpmTrie) Delete(handle int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n, ok := t.byHandle[handle]
+	ent, ok := t.byHandle[handle]
 	if !ok {
 		return fmt.Errorf("%w: handle %d", ErrNoEntry, handle)
 	}
+	root, n := t.clonePath(ent.Key, ent.PrefixLen)
 	n.set = false
 	n.entry = Entry{}
 	delete(t.byHandle, handle)
-	t.count--
+	t.count.Add(-1)
+	t.root.Store(root)
 	return nil
 }
 
 func (t *lpmTrie) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
+	return int(t.count.Load())
 }
 
 func (t *lpmTrie) Entries() []Entry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Entry, 0, t.count)
+	out := make([]Entry, 0, t.Len())
 	var walk func(n *trieNode)
 	walk = func(n *trieNode) {
 		if n == nil {
@@ -184,6 +210,6 @@ func (t *lpmTrie) Entries() []Entry {
 		walk(n.children[0])
 		walk(n.children[1])
 	}
-	walk(t.root)
+	walk(t.root.Load())
 	return out
 }

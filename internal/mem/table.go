@@ -46,6 +46,62 @@ func (t *Table) Stats() (hits, misses uint64) {
 	return t.hits.Load(), t.misses.Load()
 }
 
+// LookupNoCount is Lookup without the hit/miss accounting. Batch
+// executors probe through it and credit the counts in bulk via
+// AddLookupStats, so the per-packet cost drops from two shared atomic
+// adds to two register increments.
+func (t *Table) LookupNoCount(key []byte) (match.Result, bool) {
+	return t.engine.Lookup(key)
+}
+
+// AddLookupStats credits hit/miss counts accumulated externally (by a
+// batch of LookupNoCount probes) to the table's counters.
+func (t *Table) AddLookupStats(hits, misses uint64) {
+	if hits != 0 {
+		t.hits.Add(hits)
+	}
+	if misses != 0 {
+		t.misses.Add(misses)
+	}
+}
+
+// enginePrefetcher is the optional capability some match engines (the
+// exact-match open-addressing table) expose for warming a key's bucket.
+type enginePrefetcher interface {
+	Prefetch(key []byte) uint64
+}
+
+// CanPrefetch reports whether the table's engine supports bucket
+// prefetch. Stable for the table's lifetime: Migrate replaces the engine
+// but never its match kind.
+func (t *Table) CanPrefetch() bool {
+	_, ok := t.engine.(enginePrefetcher)
+	return ok
+}
+
+// Prefetch touches the engine bucket key hashes to — the batch executor
+// calls it one packet ahead of the real Lookup so the bucket line is warm
+// when the lookup lands. No-op (returns 0) on engines without the
+// capability; never counts as a hit or miss.
+func (t *Table) Prefetch(key []byte) uint64 {
+	if pf, ok := t.engine.(enginePrefetcher); ok {
+		return pf.Prefetch(key)
+	}
+	return 0
+}
+
+// PrefetchUseful reports whether a one-ahead prefetch would currently
+// help: true only when the engine supports it AND its resident probe
+// array has outgrown the cache sizes where speculative touches are pure
+// overhead. Re-evaluated by batch executors per batch, so tables grow
+// into prefetching as entries are installed.
+func (t *Table) PrefetchUseful() bool {
+	if adv, ok := t.engine.(interface{ PrefetchUseful() bool }); ok {
+		return adv.PrefetchUseful()
+	}
+	return false
+}
+
 // Manager owns the pool, the crossbar and every logical table — the
 // Storage Module (SM) of ipbm.
 type Manager struct {

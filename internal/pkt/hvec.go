@@ -27,6 +27,23 @@ type HeaderLoc struct {
 // vector that grows on first use.
 type HeaderVector struct {
 	locs []HeaderLoc
+	// mask mirrors the Valid bits of IDs below 64 (IDs are small and dense
+	// by construction, so in practice all of them) as a bitmask, letting
+	// executors answer "are all these headers parsed?" with one AND
+	// instead of a per-header walk. See HasAll.
+	mask uint64
+	// tried is the parser's negative cache: bits for header IDs a full
+	// on-demand parse walk failed to reach on this packet (absent header,
+	// truncated chain). Without it a pipeline whose later stages keep
+	// asking for a header the packet does not carry (IPv6 stages on IPv4
+	// traffic) re-walks the whole parse chain per stage per packet. The
+	// cache keys on packet shape, so any mutation that could change parse
+	// outcomes — a header parsed or invalidated, bytes inserted or removed
+	// — clears it wholesale. An in-place rewrite of a selector byte via a
+	// field store does not clear it, the same staleness the positive Loc
+	// cache already has for that case: parse results are fixed at first
+	// parse unless the header structure changes.
+	tried uint64
 }
 
 // Reset invalidates every entry, retaining storage.
@@ -34,6 +51,8 @@ func (hv *HeaderVector) Reset() {
 	for i := range hv.locs {
 		hv.locs[i] = HeaderLoc{}
 	}
+	hv.mask = 0
+	hv.tried = 0
 }
 
 // Presize reserves capacity for n entries so hot-path Set calls never
@@ -59,6 +78,10 @@ func (hv *HeaderVector) Set(id HeaderID, off, length int) {
 	}
 	hv.grow(id)
 	hv.locs[id] = HeaderLoc{Off: off, Len: length, Valid: true}
+	if id < 64 {
+		hv.mask |= 1 << uint(id)
+	}
+	hv.tried = 0
 }
 
 // Invalidate marks header id as absent.
@@ -67,11 +90,35 @@ func (hv *HeaderVector) Invalidate(id HeaderID) {
 		return
 	}
 	hv.locs[id].Valid = false
+	if id < 64 {
+		hv.mask &^= 1 << uint(id)
+	}
+	hv.tried = 0
+}
+
+// Tried reports whether a parse walk for header id already failed on this
+// packet (and nothing has changed its shape since). Parsers use it to
+// fast-fail repeat requests for absent headers.
+func (hv *HeaderVector) Tried(id HeaderID) bool {
+	return id >= 0 && id < 64 && hv.tried&(1<<uint(id)) != 0
+}
+
+// MarkTried records that a parse walk for header id failed.
+func (hv *HeaderVector) MarkTried(id HeaderID) {
+	if id >= 0 && id < 64 {
+		hv.tried |= 1 << uint(id)
+	}
 }
 
 // Valid reports whether header id has been parsed and is present.
 func (hv *HeaderVector) Valid(id HeaderID) bool {
 	return id >= 0 && int(id) < len(hv.locs) && hv.locs[id].Valid
+}
+
+// HasAll reports whether every header in the want mask (bit i == HeaderID
+// i; only IDs below 64 are representable) is currently valid.
+func (hv *HeaderVector) HasAll(want uint64) bool {
+	return hv.mask&want == want
 }
 
 // Loc returns the location of header id.
@@ -99,6 +146,7 @@ func (hv *HeaderVector) shift(off, delta int) {
 			hv.locs[i].Off += delta
 		}
 	}
+	hv.tried = 0
 }
 
 // Packet is the unit that flows through every pipeline in this repository.
@@ -220,6 +268,8 @@ func (p *Packet) Clone() *Packet {
 		FlowNanos:    p.FlowNanos,
 	}
 	q.HV.locs = append([]HeaderLoc(nil), p.HV.locs...)
+	q.HV.mask = p.HV.mask
+	q.HV.tried = p.HV.tried
 	return q
 }
 

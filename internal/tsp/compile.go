@@ -20,32 +20,43 @@ import (
 // ExecMode selects the per-packet executor implementation.
 type ExecMode int
 
-// Executor modes.
+// Executor modes. The zero value is the fused second-stage compiler, so a
+// zero-valued Options/BuildOpts picks the fastest tier.
 const (
+	// ExecFused lowers stage templates through the flat program into
+	// fused native Go closures (see fuse.go): the per-stage instruction
+	// stream is specialized away at build time. The default.
+	ExecFused ExecMode = iota
 	// ExecCompiled lowers stage templates to flat programs at bind time
-	// and runs them with the switch-loop executor. The default.
-	ExecCompiled ExecMode = iota
+	// and runs them with the switch-loop executor; kept as the mid-tier
+	// differential oracle for the fused closures.
+	ExecCompiled
 	// ExecInterp tree-walks the template IR per packet; kept as the
 	// reference oracle for differential testing.
 	ExecInterp
 )
 
 func (m ExecMode) String() string {
-	if m == ExecInterp {
+	switch m {
+	case ExecInterp:
 		return "interp"
+	case ExecCompiled:
+		return "compiled"
 	}
-	return "compiled"
+	return "fused"
 }
 
 // ParseExecMode maps the CLI flag spelling to an ExecMode.
 func ParseExecMode(s string) (ExecMode, error) {
 	switch s {
-	case "compiled", "":
+	case "fused", "":
+		return ExecFused, nil
+	case "compiled":
 		return ExecCompiled, nil
 	case "interp":
 		return ExecInterp, nil
 	}
-	return ExecCompiled, fmt.Errorf("tsp: unknown exec mode %q (want compiled|interp)", s)
+	return ExecFused, fmt.Errorf("tsp: unknown exec mode %q (want fused|compiled|interp)", s)
 }
 
 // opcode is a compiled instruction's operation, an integer so the executor
@@ -162,6 +173,11 @@ type stageProg struct {
 	// resolvedSels is the selector counterpart of resolved: direct
 	// group/member handles, parallel to tables.
 	resolvedSels []ResolvedSelector
+	// direct holds the DirectTable view of resolved handles that support
+	// it, parallel to tables; the fused tier's inline apply path reads it
+	// to run lookups engine-direct with batched accounting. Nil slots fall
+	// back to the generic applyTableWith funnel.
+	direct []DirectTable
 	// keyPlans holds pre-resolved key-construction plans parallel to
 	// tables; nil slots (selectors, inconsistent layouts) fall back to
 	// the generic BuildKey.

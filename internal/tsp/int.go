@@ -110,7 +110,7 @@ func (e *Env) intStamp(stageID uint16) {
 
 // BuildOpts selects how stage runtimes are constructed: which executor,
 // and whether each stage gets the INT stamping epilogue. The zero value
-// is the default build (compiled, INT off).
+// is the default build (fused closures, INT off).
 type BuildOpts struct {
 	Mode ExecMode
 	// Int emits the IntStamp epilogue into every stage: an opIntStamp op
@@ -133,6 +133,9 @@ func NewStageRuntimeOpts(cfg *template.Config, name string, opts BuildOpts) (*St
 		} else {
 			sr.intStamp = true
 			sr.intStageID = id
+		}
+		if sr.fused != nil {
+			sr.fused.post = func(e *Env) { e.intStamp(id) }
 		}
 	}
 	return sr, nil

@@ -53,9 +53,29 @@ type Env struct {
 	// Scratch buffers reused across lookups on the hot path. keyBuf backs
 	// BuildKey results (valid until the next BuildKey on this Env);
 	// groupBuf and fieldBuf back selector group keys and field reads.
+	// specBuf backs the batch executor's speculative one-ahead prefetch
+	// keys, kept separate so a prefetch never clobbers an in-flight key.
 	keyBuf   []byte
 	groupBuf []byte
 	fieldBuf []byte
+	specBuf  []byte
+
+	// prefetched sinks the tag returned by table prefetches so the bucket
+	// load has a data dependency the compiler cannot eliminate.
+	prefetched uint64
+
+	// statTbl/statHits/statMisses batch table hit/miss accounting for the
+	// fused inline-apply path: counts accumulate here in plain registers
+	// and flushTableStats credits them to the table's shared atomics at
+	// packet (scalar) or batch boundaries.
+	statTbl    DirectTable
+	statHits   uint64
+	statMisses uint64
+
+	// matchOut is the per-stage match outcome, Env-resident because the
+	// fused tier hands its address to closure calls: a stack-local would
+	// be forced to escape (one heap allocation per stage per packet).
+	matchOut matchOutcome
 
 	// stack is the operand stack of the compiled executor, sized to the
 	// deepest program of the stage about to run (see ensureStack).
@@ -77,6 +97,8 @@ func (e *Env) Rebind(regs *RegisterFile, faults *Faults, srh, ipv6 pkt.HeaderID)
 	e.TSPIndex = 0
 	e.Int = nil
 	e.Lane = 0
+	e.statTbl = nil
+	e.statHits, e.statMisses = 0, 0
 }
 
 func (e *Env) ensureStack(n int) {

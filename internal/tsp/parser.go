@@ -65,10 +65,27 @@ func (op *OnDemandParser) headerLen(h *template.Header, data []byte, off int) (i
 // Ensure parses headers along the chain until want is in the header vector
 // or the chain ends. It reports whether want is valid afterwards. Steps
 // are bounded to the header count so linked-header cycles terminate.
+//
+// Failures are remembered in the packet's tried mask, so a pipeline whose
+// stages repeatedly request a header the packet does not carry pays the
+// chain walk once, not once per stage. The mask clears whenever the
+// packet's header structure changes (see HeaderVector.MarkTried).
 func (op *OnDemandParser) Ensure(p *pkt.Packet, want pkt.HeaderID) bool {
 	if p.HV.Valid(want) {
 		return true
 	}
+	if p.HV.Tried(want) {
+		return false
+	}
+	if op.ensureWalk(p, want) {
+		return true
+	}
+	p.HV.MarkTried(want)
+	return false
+}
+
+// ensureWalk is the uncached chain walk behind Ensure.
+func (op *OnDemandParser) ensureWalk(p *pkt.Packet, want pkt.HeaderID) bool {
 	cur := op.first
 	off := 0
 	for steps := 0; steps <= op.count; steps++ {

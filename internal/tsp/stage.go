@@ -47,6 +47,38 @@ type SelectorResolver interface {
 	ResolveSelector(name string) (ResolvedSelector, bool)
 }
 
+// Prefetcher is optionally implemented by resolved tables whose engine
+// can touch the bucket a key would probe (software prefetch). The return
+// value is an arbitrary tag of the touched slot; callers sink it into the
+// Env so the load cannot be dead-code-eliminated. CanPrefetch reports
+// whether the underlying engine actually supports it — a handle whose
+// engine cannot (LPM, ternary) returns false and the stage runs without
+// speculative key builds rather than paying them for nothing.
+type Prefetcher interface {
+	CanPrefetch() bool
+	Prefetch(key []byte) uint64
+}
+
+// PrefetchAdvisor is optionally implemented by prefetchable handles that
+// can also tell whether prefetching is worthwhile *right now*: a table
+// whose resident probe array fits in cache gains nothing from a one-ahead
+// touch but still pays the speculative key build. The batch executor asks
+// once per stage per batch, so the table can grow into (or shrink out of)
+// prefetching as entries change without a rebind.
+type PrefetchAdvisor interface {
+	PrefetchUseful() bool
+}
+
+// DirectTable is an optional extension of ResolvedTable: a handle that
+// can split the engine probe from hit/miss accounting. The fused tier's
+// inline apply path uses it to run lookups engine-direct and batch the
+// counter updates on the Env (two register increments per packet, flushed
+// to the shared atomics once per batch) — see Env.flushTableStats.
+type DirectTable interface {
+	LookupNoCount(key []byte) (match.Result, bool)
+	AddLookupStats(hits, misses uint64)
+}
+
 // StageRuntime executes one logical stage template.
 type StageRuntime struct {
 	tmpl    *template.Stage
@@ -54,14 +86,32 @@ type StageRuntime struct {
 	actions map[string]*template.Action
 
 	// prog, when non-nil, is the flat instruction program lowered from the
-	// template at bind time (ExecCompiled). Nil selects the reference tree
-	// interpreter (ExecInterp).
+	// template at bind time (ExecCompiled and ExecFused). Nil selects the
+	// reference tree interpreter (ExecInterp).
 	prog *stageProg
+
+	// fused, when non-nil, is the second-stage lowering of prog to native
+	// Go closures (ExecFused; see fuse.go). It shares prog's table list,
+	// key plans and bind-time handles.
+	fused *fusedProg
+
+	// pfTable/pfPlan drive the batch executor's one-packet-ahead software
+	// prefetch: set by Bind when the stage applies exactly one plain
+	// exact-match table whose resolved handle supports it.
+	pfTable Prefetcher
+	pfPlan  *keyPlan
 
 	// intStamp/intStageID are the interpreter's INT epilogue (compiled
 	// stages carry it as prog.post instead); set by NewStageRuntimeOpts.
 	intStamp   bool
 	intStageID uint16
+
+	// parseMask is the stage's needed-header set as a bitmask (valid when
+	// parseMaskOK: every parsed HeaderID < 64). When the packet's header
+	// vector already covers it, executeOne skips the parser walk with one
+	// AND — the common case for every stage after the first.
+	parseMask   uint64
+	parseMaskOK bool
 
 	packets  atomic.Uint64
 	hits     atomic.Uint64
@@ -70,9 +120,10 @@ type StageRuntime struct {
 }
 
 // NewStageRuntime binds a stage template to its design's tables/actions,
-// compiling it to a flat program (the default executor).
+// lowering it through both compile stages to fused closures (the default
+// executor).
 func NewStageRuntime(cfg *template.Config, name string) (*StageRuntime, error) {
-	return NewStageRuntimeMode(cfg, name, ExecCompiled)
+	return NewStageRuntimeMode(cfg, name, ExecFused)
 }
 
 // NewStageRuntimeMode binds a stage template with an explicit executor
@@ -101,14 +152,30 @@ func NewStageRuntimeMode(cfg *template.Config, name string, mode ExecMode) (*Sta
 		}
 		sr.actions[arm.Action] = a
 	}
-	if mode == ExecCompiled {
+	sr.parseMaskOK = true
+	for _, id := range st.Parse {
+		if id < 0 || id >= 64 {
+			sr.parseMask, sr.parseMaskOK = 0, false
+			break
+		}
+		sr.parseMask |= 1 << uint(id)
+	}
+	switch mode {
+	case ExecCompiled:
 		sr.prog = compileStage(sr)
+	case ExecFused:
+		sr.prog = compileStage(sr)
+		sr.fused = fuseStage(sr)
 	}
 	return sr, nil
 }
 
-// Compiled reports whether the stage runs the flat compiled program.
+// Compiled reports whether the stage runs a compiled program (flat VM or
+// fused closures) rather than the tree interpreter.
 func (sr *StageRuntime) Compiled() bool { return sr.prog != nil }
+
+// Fused reports whether the stage runs the fused-closure tier.
+func (sr *StageRuntime) Fused() bool { return sr.fused != nil }
 
 // Bind resolves the compiled program's table references against the
 // backend, if it supports direct handles. Called at apply time after the
@@ -125,6 +192,7 @@ func (sr *StageRuntime) Bind(backend TableBackend) {
 	sel, sok := backend.(SelectorResolver)
 	if rok {
 		sr.prog.resolved = make([]ResolvedTable, len(sr.prog.tables))
+		sr.prog.direct = make([]DirectTable, len(sr.prog.tables))
 	}
 	if sok {
 		sr.prog.resolvedSels = make([]ResolvedSelector, len(sr.prog.tables))
@@ -141,7 +209,22 @@ func (sr *StageRuntime) Bind(backend TableBackend) {
 		if rok {
 			if rt, found := res.ResolveTable(t.Name); found {
 				sr.prog.resolved[i] = rt
+				if dt, ok := rt.(DirectTable); ok {
+					sr.prog.direct[i] = dt
+				}
 			}
+		}
+	}
+	// Arm the batch executor's one-ahead prefetch for the common stage
+	// shape: exactly one plain table with a compiled key plan, resolved to
+	// a handle that can touch its bucket. Advisory only — batches run
+	// identically without it.
+	sr.pfTable, sr.pfPlan = nil, nil
+	if sr.fused != nil && len(sr.prog.tables) == 1 && !sr.prog.tables[0].IsSelector &&
+		sr.prog.keyPlans[0] != nil && sr.prog.resolved != nil {
+		if pf, ok := sr.prog.resolved[0].(Prefetcher); ok && pf.CanPrefetch() {
+			sr.pfTable = pf
+			sr.pfPlan = sr.prog.keyPlans[0]
 		}
 	}
 }
@@ -172,23 +255,154 @@ type matchOutcome struct {
 // Execute runs the stage's parse-match-execute triad on one packet.
 func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
 	sr.packets.Add(1)
-	env.Pkt = p
-	// Parser submodule: just-in-time parsing of the declared headers.
-	parser.EnsureAll(p, sr.tmpl.Parse)
-	// Matcher submodule.
-	out := matchOutcome{}
-	if sr.prog != nil {
-		env.ensureStack(sr.prog.maxStack)
-		env.exec(sr.prog.match, sr.prog, backend, &out)
-	} else {
-		sr.runMatch(sr.tmpl.Match, env, backend, &out)
-	}
-	if out.applied {
-		if out.hit {
+	applied, hit, isDefault := sr.executeOne(p, parser, backend, env)
+	env.flushTableStats()
+	if applied {
+		if hit {
 			sr.hits.Add(1)
 		} else {
 			sr.misses.Add(1)
 		}
+	}
+	if isDefault {
+		sr.defaults.Add(1)
+	}
+}
+
+// ExecuteBatch runs the stage over every live packet of a batch before
+// the pipeline advances to the next stage: per-stage state (match tables,
+// closures, key plans) stays cache-hot across the batch, and the stage
+// counters — four contended atomics per packet on the scalar path — are
+// accumulated in registers and flushed once. Packets already dropped by
+// an earlier stage are skipped, preserving the scalar path's
+// break-on-drop semantics. Trace and Timed are re-pointed per packet from
+// the packet itself. When Bind armed a prefetcher, the next live packet's
+// table bucket is touched one packet ahead.
+func (sr *StageRuntime) ExecuteBatch(ps []*pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
+	var packets, hits, misses, defaults uint64
+	n := len(ps)
+	// One-ahead prefetch, re-advised once per batch: a table whose probe
+	// array is currently cache-resident declines, and the batch skips the
+	// speculative key builds entirely.
+	pf := sr.pfTable
+	if pf != nil {
+		if adv, ok := pf.(PrefetchAdvisor); ok && !adv.PrefetchUseful() {
+			pf = nil
+		}
+	}
+	for i, p := range ps {
+		if p == nil || p.Drop {
+			continue
+		}
+		if pf != nil {
+			for j := i + 1; j < n; j++ {
+				if nx := ps[j]; nx != nil && !nx.Drop {
+					sr.prefetchFor(nx, env)
+					break
+				}
+			}
+		}
+		packets++
+		env.Trace = p.Trace
+		env.Timed = p.Timed
+		applied, hit, isDefault := sr.executeOne(p, parser, backend, env)
+		if applied {
+			if hit {
+				hits++
+			} else {
+				misses++
+			}
+		}
+		if isDefault {
+			defaults++
+		}
+	}
+	env.flushTableStats()
+	if packets != 0 {
+		sr.packets.Add(packets)
+		if hits != 0 {
+			sr.hits.Add(hits)
+		}
+		if misses != 0 {
+			sr.misses.Add(misses)
+		}
+		if defaults != 0 {
+			sr.defaults.Add(defaults)
+		}
+	}
+}
+
+// prefetchFor speculatively builds nx's lookup key for the stage's single
+// table and touches the bucket it would probe, so the real lookup one
+// packet later finds the line resident. Strictly advisory and free of
+// side effects: no fault counters, a separate scratch buffer, and any
+// unreadable field aborts silently (the real lookup faults properly).
+func (sr *StageRuntime) prefetchFor(nx *pkt.Packet, env *Env) {
+	kp := sr.pfPlan
+	if cap(env.specBuf) < kp.nBytes {
+		env.specBuf = make([]byte, kp.nBytes)
+	}
+	key := env.specBuf[:kp.nBytes]
+	for i := range key {
+		key[i] = 0
+	}
+	for si := range kp.steps {
+		s := &kp.steps[si]
+		if s.width > 64 {
+			return
+		}
+		var v uint64
+		var err error
+		switch s.kind {
+		case keyMeta:
+			v, err = pkt.GetBits(nx.Meta, s.bitOff, s.width)
+		case keyHdr:
+			loc, ok := nx.HV.Loc(s.hdr)
+			if !ok {
+				return
+			}
+			v, err = pkt.GetBits(nx.Data, loc.Off*8+s.bitOff, s.width)
+		default: // keyValue: params are not bound during match, consts only.
+			if s.op == nil || s.op.Kind != template.OpdConst {
+				return
+			}
+			v = s.op.Const
+		}
+		if err != nil {
+			return
+		}
+		if pkt.SetBits(key, s.dstOff, s.width, v) != nil {
+			return
+		}
+	}
+	env.prefetched += sr.pfTable.Prefetch(key)
+}
+
+// executeOne is the per-packet core shared by Execute and ExecuteBatch.
+// Callers own the stage counters (batches flush them once per batch).
+func (sr *StageRuntime) executeOne(p *pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) (applied, hit, isDefault bool) {
+	env.Pkt = p
+	// Parser submodule: just-in-time parsing of the declared headers. The
+	// mask compare short-circuits the per-header walk when everything the
+	// stage needs is already in the packet's header vector — Ensure on an
+	// already-valid header is a no-op, so skipping it changes nothing.
+	if !(sr.parseMaskOK && p.HV.HasAll(sr.parseMask)) {
+		parser.EnsureAll(p, sr.tmpl.Parse)
+	}
+	// Matcher submodule. The outcome lives on the Env, not the stack:
+	// its address flows into closure calls on the fused tier, and a
+	// stack-local would escape (one allocation per stage per packet).
+	out := &env.matchOut
+	*out = matchOutcome{}
+	if sr.fused != nil {
+		if sr.fused.match != nil {
+			sr.fused.match(env, backend, out)
+		}
+	} else if sr.prog != nil {
+		env.ensureStack(sr.prog.maxStack)
+		env.exec(sr.prog.match, sr.prog, backend, out)
+	} else {
+		sr.runMatch(sr.tmpl.Match, env, backend, out)
 	}
 	// Executor submodule: select the arm by the matched entry's tag;
 	// misses and no-apply paths take the default arm. Compiled programs
@@ -198,9 +412,13 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 	if sr.prog != nil {
 		defIdx = sr.prog.defaultArm
 		if out.applied && out.hit {
-			for i, tg := range sr.prog.armTags {
-				if tg == out.tag {
+			// Backwards with early exit: the first match from the end is
+			// the interpreter's last-declaration-wins.
+			tags := sr.prog.armTags
+			for i := len(tags) - 1; i >= 0; i-- {
+				if tags[i] == out.tag {
 					armIdx = sr.prog.armAt[i]
+					break
 				}
 			}
 		}
@@ -216,13 +434,9 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 			}
 		}
 	}
-	isDefault := false
 	if armIdx == -1 {
 		armIdx = defIdx
 		isDefault = armIdx != -1
-	}
-	if isDefault {
-		sr.defaults.Add(1)
 	}
 	if env.Trace != nil {
 		ev := telemetry.StageEvent{
@@ -235,9 +449,15 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 		env.Trace.AddStage(ev)
 	}
 	if armIdx != -1 {
-		if sr.prog != nil {
+		if sr.fused != nil {
+			if arm := sr.fused.arms[armIdx]; arm != nil {
+				env.Params = out.params
+				arm(env)
+				env.Params = nil
+			}
+		} else if sr.prog != nil {
 			env.Params = out.params
-			env.exec(sr.prog.arms[armIdx].code, sr.prog, backend, &out)
+			env.exec(sr.prog.arms[armIdx].code, sr.prog, backend, out)
 			env.Params = nil
 		} else if act := sr.actions[sr.tmpl.Arms[armIdx].Action]; act == nil {
 			env.Faults.BadTemplate.Add(1)
@@ -251,13 +471,18 @@ func (sr *StageRuntime) Execute(p *pkt.Packet, parser *OnDemandParser, backend T
 	// Runs whether or not an arm matched (the stage still processed the
 	// packet) but not for drops — a dropped packet's trailer is never
 	// egressed, so stamping it would only distort the flow-path counters.
-	if sr.prog != nil {
+	if sr.fused != nil {
+		if sr.fused.post != nil && !p.Drop {
+			sr.fused.post(env)
+		}
+	} else if sr.prog != nil {
 		if sr.prog.post != nil && !p.Drop {
-			env.exec(sr.prog.post, sr.prog, backend, &out)
+			env.exec(sr.prog.post, sr.prog, backend, out)
 		}
 	} else if sr.intStamp && !p.Drop {
 		env.intStamp(sr.intStageID)
 	}
+	return out.applied, out.hit, isDefault
 }
 
 func (sr *StageRuntime) runMatch(stmts []template.MatchStmt, env *Env, backend TableBackend, out *matchOutcome) {
@@ -357,12 +582,8 @@ func (e *Env) applyTableWith(t *template.Table, rt ResolvedTable, rs ResolvedSel
 	}
 }
 
-// buildKeyPlanned is BuildKey over a compiled key plan: field sources,
-// widths and key positions were resolved at compile time, so the
-// per-packet work is bounds-checked copies. It must produce the same
-// bytes and the same fault/abort sequence as BuildKey on the same table.
-func (e *Env) buildKeyPlanned(p *keyPlan) ([]byte, bool) {
-	n := p.nBytes
+// keySlot returns the Env's zeroed n-byte key scratch slice.
+func (e *Env) keySlot(n int) []byte {
 	if cap(e.keyBuf) < n {
 		e.keyBuf = make([]byte, n)
 	}
@@ -370,6 +591,29 @@ func (e *Env) buildKeyPlanned(p *keyPlan) ([]byte, bool) {
 	for i := range key {
 		key[i] = 0
 	}
+	return key
+}
+
+// flushTableStats credits the hit/miss counts the fused inline-apply path
+// accumulated on this Env to their table and clears the batch. Execute
+// flushes per packet, ExecuteBatch once per batch; either way the shared
+// table counters are exact at every public boundary.
+func (e *Env) flushTableStats() {
+	if e.statTbl != nil {
+		if e.statHits|e.statMisses != 0 {
+			e.statTbl.AddLookupStats(e.statHits, e.statMisses)
+			e.statHits, e.statMisses = 0, 0
+		}
+		e.statTbl = nil
+	}
+}
+
+// buildKeyPlanned is BuildKey over a compiled key plan: field sources,
+// widths and key positions were resolved at compile time, so the
+// per-packet work is bounds-checked copies. It must produce the same
+// bytes and the same fault/abort sequence as BuildKey on the same table.
+func (e *Env) buildKeyPlanned(p *keyPlan) ([]byte, bool) {
+	key := e.keySlot(p.nBytes)
 	for si := range p.steps {
 		s := &p.steps[si]
 		switch s.kind {

@@ -108,10 +108,52 @@ func (t *TSP) ProcessWith(stages []*StageRuntime, p *pkt.Packet, parser *OnDeman
 	}
 }
 
+// ProcessBatchWith runs an explicit stage list over a whole batch,
+// stage-major: every live packet passes through one stage before any
+// packet advances to the next, so per-stage closures, key plans and match
+// tables stay cache-hot across the batch. Per-packet semantics (including
+// drop short-circuiting — a packet dropped by stage k is skipped by stage
+// k+1) match a ProcessWith per packet. Latency sampling is per batch: the
+// whole stage sweep is timed once and the mean per live packet is
+// observed for each Timed packet, since per-packet boundaries do not
+// exist in stage-major order.
+func (t *TSP) ProcessBatchWith(stages []*StageRuntime, ps []*pkt.Packet, parser *OnDemandParser, backend TableBackend, env *Env) {
+	if len(stages) == 0 {
+		return
+	}
+	env.TSPIndex = t.index
+	timed, live := 0, 0
+	if t.lat != nil {
+		for _, p := range ps {
+			if p == nil || p.Drop {
+				continue
+			}
+			live++
+			if p.Timed {
+				timed++
+			}
+		}
+	}
+	var t0 time.Time
+	if timed > 0 {
+		t0 = time.Now()
+	}
+	for _, s := range stages {
+		s.ExecuteBatch(ps, parser, backend, env)
+	}
+	if timed > 0 {
+		mean := int64(time.Since(t0)) / int64(live)
+		for i := 0; i < timed; i++ {
+			t.lat.ObserveNanos(mean)
+		}
+	}
+}
+
 // BuildStageRuntimes constructs the runtimes for every stage of a config,
-// keyed by stage name, compiling each stage (the default executor).
+// keyed by stage name, lowering each stage to fused closures (the default
+// executor).
 func BuildStageRuntimes(cfg *template.Config) (map[string]*StageRuntime, error) {
-	return BuildStageRuntimesMode(cfg, ExecCompiled)
+	return BuildStageRuntimesMode(cfg, ExecFused)
 }
 
 // BuildStageRuntimesMode is BuildStageRuntimes with an explicit executor
