@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-fused bench-reconfig bench-reconfig-baseline bench-flow bench-flow-baseline flow-soak fuzz-diff fuzz-fused profile-hotpath cover experiments examples health-smoke fmt vet lint clean
+.PHONY: all build test race race-dataplane bench bench-hotpath bench-int bench-baseline bench-gate bench-fused bench-reconfig bench-reconfig-baseline bench-flow bench-flow-baseline bench-drop bench-drop-baseline flow-soak drop-soak fuzz-diff fuzz-fused profile-hotpath cover experiments examples health-smoke fmt vet lint clean
 
 # Benchmarks gated against BENCH_hotpath.json: the per-packet hot path
 # (strict 0 allocs/op) plus the whole-switch sharded/pipelined burst.
@@ -113,6 +113,30 @@ bench-flow-baseline:
 # reconfig commits, and the sharded conservation invariant.
 flow-soak:
 	$(GO) test -race -count=2 -run 'Flow|Sketch|Concurrent|Sweep|Eviction' ./internal/flowstat/ ./internal/ipbm/
+
+# Drop-attribution benchmarks gated against BENCH_drop.json: the
+# always-on loss-forensics path (verdict classification, striped
+# ipsa_drop_total cells, capture-ring admission) on a program drop and a
+# parse failure. Same policy as bench-gate: allocs/op strictly 0, ns/op
+# within tolerance — a drop storm must not allocate.
+GATED_DROP_BENCH = BenchmarkDropPath
+
+bench-drop:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_DROP_BENCH)' -benchmem -count=3 . | bin/benchgate -check BENCH_drop.json -tol $(BENCH_TOL)
+
+# Record the drop-attribution baseline (min over 5 runs) and commit
+# BENCH_drop.json.
+bench-drop-baseline:
+	$(GO) build -o bin/benchgate ./cmd/benchgate
+	$(GO) test -run xxx -bench '$(GATED_DROP_BENCH)' -benchmem -count=5 . | bin/benchgate -write BENCH_drop.json \
+		-note "min of 5 runs; attribution is always on, so the drop path must stay allocation-free"
+
+# Race soak over the loss-forensics path: every drop reason firing at
+# once under a hitless edit storm, with the conservation invariant
+# (per-reason drop counters == loss-verdict counters) checked at the end.
+drop-soak:
+	$(GO) test -race -count=2 -run 'DropConservation|DropRing|DropAttribution' ./internal/ipbm/ ./internal/telemetry/
 
 # Differential fuzz: compiled executor vs interpreter on the full switch.
 fuzz-diff:

@@ -539,6 +539,59 @@ func BenchmarkFlowAccount(b *testing.B) {
 	})
 }
 
+// --- Drop attribution (docs/OBSERVABILITY.md) --------------------------------
+
+// BenchmarkDropPath measures the always-on loss-forensics path: every op
+// forwards a frame the switch loses — program_drop rewrites a known-good
+// flow's destination to an unrouted address so the design's catch-all
+// drop action fires, parse_error truncates the frame below the root
+// header. Each op pays full attribution: verdict classification, the
+// striped ipsa_drop_total cell and the capture-ring admission check.
+// allocs/op must be 0 — attribution is always on, so a drop storm must
+// not pressure the collector.
+func BenchmarkDropPath(b *testing.B) {
+	prep, err := experiments.PrepareUseCase(benchCfg(), "C1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := prep.IPSA()
+	unrouted := append([]byte(nil), prep.Gen().FlowPackets()[0]...)
+	// IPv4 destination lives at Ethernet(14) + dst offset(16).
+	copy(unrouted[30:34], []byte{203, 0, 113, 9})
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"program_drop", unrouted},
+		{"parse_error", unrouted[:10]},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			buf := append([]byte(nil), c.frame...)
+			// Warm pools and prove the frame actually drops; the pipeline
+			// rewrites buffers in place, so refresh before every send.
+			for i := 0; i < 64; i++ {
+				copy(buf, c.frame)
+				fwd, err := sw.Forward(buf, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fwd {
+					b.Fatalf("%s frame was forwarded, not dropped", c.name)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, c.frame)
+				if _, err := sw.Forward(buf, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_DistributedParsing compares on-demand parsing (headers
 // parsed once, where needed) against PISA-style full front parsing by
 // packet cost on the same design.

@@ -55,6 +55,8 @@ func main() {
 	flowIdle := flag.Duration("flow-idle", 0, "idle timeout before a flow is swept into a record (0 = default)")
 	flowTopK := flag.Int("flow-topk", 0, "heavy-hitter summary size per lane (0 = default)")
 	flowOff := flag.Bool("flow-off", false, "disable always-on flow accounting")
+	dropRing := flag.Int("drop-ring", 0, "sampled drop-capture ring size (0 = default)")
+	dropRate := flag.Int64("drop-rate", -1, "max sampled drop captures per second (0 disables capture; -1 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here for the whole run (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile here at shutdown (pprof format)")
 	flag.Parse()
@@ -89,6 +91,12 @@ func main() {
 	opts.FlowIdle = *flowIdle
 	opts.FlowTopK = *flowTopK
 	opts.FlowDisable = *flowOff
+	if *dropRing > 0 {
+		opts.DropRing = *dropRing
+	}
+	if *dropRate >= 0 {
+		opts.DropSampleRate = *dropRate
+	}
 	sw, err := ipbm.New(opts)
 	if err != nil {
 		fatal(err)
@@ -98,13 +106,14 @@ func main() {
 		mux := telemetry.NewServeMux(tel.Reg, tel.Tracer, tel.Events)
 		sw.Health().Register(mux)
 		sw.Flows().Register(mux)
+		sw.Drops().Register(mux)
 		ms, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer ms.Close()
 		slog.Info("metrics endpoint up", "addr", ms.Addr(),
-			"paths", "/metrics /traces /events /flows /health /healthz /readyz")
+			"paths", "/metrics /traces /events /flows /drops /health /healthz /readyz")
 	}
 	if *configFile != "" {
 		b, err := os.ReadFile(*configFile)

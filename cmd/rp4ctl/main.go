@@ -14,6 +14,7 @@
 //	rp4ctl -addr ... trace [max]
 //	rp4ctl -addr ... flows [records] [max]
 //	rp4ctl -addr ... hh [max]
+//	rp4ctl -addr ... drops [max]
 //	rp4ctl -addr ... health [window]
 //	rp4ctl -addr ... top [interval]
 //	rp4ctl -addr ... table-stats <table>
@@ -270,6 +271,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(renderHitters(hh))
+	case "drops":
+		max := 0
+		if len(args) > 1 {
+			var err error
+			if max, err = strconv.Atoi(args[1]); err != nil {
+				fatal(fmt.Errorf("bad max %q", args[1]))
+			}
+		}
+		recs, err := cl.DropDump(max)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(renderDrops(recs))
 	case "int":
 		need(args, 2)
 		switch args[1] {
@@ -607,6 +621,7 @@ commands:
   flows [MAX]             active flows, largest first
   flows records [MAX]     exported flow records (completed flows), oldest first
   hh [MAX]                estimated heavy hitters (live + evicted mass)
+  drops [MAX]             sampled drop captures, newest first (reason, drop point, header hex)
   int enable|disable
   int report [MAX]
   events [MAX]

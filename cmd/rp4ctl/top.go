@@ -111,6 +111,18 @@ func top(addr string, cl *ctrlplane.Client, interval, window time.Duration) {
 				fmt.Println("\nheavy hitters:")
 				fmt.Print(renderHitters(hh))
 			}
+			// Drops-by-reason pane from the attributed drop counters;
+			// silent until the first loss, like the causes line above.
+			if points, merr := cl.MetricsDump(); merr == nil {
+				if pane := renderDropReasons(points); pane != "" {
+					fmt.Println("\ndrops by reason (total):")
+					fmt.Print(pane)
+				}
+			}
+			if recs, derr := cl.DropDump(3); derr == nil && len(recs) > 0 {
+				fmt.Println("\nlatest sampled drops:")
+				fmt.Print(renderDrops(recs))
+			}
 		}
 		select {
 		case <-sig:

@@ -204,6 +204,16 @@ func (c *Client) HHDump(max int) ([]flowstat.HeavyHitter, error) {
 	return resp.Hitters, nil
 }
 
+// DropDump fetches up to max sampled drop records, newest first
+// (max <= 0 dumps the whole ring).
+func (c *Client) DropDump(max int) ([]telemetry.DropRecord, error) {
+	resp, err := c.Do(&Request{Op: OpDropDump, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Drops, nil
+}
+
 // EditBegin opens an edit-script transaction on the device.
 func (c *Client) EditBegin() error {
 	_, err := c.Do(&Request{Op: OpEditBegin})

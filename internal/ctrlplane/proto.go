@@ -37,6 +37,7 @@ const (
 	OpFlowDump     Op = "flow_dump"
 	OpFlowRecords  Op = "flow_records"
 	OpHHDump       Op = "hh_dump"
+	OpDropDump     Op = "drop_dump"
 	OpPing         Op = "ping"
 
 	// Edit-script ops: a begin/ops/commit transaction that inserts,
@@ -94,6 +95,7 @@ type Response struct {
 	Edit    *EditStats              `json:"edit,omitempty"`
 	Flows   []flowstat.Record       `json:"flows,omitempty"`
 	Hitters []flowstat.HeavyHitter  `json:"hitters,omitempty"`
+	Drops   []telemetry.DropRecord  `json:"drops,omitempty"`
 	Extra   json.RawMessage         `json:"extra,omitempty"`
 }
 
@@ -243,4 +245,11 @@ type FlowSource interface {
 	FlowDump(max int) []flowstat.Record
 	FlowRecords(max int) []flowstat.Record
 	HHDump(max int) []flowstat.HeavyHitter
+}
+
+// DropSource is optionally implemented by devices with a sampled
+// drop-capture ring (dropwatch-style loss forensics); max <= 0 dumps the
+// whole ring, newest first.
+type DropSource interface {
+	DropDump(max int) []telemetry.DropRecord
 }

@@ -237,6 +237,12 @@ func (s *Server) Handle(req *Request) *Response {
 		default:
 			return &Response{OK: true, Hitters: fs.HHDump(req.Max)}
 		}
+	case OpDropDump:
+		ds, ok := s.dev.(DropSource)
+		if !ok {
+			return fail(fmt.Errorf("ccm: device has no drop capture"))
+		}
+		return &Response{OK: true, Drops: ds.DropDump(req.Max)}
 	}
 	return fail(fmt.Errorf("ccm: unknown op %q", req.Op))
 }

@@ -21,6 +21,7 @@ import (
 	"ipsa/internal/pkt"
 	"ipsa/internal/template"
 	"ipsa/internal/tsp"
+	"ipsa/internal/verdict"
 )
 
 // ErrNoConfig is returned by packet entry points before ApplyConfig.
@@ -48,6 +49,11 @@ func (d *Design) NewPacket(data []byte, inPort int) (*pkt.Packet, error) {
 	p.HV.Presize(d.numHeaders)
 	if err := StampInPort(p, inPort); err != nil {
 		return nil, err
+	}
+	// Same admission-time parse probe as Core.GetPacket (see below), so
+	// caller-owned packets classify losses identically to pooled ones.
+	if !d.Parser.EnsureRoot(p) {
+		p.DropReason = verdict.ReasonParse
 	}
 	return p, nil
 }
@@ -157,6 +163,15 @@ func (c *Core) GetPacket(d *Design, data []byte, inPort int) (*pkt.Packet, error
 		c.pktPool.Put(p)
 		return nil, err
 	}
+	// Admission-time parse probe: a frame that cannot carry the design's
+	// root header is marked a parse failure here, so a later no-egress
+	// finish is attributed to the parser rather than the program. The
+	// packet still traverses the pipeline unchanged (programs that route
+	// on metadata alone keep working); the probe's result is cached in
+	// the header vector, so the first stage's own parse is a hit.
+	if !d.Parser.EnsureRoot(p) {
+		p.DropReason = verdict.ReasonParse
+	}
 	return p, nil
 }
 
@@ -214,19 +229,39 @@ func SurfaceOutPort(p *pkt.Packet) {
 	}
 }
 
+// DropVerdict classifies a packet the program dropped mid-pipeline.
+// Normally that is an intentional, ACL-style drop; but when admission
+// already stamped the frame as a parse failure, the parse verdict wins —
+// the program's catch-all drop action merely disposed of a frame nothing
+// could have routed, and filing it as policy would hide a garbage-frame
+// storm from the unexpected-loss health detector.
+func DropVerdict(p *pkt.Packet) string {
+	if p.DropReason == verdict.ReasonParse {
+		return verdict.StrParseError
+	}
+	return verdict.StrDropped
+}
+
 // Verdict classifies a finished packet for telemetry. survived is false
 // when the packet died without a stage drop (e.g. TM admission failure).
+// A packet that finishes without a valid egress port splits two ways:
+// admission marked it a parse failure (the frame could not carry the
+// design's root header — nothing downstream could have routed it) or a
+// genuine no_port (the program never picked an egress).
 func Verdict(p *pkt.Packet, survived bool, numPorts int) string {
 	switch {
 	case p.Drop:
-		return "dropped"
+		return DropVerdict(p)
 	case !survived:
-		return "tm_drop"
+		return verdict.StrTMDrop
 	case p.ToCPU:
-		return "to_cpu"
+		return verdict.StrToCPU
 	case p.OutPort < 0 || p.OutPort >= numPorts:
-		return "no_port"
+		if p.DropReason == verdict.ReasonParse {
+			return verdict.StrParseError
+		}
+		return verdict.StrNoPort
 	default:
-		return "forwarded"
+		return verdict.StrForwarded
 	}
 }

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"ipsa/internal/pkt"
 	"ipsa/internal/tsp"
+	"ipsa/internal/verdict"
 )
 
 // Shard is one shard worker's private packet-lifecycle cache over a Core:
@@ -50,6 +51,10 @@ func (sh *Shard) GetPacket(d *Design, data []byte, inPort int) (*pkt.Packet, err
 		return nil, err
 	}
 	p.Lane = sh.lane
+	// Same admission-time parse probe as Core.GetPacket.
+	if !d.Parser.EnsureRoot(p) {
+		p.DropReason = verdict.ReasonParse
+	}
 	return p, nil
 }
 

@@ -31,53 +31,27 @@ import (
 	"time"
 
 	"ipsa/internal/pkt"
+	"ipsa/internal/verdict"
 )
 
-// Verdict is the compact last-verdict enum stored per flow entry. The
-// values mirror dataplane.Verdict's strings.
-type Verdict uint8
+// Verdict is the compact last-verdict enum stored per flow entry,
+// shared with the telemetry layer via internal/verdict (one source of
+// truth for the enum ↔ string mapping). The aliases below keep the
+// flowstat call sites and wire formats unchanged.
+type Verdict = verdict.Verdict
 
 const (
-	VerdictNone Verdict = iota
-	VerdictForwarded
-	VerdictDropped
-	VerdictTMDrop
-	VerdictToCPU
-	VerdictNoPort
+	VerdictNone      = verdict.None
+	VerdictForwarded = verdict.Forwarded
+	VerdictDropped   = verdict.Dropped
+	VerdictTMDrop    = verdict.TMDrop
+	VerdictToCPU     = verdict.ToCPU
+	VerdictNoPort    = verdict.NoPort
+	VerdictParse     = verdict.ParseError
 )
 
 // VerdictOf maps a dataplane verdict string to the enum.
-func VerdictOf(s string) Verdict {
-	switch s {
-	case "forwarded":
-		return VerdictForwarded
-	case "dropped":
-		return VerdictDropped
-	case "tm_drop":
-		return VerdictTMDrop
-	case "to_cpu":
-		return VerdictToCPU
-	case "no_port":
-		return VerdictNoPort
-	}
-	return VerdictNone
-}
-
-func (v Verdict) String() string {
-	switch v {
-	case VerdictForwarded:
-		return "forwarded"
-	case VerdictDropped:
-		return "dropped"
-	case VerdictTMDrop:
-		return "tm_drop"
-	case VerdictToCPU:
-		return "to_cpu"
-	case VerdictNoPort:
-		return "no_port"
-	}
-	return "none"
-}
+func VerdictOf(s string) Verdict { return verdict.Of(s) }
 
 // Eviction reasons carried on emitted flow records.
 const (

@@ -64,8 +64,11 @@ type Options struct {
 	SpikeChecks int
 
 	// Packets and Drops feed the switch-level throughput history:
-	// cumulative packets seen and packets lost (any drop verdict).
-	// Optional; without them PPS and the spike check are disabled.
+	// cumulative packets seen and packets lost. Feeders should count
+	// only unexpected losses (congestion, misrouting, parse failures) —
+	// not intentional policy drops — so the drop-spike detector flags
+	// faults, not firewalls. Optional; without them PPS and the spike
+	// check are disabled.
 	Packets func() uint64
 	Drops   func() uint64
 	// TMDepth reports current traffic-manager occupancy across shards.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ipsa/internal/telemetry"
+	"ipsa/internal/verdict"
 )
 
 // Status is the health_query / GET /health payload: the aggregate
@@ -42,7 +43,12 @@ type Status struct {
 }
 
 // dropVerdicts are the verdict label values that count as loss.
-var dropVerdicts = map[string]bool{"dropped": true, "tm_drop": true, "no_port": true}
+var dropVerdicts = map[string]bool{
+	verdict.StrDropped:    true,
+	verdict.StrTMDrop:     true,
+	verdict.StrNoPort:     true,
+	verdict.StrParseError: true,
+}
 
 // Status assembles the exported view over the given window (<= 0 uses
 // the configured default). Query path: allocates freely.

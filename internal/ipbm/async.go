@@ -133,6 +133,7 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 		if v != nil {
 			v.unpin()
 		}
+		s.admitFailed(0, inPort, data)
 		return
 	}
 	s.dp.BeginPacket(p)
@@ -163,9 +164,10 @@ func (s *Switch) ingestOne(data []byte, inPort int) {
 	}
 	s.dp.PutEnv(env)
 	if !ok {
-		s.dp.FinishPacket(p, "dropped")
+		dv := dataplane.DropVerdict(p)
+		s.dp.FinishPacket(p, dv)
 		if fl != nil {
-			fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), now)
+			fl.Finish(p.RSS, flowstat.VerdictOf(dv), flowLat(p), now)
 		}
 		s.dp.PutPacket(p)
 		if v != nil {
@@ -281,9 +283,10 @@ func (s *Switch) egestPacket(p *pkt.Packet) {
 func (s *Switch) egestFinish(p *pkt.Packet, v *progVersion, survived bool) {
 	fl := s.flows.Peek(p.InPort)
 	if !survived {
-		s.dp.FinishPacket(p, "dropped")
+		dv := dataplane.DropVerdict(p)
+		s.dp.FinishPacket(p, dv)
 		if fl != nil {
-			fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), flowstat.Now())
+			fl.Finish(p.RSS, flowstat.VerdictOf(dv), flowLat(p), flowstat.Now())
 		}
 		s.dp.PutPacket(p)
 		return // dropped in egress
@@ -303,8 +306,8 @@ func (s *Switch) egestFinish(p *pkt.Packet, v *progVersion, survived bool) {
 		sink.process(p)
 	}
 	if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
-		if port, err := s.ports.Port(p.OutPort); err == nil {
-			port.Send(p.Data)
+		if port, err := s.ports.Port(p.OutPort); err == nil && !port.Send(p.Data) {
+			s.txFailed(p)
 		}
 	} else {
 		s.tel.noPortDrops.Inc()

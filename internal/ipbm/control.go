@@ -177,6 +177,15 @@ func (s *Switch) HHDump(max int) []flowstat.HeavyHitter {
 	return s.flows.HeavyHitters(max)
 }
 
+// Drops exposes the sampled drop-capture ring.
+func (s *Switch) Drops() *telemetry.DropRing { return s.tel.Drops }
+
+// DropDump implements ctrlplane.DropSource: the sampled drop-capture
+// ring, newest first, truncated to max (<= 0 = all).
+func (s *Switch) DropDump(max int) []telemetry.DropRecord {
+	return s.tel.Drops.Dump(max)
+}
+
 // MetricsDump implements ctrlplane.TelemetrySource.
 func (s *Switch) MetricsDump() []telemetry.MetricPoint {
 	return s.tel.Reg.Gather()

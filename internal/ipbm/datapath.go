@@ -127,6 +127,7 @@ func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
 		if v != nil {
 			v.unpin()
 		}
+		s.admitFailed(0, inPort, data)
 		return false, err
 	}
 	fl, now := s.flowTouch(p, data, inPort)
@@ -152,7 +153,11 @@ func (s *Switch) Forward(data []byte, inPort int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return port.Send(p.Data), nil
+	sent := port.Send(p.Data)
+	if !sent {
+		s.txFailed(p)
+	}
+	return sent, nil
 }
 
 // batchPool recycles ForwardBatch's packet-slice scratch so the batch
@@ -205,6 +210,7 @@ func (s *Switch) ForwardBatch(frames [][]byte, inPort int) (int, error) {
 		p, err := s.dp.GetPacket(d, data, inPort)
 		if err != nil {
 			// Process the frames already admitted, then report the error.
+			s.admitFailed(0, inPort, data)
 			firstErr = err
 			break
 		}
@@ -281,7 +287,9 @@ func (s *Switch) disposeBatchPkt(v *progVersion, p *pkt.Packet, fl *flowstat.Tab
 	if ok && !p.Drop {
 		if p.OutPort >= 0 && p.OutPort < s.ports.Len() {
 			if port, err := s.ports.Port(p.OutPort); err == nil {
-				sent = port.Send(p.Data)
+				if sent = port.Send(p.Data); !sent {
+					s.txFailed(p)
+				}
 			}
 		} else {
 			s.tel.noPortDrops.Inc()

@@ -66,9 +66,14 @@ func (s *Switch) packetsTotal() uint64 {
 	return n
 }
 
-// dropsTotal folds the loss verdicts (dropped, tm_drop, no_port).
+// dropsTotal folds the unexpected losses: TM tail drops, no-egress
+// finishes, parse failures and refused transmits. Intentional stage
+// drops (reason "acl" — a firewall program doing its job) are excluded
+// so a policy-heavy program can never trip the post-reconfig drop-spike
+// detector into reporting the switch degraded.
 func (s *Switch) dropsTotal() uint64 {
-	return s.tel.vDropped.Value() + s.tel.vTmDrop.Value() + s.tel.vNoPort.Value()
+	return s.tel.dropTM.Value() + s.tel.dropNoPort.Value() +
+		s.tel.dropParse.Value() + s.tel.dropTxFail.Value()
 }
 
 // Health exposes the switch's self-diagnosis layer (rate queries, manual

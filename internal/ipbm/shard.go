@@ -295,6 +295,7 @@ func (s *Switch) shardProcess(sh *shardRunner, frames []shardFrame, v *progVersi
 	for _, f := range frames {
 		p, err := sh.dsh.GetPacket(d, f.data, int(f.port))
 		if err != nil {
+			s.admitFailed(sh.dsh.Lane(), int(f.port), f.data)
 			continue
 		}
 		s.dp.BeginPacket(p)
@@ -314,9 +315,10 @@ func (s *Switch) shardProcess(sh *shardRunner, frames []shardFrame, v *progVersi
 	v.runIngressBatch(s.pl, ps, env)
 	for i, p := range ps {
 		if p.Drop {
-			s.dp.FinishPacket(p, "dropped")
+			dv := dataplane.DropVerdict(p)
+			s.dp.FinishPacket(p, dv)
 			if sh.fl != nil {
-				sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+				sh.fl.Finish(p.RSS, flowstat.VerdictOf(dv), flowLat(p), sh.now)
 			}
 			sh.dsh.PutPacket(p)
 		} else if !sh.tm.Admit(p) {
@@ -342,6 +344,7 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame, v *progVersion) {
 	}
 	p, err := sh.dsh.GetPacket(d, f.data, int(f.port))
 	if err != nil {
+		s.admitFailed(sh.dsh.Lane(), int(f.port), f.data)
 		return
 	}
 	s.dp.BeginPacket(p)
@@ -365,9 +368,10 @@ func (s *Switch) shardIngest(sh *shardRunner, f shardFrame, v *progVersion) {
 		ok = s.pl.RunIngress(p, d.Parser, s, env)
 	}
 	if !ok {
-		s.dp.FinishPacket(p, "dropped")
+		dv := dataplane.DropVerdict(p)
+		s.dp.FinishPacket(p, dv)
 		if sh.fl != nil {
-			sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+			sh.fl.Finish(p.RSS, flowstat.VerdictOf(dv), flowLat(p), sh.now)
 		}
 		sh.dsh.PutPacket(p)
 		return
@@ -451,9 +455,10 @@ func (s *Switch) shardEgest(sh *shardRunner, p *pkt.Packet) {
 // path (v == nil) and the batched epoch path.
 func (s *Switch) shardDispose(sh *shardRunner, p *pkt.Packet, v *progVersion, survived bool) {
 	if !survived {
-		s.dp.FinishPacket(p, "dropped")
+		dv := dataplane.DropVerdict(p)
+		s.dp.FinishPacket(p, dv)
 		if sh.fl != nil {
-			sh.fl.Finish(p.RSS, flowstat.VerdictDropped, flowLat(p), sh.now)
+			sh.fl.Finish(p.RSS, flowstat.VerdictOf(dv), flowLat(p), sh.now)
 		}
 		sh.dsh.PutPacket(p)
 		return
@@ -491,7 +496,11 @@ func (s *Switch) shardFlushTx(sh *shardRunner) {
 			continue
 		}
 		if port, err := s.ports.Port(i); err == nil {
-			port.XmitBatch(frames)
+			// XmitBatch reports how many frames the port accepted; the
+			// remainder is per-frame-anonymous (no packet to capture), so
+			// only the tx_fail counter moves, on this shard's stripe.
+			sent := port.XmitBatch(frames)
+			s.tel.countTxFail(sh.dsh.Lane(), uint64(len(frames)-sent))
 		}
 		for j := range frames {
 			frames[j] = nil

@@ -65,6 +65,15 @@ type Options struct {
 	IntReportRing int
 	// EventRing sizes the reconfiguration audit-event log.
 	EventRing int
+	// DropRing sizes the sampled drop-capture ring (records retained;
+	// 0 = 256). The attributed drop counters are always on regardless.
+	DropRing int
+	// DropSampleRate bounds drop captures per second (token bucket;
+	// 0 disables capture until raised via DropRing.SetRate).
+	DropSampleRate int64
+	// DropSampleBurst is the capture token bucket's capacity
+	// (0 = DropSampleRate).
+	DropSampleBurst int64
 
 	// Logger receives the switch's structured logs (nil = slog.Default();
 	// the switch adds component attributes).
@@ -132,6 +141,9 @@ func DefaultOptions() Options {
 		IntSwitchID:   1,
 		IntReportRing: 256,
 		EventRing:     256,
+
+		DropRing:       256,
+		DropSampleRate: 64,
 	}
 }
 

@@ -3,9 +3,11 @@ package ipbm
 import (
 	"strconv"
 
+	"ipsa/internal/pipeline"
 	"ipsa/internal/pkt"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
+	"ipsa/internal/verdict"
 )
 
 // Telemetry is the switch's observability state: a metrics registry, the
@@ -40,40 +42,102 @@ type Telemetry struct {
 	// shard workers, so concurrent shards never contend on one cache
 	// line. Totals fold at read time; per-lane cells are what the
 	// ipsa_shard_* export reads.
-	vForwarded *telemetry.StripedCounter
-	vDropped   *telemetry.StripedCounter
-	vTmDrop    *telemetry.StripedCounter
-	vToCPU     *telemetry.StripedCounter
-	vNoPort    *telemetry.StripedCounter
+	vForwarded  *telemetry.StripedCounter
+	vDropped    *telemetry.StripedCounter
+	vTmDrop     *telemetry.StripedCounter
+	vToCPU      *telemetry.StripedCounter
+	vNoPort     *telemetry.StripedCounter
+	vParseError *telemetry.StripedCounter
+
+	// Attributed drop counters (ipsa_drop_total{reason,stage}): every
+	// lost packet increments exactly one cell, striped like the verdict
+	// counters, so per-reason sums reconcile exactly against the loss
+	// verdicts in ipsa_packets_total. dropACL is per-TSP (stage "tsp<i>")
+	// so an intentional stage drop names the processor that fired it; the
+	// other reasons each have one fixed drop point. dropTxFail is the one
+	// loss outside the verdict taxonomy: the packet finished "forwarded"
+	// and the egress port then refused the frame.
+	dropACL    []*telemetry.StripedCounter
+	dropTM     *telemetry.StripedCounter
+	dropNoPort *telemetry.StripedCounter
+	dropParse  *telemetry.StripedCounter
+	dropTxFail *telemetry.StripedCounter
+
+	// Drops is the sampled drop-capture ring (dropwatch-style): a
+	// token-bucket-limited subset of losses keeps its header prefix,
+	// drop point and epoch for post-mortem inspection.
+	Drops *telemetry.DropRing
 }
 
-// verdictNames orders the per-verdict counters for snapshots/deltas.
-var verdictNames = [...]string{"forwarded", "dropped", "tm_drop", "to_cpu", "no_port"}
+// verdictNames orders the per-verdict counters for snapshots/deltas —
+// the shared taxonomy's order (enum value minus one).
+var verdictNames = verdict.Strings
 
-func (t *Telemetry) verdictCounters() [5]*telemetry.StripedCounter {
-	return [5]*telemetry.StripedCounter{t.vForwarded, t.vDropped, t.vTmDrop, t.vToCPU, t.vNoPort}
+func (t *Telemetry) verdictCounters() [verdict.NumVerdicts]*telemetry.StripedCounter {
+	return [verdict.NumVerdicts]*telemetry.StripedCounter{
+		t.vForwarded, t.vDropped, t.vTmDrop, t.vToCPU, t.vNoPort, t.vParseError,
+	}
 }
 
 // countVerdict bumps the finished packet's verdict counter on stripe
 // lane (the packet's telemetry lane: 0 shared, shard index + 1).
-func (t *Telemetry) countVerdict(lane int, verdict string) {
-	switch verdict {
-	case "forwarded":
+func (t *Telemetry) countVerdict(lane int, v string) {
+	switch v {
+	case verdict.StrForwarded:
 		t.vForwarded.Cell(lane).Inc()
-	case "dropped":
+	case verdict.StrDropped:
 		t.vDropped.Cell(lane).Inc()
-	case "tm_drop":
+	case verdict.StrTMDrop:
 		t.vTmDrop.Cell(lane).Inc()
-	case "to_cpu":
+	case verdict.StrToCPU:
 		t.vToCPU.Cell(lane).Inc()
-	case "no_port":
+	case verdict.StrNoPort:
 		t.vNoPort.Cell(lane).Inc()
+	case verdict.StrParseError:
+		t.vParseError.Cell(lane).Inc()
+	}
+}
+
+// countDrop attributes one lost packet to its ipsa_drop_total cell. It
+// returns the reason plus the dropping TSP (-1 when the drop point is
+// not a stage) so the caller can offer the packet to the capture ring;
+// ReasonNone means the verdict was not a loss.
+func (t *Telemetry) countDrop(lane int, v string, stage int32) (verdict.DropReason, int) {
+	switch v {
+	case verdict.StrDropped:
+		if len(t.dropACL) == 0 {
+			return verdict.ReasonNone, -1
+		}
+		i := int(stage)
+		if i < 0 || i >= len(t.dropACL) {
+			i = 0
+		}
+		t.dropACL[i].Cell(lane).Inc()
+		return verdict.ReasonACL, i
+	case verdict.StrTMDrop:
+		t.dropTM.Cell(lane).Inc()
+		return verdict.ReasonTM, -1
+	case verdict.StrNoPort:
+		t.dropNoPort.Cell(lane).Inc()
+		return verdict.ReasonNoPort, -1
+	case verdict.StrParseError:
+		t.dropParse.Cell(lane).Inc()
+		return verdict.ReasonParse, -1
+	}
+	return verdict.ReasonNone, -1
+}
+
+// countTxFail accounts n frames an egress port refused after their
+// "forwarded" verdict (corroborated by the port's own tx_drops counter).
+func (t *Telemetry) countTxFail(lane int, n uint64) {
+	if n > 0 {
+		t.dropTxFail.Cell(lane).Add(n)
 	}
 }
 
 // verdictSnapshot captures the per-verdict totals (audit-event baseline).
-func (t *Telemetry) verdictSnapshot() [5]uint64 {
-	var out [5]uint64
+func (t *Telemetry) verdictSnapshot() [verdict.NumVerdicts]uint64 {
+	var out [verdict.NumVerdicts]uint64
 	for i, c := range t.verdictCounters() {
 		out[i] = c.Value()
 	}
@@ -82,7 +146,7 @@ func (t *Telemetry) verdictSnapshot() [5]uint64 {
 
 // verdictDeltas reports the per-verdict change since a snapshot, keeping
 // only verdicts that moved.
-func (t *Telemetry) verdictDeltas(before [5]uint64) map[string]uint64 {
+func (t *Telemetry) verdictDeltas(before [verdict.NumVerdicts]uint64) map[string]uint64 {
 	var out map[string]uint64
 	for i, c := range t.verdictCounters() {
 		if d := c.Value() - before[i]; d > 0 {
@@ -114,11 +178,21 @@ func (s *Switch) newTelemetry(opts Options) {
 		tspsWritten:  reg.Counter("ipsa_config_tsps_written_total"),
 		migrated:     reg.Counter("ipsa_config_entries_migrated_total"),
 		noPortDrops:  reg.Counter("ipsa_no_port_drops_total"),
-		vForwarded:   reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "forwarded")),
-		vDropped:     reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "dropped")),
-		vTmDrop:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "tm_drop")),
-		vToCPU:       reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "to_cpu")),
-		vNoPort:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", "no_port")),
+		vForwarded:   reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrForwarded)),
+		vDropped:     reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrDropped)),
+		vTmDrop:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrTMDrop)),
+		vToCPU:       reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrToCPU)),
+		vNoPort:      reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrNoPort)),
+		vParseError:  reg.StripedCounter("ipsa_packets_total", verdictLanes, telemetry.L("verdict", verdict.StrParseError)),
+		dropTM:       reg.StripedCounter("ipsa_drop_total", verdictLanes, telemetry.L("reason", verdict.StrReasonTM), telemetry.L("stage", "tm")),
+		dropNoPort:   reg.StripedCounter("ipsa_drop_total", verdictLanes, telemetry.L("reason", verdict.StrReasonNoPort), telemetry.L("stage", "tx")),
+		dropParse:    reg.StripedCounter("ipsa_drop_total", verdictLanes, telemetry.L("reason", verdict.StrReasonParse), telemetry.L("stage", "parser")),
+		dropTxFail:   reg.StripedCounter("ipsa_drop_total", verdictLanes, telemetry.L("reason", verdict.StrReasonTxFail), telemetry.L("stage", "tx")),
+		Drops:        telemetry.NewDropRing(opts.DropRing, opts.DropSampleRate, opts.DropSampleBurst),
+	}
+	for i := 0; i < s.pl.NumTSPs(); i++ {
+		tel.dropACL = append(tel.dropACL, reg.StripedCounter("ipsa_drop_total", verdictLanes,
+			telemetry.L("reason", verdict.StrReasonACL), telemetry.L("stage", "tsp"+strconv.Itoa(i))))
 	}
 	for i := 0; i < s.pl.NumTSPs(); i++ {
 		t, _ := s.pl.TSP(i)
@@ -186,6 +260,25 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 		gauge("ipsa_tm_queue_depth", float64(depth+s.shardDepth(port)), telemetry.L("port", strconv.Itoa(port)))
 	}
 
+	// TM watermarks and microburst windows, merged across the shared TM
+	// and every shard TM (max watermark, summed burst counts).
+	for _, w := range s.tmWatermarks() {
+		l := telemetry.L("port", strconv.Itoa(w.Port))
+		gauge("ipsa_tm_watermark", float64(w.Watermark), l)
+		ctr("ipsa_tm_microburst_total", w.Bursts, l)
+		if w.MinBurstNanos > 0 {
+			gauge("ipsa_tm_microburst_min_seconds", float64(w.MinBurstNanos)/1e9, l)
+		}
+		if w.MaxBurstNanos > 0 {
+			gauge("ipsa_tm_microburst_max_seconds", float64(w.MaxBurstNanos)/1e9, l)
+		}
+	}
+
+	// Drop-capture sampling outcome (ring admission vs token exhaustion).
+	sampled, skipped := s.tel.Drops.Stats()
+	ctr("ipsa_drop_samples_total", sampled, telemetry.L("outcome", "sampled"))
+	ctr("ipsa_drop_samples_total", skipped, telemetry.L("outcome", "skipped"))
+
 	// Sharded mode: per-shard packet/drop/queue-depth series, read from
 	// the striped verdict cells (lane = shard index + 1) and the shard
 	// TMs. Absent unless RunSharded is active.
@@ -198,7 +291,8 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 			}
 			drops = s.tel.vDropped.CellValue(lane) +
 				s.tel.vTmDrop.CellValue(lane) +
-				s.tel.vNoPort.CellValue(lane)
+				s.tel.vNoPort.CellValue(lane) +
+				s.tel.vParseError.CellValue(lane)
 			l := telemetry.L("shard", strconv.Itoa(sh.idx))
 			ctr("ipsa_shard_packets_total", pkts, l)
 			ctr("ipsa_shard_drops_total", drops, l)
@@ -248,14 +342,73 @@ func (s *Switch) collect(emit func(telemetry.MetricPoint)) {
 	}
 }
 
+// admitFailed accounts a frame the dataplane refused to admit (GetPacket
+// error, before the packet ever existed): the loss lands in both ledgers
+// — the parse_error verdict and the parser's drop cell — so conservation
+// holds even for packets that never entered the pipeline.
+func (s *Switch) admitFailed(lane, inPort int, data []byte) {
+	s.tel.countVerdict(lane, verdict.StrParseError)
+	if r, _ := s.tel.countDrop(lane, verdict.StrParseError, -1); r != verdict.ReasonNone && s.tel.Drops.Offer() {
+		s.tel.Drops.Capture(r, -1, inPort, -1, s.currentEpoch(), data)
+	}
+}
+
+// txFailed accounts one frame the egress port refused after its
+// "forwarded" verdict, offering it to the capture ring. Call before the
+// packet is recycled.
+func (s *Switch) txFailed(p *pkt.Packet) {
+	s.tel.countTxFail(int(p.Lane), 1)
+	if s.tel.Drops.Offer() {
+		s.tel.Drops.Capture(verdict.ReasonTxFail, -1, p.InPort, p.OutPort, s.currentEpoch(), p.Data)
+	}
+}
+
+// currentEpoch is the published program-store epoch (0 in drain mode).
+func (s *Switch) currentEpoch() uint64 {
+	if v := s.epochs.current(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
+// tmWatermarks merges the shared TM's and every shard TM's per-port
+// watermark/microburst snapshots: the watermark is the max across TMs,
+// burst counts add, and the window bounds widen.
+func (s *Switch) tmWatermarks() []pipeline.PortWatermark {
+	out := s.pl.TM().Watermarks()
+	set := s.shardsP.Load()
+	if set == nil {
+		return out
+	}
+	for _, sh := range set.shards {
+		for _, w := range sh.tm.Watermarks() {
+			if w.Port >= len(out) {
+				continue
+			}
+			o := &out[w.Port]
+			if w.Watermark > o.Watermark {
+				o.Watermark = w.Watermark
+			}
+			o.Bursts += w.Bursts
+			if w.MinBurstNanos > 0 && (o.MinBurstNanos == 0 || w.MinBurstNanos < o.MinBurstNanos) {
+				o.MinBurstNanos = w.MinBurstNanos
+			}
+			if w.MaxBurstNanos > o.MaxBurstNanos {
+				o.MaxBurstNanos = w.MaxBurstNanos
+			}
+		}
+	}
+	return out
+}
+
 // telemetryHooks adapts the switch's sampled packet telemetry to the
 // dataplane lifecycle callbacks.
 type telemetryHooks struct{ s *Switch }
 
 func (h telemetryHooks) BeginPacket(p *pkt.Packet) { h.s.beginPacketTelemetry(p) }
 
-func (h telemetryHooks) FinishPacket(p *pkt.Packet, verdict string) {
-	h.s.finishPacketTelemetry(p, verdict)
+func (h telemetryHooks) FinishPacket(p *pkt.Packet, v string) {
+	h.s.finishPacketTelemetry(p, v)
 }
 
 // beginPacketTelemetry makes the per-packet sampling decisions: it
@@ -270,11 +423,17 @@ func (s *Switch) beginPacketTelemetry(p *pkt.Packet) {
 	p.Timed = s.tel.LatSamp.Hit()
 }
 
-// finishPacketTelemetry counts the packet's verdict, then completes and
-// commits a sampled packet's flight record. The verdict counter comes
-// first — it must tick for every packet, traced or not.
-func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
-	s.tel.countVerdict(int(p.Lane), verdict)
+// finishPacketTelemetry counts the packet's verdict and — for the loss
+// verdicts — its attributed drop reason, offers lost packets to the
+// sampled capture ring, then completes and commits a sampled packet's
+// flight record. The counters come first — they must tick for every
+// packet, traced or not.
+func (s *Switch) finishPacketTelemetry(p *pkt.Packet, v string) {
+	lane := int(p.Lane)
+	s.tel.countVerdict(lane, v)
+	if reason, tspIdx := s.tel.countDrop(lane, v, p.DropStage); reason != verdict.ReasonNone && s.tel.Drops.Offer() {
+		s.tel.Drops.Capture(reason, tspIdx, p.InPort, p.OutPort, s.currentEpoch(), p.Data)
+	}
 	rec := p.Trace
 	if rec == nil {
 		return
@@ -282,7 +441,7 @@ func (s *Switch) finishPacketTelemetry(p *pkt.Packet, verdict string) {
 	p.Trace = nil
 	rec.OutPort = p.OutPort
 	rec.Bytes = len(p.Data)
-	rec.Verdict = verdict
+	rec.Verdict = v
 	var cfg *template.Config
 	if d := s.dp.Design(); d != nil {
 		cfg = d.Cfg

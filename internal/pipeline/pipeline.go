@@ -287,12 +287,46 @@ type TrafficManager struct {
 	rr      int // round-robin scan position for DequeueRR
 	waiters int // DequeueWait callers currently parked on cond
 
+	// Watermark/microburst telemetry, mutated only under mu on the
+	// enqueue/dequeue paths that already hold it. burstThresh is the
+	// depth a queue must reach to open a burst window; crossing it and
+	// receding closes the window and records its duration. Timestamps
+	// are taken only at threshold crossings, so steady-state queueing
+	// pays integer compares, not clock reads.
+	burstThresh int
+	wm          []portWM
+
 	enqueued  atomic.Uint64
 	tailDrops atomic.Uint64
 }
 
+// portWM is one port's watermark/burst state.
+type portWM struct {
+	watermark  int32 // high-water queue depth
+	burstStart int64 // tmNanos when depth crossed the threshold; 0 = idle
+	bursts     uint64
+	minBurst   int64 // shortest completed burst window, nanos (0 = none)
+	maxBurst   int64
+}
+
+// The TM's monotonic clock for burst windows.
+var tmClockBase = time.Now()
+
+func tmNanos() int64 { return int64(time.Since(tmClockBase)) }
+
+// PortWatermark is one port's exported watermark/microburst snapshot.
+type PortWatermark struct {
+	Port          int
+	Watermark     int
+	Bursts        uint64
+	MinBurstNanos int64
+	MaxBurstNanos int64
+}
+
 // NewTrafficManager builds a TM with per-port queues of the given depth
-// (0 depth means unbuffered pass-through accounting only).
+// (0 depth means unbuffered pass-through accounting only). The
+// microburst threshold defaults to half the queue depth (minimum 1);
+// unbuffered TMs never queue, so they keep detection off.
 func NewTrafficManager(ports, depth int) *TrafficManager {
 	tm := &TrafficManager{depth: depth}
 	tm.cond = sync.NewCond(&tm.mu)
@@ -300,7 +334,94 @@ func NewTrafficManager(ports, depth int) *TrafficManager {
 		ports = 1
 	}
 	tm.queues = make([]pktRing, ports)
+	tm.wm = make([]portWM, ports)
+	if depth > 0 {
+		tm.burstThresh = depth / 2
+		if tm.burstThresh < 1 {
+			tm.burstThresh = 1
+		}
+	}
 	return tm
+}
+
+// SetBurstThreshold changes the microburst depth threshold (<= 0
+// disables detection; watermarks are always on).
+func (tm *TrafficManager) SetBurstThreshold(n int) {
+	tm.mu.Lock()
+	tm.burstThresh = n
+	tm.mu.Unlock()
+}
+
+// BurstThreshold reads the microburst depth threshold.
+func (tm *TrafficManager) BurstThreshold() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.burstThresh
+}
+
+// noteDepthLocked updates port q's watermark and opens a burst window
+// when its depth crosses the threshold. Caller holds mu.
+func (tm *TrafficManager) noteDepthLocked(q int) {
+	depth := int(tm.queues[q].n.Load())
+	w := &tm.wm[q]
+	if int32(depth) > w.watermark {
+		w.watermark = int32(depth)
+	}
+	if tm.burstThresh > 0 && depth >= tm.burstThresh && w.burstStart == 0 {
+		w.burstStart = tmNanos()
+	}
+}
+
+// noteDrainLocked closes port q's burst window once its depth recedes
+// below the threshold, recording the window duration. Caller holds mu.
+func (tm *TrafficManager) noteDrainLocked(q int) {
+	if tm.burstThresh <= 0 {
+		return
+	}
+	w := &tm.wm[q]
+	if w.burstStart == 0 || int(tm.queues[q].n.Load()) >= tm.burstThresh {
+		return
+	}
+	d := tmNanos() - w.burstStart
+	w.burstStart = 0
+	w.bursts++
+	if w.minBurst == 0 || d < w.minBurst {
+		w.minBurst = d
+	}
+	if d > w.maxBurst {
+		w.maxBurst = d
+	}
+}
+
+// Watermarks snapshots every port's high-water mark and microburst
+// record (telemetry scrape source). A still-open burst window counts as
+// an in-progress burst with its duration so far, so a wedged queue is
+// visible before it ever drains.
+func (tm *TrafficManager) Watermarks() []PortWatermark {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	now := int64(0)
+	out := make([]PortWatermark, len(tm.wm))
+	for i := range tm.wm {
+		w := &tm.wm[i]
+		out[i] = PortWatermark{
+			Port:          i,
+			Watermark:     int(w.watermark),
+			Bursts:        w.bursts,
+			MinBurstNanos: w.minBurst,
+			MaxBurstNanos: w.maxBurst,
+		}
+		if w.burstStart != 0 {
+			if now == 0 {
+				now = tmNanos()
+			}
+			out[i].Bursts++
+			if d := now - w.burstStart; d > out[i].MaxBurstNanos {
+				out[i].MaxBurstNanos = d
+			}
+		}
+	}
+	return out
 }
 
 // Admit accepts a packet into the queue of its output port; packets with
@@ -318,6 +439,7 @@ func (tm *TrafficManager) Admit(p *pkt.Packet) bool {
 	}
 	tm.queues[q].push(p)
 	tm.enqueued.Add(1)
+	tm.noteDepthLocked(q)
 	if tm.waiters > 0 {
 		tm.cond.Signal()
 	}
@@ -363,6 +485,7 @@ func (tm *TrafficManager) dequeueLocked() (*pkt.Packet, bool) {
 		if tm.queues[q].n.Load() > 0 {
 			p := tm.queues[q].popHead()
 			tm.rr = (q + 1) % n
+			tm.noteDrainLocked(q)
 			return p, true
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"ipsa/internal/pkt"
 	"ipsa/internal/template"
 	"ipsa/internal/tsp"
+	"ipsa/internal/verdict"
 )
 
 // Options sizes the PISA pipeline.
@@ -84,6 +85,12 @@ type Switch struct {
 
 	processed uint64
 	dropped   uint64
+	// dropReasons is the per-reason loss ledger (indexed by
+	// verdict.DropReason minus one): a stage drop is "acl", a survivor
+	// with no egress pick is "no_port" or — when admission flagged the
+	// frame unparseable — "parse_error". pisa has no TM or TX path, so
+	// the other reasons stay zero.
+	dropReasons [verdict.NumReasons]uint64
 
 	// effectiveStagesUsed counts physical stages consumed, including the
 	// extra stages spanned by oversized tables.
@@ -344,17 +351,34 @@ func (s *Switch) ProcessPacket(data []byte, inPort int) (*pkt.Packet, error) {
 		}
 	}
 	s.dp.PutEnv(env)
+	if !p.Drop {
+		dataplane.SurfaceOutPort(p)
+	}
 	s.mu.Lock()
 	if p.Drop {
 		s.dropped++
+		// An admission parse stamp wins over the program drop, matching
+		// dataplane.DropVerdict: a catch-all drop action that disposed of
+		// an unparseable frame is a parse loss, not ACL policy.
+		if p.DropReason == verdict.ReasonParse {
+			s.dropReasons[verdict.ReasonParse-1]++
+		} else {
+			s.dropReasons[verdict.ReasonACL-1]++
+		}
 	} else {
 		s.processed++
+		if p.OutPort < 0 {
+			if p.DropReason == verdict.ReasonParse {
+				s.dropReasons[verdict.ReasonParse-1]++
+			} else {
+				s.dropReasons[verdict.ReasonNoPort-1]++
+			}
+		}
 	}
 	s.mu.Unlock()
 	if p.Drop {
 		return p, nil
 	}
-	dataplane.SurfaceOutPort(p)
 	// INT sink runs before the deparser so the reassembled packet never
 	// carries the trailer off the switch.
 	s.intSinkProcess(p)
@@ -439,6 +463,20 @@ func (s *Switch) Stats() (processed, dropped uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.processed, s.dropped
+}
+
+// DropReasons snapshots the per-reason loss ledger, keyed by the shared
+// taxonomy's reason strings. Reasons that never fired are omitted.
+func (s *Switch) DropReasons() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64)
+	for i, n := range s.dropReasons {
+		if n > 0 {
+			out[verdict.DropReason(i+1).String()] = n
+		}
+	}
+	return out
 }
 
 // Faults exposes executor fault counters.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ipsa/internal/telemetry"
+	"ipsa/internal/verdict"
 )
 
 // HeaderID identifies a header instance in a compiled design. IDs are
@@ -159,6 +160,15 @@ type Packet struct {
 	OutPort int  // egress port index chosen by the pipeline
 	Drop    bool // set by a drop action
 
+	// DropReason and DropStage attribute a loss: the reason enum says why
+	// the packet died (verdict.ReasonACL for a stage drop action,
+	// ReasonParse when admission found the frame too short for the root
+	// header, ...) and DropStage says where — the index of the TSP whose
+	// drop action fired. Stamped by the executors at the drop site and by
+	// packet admission for parse failures; zero for live packets.
+	DropReason verdict.DropReason
+	DropStage  int32
+
 	// ToCPU marks the packet for punting to the control plane (used by the
 	// flow-probe use case to signal threshold crossings).
 	ToCPU bool
@@ -222,6 +232,8 @@ func (p *Packet) ResetFor(data []byte, metaBytes int) {
 	p.InPort = 0
 	p.OutPort = -1
 	p.Drop = false
+	p.DropReason = 0
+	p.DropStage = 0
 	p.ToCPU = false
 	p.Trace = nil
 	p.Timed = false
@@ -242,6 +254,8 @@ func (p *Packet) Reset(data []byte) {
 	p.InPort = 0
 	p.OutPort = -1
 	p.Drop = false
+	p.DropReason = 0
+	p.DropStage = 0
 	p.ToCPU = false
 	p.Trace = nil
 	p.Timed = false
@@ -255,12 +269,14 @@ func (p *Packet) Reset(data []byte) {
 // Clone deep-copies the packet (used by multicast and the traffic manager).
 func (p *Packet) Clone() *Packet {
 	q := &Packet{
-		Data:    append([]byte(nil), p.Data...),
-		Meta:    append([]byte(nil), p.Meta...),
-		InPort:  p.InPort,
-		OutPort: p.OutPort,
-		Drop:    p.Drop,
-		ToCPU:   p.ToCPU,
+		Data:       append([]byte(nil), p.Data...),
+		Meta:       append([]byte(nil), p.Meta...),
+		InPort:     p.InPort,
+		OutPort:    p.OutPort,
+		Drop:       p.Drop,
+		DropReason: p.DropReason,
+		DropStage:  p.DropStage,
+		ToCPU:      p.ToCPU,
 
 		IngressNanos: p.IngressNanos,
 		Lane:         p.Lane,

@@ -28,7 +28,7 @@ type TraceRecord struct {
 	InPort  int    `json:"in_port"`
 	OutPort int    `json:"out_port"`
 	Bytes   int    `json:"bytes"`
-	Verdict string `json:"verdict"` // "forwarded", "dropped", "tm_drop", "no_port", "to_cpu"
+	Verdict string `json:"verdict"` // one of verdict.Strings
 	// Epoch is the program-store epoch the packet executed under (0 on
 	// drain-mode switches, which have no published store) — it ties a
 	// sampled packet to the exact program version that handled it across

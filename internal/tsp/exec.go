@@ -187,8 +187,7 @@ func (e *Env) exec(code []instr, prog *stageProg, backend TableBackend, out *mat
 			sp--
 			e.storeHdrWide(in.hdr, int(in.a), int(in.b), stack[sp])
 		case opDrop:
-			e.Pkt.Drop = true
-			_ = e.Pkt.SetMetaBits(template.IstdDropOff, 1, 1)
+			e.markDrop()
 		case opToCPU:
 			e.Pkt.ToCPU = true
 			_ = e.Pkt.SetMetaBits(template.IstdToCPUOff, 1, 1)

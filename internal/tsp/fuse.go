@@ -657,10 +657,7 @@ func (f *fuser) fuseInstr(in *template.Instr) fusedStmt {
 			}
 		}
 	case template.IDrop:
-		return func(e *Env) {
-			e.Pkt.Drop = true
-			_ = e.Pkt.SetMetaBits(template.IstdDropOff, 1, 1)
-		}
+		return func(e *Env) { e.markDrop() }
 	case template.IToCPU:
 		return func(e *Env) {
 			e.Pkt.ToCPU = true

@@ -6,6 +6,7 @@ import (
 	"ipsa/internal/pkt"
 	"ipsa/internal/telemetry"
 	"ipsa/internal/template"
+	"ipsa/internal/verdict"
 )
 
 // Faults counts abnormal events the interpreter tolerates the way hardware
@@ -370,6 +371,28 @@ func (e *Env) EvalCond(c *template.Cond) bool {
 	return false
 }
 
+// markDrop is the one drop site shared by all three executor tiers: it
+// sets the Drop flag and istd.drop bit as before, and stamps the
+// structured loss attribution — the reason (a stage drop action is an
+// intentional, ACL-style drop) and the stage (the TSP this Env is
+// currently executing, stamped by TSP.Process/ProcessBatch). Both ride
+// the packet to the finish hook, which files the loss under
+// ipsa_drop_total{reason,stage}.
+//
+// An admission-stamped parse failure wins over the program drop: designs
+// route unparseable frames into a catch-all drop action (base_l2l3's fib
+// and dmac defaults), and attributing those to the stage would let a
+// garbage-frame storm masquerade as intentional ACL policy, hiding it
+// from the unexpected-loss health detector.
+func (e *Env) markDrop() {
+	e.Pkt.Drop = true
+	if e.Pkt.DropReason != verdict.ReasonParse {
+		e.Pkt.DropReason = verdict.ReasonACL
+		e.Pkt.DropStage = int32(e.TSPIndex)
+	}
+	_ = e.Pkt.SetMetaBits(template.IstdDropOff, 1, 1)
+}
+
 // ExecInstrs runs a compiled action body.
 func (e *Env) ExecInstrs(body []template.Instr) {
 	for i := range body {
@@ -384,8 +407,7 @@ func (e *Env) ExecInstrs(body []template.Instr) {
 				e.Faults.RegisterFault.Add(1)
 			}
 		case template.IDrop:
-			e.Pkt.Drop = true
-			_ = e.Pkt.SetMetaBits(template.IstdDropOff, 1, 1)
+			e.markDrop()
 		case template.IToCPU:
 			e.Pkt.ToCPU = true
 			_ = e.Pkt.SetMetaBits(template.IstdToCPUOff, 1, 1)

@@ -131,6 +131,19 @@ func (op *OnDemandParser) ensureWalk(p *pkt.Packet, want pkt.HeaderID) bool {
 	return false
 }
 
+// EnsureRoot parses the chain's first header, reporting whether the
+// frame can carry it. Packet admission uses it to classify truncated or
+// garbage frames as parse errors up front; the result lands in the
+// packet's header vector (or its tried mask), so the first stage's own
+// Ensure of the root header is a cache hit either way. Designs with no
+// parse chain accept every frame.
+func (op *OnDemandParser) EnsureRoot(p *pkt.Packet) bool {
+	if op.header(op.first) == nil {
+		return true
+	}
+	return op.Ensure(p, op.first)
+}
+
 // EnsureAll parses every header in want, reporting how many are valid.
 func (op *OnDemandParser) EnsureAll(p *pkt.Packet, want []pkt.HeaderID) int {
 	n := 0

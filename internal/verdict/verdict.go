@@ -1,0 +1,135 @@
+// Package verdict is the single source of truth for packet disposition
+// taxonomies: the per-packet verdict (what finally happened to a packet)
+// and the drop reason (why a dropped packet died, and where). Both the
+// flow accounting engine and the telemetry layer previously kept private
+// copies of the verdict enum/string mapping; they now share this one.
+//
+// The package has no imports so every layer — pkt, telemetry, flowstat,
+// dataplane, the switches — can depend on it without cycles.
+package verdict
+
+// Verdict is the compact per-packet disposition enum. The string forms
+// are the label values of ipsa_packets_total{verdict=...} and the
+// Verdict field of trace/flow records.
+type Verdict uint8
+
+const (
+	None Verdict = iota
+	Forwarded
+	Dropped                       // a stage drop action (ACL-style, intentional)
+	TMDrop                        // traffic-manager admission tail drop
+	ToCPU                         // punted to the control plane
+	NoPort                        // finished the pipeline with no valid egress port
+	ParseError                    // frame could not carry the design's root header
+	NumVerdicts = int(ParseError) // count of real verdicts (None excluded)
+)
+
+// Canonical verdict strings.
+const (
+	StrForwarded  = "forwarded"
+	StrDropped    = "dropped"
+	StrTMDrop     = "tm_drop"
+	StrToCPU      = "to_cpu"
+	StrNoPort     = "no_port"
+	StrParseError = "parse_error"
+)
+
+// Strings orders the verdict strings by enum value minus one (None has
+// no string); telemetry snapshots and deltas index it directly.
+var Strings = [NumVerdicts]string{
+	StrForwarded, StrDropped, StrTMDrop, StrToCPU, StrNoPort, StrParseError,
+}
+
+// Of maps a verdict string to the enum (None for anything unknown).
+func Of(s string) Verdict {
+	switch s {
+	case StrForwarded:
+		return Forwarded
+	case StrDropped:
+		return Dropped
+	case StrTMDrop:
+		return TMDrop
+	case StrToCPU:
+		return ToCPU
+	case StrNoPort:
+		return NoPort
+	case StrParseError:
+		return ParseError
+	}
+	return None
+}
+
+func (v Verdict) String() string {
+	if v == None || int(v) > NumVerdicts {
+		return "none"
+	}
+	return Strings[v-1]
+}
+
+// IsDrop reports whether the verdict means the packet was lost.
+func (v Verdict) IsDrop() bool {
+	switch v {
+	case Dropped, TMDrop, NoPort, ParseError:
+		return true
+	}
+	return false
+}
+
+// DropReason says why (and at which point) a packet died. Every dropped
+// packet carries exactly one reason; the reasons are the label values of
+// ipsa_drop_total{reason=...}.
+type DropReason uint8
+
+const (
+	ReasonNone   DropReason          = iota
+	ReasonACL                        // a stage's drop action fired (verdict "dropped")
+	ReasonTM                         // TM admission tail drop (verdict "tm_drop")
+	ReasonNoPort                     // no valid egress port at finish (verdict "no_port")
+	ReasonParse                      // frame too short for the root header (verdict "parse_error")
+	ReasonTxFail                     // egress port refused the frame after a "forwarded" verdict
+	NumReasons   = int(ReasonTxFail) // count of real reasons (None excluded)
+)
+
+// Canonical reason strings.
+const (
+	StrReasonACL    = "acl"
+	StrReasonTM     = "tm_drop"
+	StrReasonNoPort = "no_port"
+	StrReasonParse  = "parse_error"
+	StrReasonTxFail = "tx_fail"
+)
+
+// ReasonStrings orders the reason strings by enum value minus one.
+var ReasonStrings = [NumReasons]string{
+	StrReasonACL, StrReasonTM, StrReasonNoPort, StrReasonParse, StrReasonTxFail,
+}
+
+// ReasonOf maps a reason string to the enum (ReasonNone when unknown).
+func ReasonOf(s string) DropReason {
+	switch s {
+	case StrReasonACL:
+		return ReasonACL
+	case StrReasonTM:
+		return ReasonTM
+	case StrReasonNoPort:
+		return ReasonNoPort
+	case StrReasonParse:
+		return ReasonParse
+	case StrReasonTxFail:
+		return ReasonTxFail
+	}
+	return ReasonNone
+}
+
+func (r DropReason) String() string {
+	if r == ReasonNone || int(r) > NumReasons {
+		return "none"
+	}
+	return ReasonStrings[r-1]
+}
+
+// Expected reports whether the reason is an intentional policy outcome
+// (a program's drop action) rather than a loss signal. The health layer's
+// drop-spike detector keys on unexpected reasons only, so a firewall
+// program doing its job cannot push the switch to "degraded".
+func (r DropReason) Expected() bool { return r == ReasonACL }

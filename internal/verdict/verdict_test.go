@@ -1,0 +1,64 @@
+package verdict
+
+import "testing"
+
+// TestVerdictRoundTrip pins the enum ↔ string mapping both ways: the
+// telemetry layer indexes Strings by enum and flowstat recovers enums
+// from strings, so a skew between the two silently misfiles packets.
+func TestVerdictRoundTrip(t *testing.T) {
+	for v := Forwarded; int(v) <= NumVerdicts; v++ {
+		if got := Of(v.String()); got != v {
+			t.Errorf("Of(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+	for i, s := range Strings {
+		if got := int(Of(s)) - 1; got != i {
+			t.Errorf("Strings[%d] = %q maps back to index %d", i, s, got)
+		}
+	}
+	if Of("nonsense") != None {
+		t.Errorf("Of(nonsense) = %v, want None", Of("nonsense"))
+	}
+	if None.String() != "none" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	if Verdict(200).String() != "none" {
+		t.Errorf("out-of-range verdict String() = %q", Verdict(200).String())
+	}
+}
+
+func TestReasonRoundTrip(t *testing.T) {
+	for r := ReasonACL; int(r) <= NumReasons; r++ {
+		if got := ReasonOf(r.String()); got != r {
+			t.Errorf("ReasonOf(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+	for i, s := range ReasonStrings {
+		if got := int(ReasonOf(s)) - 1; got != i {
+			t.Errorf("ReasonStrings[%d] = %q maps back to index %d", i, s, got)
+		}
+	}
+	if ReasonOf("nonsense") != ReasonNone {
+		t.Errorf("ReasonOf(nonsense) = %v", ReasonOf("nonsense"))
+	}
+}
+
+func TestDropClassification(t *testing.T) {
+	drops := map[Verdict]bool{
+		Forwarded: false, Dropped: true, TMDrop: true,
+		ToCPU: false, NoPort: true, ParseError: true, None: false,
+	}
+	for v, want := range drops {
+		if v.IsDrop() != want {
+			t.Errorf("%v.IsDrop() = %v, want %v", v, v.IsDrop(), want)
+		}
+	}
+	if !ReasonACL.Expected() {
+		t.Error("ReasonACL must be expected (policy, not loss)")
+	}
+	for _, r := range []DropReason{ReasonTM, ReasonNoPort, ReasonParse, ReasonTxFail} {
+		if r.Expected() {
+			t.Errorf("%v must be unexpected (loss signal)", r)
+		}
+	}
+}
